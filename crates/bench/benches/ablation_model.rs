@@ -1,0 +1,71 @@
+//! Model-ablation bench: the cost of each timing-model term.
+//!
+//! DESIGN.md calls out the four mechanisms the figures depend on (serial
+//! chain, cache tiers, launch overhead, pattern efficiency). This bench
+//! measures the prediction pipeline with each term toggled, both to keep
+//! the model's hot path fast (it runs hundreds of thousands of times per
+//! figure regeneration) and to document that no single term dominates its
+//! runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eod_devsim::catalog::DeviceId;
+use eod_devsim::model::{DeviceModel, ModelAblation};
+use eod_devsim::profile::{AccessPattern, KernelProfile};
+use std::hint::black_box;
+
+fn workload_mix() -> Vec<KernelProfile> {
+    let mut crc = KernelProfile::new("crc");
+    crc.int_ops = 4e6 * 6.0;
+    crc.bytes_read = 4e6;
+    crc.working_set = 4 << 20;
+    crc.work_items = 64;
+    crc.serial_fraction = 0.85;
+    let mut srad = KernelProfile::new("srad");
+    srad.flops = 7e7;
+    srad.bytes_read = 5e7;
+    srad.bytes_written = 1.6e7;
+    srad.working_set = 48 << 20;
+    srad.work_items = 1 << 21;
+    let mut csr = KernelProfile::new("csr");
+    csr.flops = 2.6e6;
+    csr.bytes_read = 1.6e7;
+    csr.working_set = 11 << 20;
+    csr.work_items = 16384;
+    csr.pattern = AccessPattern::Gather;
+    csr.branch_divergence = 0.3;
+    vec![crc, srad, csr]
+}
+
+fn bench(c: &mut Criterion) {
+    let profiles = workload_mix();
+    let models: Vec<DeviceModel> = DeviceId::all().map(DeviceModel::new).collect();
+    let mut group = c.benchmark_group("ablation_model");
+    group.sample_size(50);
+
+    let mut run_config = |label: &str, ab: ModelAblation| {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for m in &models {
+                    for p in &profiles {
+                        acc += m.predict_ablated(black_box(p), ab).total_s;
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    };
+
+    run_config("full_model", ModelAblation::full());
+    for &term in ModelAblation::terms() {
+        run_config(
+            &format!("without_{term}"),
+            ModelAblation::without(term).expect("known term"),
+        );
+    }
+    run_config("bare_roofline", ModelAblation::bare_roofline());
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! fig3a — native-execution Criterion bench for the workloads of Figure 3a (srad).
+//!
+//! One group per problem size; each sample is one benchmark iteration
+//! (the quantity the paper's figure plots). The simulated Table 1
+//! projection of the same figure comes from `eod -- fig3`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eod_bench::{native_sizes, Prepared};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    for benchmark in ["srad"] {
+        let mut group = c.benchmark_group(format!("fig3_srad/{benchmark}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(2));
+        for size in native_sizes(benchmark) {
+            let mut prepared = Prepared::native(benchmark, size);
+            group.bench_function(size.label(), |b| b.iter(|| prepared.iterate()));
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Figure 5 — energy-modeling bench.
+//!
+//! Fig. 5 plots kernel *energy* at `large` on the i7-6700K (RAPL) and
+//! GTX 1080 (NVML). Energy is derived, not wall-measured, so this bench
+//! measures the derivation pipeline itself at figure scale: timing-model
+//! prediction plus power-model integration through the RAPL- and
+//! NVML-style meters for each of the eight Fig. 5 benchmarks. The modeled
+//! *values* regenerate via `eod -- fig5`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eod_devsim::catalog::DeviceId;
+use eod_devsim::energy::PowerModel;
+use eod_devsim::model::DeviceModel;
+use eod_devsim::profile::{AccessPattern, KernelProfile};
+use eod_scibench::energy::{EnergyMeter, NvmlMeter, RaplMeter};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Large-size stand-in profiles for the eight Fig. 5 benchmarks (flops /
+/// bytes / working set at the Table 2 `large` scale).
+fn fig5_profiles() -> Vec<KernelProfile> {
+    let mk = |name: &str, flops: f64, bytes: f64, ws: u64, pat: AccessPattern, serial: f64| {
+        let mut p = KernelProfile::new(name);
+        p.flops = flops;
+        p.bytes_read = bytes * 0.75;
+        p.bytes_written = bytes * 0.25;
+        p.working_set = ws;
+        p.pattern = pat;
+        p.work_items = (ws / 8).max(64);
+        p.serial_fraction = serial;
+        p
+    };
+    vec![
+        mk("kmeans", 1.4e9, 5.7e7, 14 << 20, AccessPattern::Streaming, 0.0),
+        mk("lud", 4.6e10, 1.1e9, 64 << 20, AccessPattern::Strided, 0.0),
+        mk("csr", 2.7e6, 1.7e7, 11 << 20, AccessPattern::Gather, 0.0),
+        mk("fft", 2.2e8, 7.0e8, 32 << 20, AccessPattern::Strided, 0.0),
+        mk("dwt", 1.1e8, 2.1e8, 76 << 20, AccessPattern::Strided, 0.0),
+        mk("gem", 9.4e11, 1.1e7, 11 << 20, AccessPattern::Streaming, 0.0),
+        mk("srad", 7.3e8, 7.0e8, 48 << 20, AccessPattern::Streaming, 0.0),
+        mk("crc", 2.5e7, 4.2e6, 4 << 20, AccessPattern::Streaming, 0.85),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let profiles = fig5_profiles();
+    let i7 = DeviceModel::new(DeviceId::by_name("i7-6700K").unwrap());
+    let gtx = DeviceModel::new(DeviceId::by_name("GTX 1080").unwrap());
+    let i7_power = PowerModel::for_device(i7.spec());
+    let gtx_power = PowerModel::for_device(gtx.spec());
+
+    let mut group = c.benchmark_group("fig5_energy");
+    group.sample_size(20);
+
+    group.bench_function("model_energy_all_benchmarks", |b| {
+        b.iter(|| {
+            let mut total = 0.0f64;
+            for p in &profiles {
+                let ci = i7.predict(black_box(p));
+                let cg = gtx.predict(black_box(p));
+                total += i7_power.kernel_energy(&ci) + gtx_power.kernel_energy(&cg);
+            }
+            black_box(total)
+        })
+    });
+
+    group.bench_function("rapl_meter_integration", |b| {
+        let p = &profiles[6]; // srad
+        let cost = i7.predict(p);
+        b.iter(|| {
+            let mut meter = RaplMeter::new(0);
+            let src = i7_power.source_for(&cost);
+            black_box(meter.measure(Duration::from_millis(5), &src).joules)
+        })
+    });
+
+    group.bench_function("nvml_meter_integration", |b| {
+        let p = &profiles[6];
+        let cost = gtx.predict(p);
+        b.iter(|| {
+            let mut meter = NvmlMeter::new("GeForce GTX 1080");
+            let src = gtx_power.source_for(&cost);
+            black_box(meter.measure(Duration::from_millis(5), &src).joules)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

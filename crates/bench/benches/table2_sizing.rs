@@ -1,0 +1,83 @@
+//! Table 2 / §4.4 — sizing-methodology bench.
+//!
+//! Measures the machinery behind the problem-size table: the Eq. 1-style
+//! footprint evaluation for every benchmark, the binary search for the
+//! largest Φ fitting a cache level, and the trace-driven cache simulator
+//! used to verify the choices (the stand-in for the paper's PAPI runs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eod_core::sizes::ProblemSize;
+use eod_core::sizing::{largest_phi_fitting, SkylakeHierarchy};
+use eod_devsim::cache::{streaming_trace, CacheConfig, CacheHierarchy, TlbConfig};
+use eod_dwarfs::registry;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_sizing");
+    group.sample_size(20);
+
+    group.bench_function("footprints_all_benchmarks_all_sizes", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for bench in registry::all_benchmarks() {
+                for &size in &bench.supported_sizes() {
+                    total += bench.workload(size, 0).footprint_bytes();
+                }
+            }
+            black_box(total)
+        })
+    });
+
+    group.bench_function("largest_phi_binary_search", |b| {
+        // kmeans footprint as a function of point count (Eq. 1).
+        let footprint = |pn: usize| ((pn * 26 * 4) + (pn * 4) + (5 * 26 * 4)) as u64;
+        b.iter(|| {
+            let l1 = largest_phi_fitting(SkylakeHierarchy::L1_BYTES, 1, 1 << 24, footprint);
+            let l2 = largest_phi_fitting(SkylakeHierarchy::L2_BYTES, 1, 1 << 24, footprint);
+            let l3 = largest_phi_fitting(SkylakeHierarchy::L3_BYTES, 1, 1 << 24, footprint);
+            black_box((l1, l2, l3))
+        })
+    });
+
+    group.bench_function("cache_sim_verification_trace", |b| {
+        // The PAPI stand-in: stream a small-size working set through the
+        // Skylake hierarchy twice and read the miss counters.
+        let l1 = CacheConfig::kib(32, 8);
+        let l2 = CacheConfig::kib(256, 8);
+        let l3 = CacheConfig::kib(8192, 16);
+        b.iter(|| {
+            let mut h = CacheHierarchy::new(l1, l2, Some(l3), TlbConfig::default());
+            for _ in 0..2 {
+                h.run_trace(streaming_trace(0, 200 * 1024, 64));
+            }
+            black_box(h.counts())
+        })
+    });
+
+    group.finish();
+}
+
+fn verify_table2(c: &mut Criterion) {
+    // Not a timing group: assert once at bench start that the Table 2
+    // values satisfy their constraints, so `cargo bench` doubles as a
+    // methodology check.
+    for bench in registry::all_benchmarks() {
+        for &size in &bench.supported_sizes() {
+            let fp = bench.workload(size, 0).footprint_bytes();
+            if matches!(size, ProblemSize::Tiny) {
+                assert!(
+                    fp <= SkylakeHierarchy::L1_BYTES,
+                    "{} tiny: {fp} B exceeds L1",
+                    bench.name()
+                );
+            }
+        }
+    }
+    let mut group = c.benchmark_group("table2_constraints");
+    group.sample_size(10);
+    group.bench_function("tiny_fits_l1_assertion", |b| b.iter(|| black_box(())));
+    group.finish();
+}
+
+criterion_group!(benches, bench, verify_table2);
+criterion_main!(benches);

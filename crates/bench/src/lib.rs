@@ -1,0 +1,80 @@
+//! `eod-bench` — shared plumbing for the Criterion benchmark harness.
+//!
+//! Every figure of the paper gets a Criterion bench target that measures
+//! the *native* execution of the figure's workloads (real kernels on real
+//! host threads — what Criterion is for), one benchmark group per problem
+//! size, mirroring the panel structure of the figure. The simulated-device
+//! projections that regenerate the published numbers live in the `eod`
+//! binary (`cargo run -p eod-harness --bin eod -- fig1 …`), since modeled
+//! time cannot be measured by a wall-clock harness.
+
+use eod_clrt::prelude::*;
+use eod_core::benchmark::Workload;
+use eod_core::sizes::ProblemSize;
+use eod_dwarfs::registry;
+
+/// A benchmark workload bound to the native device and ready to iterate.
+pub struct Prepared {
+    /// Kept alive: buffers are metered against this context.
+    pub ctx: Context,
+    /// The queue kernels run on.
+    pub queue: CommandQueue,
+    /// The configured workload.
+    pub workload: Box<dyn Workload>,
+}
+
+impl Prepared {
+    /// Build, set up and verify a workload on the native backend.
+    pub fn native(benchmark: &str, size: ProblemSize) -> Prepared {
+        let bench = registry::benchmark_by_name(benchmark)
+            .unwrap_or_else(|| panic!("unknown benchmark {benchmark}"));
+        let ctx = Context::new(Device::native());
+        let queue = CommandQueue::new(&ctx).with_profiling();
+        let mut workload = bench.workload(size, 42);
+        workload.setup(&ctx, &queue).expect("setup");
+        workload.run_iteration(&queue).expect("first iteration");
+        workload.verify(&queue).expect("verification");
+        Prepared { ctx, queue, workload }
+    }
+
+    /// One timed iteration (the quantity the figures plot).
+    pub fn iterate(&mut self) {
+        self.workload
+            .run_iteration(&self.queue)
+            .expect("iteration");
+    }
+}
+
+/// The sizes a figure bench should measure natively. `large` is included
+/// only when a single iteration stays within an interactive budget;
+/// excluded workloads are covered by the model-driven harness binary.
+pub fn native_sizes(benchmark: &str) -> Vec<ProblemSize> {
+    use ProblemSize::*;
+    match benchmark {
+        // lud large is ~2×10¹⁰ MACs per iteration — model-only territory.
+        "lud" => vec![Tiny, Small, Medium],
+        // gem beyond 2D2V scales quadratically into minutes.
+        "gem" => vec![Tiny, Small],
+        "nqueens" | "hmm" => vec![Tiny],
+        _ => vec![Tiny, Small, Medium, Large],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepared_runs_and_verifies() {
+        let mut p = Prepared::native("crc", ProblemSize::Tiny);
+        p.iterate();
+        p.iterate();
+    }
+
+    #[test]
+    fn native_sizes_cover_all_benchmarks() {
+        for b in registry::all_benchmarks() {
+            assert!(!native_sizes(b.name()).is_empty());
+        }
+    }
+}

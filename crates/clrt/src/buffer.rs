@@ -1,0 +1,236 @@
+//! Device memory buffers.
+//!
+//! A [`Buffer<T>`] models `cl_mem`: a linear allocation of scalars that
+//! lives in device memory, is created through a [`crate::context::Context`]
+//! (which meters total allocation against the device's global memory, and
+//! whose running total reproduces the paper's §4.4 footprint verification:
+//! "the memory footprint was verified for each benchmark by printing the sum
+//! of the size of all memory allocated on the device"), and is accessed by
+//! kernels through cheap [`BufView`] handles.
+//!
+//! Storage is a `Vec` of relaxed atomics (see [`crate::scalar`]), so
+//! concurrent work-items reading and writing disjoint elements are sound
+//! without locks and without overhead on x86-64.
+
+use crate::scalar::Scalar;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Decrements the context's allocation meter when the buffer dies.
+#[derive(Debug)]
+pub(crate) struct AllocGuard {
+    pub(crate) meter: Arc<AtomicU64>,
+    pub(crate) bytes: u64,
+}
+
+impl Drop for AllocGuard {
+    fn drop(&mut self) {
+        self.meter.fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
+/// A device-side linear buffer of `len` scalars of type `T`.
+#[derive(Debug)]
+pub struct Buffer<T: Scalar> {
+    cells: Arc<Vec<T::Atomic>>,
+    _guard: Arc<AllocGuard>,
+}
+
+// Manual impl: the derive would demand `T::Atomic: Clone`, but cloning a
+// Buffer only clones the `Arc` handles.
+impl<T: Scalar> Clone for Buffer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            cells: Arc::clone(&self.cells),
+            _guard: Arc::clone(&self._guard),
+        }
+    }
+}
+
+impl<T: Scalar> Buffer<T> {
+    pub(crate) fn new_with_guard(init: &[T], guard: AllocGuard) -> Self {
+        let cells: Vec<T::Atomic> = init.iter().map(|&v| T::new_cell(v)).collect();
+        Self {
+            cells: Arc::new(cells),
+            _guard: Arc::new(guard),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Size in bytes as allocated on the device.
+    pub fn bytes(&self) -> u64 {
+        (self.len() * T::BYTES) as u64
+    }
+
+    /// A kernel-side view of this buffer. Views are cheap (`Arc` clone) and
+    /// `Send + Sync`, so kernels capture them by value.
+    pub fn view(&self) -> BufView<T> {
+        BufView {
+            cells: Arc::clone(&self.cells),
+        }
+    }
+
+    /// Host read of one element (bounds-checked).
+    pub fn get(&self, i: usize) -> T {
+        T::load(&self.cells[i])
+    }
+
+    /// Host write of one element (bounds-checked).
+    pub fn set(&self, i: usize, v: T) {
+        T::store(&self.cells[i], v)
+    }
+
+    /// Copy the whole buffer out to a new `Vec` (host-side convenience; the
+    /// metered path is `CommandQueue::enqueue_read_buffer`).
+    pub fn to_vec(&self) -> Vec<T> {
+        self.cells.iter().map(|c| T::load(c)).collect()
+    }
+
+    /// Overwrite the buffer from a slice of the same length.
+    pub(crate) fn copy_from_slice(&self, data: &[T]) {
+        assert_eq!(data.len(), self.len(), "host slice length mismatch");
+        for (cell, &v) in self.cells.iter().zip(data) {
+            T::store(cell, v);
+        }
+    }
+
+    /// Read the buffer into a slice of the same length.
+    pub(crate) fn copy_to_slice(&self, out: &mut [T]) {
+        assert_eq!(out.len(), self.len(), "host slice length mismatch");
+        for (cell, o) in self.cells.iter().zip(out.iter_mut()) {
+            *o = T::load(cell);
+        }
+    }
+}
+
+/// Kernel-side handle to a buffer: bounds-checked loads and stores with
+/// relaxed atomics. Indexing semantics match `__global T*` pointers.
+#[derive(Debug)]
+pub struct BufView<T: Scalar> {
+    cells: Arc<Vec<T::Atomic>>,
+}
+
+impl<T: Scalar> Clone for BufView<T> {
+    fn clone(&self) -> Self {
+        Self {
+            cells: Arc::clone(&self.cells),
+        }
+    }
+}
+
+impl<T: Scalar> BufView<T> {
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the view covers no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Load element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        T::load(&self.cells[i])
+    }
+
+    /// Store element `i`.
+    #[inline]
+    pub fn set(&self, i: usize, v: T) {
+        T::store(&self.cells[i], v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_buffer<T: Scalar>(init: &[T]) -> Buffer<T> {
+        let meter = Arc::new(AtomicU64::new(0));
+        let bytes = (init.len() * T::BYTES) as u64;
+        meter.fetch_add(bytes, Ordering::Relaxed);
+        Buffer::new_with_guard(init, AllocGuard { meter, bytes })
+    }
+
+    #[test]
+    fn roundtrip_host_access() {
+        let b = test_buffer(&[1.0f32, 2.0, 3.0]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.bytes(), 12);
+        assert_eq!(b.get(1), 2.0);
+        b.set(1, 9.0);
+        assert_eq!(b.to_vec(), vec![1.0, 9.0, 3.0]);
+    }
+
+    #[test]
+    fn views_alias_storage() {
+        let b = test_buffer(&[0i32; 8]);
+        let v = b.view();
+        v.set(3, 42);
+        assert_eq!(b.get(3), 42);
+        assert_eq!(v.len(), 8);
+    }
+
+    #[test]
+    fn copy_from_and_to_slice() {
+        let b = test_buffer(&[0u32; 4]);
+        b.copy_from_slice(&[5, 6, 7, 8]);
+        let mut out = [0u32; 4];
+        b.copy_to_slice(&mut out);
+        assert_eq!(out, [5, 6, 7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_slice_panics() {
+        let b = test_buffer(&[0u32; 4]);
+        b.copy_from_slice(&[1, 2]);
+    }
+
+    #[test]
+    fn drop_releases_meter() {
+        let meter = Arc::new(AtomicU64::new(0));
+        {
+            let bytes = 16;
+            meter.fetch_add(bytes, Ordering::Relaxed);
+            let _b = Buffer::new_with_guard(
+                &[0.0f32; 4],
+                AllocGuard {
+                    meter: Arc::clone(&meter),
+                    bytes,
+                },
+            );
+            assert_eq!(meter.load(Ordering::Relaxed), 16);
+        }
+        assert_eq!(meter.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn clones_share_one_guard() {
+        let meter = Arc::new(AtomicU64::new(8));
+        let b = Buffer::new_with_guard(
+            &[0u64],
+            AllocGuard {
+                meter: Arc::clone(&meter),
+                bytes: 8,
+            },
+        );
+        let b2 = b.clone();
+        drop(b);
+        assert_eq!(meter.load(Ordering::Relaxed), 8, "clone keeps alloc alive");
+        drop(b2);
+        assert_eq!(meter.load(Ordering::Relaxed), 0);
+    }
+}

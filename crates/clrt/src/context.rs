@@ -1,0 +1,143 @@
+//! Contexts: device binding and metered buffer allocation.
+//!
+//! A [`Context`] owns the association between host program and device, and
+//! meters every buffer allocation against the device's global memory — the
+//! same bookkeeping the paper uses to verify problem-size footprints
+//! ("printing the sum of the size of all memory allocated on the device",
+//! §4.4). [`Context::allocated_bytes`] is that sum.
+
+use crate::buffer::{AllocGuard, Buffer};
+use crate::device::Device;
+use crate::error::{Error, Result};
+use crate::scalar::Scalar;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An OpenCL-style context bound to a single device.
+#[derive(Debug, Clone)]
+pub struct Context {
+    device: Device,
+    allocated: Arc<AtomicU64>,
+}
+
+impl Context {
+    /// Create a context on a device.
+    pub fn new(device: Device) -> Self {
+        Self {
+            device,
+            allocated: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The bound device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Sum of all live device allocations in bytes — the §4.4 footprint.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated.load(Ordering::Relaxed)
+    }
+
+    /// Same footprint in KiB, the unit of the paper's Eq. 1.
+    pub fn allocated_kib(&self) -> f64 {
+        self.allocated_bytes() as f64 / 1024.0
+    }
+
+    /// Allocate a zero-initialized buffer of `len` elements.
+    pub fn create_buffer<T: Scalar>(&self, len: usize) -> Result<Buffer<T>> {
+        if len == 0 {
+            return Err(Error::InvalidBufferSize("zero-length buffer".into()));
+        }
+        self.create_buffer_from(&vec![T::default(); len])
+    }
+
+    /// Allocate a buffer initialized from host data (`CL_MEM_COPY_HOST_PTR`).
+    pub fn create_buffer_from<T: Scalar>(&self, data: &[T]) -> Result<Buffer<T>> {
+        if data.is_empty() {
+            return Err(Error::InvalidBufferSize("zero-length buffer".into()));
+        }
+        let bytes = (data.len() * T::BYTES) as u64;
+        let capacity = self.device.global_mem_bytes();
+        // Reserve, then check; back out on failure.
+        let prev = self.allocated.fetch_add(bytes, Ordering::Relaxed);
+        if prev + bytes > capacity {
+            self.allocated.fetch_sub(bytes, Ordering::Relaxed);
+            return Err(Error::OutOfDeviceMemory {
+                requested: bytes,
+                allocated: prev,
+                capacity,
+            });
+        }
+        Ok(Buffer::new_with_guard(
+            data,
+            AllocGuard {
+                meter: Arc::clone(&self.allocated),
+                bytes,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eod_devsim::catalog::DeviceId;
+
+    #[test]
+    fn footprint_meter_tracks_allocations() {
+        let ctx = Context::new(Device::native());
+        assert_eq!(ctx.allocated_bytes(), 0);
+        let a = ctx.create_buffer::<f32>(1024).unwrap();
+        assert_eq!(ctx.allocated_bytes(), 4096);
+        let b = ctx.create_buffer::<u8>(100).unwrap();
+        assert_eq!(ctx.allocated_bytes(), 4196);
+        drop(a);
+        assert_eq!(ctx.allocated_bytes(), 100);
+        drop(b);
+        assert_eq!(ctx.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn kib_footprint_matches_eq1_style() {
+        // kmeans tiny: 256 points × 30 features floats + 256 ints +
+        // 5 × 30 floats = 31.5 KiB (§4.4.1).
+        let ctx = Context::new(Device::native());
+        let _feature = ctx.create_buffer::<f32>(256 * 30).unwrap();
+        let _membership = ctx.create_buffer::<i32>(256).unwrap();
+        let _cluster = ctx.create_buffer::<f32>(5 * 30).unwrap();
+        assert!((ctx.allocated_kib() - 31.5859375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_enforced_on_simulated_device() {
+        // HD 7970 has 3 GiB; a 4 GiB request must fail cleanly.
+        let id = DeviceId::by_name("HD 7970").unwrap();
+        let ctx = Context::new(Device::simulated(id));
+        // Don't actually allocate 4 GiB of host RAM — allocate a large
+        // buffer after filling the meter with a legitimate one.
+        let ok = ctx.create_buffer::<u8>(1 << 20).unwrap();
+        let err = ctx.create_buffer::<u64>(512 * 1024 * 1024); // 4 GiB
+        match err {
+            Err(Error::OutOfDeviceMemory {
+                requested,
+                allocated,
+                capacity,
+            }) => {
+                assert_eq!(requested, 4 << 30);
+                assert_eq!(allocated, 1 << 20);
+                assert_eq!(capacity, 3 << 30);
+            }
+            other => panic!("expected OutOfDeviceMemory, got {other:?}"),
+        }
+        // Meter must have been rolled back.
+        assert_eq!(ctx.allocated_bytes(), ok.bytes());
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        let ctx = Context::new(Device::native());
+        assert!(ctx.create_buffer::<f32>(0).is_err());
+        assert!(ctx.create_buffer_from::<f32>(&[]).is_err());
+    }
+}

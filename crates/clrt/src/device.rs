@@ -1,0 +1,218 @@
+//! Compute devices: the native host CPU and the simulated Table 1 fleet.
+//!
+//! A [`Device`] is what a context binds to and what a command queue
+//! executes on. Two backends exist:
+//!
+//! * [`Backend::NativeCpu`] — kernels run for real across host threads and
+//!   events carry wall-clock timestamps. This is the backend Criterion
+//!   benches measure.
+//! * [`Backend::Simulated`] — kernels still run for real (results must be
+//!   correct and checkable against each benchmark's serial reference), but
+//!   event timestamps come from the `eod-devsim` timing model for the
+//!   chosen Table 1 device, perturbed by its noise model, and PAPI-style
+//!   counters are synthesized to match. This is the backend that
+//!   regenerates the paper's figures.
+
+use eod_devsim::catalog::DeviceId;
+use eod_devsim::energy::PowerModel;
+use eod_devsim::model::{DeviceModel, KernelCost};
+use eod_devsim::noise::NoiseModel;
+use eod_devsim::profile::KernelProfile;
+use eod_devsim::transfer::TransferModel;
+use eod_scibench::counters::CounterValues;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// State of a simulated accelerator.
+#[derive(Debug)]
+pub struct SimBackend {
+    /// Timing model for the Table 1 device.
+    pub model: DeviceModel,
+    /// Measurement-noise model (CoV ∝ 1/clock).
+    pub noise: NoiseModel,
+    /// Host-link transfer model.
+    pub transfer: TransferModel,
+    /// Power model for energy synthesis.
+    pub power: PowerModel,
+    /// Deterministic noise stream, seeded per device.
+    rng: Mutex<StdRng>,
+}
+
+impl SimBackend {
+    /// Predict a kernel cost with measurement noise applied.
+    pub fn noisy_cost(&self, profile: &KernelProfile) -> KernelCost {
+        let mut cost = self.model.predict(profile);
+        let factor = {
+            let mut rng = self.rng.lock();
+            self.noise.sample(&mut *rng)
+        };
+        cost.total_s *= factor;
+        cost
+    }
+
+    /// Synthesized counters for an invocation.
+    pub fn counters(&self, profile: &KernelProfile, cost: &KernelCost) -> CounterValues {
+        self.model.synthesize_counters(profile, cost)
+    }
+}
+
+/// Which engine executes and times kernels.
+#[derive(Debug)]
+pub enum Backend {
+    /// Real execution on the host, wall-clock timing.
+    NativeCpu,
+    /// Real execution on the host, modeled timing for a Table 1 device.
+    Simulated(SimBackend),
+}
+
+#[derive(Debug)]
+pub(crate) struct DeviceInner {
+    pub(crate) name: String,
+    pub(crate) backend: Backend,
+    pub(crate) max_work_group_size: usize,
+    pub(crate) global_mem_bytes: u64,
+}
+
+/// A compute device handle (cheap to clone).
+#[derive(Debug, Clone)]
+pub struct Device {
+    pub(crate) inner: Arc<DeviceInner>,
+}
+
+impl Device {
+    /// The native host CPU device.
+    pub fn native() -> Self {
+        Self {
+            inner: Arc::new(DeviceInner {
+                name: "Host CPU (native)".to_string(),
+                backend: Backend::NativeCpu,
+                max_work_group_size: 1024,
+                // Host RAM is effectively unbounded for our problem sizes.
+                global_mem_bytes: 64 << 30,
+            }),
+        }
+    }
+
+    /// A simulated Table 1 device, with the noise stream seeded from the
+    /// device index so runs are reproducible.
+    pub fn simulated(id: DeviceId) -> Self {
+        Self::simulated_seeded(id, 0xED0D ^ id.0 as u64)
+    }
+
+    /// A simulated device with an explicit noise seed (tests and the
+    /// harness's `--seed` flag).
+    pub fn simulated_seeded(id: DeviceId, seed: u64) -> Self {
+        let spec = id.spec();
+        Self {
+            inner: Arc::new(DeviceInner {
+                name: spec.name.to_string(),
+                backend: Backend::Simulated(SimBackend {
+                    model: DeviceModel::new(id),
+                    noise: NoiseModel::for_device(spec),
+                    transfer: TransferModel::for_device(spec),
+                    power: PowerModel::for_device(spec),
+                    rng: Mutex::new(StdRng::seed_from_u64(seed)),
+                }),
+                max_work_group_size: 1024,
+                global_mem_bytes: spec.global_mem_mib * 1024 * 1024,
+            }),
+        }
+    }
+
+    /// Device name (`CL_DEVICE_NAME`).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Maximum work-group volume (`CL_DEVICE_MAX_WORK_GROUP_SIZE`).
+    pub fn max_work_group_size(&self) -> usize {
+        self.inner.max_work_group_size
+    }
+
+    /// Global memory capacity in bytes (`CL_DEVICE_GLOBAL_MEM_SIZE`).
+    pub fn global_mem_bytes(&self) -> u64 {
+        self.inner.global_mem_bytes
+    }
+
+    /// The execution backend.
+    pub fn backend(&self) -> &Backend {
+        &self.inner.backend
+    }
+
+    /// The simulated device's catalog id, if this is a simulated device.
+    pub fn sim_id(&self) -> Option<DeviceId> {
+        match &self.inner.backend {
+            Backend::Simulated(sim) => Some(sim.model.id()),
+            Backend::NativeCpu => None,
+        }
+    }
+
+    /// True for the native host device.
+    pub fn is_native(&self) -> bool {
+        matches!(self.inner.backend, Backend::NativeCpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_device_properties() {
+        let d = Device::native();
+        assert!(d.is_native());
+        assert_eq!(d.sim_id(), None);
+        assert!(d.max_work_group_size() >= 256);
+        assert!(d.global_mem_bytes() > 1 << 30);
+    }
+
+    #[test]
+    fn simulated_device_wraps_catalog() {
+        let id = DeviceId::by_name("GTX 1080").unwrap();
+        let d = Device::simulated(id);
+        assert_eq!(d.name(), "GTX 1080");
+        assert!(!d.is_native());
+        assert_eq!(d.sim_id(), Some(id));
+        assert_eq!(d.global_mem_bytes(), 8 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn noisy_cost_is_near_model() {
+        let id = DeviceId::by_name("i7-6700K").unwrap();
+        let d = Device::simulated_seeded(id, 7);
+        let Backend::Simulated(sim) = d.backend() else {
+            panic!("expected simulated");
+        };
+        let mut p = KernelProfile::new("x");
+        p.flops = 1e9;
+        p.bytes_read = 1e8;
+        p.working_set = 1 << 24;
+        p.work_items = 1 << 20;
+        let base = sim.model.predict(&p).total_s;
+        for _ in 0..100 {
+            let noisy = sim.noisy_cost(&p).total_s;
+            assert!(noisy > base * 0.7 && noisy < base * 1.5, "{noisy} vs {base}");
+        }
+    }
+
+    #[test]
+    fn seeded_devices_are_reproducible() {
+        let id = DeviceId::by_name("K20m").unwrap();
+        let mut p = KernelProfile::new("x");
+        p.flops = 1e8;
+        p.work_items = 1 << 16;
+        p.bytes_read = 1e7;
+        p.working_set = 1 << 20;
+        let sample = |seed| {
+            let d = Device::simulated_seeded(id, seed);
+            let Backend::Simulated(sim) = d.backend() else {
+                unreachable!()
+            };
+            (0..5).map(|_| sim.noisy_cost(&p).total_s).collect::<Vec<_>>()
+        };
+        assert_eq!(sample(99), sample(99));
+        assert_ne!(sample(99), sample(100));
+    }
+}

@@ -1,0 +1,75 @@
+//! Runtime error codes, mirroring the OpenCL error vocabulary.
+
+use std::fmt;
+
+/// Result alias for runtime operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors the runtime can report, named after their `CL_*` counterparts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// `CL_DEVICE_NOT_FOUND` — no device matched the selector.
+    DeviceNotFound(String),
+    /// `CL_MEM_OBJECT_ALLOCATION_FAILURE` — allocation would exceed the
+    /// device's global memory.
+    OutOfDeviceMemory {
+        /// Bytes requested by the failing allocation.
+        requested: u64,
+        /// Bytes already allocated in the context.
+        allocated: u64,
+        /// Device global memory capacity.
+        capacity: u64,
+    },
+    /// `CL_INVALID_WORK_GROUP_SIZE` — local size does not divide global, or
+    /// exceeds the device maximum.
+    InvalidWorkGroupSize(String),
+    /// `CL_INVALID_BUFFER_SIZE` — zero-length or mismatched host slice.
+    InvalidBufferSize(String),
+    /// `CL_INVALID_VALUE` — catch-all argument validation failure.
+    InvalidValue(String),
+    /// `CL_PROFILING_INFO_NOT_AVAILABLE` — the queue was created without
+    /// profiling enabled.
+    ProfilingNotEnabled,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DeviceNotFound(sel) => write!(f, "device not found: {sel}"),
+            Error::OutOfDeviceMemory {
+                requested,
+                allocated,
+                capacity,
+            } => write!(
+                f,
+                "device memory exhausted: requested {requested} B with {allocated} B \
+                 already allocated of {capacity} B capacity"
+            ),
+            Error::InvalidWorkGroupSize(msg) => write!(f, "invalid work-group size: {msg}"),
+            Error::InvalidBufferSize(msg) => write!(f, "invalid buffer size: {msg}"),
+            Error::InvalidValue(msg) => write!(f, "invalid value: {msg}"),
+            Error::ProfilingNotEnabled => {
+                write!(f, "profiling info not available: queue lacks profiling")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::OutOfDeviceMemory {
+            requested: 100,
+            allocated: 50,
+            capacity: 120,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("50") && s.contains("120"));
+        assert!(Error::ProfilingNotEnabled.to_string().contains("profiling"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Profiling events.
+//!
+//! OpenCL's `clGetEventProfilingInfo` exposes four timestamps per command —
+//! `CL_PROFILING_COMMAND_QUEUED`, `…_SUBMIT`, `…_START`, `…_END` — and the
+//! paper's LibSciBench integration records exactly these segments ("…added
+//! value to the analysis of OpenCL program flow on each system, for example
+//! identifying overheads in kernel construction and buffer enqueuing").
+//! [`Event`] carries the same four timestamps (seconds on the queue's
+//! clock: wall time for the native backend, modeled time for simulated
+//! devices) plus, on simulated devices, the synthesized counter readings
+//! and modeled cost breakdown.
+
+use eod_devsim::model::KernelCost;
+use eod_devsim::profile::KernelProfile;
+use eod_scibench::counters::CounterValues;
+use std::time::Duration;
+
+/// What kind of command the event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandKind {
+    /// `clEnqueueNDRangeKernel`.
+    Kernel,
+    /// `clEnqueueWriteBuffer`.
+    WriteBuffer,
+    /// `clEnqueueReadBuffer`.
+    ReadBuffer,
+}
+
+/// A completed command's profiling record.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Name of the kernel, or `"write"`/`"read"` for transfers.
+    pub name: String,
+    /// Command type.
+    pub kind: CommandKind,
+    /// Seconds on the queue clock when the command was enqueued.
+    pub queued: f64,
+    /// Seconds when the command was submitted to the device.
+    pub submit: f64,
+    /// Seconds when execution started.
+    pub start: f64,
+    /// Seconds when execution finished.
+    pub end: f64,
+    /// Synthesized PAPI counters (simulated kernels only).
+    pub counters: Option<CounterValues>,
+    /// Modeled cost breakdown (simulated kernels only).
+    pub cost: Option<KernelCost>,
+    /// The kernel's architecture-independent profile (kernel events on any
+    /// backend) — the input to AIWC characterization.
+    pub profile: Option<KernelProfile>,
+}
+
+impl Event {
+    /// Execution time: `END − START` — the quantity every figure plots.
+    pub fn duration(&self) -> Duration {
+        Duration::from_secs_f64((self.end - self.start).max(0.0))
+    }
+
+    /// Queueing overhead: `START − QUEUED`.
+    pub fn queue_overhead(&self) -> Duration {
+        Duration::from_secs_f64((self.start - self.queued).max(0.0))
+    }
+
+    /// Execution time in milliseconds, the unit of the paper's y-axes.
+    pub fn millis(&self) -> f64 {
+        (self.end - self.start).max(0.0) * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_derive_from_timestamps() {
+        let e = Event {
+            name: "k".into(),
+            kind: CommandKind::Kernel,
+            queued: 1.0,
+            submit: 1.001,
+            start: 1.002,
+            end: 1.010,
+            counters: None,
+            cost: None,
+            profile: None,
+        };
+        assert!((e.duration().as_secs_f64() - 0.008).abs() < 1e-12);
+        assert!((e.queue_overhead().as_secs_f64() - 0.002).abs() < 1e-12);
+        assert!((e.millis() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_spans_clamp_to_zero() {
+        let e = Event {
+            name: "k".into(),
+            kind: CommandKind::Kernel,
+            queued: 2.0,
+            submit: 2.0,
+            start: 2.0,
+            end: 1.0, // corrupt ordering must not panic
+            counters: None,
+            cost: None,
+            profile: None,
+        };
+        assert_eq!(e.duration(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,115 @@
+//! Kernels: the unit a command queue launches over an ND-range.
+//!
+//! A [`Kernel`] executes one work-group at a time ([`Kernel::run_group`]);
+//! the queue decides how groups are scheduled (Rayon across host threads).
+//! Every kernel also reports a [`KernelProfile`] — the architecture-
+//! independent workload characterization the simulated backend feeds to the
+//! timing model. The dwarf benchmarks implement `Kernel` directly; ad-hoc
+//! host programs can wrap a per-work-item closure in [`ClosureKernel`].
+
+use crate::ndrange::{WorkGroup, WorkItem};
+use eod_devsim::profile::KernelProfile;
+
+/// A device kernel.
+pub trait Kernel: Sync {
+    /// Kernel name, as `clCreateKernel` would know it.
+    fn name(&self) -> &str;
+
+    /// Architecture-independent profile of one launch over the range it was
+    /// built for. The simulated backend times this; the native backend
+    /// ignores it.
+    fn profile(&self) -> KernelProfile;
+
+    /// Execute all work-items of one work-group, in local-id order.
+    ///
+    /// Work-groups may run concurrently; as in OpenCL, distinct work-items
+    /// must write disjoint buffer elements unless they use atomic
+    /// read-modify-write helpers.
+    fn run_group(&self, group: &WorkGroup);
+}
+
+/// A kernel defined by a per-work-item closure.
+///
+/// Useful for host programs and tests; the dwarf benchmarks implement
+/// [`Kernel`] directly so they can compute exact profiles.
+pub struct ClosureKernel<F: Fn(&WorkItem) + Sync> {
+    name: String,
+    profile: KernelProfile,
+    f: F,
+}
+
+impl<F: Fn(&WorkItem) + Sync> ClosureKernel<F> {
+    /// Wrap a closure. `work_items` seeds a minimal default profile (one
+    /// flop and eight bytes of traffic per item); use
+    /// [`ClosureKernel::with_profile`] for a faithful one.
+    pub fn new(name: impl Into<String>, work_items: u64, f: F) -> Self {
+        let name = name.into();
+        let mut profile = KernelProfile::new(name.clone());
+        profile.work_items = work_items.max(1);
+        profile.flops = work_items as f64;
+        profile.bytes_read = work_items as f64 * 4.0;
+        profile.bytes_written = work_items as f64 * 4.0;
+        profile.working_set = work_items * 8;
+        Self { name, profile, f }
+    }
+
+    /// Replace the default profile with an exact one.
+    pub fn with_profile(mut self, profile: KernelProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+}
+
+impl<F: Fn(&WorkItem) + Sync> Kernel for ClosureKernel<F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn profile(&self) -> KernelProfile {
+        self.profile.clone()
+    }
+
+    fn run_group(&self, group: &WorkGroup) {
+        for item in group.items() {
+            (self.f)(&item);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ndrange::NdRange;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn closure_kernel_visits_all_items() {
+        let counter = AtomicUsize::new(0);
+        let k = ClosureKernel::new("count", 64, |_item: &WorkItem| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        let range = NdRange::d1(64, 8);
+        for g in range.work_groups() {
+            k.run_group(&g);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        assert_eq!(k.name(), "count");
+    }
+
+    #[test]
+    fn default_profile_is_valid() {
+        let k = ClosureKernel::new("x", 128, |_item: &WorkItem| {});
+        let p = k.profile();
+        assert!(p.validate().is_ok());
+        assert_eq!(p.work_items, 128);
+    }
+
+    #[test]
+    fn with_profile_overrides() {
+        let mut custom = KernelProfile::new("y");
+        custom.flops = 999.0;
+        custom.work_items = 4;
+        let k = ClosureKernel::new("y", 4, |_item: &WorkItem| {}).with_profile(custom);
+        assert_eq!(k.profile().flops, 999.0);
+    }
+}

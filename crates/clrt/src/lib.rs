@@ -1,0 +1,75 @@
+//! `eod-clrt` — an OpenCL-style heterogeneous runtime, from scratch in Rust.
+//!
+//! The Extended OpenDwarfs suite is a set of OpenCL host programs + kernels;
+//! what makes it portable is the OpenCL *host API contract*: platforms
+//! enumerate devices, contexts own buffers, in-order command queues accept
+//! buffer transfers and ND-range kernel launches, and profiling events report
+//! `QUEUED`/`SUBMIT`/`START`/`END` timestamps. This crate reimplements that
+//! contract so every benchmark in `eod-dwarfs` runs unmodified on:
+//!
+//! * the **native CPU backend** — kernels really execute, work-groups are
+//!   scheduled across host threads with Rayon (the same shape as Intel's
+//!   OpenCL CPU driver, which fissions work-groups over TBB), and events
+//!   carry real wall-clock timestamps;
+//! * the **simulated accelerator backend** — one device per Table 1 entry.
+//!   Kernels still really execute (so results stay correct and verifiable),
+//!   but event timestamps come from `eod-devsim`'s calibrated timing model
+//!   plus its measurement-noise model, and hardware counters are synthesized
+//!   to match.
+//!
+//! Device memory is modeled soundly: a [`buffer::Buffer`] stores scalars as
+//! relaxed atomics (free on x86-64: a relaxed load/store compiles to a plain
+//! `mov`), so concurrent work-items can write disjoint elements safely —
+//! exactly the discipline OpenCL kernels follow — without any `unsafe`.
+//!
+//! ```
+//! use eod_clrt::prelude::*;
+//!
+//! let platform = Platform::simulated();
+//! let device = platform.device_by_name("GTX 1080").unwrap();
+//! let ctx = Context::new(device);
+//! let queue = CommandQueue::new(&ctx).with_profiling();
+//!
+//! // A SAXPY kernel over 1024 work-items.
+//! let x = ctx.create_buffer_from(&vec![1.0f32; 1024]).unwrap();
+//! let y = ctx.create_buffer_from(&vec![2.0f32; 1024]).unwrap();
+//! let k = ClosureKernel::new("saxpy", 1024, {
+//!     let (x, y) = (x.view(), y.view());
+//!     move |item: &WorkItem| {
+//!         let i = item.global_id(0);
+//!         y.set(i, y.get(i) + 2.0 * x.get(i));
+//!     }
+//! });
+//! let ev = queue.enqueue_kernel(&k, &NdRange::d1(1024, 64)).unwrap();
+//! assert!(ev.duration().as_nanos() > 0);
+//! let mut out = vec![0.0f32; 1024];
+//! queue.enqueue_read_buffer(&y, &mut out).unwrap();
+//! assert!(out.iter().all(|&v| v == 4.0));
+//! ```
+
+pub mod buffer;
+pub mod context;
+pub mod device;
+pub mod error;
+pub mod event;
+pub mod kernel;
+pub mod ndrange;
+pub mod platform;
+pub mod queue;
+pub mod scalar;
+
+/// Everything a benchmark host program needs.
+pub mod prelude {
+    pub use crate::buffer::{Buffer, BufView};
+    pub use crate::context::Context;
+    pub use crate::device::{Backend, Device};
+    pub use crate::error::{Error, Result};
+    pub use crate::event::{CommandKind, Event};
+    pub use crate::kernel::{ClosureKernel, Kernel};
+    pub use crate::ndrange::{NdRange, WorkGroup, WorkItem};
+    pub use crate::platform::Platform;
+    pub use crate::queue::CommandQueue;
+    pub use crate::scalar::Scalar;
+}
+
+pub use prelude::*;

@@ -1,0 +1,273 @@
+//! ND-range index spaces, work-groups and work-items.
+//!
+//! OpenCL launches kernels over a 1-, 2- or 3-dimensional *global* index
+//! space partitioned into *work-groups* of a *local* size; each work-item
+//! knows its global id, local id, and group id per dimension. The paper's
+//! benchmarks use 1D (kmeans, crc, csr, fft, gem, nqueens) and 2D (lud, nw,
+//! srad, dwt, hmm) ranges, and several depend on work-group structure (lud's
+//! blocked kernels, nw's diagonal blocks), so the full decomposition is
+//! implemented here.
+
+use crate::error::{Error, Result};
+
+/// A kernel launch geometry: global size and work-group (local) size per
+/// dimension. Unused dimensions are 1, as in OpenCL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NdRange {
+    /// Number of dimensions actually used (1–3).
+    pub dims: usize,
+    /// Global work size per dimension.
+    pub global: [usize; 3],
+    /// Local (work-group) size per dimension.
+    pub local: [usize; 3],
+}
+
+impl NdRange {
+    /// 1D range: `global` items in groups of `local`.
+    pub fn d1(global: usize, local: usize) -> Self {
+        Self {
+            dims: 1,
+            global: [global, 1, 1],
+            local: [local, 1, 1],
+        }
+    }
+
+    /// 2D range.
+    pub fn d2(gx: usize, gy: usize, lx: usize, ly: usize) -> Self {
+        Self {
+            dims: 2,
+            global: [gx, gy, 1],
+            local: [lx, ly, 1],
+        }
+    }
+
+    /// 3D range.
+    pub fn d3(g: [usize; 3], l: [usize; 3]) -> Self {
+        Self {
+            dims: 3,
+            global: g,
+            local: l,
+        }
+    }
+
+    /// Validate the launch geometry the way `clEnqueueNDRangeKernel` does:
+    /// non-zero sizes, local divides global in every dimension, and the
+    /// group volume does not exceed `max_group_size`.
+    pub fn validate(&self, max_group_size: usize) -> Result<()> {
+        if self.dims == 0 || self.dims > 3 {
+            return Err(Error::InvalidValue(format!("dims = {}", self.dims)));
+        }
+        for d in 0..self.dims {
+            if self.global[d] == 0 || self.local[d] == 0 {
+                return Err(Error::InvalidWorkGroupSize(format!(
+                    "zero size in dim {d}: global {}, local {}",
+                    self.global[d], self.local[d]
+                )));
+            }
+            if self.global[d] % self.local[d] != 0 {
+                return Err(Error::InvalidWorkGroupSize(format!(
+                    "local {} does not divide global {} in dim {d}",
+                    self.local[d], self.global[d]
+                )));
+            }
+        }
+        if self.group_volume() > max_group_size {
+            return Err(Error::InvalidWorkGroupSize(format!(
+                "group volume {} exceeds device maximum {max_group_size}",
+                self.group_volume()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Total work-items in the launch.
+    pub fn global_volume(&self) -> usize {
+        self.global[0] * self.global[1] * self.global[2]
+    }
+
+    /// Work-items per group.
+    pub fn group_volume(&self) -> usize {
+        self.local[0] * self.local[1] * self.local[2]
+    }
+
+    /// Number of work-groups per dimension.
+    pub fn groups(&self) -> [usize; 3] {
+        [
+            self.global[0] / self.local[0],
+            self.global[1] / self.local[1],
+            self.global[2] / self.local[2],
+        ]
+    }
+
+    /// Total number of work-groups.
+    pub fn group_count(&self) -> usize {
+        let g = self.groups();
+        g[0] * g[1] * g[2]
+    }
+
+    /// Iterate over all work-groups in row-major order.
+    pub fn work_groups(&self) -> impl Iterator<Item = WorkGroup> + '_ {
+        let groups = self.groups();
+        (0..self.group_count()).map(move |flat| {
+            let gz = flat / (groups[0] * groups[1]);
+            let rem = flat % (groups[0] * groups[1]);
+            let gy = rem / groups[0];
+            let gx = rem % groups[0];
+            WorkGroup {
+                range: *self,
+                group_id: [gx, gy, gz],
+            }
+        })
+    }
+}
+
+/// One work-group of a launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkGroup {
+    /// The launch geometry this group belongs to.
+    pub range: NdRange,
+    /// Group id per dimension.
+    pub group_id: [usize; 3],
+}
+
+impl WorkGroup {
+    /// Iterate over this group's work-items in row-major local order.
+    pub fn items(&self) -> impl Iterator<Item = WorkItem> + '_ {
+        let l = self.range.local;
+        (0..self.range.group_volume()).map(move |flat| {
+            let lz = flat / (l[0] * l[1]);
+            let rem = flat % (l[0] * l[1]);
+            let ly = rem / l[0];
+            let lx = rem % l[0];
+            let local = [lx, ly, lz];
+            let global = [
+                self.group_id[0] * l[0] + lx,
+                self.group_id[1] * l[1] + ly,
+                self.group_id[2] * l[2] + lz,
+            ];
+            WorkItem {
+                global,
+                local,
+                group: self.group_id,
+                range: self.range,
+            }
+        })
+    }
+
+    /// Group id in dimension `d` (like `get_group_id`).
+    pub fn group_id(&self, d: usize) -> usize {
+        self.group_id[d]
+    }
+}
+
+/// One work-item's view of the index space — the arguments OpenCL exposes
+/// through `get_global_id` and friends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkItem {
+    /// Global id per dimension.
+    pub global: [usize; 3],
+    /// Local id within the group per dimension.
+    pub local: [usize; 3],
+    /// Group id per dimension.
+    pub group: [usize; 3],
+    /// The launch geometry.
+    pub range: NdRange,
+}
+
+impl WorkItem {
+    /// `get_global_id(d)`.
+    #[inline]
+    pub fn global_id(&self, d: usize) -> usize {
+        self.global[d]
+    }
+
+    /// `get_local_id(d)`.
+    #[inline]
+    pub fn local_id(&self, d: usize) -> usize {
+        self.local[d]
+    }
+
+    /// `get_group_id(d)`.
+    #[inline]
+    pub fn group_id(&self, d: usize) -> usize {
+        self.group[d]
+    }
+
+    /// `get_global_size(d)`.
+    #[inline]
+    pub fn global_size(&self, d: usize) -> usize {
+        self.range.global[d]
+    }
+
+    /// `get_local_size(d)`.
+    #[inline]
+    pub fn local_size(&self, d: usize) -> usize {
+        self.range.local[d]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d1_volume_and_groups() {
+        let r = NdRange::d1(1024, 64);
+        assert_eq!(r.global_volume(), 1024);
+        assert_eq!(r.group_volume(), 64);
+        assert_eq!(r.group_count(), 16);
+        assert!(r.validate(256).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_geometry() {
+        assert!(NdRange::d1(100, 64).validate(256).is_err(), "64 ∤ 100");
+        assert!(NdRange::d1(0, 1).validate(256).is_err(), "zero global");
+        assert!(NdRange::d1(64, 0).validate(256).is_err(), "zero local");
+        assert!(
+            NdRange::d2(64, 64, 32, 32).validate(256).is_err(),
+            "1024-item group exceeds max 256"
+        );
+        assert!(NdRange::d2(64, 64, 16, 16).validate(256).is_ok());
+    }
+
+    #[test]
+    fn every_work_item_visited_exactly_once_2d() {
+        let r = NdRange::d2(8, 6, 4, 2);
+        let mut seen = vec![false; r.global_volume()];
+        for g in r.work_groups() {
+            for item in g.items() {
+                let idx = item.global_id(1) * r.global[0] + item.global_id(0);
+                assert!(!seen[idx], "duplicate visit at {:?}", item.global);
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&v| v), "missed items");
+    }
+
+    #[test]
+    fn ids_are_consistent() {
+        let r = NdRange::d2(8, 4, 4, 2);
+        for g in r.work_groups() {
+            for item in g.items() {
+                for d in 0..2 {
+                    assert_eq!(
+                        item.global_id(d),
+                        item.group_id(d) * item.local_size(d) + item.local_id(d)
+                    );
+                    assert!(item.local_id(d) < item.local_size(d));
+                    assert!(item.global_id(d) < item.global_size(d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_count_3d() {
+        let r = NdRange::d3([4, 4, 4], [2, 2, 2]);
+        assert_eq!(r.group_count(), 8);
+        assert_eq!(r.work_groups().count(), 8);
+        let total: usize = r.work_groups().map(|g| g.items().count()).sum();
+        assert_eq!(total, 64);
+    }
+}

@@ -1,0 +1,135 @@
+//! Platform enumeration and the paper's device-selection convention.
+//!
+//! §4.4: "Each Device can be selected in a uniform way between applications
+//! using the same notation … `-p 1 -d 0 -t 0` for the Intel Skylake CPU,
+//! where p and d are the integer identifier of the platform and device."
+//! We expose two platforms: platform 0 is the native host, platform 1 is
+//! the simulated Table 1 fleet; `-d` indexes devices in figure order and
+//! `-t` (device type) filters by accelerator class the way OpenCL's
+//! `CL_DEVICE_TYPE` filter does.
+
+use crate::device::Device;
+use crate::error::{Error, Result};
+use eod_devsim::catalog::{AcceleratorClass, DeviceId};
+
+/// A named group of devices, like `cl_platform_id`.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    name: String,
+    vendor: String,
+    devices: Vec<Device>,
+}
+
+impl Platform {
+    /// Platform 0: the native host CPU.
+    pub fn native() -> Self {
+        Self {
+            name: "EOD Native".to_string(),
+            vendor: "Extended OpenDwarfs".to_string(),
+            devices: vec![Device::native()],
+        }
+    }
+
+    /// Platform 1: the fifteen simulated Table 1 devices, in figure order.
+    pub fn simulated() -> Self {
+        Self {
+            name: "EOD Simulated Accelerators".to_string(),
+            vendor: "Extended OpenDwarfs".to_string(),
+            devices: DeviceId::all().map(Device::simulated).collect(),
+        }
+    }
+
+    /// All platforms, index-addressable as the paper's `-p` flag.
+    pub fn all() -> Vec<Platform> {
+        vec![Self::native(), Self::simulated()]
+    }
+
+    /// Platform name (`CL_PLATFORM_NAME`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Platform vendor (`CL_PLATFORM_VENDOR`).
+    pub fn vendor(&self) -> &str {
+        &self.vendor
+    }
+
+    /// Devices on this platform.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Look up a device by exact name on this platform.
+    pub fn device_by_name(&self, name: &str) -> Option<Device> {
+        self.devices.iter().find(|d| d.name() == name).cloned()
+    }
+
+    /// The paper's `-p <p> -d <d>` selector over all platforms.
+    pub fn select(p: usize, d: usize) -> Result<Device> {
+        let platforms = Self::all();
+        let platform = platforms
+            .get(p)
+            .ok_or_else(|| Error::DeviceNotFound(format!("platform {p}")))?;
+        platform
+            .devices
+            .get(d)
+            .cloned()
+            .ok_or_else(|| Error::DeviceNotFound(format!("platform {p} device {d}")))
+    }
+
+    /// The `-t` filter: devices of one accelerator class on this platform
+    /// (native host counts as CPU).
+    pub fn devices_of_class(&self, class: AcceleratorClass) -> Vec<Device> {
+        self.devices
+            .iter()
+            .filter(|d| match d.sim_id() {
+                Some(id) => id.spec().class == class,
+                None => class == AcceleratorClass::Cpu,
+            })
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_platforms() {
+        let all = Platform::all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].devices().len(), 1);
+        assert_eq!(all[1].devices().len(), 15);
+    }
+
+    #[test]
+    fn select_mirrors_paper_flags() {
+        // -p 0 -d 0: native host
+        assert!(Platform::select(0, 0).unwrap().is_native());
+        // -p 1 -d 1: second Table 1 device = i7-6700K
+        assert_eq!(Platform::select(1, 1).unwrap().name(), "i7-6700K");
+        // -p 1 -d 4: GTX 1080 (the paper's example GPU)
+        assert_eq!(Platform::select(1, 4).unwrap().name(), "GTX 1080");
+        assert!(Platform::select(2, 0).is_err());
+        assert!(Platform::select(1, 15).is_err());
+    }
+
+    #[test]
+    fn device_by_name() {
+        let sim = Platform::simulated();
+        assert!(sim.device_by_name("R9 Fury X").is_some());
+        assert!(sim.device_by_name("Vega 64").is_none());
+    }
+
+    #[test]
+    fn class_filter() {
+        let sim = Platform::simulated();
+        assert_eq!(sim.devices_of_class(AcceleratorClass::Cpu).len(), 3);
+        assert_eq!(sim.devices_of_class(AcceleratorClass::ConsumerGpu).len(), 8);
+        assert_eq!(sim.devices_of_class(AcceleratorClass::HpcGpu).len(), 3);
+        assert_eq!(sim.devices_of_class(AcceleratorClass::Mic).len(), 1);
+        let native = Platform::native();
+        assert_eq!(native.devices_of_class(AcceleratorClass::Cpu).len(), 1);
+    }
+}

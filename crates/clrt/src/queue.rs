@@ -1,0 +1,377 @@
+//! In-order command queues.
+//!
+//! A [`CommandQueue`] executes commands synchronously in submission order
+//! (OpenCL's default in-order semantics — the only mode the OpenDwarfs
+//! benchmarks use) and, when profiling is enabled, returns an [`Event`] per
+//! command with `QUEUED`/`SUBMIT`/`START`/`END` timestamps on the queue's
+//! clock.
+//!
+//! Work-group scheduling uses Rayon: groups of one launch execute in
+//! parallel across host threads, work-items within a group run in local-id
+//! order — the same decomposition Intel's OpenCL CPU runtime applies.
+//! Simulated devices execute identically (results must be real) but are
+//! *timed* by the `eod-devsim` model, with the queue clock advancing in
+//! modeled time.
+
+use crate::buffer::Buffer;
+use crate::context::Context;
+use crate::device::{Backend, Device};
+use crate::error::{Error, Result};
+use crate::event::{CommandKind, Event};
+use crate::kernel::Kernel;
+use crate::ndrange::NdRange;
+use crate::scalar::Scalar;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// An in-order command queue with optional profiling.
+pub struct CommandQueue {
+    ctx: Context,
+    profiling: bool,
+    /// Queue clock in seconds: wall-anchored for native, modeled for
+    /// simulated devices.
+    clock: Mutex<f64>,
+    /// Replay mode (simulated devices only): skip functional re-execution of
+    /// kernels and advance modeled time only. See [`CommandQueue::set_replay`].
+    replay: AtomicBool,
+}
+
+impl CommandQueue {
+    /// Create a queue on a context (profiling disabled, as in OpenCL).
+    pub fn new(ctx: &Context) -> Self {
+        Self {
+            ctx: ctx.clone(),
+            profiling: false,
+            clock: Mutex::new(0.0),
+            replay: AtomicBool::new(false),
+        }
+    }
+
+    /// Enable or disable replay mode.
+    ///
+    /// Benchmark iterations are idempotent (same inputs, same outputs), so a
+    /// simulated device that has executed an iteration once — and had its
+    /// results verified — does not need to recompute it to *time* the next
+    /// 49 samples: in replay mode, `enqueue_kernel` skips the functional
+    /// execution and only draws a fresh modeled time from the device's
+    /// noise stream. This keeps figure regeneration at `large` problem
+    /// sizes tractable without weakening correctness checks (the first
+    /// iteration of every run is always executed for real). Replay is a
+    /// no-op on the native backend, where timing *is* the execution.
+    pub fn set_replay(&self, on: bool) {
+        self.replay.store(on, Ordering::Relaxed);
+    }
+
+    /// Is replay mode on?
+    pub fn replay(&self) -> bool {
+        self.replay.load(Ordering::Relaxed)
+    }
+
+    /// Enable profiling (`CL_QUEUE_PROFILING_ENABLE`).
+    pub fn with_profiling(mut self) -> Self {
+        self.profiling = true;
+        self
+    }
+
+    /// The device this queue feeds.
+    pub fn device(&self) -> &Device {
+        self.ctx.device()
+    }
+
+    /// Seconds elapsed on the queue clock (modeled time for simulated
+    /// devices — the harness reads this as "device wall time").
+    pub fn clock_seconds(&self) -> f64 {
+        *self.clock.lock()
+    }
+
+    /// Block until all enqueued commands complete. Execution is synchronous
+    /// in this runtime, so this is a fence only in the API sense.
+    pub fn finish(&self) {}
+
+    fn advance_clock(&self, seconds: f64) -> (f64, f64) {
+        let mut clock = self.clock.lock();
+        let start = *clock;
+        *clock += seconds;
+        (start, *clock)
+    }
+
+    fn make_event(
+        &self,
+        name: String,
+        kind: CommandKind,
+        queued: f64,
+        start: f64,
+        end: f64,
+    ) -> Event {
+        Event {
+            name,
+            kind,
+            queued,
+            submit: queued,
+            start,
+            end,
+            counters: None,
+            cost: None,
+            profile: None,
+        }
+    }
+
+    /// Launch a kernel over an ND-range (`clEnqueueNDRangeKernel`).
+    pub fn enqueue_kernel(&self, kernel: &dyn Kernel, range: &NdRange) -> Result<Event> {
+        range.validate(self.device().max_work_group_size())?;
+        let profile = kernel.profile();
+        profile
+            .validate()
+            .map_err(Error::InvalidValue)?;
+
+        let queued = self.clock_seconds();
+        let groups: Vec<_> = range.work_groups().collect();
+
+        match self.device().backend() {
+            Backend::NativeCpu => {
+                let wall = Instant::now();
+                groups.par_iter().for_each(|g| kernel.run_group(g));
+                let elapsed = wall.elapsed().as_secs_f64();
+                let (start, end) = self.advance_clock(elapsed);
+                let mut ev =
+                    self.make_event(kernel.name().to_string(), CommandKind::Kernel, queued, start, end);
+                ev.profile = Some(profile);
+                Ok(ev)
+            }
+            Backend::Simulated(sim) => {
+                // Real execution for correct results — unless this queue is
+                // replaying an already-executed, verified iteration.
+                if !self.replay() {
+                    groups.par_iter().for_each(|g| kernel.run_group(g));
+                }
+                // Modeled time for the event.
+                let cost = sim.noisy_cost(&profile);
+                let counters = sim.counters(&profile, &cost);
+                let (start, end) = self.advance_clock(cost.total_s);
+                let mut ev = self.make_event(
+                    kernel.name().to_string(),
+                    CommandKind::Kernel,
+                    queued,
+                    start,
+                    end,
+                );
+                ev.counters = Some(counters);
+                ev.cost = Some(cost);
+                ev.profile = Some(profile);
+                Ok(ev)
+            }
+        }
+    }
+
+    /// Copy host data into a buffer (`clEnqueueWriteBuffer`).
+    pub fn enqueue_write_buffer<T: Scalar>(&self, buf: &Buffer<T>, data: &[T]) -> Result<Event> {
+        if data.len() != buf.len() {
+            return Err(Error::InvalidBufferSize(format!(
+                "write of {} elements into buffer of {}",
+                data.len(),
+                buf.len()
+            )));
+        }
+        let queued = self.clock_seconds();
+        match self.device().backend() {
+            Backend::NativeCpu => {
+                let wall = Instant::now();
+                buf.copy_from_slice(data);
+                let elapsed = wall.elapsed().as_secs_f64();
+                let (start, end) = self.advance_clock(elapsed);
+                Ok(self.make_event("write".into(), CommandKind::WriteBuffer, queued, start, end))
+            }
+            Backend::Simulated(sim) => {
+                buf.copy_from_slice(data);
+                let t = sim.transfer.transfer_time(buf.bytes()).as_secs_f64();
+                let (start, end) = self.advance_clock(t);
+                Ok(self.make_event("write".into(), CommandKind::WriteBuffer, queued, start, end))
+            }
+        }
+    }
+
+    /// Copy a buffer back to host memory (`clEnqueueReadBuffer`).
+    pub fn enqueue_read_buffer<T: Scalar>(&self, buf: &Buffer<T>, out: &mut [T]) -> Result<Event> {
+        if out.len() != buf.len() {
+            return Err(Error::InvalidBufferSize(format!(
+                "read of {} elements from buffer of {}",
+                out.len(),
+                buf.len()
+            )));
+        }
+        let queued = self.clock_seconds();
+        match self.device().backend() {
+            Backend::NativeCpu => {
+                let wall = Instant::now();
+                buf.copy_to_slice(out);
+                let elapsed = wall.elapsed().as_secs_f64();
+                let (start, end) = self.advance_clock(elapsed);
+                Ok(self.make_event("read".into(), CommandKind::ReadBuffer, queued, start, end))
+            }
+            Backend::Simulated(sim) => {
+                buf.copy_to_slice(out);
+                let t = sim.transfer.transfer_time(buf.bytes()).as_secs_f64();
+                let (start, end) = self.advance_clock(t);
+                Ok(self.make_event("read".into(), CommandKind::ReadBuffer, queued, start, end))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::ClosureKernel;
+    use crate::ndrange::WorkItem;
+    use crate::platform::Platform;
+    use eod_devsim::catalog::DeviceId;
+
+    fn saxpy_on(device: Device) -> (Vec<f32>, Event) {
+        let ctx = Context::new(device);
+        let queue = CommandQueue::new(&ctx).with_profiling();
+        let n = 4096;
+        let x = ctx.create_buffer_from(&vec![3.0f32; n]).unwrap();
+        let y = ctx.create_buffer_from(&vec![1.0f32; n]).unwrap();
+        let k = ClosureKernel::new("saxpy", n as u64, {
+            let (x, y) = (x.view(), y.view());
+            move |item: &WorkItem| {
+                let i = item.global_id(0);
+                y.set(i, y.get(i) + 2.0 * x.get(i));
+            }
+        });
+        let ev = queue.enqueue_kernel(&k, &NdRange::d1(n, 64)).unwrap();
+        let mut out = vec![0.0f32; n];
+        queue.enqueue_read_buffer(&y, &mut out).unwrap();
+        (out, ev)
+    }
+
+    #[test]
+    fn native_execution_is_correct_and_timed() {
+        let (out, ev) = saxpy_on(Device::native());
+        assert!(out.iter().all(|&v| v == 7.0));
+        assert!(ev.end >= ev.start);
+        assert_eq!(ev.kind, CommandKind::Kernel);
+        assert!(ev.counters.is_none(), "native backend has no PAPI synth");
+    }
+
+    #[test]
+    fn simulated_execution_is_correct_with_modeled_time() {
+        let gtx = Platform::simulated().device_by_name("GTX 1080").unwrap();
+        let (out, ev) = saxpy_on(gtx);
+        assert!(out.iter().all(|&v| v == 7.0), "results must still be real");
+        // Modeled time must include at least the 9 µs launch overhead.
+        assert!(ev.duration().as_secs_f64() >= 8e-6, "{:?}", ev.duration());
+        assert!(ev.counters.is_some());
+        assert!(ev.cost.is_some());
+    }
+
+    #[test]
+    fn queue_clock_is_monotone_and_cumulative() {
+        let id = DeviceId::by_name("i7-6700K").unwrap();
+        let ctx = Context::new(Device::simulated(id));
+        let queue = CommandQueue::new(&ctx).with_profiling();
+        let b = ctx.create_buffer::<f32>(1024).unwrap();
+        let data = vec![0.0f32; 1024];
+        let e1 = queue.enqueue_write_buffer(&b, &data).unwrap();
+        let e2 = queue.enqueue_write_buffer(&b, &data).unwrap();
+        assert!(e2.queued >= e1.end, "in-order queue");
+        assert!(queue.clock_seconds() >= e2.end);
+    }
+
+    #[test]
+    fn kernel_rejects_bad_range() {
+        let ctx = Context::new(Device::native());
+        let queue = CommandQueue::new(&ctx);
+        let k = ClosureKernel::new("noop", 4, |_item: &WorkItem| {});
+        let err = queue.enqueue_kernel(&k, &NdRange::d1(100, 64));
+        assert!(matches!(err, Err(Error::InvalidWorkGroupSize(_))));
+    }
+
+    #[test]
+    fn transfer_size_mismatch_rejected() {
+        let ctx = Context::new(Device::native());
+        let queue = CommandQueue::new(&ctx);
+        let b = ctx.create_buffer::<u32>(10).unwrap();
+        assert!(queue.enqueue_write_buffer(&b, &[1u32; 5]).is_err());
+        let mut out = [0u32; 3];
+        assert!(queue.enqueue_read_buffer(&b, &mut out).is_err());
+    }
+
+    #[test]
+    fn simulated_transfers_model_pcie() {
+        let gtx = Platform::simulated().device_by_name("GTX 1080").unwrap();
+        let ctx = Context::new(gtx);
+        let queue = CommandQueue::new(&ctx).with_profiling();
+        let n = 1 << 20;
+        let b = ctx.create_buffer::<f32>(n).unwrap();
+        let data = vec![0.0f32; n];
+        let ev = queue.enqueue_write_buffer(&b, &data).unwrap();
+        // 4 MiB over 12 GB/s ≈ 350 µs; allow generous bounds.
+        let t = ev.duration().as_secs_f64();
+        assert!(t > 1e-4 && t < 1e-2, "t = {t}");
+    }
+
+    #[test]
+    fn replay_skips_execution_but_advances_clock() {
+        let gtx = Platform::simulated().device_by_name("GTX 1080").unwrap();
+        let ctx = Context::new(gtx);
+        let queue = CommandQueue::new(&ctx).with_profiling();
+        let n = 256;
+        let counter = ctx.create_buffer::<u32>(n).unwrap();
+        let k = ClosureKernel::new("inc", n as u64, {
+            let c = counter.view();
+            move |item: &WorkItem| {
+                let i = item.global_id(0);
+                c.set(i, c.get(i) + 1);
+            }
+        });
+        let range = NdRange::d1(n, 64);
+        queue.enqueue_kernel(&k, &range).unwrap();
+        assert_eq!(counter.get(0), 1);
+        queue.set_replay(true);
+        let t0 = queue.clock_seconds();
+        let ev = queue.enqueue_kernel(&k, &range).unwrap();
+        assert_eq!(counter.get(0), 1, "replay must not re-execute");
+        assert!(queue.clock_seconds() > t0, "clock must still advance");
+        assert!(ev.duration().as_secs_f64() > 0.0);
+        queue.set_replay(false);
+        queue.enqueue_kernel(&k, &range).unwrap();
+        assert_eq!(counter.get(0), 2, "execution resumes after replay");
+    }
+
+    #[test]
+    fn replay_is_noop_on_native() {
+        let ctx = Context::new(Device::native());
+        let queue = CommandQueue::new(&ctx);
+        queue.set_replay(true);
+        let n = 64;
+        let b = ctx.create_buffer::<u32>(n).unwrap();
+        let k = ClosureKernel::new("fill", n as u64, {
+            let b = b.view();
+            move |item: &WorkItem| b.set(item.global_id(0), 7)
+        });
+        queue.enqueue_kernel(&k, &NdRange::d1(n, 8)).unwrap();
+        assert_eq!(b.get(5), 7, "native backend always executes");
+    }
+
+    #[test]
+    fn two_d_kernel_on_native() {
+        let ctx = Context::new(Device::native());
+        let queue = CommandQueue::new(&ctx);
+        let (w, h) = (64, 32);
+        let img = ctx.create_buffer::<f32>(w * h).unwrap();
+        let k = ClosureKernel::new("fill2d", (w * h) as u64, {
+            let img = img.view();
+            move |item: &WorkItem| {
+                let (x, y) = (item.global_id(0), item.global_id(1));
+                img.set(y * w + x, (x + y) as f32);
+            }
+        });
+        queue.enqueue_kernel(&k, &NdRange::d2(w, h, 16, 8)).unwrap();
+        assert_eq!(img.get(0), 0.0);
+        assert_eq!(img.get(1), 1.0);
+        assert_eq!(img.get(w * h - 1), (w - 1 + h - 1) as f32);
+    }
+}

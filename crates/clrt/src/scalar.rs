@@ -1,0 +1,156 @@
+//! Scalar element types storable in device buffers.
+//!
+//! Device memory must be readable and writable concurrently by many
+//! work-items. Rust's sound way to do that without locks is atomics; on
+//! x86-64 a `Relaxed` load or store of a machine word compiles to a plain
+//! `mov`, so this costs nothing over a `Vec<f32>` while being data-race-free
+//! by construction (see *Rust Atomics and Locks*, ch. 2–3). Floats are
+//! stored bit-cast into the same-width atomic integer.
+//!
+//! Kernels that intentionally accumulate into shared locations (histogram-
+//! style) should use [`Scalar::fetch_add_f64`]-style helpers or design
+//! disjoint writes, as OpenCL kernels do.
+
+use std::sync::atomic::{AtomicI32, AtomicI64, AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+/// A POD scalar with an atomic storage representation.
+pub trait Scalar: Copy + Default + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+    /// The atomic cell type backing one element.
+    type Atomic: Send + Sync;
+
+    /// Size of one element in bytes (as allocated on the device).
+    const BYTES: usize;
+
+    /// A fresh cell holding `v`.
+    fn new_cell(v: Self) -> Self::Atomic;
+    /// Relaxed load.
+    fn load(cell: &Self::Atomic) -> Self;
+    /// Relaxed store.
+    fn store(cell: &Self::Atomic, v: Self);
+}
+
+macro_rules! int_scalar {
+    ($t:ty, $atomic:ty) => {
+        impl Scalar for $t {
+            type Atomic = $atomic;
+            const BYTES: usize = std::mem::size_of::<$t>();
+
+            #[inline]
+            fn new_cell(v: Self) -> Self::Atomic {
+                <$atomic>::new(v)
+            }
+            #[inline]
+            fn load(cell: &Self::Atomic) -> Self {
+                cell.load(Ordering::Relaxed)
+            }
+            #[inline]
+            fn store(cell: &Self::Atomic, v: Self) {
+                cell.store(v, Ordering::Relaxed)
+            }
+        }
+    };
+}
+
+int_scalar!(u8, AtomicU8);
+int_scalar!(u32, AtomicU32);
+int_scalar!(i32, AtomicI32);
+int_scalar!(u64, AtomicU64);
+int_scalar!(i64, AtomicI64);
+
+impl Scalar for f32 {
+    type Atomic = AtomicU32;
+    const BYTES: usize = 4;
+
+    #[inline]
+    fn new_cell(v: Self) -> Self::Atomic {
+        AtomicU32::new(v.to_bits())
+    }
+    #[inline]
+    fn load(cell: &Self::Atomic) -> Self {
+        f32::from_bits(cell.load(Ordering::Relaxed))
+    }
+    #[inline]
+    fn store(cell: &Self::Atomic, v: Self) {
+        cell.store(v.to_bits(), Ordering::Relaxed)
+    }
+}
+
+impl Scalar for f64 {
+    type Atomic = AtomicU64;
+    const BYTES: usize = 8;
+
+    #[inline]
+    fn new_cell(v: Self) -> Self::Atomic {
+        AtomicU64::new(v.to_bits())
+    }
+    #[inline]
+    fn load(cell: &Self::Atomic) -> Self {
+        f64::from_bits(cell.load(Ordering::Relaxed))
+    }
+    #[inline]
+    fn store(cell: &Self::Atomic, v: Self) {
+        cell.store(v.to_bits(), Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Scalar>(v: T) {
+        let cell = T::new_cell(v);
+        assert_eq!(T::load(&cell), v);
+        let cell2 = T::new_cell(T::default());
+        T::store(&cell2, v);
+        assert_eq!(T::load(&cell2), v);
+    }
+
+    #[test]
+    fn all_scalars_roundtrip() {
+        roundtrip(42u8);
+        roundtrip(-7i32);
+        roundtrip(0xdead_beefu32);
+        roundtrip(u64::MAX);
+        roundtrip(i64::MIN);
+        roundtrip(std::f32::consts::PI);
+        roundtrip(-std::f64::consts::E);
+    }
+
+    #[test]
+    fn float_bit_patterns_survive() {
+        // Negative zero and subnormals must round-trip exactly.
+        let cell = f32::new_cell(-0.0);
+        assert_eq!(f32::load(&cell).to_bits(), (-0.0f32).to_bits());
+        let tiny = f64::from_bits(1); // smallest subnormal
+        let cell = f64::new_cell(tiny);
+        assert_eq!(f64::load(&cell).to_bits(), 1);
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(<f32 as Scalar>::BYTES, 4);
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+        assert_eq!(<u8 as Scalar>::BYTES, 1);
+        assert_eq!(<i32 as Scalar>::BYTES, 4);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes_are_safe() {
+        use std::sync::Arc;
+        let cells: Arc<Vec<AtomicU32>> =
+            Arc::new((0..1024).map(|_| AtomicU32::new(0)).collect());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cells = Arc::clone(&cells);
+                s.spawn(move || {
+                    for i in (t..1024).step_by(4) {
+                        f32::store(&cells[i], i as f32);
+                    }
+                });
+            }
+        });
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(f32::load(c), i as f32);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the runtime substrate.
+
+use eod_clrt::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// Buffers round-trip arbitrary f32 bit patterns through device memory.
+    #[test]
+    fn buffer_roundtrip_f32(data in prop::collection::vec(any::<u32>(), 1..500)) {
+        // Bit patterns (incl. NaNs) must survive storage exactly.
+        let as_f32: Vec<f32> = data.iter().map(|&b| f32::from_bits(b)).collect();
+        let ctx = Context::new(Device::native());
+        let queue = CommandQueue::new(&ctx);
+        let buf = ctx.create_buffer::<f32>(as_f32.len()).unwrap();
+        queue.enqueue_write_buffer(&buf, &as_f32).unwrap();
+        let mut out = vec![0.0f32; as_f32.len()];
+        queue.enqueue_read_buffer(&buf, &mut out).unwrap();
+        for (a, b) in as_f32.iter().zip(&out) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Every work-item of any valid 1D/2D launch is visited exactly once.
+    #[test]
+    fn ndrange_visits_each_item_once(
+        gx_groups in 1usize..8,
+        gy_groups in 1usize..8,
+        lx in 1usize..8,
+        ly in 1usize..8,
+    ) {
+        let (gx, gy) = (gx_groups * lx, gy_groups * ly);
+        let range = NdRange::d2(gx, gy, lx, ly);
+        prop_assert!(range.validate(1024).is_ok());
+        let ctx = Context::new(Device::native());
+        let queue = CommandQueue::new(&ctx);
+        let hits = ctx.create_buffer::<u32>(gx * gy).unwrap();
+        let k = ClosureKernel::new("count", (gx * gy) as u64, {
+            let hits = hits.view();
+            move |item: &WorkItem| {
+                let idx = item.global_id(1) * gx + item.global_id(0);
+                hits.set(idx, hits.get(idx) + 1);
+            }
+        });
+        queue.enqueue_kernel(&k, &range).unwrap();
+        let out = hits.to_vec();
+        prop_assert!(out.iter().all(|&h| h == 1));
+    }
+
+    /// The context's allocation meter balances to zero after all buffers
+    /// drop, for any allocation sequence.
+    #[test]
+    fn allocation_meter_balances(sizes in prop::collection::vec(1usize..10_000, 1..20)) {
+        let ctx = Context::new(Device::native());
+        {
+            let mut bufs = Vec::new();
+            let mut expected = 0u64;
+            for &s in &sizes {
+                bufs.push(ctx.create_buffer::<f32>(s).unwrap());
+                expected += (s * 4) as u64;
+                prop_assert_eq!(ctx.allocated_bytes(), expected);
+            }
+        }
+        prop_assert_eq!(ctx.allocated_bytes(), 0);
+    }
+
+    /// Simulated-queue clocks advance by exactly the sum of event spans.
+    #[test]
+    fn queue_clock_additivity(launches in 1usize..20) {
+        let device = Platform::simulated().device_by_name("K40m").unwrap();
+        let ctx = Context::new(device);
+        let queue = CommandQueue::new(&ctx).with_profiling();
+        let b = ctx.create_buffer::<f32>(256).unwrap();
+        let k = ClosureKernel::new("noop", 256, {
+            let v = b.view();
+            move |item: &WorkItem| v.set(item.global_id(0), 1.0)
+        });
+        let mut total = 0.0f64;
+        for _ in 0..launches {
+            let ev = queue.enqueue_kernel(&k, &NdRange::d1(256, 64)).unwrap();
+            total += ev.end - ev.start;
+        }
+        prop_assert!((queue.clock_seconds() - total).abs() < 1e-9);
+    }
+
+    /// Invalid local sizes are rejected for any global size they do not
+    /// divide.
+    #[test]
+    fn bad_local_size_rejected(global in 1usize..1000, local in 2usize..64) {
+        prop_assume!(global % local != 0);
+        let range = NdRange::d1(global, local);
+        prop_assert!(range.validate(1024).is_err());
+    }
+}

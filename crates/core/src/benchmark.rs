@@ -1,0 +1,134 @@
+//! The `Benchmark` and `Workload` traits every dwarf implements.
+//!
+//! A [`Benchmark`] is the static description (name, dwarf, supported
+//! sizes); a [`Workload`] is one configured instance at a problem size,
+//! with the lifecycle the paper's methodology prescribes:
+//!
+//! 1. `setup` — host-side generation and host→device transfers (the
+//!    "host setup" and "memory transfer" timing regions);
+//! 2. `run_iteration`, called in a loop for ≥ 2 s — each iteration launches
+//!    the benchmark's kernels and reports their events ("the reported
+//!    iteration time is the sum of all compute time spent on the
+//!    accelerator for all kernels", §5.1);
+//! 3. `verify` — read results back and compare against the serial
+//!    reference (§4.4.2).
+
+use crate::dwarf::Dwarf;
+use crate::sizes::ProblemSize;
+use eod_clrt::prelude::*;
+use std::time::Duration;
+
+/// Events produced by one timed iteration.
+#[derive(Debug, Clone, Default)]
+pub struct IterationOutput {
+    /// All events the iteration enqueued, in order.
+    pub events: Vec<Event>,
+}
+
+impl IterationOutput {
+    /// Collect from a vector of events.
+    pub fn new(events: Vec<Event>) -> Self {
+        Self { events }
+    }
+
+    /// Sum of kernel execution times — the quantity every figure plots.
+    pub fn kernel_time(&self) -> Duration {
+        self.events
+            .iter()
+            .filter(|e| e.kind == CommandKind::Kernel)
+            .map(|e| e.duration())
+            .sum()
+    }
+
+    /// Sum of transfer times (write + read).
+    pub fn transfer_time(&self) -> Duration {
+        self.events
+            .iter()
+            .filter(|e| e.kind != CommandKind::Kernel)
+            .map(|e| e.duration())
+            .sum()
+    }
+
+    /// Number of kernel launches in the iteration.
+    pub fn kernel_launches(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind == CommandKind::Kernel)
+            .count()
+    }
+}
+
+/// One configured benchmark instance.
+pub trait Workload: Send {
+    /// Predicted device-side footprint in bytes (the Eq. 1-style formula),
+    /// available before `setup` so sizing can be checked cheaply.
+    fn footprint_bytes(&self) -> u64;
+
+    /// Allocate device buffers and perform host→device transfers. Returns
+    /// the transfer events. Must be called exactly once before iterating.
+    fn setup(&mut self, ctx: &Context, queue: &CommandQueue) -> Result<Vec<Event>>;
+
+    /// Launch the benchmark's kernels once. Iterations must be idempotent —
+    /// the harness loops this for at least two seconds.
+    fn run_iteration(&mut self, queue: &CommandQueue) -> Result<IterationOutput>;
+
+    /// Read results back and check them against the serial reference.
+    fn verify(&mut self, queue: &CommandQueue) -> std::result::Result<(), String>;
+}
+
+/// A benchmark in the suite.
+pub trait Benchmark: Sync {
+    /// Lowercase name as used in Tables 2–3 and the figures.
+    fn name(&self) -> &'static str;
+
+    /// The Berkeley Dwarf this benchmark represents.
+    fn dwarf(&self) -> Dwarf;
+
+    /// Sizes this benchmark supports. Most support all four; nqueens is
+    /// tiny-only and hmm is validated at tiny only (§4.4.4).
+    fn supported_sizes(&self) -> Vec<ProblemSize> {
+        ProblemSize::all().to_vec()
+    }
+
+    /// Build a workload at a problem size with a deterministic seed.
+    fn workload(&self, size: ProblemSize, seed: u64) -> Box<dyn Workload>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(kind: CommandKind, secs: f64) -> Event {
+        Event {
+            name: "e".into(),
+            kind,
+            queued: 0.0,
+            submit: 0.0,
+            start: 0.0,
+            end: secs,
+            counters: None,
+            cost: None,
+            profile: None,
+        }
+    }
+
+    #[test]
+    fn kernel_time_sums_only_kernels() {
+        let out = IterationOutput::new(vec![
+            event(CommandKind::WriteBuffer, 0.5),
+            event(CommandKind::Kernel, 0.001),
+            event(CommandKind::Kernel, 0.002),
+            event(CommandKind::ReadBuffer, 0.25),
+        ]);
+        assert!((out.kernel_time().as_secs_f64() - 0.003).abs() < 1e-12);
+        assert!((out.transfer_time().as_secs_f64() - 0.75).abs() < 1e-12);
+        assert_eq!(out.kernel_launches(), 2);
+    }
+
+    #[test]
+    fn empty_output() {
+        let out = IterationOutput::default();
+        assert_eq!(out.kernel_time(), Duration::ZERO);
+        assert_eq!(out.kernel_launches(), 0);
+    }
+}

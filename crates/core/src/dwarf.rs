@@ -1,0 +1,168 @@
+//! The 13 Berkeley Dwarfs and the suite's benchmark→dwarf mapping.
+//!
+//! Asanović et al.'s technical report (*The Landscape of Parallel Computing
+//! Research: A View from Berkeley*, 2006) classifies parallel computation
+//! and communication into thirteen recurring patterns. OpenDwarfs organizes
+//! its benchmarks by dwarf, and the paper's §5 names the representative for
+//! each benchmark it evaluates; this module encodes both.
+
+use serde::{Deserialize, Serialize};
+
+/// One of the 13 Berkeley Dwarfs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Dwarf {
+    /// Dense matrix-matrix / matrix-vector computation (lud).
+    DenseLinearAlgebra,
+    /// Sparse matrix computation (csr).
+    SparseLinearAlgebra,
+    /// FFT-like transforms (fft, dwt).
+    SpectralMethods,
+    /// Pairwise interaction computations (gem).
+    NBodyMethods,
+    /// Regular-grid stencils (srad).
+    StructuredGrids,
+    /// Irregular-mesh stencils (not yet covered; see §2 "full
+    /// representation of each dwarf" as the suite's goal).
+    UnstructuredGrids,
+    /// Embarrassingly parallel sampling (the original suite's monte-carlo
+    /// style codes).
+    MapReduce,
+    /// Bit-level logic kernels (crc).
+    CombinationalLogic,
+    /// Graph traversal codes.
+    GraphTraversal,
+    /// Table-filling recurrences (nw).
+    DynamicProgramming,
+    /// Search-tree pruning (nqueens).
+    BacktrackBranchAndBound,
+    /// Probabilistic graphical models (hmm).
+    GraphicalModels,
+    /// State-machine driven codes.
+    FiniteStateMachines,
+}
+
+impl Dwarf {
+    /// All thirteen dwarfs.
+    pub fn all() -> &'static [Dwarf] {
+        &[
+            Dwarf::DenseLinearAlgebra,
+            Dwarf::SparseLinearAlgebra,
+            Dwarf::SpectralMethods,
+            Dwarf::NBodyMethods,
+            Dwarf::StructuredGrids,
+            Dwarf::UnstructuredGrids,
+            Dwarf::MapReduce,
+            Dwarf::CombinationalLogic,
+            Dwarf::GraphTraversal,
+            Dwarf::DynamicProgramming,
+            Dwarf::BacktrackBranchAndBound,
+            Dwarf::GraphicalModels,
+            Dwarf::FiniteStateMachines,
+        ]
+    }
+
+    /// Human-readable name as the paper prints it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dwarf::DenseLinearAlgebra => "Dense Linear Algebra",
+            Dwarf::SparseLinearAlgebra => "Sparse Linear Algebra",
+            Dwarf::SpectralMethods => "Spectral Methods",
+            Dwarf::NBodyMethods => "N-Body Methods",
+            Dwarf::StructuredGrids => "Structured Grid",
+            Dwarf::UnstructuredGrids => "Unstructured Grid",
+            Dwarf::MapReduce => "MapReduce",
+            Dwarf::CombinationalLogic => "Combinational Logic",
+            Dwarf::GraphTraversal => "Graph Traversal",
+            Dwarf::DynamicProgramming => "Dynamic Programming",
+            Dwarf::BacktrackBranchAndBound => "Backtrack & Branch and Bound",
+            Dwarf::GraphicalModels => "Graphical Models",
+            Dwarf::FiniteStateMachines => "Finite State Machines",
+        }
+    }
+
+    /// The paper's predicted performance limiter for the dwarfs it
+    /// discusses (§5.1 cites Asanović: Spectral Methods are memory-latency
+    /// limited, Structured Grids memory-bandwidth limited).
+    pub fn predicted_limit(self) -> Option<&'static str> {
+        match self {
+            Dwarf::SpectralMethods => Some("memory latency"),
+            Dwarf::StructuredGrids => Some("memory bandwidth"),
+            Dwarf::CombinationalLogic => Some("integer throughput"),
+            Dwarf::DenseLinearAlgebra => Some("compute throughput"),
+            Dwarf::SparseLinearAlgebra => Some("memory latency (irregular)"),
+            _ => None,
+        }
+    }
+}
+
+/// Which dwarf each of the eleven evaluated benchmarks represents (§5).
+pub fn dwarf_of_benchmark(name: &str) -> Option<Dwarf> {
+    Some(match name {
+        "kmeans" => Dwarf::MapReduce,
+        "lud" => Dwarf::DenseLinearAlgebra,
+        "csr" => Dwarf::SparseLinearAlgebra,
+        "fft" | "dwt" => Dwarf::SpectralMethods,
+        "srad" => Dwarf::StructuredGrids,
+        "crc" => Dwarf::CombinationalLogic,
+        "nw" => Dwarf::DynamicProgramming,
+        "gem" => Dwarf::NBodyMethods,
+        "nqueens" => Dwarf::BacktrackBranchAndBound,
+        "hmm" => Dwarf::GraphicalModels,
+        _ => return None,
+    })
+}
+
+/// The eleven benchmark names in the paper's reporting order.
+pub fn benchmark_names() -> &'static [&'static str] {
+    &[
+        "kmeans", "lud", "csr", "fft", "dwt", "srad", "crc", "nw", "gem", "nqueens", "hmm",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_dwarfs() {
+        assert_eq!(Dwarf::all().len(), 13);
+        let mut names: Vec<_> = Dwarf::all().iter().map(|d| d.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 13, "names must be unique");
+    }
+
+    #[test]
+    fn eleven_benchmarks_mapped() {
+        assert_eq!(benchmark_names().len(), 11);
+        for &b in benchmark_names() {
+            assert!(dwarf_of_benchmark(b).is_some(), "{b} unmapped");
+        }
+        assert!(dwarf_of_benchmark("linpack").is_none());
+    }
+
+    #[test]
+    fn paper_mapping_spot_checks() {
+        assert_eq!(dwarf_of_benchmark("kmeans"), Some(Dwarf::MapReduce));
+        assert_eq!(dwarf_of_benchmark("fft"), Some(Dwarf::SpectralMethods));
+        assert_eq!(dwarf_of_benchmark("dwt"), Some(Dwarf::SpectralMethods));
+        assert_eq!(dwarf_of_benchmark("crc"), Some(Dwarf::CombinationalLogic));
+        assert_eq!(
+            dwarf_of_benchmark("nqueens"),
+            Some(Dwarf::BacktrackBranchAndBound)
+        );
+    }
+
+    #[test]
+    fn asanovic_predictions_present() {
+        assert_eq!(
+            Dwarf::SpectralMethods.predicted_limit(),
+            Some("memory latency")
+        );
+        assert_eq!(
+            Dwarf::StructuredGrids.predicted_limit(),
+            Some("memory bandwidth")
+        );
+        assert!(Dwarf::GraphTraversal.predicted_limit().is_none());
+    }
+}

@@ -1,0 +1,281 @@
+//! Problem sizes and the Table 2 workload scale parameters Φ.
+//!
+//! §4.4: "For each benchmark, four different problem sizes were selected,
+//! namely tiny, small, medium and large. These problem sizes are based on
+//! the memory hierarchy of the Skylake CPU" — tiny fits the 32 KiB L1 data
+//! cache, small the 256 KiB L2, medium the 8192 KiB L3, and large is at
+//! least 4× the L3 so it must stream from DRAM.
+//!
+//! [`ScaleTable`] is Table 2 verbatim; each benchmark interprets its Φ the
+//! way Table 3 prescribes.
+
+use serde::{Deserialize, Serialize};
+
+/// The four §4.4 problem sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ProblemSize {
+    /// Fits the Skylake 32 KiB L1 data cache.
+    Tiny,
+    /// Fits the 256 KiB L2.
+    Small,
+    /// Fits the 8192 KiB L3.
+    Medium,
+    /// At least 4× the L3 (≥ 32 MiB) — DRAM resident.
+    Large,
+}
+
+impl ProblemSize {
+    /// All four sizes in panel order (left to right in every figure).
+    pub fn all() -> &'static [ProblemSize] {
+        &[
+            ProblemSize::Tiny,
+            ProblemSize::Small,
+            ProblemSize::Medium,
+            ProblemSize::Large,
+        ]
+    }
+
+    /// Lowercase label as printed in the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProblemSize::Tiny => "tiny",
+            ProblemSize::Small => "small",
+            ProblemSize::Medium => "medium",
+            ProblemSize::Large => "large",
+        }
+    }
+
+    /// Parse a figure label.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "tiny" => ProblemSize::Tiny,
+            "small" => ProblemSize::Small,
+            "medium" => ProblemSize::Medium,
+            "large" => ProblemSize::Large,
+            _ => return None,
+        })
+    }
+
+    /// The Skylake cache level this size targets, in KiB of capacity
+    /// (`None` for large, which must exceed caches).
+    pub fn target_cache_kib(self) -> Option<u32> {
+        match self {
+            ProblemSize::Tiny => Some(32),
+            ProblemSize::Small => Some(256),
+            ProblemSize::Medium => Some(8192),
+            ProblemSize::Large => None,
+        }
+    }
+}
+
+/// Table 2 — "OpenDwarfs workload scale parameters Φ".
+///
+/// Each row is `[tiny, small, medium, large]` in the benchmark's own unit.
+/// Rows whose benchmark takes two parameters store them as tuples; gem's
+/// molecule identifiers are strings.
+pub struct ScaleTable;
+
+impl ScaleTable {
+    /// kmeans: number of points Pn (features fixed at 26 by Table 3's
+    /// `-f 26`, clusters fixed at 5 per §4.4.1).
+    pub const KMEANS_POINTS: [usize; 4] = [256, 2048, 65600, 131072];
+    /// kmeans feature count (Table 3: `-f 26`).
+    pub const KMEANS_FEATURES: usize = 26;
+    /// kmeans cluster count (§4.4.1: "the number of clusters is fixed at 5").
+    pub const KMEANS_CLUSTERS: usize = 5;
+
+    /// lud: matrix order.
+    pub const LUD_ORDER: [usize; 4] = [80, 240, 1440, 4096];
+
+    /// csr: matrix order for `createcsr -n Φ` (density 0.5 %, Table 3 note).
+    pub const CSR_ORDER: [usize; 4] = [736, 2416, 14336, 16384];
+    /// csr matrix density (Table 3: `-d 5000` ⇒ 0.5 % dense).
+    pub const CSR_DENSITY: f64 = 0.005;
+
+    /// fft: transform length.
+    pub const FFT_LEN: [usize; 4] = [2048, 16384, 524_288, 2_097_152];
+
+    /// dwt: image width × height.
+    pub const DWT_DIMS: [(usize, usize); 4] =
+        [(72, 54), (200, 150), (1152, 864), (3648, 2736)];
+    /// dwt decomposition levels (Table 3: `-l 3`).
+    pub const DWT_LEVELS: usize = 3;
+
+    /// srad: grid rows, cols.
+    pub const SRAD_DIMS: [(usize, usize); 4] =
+        [(80, 16), (128, 80), (1024, 336), (2048, 1024)];
+
+    /// crc: message length in bytes.
+    pub const CRC_BYTES: [usize; 4] = [2000, 16000, 524_000, 4_194_304];
+    /// crc inner iterations per run (Table 3: `-i 1000`).
+    pub const CRC_INNER_ITERS: usize = 1000;
+
+    /// nw: sequence length.
+    pub const NW_LEN: [usize; 4] = [48, 176, 1008, 4096];
+    /// nw gap penalty (Table 3: `nw Φ 10`).
+    pub const NW_PENALTY: i32 = 10;
+
+    /// gem: molecule identifier per size.
+    pub const GEM_MOLECULES: [&'static str; 4] = ["4TUT", "2D3V", "nucleosome", "1KX5"];
+    /// gem device-side footprints the paper reports per molecule, in KiB
+    /// (§4.4.4) — targets for the synthetic molecule generator.
+    pub const GEM_FOOTPRINT_KIB: [f64; 4] = [31.3, 252.0, 7498.0, 10_970.2];
+
+    /// nqueens: board size (tiny only; "memory footprint scales very slowly
+    /// … significantly compute-bound and only one problem size is tested").
+    pub const NQUEENS_N: usize = 18;
+
+    /// hmm: (states, symbols) per size; only tiny is validated in the paper.
+    pub const HMM_DIMS: [(usize, usize); 4] = [(8, 1), (900, 1), (1012, 1024), (2048, 2048)];
+
+    /// Render the full Table 2 as rows of (benchmark, tiny, small, medium,
+    /// large) strings — used by the `table2` regeneration target.
+    pub fn rows() -> Vec<[String; 5]> {
+        let f = |v: usize| v.to_string();
+        vec![
+            [
+                "kmeans".into(),
+                f(Self::KMEANS_POINTS[0]),
+                f(Self::KMEANS_POINTS[1]),
+                f(Self::KMEANS_POINTS[2]),
+                f(Self::KMEANS_POINTS[3]),
+            ],
+            [
+                "lud".into(),
+                f(Self::LUD_ORDER[0]),
+                f(Self::LUD_ORDER[1]),
+                f(Self::LUD_ORDER[2]),
+                f(Self::LUD_ORDER[3]),
+            ],
+            [
+                "csr".into(),
+                f(Self::CSR_ORDER[0]),
+                f(Self::CSR_ORDER[1]),
+                f(Self::CSR_ORDER[2]),
+                f(Self::CSR_ORDER[3]),
+            ],
+            [
+                "fft".into(),
+                f(Self::FFT_LEN[0]),
+                f(Self::FFT_LEN[1]),
+                f(Self::FFT_LEN[2]),
+                f(Self::FFT_LEN[3]),
+            ],
+            [
+                "dwt".into(),
+                format!("{}x{}", Self::DWT_DIMS[0].0, Self::DWT_DIMS[0].1),
+                format!("{}x{}", Self::DWT_DIMS[1].0, Self::DWT_DIMS[1].1),
+                format!("{}x{}", Self::DWT_DIMS[2].0, Self::DWT_DIMS[2].1),
+                format!("{}x{}", Self::DWT_DIMS[3].0, Self::DWT_DIMS[3].1),
+            ],
+            [
+                "srad".into(),
+                format!("{},{}", Self::SRAD_DIMS[0].0, Self::SRAD_DIMS[0].1),
+                format!("{},{}", Self::SRAD_DIMS[1].0, Self::SRAD_DIMS[1].1),
+                format!("{},{}", Self::SRAD_DIMS[2].0, Self::SRAD_DIMS[2].1),
+                format!("{},{}", Self::SRAD_DIMS[3].0, Self::SRAD_DIMS[3].1),
+            ],
+            [
+                "crc".into(),
+                f(Self::CRC_BYTES[0]),
+                f(Self::CRC_BYTES[1]),
+                f(Self::CRC_BYTES[2]),
+                f(Self::CRC_BYTES[3]),
+            ],
+            [
+                "nw".into(),
+                f(Self::NW_LEN[0]),
+                f(Self::NW_LEN[1]),
+                f(Self::NW_LEN[2]),
+                f(Self::NW_LEN[3]),
+            ],
+            [
+                "gem".into(),
+                Self::GEM_MOLECULES[0].into(),
+                Self::GEM_MOLECULES[1].into(),
+                Self::GEM_MOLECULES[2].into(),
+                Self::GEM_MOLECULES[3].into(),
+            ],
+            [
+                "nqueens".into(),
+                Self::NQUEENS_N.to_string(),
+                "–".into(),
+                "–".into(),
+                "–".into(),
+            ],
+            [
+                "hmm".into(),
+                format!("{},{}", Self::HMM_DIMS[0].0, Self::HMM_DIMS[0].1),
+                format!("{},{}", Self::HMM_DIMS[1].0, Self::HMM_DIMS[1].1),
+                format!("{},{}", Self::HMM_DIMS[2].0, Self::HMM_DIMS[2].1),
+                format!("{},{}", Self::HMM_DIMS[3].0, Self::HMM_DIMS[3].1),
+            ],
+        ]
+    }
+
+    /// Index of a size in the Φ arrays.
+    pub fn index(size: ProblemSize) -> usize {
+        match size {
+            ProblemSize::Tiny => 0,
+            ProblemSize::Small => 1,
+            ProblemSize::Medium => 2,
+            ProblemSize::Large => 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        for &s in ProblemSize::all() {
+            assert_eq!(ProblemSize::parse(s.label()), Some(s));
+        }
+        assert_eq!(ProblemSize::parse("huge"), None);
+    }
+
+    #[test]
+    fn cache_targets_match_skylake() {
+        assert_eq!(ProblemSize::Tiny.target_cache_kib(), Some(32));
+        assert_eq!(ProblemSize::Small.target_cache_kib(), Some(256));
+        assert_eq!(ProblemSize::Medium.target_cache_kib(), Some(8192));
+        assert_eq!(ProblemSize::Large.target_cache_kib(), None);
+    }
+
+    #[test]
+    fn table2_has_eleven_rows() {
+        let rows = ScaleTable::rows();
+        assert_eq!(rows.len(), 11);
+        let names: Vec<_> = rows.iter().map(|r| r[0].as_str()).collect();
+        assert_eq!(
+            names,
+            ["kmeans", "lud", "csr", "fft", "dwt", "srad", "crc", "nw", "gem", "nqueens", "hmm"]
+        );
+    }
+
+    #[test]
+    fn phi_values_match_paper() {
+        assert_eq!(ScaleTable::KMEANS_POINTS, [256, 2048, 65600, 131072]);
+        assert_eq!(ScaleTable::FFT_LEN[3], 2_097_152);
+        assert_eq!(ScaleTable::DWT_DIMS[3], (3648, 2736));
+        assert_eq!(ScaleTable::CRC_BYTES, [2000, 16000, 524_000, 4_194_304]);
+        assert_eq!(ScaleTable::NQUEENS_N, 18);
+        assert_eq!(ScaleTable::HMM_DIMS[0], (8, 1));
+        assert_eq!(ScaleTable::GEM_MOLECULES[3], "1KX5");
+    }
+
+    #[test]
+    fn scales_are_monotone() {
+        let mono = |v: &[usize; 4]| v.windows(2).all(|w| w[0] < w[1]);
+        assert!(mono(&ScaleTable::KMEANS_POINTS));
+        assert!(mono(&ScaleTable::LUD_ORDER));
+        assert!(mono(&ScaleTable::CSR_ORDER));
+        assert!(mono(&ScaleTable::FFT_LEN));
+        assert!(mono(&ScaleTable::CRC_BYTES));
+        assert!(mono(&ScaleTable::NW_LEN));
+        assert!(ScaleTable::DWT_DIMS.windows(2).all(|w| w[0].0 * w[0].1 < w[1].0 * w[1].1));
+        assert!(ScaleTable::SRAD_DIMS.windows(2).all(|w| w[0].0 * w[0].1 < w[1].0 * w[1].1));
+    }
+}

@@ -1,0 +1,147 @@
+//! The §4.4 problem-sizing methodology.
+//!
+//! "Using this equation, we can determine the largest problem size that will
+//! fit in each level of cache." — given a benchmark's footprint function
+//! (bytes as a function of its scale parameter Φ), [`largest_phi_fitting`]
+//! finds exactly that, and [`classify_footprint`] checks which Skylake
+//! level a concrete footprint lands in. The per-benchmark Φ tables in
+//! `eod-core::sizes` are validated against this machinery in each dwarf's
+//! tests, reproducing the verification the paper did with PAPI counters.
+
+use crate::sizes::ProblemSize;
+
+/// The Skylake i7-6700K hierarchy the paper sizes against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkylakeHierarchy;
+
+impl SkylakeHierarchy {
+    /// L1 data cache capacity in bytes.
+    pub const L1_BYTES: u64 = 32 * 1024;
+    /// L2 capacity in bytes.
+    pub const L2_BYTES: u64 = 256 * 1024;
+    /// L3 capacity in bytes.
+    pub const L3_BYTES: u64 = 8192 * 1024;
+    /// §4.4: "large is at least 4× larger than L3 cache".
+    pub const LARGE_FACTOR: u64 = 4;
+
+    /// Capacity a given problem size must fit within (`None` = must exceed
+    /// [`SkylakeHierarchy::large_floor`]).
+    pub fn capacity(size: ProblemSize) -> Option<u64> {
+        match size {
+            ProblemSize::Tiny => Some(Self::L1_BYTES),
+            ProblemSize::Small => Some(Self::L2_BYTES),
+            ProblemSize::Medium => Some(Self::L3_BYTES),
+            ProblemSize::Large => None,
+        }
+    }
+
+    /// Minimum footprint for the large size (4 × L3 = 32 MiB).
+    pub fn large_floor() -> u64 {
+        Self::L3_BYTES * Self::LARGE_FACTOR
+    }
+}
+
+/// Which size class a footprint would be assigned by the methodology.
+pub fn classify_footprint(bytes: u64) -> ProblemSize {
+    if bytes <= SkylakeHierarchy::L1_BYTES {
+        ProblemSize::Tiny
+    } else if bytes <= SkylakeHierarchy::L2_BYTES {
+        ProblemSize::Small
+    } else if bytes <= SkylakeHierarchy::L3_BYTES {
+        ProblemSize::Medium
+    } else {
+        ProblemSize::Large
+    }
+}
+
+/// Does `bytes` satisfy the paper's constraint for `size`? Tiny/small/medium
+/// must fit their cache level; large must be ≥ 4×L3.
+pub fn footprint_ok(size: ProblemSize, bytes: u64) -> bool {
+    match SkylakeHierarchy::capacity(size) {
+        Some(cap) => bytes <= cap,
+        None => bytes >= SkylakeHierarchy::large_floor(),
+    }
+}
+
+/// Find the largest Φ in `[lo, hi]` whose footprint fits `capacity`, by
+/// binary search over a monotone footprint function. Returns `None` when
+/// even `lo` does not fit.
+pub fn largest_phi_fitting(
+    capacity: u64,
+    lo: usize,
+    hi: usize,
+    footprint: impl Fn(usize) -> u64,
+) -> Option<usize> {
+    assert!(lo <= hi);
+    if footprint(lo) > capacity {
+        return None;
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if footprint(mid) <= capacity {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_boundaries() {
+        assert_eq!(classify_footprint(0), ProblemSize::Tiny);
+        assert_eq!(classify_footprint(32 * 1024), ProblemSize::Tiny);
+        assert_eq!(classify_footprint(32 * 1024 + 1), ProblemSize::Small);
+        assert_eq!(classify_footprint(256 * 1024), ProblemSize::Small);
+        assert_eq!(classify_footprint(8192 * 1024), ProblemSize::Medium);
+        assert_eq!(classify_footprint(8192 * 1024 + 1), ProblemSize::Large);
+    }
+
+    #[test]
+    fn footprint_constraints() {
+        assert!(footprint_ok(ProblemSize::Tiny, 31 * 1024));
+        assert!(!footprint_ok(ProblemSize::Tiny, 33 * 1024));
+        assert!(footprint_ok(ProblemSize::Large, 40 << 20));
+        assert!(!footprint_ok(ProblemSize::Large, 16 << 20), "< 4×L3");
+        assert_eq!(SkylakeHierarchy::large_floor(), 32 << 20);
+    }
+
+    #[test]
+    fn kmeans_eq1_tiny_fits_l1() {
+        // §4.4.1 worked example: 256 points × 30 features → 31.5 KiB < 32 KiB.
+        let footprint = |pn: usize| {
+            let fnum = 30usize;
+            let cn = 5usize;
+            ((pn * fnum * 4) + (pn * 4) + (cn * fnum * 4)) as u64
+        };
+        assert!(footprint_ok(ProblemSize::Tiny, footprint(256)));
+        assert!((footprint(256) as f64 / 1024.0 - 31.5859375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binary_search_finds_largest_fit() {
+        // footprint(Φ) = 100·Φ bytes, capacity 32 KiB → Φ* = 327.
+        let f = |phi: usize| (100 * phi) as u64;
+        let phi = largest_phi_fitting(32 * 1024, 1, 1_000_000, f).unwrap();
+        assert_eq!(phi, 327);
+        assert!(f(phi) <= 32 * 1024 && f(phi + 1) > 32 * 1024);
+    }
+
+    #[test]
+    fn binary_search_none_when_nothing_fits() {
+        assert_eq!(largest_phi_fitting(10, 1, 100, |p| (p as u64) * 1000), None);
+    }
+
+    #[test]
+    fn binary_search_whole_range_fits() {
+        assert_eq!(
+            largest_phi_fitting(u64::MAX, 1, 500, |p| p as u64),
+            Some(500)
+        );
+    }
+}

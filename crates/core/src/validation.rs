@@ -1,0 +1,136 @@
+//! Output-correctness utilities.
+//!
+//! §4.4.2: "Correctness was examined either by directly comparing outputs
+//! against a serial implementation of the codes (where one was available),
+//! or by adding utilities to compare norms between the experimental
+//! outputs." Every dwarf benchmark carries a serial reference; these are
+//! the comparison utilities.
+
+/// L2 (Euclidean) norm of a vector.
+pub fn l2_norm(v: &[f32]) -> f64 {
+    v.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+}
+
+/// Relative L2 error ‖a − b‖₂ / ‖b‖₂ (reference in `b`). When the
+/// reference norm is zero, returns the absolute L2 norm of the difference.
+pub fn relative_l2_error(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    let diff: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt();
+    let norm = l2_norm(b);
+    if norm == 0.0 {
+        diff
+    } else {
+        diff / norm
+    }
+}
+
+/// Maximum absolute elementwise difference.
+pub fn max_abs_error(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as f64 - y as f64).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Assert-style check used by benchmark `verify()` implementations: relative
+/// L2 error within `tol`, reported with context on failure.
+pub fn check_close(what: &str, got: &[f32], want: &[f32], tol: f64) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!(
+            "{what}: length mismatch: got {} want {}",
+            got.len(),
+            want.len()
+        ));
+    }
+    let err = relative_l2_error(got, want);
+    if err.is_nan() {
+        return Err(format!("{what}: NaN in comparison"));
+    }
+    if err > tol {
+        return Err(format!(
+            "{what}: relative L2 error {err:.3e} exceeds tolerance {tol:.3e} \
+             (max abs {:.3e})",
+            max_abs_error(got, want)
+        ));
+    }
+    Ok(())
+}
+
+/// Exact equality check for integer-output benchmarks (crc, nqueens).
+pub fn check_equal<T: PartialEq + std::fmt::Debug>(
+    what: &str,
+    got: &T,
+    want: &T,
+) -> Result<(), String> {
+    if got == want {
+        Ok(())
+    } else {
+        Err(format!("{what}: got {got:?}, want {want:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms() {
+        assert_eq!(l2_norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn relative_error_basics() {
+        let a = [1.0f32, 2.0, 3.0];
+        assert_eq!(relative_l2_error(&a, &a), 0.0);
+        let b = [1.0f32, 2.0, 4.0];
+        let expect = 1.0 / l2_norm(&b);
+        assert!((relative_l2_error(&a, &b) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_reference_falls_back_to_absolute() {
+        let z = [0.0f32; 3];
+        let a = [0.0f32, 3.0, 4.0];
+        assert_eq!(relative_l2_error(&a, &z), 5.0);
+    }
+
+    #[test]
+    fn check_close_accepts_and_rejects() {
+        let want = [1.0f32, 2.0, 3.0];
+        let close = [1.0f32, 2.0, 3.0001];
+        assert!(check_close("x", &close, &want, 1e-3).is_ok());
+        let far = [1.0f32, 2.0, 5.0];
+        let err = check_close("x", &far, &want, 1e-3).unwrap_err();
+        assert!(err.contains("exceeds tolerance"));
+        assert!(check_close("x", &[1.0], &want, 1e-3).is_err());
+    }
+
+    #[test]
+    fn check_close_flags_nan() {
+        let want = [1.0f32];
+        let got = [f32::NAN];
+        assert!(check_close("x", &got, &want, 1.0).is_err());
+    }
+
+    #[test]
+    fn check_equal_reports_values() {
+        assert!(check_equal("crc", &0xDEADBEEFu32, &0xDEADBEEFu32).is_ok());
+        let err = check_equal("crc", &1u32, &2u32).unwrap_err();
+        assert!(err.contains('1') && err.contains('2'));
+    }
+
+    #[test]
+    fn max_abs() {
+        assert_eq!(max_abs_error(&[1.0, 5.0], &[1.0, 2.0]), 3.0);
+    }
+}

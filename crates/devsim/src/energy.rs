@@ -1,0 +1,145 @@
+//! TDP-anchored device power and energy model.
+//!
+//! §5.2 measures kernel energy on the i7-6700K (RAPL, package PP0) and the
+//! GTX 1080 (NVML, whole-board power ±5 W). The model here generates the
+//! power draw those meters integrate: a device draws an idle floor plus a
+//! dynamic component proportional to utilization, capped at TDP. The
+//! qualitative §5.2 findings follow: the CPU spends more energy than the
+//! GTX 1080 on every benchmark *except* crc, because crc's serial chain
+//! keeps the GPU busy for so long that its higher board power loses.
+
+use crate::catalog::{AcceleratorClass, DeviceSpec};
+use crate::model::KernelCost;
+use eod_scibench::energy::PowerSource;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Per-device power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Idle power in watts.
+    pub idle_w: f64,
+    /// TDP ceiling in watts.
+    pub tdp_w: f64,
+}
+
+impl PowerModel {
+    /// Model for a catalog device. Idle fractions are class-typical:
+    /// desktop CPUs idle around 25 % of TDP with package power management;
+    /// discrete GPUs idle lower (~12 %) but ramp the whole board; the KNL
+    /// idles high because MCDRAM and the mesh never gate fully.
+    pub fn for_device(spec: &DeviceSpec) -> Self {
+        let idle_fraction = match spec.class {
+            AcceleratorClass::Cpu => 0.25,
+            AcceleratorClass::ConsumerGpu | AcceleratorClass::HpcGpu => 0.12,
+            AcceleratorClass::Mic => 0.35,
+        };
+        Self {
+            idle_w: spec.tdp_w as f64 * idle_fraction,
+            tdp_w: spec.tdp_w as f64,
+        }
+    }
+
+    /// Instantaneous power at a given utilization in [0, 1].
+    pub fn power_at(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        self.idle_w + u * (self.tdp_w - self.idle_w)
+    }
+
+    /// Energy in joules for one modeled kernel invocation.
+    pub fn kernel_energy(&self, cost: &KernelCost) -> f64 {
+        self.power_at(cost.utilization) * cost.total_s
+    }
+
+    /// A [`PowerSource`] (for the scibench meters) drawing constant power at
+    /// the utilization of `cost`.
+    pub fn source_for(&self, cost: &KernelCost) -> impl PowerSource + use<> {
+        let w = self.power_at(cost.utilization);
+        move |_at: Duration| w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::DeviceId;
+    use crate::model::{Bound, DeviceModel};
+
+    fn power(name: &str) -> PowerModel {
+        PowerModel::for_device(DeviceId::by_name(name).unwrap().spec())
+    }
+
+    #[test]
+    fn power_bounded_by_idle_and_tdp() {
+        for id in DeviceId::all() {
+            let pm = PowerModel::for_device(id.spec());
+            assert!(pm.power_at(0.0) >= pm.idle_w * 0.999);
+            assert!(pm.power_at(1.0) <= pm.tdp_w * 1.001);
+            assert!(pm.power_at(-3.0) == pm.power_at(0.0), "clamped below");
+            assert!(pm.power_at(7.0) == pm.power_at(1.0), "clamped above");
+        }
+    }
+
+    #[test]
+    fn power_monotone_in_utilization() {
+        let pm = power("i7-6700K");
+        assert!(pm.power_at(0.2) < pm.power_at(0.8));
+    }
+
+    #[test]
+    fn cpu_spends_more_energy_on_bandwidth_bound_kernels() {
+        // Fig. 5 shape: the slower CPU loses on energy despite its lower TDP
+        // for GPU-friendly kernels.
+        let i7 = DeviceModel::new(DeviceId::by_name("i7-6700K").unwrap());
+        let gtx = DeviceModel::new(DeviceId::by_name("GTX 1080").unwrap());
+        let mut p = crate::profile::KernelProfile::new("srad-like");
+        p.flops = 6e7;
+        p.bytes_read = 5e7;
+        p.bytes_written = 2e7;
+        p.working_set = 48 * 1024 * 1024;
+        p.work_items = 1 << 21;
+        let e_cpu = power("i7-6700K").kernel_energy(&i7.predict(&p));
+        let e_gpu = power("GTX 1080").kernel_energy(&gtx.predict(&p));
+        assert!(e_cpu > e_gpu, "CPU {e_cpu} J vs GPU {e_gpu} J");
+    }
+
+    #[test]
+    fn crc_is_the_energy_exception() {
+        // Fig. 5: "All the benchmarks use more energy on the CPU, with the
+        // exception of crc".
+        let i7 = DeviceModel::new(DeviceId::by_name("i7-6700K").unwrap());
+        let gtx = DeviceModel::new(DeviceId::by_name("GTX 1080").unwrap());
+        let mut p = crate::profile::KernelProfile::new("crc-like");
+        p.int_ops = 4.2e6 * 8.0;
+        p.bytes_read = 4.2e6;
+        p.working_set = 4_200_000;
+        p.work_items = 64;
+        p.serial_fraction = 0.85;
+        let cost_cpu = i7.predict(&p);
+        let cost_gpu = gtx.predict(&p);
+        assert_eq!(cost_gpu.bound, Bound::Serial);
+        let e_cpu = power("i7-6700K").kernel_energy(&cost_cpu);
+        let e_gpu = power("GTX 1080").kernel_energy(&cost_gpu);
+        assert!(e_gpu > e_cpu, "GPU {e_gpu} J must exceed CPU {e_cpu} J");
+    }
+
+    #[test]
+    fn source_integrates_to_kernel_energy() {
+        use eod_scibench::energy::{EnergyMeter, NvmlMeter};
+        let gtx = DeviceModel::new(DeviceId::by_name("GTX 1080").unwrap());
+        let pm = power("GTX 1080");
+        let mut p = crate::profile::KernelProfile::new("x");
+        p.flops = 1e8;
+        p.bytes_read = 1e8;
+        p.working_set = 1 << 26;
+        p.work_items = 1 << 20;
+        let cost = gtx.predict(&p);
+        let src = pm.source_for(&cost);
+        let mut meter = NvmlMeter::new("GeForce GTX 1080")
+            .with_period(Duration::from_micros(50));
+        let sample = meter.measure(cost.total(), &src);
+        let expect = pm.kernel_energy(&cost);
+        let rel = (sample.joules - expect).abs() / expect;
+        assert!(rel < 0.02, "meter {} vs model {expect}", sample.joules);
+    }
+}

@@ -1,0 +1,130 @@
+//! Measurement-noise model.
+//!
+//! §5.1: "For most benchmarks, the coefficient of variation in execution
+//! times is much greater for devices with a lower clock frequency,
+//! regardless of accelerator type." The paper's two-second timing loops and
+//! 50-sample groups exist precisely to tame this noise.
+//!
+//! [`NoiseModel`] reproduces the effect: each device gets a CoV that scales
+//! inversely with its best clock (OS scheduling quanta, DVFS transitions and
+//! interrupt costs are a roughly constant number of *cycles*, so slower
+//! clocks convert them into more relative wall time). Samples are drawn from
+//! a lognormal distribution so that times stay positive and right-skewed,
+//! matching the long upper whiskers in the paper's boxplots.
+
+use crate::catalog::DeviceSpec;
+use rand::Rng;
+
+/// Per-device multiplicative noise on modeled kernel times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Target coefficient of variation of the multiplier distribution.
+    pub cov: f64,
+    /// Lognormal σ parameter derived from the CoV.
+    sigma: f64,
+    /// Lognormal μ chosen so the multiplier has mean 1.
+    mu: f64,
+}
+
+/// Clock of the fastest device in the study (i7-6700K turbo), the anchor
+/// for the CoV scaling.
+const REFERENCE_CLOCK_MHZ: f64 = 4300.0;
+
+/// CoV observed on the fastest device; slower clocks scale this up.
+const BASE_COV: f64 = 0.015;
+
+impl NoiseModel {
+    /// Noise model with an explicit CoV.
+    pub fn with_cov(cov: f64) -> Self {
+        assert!(cov >= 0.0, "CoV cannot be negative");
+        // For LogNormal(μ, σ): mean = exp(μ + σ²/2), CoV² = exp(σ²) − 1.
+        let sigma2 = (1.0 + cov * cov).ln();
+        let sigma = sigma2.sqrt();
+        let mu = -sigma2 / 2.0; // mean 1
+        Self { cov, sigma, mu }
+    }
+
+    /// The paper-shaped model for a device: CoV ∝ 1/clock.
+    pub fn for_device(spec: &DeviceSpec) -> Self {
+        let clock = spec.best_clock_mhz() as f64;
+        Self::with_cov(BASE_COV * REFERENCE_CLOCK_MHZ / clock)
+    }
+
+    /// Draw one multiplicative noise factor (mean 1, CoV as configured).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.cov == 0.0 {
+            return 1.0;
+        }
+        // Box–Muller: two uniforms → one standard normal.
+        let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+
+    /// Apply noise to a modeled time in seconds.
+    pub fn perturb<R: Rng + ?Sized>(&self, seconds: f64, rng: &mut R) -> f64 {
+        seconds * self.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::DeviceId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_mean_is_one_and_cov_matches() {
+        let nm = NoiseModel::with_cov(0.10);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| nm.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+        let cov = var.sqrt() / mean;
+        assert!((mean - 1.0).abs() < 0.01, "mean = {mean}");
+        assert!((cov - 0.10).abs() < 0.01, "cov = {cov}");
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let nm = NoiseModel::with_cov(0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(nm.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_cov_is_deterministic() {
+        let nm = NoiseModel::with_cov(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(nm.sample(&mut rng), 1.0);
+        assert_eq!(nm.perturb(2.5, &mut rng), 2.5);
+    }
+
+    #[test]
+    fn slower_clocks_get_larger_cov() {
+        // §5.1's observation, by construction — but verify the catalog
+        // wiring: K20m at 706 MHz must be noisier than the i7 at 4.3 GHz.
+        let i7 = NoiseModel::for_device(DeviceId::by_name("i7-6700K").unwrap().spec());
+        let k20 = NoiseModel::for_device(DeviceId::by_name("K20m").unwrap().spec());
+        assert!(k20.cov > i7.cov * 3.0, "k20 {} vs i7 {}", k20.cov, i7.cov);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let nm = NoiseModel::with_cov(0.2);
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..10).map(|_| nm.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..10).map(|_| nm.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

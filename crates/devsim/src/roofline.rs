@@ -1,0 +1,151 @@
+//! "Ideal performance" estimation — a §7 future-work item.
+//!
+//! "In addition to comparing performance between devices, we would also
+//! like to develop some notion of 'ideal' performance for each combination
+//! of benchmark and device, which would guide efforts to improve
+//! performance portability."
+//!
+//! This module provides that notion via the classic roofline bound: for a
+//! kernel with arithmetic intensity *I* on a device with peak compute *P*
+//! and attainable bandwidth *B*, ideal time is
+//! `max(flops / P, bytes / B)` with **no** launch overhead, divergence,
+//! serialization or occupancy losses. [`ideal_time`] computes that bound,
+//! and [`attained_fraction`] scores a modeled (or measured) time against
+//! it — the performance-portability metric the paper asks for.
+
+use crate::catalog::DeviceSpec;
+use crate::model::DeviceModel;
+use crate::profile::KernelProfile;
+use serde::{Deserialize, Serialize};
+
+/// The roofline bound for one kernel × device pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IdealPoint {
+    /// Arithmetic intensity, FLOP/byte.
+    pub intensity: f64,
+    /// The machine balance point (FLOP/byte) where the device transitions
+    /// from bandwidth- to compute-bound.
+    pub ridge_point: f64,
+    /// Ideal (roofline) execution time in seconds.
+    pub ideal_s: f64,
+    /// True when the kernel sits right of the ridge (compute-bound).
+    pub compute_bound: bool,
+}
+
+/// Peak compute of a device in FLOP/s — the raw datasheet peak, before any
+/// driver-efficiency discount (ideal means *ideal*).
+pub fn peak_flops(spec: &DeviceSpec) -> f64 {
+    spec.peak_sp_gflops * 1e9
+}
+
+/// Peak bandwidth in bytes/s.
+pub fn peak_bandwidth(spec: &DeviceSpec) -> f64 {
+    spec.mem_bw_gbps * 1e9
+}
+
+/// The roofline bound for `profile` on `spec`.
+pub fn ideal_time(spec: &DeviceSpec, profile: &KernelProfile) -> IdealPoint {
+    let p = peak_flops(spec);
+    let b = peak_bandwidth(spec);
+    let flops = profile.total_ops();
+    let bytes = profile.total_bytes();
+    let compute_s = flops / p;
+    let memory_s = bytes / b;
+    let intensity = profile.arithmetic_intensity();
+    IdealPoint {
+        intensity,
+        ridge_point: p / b,
+        ideal_s: compute_s.max(memory_s),
+        compute_bound: compute_s >= memory_s,
+    }
+}
+
+/// Fraction of ideal performance attained by an observed/modeled time:
+/// `ideal / actual`, in (0, 1] for any realizable run.
+pub fn attained_fraction(spec: &DeviceSpec, profile: &KernelProfile, actual_s: f64) -> f64 {
+    assert!(actual_s > 0.0, "actual time must be positive");
+    (ideal_time(spec, profile).ideal_s / actual_s).min(1.0)
+}
+
+/// Convenience: the model's own attained fraction for a profile — how much
+/// of the roofline the *modeled* device reaches once launch overhead,
+/// serialization, divergence, occupancy and pattern losses are applied.
+pub fn modeled_attainment(model: &DeviceModel, profile: &KernelProfile) -> f64 {
+    let cost = model.predict(profile);
+    attained_fraction(model.spec(), profile, cost.total_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::DeviceId;
+    use crate::profile::AccessPattern;
+
+    fn spec(name: &str) -> &'static DeviceSpec {
+        DeviceId::by_name(name).unwrap().spec()
+    }
+
+    fn streaming(flops_per_byte: f64) -> KernelProfile {
+        let mut p = KernelProfile::new("x");
+        p.bytes_read = 1e8;
+        p.flops = 1e8 * flops_per_byte;
+        p.working_set = 1 << 28;
+        p.work_items = 1 << 22;
+        p.pattern = AccessPattern::Streaming;
+        p
+    }
+
+    #[test]
+    fn ridge_point_divides_regimes() {
+        let gtx = spec("GTX 1080");
+        let ridge = peak_flops(gtx) / peak_bandwidth(gtx);
+        let low = ideal_time(gtx, &streaming(ridge * 0.1));
+        let high = ideal_time(gtx, &streaming(ridge * 10.0));
+        assert!(!low.compute_bound);
+        assert!(high.compute_bound);
+        assert!((low.ridge_point - ridge).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_time_is_a_lower_bound_on_the_model() {
+        // The full model can never beat the roofline.
+        for id in DeviceId::all() {
+            let model = DeviceModel::new(id);
+            for i in [0.05, 1.0, 50.0] {
+                let p = streaming(i);
+                let cost = model.predict(&p);
+                let ideal = ideal_time(id.spec(), &p).ideal_s;
+                assert!(
+                    cost.total_s >= ideal * 0.999,
+                    "{}: model {} < ideal {ideal}",
+                    id.spec().name,
+                    cost.total_s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn attained_fraction_in_unit_interval() {
+        let i7 = spec("i7-6700K");
+        let p = streaming(2.0);
+        let ideal = ideal_time(i7, &p).ideal_s;
+        assert!((attained_fraction(i7, &p, ideal) - 1.0).abs() < 1e-9);
+        assert!((attained_fraction(i7, &p, ideal * 4.0) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn irregular_kernels_attain_less() {
+        let gtx = DeviceModel::new(DeviceId::by_name("GTX 1080").unwrap());
+        let mut smooth = streaming(0.25);
+        smooth.work_items = 1 << 22;
+        let mut gather = smooth.clone();
+        gather.pattern = AccessPattern::Gather;
+        let a_smooth = modeled_attainment(&gtx, &smooth);
+        let a_gather = modeled_attainment(&gtx, &gather);
+        assert!(
+            a_gather < a_smooth,
+            "gather {a_gather} must trail streaming {a_smooth}"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Host↔device memory transfer model.
+//!
+//! §4.3: "For each benchmark we also measured memory transfer times between
+//! host and device" (only kernel times are plotted, but the harness records
+//! transfers as their own region, as the paper does via LibSciBench).
+//!
+//! Discrete GPUs move buffers over PCIe — a fixed DMA setup latency plus a
+//! bandwidth term. For CPU devices an OpenCL "transfer" is at most a memcpy
+//! within system RAM (and zero-copy in the common case); we model the
+//! memcpy. The paper's §5.1 remark that a problem too large for GPU global
+//! memory would suffer PCI-E latency "higher than a memory access to main
+//! memory" falls out of these parameters.
+
+use crate::catalog::{AcceleratorClass, DeviceSpec};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Direction of a transfer, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Host memory to device memory (`clEnqueueWriteBuffer`).
+    HostToDevice,
+    /// Device memory to host memory (`clEnqueueReadBuffer`).
+    DeviceToHost,
+}
+
+/// Per-device transfer cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferModel {
+    /// Fixed per-transfer latency in microseconds (DMA setup, doorbell).
+    pub latency_us: f64,
+    /// Link bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Whether transfers are physical copies (discrete) or cache-speed
+    /// copies within host RAM (CPU devices).
+    pub discrete: bool,
+}
+
+impl TransferModel {
+    /// Model for a catalog device.
+    pub fn for_device(spec: &DeviceSpec) -> Self {
+        match spec.class {
+            AcceleratorClass::Cpu => Self {
+                // A same-socket memcpy: negligible setup, memory bandwidth.
+                latency_us: 0.5,
+                bandwidth_gbps: spec.host_link_gbps,
+                discrete: false,
+            },
+            AcceleratorClass::Mic => Self {
+                // KNL here is a self-hosted socket, but the OpenCL runtime
+                // still stages buffers.
+                latency_us: 5.0,
+                bandwidth_gbps: spec.host_link_gbps,
+                discrete: false,
+            },
+            _ => Self {
+                latency_us: 10.0,
+                bandwidth_gbps: spec.host_link_gbps,
+                discrete: true,
+            },
+        }
+    }
+
+    /// Modeled duration of one transfer of `bytes` bytes.
+    pub fn transfer_time(&self, bytes: u64) -> Duration {
+        let secs = self.latency_us * 1e-6 + bytes as f64 / (self.bandwidth_gbps * 1e9);
+        Duration::from_secs_f64(secs)
+    }
+
+    /// Effective bandwidth achieved for a transfer of `bytes` (including the
+    /// latency term) in GB/s — the classic half-bandwidth point analysis.
+    pub fn effective_bandwidth_gbps(&self, bytes: u64) -> f64 {
+        let t = self.transfer_time(bytes).as_secs_f64();
+        if t == 0.0 {
+            return 0.0;
+        }
+        bytes as f64 / t / 1e9
+    }
+
+    /// Bytes at which half the link bandwidth is achieved.
+    pub fn half_bandwidth_bytes(&self) -> u64 {
+        // latency == bytes / bw  ⇒  bytes = latency × bw
+        (self.latency_us * 1e-6 * self.bandwidth_gbps * 1e9) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::DeviceId;
+
+    fn model(name: &str) -> TransferModel {
+        TransferModel::for_device(DeviceId::by_name(name).unwrap().spec())
+    }
+
+    #[test]
+    fn gpu_transfers_pay_latency() {
+        let gtx = model("GTX 1080");
+        let tiny = gtx.transfer_time(64);
+        assert!(tiny >= Duration::from_micros(10), "latency floor");
+        let big = gtx.transfer_time(1 << 30);
+        // 1 GiB over ~12 GB/s ≈ 90 ms.
+        assert!(big > Duration::from_millis(50) && big < Duration::from_millis(500));
+    }
+
+    #[test]
+    fn cpu_transfers_are_cheap() {
+        let i7 = model("i7-6700K");
+        assert!(!i7.discrete);
+        assert!(i7.transfer_time(64) < Duration::from_micros(2));
+        let gtx = model("GTX 1080");
+        assert!(
+            i7.transfer_time(1 << 20) < gtx.transfer_time(1 << 20),
+            "CPU 'transfer' must beat PCIe"
+        );
+    }
+
+    #[test]
+    fn effective_bandwidth_approaches_link() {
+        let gtx = model("GTX 1080");
+        let small = gtx.effective_bandwidth_gbps(4096);
+        let large = gtx.effective_bandwidth_gbps(1 << 28);
+        assert!(small < large);
+        assert!(large > gtx.bandwidth_gbps * 0.95);
+        assert!(large <= gtx.bandwidth_gbps * 1.001);
+    }
+
+    #[test]
+    fn half_bandwidth_point() {
+        let gtx = model("GTX 1080");
+        let n = gtx.half_bandwidth_bytes();
+        let eff = gtx.effective_bandwidth_gbps(n);
+        assert!(
+            (eff - gtx.bandwidth_gbps / 2.0).abs() / gtx.bandwidth_gbps < 0.02,
+            "eff {eff} vs half of {}",
+            gtx.bandwidth_gbps
+        );
+    }
+
+    #[test]
+    fn transfer_time_monotone_in_size() {
+        for id in DeviceId::all() {
+            let m = TransferModel::for_device(id.spec());
+            assert!(m.transfer_time(1 << 10) < m.transfer_time(1 << 24));
+        }
+    }
+}

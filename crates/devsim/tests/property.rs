@@ -1,0 +1,165 @@
+//! Property-based tests for the device simulator.
+
+use eod_devsim::cache::{CacheConfig, CacheHierarchy, CacheSim, TlbConfig};
+use eod_devsim::catalog::DeviceId;
+use eod_devsim::model::DeviceModel;
+use eod_devsim::noise::NoiseModel;
+use eod_devsim::profile::{AccessPattern, KernelProfile};
+use eod_devsim::roofline;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_pattern() -> impl Strategy<Value = AccessPattern> {
+    prop_oneof![
+        Just(AccessPattern::Streaming),
+        Just(AccessPattern::Strided),
+        Just(AccessPattern::Gather),
+        Just(AccessPattern::Random),
+    ]
+}
+
+fn arb_profile() -> impl Strategy<Value = KernelProfile> {
+    (
+        1.0f64..1e12,
+        0.0f64..1e12,
+        1.0f64..1e10,
+        0.0f64..1e10,
+        1u64..1u64 << 32,
+        arb_pattern(),
+        1u64..1u64 << 24,
+        0.0f64..1.0,
+        0.0f64..0.5,
+        0.0f64..1.0,
+        1u32..1000,
+    )
+        .prop_map(
+            |(flops, int_ops, br, bw, ws, pattern, items, serial, branch, div, launches)| {
+                let mut p = KernelProfile::new("prop");
+                p.flops = flops;
+                p.int_ops = int_ops;
+                p.bytes_read = br;
+                p.bytes_written = bw;
+                p.working_set = ws;
+                p.pattern = pattern;
+                p.work_items = items;
+                p.serial_fraction = serial;
+                p.branch_fraction = branch;
+                p.branch_divergence = div;
+                p.kernel_launches = launches;
+                p
+            },
+        )
+}
+
+proptest! {
+    /// The model produces positive, finite times for any valid profile on
+    /// any device, and the total is at least the launch overhead.
+    #[test]
+    fn model_times_are_finite_positive(p in arb_profile(), dev in 0usize..15) {
+        let model = DeviceModel::new(DeviceId(dev));
+        let cost = model.predict(&p);
+        prop_assert!(cost.total_s.is_finite());
+        prop_assert!(cost.total_s > 0.0);
+        prop_assert!(cost.total_s >= cost.launch_s);
+        prop_assert!((0.0..=1.0).contains(&cost.utilization));
+    }
+
+    /// Scaling a profile's work up never makes it faster.
+    #[test]
+    fn model_monotone_in_work(p in arb_profile(), dev in 0usize..15, factor in 1.0f64..100.0) {
+        let model = DeviceModel::new(DeviceId(dev));
+        let base = model.predict(&p).total_s;
+        let mut bigger = p.clone();
+        bigger.flops *= factor;
+        bigger.int_ops *= factor;
+        bigger.bytes_read *= factor;
+        bigger.bytes_written *= factor;
+        prop_assert!(model.predict(&bigger).total_s >= base * 0.999);
+    }
+
+    /// The roofline ideal is a lower bound on the model for any profile.
+    #[test]
+    fn roofline_is_lower_bound(p in arb_profile(), dev in 0usize..15) {
+        let id = DeviceId(dev);
+        let model = DeviceModel::new(id);
+        let ideal = roofline::ideal_time(id.spec(), &p).ideal_s;
+        prop_assert!(model.predict(&p).total_s >= ideal * 0.999);
+    }
+
+    /// Synthesized counters are self-consistent: L3 misses never exceed L2
+    /// misses never exceed L1 misses + noise, and IPC is positive.
+    #[test]
+    fn counters_consistent(p in arb_profile(), dev in 0usize..15) {
+        use eod_scibench::counters::HwCounter;
+        let model = DeviceModel::new(DeviceId(dev));
+        let cost = model.predict(&p);
+        let c = model.synthesize_counters(&p, &cost);
+        let l1 = c.get(HwCounter::L1DataCacheMisses).unwrap();
+        let l2 = c.get(HwCounter::L2DataCacheMisses).unwrap();
+        let l3 = c.get(HwCounter::L3TotalCacheMisses).unwrap();
+        prop_assert!(l2 <= l1.max(1) * 2, "L2 {l2} vs L1 {l1}");
+        prop_assert!(l3 <= l2.max(1) * 2, "L3 {l3} vs L2 {l2}");
+        if let Some(ipc) = c.ipc() {
+            prop_assert!(ipc > 0.0 && ipc.is_finite());
+        }
+    }
+
+    /// The LRU cache never holds more lines than its capacity and its miss
+    /// ratio stays in [0, 1], for arbitrary address traces.
+    #[test]
+    fn cache_capacity_invariant(
+        addrs in prop::collection::vec(0u64..1 << 20, 1..2000),
+        capacity_kib in 1usize..64,
+        ways in 1usize..16,
+    ) {
+        let lines = capacity_kib * 1024 / 64;
+        prop_assume!(lines % ways == 0);
+        let mut c = CacheSim::new(CacheConfig {
+            capacity: capacity_kib * 1024,
+            line_size: 64,
+            ways,
+        });
+        for &a in &addrs {
+            c.access(a);
+        }
+        prop_assert!(c.resident_lines() <= lines);
+        let ratio = c.miss_ratio();
+        prop_assert!((0.0..=1.0).contains(&ratio));
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+    }
+
+    /// Hierarchy counters are ordered: accesses ≥ L1 misses ≥ L2 misses.
+    #[test]
+    fn hierarchy_counts_ordered(addrs in prop::collection::vec(0u64..1 << 22, 1..2000)) {
+        let mut h = CacheHierarchy::new(
+            CacheConfig::kib(32, 8),
+            CacheConfig::kib(256, 8),
+            Some(CacheConfig::kib(2048, 16)),
+            TlbConfig::default(),
+        );
+        h.run_trace(addrs.iter().copied());
+        let c = h.counts();
+        prop_assert!(c.accesses >= c.l1_misses);
+        prop_assert!(c.l1_misses >= c.l2_misses);
+        prop_assert!(c.l2_misses >= c.l3_misses);
+        prop_assert!(c.accesses as usize == addrs.len());
+    }
+
+    /// Noise samples are positive and mean-one-ish for any CoV.
+    #[test]
+    fn noise_positive_mean_one(cov in 0.0f64..1.0, seed in 0u64..1000) {
+        let nm = NoiseModel::with_cov(cov);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 2000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let s = nm.sample(&mut rng);
+            prop_assert!(s > 0.0);
+            sum += s;
+        }
+        let mean = sum / n as f64;
+        // Lognormal mean-1 construction; loose bound for sampling error.
+        prop_assert!((mean - 1.0).abs() < 0.2, "mean {mean} at cov {cov}");
+    }
+}

@@ -1,0 +1,211 @@
+//! AIWC — Architecture-Independent Workload Characterization (§7).
+//!
+//! "Each OpenCL kernel presented in this paper has been inspected using
+//! the Architecture Independent Workload Characterization (AIWC). Analysis
+//! using AIWC helps understand how the structure of kernels contributes to
+//! the varying runtime characteristics between devices."
+//!
+//! Our kernels already carry analytic profiles; this module computes the
+//! AIWC-style *metrics* from them — opcode mix, memory intensity, branch
+//! intensity, parallelism granularity, and a simple entropy measure over
+//! the byte-traffic distribution of a multi-kernel workload — and renders
+//! the per-benchmark characterization table that the paper defers to
+//! future work.
+
+use eod_devsim::profile::KernelProfile;
+use serde::Serialize;
+
+/// AIWC-style metrics for one kernel (or one fused workload profile).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Characterization {
+    /// Kernel name.
+    pub name: String,
+    /// Fraction of dynamic operations that are floating point.
+    pub fp_fraction: f64,
+    /// Fraction that are integer/logical.
+    pub int_fraction: f64,
+    /// Branch operations per total operation.
+    pub branch_intensity: f64,
+    /// Bytes of memory traffic per operation ("memory intensity").
+    pub memory_intensity: f64,
+    /// Arithmetic intensity, FLOP/byte (the roofline x-coordinate).
+    pub arithmetic_intensity: f64,
+    /// log₂ of the exposed parallelism (work-items per launch).
+    pub parallelism_log2: f64,
+    /// Serial-dependence fraction of the instruction stream.
+    pub serial_fraction: f64,
+    /// SIMT divergence exposure in [0, 1].
+    pub divergence: f64,
+}
+
+/// Characterize one kernel profile.
+pub fn characterize(profile: &KernelProfile) -> Characterization {
+    let ops = profile.total_ops().max(1.0);
+    let branches = ops * profile.branch_fraction;
+    Characterization {
+        name: profile.name.clone(),
+        fp_fraction: profile.flops / ops,
+        int_fraction: profile.int_ops / ops,
+        branch_intensity: branches / ops,
+        memory_intensity: profile.total_bytes() / ops,
+        arithmetic_intensity: profile.arithmetic_intensity(),
+        parallelism_log2: (profile.work_items as f64).log2(),
+        serial_fraction: profile.serial_fraction,
+        divergence: profile.branch_divergence,
+    }
+}
+
+/// Shannon entropy (bits) of a distribution of per-kernel byte traffic —
+/// AIWC's "memory footprint distribution" style metric for multi-kernel
+/// workloads. 0 when one kernel dominates all traffic; log₂(k) when k
+/// kernels contribute equally.
+pub fn traffic_entropy(profiles: &[KernelProfile]) -> f64 {
+    let total: f64 = profiles.iter().map(|p| p.total_bytes()).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    profiles
+        .iter()
+        .map(|p| p.total_bytes() / total)
+        .filter(|&f| f > 0.0)
+        .map(|f| -f * f.log2())
+        .sum()
+}
+
+/// Markdown characterization table for a set of kernels.
+pub fn render_table(rows: &[Characterization]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "| kernel | FP % | INT % | branch | B/op | FLOP/B | log₂ par | serial | div |\n\
+         |---|---:|---:|---:|---:|---:|---:|---:|---:|\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| {} | {:.0} | {:.0} | {:.3} | {:.2} | {:.3} | {:.1} | {:.2} | {:.2} |",
+            r.name,
+            r.fp_fraction * 100.0,
+            r.int_fraction * 100.0,
+            r.branch_intensity,
+            r.memory_intensity,
+            r.arithmetic_intensity,
+            r.parallelism_log2,
+            r.serial_fraction,
+            r.divergence
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eod_devsim::profile::AccessPattern;
+
+    fn crc_like() -> KernelProfile {
+        let mut p = KernelProfile::new("crc");
+        p.int_ops = 1e6;
+        p.bytes_read = 2e5;
+        p.serial_fraction = 0.85;
+        p.branch_fraction = 0.08;
+        p.work_items = 64;
+        p
+    }
+
+    fn srad_like() -> KernelProfile {
+        let mut p = KernelProfile::new("srad");
+        p.flops = 1e6;
+        p.bytes_read = 8e5;
+        p.bytes_written = 2e5;
+        p.pattern = AccessPattern::Streaming;
+        p.work_items = 1 << 20;
+        p
+    }
+
+    #[test]
+    fn crc_is_characterized_as_integer_serial() {
+        let c = characterize(&crc_like());
+        assert_eq!(c.fp_fraction, 0.0);
+        assert!((c.int_fraction - 1.0).abs() < 1e-12);
+        assert!(c.serial_fraction > 0.8);
+        assert!(c.parallelism_log2 < 7.0);
+    }
+
+    #[test]
+    fn srad_is_characterized_as_fp_parallel() {
+        let c = characterize(&srad_like());
+        assert!((c.fp_fraction - 1.0).abs() < 1e-12);
+        assert_eq!(c.parallelism_log2, 20.0);
+        assert!(c.arithmetic_intensity < 2.0);
+        assert!(c.memory_intensity > 0.5);
+    }
+
+    #[test]
+    fn entropy_bounds() {
+        let a = srad_like();
+        let mut b = srad_like();
+        b.name = "b".into();
+        // Two equal-traffic kernels → exactly 1 bit.
+        assert!((traffic_entropy(&[a.clone(), b]) - 1.0).abs() < 1e-9);
+        // One kernel → 0 bits.
+        assert_eq!(traffic_entropy(&[a]), 0.0);
+        assert_eq!(traffic_entropy(&[]), 0.0);
+    }
+
+    #[test]
+    fn entropy_skewed_distribution() {
+        let big = srad_like();
+        let mut small = srad_like();
+        small.bytes_read = 1.0;
+        small.bytes_written = 0.0;
+        let h = traffic_entropy(&[big, small]);
+        assert!(h > 0.0 && h < 0.01, "near-zero entropy for dominated mix: {h}");
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let rows = vec![characterize(&crc_like()), characterize(&srad_like())];
+        let t = render_table(&rows);
+        assert_eq!(t.lines().count(), 4);
+        assert!(t.contains("| crc |"));
+        assert!(t.contains("| srad |"));
+    }
+
+    #[test]
+    fn real_kernels_characterize_distinctly() {
+        // Pull the actual profiles two benchmarks attach to their kernel
+        // events and confirm AIWC separates them the way §5.1 reasons.
+        use eod_clrt::prelude::*;
+        use eod_core::benchmark::Workload as _;
+        let ctx = Context::new(Device::native());
+        let queue = CommandQueue::new(&ctx).with_profiling();
+
+        let mut crc = crate::crc::CrcWorkload::new(2000, 1);
+        crc.setup(&ctx, &queue).unwrap();
+        let crc_prof = crc.run_iteration(&queue).unwrap().events[0]
+            .profile
+            .clone()
+            .expect("kernel events carry profiles");
+
+        let mut srad = crate::srad::SradWorkload::new(
+            crate::srad::SradParams {
+                rows: 64,
+                cols: 64,
+                roi: (0, 63, 0, 63),
+            },
+            1,
+        );
+        srad.setup(&ctx, &queue).unwrap();
+        let srad_prof = srad.run_iteration(&queue).unwrap().events[0]
+            .profile
+            .clone()
+            .expect("kernel events carry profiles");
+
+        let c = characterize(&crc_prof);
+        let s = characterize(&srad_prof);
+        assert!(c.int_fraction > 0.99, "crc is integer work");
+        assert!(s.fp_fraction > 0.99, "srad is floating point");
+        assert!(c.serial_fraction > s.serial_fraction);
+        assert!(s.parallelism_log2 > c.parallelism_log2);
+    }
+}

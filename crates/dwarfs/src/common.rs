@@ -1,0 +1,91 @@
+//! Helpers shared by every benchmark implementation.
+
+use eod_clrt::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for workload generation; all benchmarks derive their
+/// inputs from a user-supplied seed so runs are reproducible, as the
+/// paper's generated-input policy intends.
+pub fn rng_for(seed: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(stream))
+}
+
+/// Uniform random `f32` vector in `[0, 1)`.
+pub fn random_vec(rng: &mut StdRng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.random_range(0.0..1.0)).collect()
+}
+
+/// Round `global` up to the next multiple of `local` — the standard OpenCL
+/// host-side idiom; kernels guard with `if gid >= n return`.
+pub fn round_up(global: usize, local: usize) -> usize {
+    assert!(local > 0);
+    global.div_ceil(local) * local
+}
+
+/// Pick a 1-D work-group size: the device maximum capped at 64 (the
+/// OpenDwarfs codes use 64–256) and no larger than the rounded global size.
+pub fn local_1d(global: usize, device: &Device) -> usize {
+    let cap = device.max_work_group_size().min(64);
+    cap.min(round_up(global, 1).max(1)).max(1)
+}
+
+/// State every workload carries: the context it allocated in and how many
+/// real (non-replay) iterations it has run, which stateful benchmarks use
+/// to keep their serial reference in lock-step.
+#[derive(Debug, Default)]
+pub struct WorkloadBase {
+    /// Number of completed `run_iteration` calls.
+    pub iterations: usize,
+    /// Set by `setup`; used to assert the lifecycle is respected.
+    pub ready: bool,
+}
+
+impl WorkloadBase {
+    /// Assert `setup` ran.
+    pub fn require_ready(&self) -> Result<()> {
+        if self.ready {
+            Ok(())
+        } else {
+            Err(Error::InvalidValue("workload used before setup".into()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_up_basics() {
+        assert_eq!(round_up(100, 64), 128);
+        assert_eq!(round_up(128, 64), 128);
+        assert_eq!(round_up(1, 64), 64);
+    }
+
+    #[test]
+    fn rng_streams_differ_but_reproduce() {
+        let a: Vec<f32> = random_vec(&mut rng_for(1, 0), 8);
+        let b: Vec<f32> = random_vec(&mut rng_for(1, 0), 8);
+        let c: Vec<f32> = random_vec(&mut rng_for(1, 1), 8);
+        let d: Vec<f32> = random_vec(&mut rng_for(2, 0), 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn workload_base_lifecycle() {
+        let mut base = WorkloadBase::default();
+        assert!(base.require_ready().is_err());
+        base.ready = true;
+        assert!(base.require_ready().is_ok());
+    }
+
+    #[test]
+    fn local_size_respects_device() {
+        let d = Device::native();
+        assert!(local_1d(1000, &d) <= 64);
+        assert!(local_1d(1, &d) >= 1);
+    }
+}

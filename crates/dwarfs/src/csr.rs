@@ -1,0 +1,629 @@
+//! csr — the Sparse Linear Algebra dwarf (Fig. 2c).
+//!
+//! Sparse matrix–vector multiplication `y = A·x` in compressed-sparse-row
+//! format. Table 3 feeds the OpenCL benchmark a file produced by
+//! `createcsr -n Φ -d 5000` — an n×n matrix that is 0.5 % dense; we build
+//! the same generator in-process ([`generate`]) so inputs stay deterministic
+//! and cache-fair. The kernel assigns one row per work-item, the classic
+//! scalar-CSR layout whose data-dependent column gathers are exactly what
+//! makes Sparse Linear Algebra memory-latency limited.
+
+use crate::common::{local_1d, rng_for, round_up, WorkloadBase};
+use eod_clrt::prelude::*;
+use eod_core::benchmark::{Benchmark, IterationOutput, Workload};
+use eod_core::dwarf::Dwarf;
+use eod_core::sizes::{ProblemSize, ScaleTable};
+use eod_core::validation;
+use eod_devsim::profile::{AccessPattern, KernelProfile};
+use rand::Rng;
+
+/// A CSR matrix with `f32` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    /// Matrix order (square, n×n).
+    pub n: usize,
+    /// Row start offsets, length n+1.
+    pub row_ptr: Vec<u32>,
+    /// Column indices, length nnz.
+    pub col_idx: Vec<u32>,
+    /// Non-zero values, length nnz.
+    pub vals: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Device footprint of the matrix plus x and y vectors, in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        let ptr = (self.n + 1) * 4;
+        let idx = self.nnz() * 4;
+        let val = self.nnz() * 4;
+        let xy = self.n * 4 * 2;
+        (ptr + idx + val + xy) as u64
+    }
+}
+
+/// `createcsr -n Φ -d 5000` equivalent: an n×n matrix, `density` fraction of
+/// entries present (Table 3's footnote: `-d 5000` means 0.5 % dense), values
+/// uniform in [0, 1), at least one non-zero per row so no work-item idles.
+pub fn generate(n: usize, density: f64, seed: u64) -> CsrMatrix {
+    assert!(n > 0);
+    assert!((0.0..=1.0).contains(&density));
+    let mut rng = rng_for(seed, 1);
+    let per_row_target = ((n as f64 * density).round() as usize).max(1);
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    row_ptr.push(0u32);
+    for _ in 0..n {
+        // Sample distinct, sorted column indices for this row.
+        let mut cols: Vec<u32> = (0..per_row_target)
+            .map(|_| rng.random_range(0..n as u32))
+            .collect();
+        cols.sort_unstable();
+        cols.dedup();
+        for c in cols {
+            col_idx.push(c);
+            vals.push(rng.random_range(0.0..1.0));
+        }
+        row_ptr.push(col_idx.len() as u32);
+    }
+    CsrMatrix {
+        n,
+        row_ptr,
+        col_idx,
+        vals,
+    }
+}
+
+/// Write the matrix in the `createcsr` interchange format — the Ψ file of
+/// Table 3 (`csr -i Ψ` with `Ψ = createcsr -n Φ -d 5000`). A plain text
+/// format: a `CSR n nnz` header line, then the row pointers, column
+/// indices, and values on one whitespace-separated line each.
+pub fn write_csr_file<W: std::io::Write>(m: &CsrMatrix, mut out: W) -> std::io::Result<()> {
+    writeln!(out, "CSR {} {}", m.n, m.nnz())?;
+    let join = |v: Vec<String>| v.join(" ");
+    writeln!(out, "{}", join(m.row_ptr.iter().map(u32::to_string).collect()))?;
+    writeln!(out, "{}", join(m.col_idx.iter().map(u32::to_string).collect()))?;
+    writeln!(
+        out,
+        "{}",
+        join(m.vals.iter().map(|v| format!("{:e}", v)).collect())
+    )
+}
+
+/// Read a [`write_csr_file`] matrix back, validating its structure.
+pub fn read_csr_file<R: std::io::BufRead>(mut input: R) -> std::io::Result<CsrMatrix> {
+    use std::io::{Error, ErrorKind};
+    let bad = |msg: &str| Error::new(ErrorKind::InvalidData, msg.to_string());
+    let mut line = String::new();
+    input.read_line(&mut line)?;
+    let mut head = line.split_whitespace();
+    if head.next() != Some("CSR") {
+        return Err(bad("missing CSR magic"));
+    }
+    let n: usize = head
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| bad("bad n"))?;
+    let nnz: usize = head
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| bad("bad nnz"))?;
+    let mut read_vec = |expect: usize| -> std::io::Result<Vec<String>> {
+        let mut l = String::new();
+        input.read_line(&mut l)?;
+        let v: Vec<String> = l.split_whitespace().map(str::to_string).collect();
+        if v.len() != expect {
+            return Err(bad(&format!("expected {expect} tokens, got {}", v.len())));
+        }
+        Ok(v)
+    };
+    let row_ptr: Vec<u32> = read_vec(n + 1)?
+        .iter()
+        .map(|t| t.parse().map_err(|_| bad("bad row_ptr")))
+        .collect::<std::io::Result<_>>()?;
+    let col_idx: Vec<u32> = read_vec(nnz)?
+        .iter()
+        .map(|t| t.parse().map_err(|_| bad("bad col_idx")))
+        .collect::<std::io::Result<_>>()?;
+    let vals: Vec<f32> = read_vec(nnz)?
+        .iter()
+        .map(|t| t.parse().map_err(|_| bad("bad value")))
+        .collect::<std::io::Result<_>>()?;
+    // Structural validation.
+    if row_ptr.first() != Some(&0) || *row_ptr.last().unwrap_or(&1) as usize != nnz {
+        return Err(bad("inconsistent row pointers"));
+    }
+    if row_ptr.windows(2).any(|w| w[1] < w[0]) {
+        return Err(bad("row pointers must be non-decreasing"));
+    }
+    if col_idx.iter().any(|&c| c as usize >= n) {
+        return Err(bad("column index out of range"));
+    }
+    Ok(CsrMatrix {
+        n,
+        row_ptr,
+        col_idx,
+        vals,
+    })
+}
+
+/// Serial reference SpMV.
+pub fn serial_spmv(m: &CsrMatrix, x: &[f32]) -> Vec<f32> {
+    (0..m.n)
+        .map(|r| {
+            let mut acc = 0.0f32;
+            for k in m.row_ptr[r] as usize..m.row_ptr[r + 1] as usize {
+                acc += m.vals[k] * x[m.col_idx[k] as usize];
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Row-per-work-item CSR SpMV kernel.
+struct SpmvKernel {
+    row_ptr: BufView<u32>,
+    col_idx: BufView<u32>,
+    vals: BufView<f32>,
+    x: BufView<f32>,
+    y: BufView<f32>,
+    n: usize,
+    nnz: usize,
+    footprint: u64,
+}
+
+impl Kernel for SpmvKernel {
+    fn name(&self) -> &str {
+        "csr::spmv"
+    }
+
+    fn profile(&self) -> KernelProfile {
+        let mut prof = KernelProfile::new("csr::spmv");
+        prof.flops = 2.0 * self.nnz as f64;
+        // Per non-zero: value + column index + the gathered x element.
+        prof.bytes_read = (self.nnz * 12 + (self.n + 1) * 4) as f64;
+        prof.bytes_written = (self.n * 4) as f64;
+        prof.working_set = self.footprint;
+        prof.pattern = AccessPattern::Gather;
+        prof.work_items = self.n as u64;
+        prof.branch_fraction = 0.1;
+        // Row lengths vary, so work-items in a wavefront finish at
+        // different times.
+        prof.branch_divergence = 0.3;
+        prof
+    }
+
+    fn run_group(&self, group: &WorkGroup) {
+        for item in group.items() {
+            let r = item.global_id(0);
+            if r >= self.n {
+                continue;
+            }
+            let lo = self.row_ptr.get(r) as usize;
+            let hi = self.row_ptr.get(r + 1) as usize;
+            let mut acc = 0.0f32;
+            for k in lo..hi {
+                acc += self.vals.get(k) * self.x.get(self.col_idx.get(k) as usize);
+            }
+            self.y.set(r, acc);
+        }
+    }
+}
+
+/// Vector-style CSR SpMV: one 32-lane work-group per row (the classic
+/// "CSR-vector" layout). Functionally identical to the scalar kernel; the
+/// performance model sees the coalesced per-row access (Strided rather
+/// than Gather for the value/index streams) and the 32× wider launch,
+/// which is exactly the trade the CUDA/OpenCL literature reports: vector
+/// wins on GPUs once rows are long enough to fill a wavefront.
+struct SpmvVectorKernel {
+    row_ptr: BufView<u32>,
+    col_idx: BufView<u32>,
+    vals: BufView<f32>,
+    x: BufView<f32>,
+    y: BufView<f32>,
+    n: usize,
+    nnz: usize,
+    footprint: u64,
+}
+
+/// Lanes per row in the vector kernel.
+pub const VECTOR_LANES: usize = 32;
+
+impl Kernel for SpmvVectorKernel {
+    fn name(&self) -> &str {
+        "csr::spmv_vector"
+    }
+
+    fn profile(&self) -> KernelProfile {
+        let mut prof = KernelProfile::new("csr::spmv_vector");
+        prof.flops = 2.0 * self.nnz as f64;
+        prof.bytes_read = (self.nnz * 12 + (self.n + 1) * 4) as f64;
+        prof.bytes_written = (self.n * 4) as f64;
+        prof.working_set = self.footprint;
+        // Lanes stream the row's values/indices contiguously; only the x
+        // gather stays irregular — model it as strided rather than gather.
+        prof.pattern = AccessPattern::Strided;
+        prof.work_items = (self.n * VECTOR_LANES) as u64;
+        prof.branch_fraction = 0.1;
+        prof.branch_divergence = 0.15; // tail-lane divergence only
+        prof
+    }
+
+    fn run_group(&self, group: &WorkGroup) {
+        // One group per row: lane items partition the row's non-zeros and
+        // the partial sums reduce within the group (sequential here, as on
+        // a CPU driver).
+        let r = group.group_id(0);
+        if r >= self.n {
+            return;
+        }
+        let lo = self.row_ptr.get(r) as usize;
+        let hi = self.row_ptr.get(r + 1) as usize;
+        let mut lane_sums = [0.0f32; VECTOR_LANES];
+        for item in group.items() {
+            let lane = item.local_id(0);
+            let mut acc = 0.0f32;
+            let mut k = lo + lane;
+            while k < hi {
+                acc += self.vals.get(k) * self.x.get(self.col_idx.get(k) as usize);
+                k += VECTOR_LANES;
+            }
+            lane_sums[lane] = acc;
+        }
+        self.y.set(r, lane_sums.iter().sum());
+    }
+}
+
+/// Which SpMV kernel layout a workload launches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpmvVariant {
+    /// Row-per-work-item (the OpenDwarfs default).
+    #[default]
+    Scalar,
+    /// Row-per-work-group with 32 lanes (CSR-vector).
+    Vector,
+}
+
+/// The csr benchmark descriptor.
+pub struct Csr;
+
+impl Benchmark for Csr {
+    fn name(&self) -> &'static str {
+        "csr"
+    }
+
+    fn dwarf(&self) -> Dwarf {
+        Dwarf::SparseLinearAlgebra
+    }
+
+    fn workload(&self, size: ProblemSize, seed: u64) -> Box<dyn Workload> {
+        Box::new(CsrWorkload::new(
+            ScaleTable::CSR_ORDER[ScaleTable::index(size)],
+            ScaleTable::CSR_DENSITY,
+            seed,
+        ))
+    }
+}
+
+/// A configured csr instance.
+pub struct CsrWorkload {
+    n: usize,
+    density: f64,
+    seed: u64,
+    variant: SpmvVariant,
+    base: WorkloadBase,
+    matrix: Option<CsrMatrix>,
+    host_x: Vec<f32>,
+    kernel: Option<SpmvKernel>,
+    vector_kernel: Option<SpmvVectorKernel>,
+    y_buf: Option<Buffer<f32>>,
+    held: Vec<Box<dyn std::any::Any + Send>>,
+    range: NdRange,
+}
+
+impl CsrWorkload {
+    /// Workload for an n×n matrix at the given density.
+    pub fn new(n: usize, density: f64, seed: u64) -> Self {
+        Self {
+            n,
+            density,
+            seed,
+            variant: SpmvVariant::Scalar,
+            base: WorkloadBase::default(),
+            matrix: None,
+            host_x: Vec::new(),
+            kernel: None,
+            vector_kernel: None,
+            y_buf: None,
+            held: Vec::new(),
+            range: NdRange::d1(1, 1),
+        }
+    }
+
+    /// Switch to the CSR-vector kernel layout.
+    pub fn with_variant(mut self, variant: SpmvVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    fn predicted_nnz(&self) -> usize {
+        self.n * ((self.n as f64 * self.density).round() as usize).max(1)
+    }
+}
+
+impl Workload for CsrWorkload {
+    fn footprint_bytes(&self) -> u64 {
+        match &self.matrix {
+            Some(m) => m.footprint_bytes(),
+            None => {
+                let nnz = self.predicted_nnz();
+                ((self.n + 1) * 4 + nnz * 8 + self.n * 8) as u64
+            }
+        }
+    }
+
+    fn setup(&mut self, ctx: &Context, queue: &CommandQueue) -> Result<Vec<Event>> {
+        let m = generate(self.n, self.density, self.seed);
+        let mut rng = rng_for(self.seed, 2);
+        self.host_x = (0..self.n).map(|_| rng.random_range(0.0..1.0)).collect();
+
+        let row_ptr = ctx.create_buffer::<u32>(m.row_ptr.len())?;
+        let col_idx = ctx.create_buffer::<u32>(m.col_idx.len().max(1))?;
+        let vals = ctx.create_buffer::<f32>(m.vals.len().max(1))?;
+        let x = ctx.create_buffer::<f32>(self.n)?;
+        let y = ctx.create_buffer::<f32>(self.n)?;
+        let mut events = Vec::new();
+        events.push(queue.enqueue_write_buffer(&row_ptr, &m.row_ptr)?);
+        events.push(queue.enqueue_write_buffer(&col_idx, &m.col_idx)?);
+        events.push(queue.enqueue_write_buffer(&vals, &m.vals)?);
+        events.push(queue.enqueue_write_buffer(&x, &self.host_x)?);
+
+        match self.variant {
+            SpmvVariant::Scalar => {
+                let local = local_1d(self.n, queue.device());
+                self.range = NdRange::d1(round_up(self.n, local), local);
+                self.kernel = Some(SpmvKernel {
+                    row_ptr: row_ptr.view(),
+                    col_idx: col_idx.view(),
+                    vals: vals.view(),
+                    x: x.view(),
+                    y: y.view(),
+                    n: self.n,
+                    nnz: m.nnz(),
+                    footprint: m.footprint_bytes(),
+                });
+            }
+            SpmvVariant::Vector => {
+                self.range = NdRange::d1(self.n * VECTOR_LANES, VECTOR_LANES);
+                self.vector_kernel = Some(SpmvVectorKernel {
+                    row_ptr: row_ptr.view(),
+                    col_idx: col_idx.view(),
+                    vals: vals.view(),
+                    x: x.view(),
+                    y: y.view(),
+                    n: self.n,
+                    nnz: m.nnz(),
+                    footprint: m.footprint_bytes(),
+                });
+            }
+        }
+        self.y_buf = Some(y);
+        self.held.push(Box::new(row_ptr));
+        self.held.push(Box::new(col_idx));
+        self.held.push(Box::new(vals));
+        self.held.push(Box::new(x));
+        self.matrix = Some(m);
+        self.base.ready = true;
+        Ok(events)
+    }
+
+    fn run_iteration(&mut self, queue: &CommandQueue) -> Result<IterationOutput> {
+        self.base.require_ready()?;
+        let ev = match self.variant {
+            SpmvVariant::Scalar => {
+                queue.enqueue_kernel(self.kernel.as_ref().expect("ready"), &self.range)?
+            }
+            SpmvVariant::Vector => queue.enqueue_kernel(
+                self.vector_kernel.as_ref().expect("ready"),
+                &self.range,
+            )?,
+        };
+        self.base.iterations += 1;
+        Ok(IterationOutput::new(vec![ev]))
+    }
+
+    fn verify(&mut self, queue: &CommandQueue) -> std::result::Result<(), String> {
+        let y = self.y_buf.as_ref().ok_or("verify before setup")?;
+        let m = self.matrix.as_ref().ok_or("verify before setup")?;
+        let mut got = vec![0.0f32; self.n];
+        queue
+            .enqueue_read_buffer(y, &mut got)
+            .map_err(|e| e.to_string())?;
+        let want = serial_spmv(m, &self.host_x);
+        validation::check_close("csr spmv", &got, &want, 1e-5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_properties() {
+        let m = generate(736, 0.005, 3); // the paper's tiny Φ
+        assert_eq!(m.n, 736);
+        assert_eq!(m.row_ptr.len(), 737);
+        assert_eq!(m.row_ptr[0], 0);
+        assert_eq!(*m.row_ptr.last().unwrap() as usize, m.nnz());
+        // ~0.5% density, at least 1 per row, dedup may remove a few.
+        let target = 736.0 * 736.0 * 0.005;
+        assert!((m.nnz() as f64) > target * 0.8 && (m.nnz() as f64) < target * 1.2);
+        // Row-sorted column indices in range.
+        for r in 0..m.n {
+            let s = m.row_ptr[r] as usize;
+            let e = m.row_ptr[r + 1] as usize;
+            assert!(e > s, "row {r} empty");
+            for k in s..e {
+                assert!((m.col_idx[k] as usize) < m.n);
+                if k > s {
+                    assert!(m.col_idx[k] > m.col_idx[k - 1], "unsorted/dup in row {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        assert_eq!(generate(100, 0.01, 9), generate(100, 0.01, 9));
+        assert_ne!(generate(100, 0.01, 9), generate(100, 0.01, 10));
+    }
+
+    #[test]
+    fn serial_spmv_identity() {
+        // Identity matrix: y = x.
+        let n = 5;
+        let m = CsrMatrix {
+            n,
+            row_ptr: (0..=n as u32).collect(),
+            col_idx: (0..n as u32).collect(),
+            vals: vec![1.0; n],
+        };
+        let x = vec![3.0, 1.0, 4.0, 1.0, 5.0];
+        assert_eq!(serial_spmv(&m, &x), x);
+    }
+
+    fn run_csr(device: Device, n: usize) {
+        let ctx = Context::new(device);
+        let queue = CommandQueue::new(&ctx).with_profiling();
+        let mut w = CsrWorkload::new(n, 0.005, 11);
+        w.setup(&ctx, &queue).unwrap();
+        w.run_iteration(&queue).unwrap();
+        w.verify(&queue).unwrap();
+    }
+
+    #[test]
+    fn device_matches_serial_native() {
+        run_csr(Device::native(), 736);
+    }
+
+    #[test]
+    fn device_matches_serial_simulated() {
+        let knl = Platform::simulated().device_by_name("Xeon Phi 7210").unwrap();
+        run_csr(knl, 300);
+    }
+
+    #[test]
+    fn footprints_fit_cache_levels() {
+        use eod_core::sizing;
+        for &size in &[ProblemSize::Tiny, ProblemSize::Small] {
+            let n = ScaleTable::CSR_ORDER[ScaleTable::index(size)];
+            let w = CsrWorkload::new(n, ScaleTable::CSR_DENSITY, 0);
+            assert!(
+                sizing::footprint_ok(size, w.footprint_bytes()),
+                "{size:?}: {} B",
+                w.footprint_bytes()
+            );
+        }
+        // The paper's medium Φ (14336 at 0.5 % density) lands ~0.5 % over
+        // the 8 MiB L3 under our full accounting (row_ptr + indices +
+        // values + x + y); accept the near-fit, and require large to spill.
+        let medium = CsrWorkload::new(ScaleTable::CSR_ORDER[2], ScaleTable::CSR_DENSITY, 0);
+        assert!(medium.footprint_bytes() as f64 <= 8192.0 * 1024.0 * 1.05);
+        let large = CsrWorkload::new(ScaleTable::CSR_ORDER[3], ScaleTable::CSR_DENSITY, 0);
+        assert!(large.footprint_bytes() > 8192 * 1024);
+    }
+
+    #[test]
+    fn csr_file_roundtrip() {
+        let m = generate(200, 0.01, 7);
+        let mut bytes = Vec::new();
+        write_csr_file(&m, &mut bytes).unwrap();
+        let back = read_csr_file(std::io::Cursor::new(&bytes)).unwrap();
+        assert_eq!(m.n, back.n);
+        assert_eq!(m.row_ptr, back.row_ptr);
+        assert_eq!(m.col_idx, back.col_idx);
+        for (a, b) in m.vals.iter().zip(&back.vals) {
+            assert_eq!(a.to_bits(), b.to_bits(), "values survive exactly via %e");
+        }
+    }
+
+    #[test]
+    fn csr_file_rejects_corruption() {
+        let m = generate(10, 0.2, 1);
+        let mut bytes = Vec::new();
+        write_csr_file(&m, &mut bytes).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        // Bad magic.
+        assert!(read_csr_file(std::io::Cursor::new(text.replacen("CSR", "MTX", 1))).is_err());
+        // Out-of-range column index.
+        let corrupted = {
+            let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+            let mut cols: Vec<String> =
+                lines[2].split_whitespace().map(str::to_string).collect();
+            cols[0] = "999".into();
+            lines[2] = cols.join(" ");
+            lines.join("\n") + "\n"
+        };
+        assert!(read_csr_file(std::io::Cursor::new(corrupted)).is_err());
+    }
+
+    #[test]
+    fn vector_variant_matches_scalar_results() {
+        let ctx = Context::new(Device::native());
+        let queue = CommandQueue::new(&ctx).with_profiling();
+        let mut w = CsrWorkload::new(500, 0.01, 11).with_variant(SpmvVariant::Vector);
+        w.setup(&ctx, &queue).unwrap();
+        w.run_iteration(&queue).unwrap();
+        w.verify(&queue).unwrap();
+    }
+
+    #[test]
+    fn vector_variant_models_faster_on_gpus_for_long_rows() {
+        // With 0.5% density the large matrix has ~80-nonzero rows: enough
+        // to fill a wavefront, so the vector kernel's coalescing should win
+        // on a GPU model while the scalar kernel stays competitive on CPUs.
+        use eod_devsim::model::DeviceModel;
+        let ctx = Context::new(Device::native());
+        let queue = CommandQueue::new(&ctx);
+        let mut scalar = CsrWorkload::new(2416, 0.02, 1);
+        scalar.setup(&ctx, &queue).unwrap();
+        let mut vector = CsrWorkload::new(2416, 0.02, 1).with_variant(SpmvVariant::Vector);
+        vector.setup(&ctx, &queue).unwrap();
+        let ps = scalar.kernel.as_ref().unwrap().profile();
+        let pv = vector.vector_kernel.as_ref().unwrap().profile();
+        let gtx = DeviceModel::new(eod_devsim::catalog::DeviceId::by_name("GTX 1080").unwrap());
+        assert!(
+            gtx.predict(&pv).total_s < gtx.predict(&ps).total_s,
+            "vector must model faster on the GPU"
+        );
+    }
+
+    #[test]
+    fn vector_variant_on_simulated_device() {
+        let titan = Platform::simulated().device_by_name("Titan X").unwrap();
+        let ctx = Context::new(titan);
+        let queue = CommandQueue::new(&ctx).with_profiling();
+        let mut w = CsrWorkload::new(300, 0.02, 5).with_variant(SpmvVariant::Vector);
+        w.setup(&ctx, &queue).unwrap();
+        w.run_iteration(&queue).unwrap();
+        w.verify(&queue).unwrap();
+    }
+
+    #[test]
+    fn profile_is_gather_patterned() {
+        let ctx = Context::new(Device::native());
+        let queue = CommandQueue::new(&ctx);
+        let mut w = CsrWorkload::new(500, 0.01, 1);
+        w.setup(&ctx, &queue).unwrap();
+        let p = w.kernel.as_ref().unwrap().profile();
+        p.validate().unwrap();
+        assert_eq!(p.pattern, AccessPattern::Gather);
+        assert!(p.arithmetic_intensity() < 1.0, "SpMV is memory bound");
+    }
+}

@@ -1,0 +1,236 @@
+//! CDF(5,3) lifting steps — the wavelet arithmetic shared by the serial
+//! reference and the device kernels.
+//!
+//! One forward step splits a signal of length `n` into `ceil(n/2)` low-pass
+//! (approximation) and `floor(n/2)` high-pass (detail) coefficients using
+//! the two lifting steps of the Le Gall 5/3 wavelet with whole-sample
+//! symmetric extension:
+//!
+//! ```text
+//! d[i] = x[2i+1] − ½·(x[2i] + x[2i+2])        (predict)
+//! s[i] = x[2i]   + ¼·(d[i−1] + d[i])          (update)
+//! ```
+//!
+//! Lifting is structurally invertible: the inverse applies the same update
+//! and predict terms with opposite sign. In `f32` the reconstruction is
+//! exact up to one rounding step per lifting stage (`(x + t) − t` re-rounds),
+//! so round-trips are verified to a few ULPs rather than bit-for-bit.
+
+/// Number of low-pass coefficients for a signal of length `n`.
+#[inline]
+pub fn low_len(n: usize) -> usize {
+    n - n / 2
+}
+
+/// Number of high-pass coefficients for a signal of length `n`.
+#[inline]
+pub fn high_len(n: usize) -> usize {
+    n / 2
+}
+
+/// Forward 5/3 step: `x` (length n ≥ 2) → `out` as `[low | high]`.
+///
+/// `out` must have length `n`. The generic accessors let the device kernel
+/// run the identical arithmetic through buffer views.
+pub fn forward_step(x: &[f32], out: &mut [f32]) {
+    let n = x.len();
+    assert!(n >= 2);
+    assert_eq!(out.len(), n);
+    let nh = high_len(n);
+    let nl = low_len(n);
+    // Predict (detail).
+    for i in 0..nh {
+        let left = x[2 * i];
+        let right = if 2 * i + 2 <= n - 1 { x[2 * i + 2] } else { x[2 * i] };
+        out[nl + i] = x[2 * i + 1] - 0.5 * (left + right);
+    }
+    // Update (approximation).
+    for i in 0..nl {
+        let dl = if i > 0 { out[nl + i - 1] } else { out[nl] };
+        let dr = if i < nh { out[nl + i] } else { out[nl + nh - 1] };
+        out[i] = x[2 * i] + 0.25 * (dl + dr);
+    }
+}
+
+/// Inverse 5/3 step: `coeffs = [low | high]` (length n) → `out` (length n).
+pub fn inverse_step(coeffs: &[f32], out: &mut [f32]) {
+    let n = coeffs.len();
+    assert!(n >= 2);
+    assert_eq!(out.len(), n);
+    let nh = high_len(n);
+    let nl = low_len(n);
+    // Undo update: even samples.
+    for i in 0..nl {
+        let dl = if i > 0 { coeffs[nl + i - 1] } else { coeffs[nl] };
+        let dr = if i < nh { coeffs[nl + i] } else { coeffs[nl + nh - 1] };
+        out[2 * i] = coeffs[i] - 0.25 * (dl + dr);
+    }
+    // Undo predict: odd samples.
+    for i in 0..nh {
+        let left = out[2 * i];
+        let right = if 2 * i + 2 <= n - 1 { out[2 * i + 2] } else { out[2 * i] };
+        out[2 * i + 1] = coeffs[nl + i] + 0.5 * (left + right);
+    }
+}
+
+/// Serial 2-D multi-level forward DWT, in place on a `w×h` image stored
+/// row-major. Level ℓ transforms the `ceil(w/2^ℓ) × ceil(h/2^ℓ)` LL region.
+pub fn forward_2d(img: &mut [f32], w: usize, h: usize, levels: usize) {
+    assert_eq!(img.len(), w * h);
+    let (mut rw, mut rh) = (w, h);
+    for _ in 0..levels {
+        if rw < 2 || rh < 2 {
+            break;
+        }
+        // Rows.
+        let mut row = vec![0.0f32; rw];
+        let mut out = vec![0.0f32; rw];
+        for r in 0..rh {
+            row.copy_from_slice(&img[r * w..r * w + rw]);
+            forward_step(&row, &mut out);
+            img[r * w..r * w + rw].copy_from_slice(&out);
+        }
+        // Columns.
+        let mut col = vec![0.0f32; rh];
+        let mut cout = vec![0.0f32; rh];
+        for c in 0..rw {
+            for r in 0..rh {
+                col[r] = img[r * w + c];
+            }
+            forward_step(&col, &mut cout);
+            for r in 0..rh {
+                img[r * w + c] = cout[r];
+            }
+        }
+        rw = low_len(rw);
+        rh = low_len(rh);
+    }
+}
+
+/// Serial 2-D multi-level inverse DWT (exact inverse of [`forward_2d`]).
+pub fn inverse_2d(img: &mut [f32], w: usize, h: usize, levels: usize) {
+    assert_eq!(img.len(), w * h);
+    // Reconstruct the region sizes of each level, then undo deepest-first.
+    let mut dims = Vec::new();
+    let (mut rw, mut rh) = (w, h);
+    for _ in 0..levels {
+        if rw < 2 || rh < 2 {
+            break;
+        }
+        dims.push((rw, rh));
+        rw = low_len(rw);
+        rh = low_len(rh);
+    }
+    for &(rw, rh) in dims.iter().rev() {
+        // Columns first (reverse of rows-then-columns).
+        let mut col = vec![0.0f32; rh];
+        let mut cout = vec![0.0f32; rh];
+        for c in 0..rw {
+            for r in 0..rh {
+                col[r] = img[r * w + c];
+            }
+            inverse_step(&col, &mut cout);
+            for r in 0..rh {
+                img[r * w + c] = cout[r];
+            }
+        }
+        let mut row = vec![0.0f32; rw];
+        let mut out = vec![0.0f32; rw];
+        for r in 0..rh {
+            row.copy_from_slice(&img[r * w..r * w + rw]);
+            inverse_step(&row, &mut out);
+            img[r * w..r * w + rw].copy_from_slice(&out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{random_vec, rng_for};
+
+    #[test]
+    fn lengths_split() {
+        assert_eq!((low_len(8), high_len(8)), (4, 4));
+        assert_eq!((low_len(9), high_len(9)), (5, 4));
+        assert_eq!((low_len(2), high_len(2)), (1, 1));
+    }
+
+    #[test]
+    fn constant_signal_has_zero_detail() {
+        let x = vec![5.0f32; 10];
+        let mut out = vec![0.0; 10];
+        forward_step(&x, &mut out);
+        for &d in &out[5..] {
+            assert_eq!(d, 0.0, "5/3 predict is exact on constants");
+        }
+        for &s in &out[..5] {
+            assert_eq!(s, 5.0);
+        }
+    }
+
+    #[test]
+    fn linear_signal_has_zero_detail() {
+        // The 5/3 predictor is exact on linears away from boundaries.
+        let x: Vec<f32> = (0..16).map(|i| 3.0 * i as f32 + 1.0).collect();
+        let mut out = vec![0.0; 16];
+        forward_step(&x, &mut out);
+        for &d in &out[8..15] {
+            assert!(d.abs() < 1e-5, "interior detail {d}");
+        }
+    }
+
+    #[test]
+    fn step_roundtrip_even_and_odd() {
+        for n in [2usize, 3, 8, 9, 54, 55] {
+            let x = random_vec(&mut rng_for(n as u64, 0), n);
+            let mut coeffs = vec![0.0; n];
+            forward_step(&x, &mut coeffs);
+            let mut back = vec![0.0; n];
+            inverse_step(&coeffs, &mut back);
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() <= 1e-6, "n = {n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_d_roundtrip() {
+        // Includes the paper's tiny 72×54 (odd height at level 2).
+        for (w, h, levels) in [(72usize, 54usize, 3usize), (16, 16, 2), (7, 5, 3)] {
+            let img = random_vec(&mut rng_for((w * h) as u64, 1), w * h);
+            let mut work = img.clone();
+            forward_2d(&mut work, w, h, levels);
+            inverse_2d(&mut work, w, h, levels);
+            for (a, b) in img.iter().zip(&work) {
+                assert!((a - b).abs() <= 1e-5, "{w}x{h} @ {levels}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn energy_is_concentrated_in_ll() {
+        // For a smooth image the detail bands must carry almost nothing
+        // compared to the approximation band (the 5/3 lifting used here is
+        // unnormalized, so compare bands against each other, not against
+        // the original image energy).
+        let (w, h) = (64, 64);
+        let mut img: Vec<f32> = (0..w * h)
+            .map(|i| {
+                let (x, y) = ((i % w) as f32, (i / w) as f32);
+                (x * 0.1).sin() + (y * 0.07).cos()
+            })
+            .collect();
+        forward_2d(&mut img, w, h, 1);
+        let ll: f64 = (0..h / 2)
+            .flat_map(|r| (0..w / 2).map(move |c| (r, c)))
+            .map(|(r, c)| (img[r * w + c] as f64).powi(2))
+            .sum();
+        let all: f64 = img.iter().map(|&v| (v as f64).powi(2)).sum();
+        let details = all - ll;
+        assert!(
+            details < 0.02 * ll,
+            "detail energy {details} vs LL {ll} on a smooth image"
+        );
+    }
+}

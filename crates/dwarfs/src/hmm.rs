@@ -1,0 +1,786 @@
+//! hmm — the Graphical Models dwarf (Fig. 4c).
+//!
+//! One Baum–Welch (EM) iteration for a discrete hidden Markov model with
+//! `N` states and `M` output symbols over a generated observation sequence
+//! of length `T`: the scaled forward and backward recursions, then
+//! re-estimation of the transition matrix `A`, emission matrix `B` and
+//! initial distribution `π`. Table 3 runs it as `-n Φ₁ -s Φ₂ -v s`; the
+//! paper validates correctness only at the `tiny` scale (8 states,
+//! 1 symbol) and only examines that size (§4.4.4), which this module
+//! reproduces — all four Table 2 scales are constructible, tiny is the
+//! default for evaluation.
+//!
+//! Kernel decomposition mirrors the OpenCL `bwa_hmm` benchmark: one
+//! forward-step kernel per time step (N work-items) plus a single-item
+//! scaling kernel, one backward-step kernel per time step, and three
+//! re-estimation kernels — a launch-heavy, low-parallelism shape at tiny
+//! sizes, which is why CPUs hold their own in Fig. 4c. Re-estimated
+//! parameters are written to *separate* output buffers, keeping timed
+//! iterations idempotent.
+
+use crate::common::{rng_for, round_up, WorkloadBase};
+use eod_clrt::prelude::*;
+use eod_core::benchmark::{Benchmark, IterationOutput, Workload};
+use eod_core::dwarf::Dwarf;
+use eod_core::sizes::{ProblemSize, ScaleTable};
+use eod_core::validation;
+use eod_devsim::profile::{AccessPattern, KernelProfile};
+use rand::Rng;
+
+/// HMM problem parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HmmParams {
+    /// Hidden states N.
+    pub states: usize,
+    /// Output symbols M.
+    pub symbols: usize,
+    /// Observation sequence length.
+    pub t: usize,
+}
+
+/// Observation length used for all sizes (the OpenDwarfs default order of
+/// magnitude; fixed so Φ scales only N and M as Table 2 does).
+pub const DEFAULT_T: usize = 100;
+
+impl HmmParams {
+    /// Table 2 parameters for a size.
+    pub fn for_size(size: ProblemSize) -> Self {
+        let (states, symbols) = ScaleTable::HMM_DIMS[ScaleTable::index(size)];
+        Self {
+            states,
+            symbols,
+            t: DEFAULT_T,
+        }
+    }
+
+    /// Device footprint: A, B, π, observations, α, β, scale factors, and
+    /// the three re-estimation outputs.
+    pub fn footprint_bytes(&self) -> u64 {
+        let (n, m, t) = (self.states, self.symbols, self.t);
+        let a = n * n * 4;
+        let b = n * m * 4;
+        let pi = n * 4;
+        let obs = t * 4;
+        let alpha = t * n * 4;
+        let beta = t * n * 4;
+        let scale = t * 4;
+        (2 * (a + b + pi) + obs + alpha + beta + scale) as u64
+    }
+}
+
+/// A row-stochastic random matrix (rows sum to 1).
+pub fn random_stochastic(rows: usize, cols: usize, rng: &mut impl Rng) -> Vec<f32> {
+    let mut m = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        let mut sum = 0.0f32;
+        for c in 0..cols {
+            let v: f32 = rng.random_range(0.1..1.0);
+            m[r * cols + c] = v;
+            sum += v;
+        }
+        for c in 0..cols {
+            m[r * cols + c] /= sum;
+        }
+    }
+    m
+}
+
+/// A generated HMM instance plus observations.
+#[derive(Debug, Clone)]
+pub struct HmmInstance {
+    /// Transition matrix A (N×N, row-stochastic).
+    pub a: Vec<f32>,
+    /// Emission matrix B (N×M, row-stochastic).
+    pub b: Vec<f32>,
+    /// Initial distribution π (N).
+    pub pi: Vec<f32>,
+    /// Observations (length T, symbols in 0..M).
+    pub obs: Vec<u32>,
+}
+
+/// Generate a random HMM and observation sequence.
+pub fn generate(p: &HmmParams, seed: u64) -> HmmInstance {
+    let mut rng = rng_for(seed, 10);
+    let a = random_stochastic(p.states, p.states, &mut rng);
+    let b = random_stochastic(p.states, p.symbols, &mut rng);
+    let pi = {
+        let v = random_stochastic(1, p.states, &mut rng);
+        v
+    };
+    let obs = (0..p.t)
+        .map(|_| rng.random_range(0..p.symbols as u32))
+        .collect();
+    HmmInstance { a, b, pi, obs }
+}
+
+/// Result of one serial Baum–Welch iteration.
+#[derive(Debug, Clone)]
+pub struct BaumWelchResult {
+    /// Scaled forward variables α (T×N).
+    pub alpha: Vec<f32>,
+    /// Scaled backward variables β (T×N).
+    pub beta: Vec<f32>,
+    /// Per-step scale factors c_t (T).
+    pub scale: Vec<f32>,
+    /// Re-estimated A.
+    pub a_new: Vec<f32>,
+    /// Re-estimated B.
+    pub b_new: Vec<f32>,
+    /// Re-estimated π.
+    pub pi_new: Vec<f32>,
+    /// Log-likelihood of the observations under the *input* model.
+    pub log_likelihood: f64,
+}
+
+/// Serial reference: one scaled Baum–Welch iteration in f32 (mirroring the
+/// kernels' arithmetic order).
+pub fn serial_baum_welch(p: &HmmParams, h: &HmmInstance) -> BaumWelchResult {
+    let (n, m, t) = (p.states, p.symbols, p.t);
+    let idx = |t_: usize, j: usize| t_ * n + j;
+    let mut alpha = vec![0.0f32; t * n];
+    let mut scale = vec![0.0f32; t];
+
+    // Forward with per-step scaling.
+    for j in 0..n {
+        alpha[idx(0, j)] = h.pi[j] * h.b[j * m + h.obs[0] as usize];
+    }
+    let mut s0 = 0.0f32;
+    for j in 0..n {
+        s0 += alpha[idx(0, j)];
+    }
+    scale[0] = 1.0 / s0;
+    for j in 0..n {
+        alpha[idx(0, j)] *= scale[0];
+    }
+    for step in 1..t {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for i in 0..n {
+                acc += alpha[idx(step - 1, i)] * h.a[i * n + j];
+            }
+            alpha[idx(step, j)] = acc * h.b[j * m + h.obs[step] as usize];
+        }
+        let mut s = 0.0f32;
+        for j in 0..n {
+            s += alpha[idx(step, j)];
+        }
+        scale[step] = 1.0 / s;
+        for j in 0..n {
+            alpha[idx(step, j)] *= scale[step];
+        }
+    }
+
+    // Backward, scaled with the same factors.
+    let mut beta = vec![0.0f32; t * n];
+    for j in 0..n {
+        beta[idx(t - 1, j)] = scale[t - 1];
+    }
+    for step in (0..t - 1).rev() {
+        for i in 0..n {
+            let mut acc = 0.0f32;
+            for j in 0..n {
+                acc += h.a[i * n + j] * h.b[j * m + h.obs[step + 1] as usize] * beta[idx(step + 1, j)];
+            }
+            beta[idx(step, i)] = acc * scale[step];
+        }
+    }
+
+    // Re-estimation.
+    let mut a_new = vec![0.0f32; n * n];
+    for i in 0..n {
+        let mut denom = 0.0f32;
+        for step in 0..t - 1 {
+            denom += alpha[idx(step, i)] * beta[idx(step, i)] / scale[step];
+        }
+        for j in 0..n {
+            let mut numer = 0.0f32;
+            for step in 0..t - 1 {
+                numer += alpha[idx(step, i)]
+                    * h.a[i * n + j]
+                    * h.b[j * m + h.obs[step + 1] as usize]
+                    * beta[idx(step + 1, j)];
+            }
+            a_new[i * n + j] = numer / denom;
+        }
+    }
+    let mut b_new = vec![0.0f32; n * m];
+    for j in 0..n {
+        let mut denom = 0.0f32;
+        for step in 0..t {
+            denom += alpha[idx(step, j)] * beta[idx(step, j)] / scale[step];
+        }
+        for k in 0..m {
+            let mut numer = 0.0f32;
+            for step in 0..t {
+                if h.obs[step] as usize == k {
+                    numer += alpha[idx(step, j)] * beta[idx(step, j)] / scale[step];
+                }
+            }
+            b_new[j * m + k] = numer / denom;
+        }
+    }
+    let pi_new: Vec<f32> = (0..n)
+        .map(|j| alpha[idx(0, j)] * beta[idx(0, j)] / scale[0])
+        .collect();
+
+    let log_likelihood = -scale.iter().map(|&c| (c as f64).ln()).sum::<f64>();
+    BaumWelchResult {
+        alpha,
+        beta,
+        scale,
+        a_new,
+        b_new,
+        pi_new,
+        log_likelihood,
+    }
+}
+
+/// Buffers shared by every hmm kernel.
+#[derive(Clone)]
+struct HmmViews {
+    a: BufView<f32>,
+    b: BufView<f32>,
+    pi: BufView<f32>,
+    obs: BufView<u32>,
+    alpha: BufView<f32>,
+    beta: BufView<f32>,
+    scale: BufView<f32>,
+    a_new: BufView<f32>,
+    b_new: BufView<f32>,
+    pi_new: BufView<f32>,
+}
+
+fn small_profile(name: &str, p: &HmmParams, flops: f64, items: u64) -> KernelProfile {
+    let mut prof = KernelProfile::new(name);
+    prof.flops = flops;
+    prof.bytes_read = flops * 8.0; // each MAC touches two operands
+    prof.bytes_written = items as f64 * 4.0;
+    prof.working_set = p.footprint_bytes();
+    prof.pattern = AccessPattern::Strided;
+    prof.work_items = items.max(1);
+    prof
+}
+
+/// Forward step at time `t_step` (N work-items).
+struct ForwardStepKernel {
+    v: HmmViews,
+    p: HmmParams,
+    t_step: usize,
+}
+
+impl Kernel for ForwardStepKernel {
+    fn name(&self) -> &str {
+        "hmm::forward_step"
+    }
+
+    fn profile(&self) -> KernelProfile {
+        let n = self.p.states as f64;
+        small_profile("hmm::forward_step", &self.p, 2.0 * n * n + n, self.p.states as u64)
+    }
+
+    fn run_group(&self, group: &WorkGroup) {
+        let (n, m) = (self.p.states, self.p.symbols);
+        let t = self.t_step;
+        for item in group.items() {
+            let j = item.global_id(0);
+            if j >= n {
+                continue;
+            }
+            let emit = self.v.b.get(j * m + self.v.obs.get(t) as usize);
+            let val = if t == 0 {
+                self.v.pi.get(j) * emit
+            } else {
+                let mut acc = 0.0f32;
+                for i in 0..n {
+                    acc += self.v.alpha.get((t - 1) * n + i) * self.v.a.get(i * n + j);
+                }
+                acc * emit
+            };
+            self.v.alpha.set(t * n + j, val);
+        }
+    }
+}
+
+/// Scale the α row at `t_step` (single work-item; the reduction is serial
+/// in the OpenCL original too).
+struct ScaleKernel {
+    v: HmmViews,
+    p: HmmParams,
+    t_step: usize,
+}
+
+impl Kernel for ScaleKernel {
+    fn name(&self) -> &str {
+        "hmm::scale"
+    }
+
+    fn profile(&self) -> KernelProfile {
+        let mut prof = small_profile("hmm::scale", &self.p, 2.0 * self.p.states as f64, 1);
+        prof.serial_fraction = 1.0;
+        prof
+    }
+
+    fn run_group(&self, group: &WorkGroup) {
+        let n = self.p.states;
+        let t = self.t_step;
+        for item in group.items() {
+            if item.global_id(0) != 0 {
+                continue;
+            }
+            let mut sum = 0.0f32;
+            for j in 0..n {
+                sum += self.v.alpha.get(t * n + j);
+            }
+            let c = 1.0 / sum;
+            self.v.scale.set(t, c);
+            for j in 0..n {
+                self.v.alpha.set(t * n + j, self.v.alpha.get(t * n + j) * c);
+            }
+        }
+    }
+}
+
+/// Backward step at time `t_step` (N work-items).
+struct BackwardStepKernel {
+    v: HmmViews,
+    p: HmmParams,
+    t_step: usize,
+}
+
+impl Kernel for BackwardStepKernel {
+    fn name(&self) -> &str {
+        "hmm::backward_step"
+    }
+
+    fn profile(&self) -> KernelProfile {
+        let n = self.p.states as f64;
+        small_profile("hmm::backward_step", &self.p, 3.0 * n * n, self.p.states as u64)
+    }
+
+    fn run_group(&self, group: &WorkGroup) {
+        let (n, m) = (self.p.states, self.p.symbols);
+        let t = self.t_step;
+        let last = self.p.t - 1;
+        for item in group.items() {
+            let i = item.global_id(0);
+            if i >= n {
+                continue;
+            }
+            let val = if t == last {
+                self.v.scale.get(last)
+            } else {
+                let mut acc = 0.0f32;
+                for j in 0..n {
+                    acc += self.v.a.get(i * n + j)
+                        * self.v.b.get(j * m + self.v.obs.get(t + 1) as usize)
+                        * self.v.beta.get((t + 1) * n + j);
+                }
+                acc * self.v.scale.get(t)
+            };
+            self.v.beta.set(t * n + i, val);
+        }
+    }
+}
+
+/// Re-estimate A (N×N work-items, each summing over T).
+struct EstimateAKernel {
+    v: HmmViews,
+    p: HmmParams,
+}
+
+impl Kernel for EstimateAKernel {
+    fn name(&self) -> &str {
+        "hmm::estimate_a"
+    }
+
+    fn profile(&self) -> KernelProfile {
+        let (n, t) = (self.p.states as f64, self.p.t as f64);
+        small_profile(
+            "hmm::estimate_a",
+            &self.p,
+            n * n * t * 4.0 + n * t * 3.0,
+            (self.p.states * self.p.states) as u64,
+        )
+    }
+
+    fn run_group(&self, group: &WorkGroup) {
+        let (n, m, t) = (self.p.states, self.p.symbols, self.p.t);
+        for item in group.items() {
+            let (j, i) = (item.global_id(0), item.global_id(1));
+            if i >= n || j >= n {
+                continue;
+            }
+            let mut denom = 0.0f32;
+            for step in 0..t - 1 {
+                denom += self.v.alpha.get(step * n + i) * self.v.beta.get(step * n + i)
+                    / self.v.scale.get(step);
+            }
+            let mut numer = 0.0f32;
+            for step in 0..t - 1 {
+                numer += self.v.alpha.get(step * n + i)
+                    * self.v.a.get(i * n + j)
+                    * self.v.b.get(j * m + self.v.obs.get(step + 1) as usize)
+                    * self.v.beta.get((step + 1) * n + j);
+            }
+            self.v.a_new.set(i * n + j, numer / denom);
+        }
+    }
+}
+
+/// Re-estimate B and π (N×M + N work-items flattened 1-D).
+struct EstimateBPiKernel {
+    v: HmmViews,
+    p: HmmParams,
+}
+
+impl Kernel for EstimateBPiKernel {
+    fn name(&self) -> &str {
+        "hmm::estimate_b_pi"
+    }
+
+    fn profile(&self) -> KernelProfile {
+        let (n, m, t) = (self.p.states as f64, self.p.symbols as f64, self.p.t as f64);
+        small_profile(
+            "hmm::estimate_b_pi",
+            &self.p,
+            n * m * t * 3.0 + n * 3.0,
+            (self.p.states * self.p.symbols + self.p.states) as u64,
+        )
+    }
+
+    fn run_group(&self, group: &WorkGroup) {
+        let (n, m, t) = (self.p.states, self.p.symbols, self.p.t);
+        for item in group.items() {
+            let g = item.global_id(0);
+            if g < n * m {
+                let (j, k) = (g / m, g % m);
+                let mut denom = 0.0f32;
+                let mut numer = 0.0f32;
+                for step in 0..t {
+                    let gamma = self.v.alpha.get(step * n + j) * self.v.beta.get(step * n + j)
+                        / self.v.scale.get(step);
+                    denom += gamma;
+                    if self.v.obs.get(step) as usize == k {
+                        numer += gamma;
+                    }
+                }
+                self.v.b_new.set(j * m + k, numer / denom);
+            } else if g < n * m + n {
+                let j = g - n * m;
+                self.v.pi_new.set(
+                    j,
+                    self.v.alpha.get(j) * self.v.beta.get(j) / self.v.scale.get(0),
+                );
+            }
+        }
+    }
+}
+
+/// The hmm benchmark descriptor.
+pub struct Hmm;
+
+impl Benchmark for Hmm {
+    fn name(&self) -> &'static str {
+        "hmm"
+    }
+
+    fn dwarf(&self) -> Dwarf {
+        Dwarf::GraphicalModels
+    }
+
+    fn supported_sizes(&self) -> Vec<ProblemSize> {
+        // §4.4.4: validation "has not occurred apart from over the tiny
+        // problem size, as such, it is the only size examined".
+        vec![ProblemSize::Tiny]
+    }
+
+    fn workload(&self, size: ProblemSize, seed: u64) -> Box<dyn Workload> {
+        Box::new(HmmWorkload::new(HmmParams::for_size(size), seed))
+    }
+}
+
+/// Buffers owned by the workload.
+struct HmmBuffers {
+    a: Buffer<f32>,
+    b: Buffer<f32>,
+    pi: Buffer<f32>,
+    obs: Buffer<u32>,
+    alpha: Buffer<f32>,
+    beta: Buffer<f32>,
+    scale: Buffer<f32>,
+    a_new: Buffer<f32>,
+    b_new: Buffer<f32>,
+    pi_new: Buffer<f32>,
+}
+
+/// A configured hmm instance.
+pub struct HmmWorkload {
+    p: HmmParams,
+    seed: u64,
+    base: WorkloadBase,
+    instance: Option<HmmInstance>,
+    bufs: Option<HmmBuffers>,
+}
+
+impl HmmWorkload {
+    /// Workload with explicit parameters.
+    pub fn new(p: HmmParams, seed: u64) -> Self {
+        assert!(p.states >= 1 && p.symbols >= 1 && p.t >= 2);
+        Self {
+            p,
+            seed,
+            base: WorkloadBase::default(),
+            instance: None,
+            bufs: None,
+        }
+    }
+
+    fn views(&self) -> HmmViews {
+        let b = self.bufs.as_ref().expect("setup ran");
+        HmmViews {
+            a: b.a.view(),
+            b: b.b.view(),
+            pi: b.pi.view(),
+            obs: b.obs.view(),
+            alpha: b.alpha.view(),
+            beta: b.beta.view(),
+            scale: b.scale.view(),
+            a_new: b.a_new.view(),
+            b_new: b.b_new.view(),
+            pi_new: b.pi_new.view(),
+        }
+    }
+
+    fn state_range(&self) -> NdRange {
+        let local = 32.min(self.p.states).max(1);
+        NdRange::d1(round_up(self.p.states, local), local)
+    }
+}
+
+impl Workload for HmmWorkload {
+    fn footprint_bytes(&self) -> u64 {
+        self.p.footprint_bytes()
+    }
+
+    fn setup(&mut self, ctx: &Context, queue: &CommandQueue) -> Result<Vec<Event>> {
+        let inst = generate(&self.p, self.seed);
+        let (n, m, t) = (self.p.states, self.p.symbols, self.p.t);
+        let bufs = HmmBuffers {
+            a: ctx.create_buffer::<f32>(n * n)?,
+            b: ctx.create_buffer::<f32>(n * m)?,
+            pi: ctx.create_buffer::<f32>(n)?,
+            obs: ctx.create_buffer::<u32>(t)?,
+            alpha: ctx.create_buffer::<f32>(t * n)?,
+            beta: ctx.create_buffer::<f32>(t * n)?,
+            scale: ctx.create_buffer::<f32>(t)?,
+            a_new: ctx.create_buffer::<f32>(n * n)?,
+            b_new: ctx.create_buffer::<f32>(n * m)?,
+            pi_new: ctx.create_buffer::<f32>(n)?,
+        };
+        let mut events = Vec::new();
+        events.push(queue.enqueue_write_buffer(&bufs.a, &inst.a)?);
+        events.push(queue.enqueue_write_buffer(&bufs.b, &inst.b)?);
+        events.push(queue.enqueue_write_buffer(&bufs.pi, &inst.pi)?);
+        events.push(queue.enqueue_write_buffer(&bufs.obs, &inst.obs)?);
+        self.instance = Some(inst);
+        self.bufs = Some(bufs);
+        self.base.ready = true;
+        Ok(events)
+    }
+
+    fn run_iteration(&mut self, queue: &CommandQueue) -> Result<IterationOutput> {
+        self.base.require_ready()?;
+        let v = self.views();
+        let p = self.p;
+        let srange = self.state_range();
+        let mut events = Vec::new();
+        // Forward.
+        for step in 0..p.t {
+            let f = ForwardStepKernel {
+                v: v.clone(),
+                p,
+                t_step: step,
+            };
+            events.push(queue.enqueue_kernel(&f, &srange)?);
+            let s = ScaleKernel {
+                v: v.clone(),
+                p,
+                t_step: step,
+            };
+            events.push(queue.enqueue_kernel(&s, &NdRange::d1(1, 1))?);
+        }
+        // Backward.
+        for step in (0..p.t).rev() {
+            let b = BackwardStepKernel {
+                v: v.clone(),
+                p,
+                t_step: step,
+            };
+            events.push(queue.enqueue_kernel(&b, &srange)?);
+        }
+        // Re-estimation.
+        let ea = EstimateAKernel { v: v.clone(), p };
+        let side = round_up(p.states, 8);
+        events.push(queue.enqueue_kernel(&ea, &NdRange::d2(side, side, 8, 8))?);
+        let eb = EstimateBPiKernel { v, p };
+        let items = p.states * p.symbols + p.states;
+        let local = 32.min(items).max(1);
+        events.push(queue.enqueue_kernel(&eb, &NdRange::d1(round_up(items, local), local))?);
+        self.base.iterations += 1;
+        Ok(IterationOutput::new(events))
+    }
+
+    fn verify(&mut self, queue: &CommandQueue) -> std::result::Result<(), String> {
+        let inst = self.instance.as_ref().ok_or("verify before setup")?;
+        let bufs = self.bufs.as_ref().ok_or("verify before setup")?;
+        let want = serial_baum_welch(&self.p, inst);
+        let read = |buf: &Buffer<f32>| -> std::result::Result<Vec<f32>, String> {
+            let mut out = vec![0.0f32; buf.len()];
+            queue
+                .enqueue_read_buffer(buf, &mut out)
+                .map_err(|e| e.to_string())?;
+            Ok(out)
+        };
+        validation::check_close("hmm alpha", &read(&bufs.alpha)?, &want.alpha, 1e-4)?;
+        validation::check_close("hmm beta", &read(&bufs.beta)?, &want.beta, 1e-4)?;
+        validation::check_close("hmm scale", &read(&bufs.scale)?, &want.scale, 1e-4)?;
+        validation::check_close("hmm A'", &read(&bufs.a_new)?, &want.a_new, 1e-3)?;
+        validation::check_close("hmm B'", &read(&bufs.b_new)?, &want.b_new, 1e-3)?;
+        validation::check_close("hmm pi'", &read(&bufs.pi_new)?, &want.pi_new, 1e-3)?;
+        // Re-estimated rows must remain stochastic.
+        let a_new = read(&bufs.a_new)?;
+        for i in 0..self.p.states {
+            let s: f32 = a_new[i * self.p.states..(i + 1) * self.p.states].iter().sum();
+            if (s - 1.0).abs() > 1e-3 {
+                return Err(format!("A'[{i}] row sum {s}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> HmmParams {
+        HmmParams {
+            states: 8,
+            symbols: 4,
+            t: 50,
+        }
+    }
+
+    #[test]
+    fn stochastic_rows_sum_to_one() {
+        let mut rng = rng_for(1, 0);
+        let m = random_stochastic(5, 7, &mut rng);
+        for r in 0..5 {
+            let s: f32 = m[r * 7..(r + 1) * 7].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn serial_bw_is_self_consistent() {
+        let p = tiny();
+        let h = generate(&p, 3);
+        let r = serial_baum_welch(&p, &h);
+        assert!(r.log_likelihood.is_finite());
+        assert!(r.log_likelihood < 0.0, "log-likelihood of discrete seq");
+        // α rows scaled to sum 1.
+        for t in 0..p.t {
+            let s: f32 = r.alpha[t * p.states..(t + 1) * p.states].iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "t={t} sum={s}");
+        }
+        // Re-estimated matrices stochastic.
+        for i in 0..p.states {
+            let sa: f32 = r.a_new[i * p.states..(i + 1) * p.states].iter().sum();
+            assert!((sa - 1.0).abs() < 1e-3);
+            let sb: f32 = r.b_new[i * p.symbols..(i + 1) * p.symbols].iter().sum();
+            assert!((sb - 1.0).abs() < 1e-3);
+        }
+        let spi: f32 = r.pi_new.iter().sum();
+        assert!((spi - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn em_increases_likelihood() {
+        // The EM guarantee, checked over three Baum–Welch rounds.
+        let p = tiny();
+        let mut h = generate(&p, 9);
+        let mut prev = f64::NEG_INFINITY;
+        for round in 0..3 {
+            let r = serial_baum_welch(&p, &h);
+            assert!(
+                r.log_likelihood >= prev - 1e-6,
+                "round {round}: {} < {prev}",
+                r.log_likelihood
+            );
+            prev = r.log_likelihood;
+            h.a = r.a_new;
+            h.b = r.b_new;
+            h.pi = r.pi_new;
+        }
+    }
+
+    fn run_hmm(device: Device, p: HmmParams) {
+        let ctx = Context::new(device);
+        let queue = CommandQueue::new(&ctx).with_profiling();
+        let mut w = HmmWorkload::new(p, 4);
+        w.setup(&ctx, &queue).unwrap();
+        let out = w.run_iteration(&queue).unwrap();
+        // 2T forward (step+scale) + T backward + 2 re-estimation launches.
+        assert_eq!(out.kernel_launches(), 3 * p.t + 2);
+        w.verify(&queue).unwrap();
+    }
+
+    #[test]
+    fn device_matches_serial_native() {
+        run_hmm(Device::native(), tiny());
+    }
+
+    #[test]
+    fn device_matches_serial_paper_tiny() {
+        // The paper's tiny scale: 8 states, 1 symbol.
+        run_hmm(Device::native(), HmmParams::for_size(ProblemSize::Tiny));
+    }
+
+    #[test]
+    fn device_matches_serial_simulated() {
+        let i5 = Platform::simulated().device_by_name("i5-3550").unwrap();
+        run_hmm(
+            i5,
+            HmmParams {
+                states: 5,
+                symbols: 3,
+                t: 20,
+            },
+        );
+    }
+
+    #[test]
+    fn single_symbol_degenerate_model_works() {
+        // M = 1 (the paper's tiny Φ₂): emissions are all certain.
+        let p = HmmParams {
+            states: 4,
+            symbols: 1,
+            t: 10,
+        };
+        let h = generate(&p, 7);
+        let r = serial_baum_welch(&p, &h);
+        assert!((r.log_likelihood - 0.0).abs() < 1e-4, "P(obs) = 1 exactly");
+    }
+
+    #[test]
+    fn iterations_idempotent() {
+        let ctx = Context::new(Device::native());
+        let queue = CommandQueue::new(&ctx);
+        let mut w = HmmWorkload::new(tiny(), 2);
+        w.setup(&ctx, &queue).unwrap();
+        w.run_iteration(&queue).unwrap();
+        let first = w.bufs.as_ref().unwrap().a_new.to_vec();
+        w.run_iteration(&queue).unwrap();
+        assert_eq!(first, w.bufs.as_ref().unwrap().a_new.to_vec());
+    }
+}

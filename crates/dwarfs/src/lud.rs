@@ -1,0 +1,489 @@
+//! lud — the Dense Linear Algebra dwarf (Fig. 2b).
+//!
+//! Blocked LU decomposition without pivoting, with the Rodinia/OpenDwarfs
+//! three-kernel structure per 16×16 block step:
+//!
+//! 1. `diagonal` — factorize the diagonal block in place (`A11 = L11·U11`);
+//! 2. `perimeter` — triangular-solve the block row (`U12 = L11⁻¹·A12`) and
+//!    block column (`L21 = A21·U11⁻¹`);
+//! 3. `internal` — rank-B update of the trailing matrix
+//!    (`A22 −= L21·U12`).
+//!
+//! The generated matrix is made strongly diagonally dominant so the
+//! pivot-free factorization is numerically stable. Each timed iteration
+//! restores the pristine matrix with a buffer write (a memory-transfer
+//! region, not counted in kernel time) and re-decomposes, so iterations are
+//! idempotent. Verification uses the matvec identity `L·(U·x) = A·x` on
+//! random probes, which stays cheap at every problem size.
+
+use crate::common::{rng_for, round_up, WorkloadBase};
+use eod_clrt::prelude::*;
+use eod_core::benchmark::{Benchmark, IterationOutput, Workload};
+use eod_core::dwarf::Dwarf;
+use eod_core::sizes::{ProblemSize, ScaleTable};
+use eod_devsim::profile::{AccessPattern, KernelProfile};
+use rand::Rng;
+
+/// Block size of the Rodinia decomposition.
+pub const BLOCK: usize = 16;
+
+/// Generate the input matrix: uniform [0,1) entries with `n` added to the
+/// diagonal (strong diagonal dominance ⇒ stable pivot-free LU).
+pub fn generate_matrix(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = rng_for(seed, 4);
+    let mut m: Vec<f32> = (0..n * n).map(|_| rng.random_range(0.0..1.0)).collect();
+    for i in 0..n {
+        m[i * n + i] += n as f32;
+    }
+    m
+}
+
+/// Serial reference LU (in place, no pivoting): returns the packed LU
+/// factors (unit-diagonal L below, U on/above).
+pub fn serial_lu(a: &[f32], n: usize) -> Vec<f32> {
+    let mut m: Vec<f64> = a.iter().map(|&x| x as f64).collect();
+    for k in 0..n {
+        let pivot = m[k * n + k];
+        for i in k + 1..n {
+            m[i * n + k] /= pivot;
+            let l = m[i * n + k];
+            for j in k + 1..n {
+                m[i * n + j] -= l * m[k * n + j];
+            }
+        }
+    }
+    m.into_iter().map(|x| x as f32).collect()
+}
+
+/// Apply the packed LU factors to a vector: `y = L·(U·x)`; used by `verify`
+/// to check `L·U·x ≈ A·x` without an O(n³) reconstruction.
+pub fn lu_matvec(lu: &[f32], n: usize, x: &[f32]) -> Vec<f32> {
+    // U·x
+    let mut ux = vec![0.0f64; n];
+    for i in 0..n {
+        let mut acc = 0.0f64;
+        for j in i..n {
+            acc += lu[i * n + j] as f64 * x[j] as f64;
+        }
+        ux[i] = acc;
+    }
+    // L·(U·x), unit diagonal
+    (0..n)
+        .map(|i| {
+            let mut acc = ux[i];
+            for j in 0..i {
+                acc += lu[i * n + j] as f64 * ux[j];
+            }
+            acc as f32
+        })
+        .collect()
+}
+
+/// Plain matvec `A·x` in f64.
+pub fn matvec(a: &[f32], n: usize, x: &[f32]) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let mut acc = 0.0f64;
+            for j in 0..n {
+                acc += a[i * n + j] as f64 * x[j] as f64;
+            }
+            acc as f32
+        })
+        .collect()
+}
+
+/// Factorize the diagonal block at `offset` (single work-item kernel, as the
+/// dependence chain is inherently serial).
+struct DiagonalKernel {
+    m: BufView<f32>,
+    n: usize,
+    offset: usize,
+}
+
+impl Kernel for DiagonalKernel {
+    fn name(&self) -> &str {
+        "lud::diagonal"
+    }
+
+    fn profile(&self) -> KernelProfile {
+        let b = BLOCK as f64;
+        let mut prof = KernelProfile::new("lud::diagonal");
+        prof.flops = 2.0 / 3.0 * b * b * b;
+        prof.bytes_read = b * b * 4.0;
+        prof.bytes_written = b * b * 4.0;
+        prof.working_set = (BLOCK * BLOCK * 4) as u64;
+        prof.pattern = AccessPattern::Strided;
+        prof.work_items = 1;
+        prof.serial_fraction = 1.0;
+        prof
+    }
+
+    fn run_group(&self, group: &WorkGroup) {
+        for item in group.items() {
+            if item.global_id(0) != 0 {
+                continue;
+            }
+            let (n, o) = (self.n, self.offset);
+            let b = BLOCK.min(n - o);
+            for k in 0..b {
+                let pivot = self.m.get((o + k) * n + o + k);
+                for i in k + 1..b {
+                    let l = self.m.get((o + i) * n + o + k) / pivot;
+                    self.m.set((o + i) * n + o + k, l);
+                    for j in k + 1..b {
+                        let v = self.m.get((o + i) * n + o + j)
+                            - l * self.m.get((o + k) * n + o + j);
+                        self.m.set((o + i) * n + o + j, v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Triangular solves for the block row and block column at `offset`.
+/// Work-item `t < rem` handles column `offset+BLOCK+t` of the block row;
+/// work-item `rem + t` handles row `offset+BLOCK+t` of the block column.
+struct PerimeterKernel {
+    m: BufView<f32>,
+    n: usize,
+    offset: usize,
+}
+
+impl PerimeterKernel {
+    fn rem(&self) -> usize {
+        self.n - self.offset - BLOCK
+    }
+}
+
+impl Kernel for PerimeterKernel {
+    fn name(&self) -> &str {
+        "lud::perimeter"
+    }
+
+    fn profile(&self) -> KernelProfile {
+        let rem = self.rem() as f64;
+        let b = BLOCK as f64;
+        let mut prof = KernelProfile::new("lud::perimeter");
+        prof.flops = 2.0 * rem * b * b / 2.0 * 2.0; // two triangular solves
+        prof.bytes_read = (2.0 * rem * b + b * b) * 4.0;
+        prof.bytes_written = 2.0 * rem * b * 4.0;
+        prof.working_set = (self.n * self.n * 4) as u64;
+        prof.pattern = AccessPattern::Strided;
+        prof.work_items = (2 * self.rem()).max(1) as u64;
+        prof
+    }
+
+    fn run_group(&self, group: &WorkGroup) {
+        let (n, o) = (self.n, self.offset);
+        let rem = self.rem();
+        let b = BLOCK;
+        for item in group.items() {
+            let t = item.global_id(0);
+            if t < rem {
+                // U12 column c: forward substitution with unit-diagonal L11.
+                let c = o + b + t;
+                for k in 0..b {
+                    let mut acc = self.m.get((o + k) * n + c);
+                    for j in 0..k {
+                        acc -= self.m.get((o + k) * n + o + j) * self.m.get((o + j) * n + c);
+                    }
+                    self.m.set((o + k) * n + c, acc);
+                }
+            } else if t < 2 * rem {
+                // L21 row r: solve against U11 (divide by its diagonal).
+                let r = o + b + (t - rem);
+                for k in 0..b {
+                    let mut acc = self.m.get(r * n + o + k);
+                    for j in 0..k {
+                        acc -= self.m.get(r * n + o + j) * self.m.get((o + j) * n + o + k);
+                    }
+                    self.m.set(r * n + o + k, acc / self.m.get((o + k) * n + o + k));
+                }
+            }
+        }
+    }
+}
+
+/// Rank-BLOCK update of the trailing submatrix.
+struct InternalKernel {
+    m: BufView<f32>,
+    n: usize,
+    offset: usize,
+}
+
+impl InternalKernel {
+    fn rem(&self) -> usize {
+        self.n - self.offset - BLOCK
+    }
+}
+
+impl Kernel for InternalKernel {
+    fn name(&self) -> &str {
+        "lud::internal"
+    }
+
+    fn profile(&self) -> KernelProfile {
+        let rem = self.rem() as f64;
+        let b = BLOCK as f64;
+        let mut prof = KernelProfile::new("lud::internal");
+        prof.flops = 2.0 * rem * rem * b;
+        prof.bytes_read = (rem * rem + 2.0 * rem * b) * 4.0;
+        prof.bytes_written = rem * rem * 4.0;
+        prof.working_set = (self.n * self.n * 4) as u64;
+        prof.pattern = AccessPattern::Strided;
+        prof.work_items = (self.rem() * self.rem()).max(1) as u64;
+        prof
+    }
+
+    fn run_group(&self, group: &WorkGroup) {
+        let (n, o) = (self.n, self.offset);
+        let rem = self.rem();
+        let base = o + BLOCK;
+        for item in group.items() {
+            let (c, r) = (item.global_id(0), item.global_id(1));
+            if r >= rem || c >= rem {
+                continue;
+            }
+            let row = base + r;
+            let col = base + c;
+            let mut acc = self.m.get(row * n + col);
+            for k in 0..BLOCK {
+                acc -= self.m.get(row * n + o + k) * self.m.get((o + k) * n + col);
+            }
+            self.m.set(row * n + col, acc);
+        }
+    }
+}
+
+/// The lud benchmark descriptor.
+pub struct Lud;
+
+impl Benchmark for Lud {
+    fn name(&self) -> &'static str {
+        "lud"
+    }
+
+    fn dwarf(&self) -> Dwarf {
+        Dwarf::DenseLinearAlgebra
+    }
+
+    fn workload(&self, size: ProblemSize, seed: u64) -> Box<dyn Workload> {
+        Box::new(LudWorkload::new(
+            ScaleTable::LUD_ORDER[ScaleTable::index(size)],
+            seed,
+        ))
+    }
+}
+
+/// A configured lud instance of order `n` (must be a multiple of [`BLOCK`]
+/// or smaller than it).
+pub struct LudWorkload {
+    n: usize,
+    seed: u64,
+    base: WorkloadBase,
+    host_matrix: Vec<f32>,
+    matrix_buf: Option<Buffer<f32>>,
+}
+
+impl LudWorkload {
+    /// Workload of order `n`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n >= 1);
+        Self {
+            n,
+            seed,
+            base: WorkloadBase::default(),
+            host_matrix: Vec::new(),
+            matrix_buf: None,
+        }
+    }
+
+    /// Expected kernel launches per decomposition.
+    pub fn launches(&self) -> usize {
+        let steps = self.n.div_ceil(BLOCK);
+        if self.n <= BLOCK {
+            1
+        } else {
+            // Every step but the last runs diagonal+perimeter+internal; the
+            // last runs only the diagonal factorization.
+            3 * (steps - 1) + 1
+        }
+    }
+
+    fn decompose(&self, queue: &CommandQueue) -> Result<Vec<Event>> {
+        let buf = self.matrix_buf.as_ref().expect("setup ran");
+        let m = buf.view();
+        let n = self.n;
+        let mut events = Vec::new();
+        let mut offset = 0usize;
+        while offset < n {
+            let diag = DiagonalKernel {
+                m: m.clone(),
+                n,
+                offset,
+            };
+            events.push(queue.enqueue_kernel(&diag, &NdRange::d1(1, 1))?);
+            let rem = n.saturating_sub(offset + BLOCK);
+            if rem > 0 {
+                let peri = PerimeterKernel {
+                    m: m.clone(),
+                    n,
+                    offset,
+                };
+                let items = round_up(2 * rem, 32);
+                events.push(queue.enqueue_kernel(&peri, &NdRange::d1(items, 32))?);
+                let inner = InternalKernel {
+                    m: m.clone(),
+                    n,
+                    offset,
+                };
+                let side = round_up(rem, 16);
+                events.push(queue.enqueue_kernel(&inner, &NdRange::d2(side, side, 16, 16))?);
+            }
+            offset += BLOCK;
+        }
+        Ok(events)
+    }
+}
+
+impl Workload for LudWorkload {
+    fn footprint_bytes(&self) -> u64 {
+        (self.n * self.n * 4) as u64
+    }
+
+    fn setup(&mut self, ctx: &Context, queue: &CommandQueue) -> Result<Vec<Event>> {
+        self.host_matrix = generate_matrix(self.n, self.seed);
+        let buf = ctx.create_buffer::<f32>(self.n * self.n)?;
+        let ev = queue.enqueue_write_buffer(&buf, &self.host_matrix)?;
+        self.matrix_buf = Some(buf);
+        self.base.ready = true;
+        Ok(vec![ev])
+    }
+
+    fn run_iteration(&mut self, queue: &CommandQueue) -> Result<IterationOutput> {
+        self.base.require_ready()?;
+        let mut events = Vec::new();
+        // Restore the pristine matrix (memory-transfer region), then
+        // decompose in place.
+        let buf = self.matrix_buf.as_ref().expect("ready implies buffer");
+        events.push(queue.enqueue_write_buffer(buf, &self.host_matrix)?);
+        events.extend(self.decompose(queue)?);
+        self.base.iterations += 1;
+        Ok(IterationOutput::new(events))
+    }
+
+    fn verify(&mut self, queue: &CommandQueue) -> std::result::Result<(), String> {
+        let buf = self.matrix_buf.as_ref().ok_or("verify before setup")?;
+        let mut lu = vec![0.0f32; self.n * self.n];
+        queue
+            .enqueue_read_buffer(buf, &mut lu)
+            .map_err(|e| e.to_string())?;
+        // Probe with random vectors: L·U·x must reproduce A·x.
+        let mut rng = rng_for(self.seed, 5);
+        for probe in 0..4 {
+            let x: Vec<f32> = (0..self.n).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let got = lu_matvec(&lu, self.n, &x);
+            let want = matvec(&self.host_matrix, self.n, &x);
+            eod_core::validation::check_close(&format!("lud probe {probe}"), &got, &want, 1e-3)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_lu_reconstructs() {
+        let n = 24;
+        let a = generate_matrix(n, 1);
+        let lu = serial_lu(&a, n);
+        let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+        let got = lu_matvec(&lu, n, &x);
+        let want = matvec(&a, n, &x);
+        eod_core::validation::check_close("serial lu", &got, &want, 1e-4).unwrap();
+    }
+
+    fn run_lud(device: Device, n: usize) {
+        let ctx = Context::new(device);
+        let queue = CommandQueue::new(&ctx).with_profiling();
+        let mut w = LudWorkload::new(n, 13);
+        w.setup(&ctx, &queue).unwrap();
+        let out = w.run_iteration(&queue).unwrap();
+        assert_eq!(out.kernel_launches(), w.launches());
+        w.verify(&queue).unwrap();
+    }
+
+    #[test]
+    fn device_lud_matches_native_tiny() {
+        run_lud(Device::native(), 80); // the paper's tiny Φ
+    }
+
+    #[test]
+    fn device_lud_matches_native_block_multiple() {
+        run_lud(Device::native(), 240); // small Φ
+    }
+
+    #[test]
+    fn device_lud_single_block() {
+        run_lud(Device::native(), BLOCK);
+    }
+
+    #[test]
+    fn device_lud_simulated() {
+        let titan = Platform::simulated().device_by_name("Titan X").unwrap();
+        run_lud(titan, 96);
+    }
+
+    #[test]
+    fn device_matches_serial_factors_exactly_in_structure() {
+        // Same algorithm, same arithmetic order per element class — factors
+        // should agree tightly for a well-conditioned matrix.
+        let n = 64;
+        let ctx = Context::new(Device::native());
+        let queue = CommandQueue::new(&ctx);
+        let mut w = LudWorkload::new(n, 3);
+        w.setup(&ctx, &queue).unwrap();
+        w.run_iteration(&queue).unwrap();
+        let got = w.matrix_buf.as_ref().unwrap().to_vec();
+        let want = serial_lu(&w.host_matrix, n);
+        eod_core::validation::check_close("factors", &got, &want, 1e-4).unwrap();
+    }
+
+    #[test]
+    fn footprints_fit_cache_levels() {
+        use eod_core::sizing;
+        for &size in &[ProblemSize::Tiny, ProblemSize::Small, ProblemSize::Medium] {
+            let w = LudWorkload::new(ScaleTable::LUD_ORDER[ScaleTable::index(size)], 0);
+            assert!(
+                sizing::footprint_ok(size, w.footprint_bytes()),
+                "{size:?}: {} B",
+                w.footprint_bytes()
+            );
+        }
+        let large = LudWorkload::new(ScaleTable::LUD_ORDER[3], 0);
+        assert!(sizing::footprint_ok(ProblemSize::Large, large.footprint_bytes()));
+    }
+
+    #[test]
+    fn launch_count_formula() {
+        assert_eq!(LudWorkload::new(16, 0).launches(), 1);
+        assert_eq!(LudWorkload::new(80, 0).launches(), 13); // 5 steps
+        assert_eq!(LudWorkload::new(4096, 0).launches(), 3 * 255 + 1);
+    }
+
+    #[test]
+    fn iterations_are_idempotent() {
+        let ctx = Context::new(Device::native());
+        let queue = CommandQueue::new(&ctx);
+        let mut w = LudWorkload::new(48, 2);
+        w.setup(&ctx, &queue).unwrap();
+        w.run_iteration(&queue).unwrap();
+        let first = w.matrix_buf.as_ref().unwrap().to_vec();
+        w.run_iteration(&queue).unwrap();
+        let second = w.matrix_buf.as_ref().unwrap().to_vec();
+        assert_eq!(first, second);
+    }
+}

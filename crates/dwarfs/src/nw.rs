@@ -1,0 +1,409 @@
+//! nw — the Dynamic Programming dwarf (Fig. 3b).
+//!
+//! Needleman–Wunsch global sequence alignment: fill the (n+1)×(n+1) score
+//! matrix `F[i][j] = max(F[i−1][j−1]+ref[i][j], F[i][j−1]−p, F[i−1][j]−p)`
+//! with gap penalty p = 10 (Table 3). The device version processes 16×16
+//! tiles along anti-diagonals — one kernel launch per tile diagonal, one
+//! work-group per tile — so a size-n problem issues 2·(n/16)−1 launches
+//! with at most n/16-way parallelism each. That launch-heavy, low-occupancy
+//! shape is exactly why the paper finds nw performance "tied to
+//! micro-architecture or OpenCL runtime support": Intel CPUs and Nvidia
+//! GPUs stay comparable while every AMD GPU of this driver generation falls
+//! further behind as the problem grows (§5.1).
+
+use crate::common::{rng_for, WorkloadBase};
+use eod_clrt::prelude::*;
+use eod_core::benchmark::{Benchmark, IterationOutput, Workload};
+use eod_core::dwarf::Dwarf;
+use eod_core::sizes::{ProblemSize, ScaleTable};
+use eod_devsim::profile::{AccessPattern, KernelProfile};
+use rand::Rng;
+
+/// Tile edge (Rodinia uses 16).
+pub const TILE: usize = 16;
+
+/// Alphabet size of the substitution matrix (BLOSUM-style, 24 residues).
+pub const ALPHABET: usize = 24;
+
+/// NW problem parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NwParams {
+    /// Sequence length (multiple of [`TILE`]).
+    pub n: usize,
+    /// Gap penalty (Table 3: 10).
+    pub penalty: i32,
+}
+
+impl NwParams {
+    /// Table 2 parameters for a size.
+    pub fn for_size(size: ProblemSize) -> Self {
+        Self {
+            n: ScaleTable::NW_LEN[ScaleTable::index(size)],
+            penalty: ScaleTable::NW_PENALTY,
+        }
+    }
+
+    /// Matrix edge including the boundary row/column.
+    pub fn edge(&self) -> usize {
+        self.n + 1
+    }
+
+    /// Device footprint: score matrix F plus reference matrix, both
+    /// (n+1)², `i32`.
+    pub fn footprint_bytes(&self) -> u64 {
+        (2 * self.edge() * self.edge() * 4) as u64
+    }
+
+    /// Tiles per edge.
+    pub fn blocks(&self) -> usize {
+        self.n / TILE
+    }
+
+    /// Kernel launches per full matrix fill: one per tile anti-diagonal.
+    pub fn launches(&self) -> usize {
+        2 * self.blocks() - 1
+    }
+}
+
+/// A BLOSUM-shaped substitution matrix: symmetric, positive diagonal,
+/// mostly negative off-diagonal — generated deterministically (the real
+/// BLOSUM62 values are irrelevant to performance; shape is what matters).
+pub fn substitution_matrix(seed: u64) -> Vec<i32> {
+    let mut rng = rng_for(seed, 7);
+    let mut m = vec![0i32; ALPHABET * ALPHABET];
+    for a in 0..ALPHABET {
+        for b in a..ALPHABET {
+            let v = if a == b {
+                rng.random_range(4..=11)
+            } else {
+                rng.random_range(-4..=1)
+            };
+            m[a * ALPHABET + b] = v;
+            m[b * ALPHABET + a] = v;
+        }
+    }
+    m
+}
+
+/// Random residue sequences and the dense reference matrix
+/// `ref[i][j] = sub[seq1[i]][seq2[j]]`, stored at (n+1)² with row/col 0
+/// unused — the Rodinia layout.
+pub fn generate_reference(p: &NwParams, seed: u64) -> Vec<i32> {
+    let mut rng = rng_for(seed, 8);
+    let seq1: Vec<usize> = (0..p.n).map(|_| rng.random_range(0..ALPHABET)).collect();
+    let seq2: Vec<usize> = (0..p.n).map(|_| rng.random_range(0..ALPHABET)).collect();
+    let sub = substitution_matrix(seed);
+    let e = p.edge();
+    let mut reference = vec![0i32; e * e];
+    for i in 1..e {
+        for j in 1..e {
+            reference[i * e + j] = sub[seq1[i - 1] * ALPHABET + seq2[j - 1]];
+        }
+    }
+    reference
+}
+
+/// Boundary-initialized score matrix: F[i][0] = −i·p, F[0][j] = −j·p.
+pub fn initial_scores(p: &NwParams) -> Vec<i32> {
+    let e = p.edge();
+    let mut f = vec![0i32; e * e];
+    for i in 0..e {
+        f[i * e] = -(i as i32) * p.penalty;
+        f[i] = -(i as i32) * p.penalty;
+    }
+    f
+}
+
+/// Serial reference: fill the whole matrix row-major.
+pub fn serial_nw(p: &NwParams, reference: &[i32]) -> Vec<i32> {
+    let e = p.edge();
+    let mut f = initial_scores(p);
+    for i in 1..e {
+        for j in 1..e {
+            let diag = f[(i - 1) * e + j - 1] + reference[i * e + j];
+            let left = f[i * e + j - 1] - p.penalty;
+            let up = f[(i - 1) * e + j] - p.penalty;
+            f[i * e + j] = diag.max(left).max(up);
+        }
+    }
+    f
+}
+
+/// One tile-diagonal kernel: work-item `t` fills tile (row `base_row − t`,
+/// col `base_col + t`) of diagonal `d`.
+struct NwDiagonalKernel {
+    f: BufView<i32>,
+    reference: BufView<i32>,
+    p: NwParams,
+    /// Tile diagonal index, 0-based.
+    d: usize,
+    /// Number of tiles on this diagonal.
+    count: usize,
+}
+
+/// Tile coordinates of slot `t` on tile-diagonal `d` of an `nb`×`nb` tile
+/// grid. Slot 0 is the bottom-left-most tile of the diagonal.
+pub fn diagonal_tile(nb: usize, d: usize, t: usize) -> (usize, usize) {
+    let first_row = if d < nb { d } else { nb - 1 };
+    let first_col = if d < nb { 0 } else { d - nb + 1 };
+    (first_row - t, first_col + t)
+}
+
+impl Kernel for NwDiagonalKernel {
+    fn name(&self) -> &str {
+        "nw::diagonal"
+    }
+
+    fn profile(&self) -> KernelProfile {
+        let cells = (self.count * TILE * TILE) as f64;
+        let mut prof = KernelProfile::new("nw::diagonal");
+        prof.int_ops = cells * 6.0;
+        prof.flops = 0.0;
+        prof.bytes_read = cells * 16.0; // three F neighbours + reference
+        prof.bytes_written = cells * 4.0;
+        prof.working_set = self.p.footprint_bytes();
+        prof.pattern = AccessPattern::Strided;
+        prof.work_items = self.count as u64;
+        prof.branch_fraction = 0.2;
+        prof.branch_divergence = 0.2;
+        prof
+    }
+
+    fn run_group(&self, group: &WorkGroup) {
+        let e = self.p.edge();
+        let pen = self.p.penalty;
+        for item in group.items() {
+            let t = item.global_id(0);
+            if t >= self.count {
+                continue;
+            }
+            let (tr, tc) = diagonal_tile(self.p.blocks(), self.d, t);
+            let row0 = 1 + tr * TILE;
+            let col0 = 1 + tc * TILE;
+            for i in row0..row0 + TILE {
+                for j in col0..col0 + TILE {
+                    let diag = self.f.get((i - 1) * e + j - 1) + self.reference.get(i * e + j);
+                    let left = self.f.get(i * e + j - 1) - pen;
+                    let up = self.f.get((i - 1) * e + j) - pen;
+                    self.f.set(i * e + j, diag.max(left).max(up));
+                }
+            }
+        }
+    }
+}
+
+/// The nw benchmark descriptor.
+pub struct Nw;
+
+impl Benchmark for Nw {
+    fn name(&self) -> &'static str {
+        "nw"
+    }
+
+    fn dwarf(&self) -> Dwarf {
+        Dwarf::DynamicProgramming
+    }
+
+    fn workload(&self, size: ProblemSize, seed: u64) -> Box<dyn Workload> {
+        Box::new(NwWorkload::new(NwParams::for_size(size), seed))
+    }
+}
+
+/// A configured nw instance.
+pub struct NwWorkload {
+    p: NwParams,
+    seed: u64,
+    base: WorkloadBase,
+    host_reference: Vec<i32>,
+    f_buf: Option<Buffer<i32>>,
+    ref_buf: Option<Buffer<i32>>,
+}
+
+impl NwWorkload {
+    /// Workload with explicit parameters; `n` must be a positive multiple
+    /// of [`TILE`].
+    pub fn new(p: NwParams, seed: u64) -> Self {
+        assert!(p.n >= TILE && p.n % TILE == 0, "n = {} not a multiple of {TILE}", p.n);
+        Self {
+            p,
+            seed,
+            base: WorkloadBase::default(),
+            host_reference: Vec::new(),
+            f_buf: None,
+            ref_buf: None,
+        }
+    }
+}
+
+impl Workload for NwWorkload {
+    fn footprint_bytes(&self) -> u64 {
+        self.p.footprint_bytes()
+    }
+
+    fn setup(&mut self, ctx: &Context, queue: &CommandQueue) -> Result<Vec<Event>> {
+        self.host_reference = generate_reference(&self.p, self.seed);
+        let e = self.p.edge();
+        let f = ctx.create_buffer::<i32>(e * e)?;
+        let r = ctx.create_buffer::<i32>(e * e)?;
+        let mut events = Vec::new();
+        events.push(queue.enqueue_write_buffer(&f, &initial_scores(&self.p))?);
+        events.push(queue.enqueue_write_buffer(&r, &self.host_reference)?);
+        self.f_buf = Some(f);
+        self.ref_buf = Some(r);
+        self.base.ready = true;
+        Ok(events)
+    }
+
+    fn run_iteration(&mut self, queue: &CommandQueue) -> Result<IterationOutput> {
+        self.base.require_ready()?;
+        let f = self.f_buf.as_ref().expect("ready");
+        let r = self.ref_buf.as_ref().expect("ready");
+        let nb = self.p.blocks();
+        let mut events = Vec::with_capacity(self.p.launches());
+        for d in 0..2 * nb - 1 {
+            let count = (d + 1).min(nb).min(2 * nb - 1 - d);
+            let kernel = NwDiagonalKernel {
+                f: f.view(),
+                reference: r.view(),
+                p: self.p,
+                d,
+                count,
+            };
+            // One work-item per tile; interior cells are filled by that
+            // item in dependency order.
+            events.push(queue.enqueue_kernel(&kernel, &NdRange::d1(count, 1))?);
+        }
+        self.base.iterations += 1;
+        Ok(IterationOutput::new(events))
+    }
+
+    fn verify(&mut self, queue: &CommandQueue) -> std::result::Result<(), String> {
+        let f = self.f_buf.as_ref().ok_or("verify before setup")?;
+        let e = self.p.edge();
+        let mut got = vec![0i32; e * e];
+        queue
+            .enqueue_read_buffer(f, &mut got)
+            .map_err(|err| err.to_string())?;
+        let want = serial_nw(&self.p, &self.host_reference);
+        if got != want {
+            let bad = got
+                .iter()
+                .zip(&want)
+                .position(|(g, w)| g != w)
+                .expect("some cell differs");
+            return Err(format!(
+                "nw F[{}][{}] = {}, serial says {}",
+                bad / e,
+                bad % e,
+                got[bad],
+                want[bad]
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substitution_matrix_is_blosum_shaped() {
+        let m = substitution_matrix(5);
+        for a in 0..ALPHABET {
+            assert!(m[a * ALPHABET + a] > 0, "positive diagonal");
+            for b in 0..ALPHABET {
+                assert_eq!(m[a * ALPHABET + b], m[b * ALPHABET + a], "symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_identity_alignment_scores_match() {
+        // Aligning a sequence against itself must use the diagonal and score
+        // at least n × min-diagonal-score… sanity: top-left corner chain.
+        let p = NwParams { n: 16, penalty: 10 };
+        let reference = generate_reference(&p, 1);
+        let f = serial_nw(&p, &reference);
+        let e = p.edge();
+        // First interior cell comes from the boundary diagonal.
+        assert_eq!(f[e + 1], reference[e + 1].max(-20));
+    }
+
+    fn run_nw(device: Device, n: usize) {
+        let p = NwParams { n, penalty: 10 };
+        let ctx = Context::new(device);
+        let queue = CommandQueue::new(&ctx).with_profiling();
+        let mut w = NwWorkload::new(p, 17);
+        w.setup(&ctx, &queue).unwrap();
+        let out = w.run_iteration(&queue).unwrap();
+        assert_eq!(out.kernel_launches(), p.launches());
+        w.verify(&queue).unwrap();
+    }
+
+    #[test]
+    fn device_matches_serial_native() {
+        run_nw(Device::native(), 48); // the paper's tiny Φ
+    }
+
+    #[test]
+    fn device_matches_serial_larger() {
+        run_nw(Device::native(), 176); // small Φ
+    }
+
+    #[test]
+    fn device_matches_serial_simulated() {
+        let s9150 = Platform::simulated().device_by_name("FirePro S9150").unwrap();
+        run_nw(s9150, 64);
+    }
+
+    #[test]
+    fn tile_enumeration_covers_matrix_once() {
+        let p = NwParams { n: 80, penalty: 10 };
+        let nb = p.blocks();
+        let mut seen = vec![false; nb * nb];
+        for d in 0..2 * nb - 1 {
+            let count = (d + 1).min(nb).min(2 * nb - 1 - d);
+            for t in 0..count {
+                let (r, c) = diagonal_tile(nb, d, t);
+                assert!(r < nb && c < nb, "tile ({r},{c}) out of range");
+                assert!(!seen[r * nb + c], "tile ({r},{c}) visited twice");
+                seen[r * nb + c] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some tile never visited");
+    }
+
+    #[test]
+    fn footprints_fit_cache_levels() {
+        use eod_core::sizing;
+        for &size in &[ProblemSize::Tiny, ProblemSize::Small, ProblemSize::Medium] {
+            let p = NwParams::for_size(size);
+            assert!(
+                sizing::footprint_ok(size, p.footprint_bytes()),
+                "{size:?}: {} B",
+                p.footprint_bytes()
+            );
+        }
+        let l = NwParams::for_size(ProblemSize::Large);
+        assert!(sizing::footprint_ok(ProblemSize::Large, l.footprint_bytes()));
+    }
+
+    #[test]
+    fn launch_count_is_2nb_minus_1() {
+        assert_eq!(NwParams { n: 48, penalty: 10 }.launches(), 5);
+        assert_eq!(NwParams { n: 4096, penalty: 10 }.launches(), 511);
+    }
+
+    #[test]
+    fn iterations_idempotent() {
+        let ctx = Context::new(Device::native());
+        let queue = CommandQueue::new(&ctx);
+        let mut w = NwWorkload::new(NwParams { n: 32, penalty: 10 }, 2);
+        w.setup(&ctx, &queue).unwrap();
+        w.run_iteration(&queue).unwrap();
+        let first = w.f_buf.as_ref().unwrap().to_vec();
+        w.run_iteration(&queue).unwrap();
+        assert_eq!(first, w.f_buf.as_ref().unwrap().to_vec());
+    }
+}

@@ -1,0 +1,97 @@
+//! Registry of the eleven benchmarks, in the paper's reporting order.
+
+use eod_core::benchmark::Benchmark;
+
+/// All benchmarks, ordered as in Tables 2–3 and §5.
+pub fn all_benchmarks() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(crate::kmeans::Kmeans),
+        Box::new(crate::lud::Lud),
+        Box::new(crate::csr::Csr),
+        Box::new(crate::fft::Fft),
+        Box::new(crate::dwt::Dwt),
+        Box::new(crate::srad::Srad),
+        Box::new(crate::crc::Crc),
+        Box::new(crate::nw::Nw),
+        Box::new(crate::gem::Gem),
+        Box::new(crate::nqueens::Nqueens),
+        Box::new(crate::hmm::Hmm),
+    ]
+}
+
+/// Extension benchmarks beyond the paper's evaluated eleven — currently
+/// the §2-planned continuous wavelet transform.
+pub fn extension_benchmarks() -> Vec<Box<dyn Benchmark>> {
+    vec![Box::new(crate::cwt::Cwt)]
+}
+
+/// Look a benchmark up by name, searching the paper's eleven first and the
+/// extensions second.
+pub fn benchmark_by_name(name: &str) -> Option<Box<dyn Benchmark>> {
+    all_benchmarks()
+        .into_iter()
+        .chain(extension_benchmarks())
+        .find(|b| b.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eod_core::dwarf;
+    use eod_core::sizes::ProblemSize;
+
+    #[test]
+    fn eleven_benchmarks_in_paper_order() {
+        let names: Vec<_> = all_benchmarks().iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            ["kmeans", "lud", "csr", "fft", "dwt", "srad", "crc", "nw", "gem", "nqueens", "hmm"]
+        );
+    }
+
+    #[test]
+    fn dwarfs_match_the_core_mapping() {
+        for b in all_benchmarks() {
+            assert_eq!(
+                Some(b.dwarf()),
+                dwarf::dwarf_of_benchmark(b.name()),
+                "{}",
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark_by_name("srad").is_some());
+        assert!(benchmark_by_name("cwt").is_some(), "extensions resolvable");
+        assert!(benchmark_by_name("linpack").is_none());
+    }
+
+    #[test]
+    fn extensions_stay_out_of_the_paper_set() {
+        assert!(all_benchmarks().iter().all(|b| b.name() != "cwt"));
+        assert_eq!(extension_benchmarks().len(), 1);
+    }
+
+    #[test]
+    fn restricted_sizes() {
+        assert_eq!(
+            benchmark_by_name("nqueens").unwrap().supported_sizes(),
+            vec![ProblemSize::Tiny]
+        );
+        assert_eq!(
+            benchmark_by_name("hmm").unwrap().supported_sizes(),
+            vec![ProblemSize::Tiny]
+        );
+        assert_eq!(benchmark_by_name("fft").unwrap().supported_sizes().len(), 4);
+    }
+
+    #[test]
+    fn every_benchmark_builds_a_tiny_workload() {
+        for b in all_benchmarks() {
+            let w = b.workload(ProblemSize::Tiny, 1);
+            assert!(w.footprint_bytes() > 0, "{}", b.name());
+        }
+    }
+}

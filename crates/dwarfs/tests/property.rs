@@ -1,0 +1,178 @@
+//! Property-based tests on benchmark invariants.
+
+use eod_dwarfs::crc::{crc32_bitwise, crc32_combine, crc32_table, make_table};
+use eod_dwarfs::csr;
+use eod_dwarfs::dwt::lifting;
+use eod_dwarfs::fft::serial_fft;
+use eod_dwarfs::kmeans;
+use eod_dwarfs::lud;
+use eod_dwarfs::nw;
+use proptest::prelude::*;
+
+proptest! {
+    /// CRC splits arbitrarily: crc(a ++ b) == combine(crc(a), crc(b), |b|).
+    #[test]
+    fn crc_combine_any_split(msg in prop::collection::vec(any::<u8>(), 1..2000), split_frac in 0.0f64..1.0) {
+        let split = ((msg.len() as f64 * split_frac) as usize).min(msg.len());
+        let table = make_table();
+        let whole = crc32_table(&table, &msg);
+        let a = crc32_table(&table, &msg[..split]);
+        let b = crc32_table(&table, &msg[split..]);
+        prop_assert_eq!(crc32_combine(a, b, (msg.len() - split) as u64), whole);
+    }
+
+    /// Table-driven CRC equals the bitwise definition on any message.
+    #[test]
+    fn crc_table_equals_bitwise(msg in prop::collection::vec(any::<u8>(), 0..500)) {
+        let table = make_table();
+        prop_assert_eq!(crc32_table(&table, &msg), crc32_bitwise(&msg));
+    }
+
+    /// CRC detects any single-bit flip.
+    #[test]
+    fn crc_detects_bit_flips(msg in prop::collection::vec(any::<u8>(), 1..200), bit in 0usize..1600) {
+        let bit = bit % (msg.len() * 8);
+        let mut flipped = msg.clone();
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        prop_assert_ne!(crc32_bitwise(&msg), crc32_bitwise(&flipped));
+    }
+
+    /// FFT: linearity — FFT(x + y) = FFT(x) + FFT(y) (f64 reference).
+    #[test]
+    fn fft_linearity(bits in 3usize..9, seed in 0u64..100) {
+        let n = 1 << bits;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<f32> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let y: Vec<f32> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let zero = vec![0.0f32; n];
+        let sum: Vec<f32> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let (fx, _) = serial_fft(&x, &zero);
+        let (fy, _) = serial_fft(&y, &zero);
+        let (fs, _) = serial_fft(&sum, &zero);
+        for k in 0..n {
+            prop_assert!((fs[k] - fx[k] - fy[k]).abs() < 1e-3, "bin {k}");
+        }
+    }
+
+    /// FFT: Parseval's identity holds for the serial reference.
+    #[test]
+    fn fft_parseval(bits in 2usize..10, seed in 0u64..100) {
+        let n = 1 << bits;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let re: Vec<f32> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let im: Vec<f32> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let (fr, fi) = serial_fft(&re, &im);
+        let time: f64 = re.iter().zip(&im).map(|(&r, &i)| (r as f64).powi(2) + (i as f64).powi(2)).sum();
+        let freq: f64 = fr.iter().zip(&fi).map(|(&r, &i)| r * r + i * i).sum();
+        prop_assert!((freq - n as f64 * time).abs() < 1e-6 * (1.0 + n as f64 * time));
+    }
+
+    /// DWT round-trips for arbitrary image shapes and level counts.
+    #[test]
+    fn dwt_roundtrip(w in 2usize..64, h in 2usize..64, levels in 1usize..5, seed in 0u64..50) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let img: Vec<f32> = (0..w * h).map(|_| rng.random_range(0.0..255.0)).collect();
+        let mut work = img.clone();
+        lifting::forward_2d(&mut work, w, h, levels);
+        lifting::inverse_2d(&mut work, w, h, levels);
+        for (a, b) in img.iter().zip(&work) {
+            prop_assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    /// kmeans: every serial assignment picks the genuinely closest centroid.
+    #[test]
+    fn kmeans_assignment_optimal(seed in 0u64..200) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (pn, fnn, cn) = (40usize, 4usize, 3usize);
+        let features: Vec<f32> = (0..pn * fnn).map(|_| rng.random_range(0.0..1.0)).collect();
+        let centroids: Vec<f32> = (0..cn * fnn).map(|_| rng.random_range(0.0..1.0)).collect();
+        let member = kmeans::serial_assign(&features, &centroids, pn, fnn, cn);
+        for p in 0..pn {
+            let d = |c: usize| -> f32 {
+                (0..fnn).map(|f| {
+                    let diff = features[p * fnn + f] - centroids[c * fnn + f];
+                    diff * diff
+                }).sum()
+            };
+            let assigned = d(member[p] as usize);
+            for c in 0..cn {
+                prop_assert!(assigned <= d(c) + 1e-6);
+            }
+        }
+    }
+
+    /// lud: the factors reproduce A·x for random probes on any size that is
+    /// reachable by the serial algorithm.
+    #[test]
+    fn lud_factors_reproduce_matvec(n in 2usize..40, seed in 0u64..50) {
+        use rand::{Rng, SeedableRng};
+        let a = lud::generate_matrix(n, seed);
+        let f = lud::serial_lu(&a, n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
+        let x: Vec<f32> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let got = lud::lu_matvec(&f, n, &x);
+        let want = lud::matvec(&a, n, &x);
+        let err = eod_core::validation::relative_l2_error(&got, &want);
+        prop_assert!(err < 1e-3, "err {err}");
+    }
+
+    /// nw: the DP recurrence's cell values never exceed diag + max score and
+    /// the matrix is monotone along its boundary rows.
+    #[test]
+    fn nw_scores_bounded(seed in 0u64..50) {
+        let p = nw::NwParams { n: 32, penalty: 10 };
+        let reference = nw::generate_reference(&p, seed);
+        let f = nw::serial_nw(&p, &reference);
+        let e = p.edge();
+        // Boundary: strictly decreasing by penalty.
+        for i in 1..e {
+            prop_assert_eq!(f[i * e] - f[(i - 1) * e], -p.penalty);
+        }
+        // Interior: each cell obeys the recurrence (recheck independently).
+        for i in 1..e {
+            for j in 1..e {
+                let expect = (f[(i - 1) * e + j - 1] + reference[i * e + j])
+                    .max(f[i * e + j - 1] - p.penalty)
+                    .max(f[(i - 1) * e + j] - p.penalty);
+                prop_assert_eq!(f[i * e + j], expect);
+            }
+        }
+    }
+
+    /// csr generator: structurally valid CSR for any size/density.
+    #[test]
+    fn csr_generator_valid(n in 1usize..300, density in 0.001f64..0.2, seed in 0u64..50) {
+        let m = csr::generate(n, density, seed);
+        prop_assert_eq!(m.row_ptr.len(), n + 1);
+        prop_assert_eq!(m.row_ptr[0], 0);
+        prop_assert_eq!(*m.row_ptr.last().unwrap() as usize, m.nnz());
+        for r in 0..n {
+            let (s, e) = (m.row_ptr[r] as usize, m.row_ptr[r + 1] as usize);
+            prop_assert!(e >= s);
+            for k in s..e {
+                prop_assert!((m.col_idx[k] as usize) < n);
+                if k > s {
+                    prop_assert!(m.col_idx[k] > m.col_idx[k - 1]);
+                }
+            }
+        }
+    }
+
+    /// SpMV with the identity matrix is the identity map.
+    #[test]
+    fn csr_identity_spmv(x in prop::collection::vec(-100.0f32..100.0, 1..100)) {
+        let n = x.len();
+        let m = csr::CsrMatrix {
+            n,
+            row_ptr: (0..=n as u32).collect(),
+            col_idx: (0..n as u32).collect(),
+            vals: vec![1.0; n],
+        };
+        prop_assert_eq!(csr::serial_spmv(&m, &x), x);
+    }
+}

@@ -1,0 +1,146 @@
+//! Work-group size auto-tuning — a §7 future-work item.
+//!
+//! "Certain configuration parameters for the benchmarks, e.g. local
+//! workgroup size, are amenable to auto-tuning. We plan to integrate
+//! auto-tuning into the benchmarking framework to provide confidence that
+//! the optimal parameters are used for each combination of code and
+//! accelerator."
+//!
+//! [`sweep`] is that integration: given candidate local sizes and a
+//! measurement closure, it times each candidate (best of `repeats` to
+//! shave scheduler noise), picks the argmin, and reports the speedup over
+//! a baseline candidate. It is backend-agnostic — on the native backend
+//! the measurement is real work-group scheduling cost; on a simulated
+//! device it reflects the model.
+
+use std::time::Duration;
+
+/// Result of one auto-tuning sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneResult {
+    /// Every (candidate, best-of-repeats time) measured, in input order.
+    pub measurements: Vec<(usize, Duration)>,
+    /// The winning local size.
+    pub best: usize,
+    /// Time at the winning size.
+    pub best_time: Duration,
+    /// The baseline (first candidate) time.
+    pub baseline_time: Duration,
+}
+
+impl TuneResult {
+    /// Speedup of the winner over the baseline candidate (≥ 1 unless the
+    /// baseline was already optimal — then exactly 1).
+    pub fn speedup(&self) -> f64 {
+        self.baseline_time.as_secs_f64() / self.best_time.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Sweep `candidates`, timing each with `run` `repeats` times and keeping
+/// the minimum (the standard autotuner noise filter).
+///
+/// # Panics
+/// Panics if `candidates` is empty or `repeats` is zero.
+pub fn sweep<F: FnMut(usize) -> Duration>(
+    candidates: &[usize],
+    repeats: usize,
+    mut run: F,
+) -> TuneResult {
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    assert!(repeats > 0, "need at least one repetition");
+    let measurements: Vec<(usize, Duration)> = candidates
+        .iter()
+        .map(|&local| {
+            let best = (0..repeats).map(|_| run(local)).min().expect("repeats > 0");
+            (local, best)
+        })
+        .collect();
+    let &(best, best_time) = measurements
+        .iter()
+        .min_by_key(|&&(_, t)| t)
+        .expect("non-empty");
+    TuneResult {
+        baseline_time: measurements[0].1,
+        measurements,
+        best,
+        best_time,
+    }
+}
+
+/// The candidate local sizes the OpenDwarfs codes use (powers of two from
+/// a wavefront-friendly 16 up to the common 256 maximum).
+pub fn standard_candidates() -> Vec<usize> {
+    vec![16, 32, 64, 128, 256]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_picks_the_minimum() {
+        // Synthetic cost curve with a minimum at 64.
+        let cost = |local: usize| {
+            let l = local as f64;
+            Duration::from_nanos(((l - 64.0).powi(2) + 100.0) as u64)
+        };
+        let r = sweep(&standard_candidates(), 3, cost);
+        assert_eq!(r.best, 64);
+        assert!(r.speedup() > 1.0);
+        assert_eq!(r.measurements.len(), 5);
+    }
+
+    #[test]
+    fn baseline_optimal_gives_speedup_one() {
+        let r = sweep(&[8, 16], 1, |l| Duration::from_micros(l as u64));
+        assert_eq!(r.best, 8);
+        assert!((r.speedup() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeats_take_minimum() {
+        // A noisy first repeat must not poison the measurement.
+        let mut call = 0;
+        let r = sweep(&[32], 3, |_| {
+            call += 1;
+            if call == 1 {
+                Duration::from_millis(10)
+            } else {
+                Duration::from_micros(5)
+            }
+        });
+        assert_eq!(r.best_time, Duration::from_micros(5));
+    }
+
+    #[test]
+    fn real_kernel_sweep_on_native() {
+        // Tune a real saxpy through the runtime: all candidates must
+        // produce a measurement and the result must be a valid candidate.
+        use eod_clrt::prelude::*;
+        let ctx = Context::new(Device::native());
+        let queue = CommandQueue::new(&ctx).with_profiling();
+        let n = 1 << 14;
+        let x = ctx.create_buffer_from(&vec![1.0f32; n]).unwrap();
+        let y = ctx.create_buffer_from(&vec![2.0f32; n]).unwrap();
+        let k = ClosureKernel::new("saxpy", n as u64, {
+            let (x, y) = (x.view(), y.view());
+            move |item: &WorkItem| {
+                let i = item.global_id(0);
+                y.set(i, y.get(i) + 2.0 * x.get(i));
+            }
+        });
+        let candidates = standard_candidates();
+        let r = sweep(&candidates, 2, |local| {
+            let ev = queue.enqueue_kernel(&k, &NdRange::d1(n, local)).unwrap();
+            ev.duration()
+        });
+        assert!(candidates.contains(&r.best));
+        assert!(r.best_time > Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidates_panic() {
+        sweep(&[], 1, |_| Duration::ZERO);
+    }
+}

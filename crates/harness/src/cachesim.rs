@@ -1,0 +1,228 @@
+//! Trace-driven verification of the §4.4 problem sizes.
+//!
+//! The paper: "Caching performance was measured using PAPI counters … cache
+//! miss results … were used to verify the selection of suitable problem
+//! sizes for each benchmark." We have no PAPI, but we have the cache
+//! simulator: for each benchmark × size this module synthesizes a memory
+//! trace shaped by the workload's own kernel profile (its working set and
+//! access pattern), streams it twice through the Skylake hierarchy — the
+//! first pass warms, the second models the steady-state timing loop — and
+//! checks that the *innermost level that absorbs the traffic* is the level
+//! §4.4 designed the size for.
+
+use eod_clrt::prelude::*;
+// Explicit import outranks the glob: restore the two-parameter Result.
+use std::result::Result;
+use eod_core::sizes::ProblemSize;
+use eod_devsim::cache::{CacheConfig, CacheHierarchy, TlbConfig};
+use eod_devsim::profile::{AccessPattern, KernelProfile};
+use eod_dwarfs::registry;
+use serde::Serialize;
+
+/// Steady-state miss ratios of one benchmark × size on the Skylake
+/// hierarchy.
+#[derive(Debug, Clone, Serialize)]
+pub struct CacheVerification {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Problem size label.
+    pub size: String,
+    /// Working set in bytes (max over the iteration's kernels).
+    pub working_set: u64,
+    /// L1 miss ratio on the second (warm) pass.
+    pub l1_miss_ratio: f64,
+    /// L2 miss ratio on the warm pass (misses / L2 accesses).
+    pub l2_miss_ratio: f64,
+    /// L3 miss ratio on the warm pass.
+    pub l3_miss_ratio: f64,
+    /// The innermost level whose warm miss ratio is below 5 % (1, 2, 3) or
+    /// 4 when even L3 thrashes (DRAM resident).
+    pub resolved_level: u8,
+}
+
+/// The Skylake i7-6700K hierarchy as cache configs.
+fn skylake() -> CacheHierarchy {
+    CacheHierarchy::new(
+        CacheConfig::kib(32, 8),
+        CacheConfig::kib(256, 8),
+        Some(CacheConfig::kib(8192, 16)),
+        TlbConfig::default(),
+    )
+}
+
+/// Synthesize a one-pass address trace over `ws` bytes in the profile's
+/// dominant pattern. Trace length is capped so `large` stays tractable —
+/// the cap preserves the capacity relationship that decides hit/miss
+/// behaviour because it samples the *same* footprint.
+pub fn synthesize_pass(profile: &KernelProfile, cap_bytes: u64) -> Vec<u64> {
+    let ws = profile.working_set.min(cap_bytes).max(64);
+    match profile.pattern {
+        AccessPattern::Streaming => (0..ws / 64).map(|i| i * 64).collect(),
+        AccessPattern::Strided => {
+            // Column-walk: stride of 4 KiB wrapping over the footprint,
+            // touching every line once per pass.
+            let lines = ws / 64;
+            (0..lines).map(|i| (i * 4096) % (lines * 64)).collect()
+        }
+        AccessPattern::Gather | AccessPattern::Random => {
+            // Deterministic LCG over the footprint's lines.
+            let lines = (ws / 64).max(1);
+            let mut x = 0x12345u64;
+            (0..lines)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (x % lines) * 64
+                })
+                .collect()
+        }
+    }
+}
+
+/// Run the two-pass verification for one benchmark × size.
+pub fn verify_group(benchmark: &str, size: ProblemSize, seed: u64) -> Result<CacheVerification, String> {
+    let bench = registry::benchmark_by_name(benchmark)
+        .ok_or_else(|| format!("unknown benchmark {benchmark}"))?;
+    // Get the iteration's fused profile from a tiny real run's events
+    // scaled by the requested size's parameters: run the actual size on
+    // the native device only when it is cheap, otherwise derive profile
+    // from a constructed workload without executing (setup only).
+    let device = Platform::simulated()
+        .device_by_name("i7-6700K")
+        .expect("catalog device");
+    let ctx = Context::new(device);
+    let queue = CommandQueue::new(&ctx).with_profiling();
+    let mut w = bench.workload(size, seed);
+    w.setup(&ctx, &queue).map_err(|e| e.to_string())?;
+    // Replay: we only need profiles, not results.
+    queue.set_replay(true);
+    let out = w.run_iteration(&queue).map_err(|e| e.to_string())?;
+    let profile = out
+        .events
+        .iter()
+        .filter_map(|e| e.profile.clone())
+        .max_by(|a, b| a.working_set.cmp(&b.working_set))
+        .ok_or("no kernel events")?;
+
+    let mut h = skylake();
+    let pass = synthesize_pass(&profile, 64 << 20);
+    // Warm pass.
+    h.run_trace(pass.iter().copied());
+    let cold = h.counts();
+    // Steady-state pass.
+    h.run_trace(pass.iter().copied());
+    let warm = h.counts();
+
+    let d = |a: u64, b: u64| a.saturating_sub(b) as f64;
+    let accesses = d(warm.accesses, cold.accesses).max(1.0);
+    let l1m = d(warm.l1_misses, cold.l1_misses);
+    let l2a = l1m.max(1.0);
+    let l2m = d(warm.l2_misses, cold.l2_misses);
+    let l3a = l2m.max(1.0);
+    let l3m = d(warm.l3_misses, cold.l3_misses);
+    let (r1, r2, r3) = (l1m / accesses, l2m / l2a, l3m / l3a);
+    let resolved_level = if r1 < 0.05 {
+        1
+    } else if r2 < 0.05 {
+        2
+    } else if r3 < 0.05 {
+        3
+    } else {
+        4
+    };
+    Ok(CacheVerification {
+        benchmark: benchmark.to_string(),
+        size: size.label().to_string(),
+        working_set: profile.working_set,
+        l1_miss_ratio: r1,
+        l2_miss_ratio: r2,
+        l3_miss_ratio: r3,
+        resolved_level,
+    })
+}
+
+/// Markdown report over all benchmarks and sizes.
+pub fn report(seed: u64) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "| benchmark | size | working set | L1 miss | L2 miss | L3 miss | resolves to |\n\
+         |---|---|---:|---:|---:|---:|---|\n",
+    );
+    for bench in registry::all_benchmarks() {
+        for &size in &bench.supported_sizes() {
+            // gem medium/large profiles exist without execution (replay);
+            // still skip nothing — profiles are analytic.
+            let v = verify_group(bench.name(), size, seed)?;
+            let level = match v.resolved_level {
+                1 => "L1",
+                2 => "L2",
+                3 => "L3",
+                _ => "DRAM",
+            };
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.1} KiB | {:.3} | {:.3} | {:.3} | {} |",
+                v.benchmark,
+                v.size,
+                v.working_set as f64 / 1024.0,
+                v.l1_miss_ratio,
+                v.l2_miss_ratio,
+                v.l3_miss_ratio,
+                level
+            );
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sizes_resolve_to_l1() {
+        // §4.4: tiny working sets must be absorbed by the 32 KiB L1.
+        for b in ["kmeans", "srad", "crc", "nw", "lud"] {
+            let v = verify_group(b, ProblemSize::Tiny, 3).unwrap();
+            assert_eq!(v.resolved_level, 1, "{b}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn fft_small_resolves_to_l2() {
+        let v = verify_group("fft", ProblemSize::Small, 3).unwrap();
+        assert!(v.resolved_level <= 2, "{v:?}");
+        assert!(v.l1_miss_ratio > 0.05, "small must spill L1: {v:?}");
+    }
+
+    #[test]
+    fn large_sizes_thrash_l3() {
+        for b in ["fft", "srad", "lud"] {
+            let v = verify_group(b, ProblemSize::Large, 3).unwrap();
+            assert_eq!(v.resolved_level, 4, "{b} large must be DRAM: {v:?}");
+        }
+    }
+
+    #[test]
+    fn medium_stays_within_l3() {
+        for b in ["srad", "lud", "fft"] {
+            let v = verify_group(b, ProblemSize::Medium, 3).unwrap();
+            assert!(v.resolved_level <= 3, "{b} medium must fit L3: {v:?}");
+            assert!(v.resolved_level >= 2, "{b} medium must spill L1: {v:?}");
+        }
+    }
+
+    #[test]
+    fn synthesized_traces_have_expected_shapes() {
+        let mut p = KernelProfile::new("x");
+        p.working_set = 128 * 1024;
+        p.pattern = AccessPattern::Streaming;
+        let t = synthesize_pass(&p, 1 << 30);
+        assert_eq!(t.len(), 2048);
+        assert!(t.windows(2).all(|w| w[1] == w[0] + 64), "unit stride");
+        p.pattern = AccessPattern::Random;
+        let r = synthesize_pass(&p, 1 << 30);
+        assert_eq!(r.len(), 2048);
+        assert!(r.iter().all(|&a| a < 128 * 1024));
+        assert!(r.windows(2).any(|w| w[1] != w[0] + 64), "not sequential");
+    }
+}

@@ -1,0 +1,291 @@
+//! Figures 1–5 as runnable experiment definitions.
+//!
+//! Each function reproduces one figure of the paper's §5: it runs the
+//! figure's benchmark(s) over the figure's device set and problem sizes
+//! through the §4.3 measurement procedure and returns the panel structure
+//! (one panel per facet of the original figure). The binary renders panels
+//! with `report::ascii_panel` and writes the CSV series.
+
+use crate::report;
+use crate::runner::{GroupResult, Runner, RunnerConfig};
+use eod_clrt::Device;
+use eod_core::sizes::ProblemSize;
+use eod_dwarfs::registry;
+use serde::Serialize;
+
+/// One facet of a figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Panel {
+    /// Facet label (problem size, benchmark name, or scale).
+    pub label: String,
+    /// Groups in device (x-axis) order.
+    pub groups: Vec<GroupResult>,
+}
+
+/// A regenerated figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure {
+    /// Figure id, e.g. `fig2a`.
+    pub id: String,
+    /// Caption-style title.
+    pub title: String,
+    /// Facets in the paper's left-to-right order.
+    pub panels: Vec<Panel>,
+}
+
+impl Figure {
+    /// Render every panel as ASCII boxplots.
+    pub fn render_ascii(&self) -> String {
+        let mut out = format!("═══ {} — {} ═══\n", self.id, self.title);
+        for p in &self.panels {
+            out.push_str(&report::ascii_panel(
+                &format!("{} [{}]", self.id, p.label),
+                &p.groups,
+            ));
+        }
+        out
+    }
+
+    /// All groups across panels (for CSV export).
+    pub fn all_groups(&self) -> Vec<GroupResult> {
+        self.panels.iter().flat_map(|p| p.groups.clone()).collect()
+    }
+
+    /// Median kernel time of a device in a panel, if present.
+    pub fn median(&self, panel: &str, device: &str) -> Option<f64> {
+        self.panels
+            .iter()
+            .find(|p| p.label == panel)?
+            .groups
+            .iter()
+            .find(|g| g.device == device)
+            .map(|g| g.time_summary().median)
+    }
+}
+
+/// Groups whose first iteration is *not* executed functionally because one
+/// real iteration exceeds any reasonable host budget; their kernels are
+/// verified at the smaller scales of the same benchmark (see DESIGN.md).
+const MODEL_ONLY: &[(&str, ProblemSize)] = &[
+    ("gem", ProblemSize::Medium), // nucleosome: ~4×10¹⁰ interaction pairs
+    ("gem", ProblemSize::Large),  // 1KX5: ~10¹¹ pairs
+    ("lud", ProblemSize::Large),  // 255 block steps of a 4096² matrix: ~2×10¹⁰ MACs
+];
+
+fn is_model_only(benchmark: &str, size: ProblemSize) -> bool {
+    MODEL_ONLY.iter().any(|&(b, s)| b == benchmark && s == size)
+}
+
+/// The fifteen simulated devices (Fig. 1), or fourteen with the KNL omitted
+/// (Figs. 2–4, per §5.1: "We therefore omit results for KNL for the
+/// remaining benchmarks").
+pub fn figure_devices(runner: &Runner, include_knl: bool) -> Vec<Device> {
+    runner
+        .simulated_devices()
+        .into_iter()
+        .filter(|d| include_knl || d.name() != "Xeon Phi 7210")
+        .collect()
+}
+
+fn run_benchmark_sizes(
+    runner: &Runner,
+    benchmark: &str,
+    sizes: &[ProblemSize],
+    devices: &[Device],
+) -> Result<Vec<Panel>, String> {
+    let bench = registry::benchmark_by_name(benchmark)
+        .ok_or_else(|| format!("unknown benchmark {benchmark}"))?;
+    sizes
+        .iter()
+        .map(|&size| {
+            let groups = if is_model_only(benchmark, size) {
+                let mut cfg = runner.config().clone();
+                cfg.real_execution = false;
+                Runner::new(cfg).run_across_devices(bench.as_ref(), size, devices)?
+            } else {
+                runner.run_across_devices(bench.as_ref(), size, devices)?
+            };
+            Ok(Panel {
+                label: size.label().to_string(),
+                groups,
+            })
+        })
+        .collect()
+}
+
+/// Figure 1: crc kernel times on all fifteen devices, four panels.
+pub fn fig1(runner: &Runner) -> Result<Figure, String> {
+    let devices = figure_devices(runner, true);
+    Ok(Figure {
+        id: "fig1".into(),
+        title: "Kernel execution times for the crc benchmark".into(),
+        panels: run_benchmark_sizes(runner, "crc", ProblemSize::all(), &devices)?,
+    })
+}
+
+/// Figure 2 sub-figures: (a) kmeans, (b) lud, (c) csr, (d) dwt, (e) fft.
+pub fn fig2(runner: &Runner, sub: char) -> Result<Figure, String> {
+    let benchmark = match sub {
+        'a' => "kmeans",
+        'b' => "lud",
+        'c' => "csr",
+        'd' => "dwt",
+        'e' => "fft",
+        _ => return Err(format!("fig2 has sub-figures a–e, not {sub}")),
+    };
+    let devices = figure_devices(runner, false);
+    Ok(Figure {
+        id: format!("fig2{sub}"),
+        title: format!("Kernel execution times for {benchmark}"),
+        panels: run_benchmark_sizes(runner, benchmark, ProblemSize::all(), &devices)?,
+    })
+}
+
+/// Figure 3 sub-figures: (a) srad, (b) nw.
+pub fn fig3(runner: &Runner, sub: char) -> Result<Figure, String> {
+    let benchmark = match sub {
+        'a' => "srad",
+        'b' => "nw",
+        _ => return Err(format!("fig3 has sub-figures a–b, not {sub}")),
+    };
+    let devices = figure_devices(runner, false);
+    Ok(Figure {
+        id: format!("fig3{sub}"),
+        title: format!("Kernel execution times for {benchmark}"),
+        panels: run_benchmark_sizes(runner, benchmark, ProblemSize::all(), &devices)?,
+    })
+}
+
+/// Figure 4: the restricted-size benchmarks — (a) gem at its evaluated
+/// molecule scale, (b) nqueens at n = 18, (c) hmm at tiny.
+pub fn fig4(runner: &Runner) -> Result<Figure, String> {
+    let devices = figure_devices(runner, false);
+    let mut panels = Vec::new();
+    // gem: the 2D3V scale matches the sub-millisecond times of Fig. 4a.
+    panels.extend(run_benchmark_sizes(
+        runner,
+        "gem",
+        &[ProblemSize::Small],
+        &devices,
+    )?);
+    panels[0].label = "gem (2D3V)".into();
+    let mut nq = run_benchmark_sizes(runner, "nqueens", &[ProblemSize::Tiny], &devices)?;
+    nq[0].label = "nqueens (n=18)".into();
+    panels.extend(nq);
+    let mut hm = run_benchmark_sizes(runner, "hmm", &[ProblemSize::Tiny], &devices)?;
+    hm[0].label = "hmm (tiny)".into();
+    panels.extend(hm);
+    Ok(Figure {
+        id: "fig4".into(),
+        title: "Single-problem-size benchmarks".into(),
+        panels,
+    })
+}
+
+/// The eight benchmarks on Figure 5's x-axis.
+pub const FIG5_BENCHMARKS: [&str; 8] =
+    ["kmeans", "lud", "csr", "fft", "dwt", "gem", "srad", "crc"];
+
+/// Figure 5: kernel execution energy at `large` on the i7-6700K (RAPL) and
+/// GTX 1080 (NVML). One panel per benchmark, each with the two devices;
+/// 5a/5b of the paper are linear/log renderings of the same data.
+pub fn fig5(runner: &Runner) -> Result<Figure, String> {
+    let sim_devices = runner.simulated_devices();
+    let devices: Vec<Device> = sim_devices
+        .into_iter()
+        .filter(|d| d.name() == "i7-6700K" || d.name() == "GTX 1080")
+        .collect();
+    let mut panels = Vec::new();
+    for benchmark in FIG5_BENCHMARKS {
+        let mut p = run_benchmark_sizes(runner, benchmark, &[ProblemSize::Large], &devices)?;
+        p[0].label = benchmark.to_string();
+        panels.extend(p);
+    }
+    Ok(Figure {
+        id: "fig5".into(),
+        title: "Kernel execution energy (large problem size), i7-6700K vs GTX 1080".into(),
+    panels,
+    })
+}
+
+/// Convenience: build all figures with one runner.
+pub fn all_figures(config: RunnerConfig) -> Result<Vec<Figure>, String> {
+    let runner = Runner::new(config);
+    let mut figs = vec![fig1(&runner)?];
+    for sub in ['a', 'b', 'c', 'd', 'e'] {
+        figs.push(fig2(&runner, sub)?);
+    }
+    for sub in ['a', 'b'] {
+        figs.push(fig3(&runner, sub)?);
+    }
+    figs.push(fig4(&runner)?);
+    figs.push(fig5(&runner)?);
+    Ok(figs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_runner() -> Runner {
+        Runner::new(RunnerConfig::smoke())
+    }
+
+    #[test]
+    fn fig1_has_four_panels_and_knl() {
+        let f = fig1(&smoke_runner()).unwrap();
+        assert_eq!(f.panels.len(), 4);
+        assert_eq!(f.panels[0].groups.len(), 15);
+        assert!(f
+            .panels[0]
+            .groups
+            .iter()
+            .any(|g| g.device == "Xeon Phi 7210"));
+        assert!(f.median("tiny", "i7-6700K").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn fig2_omits_knl() {
+        let f = fig2(&smoke_runner(), 'a').unwrap();
+        assert_eq!(f.panels.len(), 4);
+        assert_eq!(f.panels[0].groups.len(), 14);
+        assert!(!f
+            .panels[0]
+            .groups
+            .iter()
+            .any(|g| g.device == "Xeon Phi 7210"));
+        assert!(fig2(&smoke_runner(), 'z').is_err());
+    }
+
+    #[test]
+    fn fig4_panels() {
+        let f = fig4(&smoke_runner()).unwrap();
+        assert_eq!(f.panels.len(), 3);
+        assert_eq!(f.panels[0].label, "gem (2D3V)");
+        assert_eq!(f.panels[1].label, "nqueens (n=18)");
+        assert!(f.render_ascii().contains("nqueens"));
+    }
+
+    #[test]
+    fn fig5_has_energy_for_both_devices() {
+        // Restrict to two cheap benchmarks for test speed by running crc
+        // and srad panels manually through the same machinery.
+        let runner = smoke_runner();
+        let devices: Vec<Device> = runner
+            .simulated_devices()
+            .into_iter()
+            .filter(|d| d.name() == "i7-6700K" || d.name() == "GTX 1080")
+            .collect();
+        let panels = run_benchmark_sizes(&runner, "crc", &[ProblemSize::Large], &devices).unwrap();
+        for g in &panels[0].groups {
+            assert!(g.energy_j.is_some(), "{} must be instrumented", g.device);
+        }
+    }
+
+    #[test]
+    fn model_only_table() {
+        assert!(is_model_only("gem", ProblemSize::Large));
+        assert!(!is_model_only("gem", ProblemSize::Small));
+        assert!(!is_model_only("crc", ProblemSize::Large));
+    }
+}

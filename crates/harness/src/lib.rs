@@ -1,0 +1,29 @@
+//! `eod-harness` — the experiment runner and figure/table regeneration
+//! layer for the Extended OpenDwarfs reproduction.
+//!
+//! The binary (`cargo run -p eod-harness --bin eod -- <target>`) regenerates
+//! every table and figure in the paper; this library holds the pieces:
+//!
+//! * [`runner`] — the §4.3 measurement procedure: run each benchmark in a
+//!   loop until a time floor elapses, record the mean kernel time as one
+//!   sample, collect 50 samples per (benchmark, problem size, device)
+//!   group, capture PAPI-style counters and (on the i7-6700K and GTX 1080)
+//!   energy;
+//! * [`figures`] — Figures 1–5 as runnable experiment definitions;
+//! * [`tables`] — Tables 1–3 as printable reproductions;
+//! * [`report`] — CSV/markdown/ASCII-boxplot rendering of results;
+//! * [`autotune`] — the §7 future-work extension: local work-group size
+//!   auto-tuning against the device model;
+//! * [`schedule`] — the paper's stated end goal: device-selection
+//!   scheduling under time and energy constraints, evaluated over the
+//!   measured matrix.
+
+pub mod autotune;
+pub mod cachesim;
+pub mod figures;
+pub mod report;
+pub mod runner;
+pub mod schedule;
+pub mod tables;
+
+pub use runner::{GroupResult, Runner, RunnerConfig};

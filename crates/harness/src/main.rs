@@ -1,0 +1,564 @@
+//! `eod` — the Extended OpenDwarfs experiment driver.
+//!
+//! Every table and figure of the paper regenerates from here:
+//!
+//! ```text
+//! eod table1|table2|table3|sizing|power
+//! eod fig1|fig2a..fig2e|fig3a|fig3b|fig4|fig5|figures
+//! eod run <benchmark> <size> [-p P -d D]
+//! eod cov|autotune|schedule|list
+//! ```
+//!
+//! Options: `--paper` (full §4.3 constants: 2 s loops × 50 samples),
+//! `--quick` (default; same sample count, shorter loop floor),
+//! `--samples N`, `--seed S`, `--out DIR` (write CSV/JSON series).
+
+use eod_clrt::prelude::*;
+// An explicit import outranks the glob: restore the two-parameter Result.
+use std::result::Result;
+use eod_core::args::{parse_arguments, DeviceSelector, ParsedArgs};
+use eod_core::sizes::ProblemSize;
+use eod_dwarfs::registry;
+use eod_harness::figures::{self, Figure};
+use eod_harness::{report, schedule, tables};
+use eod_harness::{Runner, RunnerConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+struct Cli {
+    command: String,
+    args: Vec<String>,
+    config: RunnerConfig,
+    out_dir: Option<PathBuf>,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = RunnerConfig::quick();
+    let mut out_dir = None;
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--paper" => config = RunnerConfig::paper(),
+            "--quick" => config = RunnerConfig::quick(),
+            "--samples" => {
+                i += 1;
+                config.samples = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--samples needs a number")?;
+            }
+            "--seed" => {
+                i += 1;
+                config.seed = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a number")?;
+            }
+            "--loop-ms" => {
+                i += 1;
+                let ms: u64 = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--loop-ms needs a number")?;
+                config.min_loop = Duration::from_millis(ms);
+            }
+            "--out" => {
+                i += 1;
+                out_dir = Some(PathBuf::from(
+                    argv.get(i).ok_or("--out needs a directory")?,
+                ));
+            }
+            _ => rest.push(argv[i].clone()),
+        }
+        i += 1;
+    }
+    if rest.is_empty() {
+        rest.push("help".to_string());
+    }
+    argv.clear();
+    let command = rest.remove(0);
+    Ok(Cli {
+        command,
+        args: rest,
+        config,
+        out_dir,
+    })
+}
+
+fn write_figure(fig: &Figure, out_dir: &Option<PathBuf>) -> Result<(), String> {
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        let groups = fig.all_groups();
+        std::fs::write(
+            dir.join(format!("{}_samples.csv", fig.id)),
+            report::samples_csv(&groups),
+        )
+        .map_err(|e| e.to_string())?;
+        std::fs::write(
+            dir.join(format!("{}_summary.csv", fig.id)),
+            report::summary_csv(&groups),
+        )
+        .map_err(|e| e.to_string())?;
+        let json = serde_json::to_string_pretty(fig).map_err(|e| e.to_string())?;
+        std::fs::write(dir.join(format!("{}.json", fig.id)), json).map_err(|e| e.to_string())?;
+        // LibSciBench-format per-group logs: lsb.<bench>.<size>.<device>.r0
+        let lsb_dir = dir.join("lsb");
+        std::fs::create_dir_all(&lsb_dir).map_err(|e| e.to_string())?;
+        for g in &groups {
+            let writer = eod_scibench::LsbWriter::new(format!(
+                "{}.{}.{}",
+                g.benchmark,
+                g.size,
+                g.device.replace(' ', "_")
+            ))
+            .with_metadata("class", &g.class)
+            .with_metadata("footprint_bytes", g.footprint_bytes.to_string())
+            .with_metadata("verified", g.verified.to_string());
+            std::fs::write(lsb_dir.join(writer.file_name()), writer.render(&g.regions))
+                .map_err(|e| e.to_string())?;
+        }
+        eprintln!("wrote {}/{{{}_samples.csv,{}_summary.csv,{}.json}}", dir.display(), fig.id, fig.id, fig.id);
+    }
+    Ok(())
+}
+
+fn show_figure(fig: &Figure, out_dir: &Option<PathBuf>) -> Result<(), String> {
+    println!("{}", fig.render_ascii());
+    write_figure(fig, out_dir)
+}
+
+fn fig5_energy_render(fig: &Figure) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "Fig. 5 — kernel energy, large size (joules)\n\
+         | benchmark | i7-6700K (RAPL) | GTX 1080 (NVML) | CPU/GPU |\n|---|---:|---:|---:|\n",
+    );
+    for p in &fig.panels {
+        let energy = |dev: &str| {
+            p.groups
+                .iter()
+                .find(|g| g.device == dev)
+                .and_then(|g| g.energy_summary())
+                .map(|s| s.mean)
+        };
+        let (cpu, gpu) = (energy("i7-6700K"), energy("GTX 1080"));
+        let ratio = match (cpu, gpu) {
+            (Some(c), Some(g)) if g > 0.0 => format!("{:.2}×", c / g),
+            _ => "–".into(),
+        };
+        let f = |v: Option<f64>| v.map(|x| format!("{x:.4}")).unwrap_or("–".into());
+        let _ = writeln!(out, "| {} | {} | {} | {} |", p.label, f(cpu), f(gpu), ratio);
+    }
+    out
+}
+
+/// Build a workload directly from a parsed Table 3 argument string —
+/// `eod run <benchmark> --args "<table-3 arguments>"`.
+fn workload_from_args(
+    benchmark: &str,
+    args: &str,
+    seed: u64,
+) -> Result<Box<dyn eod_core::benchmark::Workload>, String> {
+    use eod_dwarfs as dw;
+    let parsed = parse_arguments(benchmark, args)
+        .ok_or_else(|| format!("cannot parse {benchmark} arguments {args:?} (Table 3 grammar)"))?;
+    Ok(match parsed {
+        ParsedArgs::Kmeans { points, features, .. } => Box::new(dw::kmeans::KmeansWorkload::new(
+            dw::kmeans::KmeansParams {
+                points,
+                features,
+                clusters: eod_core::sizes::ScaleTable::KMEANS_CLUSTERS,
+            },
+            seed,
+        )),
+        ParsedArgs::Lud { n } => Box::new(dw::lud::LudWorkload::new(n, seed)),
+        ParsedArgs::Csr { n } => Box::new(dw::csr::CsrWorkload::new(
+            n,
+            eod_core::sizes::ScaleTable::CSR_DENSITY,
+            seed,
+        )),
+        ParsedArgs::Fft { n } => Box::new(dw::fft::FftWorkload::new(n, seed)),
+        ParsedArgs::Dwt { levels, w, h } => {
+            Box::new(dw::dwt::DwtWorkload::new(dw::dwt::DwtParams { w, h, levels }, seed))
+        }
+        ParsedArgs::Srad { rows, cols, roi, .. } => {
+            Box::new(dw::srad::SradWorkload::new(dw::srad::SradParams { rows, cols, roi }, seed))
+        }
+        ParsedArgs::Crc { bytes, .. } => Box::new(dw::crc::CrcWorkload::new(bytes, seed)),
+        ParsedArgs::Nw { n, penalty } => {
+            Box::new(dw::nw::NwWorkload::new(dw::nw::NwParams { n, penalty }, seed))
+        }
+        ParsedArgs::Gem { molecule } => {
+            use eod_core::sizes::ScaleTable;
+            let kib = ScaleTable::GEM_MOLECULES
+                .iter()
+                .position(|&m| m == molecule)
+                .map(|i| ScaleTable::GEM_FOOTPRINT_KIB[i])
+                .ok_or_else(|| format!("unknown molecule {molecule} (Table 2 names only)"))?;
+            Box::new(dw::gem::GemWorkload::new(&molecule, kib, seed))
+        }
+        ParsedArgs::Nqueens { n } => Box::new(dw::nqueens::NqueensWorkload::new(n)),
+        ParsedArgs::Hmm { states, symbols } => Box::new(dw::hmm::HmmWorkload::new(
+            dw::hmm::HmmParams {
+                states,
+                symbols,
+                t: dw::hmm::DEFAULT_T,
+            },
+            seed,
+        )),
+    })
+}
+
+fn cmd_run(cli: &Cli) -> Result<(), String> {
+    let benchmark = cli.args.first().ok_or("usage: eod run <benchmark> <size|--args \"…\">")?;
+    // `--args "<table 3 string>"` overrides the size-based configuration.
+    let custom_args = cli
+        .args
+        .iter()
+        .position(|a| a == "--args")
+        .and_then(|i| cli.args.get(i + 1))
+        .cloned();
+    // Remove `--args <value>` before interpreting the rest.
+    let mut rest: Vec<String> = Vec::new();
+    let mut skip_next = false;
+    for a in &cli.args[1..] {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--args" {
+            skip_next = true;
+            continue;
+        }
+        rest.push(a.clone());
+    }
+    let size_label = rest.first().map(String::as_str).unwrap_or("tiny");
+    let size = ProblemSize::parse(size_label).unwrap_or(ProblemSize::Tiny);
+    // Optional Table 3-style device selector among the remaining args.
+    let selector: String = rest
+        .iter()
+        .skip_while(|a| ProblemSize::parse(a).is_some())
+        .cloned()
+        .collect::<Vec<_>>()
+        .join(" ");
+    let device = if selector.is_empty() {
+        Platform::simulated()
+            .device_by_name("i7-6700K")
+            .expect("catalog device")
+    } else {
+        let sel = DeviceSelector::parse(&selector)
+            .ok_or_else(|| format!("bad device selector {selector:?}"))?;
+        Platform::select(sel.platform, sel.device).map_err(|e| e.to_string())?
+    };
+    let bench =
+        registry::benchmark_by_name(benchmark).ok_or_else(|| format!("unknown benchmark {benchmark}"))?;
+    let runner = Runner::new(cli.config.clone());
+    let g = if let Some(args) = custom_args {
+        // Run the custom workload through a one-off Table-3 configuration.
+        let ctx = Context::new(device.clone());
+        let queue = CommandQueue::new(&ctx).with_profiling();
+        let mut w = workload_from_args(benchmark, &args, cli.config.seed)?;
+        w.setup(&ctx, &queue).map_err(|e| e.to_string())?;
+        let out = w.run_iteration(&queue).map_err(|e| e.to_string())?;
+        w.verify(&queue).map_err(|e| format!("verification failed: {e}"))?;
+        println!(
+            "{benchmark} --args {args:?} on {}: verified, {} kernel launches, {:.4} ms kernel time",
+            device.name(),
+            out.kernel_launches(),
+            out.kernel_time().as_secs_f64() * 1e3
+        );
+        return Ok(());
+    } else {
+        runner.run_group(bench.as_ref(), size, device)?
+    };
+    let s = g.time_summary();
+    println!(
+        "{} {} on {} [{}]: verified={} launches/iter={} footprint={} B",
+        g.benchmark, g.size, g.device, g.class, g.verified, g.launches_per_iteration, g.footprint_bytes
+    );
+    println!(
+        "kernel time: median {:.4} ms  mean {:.4} ms  CoV {:.3}  (n = {})",
+        s.median,
+        s.mean,
+        s.cov(),
+        s.n
+    );
+    println!("setup {:.3} ms, transfers {:.3} ms", g.setup_ms, g.transfer_ms);
+    if let Some(c) = &g.counters {
+        println!("counters:");
+        for (e, v) in c.iter() {
+            println!("  {:<14} {v}", e.papi_name());
+        }
+        if let Some(ipc) = c.ipc() {
+            println!("  IPC            {ipc:.3}");
+        }
+    }
+    if let Some(es) = g.energy_summary() {
+        println!("energy: mean {:.4} J per iteration", es.mean);
+    }
+    Ok(())
+}
+
+fn cmd_cov(cli: &Cli) -> Result<(), String> {
+    // §5.1: CoV is larger on lower-clocked devices. Measure srad tiny on
+    // every device and print CoV against clock.
+    let runner = Runner::new(cli.config.clone());
+    let bench = registry::benchmark_by_name("srad").expect("srad exists");
+    println!("| device | clock (MHz) | CoV |\n|---|---:|---:|");
+    for device in runner.simulated_devices() {
+        let clock = device.sim_id().map(|id| id.spec().best_clock_mhz()).unwrap_or(0);
+        let g = runner.run_group(bench.as_ref(), ProblemSize::Tiny, device)?;
+        println!("| {} | {} | {:.4} |", g.device, clock, g.time_summary().cov());
+    }
+    Ok(())
+}
+
+fn cmd_aiwc(cli: &Cli) -> Result<(), String> {
+    // Characterize every benchmark's kernels from the profiles their
+    // events carry — the paper's deferred AIWC analysis.
+    use eod_dwarfs::aiwc;
+    let device = Platform::simulated()
+        .device_by_name("i7-6700K")
+        .expect("catalog device");
+    let mut rows = Vec::new();
+    for bench in registry::all_benchmarks() {
+        let ctx = Context::new(device.clone());
+        let queue = CommandQueue::new(&ctx).with_profiling();
+        let mut w = bench.workload(ProblemSize::Tiny, cli.config.seed);
+        w.setup(&ctx, &queue).map_err(|e| e.to_string())?;
+        let out = w.run_iteration(&queue).map_err(|e| e.to_string())?;
+        // One fused profile per benchmark: chain all kernels of the
+        // iteration, deduplicated by kernel name for the table.
+        let mut seen = std::collections::BTreeSet::new();
+        for ev in &out.events {
+            if let Some(p) = &ev.profile {
+                if seen.insert(p.name.clone()) {
+                    rows.push(aiwc::characterize(p));
+                }
+            }
+        }
+    }
+    print!("{}", aiwc::render_table(&rows));
+    Ok(())
+}
+
+fn cmd_ideal(cli: &Cli) -> Result<(), String> {
+    // The §7 'ideal performance' yardstick: roofline attainment of every
+    // benchmark kernel on a CPU and a GPU model.
+    use eod_devsim::model::DeviceModel;
+    use eod_devsim::roofline;
+    let sim = Platform::simulated();
+    println!("| kernel | device | bound | ideal (ms) | modeled (ms) | attained |");
+    println!("|---|---|---|---:|---:|---:|");
+    for name in ["i7-6700K", "GTX 1080"] {
+        let device = sim.device_by_name(name).expect("catalog device");
+        let id = device.sim_id().expect("simulated");
+        let model = DeviceModel::new(id);
+        for bench in registry::all_benchmarks() {
+            let ctx = Context::new(device.clone());
+            let queue = CommandQueue::new(&ctx).with_profiling();
+            let mut w = bench.workload(ProblemSize::Tiny, cli.config.seed);
+            w.setup(&ctx, &queue).map_err(|e| e.to_string())?;
+            let out = w.run_iteration(&queue).map_err(|e| e.to_string())?;
+            let Some(profile) = out.events.iter().find_map(|e| e.profile.clone()) else {
+                continue;
+            };
+            let ideal = roofline::ideal_time(id.spec(), &profile);
+            let cost = model.predict(&profile);
+            println!(
+                "| {} | {} | {} | {:.5} | {:.5} | {:.1} % |",
+                profile.name,
+                name,
+                if ideal.compute_bound { "compute" } else { "memory" },
+                ideal.ideal_s * 1e3,
+                cost.total_s * 1e3,
+                roofline::attained_fraction(id.spec(), &profile, cost.total_s) * 100.0
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_ablation() -> Result<(), String> {
+    // Quantify each model term's contribution to the paper's headline
+    // shapes by removing terms one at a time.
+    use eod_devsim::model::{DeviceModel, ModelAblation};
+    use eod_devsim::profile::{AccessPattern, KernelProfile};
+    let mut crc = KernelProfile::new("crc-large");
+    crc.int_ops = 4_194_304.0 * 6.0;
+    crc.bytes_read = 4_194_304.0;
+    crc.working_set = 4_194_304;
+    crc.work_items = 64;
+    crc.serial_fraction = 0.85;
+    let mut nw = KernelProfile::new("nw-large");
+    nw.int_ops = 4096.0 * 4096.0 * 6.0;
+    nw.bytes_read = 4096.0 * 4096.0 * 16.0;
+    nw.working_set = 2 * 4097 * 4097 * 4;
+    nw.work_items = 256;
+    nw.kernel_launches = 511;
+    nw.pattern = AccessPattern::Strided;
+    let mut srad = KernelProfile::new("srad-large");
+    srad.flops = 2048.0 * 1024.0 * 35.0;
+    srad.bytes_read = 2048.0 * 1024.0 * 24.0;
+    srad.bytes_written = 2048.0 * 1024.0 * 8.0;
+    srad.working_set = 2048 * 1024 * 24;
+    srad.work_items = 2048 * 1024;
+
+    let i7 = DeviceModel::new(eod_devsim::catalog::DeviceId::by_name("i7-6700K").unwrap());
+    let gtx = DeviceModel::new(eod_devsim::catalog::DeviceId::by_name("GTX 1080").unwrap());
+    let r9 = DeviceModel::new(eod_devsim::catalog::DeviceId::by_name("R9 290X").unwrap());
+
+    println!("CPU/GPU and AMD ratios under single-term ablation (ratio >1 ⇒ first device slower):\n");
+    println!("| ablated term | crc i7/GTX | nw R9/GTX | srad i7/GTX |");
+    println!("|---|---:|---:|---:|");
+    let mut configs: Vec<(String, ModelAblation)> = vec![("(full model)".into(), ModelAblation::full())];
+    for &t in ModelAblation::terms() {
+        configs.push((format!("− {t}"), ModelAblation::without(t).expect("known term")));
+    }
+    configs.push(("bare roofline".into(), ModelAblation::bare_roofline()));
+    for (label, ab) in configs {
+        let r_crc = i7.predict_ablated(&crc, ab).total_s / gtx.predict_ablated(&crc, ab).total_s;
+        let r_nw = r9.predict_ablated(&nw, ab).total_s / gtx.predict_ablated(&nw, ab).total_s;
+        let r_srad = i7.predict_ablated(&srad, ab).total_s / gtx.predict_ablated(&srad, ab).total_s;
+        println!("| {label} | {r_crc:.3} | {r_nw:.3} | {r_srad:.3} |");
+    }
+    println!("\ncrc needs BOTH the serial chain and the occupancy wall removed (the bare");
+    println!("roofline row) before the GPU wins it; nw's AMD gap follows launch overhead;");
+    println!("srad's GPU advantage is pure bandwidth and survives every ablation.");
+    Ok(())
+}
+
+fn cmd_autotune() -> Result<(), String> {
+    use eod_harness::autotune;
+    let ctx = Context::new(Device::native());
+    let queue = CommandQueue::new(&ctx).with_profiling();
+    let n = 1 << 20;
+    let x = ctx.create_buffer_from(&vec![1.0f32; n]).map_err(|e| e.to_string())?;
+    let y = ctx.create_buffer_from(&vec![2.0f32; n]).map_err(|e| e.to_string())?;
+    let k = ClosureKernel::new("saxpy", n as u64, {
+        let (x, y) = (x.view(), y.view());
+        move |item: &WorkItem| {
+            let i = item.global_id(0);
+            y.set(i, y.get(i) + 2.0 * x.get(i));
+        }
+    });
+    let candidates = autotune::standard_candidates();
+    let r = autotune::sweep(&candidates, 5, |local| {
+        queue
+            .enqueue_kernel(&k, &NdRange::d1(n, local))
+            .expect("valid range")
+            .duration()
+    });
+    println!("auto-tuning saxpy ({n} items) on the native backend:");
+    for (local, t) in &r.measurements {
+        let marker = if *local == r.best { "  ← best" } else { "" };
+        println!("  local {local:>4}: {:>10.1} µs{marker}", t.as_secs_f64() * 1e6);
+    }
+    println!("speedup over local={}: {:.2}×", candidates[0], r.speedup());
+    Ok(())
+}
+
+fn cmd_schedule(cli: &Cli) -> Result<(), String> {
+    let mut cfg = cli.config.clone();
+    cfg.energy_all_devices = true;
+    let runner = Runner::new(cfg);
+    let devices = figures::figure_devices(&runner, false);
+    let mut groups = Vec::new();
+    for name in ["kmeans", "csr", "fft", "dwt", "srad", "crc", "nw"] {
+        let bench = registry::benchmark_by_name(name).expect("registered");
+        groups.extend(runner.run_across_devices(bench.as_ref(), ProblemSize::Small, &devices)?);
+    }
+    let matrix = schedule::Matrix::from_groups(&groups)?;
+    for policy in [
+        schedule::Policy::FastestDevice,
+        schedule::Policy::LowestEnergy,
+        schedule::Policy::EnergyUnderDeadline { slowdown: 1.5 },
+    ] {
+        let s = schedule::schedule(&matrix, policy)?;
+        println!("{}", schedule::render(&s));
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let cli = parse_cli()?;
+    let runner = Runner::new(cli.config.clone());
+    match cli.command.as_str() {
+        "list" => {
+            println!("benchmarks (the paper's eleven):");
+            for b in registry::all_benchmarks() {
+                let sizes: Vec<_> = b.supported_sizes().iter().map(|s| s.label()).collect();
+                println!("  {:<8} {:<28} sizes: {}", b.name(), b.dwarf().name(), sizes.join(","));
+            }
+            println!("extensions:");
+            for b in registry::extension_benchmarks() {
+                let sizes: Vec<_> = b.supported_sizes().iter().map(|s| s.label()).collect();
+                println!("  {:<8} {:<28} sizes: {}", b.name(), b.dwarf().name(), sizes.join(","));
+            }
+            println!("\nplatforms:");
+            for (p, platform) in Platform::all().iter().enumerate() {
+                println!("  -p {p}: {}", platform.name());
+                for (d, dev) in platform.devices().iter().enumerate() {
+                    println!("    -d {d}: {}", dev.name());
+                }
+            }
+        }
+        "table1" => print!("{}", tables::table1()),
+        "table2" => print!("{}", tables::table2()),
+        "table3" => print!("{}", tables::table3()),
+        "sizing" => print!("{}", tables::sizing_report()),
+        "cachesim" => print!("{}", eod_harness::cachesim::report(cli.config.seed)?),
+        "power" => print!("{}", tables::power_report()),
+        "fig1" => show_figure(&figures::fig1(&runner)?, &cli.out_dir)?,
+        "fig2a" | "fig2b" | "fig2c" | "fig2d" | "fig2e" => {
+            let sub = cli.command.chars().last().expect("suffix");
+            show_figure(&figures::fig2(&runner, sub)?, &cli.out_dir)?;
+        }
+        "fig3a" | "fig3b" => {
+            let sub = cli.command.chars().last().expect("suffix");
+            show_figure(&figures::fig3(&runner, sub)?, &cli.out_dir)?;
+        }
+        "fig4" => show_figure(&figures::fig4(&runner)?, &cli.out_dir)?,
+        "fig5" => {
+            let fig = figures::fig5(&runner)?;
+            println!("{}", fig5_energy_render(&fig));
+            write_figure(&fig, &cli.out_dir)?;
+        }
+        "figures" => {
+            for fig in figures::all_figures(cli.config.clone())? {
+                if fig.id == "fig5" {
+                    println!("{}", fig5_energy_render(&fig));
+                } else {
+                    println!("{}", fig.render_ascii());
+                }
+                write_figure(&fig, &cli.out_dir)?;
+            }
+        }
+        "run" => cmd_run(&cli)?,
+        "cov" => cmd_cov(&cli)?,
+        "aiwc" => cmd_aiwc(&cli)?,
+        "ablation" => cmd_ablation()?,
+        "ideal" => cmd_ideal(&cli)?,
+        "autotune" => cmd_autotune()?,
+        "schedule" => cmd_schedule(&cli)?,
+        "help" | _ => {
+            println!(
+                "usage: eod <command> [--paper|--quick] [--samples N] [--seed S] [--loop-ms M] [--out DIR]\n\
+                 commands: list table1 table2 table3 sizing power\n\
+                 \u{20}         fig1 fig2a..fig2e fig3a fig3b fig4 fig5 figures\n\
+                 \u{20}         run <benchmark> <size> [-p P -d D -t T]\n\
+                 \u{20}         cov cachesim aiwc ideal ablation autotune schedule"
+            );
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Rendering of measurement results: CSV series, markdown tables, and
+//! ASCII boxplot panels shaped like the paper's figures.
+
+use crate::runner::GroupResult;
+use std::fmt::Write as _;
+
+/// CSV of raw samples: one row per (group, sample).
+pub fn samples_csv(groups: &[GroupResult]) -> String {
+    let mut out = String::from("benchmark,size,device,class,sample,kernel_ms,energy_j\n");
+    for g in groups {
+        for (i, &ms) in g.kernel_ms.iter().enumerate() {
+            let energy = g
+                .energy_j
+                .as_ref()
+                .and_then(|e| e.get(i))
+                .map(|e| format!("{e:.6}"))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{:.6},{}",
+                g.benchmark, g.size, g.device, g.class, i, ms, energy
+            );
+        }
+    }
+    out
+}
+
+/// CSV of group summaries: one row per group.
+pub fn summary_csv(groups: &[GroupResult]) -> String {
+    let mut out = String::from(
+        "benchmark,size,device,class,n,mean_ms,median_ms,stddev_ms,cov,min_ms,max_ms,\
+         launches,footprint_bytes,mean_energy_j\n",
+    );
+    for g in groups {
+        let s = g.time_summary();
+        let energy = g
+            .energy_summary()
+            .map(|e| format!("{:.6}", e.mean))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{:.6},{:.6},{:.6},{:.4},{:.6},{:.6},{},{},{}",
+            g.benchmark,
+            g.size,
+            g.device,
+            g.class,
+            s.n,
+            s.mean,
+            s.median,
+            s.stddev,
+            s.cov(),
+            s.min,
+            s.max,
+            g.launches_per_iteration,
+            g.footprint_bytes,
+            energy
+        );
+    }
+    out
+}
+
+/// One figure panel: ASCII boxplots for every device in a (benchmark, size)
+/// group set, on a shared linear axis — the shape of one facet of the
+/// paper's figures.
+pub fn ascii_panel(title: &str, groups: &[GroupResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "── {title} ──");
+    if groups.is_empty() {
+        let _ = writeln!(out, "  (no data)");
+        return out;
+    }
+    let hi = groups
+        .iter()
+        .map(|g| g.time_summary().max)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let width = 46;
+    let name_w = groups.iter().map(|g| g.device.len()).max().unwrap_or(8);
+    for g in groups {
+        let b = g.boxplot();
+        let line = b.render_ascii(0.0, hi, width);
+        let _ = writeln!(
+            out,
+            "  {:name_w$} |{line}| median {:>9.4} ms  [{}]",
+            g.device, b.median, g.class
+        );
+    }
+    let _ = writeln!(out, "  {:name_w$}  0{:>w$.4} ms", "", hi, w = width + 8);
+    out
+}
+
+/// Markdown summary table for a set of groups.
+pub fn markdown_table(groups: &[GroupResult]) -> String {
+    let mut out = String::from(
+        "| benchmark | size | device | class | median (ms) | mean (ms) | CoV | energy (J) |\n\
+         |---|---|---|---|---:|---:|---:|---:|\n",
+    );
+    for g in groups {
+        let s = g.time_summary();
+        let energy = g
+            .energy_summary()
+            .map(|e| format!("{:.4}", e.mean))
+            .unwrap_or_else(|| "–".into());
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {:.4} | {:.4} | {:.3} | {} |",
+            g.benchmark,
+            g.size,
+            g.device,
+            g.class,
+            s.median,
+            s.mean,
+            s.cov(),
+            energy
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(device: &str, ms: &[f64]) -> GroupResult {
+        GroupResult {
+            benchmark: "crc".into(),
+            size: "tiny".into(),
+            device: device.into(),
+            class: "CPU".into(),
+            kernel_ms: ms.to_vec(),
+            setup_ms: 1.0,
+            transfer_ms: 0.5,
+            launches_per_iteration: 1,
+            counters: None,
+            energy_j: Some(vec![0.5; ms.len()]),
+            footprint_bytes: 1000,
+            verified: true,
+            regions: Default::default(),
+        }
+    }
+
+    #[test]
+    fn samples_csv_has_row_per_sample() {
+        let csv = samples_csv(&[group("i7-6700K", &[1.0, 2.0, 3.0])]);
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.lines().nth(1).unwrap().starts_with("crc,tiny,i7-6700K,CPU,0,1.0"));
+        assert!(csv.contains(",0.500000"));
+    }
+
+    #[test]
+    fn summary_csv_has_row_per_group() {
+        let csv = summary_csv(&[group("a", &[1.0, 3.0]), group("b", &[2.0])]);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("crc,tiny,a,CPU,2,2.0"));
+    }
+
+    #[test]
+    fn ascii_panel_renders_each_device() {
+        let panel = ascii_panel(
+            "crc tiny",
+            &[group("i7-6700K", &[1.0, 1.2, 0.9]), group("K20m", &[4.0, 4.5])],
+        );
+        assert!(panel.contains("crc tiny"));
+        assert!(panel.contains("i7-6700K"));
+        assert!(panel.contains("K20m"));
+        assert!(panel.contains('#'), "median markers present");
+    }
+
+    #[test]
+    fn ascii_panel_empty() {
+        assert!(ascii_panel("x", &[]).contains("no data"));
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let md = markdown_table(&[group("dev", &[1.0])]);
+        assert!(md.starts_with("| benchmark |"));
+        assert!(md.contains("| crc | tiny | dev |"));
+    }
+}

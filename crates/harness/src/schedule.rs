@@ -1,0 +1,285 @@
+//! Device-selection scheduling under time and energy constraints.
+//!
+//! §7: "The original goal of this research was to discover methods for
+//! choosing the best device for a particular computational task, for
+//! example to support scheduling decisions under time and/or energy
+//! constraints. … we plan to use these benchmarks to evaluate scheduling
+//! approaches." This module is that evaluation: given the measured
+//! (benchmark × device) matrix — median kernel time plus modeled energy —
+//! it selects a device per benchmark under three policies and scores the
+//! schedule.
+
+use crate::runner::GroupResult;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// One cell of the scheduling matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Cell {
+    /// Median kernel time, milliseconds.
+    pub time_ms: f64,
+    /// Mean kernel energy, joules.
+    pub energy_j: f64,
+}
+
+/// The measured matrix: benchmark → device → cell.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Matrix {
+    cells: BTreeMap<String, BTreeMap<String, Cell>>,
+}
+
+impl Matrix {
+    /// Build from group results (requires energy on every group — run with
+    /// `RunnerConfig::energy_all_devices = true`).
+    pub fn from_groups(groups: &[GroupResult]) -> Result<Self, String> {
+        let mut m = Matrix::default();
+        for g in groups {
+            let energy = g
+                .energy_summary()
+                .ok_or_else(|| format!("{} on {} has no energy data", g.benchmark, g.device))?;
+            m.cells.entry(g.benchmark.clone()).or_default().insert(
+                g.device.clone(),
+                Cell {
+                    time_ms: g.time_summary().median,
+                    energy_j: energy.mean,
+                },
+            );
+        }
+        Ok(m)
+    }
+
+    /// Benchmarks in the matrix.
+    pub fn benchmarks(&self) -> Vec<&str> {
+        self.cells.keys().map(String::as_str).collect()
+    }
+
+    /// Devices available for a benchmark.
+    pub fn devices(&self, benchmark: &str) -> Vec<&str> {
+        self.cells
+            .get(benchmark)
+            .map(|d| d.keys().map(String::as_str).collect())
+            .unwrap_or_default()
+    }
+
+    /// Look up one cell.
+    pub fn cell(&self, benchmark: &str, device: &str) -> Option<Cell> {
+        self.cells.get(benchmark)?.get(device).copied()
+    }
+}
+
+/// Scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum Policy {
+    /// Minimize time, ignore energy.
+    FastestDevice,
+    /// Minimize energy, ignore time.
+    LowestEnergy,
+    /// Minimize energy subject to a per-benchmark deadline: the device must
+    /// be within `slowdown` × the fastest device's time.
+    EnergyUnderDeadline {
+        /// Allowed slowdown factor relative to the fastest device (≥ 1).
+        slowdown: f64,
+    },
+}
+
+/// One benchmark's assignment.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Assignment {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Chosen device.
+    pub device: String,
+    /// The chosen cell.
+    pub cell: Cell,
+}
+
+/// A complete schedule plus its totals.
+#[derive(Debug, Clone, Serialize)]
+pub struct Schedule {
+    /// Policy used.
+    pub policy: Policy,
+    /// Per-benchmark assignments.
+    pub assignments: Vec<Assignment>,
+    /// Total time across benchmarks, milliseconds.
+    pub total_time_ms: f64,
+    /// Total energy across benchmarks, joules.
+    pub total_energy_j: f64,
+}
+
+/// Select a device per benchmark under `policy`.
+pub fn schedule(matrix: &Matrix, policy: Policy) -> Result<Schedule, String> {
+    let mut assignments = Vec::new();
+    for benchmark in matrix.benchmarks() {
+        let devices = matrix.devices(benchmark);
+        if devices.is_empty() {
+            return Err(format!("no devices measured for {benchmark}"));
+        }
+        let cell_of = |d: &str| matrix.cell(benchmark, d).expect("device listed");
+        let fastest = devices
+            .iter()
+            .map(|d| cell_of(d).time_ms)
+            .fold(f64::INFINITY, f64::min);
+        let pick = match policy {
+            Policy::FastestDevice => devices
+                .iter()
+                .min_by(|a, b| {
+                    cell_of(a)
+                        .time_ms
+                        .total_cmp(&cell_of(b).time_ms)
+                })
+                .copied(),
+            Policy::LowestEnergy => devices
+                .iter()
+                .min_by(|a, b| cell_of(a).energy_j.total_cmp(&cell_of(b).energy_j))
+                .copied(),
+            Policy::EnergyUnderDeadline { slowdown } => {
+                if slowdown < 1.0 {
+                    return Err(format!("slowdown {slowdown} must be ≥ 1"));
+                }
+                devices
+                    .iter()
+                    .filter(|d| cell_of(d).time_ms <= fastest * slowdown)
+                    .min_by(|a, b| cell_of(a).energy_j.total_cmp(&cell_of(b).energy_j))
+                    .copied()
+            }
+        }
+        .ok_or_else(|| format!("no feasible device for {benchmark}"))?;
+        assignments.push(Assignment {
+            benchmark: benchmark.to_string(),
+            device: pick.to_string(),
+            cell: cell_of(pick),
+        });
+    }
+    let total_time_ms = assignments.iter().map(|a| a.cell.time_ms).sum();
+    let total_energy_j = assignments.iter().map(|a| a.cell.energy_j).sum();
+    Ok(Schedule {
+        policy,
+        assignments,
+        total_time_ms,
+        total_energy_j,
+    })
+}
+
+/// Render a schedule as a markdown table.
+pub fn render(s: &Schedule) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "Policy {:?}: total {:.3} ms, {:.3} J\n\n| benchmark | device | time (ms) | energy (J) |\n|---|---|---:|---:|\n",
+        s.policy, s.total_time_ms, s.total_energy_j
+    );
+    for a in &s.assignments {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.4} | {:.4} |",
+            a.benchmark, a.device, a.cell.time_ms, a.cell.energy_j
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> Matrix {
+        let mut m = Matrix::default();
+        let mut add = |b: &str, d: &str, t: f64, e: f64| {
+            m.cells
+                .entry(b.into())
+                .or_default()
+                .insert(d.into(), Cell { time_ms: t, energy_j: e });
+        };
+        // crc: CPU fast and cheap, GPU slow and expensive.
+        add("crc", "cpu", 1.0, 0.1);
+        add("crc", "gpu", 5.0, 2.0);
+        // srad: GPU fast and cheap, CPU slow and expensive.
+        add("srad", "cpu", 10.0, 3.0);
+        add("srad", "gpu", 1.0, 0.5);
+        // fft: GPU slightly faster but much hungrier.
+        add("fft", "cpu", 2.0, 0.2);
+        add("fft", "gpu", 1.8, 1.5);
+        m
+    }
+
+    #[test]
+    fn fastest_policy() {
+        let s = schedule(&matrix(), Policy::FastestDevice).unwrap();
+        let pick = |b: &str| {
+            s.assignments
+                .iter()
+                .find(|a| a.benchmark == b)
+                .unwrap()
+                .device
+                .clone()
+        };
+        assert_eq!(pick("crc"), "cpu");
+        assert_eq!(pick("srad"), "gpu");
+        assert_eq!(pick("fft"), "gpu");
+        assert!((s.total_time_ms - 3.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lowest_energy_policy() {
+        let s = schedule(&matrix(), Policy::LowestEnergy).unwrap();
+        let pick = |b: &str| {
+            s.assignments
+                .iter()
+                .find(|a| a.benchmark == b)
+                .unwrap()
+                .device
+                .clone()
+        };
+        assert_eq!(pick("fft"), "cpu", "energy beats the 10% time win");
+        assert!((s.total_energy_j - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadline_policy_balances() {
+        // With 1.2× slack, fft must stay on the GPU-fast choice? No:
+        // cpu (2.0 ms) is within 1.2 × 1.8 = 2.16 ms, so the cheaper CPU
+        // is feasible and wins.
+        let s = schedule(&matrix(), Policy::EnergyUnderDeadline { slowdown: 1.2 }).unwrap();
+        let fft = s.assignments.iter().find(|a| a.benchmark == "fft").unwrap();
+        assert_eq!(fft.device, "cpu");
+        // srad's CPU (10 ms) is 10× the GPU — infeasible, GPU chosen.
+        let srad = s.assignments.iter().find(|a| a.benchmark == "srad").unwrap();
+        assert_eq!(srad.device, "gpu");
+    }
+
+    #[test]
+    fn invalid_slowdown_rejected() {
+        assert!(schedule(&matrix(), Policy::EnergyUnderDeadline { slowdown: 0.5 }).is_err());
+    }
+
+    #[test]
+    fn render_contains_totals() {
+        let s = schedule(&matrix(), Policy::FastestDevice).unwrap();
+        let r = render(&s);
+        assert!(r.contains("total"));
+        assert!(r.contains("| crc | cpu |"));
+    }
+
+    #[test]
+    fn matrix_from_groups_requires_energy() {
+        let g = GroupResult {
+            benchmark: "crc".into(),
+            size: "large".into(),
+            device: "cpu".into(),
+            class: "CPU".into(),
+            kernel_ms: vec![1.0],
+            setup_ms: 0.0,
+            transfer_ms: 0.0,
+            launches_per_iteration: 1,
+            counters: None,
+            energy_j: None,
+            footprint_bytes: 0,
+            verified: true,
+            regions: Default::default(),
+        };
+        assert!(Matrix::from_groups(&[g.clone()]).is_err());
+        let mut g2 = g;
+        g2.energy_j = Some(vec![0.5]);
+        let m = Matrix::from_groups(&[g2]).unwrap();
+        assert_eq!(m.cell("crc", "cpu").unwrap().energy_j, 0.5);
+    }
+}

@@ -1,0 +1,183 @@
+//! Boxplot summaries for figure rendering.
+//!
+//! Every figure in the paper is a panel of boxplots (one box per device, one
+//! panel per problem size). This module computes the Tukey five-number
+//! summary plus outliers so the harness can render ASCII boxplots and emit
+//! the same series a plotting package would consume.
+
+use serde::{Deserialize, Serialize};
+
+/// Tukey boxplot statistics for one group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxplotSummary {
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Lower whisker: smallest observation ≥ q1 − 1.5·IQR.
+    pub whisker_lo: f64,
+    /// Upper whisker: largest observation ≤ q3 + 1.5·IQR.
+    pub whisker_hi: f64,
+    /// Observations outside the whiskers.
+    pub outliers: Vec<f64>,
+}
+
+/// Linear-interpolated quantile (R type-7, the default of `quantile()` and
+/// ggplot2, which the paper's plots were made with).
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let h = q * (sorted.len() as f64 - 1.0);
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+impl BoxplotSummary {
+    /// Compute boxplot statistics from raw observations.
+    ///
+    /// Returns `None` for an empty sample. NaNs are rejected by panic, as in
+    /// the statistics layer — a NaN observation is a harness bug.
+    pub fn of(data: &[f64]) -> Option<Self> {
+        if data.is_empty() {
+            return None;
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+        let q1 = quantile(&sorted, 0.25);
+        let median = quantile(&sorted, 0.5);
+        let q3 = quantile(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_lo = *sorted
+            .iter()
+            .find(|&&x| x >= lo_fence)
+            .expect("q1 is within fences");
+        let whisker_hi = *sorted
+            .iter()
+            .rev()
+            .find(|&&x| x <= hi_fence)
+            .expect("q3 is within fences");
+        let outliers = sorted
+            .iter()
+            .copied()
+            .filter(|&x| x < lo_fence || x > hi_fence)
+            .collect();
+        Some(Self {
+            q1,
+            median,
+            q3,
+            whisker_lo,
+            whisker_hi,
+            outliers,
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Render a one-line ASCII boxplot of this group scaled to `[lo, hi]`
+    /// over `width` characters: `|-----[==|==]------|` plus `o` outliers.
+    pub fn render_ascii(&self, lo: f64, hi: f64, width: usize) -> String {
+        assert!(width >= 10, "need at least 10 columns");
+        assert!(hi > lo, "invalid axis range");
+        let col = |x: f64| -> usize {
+            let frac = ((x - lo) / (hi - lo)).clamp(0.0, 1.0);
+            ((width - 1) as f64 * frac).round() as usize
+        };
+        let mut line = vec![b' '; width];
+        // Whisker span
+        for c in col(self.whisker_lo)..=col(self.whisker_hi) {
+            line[c] = b'-';
+        }
+        line[col(self.whisker_lo)] = b'|';
+        line[col(self.whisker_hi)] = b'|';
+        // Box
+        for c in col(self.q1)..=col(self.q3) {
+            line[c] = b'=';
+        }
+        line[col(self.q1)] = b'[';
+        line[col(self.q3)] = b']';
+        // Median drawn last so it is always visible.
+        line[col(self.median)] = b'#';
+        for &o in &self.outliers {
+            let c = col(o);
+            if line[c] == b' ' {
+                line[c] = b'o';
+            }
+        }
+        String::from_utf8(line).expect("ASCII by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_type7_values() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 4.0);
+        assert!((quantile(&data, 0.5) - 2.5).abs() < 1e-12);
+        // R: quantile(1:4, .25) = 1.75
+        assert!((quantile(&data, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boxplot_no_outliers() {
+        let data: Vec<f64> = (1..=11).map(|x| x as f64).collect();
+        let b = BoxplotSummary::of(&data).unwrap();
+        assert_eq!(b.median, 6.0);
+        assert!(b.outliers.is_empty());
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 11.0);
+        assert!((b.iqr() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boxplot_flags_outlier() {
+        let mut data: Vec<f64> = (1..=11).map(|x| x as f64).collect();
+        data.push(100.0);
+        let b = BoxplotSummary::of(&data).unwrap();
+        assert_eq!(b.outliers, vec![100.0]);
+        assert!(b.whisker_hi <= 11.0);
+    }
+
+    #[test]
+    fn boxplot_empty_and_singleton() {
+        assert!(BoxplotSummary::of(&[]).is_none());
+        let b = BoxplotSummary::of(&[3.5]).unwrap();
+        assert_eq!(b.median, 3.5);
+        assert_eq!(b.q1, 3.5);
+        assert_eq!(b.q3, 3.5);
+        assert!(b.outliers.is_empty());
+    }
+
+    #[test]
+    fn ascii_render_contains_median_marker() {
+        let data: Vec<f64> = (0..50).map(|x| (x % 10) as f64).collect();
+        let b = BoxplotSummary::of(&data).unwrap();
+        let s = b.render_ascii(0.0, 10.0, 40);
+        assert_eq!(s.len(), 40);
+        assert!(s.contains('#'), "median marker missing: {s:?}");
+        assert!(s.contains('['), "box start missing: {s:?}");
+    }
+
+    #[test]
+    fn ascii_render_clamps_out_of_range() {
+        let b = BoxplotSummary::of(&[5.0, 6.0, 7.0, 100.0]).unwrap();
+        // Axis narrower than data — must not panic.
+        let s = b.render_ascii(0.0, 10.0, 20);
+        assert_eq!(s.len(), 20);
+    }
+}

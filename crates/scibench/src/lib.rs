@@ -1,0 +1,38 @@
+//! `eod-scibench` — a LibSciBench-style measurement substrate.
+//!
+//! The Extended OpenDwarfs paper integrates LibSciBench (Hoefler & Belli,
+//! SC'15) into every benchmark to obtain:
+//!
+//! * high-resolution timers (~cycle resolution, ~6 ns overhead) for short
+//!   running kernels;
+//! * per-region measurement logs covering the three main components of
+//!   application time: *kernel execution*, *host setup* and *memory
+//!   transfers*;
+//! * statistically sound experiment design — the paper derives its sample
+//!   size of 50 runs per (benchmark, problem size) group from a t-test power
+//!   calculation at power β = 0.8 for an effect size of half a standard
+//!   deviation;
+//! * PAPI hardware-counter capture and RAPL/NVML energy measurement.
+//!
+//! This crate reimplements that measurement discipline from scratch in Rust.
+//! Counter *values* are synthesized by the device simulator in
+//! `eod-devsim`; this crate defines the counter vocabulary, the collection
+//! interfaces, the statistics, and the energy-meter abstractions.
+
+pub mod boxplot;
+pub mod counters;
+pub mod energy;
+pub mod lsb;
+pub mod power;
+pub mod region;
+pub mod stats;
+pub mod timer;
+
+pub use boxplot::BoxplotSummary;
+pub use counters::{CounterSet, CounterValues, HwCounter};
+pub use energy::{EnergyMeter, EnergySample, NvmlMeter, RaplMeter};
+pub use lsb::LsbWriter;
+pub use power::{power_of_t_test, sample_size_for_power};
+pub use region::{Region, RegionLog, RegionStats};
+pub use stats::{Summary, WelchTTest};
+pub use timer::{HighResTimer, TimerCalibration};

@@ -1,0 +1,178 @@
+//! LibSciBench-style measurement logs.
+//!
+//! LibSciBench writes one plain-text data file per process
+//! (`lsb.<app>.r<rank>`) with a commented header and whitespace-aligned
+//! columns that load directly into R — the paper's plots were produced
+//! from exactly such files ("support for statistical analysis and
+//! visualization", §6). This module reproduces the format: a header of
+//! `# key: value` metadata lines, a column schema, and one row per
+//! recorded measurement, so downstream R/pandas tooling written for
+//! LibSciBench output keeps working.
+
+use crate::region::{Region, RegionLog};
+use std::fmt::Write as _;
+use std::io::{self, Write as IoWrite};
+
+/// Writer configuration: application name and rank, as LibSciBench names
+/// its files (`lsb.<app>.r<rank>`).
+#[derive(Debug, Clone)]
+pub struct LsbWriter {
+    /// Application (benchmark) name.
+    pub app: String,
+    /// Process rank (always 0 in this single-process harness, kept for
+    /// format fidelity).
+    pub rank: u32,
+    /// Metadata echoed into the header (`# key: value`).
+    pub metadata: Vec<(String, String)>,
+}
+
+impl LsbWriter {
+    /// A writer for one application.
+    pub fn new(app: impl Into<String>) -> Self {
+        Self {
+            app: app.into(),
+            rank: 0,
+            metadata: Vec::new(),
+        }
+    }
+
+    /// Attach a header metadata pair.
+    pub fn with_metadata(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.metadata.push((key.into(), value.into()));
+        self
+    }
+
+    /// The conventional file name.
+    pub fn file_name(&self) -> String {
+        format!("lsb.{}.r{}", self.app, self.rank)
+    }
+
+    /// Render a [`RegionLog`] in LibSciBench layout.
+    pub fn render(&self, log: &RegionLog) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# Extended OpenDwarfs / eod-scibench measurement log");
+        let _ = writeln!(out, "# app: {}", self.app);
+        let _ = writeln!(out, "# rank: {}", self.rank);
+        for (k, v) in &self.metadata {
+            let _ = writeln!(out, "# {k}: {v}");
+        }
+        let _ = writeln!(out, "{:>12} {:>6} {:>18} {:>14}", "region", "id", "time_us", "energy_j");
+        for &region in Region::all() {
+            for (id, sample) in log.samples(region).iter().enumerate() {
+                let energy = sample
+                    .energy
+                    .map(|e| format!("{:.6}", e.joules))
+                    .unwrap_or_else(|| "NA".into());
+                let _ = writeln!(
+                    out,
+                    "{:>12} {:>6} {:>18.3} {:>14}",
+                    region.label(),
+                    id,
+                    sample.duration.as_secs_f64() * 1e6,
+                    energy
+                );
+            }
+        }
+        out
+    }
+
+    /// Write the rendered log to any sink.
+    pub fn write_to<W: IoWrite>(&self, log: &RegionLog, mut sink: W) -> io::Result<()> {
+        sink.write_all(self.render(log).as_bytes())
+    }
+}
+
+/// Parse a rendered log back into (region label, id, time µs, energy)
+/// rows — round-trip support for tests and tooling.
+pub fn parse(data: &str) -> Vec<(String, usize, f64, Option<f64>)> {
+    data.lines()
+        .filter(|l| !l.starts_with('#'))
+        .skip(1) // column header
+        .filter_map(|l| {
+            let mut it = l.split_whitespace();
+            let region = it.next()?.to_string();
+            let id = it.next()?.parse().ok()?;
+            let time: f64 = it.next()?.parse().ok()?;
+            let energy = match it.next()? {
+                "NA" => None,
+                v => Some(v.parse().ok()?),
+            };
+            Some((region, id, time, energy))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::EnergySample;
+    use crate::region::RegionSample;
+    use std::time::Duration;
+
+    fn sample_log() -> RegionLog {
+        let mut log = RegionLog::new();
+        log.record(Region::HostSetup, Duration::from_millis(3));
+        log.record(Region::Kernel, Duration::from_micros(120));
+        log.record_sample(
+            Region::Kernel,
+            RegionSample {
+                duration: Duration::from_micros(130),
+                counters: None,
+                energy: Some(EnergySample {
+                    joules: 0.25,
+                    duration: Duration::from_micros(130),
+                }),
+            },
+        );
+        log.record(Region::MemoryTransfer, Duration::from_micros(40));
+        log
+    }
+
+    #[test]
+    fn file_name_convention() {
+        let w = LsbWriter::new("kmeans");
+        assert_eq!(w.file_name(), "lsb.kmeans.r0");
+    }
+
+    #[test]
+    fn render_has_header_and_rows() {
+        let w = LsbWriter::new("kmeans")
+            .with_metadata("size", "tiny")
+            .with_metadata("device", "i7-6700K");
+        let text = w.render(&sample_log());
+        assert!(text.contains("# app: kmeans"));
+        assert!(text.contains("# size: tiny"));
+        assert!(text.contains("# device: i7-6700K"));
+        // 4 samples → 4 data rows.
+        assert_eq!(parse(&text).len(), 4);
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let w = LsbWriter::new("x");
+        let rows = parse(&w.render(&sample_log()));
+        let kernel_rows: Vec<_> = rows.iter().filter(|r| r.0 == "kernel").collect();
+        assert_eq!(kernel_rows.len(), 2);
+        assert!((kernel_rows[0].2 - 120.0).abs() < 1e-6);
+        assert_eq!(kernel_rows[0].3, None);
+        assert_eq!(kernel_rows[1].3, Some(0.25));
+        let setup: Vec<_> = rows.iter().filter(|r| r.0 == "host_setup").collect();
+        assert!((setup[0].2 - 3000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn write_to_sink() {
+        let w = LsbWriter::new("fft");
+        let mut buf = Vec::new();
+        w.write_to(&sample_log(), &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("# app: fft"));
+    }
+
+    #[test]
+    fn empty_log_renders_header_only() {
+        let w = LsbWriter::new("empty");
+        let text = w.render(&RegionLog::new());
+        assert!(parse(&text).is_empty());
+        assert!(text.contains("# app: empty"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Per-region measurement logs.
+//!
+//! The paper instruments "the three main components of application time:
+//! kernel execution, host setup and memory transfer operations" — each timed
+//! region gets its own distribution of samples, its own hardware-counter
+//! readings, and (where supported) its own energy samples. [`RegionLog`] is
+//! the in-memory journal a benchmark run writes into; the harness reduces it
+//! to [`RegionStats`] for reporting.
+
+use crate::counters::CounterValues;
+use crate::energy::EnergySample;
+use crate::stats::Summary;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// The code regions the paper distinguishes (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Device kernel execution — the only region plotted in the figures.
+    Kernel,
+    /// Host-side setup: context/queue/program construction, data generation.
+    HostSetup,
+    /// Host↔device memory transfer operations.
+    MemoryTransfer,
+}
+
+impl Region {
+    /// All regions in reporting order.
+    pub fn all() -> &'static [Region] {
+        &[Region::Kernel, Region::HostSetup, Region::MemoryTransfer]
+    }
+
+    /// Short label used in CSV headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Region::Kernel => "kernel",
+            Region::HostSetup => "host_setup",
+            Region::MemoryTransfer => "memory_transfer",
+        }
+    }
+}
+
+/// One recorded observation of a region.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RegionSample {
+    /// Wall-time of the region.
+    pub duration: Duration,
+    /// Hardware counters captured around the region, if any.
+    pub counters: Option<CounterValues>,
+    /// Energy captured around the region, if any.
+    pub energy: Option<EnergySample>,
+}
+
+/// Journal of all samples taken during a benchmark run, keyed by region.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RegionLog {
+    samples: BTreeMap<Region, Vec<RegionSample>>,
+}
+
+impl RegionLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a plain timing sample.
+    pub fn record(&mut self, region: Region, duration: Duration) {
+        self.samples.entry(region).or_default().push(RegionSample {
+            duration,
+            counters: None,
+            energy: None,
+        });
+    }
+
+    /// Record a fully annotated sample.
+    pub fn record_sample(&mut self, region: Region, sample: RegionSample) {
+        self.samples.entry(region).or_default().push(sample);
+    }
+
+    /// All samples for a region (empty slice if none).
+    pub fn samples(&self, region: Region) -> &[RegionSample] {
+        self.samples.get(&region).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of samples for a region.
+    pub fn count(&self, region: Region) -> usize {
+        self.samples(region).len()
+    }
+
+    /// Durations of a region in seconds, for the statistics layer.
+    pub fn durations_secs(&self, region: Region) -> Vec<f64> {
+        self.samples(region)
+            .iter()
+            .map(|s| s.duration.as_secs_f64())
+            .collect()
+    }
+
+    /// Reduce a region to summary statistics; `None` when no samples exist.
+    pub fn stats(&self, region: Region) -> Option<RegionStats> {
+        let durs = self.durations_secs(region);
+        let time = Summary::of(&durs)?;
+        let energies: Vec<f64> = self
+            .samples(region)
+            .iter()
+            .filter_map(|s| s.energy.map(|e| e.joules))
+            .collect();
+        let energy = Summary::of(&energies);
+        let mut counters = CounterValues::new();
+        let mut counter_samples = 0usize;
+        for s in self.samples(region) {
+            if let Some(c) = &s.counters {
+                counters.accumulate(c);
+                counter_samples += 1;
+            }
+        }
+        Some(RegionStats {
+            region,
+            time,
+            energy,
+            counters: (counter_samples > 0).then_some(counters),
+            counter_samples,
+        })
+    }
+
+    /// Merge another log into this one (e.g. combining per-thread journals).
+    pub fn merge(&mut self, other: RegionLog) {
+        for (region, mut v) in other.samples {
+            self.samples.entry(region).or_default().append(&mut v);
+        }
+    }
+
+    /// Total wall time recorded across all regions.
+    pub fn total_time(&self) -> Duration {
+        self.samples
+            .values()
+            .flatten()
+            .map(|s| s.duration)
+            .sum()
+    }
+}
+
+/// Reduced statistics for one region: a time distribution, an optional
+/// energy distribution, and summed hardware counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionStats {
+    /// Which region this summarizes.
+    pub region: Region,
+    /// Distribution of wall times in seconds.
+    pub time: Summary,
+    /// Distribution of per-sample energy in joules, when measured.
+    pub energy: Option<Summary>,
+    /// Hardware counters summed over all annotated samples.
+    pub counters: Option<CounterValues>,
+    /// How many samples carried counters.
+    pub counter_samples: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::HwCounter;
+
+    #[test]
+    fn record_and_count() {
+        let mut log = RegionLog::new();
+        log.record(Region::Kernel, Duration::from_millis(3));
+        log.record(Region::Kernel, Duration::from_millis(5));
+        log.record(Region::HostSetup, Duration::from_millis(10));
+        assert_eq!(log.count(Region::Kernel), 2);
+        assert_eq!(log.count(Region::HostSetup), 1);
+        assert_eq!(log.count(Region::MemoryTransfer), 0);
+    }
+
+    #[test]
+    fn stats_reduce_durations() {
+        let mut log = RegionLog::new();
+        for ms in [2u64, 4, 6] {
+            log.record(Region::Kernel, Duration::from_millis(ms));
+        }
+        let st = log.stats(Region::Kernel).unwrap();
+        assert_eq!(st.time.n, 3);
+        assert!((st.time.mean - 0.004).abs() < 1e-9);
+        assert!(st.energy.is_none());
+        assert!(st.counters.is_none());
+    }
+
+    #[test]
+    fn stats_none_for_empty_region() {
+        let log = RegionLog::new();
+        assert!(log.stats(Region::MemoryTransfer).is_none());
+    }
+
+    #[test]
+    fn annotated_samples_flow_through() {
+        let mut log = RegionLog::new();
+        let mut c = CounterValues::new();
+        c.set(HwCounter::TotalInstructions, 100);
+        log.record_sample(
+            Region::Kernel,
+            RegionSample {
+                duration: Duration::from_millis(1),
+                counters: Some(c.clone()),
+                energy: Some(EnergySample {
+                    joules: 0.5,
+                    duration: Duration::from_millis(1),
+                }),
+            },
+        );
+        log.record_sample(
+            Region::Kernel,
+            RegionSample {
+                duration: Duration::from_millis(1),
+                counters: Some(c),
+                energy: Some(EnergySample {
+                    joules: 0.7,
+                    duration: Duration::from_millis(1),
+                }),
+            },
+        );
+        let st = log.stats(Region::Kernel).unwrap();
+        assert_eq!(st.counter_samples, 2);
+        assert_eq!(
+            st.counters.unwrap().get(HwCounter::TotalInstructions),
+            Some(200)
+        );
+        let e = st.energy.unwrap();
+        assert!((e.mean - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines_journals() {
+        let mut a = RegionLog::new();
+        a.record(Region::Kernel, Duration::from_millis(1));
+        let mut b = RegionLog::new();
+        b.record(Region::Kernel, Duration::from_millis(2));
+        b.record(Region::MemoryTransfer, Duration::from_millis(3));
+        a.merge(b);
+        assert_eq!(a.count(Region::Kernel), 2);
+        assert_eq!(a.count(Region::MemoryTransfer), 1);
+        assert_eq!(a.total_time(), Duration::from_millis(6));
+    }
+}

@@ -1,0 +1,419 @@
+//! Summary statistics and significance testing.
+//!
+//! LibSciBench's value-add over `gettimeofday` loops is statistical rigour:
+//! it reports distributions, not single numbers. This module provides the
+//! pieces the paper relies on — means, medians, standard deviations,
+//! coefficients of variation (§5.1 discusses CoV across devices), confidence
+//! intervals, and Welch's t-test used by the power analysis in
+//! [`crate::power`].
+
+use serde::{Deserialize, Serialize};
+
+/// Five-moment summary of a sample of observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (average of middle two for even `n`).
+    pub median: f64,
+    /// Sample standard deviation (Bessel-corrected, n−1 denominator).
+    pub stddev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns `None` for an empty sample.
+    pub fn of(data: &[f64]) -> Option<Self> {
+        if data.is_empty() {
+            return None;
+        }
+        let n = data.len();
+        let mean = data.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        };
+        Some(Self {
+            n,
+            mean,
+            median,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+        })
+    }
+
+    /// Coefficient of variation, σ/μ. The paper observes CoV is much larger
+    /// on devices with lower clock frequency, regardless of accelerator type.
+    pub fn cov(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+
+    /// Standard error of the mean, σ/√n.
+    pub fn sem(&self) -> f64 {
+        self.stddev / (self.n as f64).sqrt()
+    }
+
+    /// Two-sided confidence interval for the mean at the given confidence
+    /// level, using the t distribution with n−1 degrees of freedom.
+    pub fn ci(&self, confidence: f64) -> (f64, f64) {
+        if self.n < 2 {
+            return (self.mean, self.mean);
+        }
+        let alpha = 1.0 - confidence;
+        let t = t_quantile(1.0 - alpha / 2.0, (self.n - 1) as f64);
+        let half = t * self.sem();
+        (self.mean - half, self.mean + half)
+    }
+}
+
+/// Result of Welch's unequal-variances t-test comparing two samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WelchTTest {
+    /// The t statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+impl WelchTTest {
+    /// Test whether two samples have different means.
+    ///
+    /// Returns `None` if either sample has fewer than two observations or
+    /// both variances are zero with equal means (the statistic is undefined).
+    pub fn run(a: &[f64], b: &[f64]) -> Option<Self> {
+        let sa = Summary::of(a)?;
+        let sb = Summary::of(b)?;
+        if sa.n < 2 || sb.n < 2 {
+            return None;
+        }
+        let va = sa.stddev * sa.stddev / sa.n as f64;
+        let vb = sb.stddev * sb.stddev / sb.n as f64;
+        let se = (va + vb).sqrt();
+        if se == 0.0 {
+            return if sa.mean == sb.mean {
+                Some(Self {
+                    t: 0.0,
+                    df: (sa.n + sb.n - 2) as f64,
+                    p_value: 1.0,
+                })
+            } else {
+                Some(Self {
+                    t: f64::INFINITY,
+                    df: (sa.n + sb.n - 2) as f64,
+                    p_value: 0.0,
+                })
+            };
+        }
+        let t = (sa.mean - sb.mean) / se;
+        let df = (va + vb) * (va + vb)
+            / (va * va / (sa.n as f64 - 1.0) + vb * vb / (sb.n as f64 - 1.0));
+        let p_value = 2.0 * (1.0 - t_cdf(t.abs(), df));
+        Some(Self { t, df, p_value })
+    }
+
+    /// True when the difference is significant at level `alpha`.
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Regularized incomplete beta function I_x(a, b) by continued fraction
+/// (Lentz's algorithm), the workhorse behind the t distribution CDF.
+///
+/// Accuracy is ~1e-12 over the parameter ranges used here, which is far more
+/// than power analysis needs.
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta parameters must be positive");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    // Symmetry transformation keeps the continued fraction convergent.
+    if x > (a + 1.0) / (a + b + 2.0) {
+        return 1.0 - incomplete_beta(b, a, 1.0 - x);
+    }
+    let ln_front = a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b);
+    let front = ln_front.exp() / a;
+
+    // Lentz continued fraction for I_x(a,b).
+    let tiny = 1e-300;
+    let mut f = 1.0f64;
+    let mut c = 1.0f64;
+    let mut d = 0.0f64;
+    for i in 0..=200 {
+        let m = i / 2;
+        let numerator = if i == 0 {
+            1.0
+        } else if i % 2 == 0 {
+            let m = m as f64;
+            m * (b - m) * x / ((a + 2.0 * m - 1.0) * (a + 2.0 * m))
+        } else {
+            let m = m as f64;
+            -((a + m) * (a + b + m) * x) / ((a + 2.0 * m) * (a + 2.0 * m + 1.0))
+        };
+        d = 1.0 + numerator * d;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        d = 1.0 / d;
+        c = 1.0 + numerator / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        let cd = c * d;
+        f *= cd;
+        if (1.0 - cd).abs() < 1e-14 {
+            break;
+        }
+    }
+    front * (f - 1.0)
+}
+
+/// ln Γ(x) via the Lanczos approximation (g = 7, n = 9 coefficients).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut sum = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        sum += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + sum.ln()
+}
+
+/// ln B(a, b) = ln Γ(a) + ln Γ(b) − ln Γ(a+b).
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+pub fn t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0);
+    if t == 0.0 {
+        return 0.5;
+    }
+    let x = df / (df + t * t);
+    let tail = 0.5 * incomplete_beta(df / 2.0, 0.5, x);
+    if t > 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+/// Quantile (inverse CDF) of Student's t distribution, by bisection on
+/// [`t_cdf`]. `p` must lie strictly in (0, 1).
+pub fn t_quantile(p: f64, df: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0,1)");
+    if (p - 0.5).abs() < 1e-15 {
+        return 0.0;
+    }
+    let (mut lo, mut hi) = (-1e6, 1e6);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if t_cdf(mid, df) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-12 {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Standard normal CDF via the complementary error function.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * erfc(-z / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function, Numerical-Recipes rational approximation
+/// (max error ~1.2e-7, plenty for power analysis).
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+            .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_close(s.mean, 3.0, 1e-12);
+        assert_close(s.median, 3.0, 1e-12);
+        assert_close(s.stddev, (2.5f64).sqrt(), 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn summary_even_median() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_close(s.median, 2.5, 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_and_singleton() {
+        assert!(Summary::of(&[]).is_none());
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn cov_definition() {
+        let s = Summary::of(&[9.0, 10.0, 11.0]).unwrap();
+        assert_close(s.cov(), 1.0 / 10.0, 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(5) = 24
+        assert_close(ln_gamma(5.0), 24.0f64.ln(), 1e-10);
+        // Γ(0.5) = √π
+        assert_close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-10);
+        // Γ(1) = 1
+        assert_close(ln_gamma(1.0), 0.0, 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_known_values() {
+        // I_x(1,1) = x (uniform distribution CDF)
+        for &x in &[0.1, 0.25, 0.5, 0.9] {
+            assert_close(incomplete_beta(1.0, 1.0, x), x, 1e-10);
+        }
+        // I_x(2,2) = x^2 (3 - 2x)
+        let x: f64 = 0.3;
+        assert_close(incomplete_beta(2.0, 2.0, x), x * x * (3.0 - 2.0 * x), 1e-10);
+        // Boundaries
+        assert_eq!(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn t_cdf_matches_tables() {
+        // t distribution with df=1 is Cauchy: CDF(1) = 3/4.
+        assert_close(t_cdf(1.0, 1.0), 0.75, 1e-9);
+        // Large df approaches normal: CDF(1.96, 1e6) ≈ 0.975.
+        assert_close(t_cdf(1.96, 1e6), 0.975, 1e-3);
+        // Symmetry
+        assert_close(t_cdf(-2.0, 7.0) + t_cdf(2.0, 7.0), 1.0, 1e-10);
+    }
+
+    #[test]
+    fn t_quantile_inverts_cdf() {
+        for &df in &[2.0, 5.0, 30.0, 49.0] {
+            for &p in &[0.1, 0.5, 0.9, 0.975] {
+                let q = t_quantile(p, df);
+                assert_close(t_cdf(q, df), p, 1e-8);
+            }
+        }
+        // Classic table value: t_{0.975, 10} ≈ 2.228
+        assert_close(t_quantile(0.975, 10.0), 2.228, 2e-3);
+    }
+
+    #[test]
+    fn normal_cdf_values() {
+        assert_close(normal_cdf(0.0), 0.5, 1e-7);
+        assert_close(normal_cdf(1.96), 0.975, 1e-4);
+        assert_close(normal_cdf(-1.96), 0.025, 1e-4);
+    }
+
+    #[test]
+    fn welch_detects_difference() {
+        let a: Vec<f64> = (0..30).map(|i| 10.0 + (i % 3) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..30).map(|i| 12.0 + (i % 3) as f64 * 0.1).collect();
+        let t = WelchTTest::run(&a, &b).unwrap();
+        assert!(t.significant(0.01), "p = {}", t.p_value);
+        assert!(t.t < 0.0, "a < b so t must be negative");
+    }
+
+    #[test]
+    fn welch_same_distribution_not_significant() {
+        let a: Vec<f64> = (0..40).map(|i| 5.0 + ((i * 7) % 11) as f64 * 0.01).collect();
+        let t = WelchTTest::run(&a, &a).unwrap();
+        assert_close(t.t, 0.0, 1e-12);
+        assert!(!t.significant(0.05));
+    }
+
+    #[test]
+    fn welch_degenerate_zero_variance() {
+        let a = vec![1.0, 1.0, 1.0];
+        let b = vec![2.0, 2.0, 2.0];
+        let t = WelchTTest::run(&a, &b).unwrap();
+        assert_eq!(t.p_value, 0.0);
+        let t2 = WelchTTest::run(&a, &a).unwrap();
+        assert_eq!(t2.p_value, 1.0);
+    }
+
+    #[test]
+    fn ci_contains_mean_and_widens_with_confidence() {
+        let data: Vec<f64> = (0..50).map(|i| 100.0 + (i % 7) as f64).collect();
+        let s = Summary::of(&data).unwrap();
+        let (lo95, hi95) = s.ci(0.95);
+        let (lo99, hi99) = s.ci(0.99);
+        assert!(lo95 < s.mean && s.mean < hi95);
+        assert!(lo99 < lo95 && hi99 > hi95, "99% CI must contain 95% CI");
+    }
+}

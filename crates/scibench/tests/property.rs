@@ -1,0 +1,93 @@
+//! Property-based tests for the measurement substrate.
+
+use eod_scibench::boxplot::{quantile, BoxplotSummary};
+use eod_scibench::stats::{t_cdf, t_quantile, Summary, WelchTTest};
+use proptest::prelude::*;
+
+fn sample_vec() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..200)
+}
+
+proptest! {
+    /// Summary statistics are invariant under permutation of the sample.
+    #[test]
+    fn summary_order_invariant(mut data in sample_vec(), seed in 0u64..1000) {
+        let a = Summary::of(&data).unwrap();
+        // Deterministic shuffle.
+        let n = data.len();
+        for i in 0..n {
+            let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % n;
+            data.swap(i, j);
+        }
+        let b = Summary::of(&data).unwrap();
+        prop_assert!((a.mean - b.mean).abs() <= 1e-6 * (1.0 + a.mean.abs()));
+        prop_assert_eq!(a.median, b.median);
+        prop_assert_eq!(a.min, b.min);
+        prop_assert_eq!(a.max, b.max);
+    }
+
+    /// min ≤ q1 ≤ median ≤ q3 ≤ max, and whiskers within [min, max].
+    #[test]
+    fn boxplot_ordering(data in sample_vec()) {
+        let s = Summary::of(&data).unwrap();
+        let b = BoxplotSummary::of(&data).unwrap();
+        prop_assert!(s.min <= b.q1 + 1e-12);
+        prop_assert!(b.q1 <= b.median && b.median <= b.q3);
+        prop_assert!(b.q3 <= s.max + 1e-12);
+        prop_assert!(b.whisker_lo >= s.min && b.whisker_hi <= s.max);
+        prop_assert!(b.whisker_lo <= b.q1 && b.whisker_hi >= b.q3);
+    }
+
+    /// Quantile is monotone in q and bounded by the extremes.
+    #[test]
+    fn quantile_monotone(data in sample_vec(), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let v_lo = quantile(&sorted, lo);
+        let v_hi = quantile(&sorted, hi);
+        prop_assert!(v_lo <= v_hi + 1e-12);
+        prop_assert!(v_lo >= sorted[0] - 1e-12);
+        prop_assert!(v_hi <= sorted[sorted.len() - 1] + 1e-12);
+    }
+
+    /// The t CDF is monotone and symmetric.
+    #[test]
+    fn t_cdf_monotone_symmetric(t1 in -50.0f64..50.0, t2 in -50.0f64..50.0, df in 1.0f64..200.0) {
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        prop_assert!(t_cdf(lo, df) <= t_cdf(hi, df) + 1e-12);
+        prop_assert!((t_cdf(t1, df) + t_cdf(-t1, df) - 1.0).abs() < 1e-9);
+    }
+
+    /// t quantile inverts the CDF across the parameter space.
+    #[test]
+    fn t_quantile_inverse(p in 0.01f64..0.99, df in 2.0f64..100.0) {
+        let q = t_quantile(p, df);
+        prop_assert!((t_cdf(q, df) - p).abs() < 1e-6);
+    }
+
+    /// Welch's t-test against a shifted copy of the same sample is
+    /// significant for large shifts and has a symmetric statistic.
+    #[test]
+    fn welch_shift_symmetry(data in prop::collection::vec(-100.0f64..100.0, 10..50), shift in 1.0f64..10.0) {
+        // Need nonzero variance for a meaningful test.
+        let s = Summary::of(&data).unwrap();
+        prop_assume!(s.stddev > 1e-6);
+        let shifted: Vec<f64> = data.iter().map(|x| x + shift).collect();
+        let ab = WelchTTest::run(&data, &shifted).unwrap();
+        let ba = WelchTTest::run(&shifted, &data).unwrap();
+        prop_assert!((ab.t + ba.t).abs() < 1e-9, "antisymmetric statistic");
+        prop_assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+    }
+
+    /// A sample's 95% CI lies within its 99% CI.
+    #[test]
+    fn ci_nesting(data in prop::collection::vec(-1e3f64..1e3, 3..100)) {
+        let s = Summary::of(&data).unwrap();
+        prop_assume!(s.stddev > 0.0);
+        let (lo95, hi95) = s.ci(0.95);
+        let (lo99, hi99) = s.ci(0.99);
+        prop_assert!(lo99 <= lo95 && hi95 <= hi99);
+        prop_assert!(lo95 <= s.mean && s.mean <= hi95);
+    }
+}

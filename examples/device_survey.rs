@@ -1,0 +1,63 @@
+//! Device survey: every benchmark on every Table 1 device at one size.
+//!
+//! ```text
+//! cargo run --release --example device_survey
+//! ```
+//!
+//! The paper's headline use case — "to characterize the performance of
+//! these devices across a range of applications" — as a single screenful:
+//! median kernel time of each benchmark × device pair at the `medium`
+//! problem size, plus the winning device per benchmark and its margin
+//! over the best CPU. At this size the bandwidth-bound rows (srad, fft,
+//! dwt) have tipped to GPUs while crc stays with the CPUs (§5.1); rerun
+//! at `small` to watch launch overhead hand everything back to the CPUs.
+
+use eod_core::sizes::ProblemSize;
+use eod_dwarfs::registry;
+use eod_harness::{Runner, RunnerConfig};
+
+fn main() {
+    let mut config = RunnerConfig::quick();
+    config.samples = 10; // a survey, not a paper run
+    let runner = Runner::new(config);
+    let devices = runner.simulated_devices();
+    let benchmarks = ["kmeans", "lud", "csr", "fft", "dwt", "srad", "crc", "nw"];
+
+    // Header.
+    print!("{:<10}", "bench");
+    for d in &devices {
+        let short: String = d.name().chars().take(9).collect();
+        print!(" {short:>9}");
+    }
+    println!();
+
+    for name in benchmarks {
+        let bench = registry::benchmark_by_name(name).expect("registered");
+        let groups = runner
+            .run_across_devices(bench.as_ref(), ProblemSize::Medium, &devices)
+            .expect("survey runs");
+        print!("{name:<10}");
+        for g in &groups {
+            print!(" {:>9.4}", g.time_summary().median);
+        }
+        println!();
+
+        let best = groups
+            .iter()
+            .min_by(|a, b| a.time_summary().median.total_cmp(&b.time_summary().median))
+            .expect("non-empty");
+        let best_cpu = groups
+            .iter()
+            .filter(|g| g.class == "CPU")
+            .map(|g| g.time_summary().median)
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "{:<10} → winner: {} ({:.4} ms, {:.1}× vs best CPU)",
+            "",
+            best.device,
+            best.time_summary().median,
+            best_cpu / best.time_summary().median
+        );
+    }
+    println!("\n(medians in ms at the `medium` size; winners per row above)");
+}

@@ -1,0 +1,55 @@
+//! Quickstart: run one Extended OpenDwarfs benchmark end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Picks the kmeans benchmark at the `tiny` problem size (Table 2: 256
+//! points × 26 features, 5 clusters — sized to fit the Skylake L1 cache),
+//! runs it on a simulated Skylake i7-6700K with the paper's §4.3
+//! measurement procedure, verifies the device results against the serial
+//! reference, and prints the timing distribution plus the synthesized PAPI
+//! counters.
+
+use eod_clrt::Platform;
+use eod_core::sizes::ProblemSize;
+use eod_dwarfs::registry;
+use eod_harness::{Runner, RunnerConfig};
+
+fn main() {
+    let bench = registry::benchmark_by_name("kmeans").expect("kmeans is registered");
+    let device = Platform::simulated()
+        .device_by_name("i7-6700K")
+        .expect("Table 1 device");
+
+    let runner = Runner::new(RunnerConfig::quick());
+    let group = runner
+        .run_group(bench.as_ref(), ProblemSize::Tiny, device)
+        .expect("benchmark runs");
+
+    let stats = group.time_summary();
+    println!(
+        "{} [{}] on {} — verified against serial reference: {}",
+        group.benchmark,
+        group.size,
+        group.device,
+        if group.verified { "ok" } else { "SKIPPED" }
+    );
+    println!(
+        "kernel time over {} samples: median {:.4} ms, mean {:.4} ms, CoV {:.3}",
+        stats.n,
+        stats.median,
+        stats.mean,
+        stats.cov()
+    );
+    println!(
+        "device footprint: {:.1} KiB (must fit the 32 KiB L1 — §4.4)",
+        group.footprint_bytes as f64 / 1024.0
+    );
+    if let Some(counters) = &group.counters {
+        println!("synthesized PAPI counters for one iteration:");
+        for (event, value) in counters.iter() {
+            println!("  {:<14} {value}", event.papi_name());
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Cross-crate integration: the full suite runs end to end — every
+//! benchmark through the runner on native and simulated devices, with
+//! verification against serial references, correct region accounting, and
+//! footprints consistent with the §4.4 methodology.
+
+use eod_clrt::prelude::*;
+use eod_core::benchmark::Workload as _;
+use eod_core::sizes::ProblemSize;
+use eod_dwarfs::registry;
+use eod_harness::{Runner, RunnerConfig};
+
+fn smoke_runner() -> Runner {
+    Runner::new(RunnerConfig::smoke())
+}
+
+#[test]
+fn every_benchmark_verifies_on_a_simulated_cpu_at_tiny() {
+    let runner = smoke_runner();
+    let device = Platform::simulated().device_by_name("i7-6700K").unwrap();
+    for bench in registry::all_benchmarks() {
+        let g = runner
+            .run_group(bench.as_ref(), ProblemSize::Tiny, device.clone())
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+        assert!(g.verified, "{} must verify", bench.name());
+        assert!(g.time_summary().median > 0.0, "{}", bench.name());
+        assert!(g.counters.is_some(), "{} counters", bench.name());
+    }
+}
+
+#[test]
+fn every_benchmark_verifies_on_the_native_backend_at_tiny() {
+    let runner = smoke_runner();
+    for bench in registry::all_benchmarks() {
+        let g = runner
+            .run_group(bench.as_ref(), ProblemSize::Tiny, Device::native())
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+        assert!(g.verified, "{} must verify natively", bench.name());
+    }
+}
+
+#[test]
+fn every_benchmark_verifies_on_a_simulated_gpu_at_small() {
+    let runner = smoke_runner();
+    let device = Platform::simulated().device_by_name("GTX 1080").unwrap();
+    for bench in registry::all_benchmarks() {
+        // nqueens and hmm are tiny-only per §4.4.4.
+        let size = if bench.supported_sizes().contains(&ProblemSize::Small) {
+            ProblemSize::Small
+        } else {
+            ProblemSize::Tiny
+        };
+        let g = runner
+            .run_group(bench.as_ref(), size, device.clone())
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+        assert!(g.verified, "{} must verify", bench.name());
+    }
+}
+
+#[test]
+fn footprint_meter_agrees_with_workload_prediction() {
+    // The context's allocation meter (the §4.4 "sum of the size of all
+    // memory allocated on the device") must match each workload's Eq. 1
+    // style prediction.
+    let device = Platform::simulated().device_by_name("i7-6700K").unwrap();
+    for bench in registry::all_benchmarks() {
+        if bench.name() == "nqueens" {
+            // nqueens predicts the footprint of the paper's nominal n = 18
+            // board while executing (and allocating) a capped board — the
+            // documented substitution; check the capped allocation instead.
+            let ctx = Context::new(device.clone());
+            let queue = CommandQueue::new(&ctx).with_profiling();
+            let mut w = bench.workload(ProblemSize::Tiny, 7);
+            w.setup(&ctx, &queue).unwrap();
+            let expect = eod_dwarfs::nqueens::prefixes(eod_dwarfs::nqueens::DEFAULT_EXEC_CAP)
+                .len() as u64
+                * 16;
+            assert_eq!(ctx.allocated_bytes(), expect, "nqueens capped allocation");
+            continue;
+        }
+        let ctx = Context::new(device.clone());
+        let queue = CommandQueue::new(&ctx).with_profiling();
+        let mut w = bench.workload(ProblemSize::Tiny, 7);
+        let predicted = w.footprint_bytes();
+        w.setup(&ctx, &queue).unwrap();
+        let allocated = ctx.allocated_bytes();
+        let rel = (allocated as f64 - predicted as f64).abs() / predicted as f64;
+        assert!(
+            rel < 0.25,
+            "{}: predicted {predicted} B, allocated {allocated} B",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn kernel_time_excludes_transfers() {
+    // lud restores its matrix by a buffer write each iteration; that time
+    // must land in the transfer region, not the kernel region.
+    let device = Platform::simulated().device_by_name("GTX 1080").unwrap();
+    let ctx = Context::new(device);
+    let queue = CommandQueue::new(&ctx).with_profiling();
+    let bench = registry::benchmark_by_name("lud").unwrap();
+    let mut w = bench.workload(ProblemSize::Tiny, 1);
+    w.setup(&ctx, &queue).unwrap();
+    let out = w.run_iteration(&queue).unwrap();
+    assert!(out.kernel_time().as_secs_f64() > 0.0);
+    assert!(out.transfer_time().as_secs_f64() > 0.0);
+    assert_eq!(out.kernel_launches(), 13, "80/16 = 5 block steps");
+}
+
+#[test]
+fn replay_timing_equals_real_timing_distribution() {
+    // The replay optimization must not change the modeled time stream:
+    // with the same seed, kernel events carry the same durations whether
+    // or not the kernel actually executes.
+    let bench = registry::benchmark_by_name("srad").unwrap();
+    let run = |replay: bool| -> Vec<f64> {
+        let device = Device::simulated_seeded(
+            eod_devsim::catalog::DeviceId::by_name("K40m").unwrap(),
+            123,
+        );
+        let ctx = Context::new(device);
+        let queue = CommandQueue::new(&ctx).with_profiling();
+        let mut w = bench.workload(ProblemSize::Tiny, 9);
+        w.setup(&ctx, &queue).unwrap();
+        queue.set_replay(replay);
+        (0..5)
+            .map(|_| {
+                w.run_iteration(&queue)
+                    .unwrap()
+                    .kernel_time()
+                    .as_secs_f64()
+            })
+            .collect()
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn oversized_problem_exhausts_small_gpu_memory() {
+    // nw `large` needs ~128 MiB of F + reference… fits everywhere; but a
+    // deliberately huge allocation must hit the HD 7970's 3 GiB ceiling
+    // through the benchmark path exactly as `CL_MEM_OBJECT_ALLOCATION
+    // _FAILURE` would.
+    let device = Platform::simulated().device_by_name("HD 7970").unwrap();
+    let ctx = Context::new(device);
+    let a: Result<Buffer<f32>> = ctx.create_buffer::<f32>(900 * 1024 * 1024); // 3.5 GiB
+    assert!(matches!(a, Err(Error::OutOfDeviceMemory { .. })));
+}
+
+#[test]
+fn seeded_runs_share_workload_content() {
+    // Same seed ⇒ same generated inputs ⇒ same verified outputs across
+    // devices (the generated-inputs policy of §4.4.1).
+    let bench = registry::benchmark_by_name("csr").unwrap();
+    let runner = smoke_runner();
+    let sim = Platform::simulated();
+    for name in ["i5-3550", "Titan X", "R9 Fury X"] {
+        let g = runner
+            .run_group(
+                bench.as_ref(),
+                ProblemSize::Tiny,
+                sim.device_by_name(name).unwrap(),
+            )
+            .unwrap();
+        assert!(g.verified, "{name}");
+        assert_eq!(g.footprint_bytes % 4, 0);
+    }
+}
