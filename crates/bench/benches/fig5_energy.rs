@@ -31,13 +31,34 @@ fn fig5_profiles() -> Vec<KernelProfile> {
         p
     };
     vec![
-        mk("kmeans", 1.4e9, 5.7e7, 14 << 20, AccessPattern::Streaming, 0.0),
+        mk(
+            "kmeans",
+            1.4e9,
+            5.7e7,
+            14 << 20,
+            AccessPattern::Streaming,
+            0.0,
+        ),
         mk("lud", 4.6e10, 1.1e9, 64 << 20, AccessPattern::Strided, 0.0),
         mk("csr", 2.7e6, 1.7e7, 11 << 20, AccessPattern::Gather, 0.0),
         mk("fft", 2.2e8, 7.0e8, 32 << 20, AccessPattern::Strided, 0.0),
         mk("dwt", 1.1e8, 2.1e8, 76 << 20, AccessPattern::Strided, 0.0),
-        mk("gem", 9.4e11, 1.1e7, 11 << 20, AccessPattern::Streaming, 0.0),
-        mk("srad", 7.3e8, 7.0e8, 48 << 20, AccessPattern::Streaming, 0.0),
+        mk(
+            "gem",
+            9.4e11,
+            1.1e7,
+            11 << 20,
+            AccessPattern::Streaming,
+            0.0,
+        ),
+        mk(
+            "srad",
+            7.3e8,
+            7.0e8,
+            48 << 20,
+            AccessPattern::Streaming,
+            0.0,
+        ),
         mk("crc", 2.5e7, 4.2e6, 4 << 20, AccessPattern::Streaming, 0.85),
     ]
 }

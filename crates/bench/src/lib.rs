@@ -5,7 +5,7 @@
 //! host threads — what Criterion is for), one benchmark group per problem
 //! size, mirroring the panel structure of the figure. The simulated-device
 //! projections that regenerate the published numbers live in the `eod`
-//! binary (`cargo run -p eod-harness --bin eod -- fig1 …`), since modeled
+//! binary (`cargo run -p eod-serve --bin eod -- fig1 …`), since modeled
 //! time cannot be measured by a wall-clock harness.
 
 use eod_clrt::prelude::*;
@@ -34,14 +34,16 @@ impl Prepared {
         workload.setup(&ctx, &queue).expect("setup");
         workload.run_iteration(&queue).expect("first iteration");
         workload.verify(&queue).expect("verification");
-        Prepared { ctx, queue, workload }
+        Prepared {
+            ctx,
+            queue,
+            workload,
+        }
     }
 
     /// One timed iteration (the quantity the figures plot).
     pub fn iterate(&mut self) {
-        self.workload
-            .run_iteration(&self.queue)
-            .expect("iteration");
+        self.workload.run_iteration(&self.queue).expect("iteration");
     }
 }
 

@@ -56,6 +56,17 @@ impl SimBackend {
     pub fn counters(&self, profile: &KernelProfile, cost: &KernelCost) -> CounterValues {
         self.model.synthesize_counters(profile, cost)
     }
+
+    /// Restart the noise stream from `seed`.
+    ///
+    /// The stream otherwise advances with every launch on the (shared)
+    /// device handle, making a group's samples depend on what ran before
+    /// it. Reseeding at a well-defined point — the harness does it per
+    /// measurement group, from the group's identity — makes each group's
+    /// samples a pure function of its spec, which result caching requires.
+    pub fn reseed_noise(&self, seed: u64) {
+        *self.rng.lock() = StdRng::seed_from_u64(seed);
+    }
 }
 
 /// Which engine executes and times kernels.
@@ -153,6 +164,14 @@ impl Device {
     pub fn is_native(&self) -> bool {
         matches!(self.inner.backend, Backend::NativeCpu)
     }
+
+    /// Restart the simulated noise stream from `seed`; no-op natively.
+    /// See [`SimBackend::reseed_noise`].
+    pub fn reseed_noise(&self, seed: u64) {
+        if let Backend::Simulated(sim) = &self.inner.backend {
+            sim.reseed_noise(seed);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -193,7 +212,10 @@ mod tests {
         let base = sim.model.predict(&p).total_s;
         for _ in 0..100 {
             let noisy = sim.noisy_cost(&p).total_s;
-            assert!(noisy > base * 0.7 && noisy < base * 1.5, "{noisy} vs {base}");
+            assert!(
+                noisy > base * 0.7 && noisy < base * 1.5,
+                "{noisy} vs {base}"
+            );
         }
     }
 
@@ -210,9 +232,34 @@ mod tests {
             let Backend::Simulated(sim) = d.backend() else {
                 unreachable!()
             };
-            (0..5).map(|_| sim.noisy_cost(&p).total_s).collect::<Vec<_>>()
+            (0..5)
+                .map(|_| sim.noisy_cost(&p).total_s)
+                .collect::<Vec<_>>()
         };
         assert_eq!(sample(99), sample(99));
         assert_ne!(sample(99), sample(100));
+    }
+
+    #[test]
+    fn reseeding_restarts_the_noise_stream() {
+        let id = DeviceId::by_name("K20m").unwrap();
+        let d = Device::simulated_seeded(id, 1);
+        let Backend::Simulated(sim) = d.backend() else {
+            unreachable!()
+        };
+        let mut p = KernelProfile::new("x");
+        p.flops = 1e8;
+        p.work_items = 1 << 16;
+        p.bytes_read = 1e7;
+        p.working_set = 1 << 20;
+        d.reseed_noise(55);
+        let first: Vec<f64> = (0..5).map(|_| sim.noisy_cost(&p).total_s).collect();
+        // Advance the stream arbitrarily, then reseed: identical samples.
+        let _ = sim.noisy_cost(&p);
+        d.reseed_noise(55);
+        let second: Vec<f64> = (0..5).map(|_| sim.noisy_cost(&p).total_s).collect();
+        assert_eq!(first, second);
+        // Native devices accept the call as a no-op.
+        Device::native().reseed_noise(1);
     }
 }

@@ -60,7 +60,7 @@ pub mod scalar;
 
 /// Everything a benchmark host program needs.
 pub mod prelude {
-    pub use crate::buffer::{Buffer, BufView};
+    pub use crate::buffer::{BufView, Buffer};
     pub use crate::context::Context;
     pub use crate::device::{Backend, Device};
     pub use crate::error::{Error, Result};

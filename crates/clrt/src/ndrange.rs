@@ -64,7 +64,7 @@ impl NdRange {
                     self.global[d], self.local[d]
                 )));
             }
-            if self.global[d] % self.local[d] != 0 {
+            if !self.global[d].is_multiple_of(self.local[d]) {
                 return Err(Error::InvalidWorkGroupSize(format!(
                     "local {} does not divide global {} in dim {d}",
                     self.local[d], self.global[d]

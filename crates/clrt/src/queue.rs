@@ -122,9 +122,7 @@ impl CommandQueue {
     pub fn enqueue_kernel(&self, kernel: &dyn Kernel, range: &NdRange) -> Result<Event> {
         range.validate(self.device().max_work_group_size())?;
         let profile = kernel.profile();
-        profile
-            .validate()
-            .map_err(Error::InvalidValue)?;
+        profile.validate().map_err(Error::InvalidValue)?;
 
         let queued = self.clock_seconds();
         let groups: Vec<_> = range.work_groups().collect();
@@ -135,8 +133,13 @@ impl CommandQueue {
                 groups.par_iter().for_each(|g| kernel.run_group(g));
                 let elapsed = wall.elapsed().as_secs_f64();
                 let (start, end) = self.advance_clock(elapsed);
-                let mut ev =
-                    self.make_event(kernel.name().to_string(), CommandKind::Kernel, queued, start, end);
+                let mut ev = self.make_event(
+                    kernel.name().to_string(),
+                    CommandKind::Kernel,
+                    queued,
+                    start,
+                    end,
+                );
                 ev.profile = Some(profile);
                 Ok(ev)
             }

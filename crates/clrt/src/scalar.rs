@@ -137,8 +137,7 @@ mod tests {
     #[test]
     fn concurrent_disjoint_writes_are_safe() {
         use std::sync::Arc;
-        let cells: Arc<Vec<AtomicU32>> =
-            Arc::new((0..1024).map(|_| AtomicU32::new(0)).collect());
+        let cells: Arc<Vec<AtomicU32>> = Arc::new((0..1024).map(|_| AtomicU32::new(0)).collect());
         std::thread::scope(|s| {
             for t in 0..4 {
                 let cells = Arc::clone(&cells);

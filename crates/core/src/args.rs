@@ -23,7 +23,10 @@ pub struct DeviceSelector {
 impl DeviceSelector {
     /// Render as the paper prints it.
     pub fn render(&self) -> String {
-        format!("-p {} -d {} -t {}", self.platform, self.device, self.type_id)
+        format!(
+            "-p {} -d {} -t {}",
+            self.platform, self.device, self.type_id
+        )
     }
 
     /// Parse a `-p P -d D -t T` string (flags in any order).
@@ -62,10 +65,7 @@ pub fn arguments_for(benchmark: &str, size: ProblemSize) -> Option<String> {
             ScaleTable::KMEANS_POINTS[i]
         ),
         "lud" => format!("-s {}", ScaleTable::LUD_ORDER[i]),
-        "csr" => format!(
-            "-i createcsr_n_{}_d_5000.mat",
-            ScaleTable::CSR_ORDER[i]
-        ),
+        "csr" => format!("-i createcsr_n_{}_d_5000.mat", ScaleTable::CSR_ORDER[i]),
         "fft" => format!("{}", ScaleTable::FFT_LEN[i]),
         "dwt" => {
             let (w, h) = ScaleTable::DWT_DIMS[i];
@@ -75,7 +75,11 @@ pub fn arguments_for(benchmark: &str, size: ProblemSize) -> Option<String> {
             let (r, c) = ScaleTable::SRAD_DIMS[i];
             format!("{r} {c} 0 127 0 127 0.5 1")
         }
-        "crc" => format!("-i {} {}.txt", ScaleTable::CRC_INNER_ITERS, ScaleTable::CRC_BYTES[i]),
+        "crc" => format!(
+            "-i {} {}.txt",
+            ScaleTable::CRC_INNER_ITERS,
+            ScaleTable::CRC_BYTES[i]
+        ),
         "nw" => format!("{} {}", ScaleTable::NW_LEN[i], ScaleTable::NW_PENALTY),
         "gem" => format!("{} 80 1 0", ScaleTable::GEM_MOLECULES[i]),
         "nqueens" => {
@@ -93,7 +97,11 @@ pub fn arguments_for(benchmark: &str, size: ProblemSize) -> Option<String> {
 }
 
 /// The full command line the paper would run for one experiment.
-pub fn command_line(benchmark: &str, selector: DeviceSelector, size: ProblemSize) -> Option<String> {
+pub fn command_line(
+    benchmark: &str,
+    selector: DeviceSelector,
+    size: ProblemSize,
+) -> Option<String> {
     Some(format!(
         "{} {} -- {}",
         benchmark,
@@ -291,7 +299,11 @@ mod tests {
         };
         assert_eq!(s.render(), "-p 1 -d 0 -t 1");
         assert_eq!(DeviceSelector::parse("-p 1 -d 0 -t 1"), Some(s));
-        assert_eq!(DeviceSelector::parse("-d 0 -t 1 -p 1"), Some(s), "any order");
+        assert_eq!(
+            DeviceSelector::parse("-d 0 -t 1 -p 1"),
+            Some(s),
+            "any order"
+        );
         assert_eq!(DeviceSelector::parse("-p 1 -d 0"), None, "missing -t");
         assert_eq!(DeviceSelector::parse("-x 1 -d 0 -t 0"), None);
     }
@@ -315,7 +327,10 @@ mod tests {
         assert_eq!(arguments_for("nqueens", Tiny).unwrap(), "18");
         assert_eq!(arguments_for("nqueens", Small), None, "tiny-only");
         assert_eq!(arguments_for("hmm", Tiny).unwrap(), "-n 8 -s 1 -v s");
-        assert_eq!(arguments_for("dwt", Large).unwrap(), "-l 3 3648x2736-gum.ppm");
+        assert_eq!(
+            arguments_for("dwt", Large).unwrap(),
+            "-l 3 3648x2736-gum.ppm"
+        );
         assert!(arguments_for("unknown", Tiny).is_none());
     }
 
@@ -332,7 +347,14 @@ mod tests {
                 // Spot-check the scale parameter survived.
                 let i = ScaleTable::index(size);
                 match (&parsed, b) {
-                    (ParsedArgs::Kmeans { points, features, generated }, _) => {
+                    (
+                        ParsedArgs::Kmeans {
+                            points,
+                            features,
+                            generated,
+                        },
+                        _,
+                    ) => {
                         assert_eq!(*points, ScaleTable::KMEANS_POINTS[i]);
                         assert_eq!(*features, ScaleTable::KMEANS_FEATURES);
                         assert!(generated);
@@ -344,7 +366,12 @@ mod tests {
                         assert_eq!(*levels, 3);
                         assert_eq!((*w, *h), ScaleTable::DWT_DIMS[i]);
                     }
-                    (ParsedArgs::Srad { rows, cols, lambda, .. }, _) => {
+                    (
+                        ParsedArgs::Srad {
+                            rows, cols, lambda, ..
+                        },
+                        _,
+                    ) => {
                         assert_eq!((*rows, *cols), ScaleTable::SRAD_DIMS[i]);
                         assert_eq!(*lambda, 0.5);
                     }

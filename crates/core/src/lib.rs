@@ -15,16 +15,20 @@
 //!   spent on the accelerator for all kernels");
 //! * [`args`] — the Table 3 program-argument grammar;
 //! * [`validation`] — output-correctness helpers ("comparing outputs
-//!   against a serial implementation … or comparing norms", §4.4.2).
+//!   against a serial implementation … or comparing norms", §4.4.2);
+//! * [`spec`] — serializable job specifications and stable content
+//!   hashing for the execution service.
 
 pub mod args;
 pub mod benchmark;
 pub mod dwarf;
 pub mod sizes;
 pub mod sizing;
+pub mod spec;
 pub mod validation;
 
 pub use benchmark::{Benchmark, IterationOutput, Workload};
 pub use dwarf::Dwarf;
 pub use sizes::{ProblemSize, ScaleTable};
 pub use sizing::SkylakeHierarchy;
+pub use spec::{ExecConfig, JobSpec, Priority};

@@ -96,14 +96,12 @@ impl ScaleTable {
     pub const FFT_LEN: [usize; 4] = [2048, 16384, 524_288, 2_097_152];
 
     /// dwt: image width × height.
-    pub const DWT_DIMS: [(usize, usize); 4] =
-        [(72, 54), (200, 150), (1152, 864), (3648, 2736)];
+    pub const DWT_DIMS: [(usize, usize); 4] = [(72, 54), (200, 150), (1152, 864), (3648, 2736)];
     /// dwt decomposition levels (Table 3: `-l 3`).
     pub const DWT_LEVELS: usize = 3;
 
     /// srad: grid rows, cols.
-    pub const SRAD_DIMS: [(usize, usize); 4] =
-        [(80, 16), (128, 80), (1024, 336), (2048, 1024)];
+    pub const SRAD_DIMS: [(usize, usize); 4] = [(80, 16), (128, 80), (1024, 336), (2048, 1024)];
 
     /// crc: message length in bytes.
     pub const CRC_BYTES: [usize; 4] = [2000, 16000, 524_000, 4_194_304];
@@ -275,7 +273,11 @@ mod tests {
         assert!(mono(&ScaleTable::FFT_LEN));
         assert!(mono(&ScaleTable::CRC_BYTES));
         assert!(mono(&ScaleTable::NW_LEN));
-        assert!(ScaleTable::DWT_DIMS.windows(2).all(|w| w[0].0 * w[0].1 < w[1].0 * w[1].1));
-        assert!(ScaleTable::SRAD_DIMS.windows(2).all(|w| w[0].0 * w[0].1 < w[1].0 * w[1].1));
+        assert!(ScaleTable::DWT_DIMS
+            .windows(2)
+            .all(|w| w[0].0 * w[0].1 < w[1].0 * w[1].1));
+        assert!(ScaleTable::SRAD_DIMS
+            .windows(2)
+            .all(|w| w[0].0 * w[0].1 < w[1].0 * w[1].1));
     }
 }

@@ -8,13 +8,22 @@
 
 /// L2 (Euclidean) norm of a vector.
 pub fn l2_norm(v: &[f32]) -> f64 {
-    v.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+    v.iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Relative L2 error ‖a − b‖₂ / ‖b‖₂ (reference in `b`). When the
 /// reference norm is zero, returns the absolute L2 norm of the difference.
 pub fn relative_l2_error(a: &[f32], b: &[f32]) -> f64 {
-    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     let diff: f64 = a
         .iter()
         .zip(b)

@@ -39,7 +39,7 @@ impl CacheConfig {
     pub fn sets(&self) -> usize {
         let lines = self.capacity / self.line_size;
         assert!(
-            lines % self.ways == 0,
+            lines.is_multiple_of(self.ways),
             "capacity/line_size must be divisible by ways"
         );
         (lines / self.ways).max(1)
@@ -439,12 +439,16 @@ mod tests {
 
     #[test]
     fn device_hierarchy_matches_spec() {
-        let skylake = crate::catalog::DeviceId::by_name("i7-6700K").unwrap().spec();
+        let skylake = crate::catalog::DeviceId::by_name("i7-6700K")
+            .unwrap()
+            .spec();
         let h = CacheHierarchy::for_device(skylake);
         assert_eq!(h.l1.config().capacity, 32 * 1024);
         assert_eq!(h.l2.config().capacity, 256 * 1024);
         assert!(h.l3.is_some());
-        let gtx = crate::catalog::DeviceId::by_name("GTX 1080").unwrap().spec();
+        let gtx = crate::catalog::DeviceId::by_name("GTX 1080")
+            .unwrap()
+            .spec();
         assert!(CacheHierarchy::for_device(gtx).l3.is_none());
     }
 

@@ -67,7 +67,10 @@ impl AcceleratorClass {
 
     /// True for both GPU classes.
     pub fn is_gpu(self) -> bool {
-        matches!(self, AcceleratorClass::ConsumerGpu | AcceleratorClass::HpcGpu)
+        matches!(
+            self,
+            AcceleratorClass::ConsumerGpu | AcceleratorClass::HpcGpu
+        )
     }
 }
 
@@ -102,10 +105,7 @@ impl DeviceId {
 
     /// Look a device up by its Table 1 name (exact match).
     pub fn by_name(name: &str) -> Option<DeviceId> {
-        CATALOG
-            .iter()
-            .position(|d| d.name == name)
-            .map(DeviceId)
+        CATALOG.iter().position(|d| d.name == name).map(DeviceId)
     }
 }
 

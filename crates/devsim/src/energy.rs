@@ -135,8 +135,7 @@ mod tests {
         p.work_items = 1 << 20;
         let cost = gtx.predict(&p);
         let src = pm.source_for(&cost);
-        let mut meter = NvmlMeter::new("GeForce GTX 1080")
-            .with_period(Duration::from_micros(50));
+        let mut meter = NvmlMeter::new("GeForce GTX 1080").with_period(Duration::from_micros(50));
         let sample = meter.measure(cost.total(), &src);
         let expect = pm.kernel_energy(&cost);
         let rel = (sample.joules - expect).abs() / expect;

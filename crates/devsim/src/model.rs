@@ -167,7 +167,10 @@ pub struct DeviceModel {
 impl DeviceModel {
     /// Model for a catalog device.
     pub fn new(id: DeviceId) -> Self {
-        Self { id, spec: id.spec() }
+        Self {
+            id,
+            spec: id.spec(),
+        }
     }
 
     /// Models for all fifteen devices in figure order.
@@ -265,7 +268,11 @@ impl DeviceModel {
 
         // --- compute ---
         let total_ops = p.total_ops();
-        let serial_fraction = if ab.serial_chain { p.serial_fraction } else { 0.0 };
+        let serial_fraction = if ab.serial_chain {
+            p.serial_fraction
+        } else {
+            0.0
+        };
         let serial_ops = total_ops * serial_fraction;
         let parallel_ops = total_ops - serial_ops;
 
@@ -276,8 +283,8 @@ impl DeviceModel {
         };
         // A device can never run slower than a single lane even at occupancy
         // ~0: one work-item still executes at serial-lane speed.
-        let parallel_rate = (self.effective_peak_flops() * occupancy)
-            .max(self.spec.serial_lane_gflops * 1e9);
+        let parallel_rate =
+            (self.effective_peak_flops() * occupancy).max(self.spec.serial_lane_gflops * 1e9);
         // Divergence: GPUs serialize divergent branch paths inside a
         // wavefront; CPUs only pay mispredictions.
         let divergence_penalty = if !ab.divergence {
@@ -325,8 +332,7 @@ impl DeviceModel {
         };
 
         let util_compute = (total_ops / (self.effective_peak_flops() * total_s)).min(1.0);
-        let util_memory =
-            (p.total_bytes() / (self.spec.mem_bw_gbps * 1e9 * total_s)).min(1.0);
+        let util_memory = (p.total_bytes() / (self.spec.mem_bw_gbps * 1e9 * total_s)).min(1.0);
         // Memory streaming keeps less of the chip busy than full ALU work.
         let utilization = util_compute.max(0.7 * util_memory).clamp(0.02, 1.0);
 
@@ -615,15 +621,12 @@ mod tests {
         let i7 = device("i7-6700K");
         let gtx = device("GTX 1080");
         let full = ModelAblation::full();
-        assert!(
-            i7.predict_ablated(&p, full).total_s < gtx.predict_ablated(&p, full).total_s
-        );
+        assert!(i7.predict_ablated(&p, full).total_s < gtx.predict_ablated(&p, full).total_s);
         let mut both_off = ModelAblation::full();
         both_off.serial_chain = false;
         both_off.occupancy = false;
         assert!(
-            gtx.predict_ablated(&p, both_off).total_s
-                < i7.predict_ablated(&p, both_off).total_s,
+            gtx.predict_ablated(&p, both_off).total_s < i7.predict_ablated(&p, both_off).total_s,
             "without serial chain and occupancy the GPU must win crc"
         );
         let no_serial = ModelAblation::without("serial_chain").unwrap();
@@ -689,7 +692,9 @@ mod tests {
         p.working_set = 96 << 20; // beyond even the E5's 30 MiB L3
         for m in DeviceModel::all() {
             let full = m.predict(&p).total_s;
-            let bare = m.predict_ablated(&p, ModelAblation::bare_roofline()).total_s;
+            let bare = m
+                .predict_ablated(&p, ModelAblation::bare_roofline())
+                .total_s;
             assert!(bare <= full * 1.0001, "{}", m.spec().name);
         }
     }

@@ -145,8 +145,7 @@ impl KernelProfile {
         let ops_a = self.total_ops() - other.total_ops();
         let ops_b = other.total_ops();
         let tot = (ops_a + ops_b).max(1.0);
-        self.serial_fraction =
-            (self.serial_fraction * ops_a + other.serial_fraction * ops_b) / tot;
+        self.serial_fraction = (self.serial_fraction * ops_a + other.serial_fraction * ops_b) / tot;
         self.branch_fraction = (self.branch_fraction * ops_a + other.branch_fraction * ops_b) / tot;
         self.branch_divergence = self.branch_divergence.max(other.branch_divergence);
         if other.pattern.gpu_efficiency() < self.pattern.gpu_efficiency() {
@@ -159,7 +158,10 @@ impl KernelProfile {
     /// Sanity-check invariants; benchmarks call this in debug builds.
     pub fn validate(&self) -> Result<(), String> {
         if !(0.0..=1.0).contains(&self.serial_fraction) {
-            return Err(format!("serial_fraction {} out of [0,1]", self.serial_fraction));
+            return Err(format!(
+                "serial_fraction {} out of [0,1]",
+                self.serial_fraction
+            ));
         }
         if !(0.0..=1.0).contains(&self.branch_divergence) {
             return Err(format!(
@@ -168,9 +170,15 @@ impl KernelProfile {
             ));
         }
         if !(0.0..=1.0).contains(&self.branch_fraction) {
-            return Err(format!("branch_fraction {} out of [0,1]", self.branch_fraction));
+            return Err(format!(
+                "branch_fraction {} out of [0,1]",
+                self.branch_fraction
+            ));
         }
-        if self.flops < 0.0 || self.int_ops < 0.0 || self.bytes_read < 0.0 || self.bytes_written < 0.0
+        if self.flops < 0.0
+            || self.int_ops < 0.0
+            || self.bytes_read < 0.0
+            || self.bytes_written < 0.0
         {
             return Err("negative op/byte counts".into());
         }
@@ -212,9 +220,7 @@ mod tests {
             assert!(p.gpu_efficiency() <= p.cpu_efficiency());
             assert!(p.gpu_efficiency() > 0.0);
         }
-        assert!(
-            AccessPattern::Random.cpu_efficiency() < AccessPattern::Streaming.cpu_efficiency()
-        );
+        assert!(AccessPattern::Random.cpu_efficiency() < AccessPattern::Streaming.cpu_efficiency());
     }
 
     #[test]

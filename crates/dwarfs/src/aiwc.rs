@@ -159,7 +159,10 @@ mod tests {
         small.bytes_read = 1.0;
         small.bytes_written = 0.0;
         let h = traffic_entropy(&[big, small]);
-        assert!(h > 0.0 && h < 0.01, "near-zero entropy for dominated mix: {h}");
+        assert!(
+            h > 0.0 && h < 0.01,
+            "near-zero entropy for dominated mix: {h}"
+        );
     }
 
     #[test]

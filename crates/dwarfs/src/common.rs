@@ -8,7 +8,10 @@ use rand::{Rng, SeedableRng};
 /// inputs from a user-supplied seed so runs are reproducible, as the
 /// paper's generated-input policy intends.
 pub fn rng_for(seed: u64, stream: u64) -> StdRng {
-    StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(stream))
+    StdRng::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(stream),
+    )
 }
 
 /// Uniform random `f32` vector in `[0, 1)`.

@@ -269,9 +269,10 @@ impl Workload for CrcWorkload {
         let message_buf = ctx.create_buffer::<u8>(self.len)?;
         let table_buf = ctx.create_buffer::<u32>(256)?;
         let page_buf = ctx.create_buffer::<u32>(PAGES)?;
-        let mut events = Vec::new();
-        events.push(queue.enqueue_write_buffer(&message_buf, &self.host_message)?);
-        events.push(queue.enqueue_write_buffer(&table_buf, &table)?);
+        let events = vec![
+            queue.enqueue_write_buffer(&message_buf, &self.host_message)?,
+            queue.enqueue_write_buffer(&table_buf, &table)?,
+        ];
 
         self.kernel = Some(CrcKernel {
             message: message_buf.view(),

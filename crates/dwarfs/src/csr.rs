@@ -86,8 +86,16 @@ pub fn generate(n: usize, density: f64, seed: u64) -> CsrMatrix {
 pub fn write_csr_file<W: std::io::Write>(m: &CsrMatrix, mut out: W) -> std::io::Result<()> {
     writeln!(out, "CSR {} {}", m.n, m.nnz())?;
     let join = |v: Vec<String>| v.join(" ");
-    writeln!(out, "{}", join(m.row_ptr.iter().map(u32::to_string).collect()))?;
-    writeln!(out, "{}", join(m.col_idx.iter().map(u32::to_string).collect()))?;
+    writeln!(
+        out,
+        "{}",
+        join(m.row_ptr.iter().map(u32::to_string).collect())
+    )?;
+    writeln!(
+        out,
+        "{}",
+        join(m.col_idx.iter().map(u32::to_string).collect())
+    )?;
     writeln!(
         out,
         "{}",
@@ -378,11 +386,12 @@ impl Workload for CsrWorkload {
         let vals = ctx.create_buffer::<f32>(m.vals.len().max(1))?;
         let x = ctx.create_buffer::<f32>(self.n)?;
         let y = ctx.create_buffer::<f32>(self.n)?;
-        let mut events = Vec::new();
-        events.push(queue.enqueue_write_buffer(&row_ptr, &m.row_ptr)?);
-        events.push(queue.enqueue_write_buffer(&col_idx, &m.col_idx)?);
-        events.push(queue.enqueue_write_buffer(&vals, &m.vals)?);
-        events.push(queue.enqueue_write_buffer(&x, &self.host_x)?);
+        let events = vec![
+            queue.enqueue_write_buffer(&row_ptr, &m.row_ptr)?,
+            queue.enqueue_write_buffer(&col_idx, &m.col_idx)?,
+            queue.enqueue_write_buffer(&vals, &m.vals)?,
+            queue.enqueue_write_buffer(&x, &self.host_x)?,
+        ];
 
         match self.variant {
             SpmvVariant::Scalar => {
@@ -429,10 +438,9 @@ impl Workload for CsrWorkload {
             SpmvVariant::Scalar => {
                 queue.enqueue_kernel(self.kernel.as_ref().expect("ready"), &self.range)?
             }
-            SpmvVariant::Vector => queue.enqueue_kernel(
-                self.vector_kernel.as_ref().expect("ready"),
-                &self.range,
-            )?,
+            SpmvVariant::Vector => {
+                queue.enqueue_kernel(self.vector_kernel.as_ref().expect("ready"), &self.range)?
+            }
         };
         self.base.iterations += 1;
         Ok(IterationOutput::new(vec![ev]))
@@ -514,7 +522,9 @@ mod tests {
 
     #[test]
     fn device_matches_serial_simulated() {
-        let knl = Platform::simulated().device_by_name("Xeon Phi 7210").unwrap();
+        let knl = Platform::simulated()
+            .device_by_name("Xeon Phi 7210")
+            .unwrap();
         run_csr(knl, 300);
     }
 
@@ -564,8 +574,7 @@ mod tests {
         // Out-of-range column index.
         let corrupted = {
             let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
-            let mut cols: Vec<String> =
-                lines[2].split_whitespace().map(str::to_string).collect();
+            let mut cols: Vec<String> = lines[2].split_whitespace().map(str::to_string).collect();
             cols[0] = "999".into();
             lines[2] = cols.join(" ");
             lines.join("\n") + "\n"

@@ -41,13 +41,21 @@ pub fn forward_step(x: &[f32], out: &mut [f32]) {
     // Predict (detail).
     for i in 0..nh {
         let left = x[2 * i];
-        let right = if 2 * i + 2 <= n - 1 { x[2 * i + 2] } else { x[2 * i] };
+        let right = if 2 * i + 2 < n {
+            x[2 * i + 2]
+        } else {
+            x[2 * i]
+        };
         out[nl + i] = x[2 * i + 1] - 0.5 * (left + right);
     }
     // Update (approximation).
     for i in 0..nl {
         let dl = if i > 0 { out[nl + i - 1] } else { out[nl] };
-        let dr = if i < nh { out[nl + i] } else { out[nl + nh - 1] };
+        let dr = if i < nh {
+            out[nl + i]
+        } else {
+            out[nl + nh - 1]
+        };
         out[i] = x[2 * i] + 0.25 * (dl + dr);
     }
 }
@@ -61,14 +69,26 @@ pub fn inverse_step(coeffs: &[f32], out: &mut [f32]) {
     let nl = low_len(n);
     // Undo update: even samples.
     for i in 0..nl {
-        let dl = if i > 0 { coeffs[nl + i - 1] } else { coeffs[nl] };
-        let dr = if i < nh { coeffs[nl + i] } else { coeffs[nl + nh - 1] };
+        let dl = if i > 0 {
+            coeffs[nl + i - 1]
+        } else {
+            coeffs[nl]
+        };
+        let dr = if i < nh {
+            coeffs[nl + i]
+        } else {
+            coeffs[nl + nh - 1]
+        };
         out[2 * i] = coeffs[i] - 0.25 * (dl + dr);
     }
     // Undo predict: odd samples.
     for i in 0..nh {
         let left = out[2 * i];
-        let right = if 2 * i + 2 <= n - 1 { out[2 * i + 2] } else { out[2 * i] };
+        let right = if 2 * i + 2 < n {
+            out[2 * i + 2]
+        } else {
+            out[2 * i]
+        };
         out[2 * i + 1] = coeffs[nl + i] + 0.5 * (left + right);
     }
 }

@@ -112,12 +112,12 @@ impl Kernel for RowKernel {
             if r >= self.rh {
                 continue;
             }
-            for c in 0..self.rw {
-                row[c] = self.src.get(r * self.w + c);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = self.src.get(r * self.w + c);
             }
             lifting::forward_step(&row, &mut out);
-            for c in 0..self.rw {
-                self.dst.set(r * self.w + c, out[c]);
+            for (c, &v) in out.iter().enumerate() {
+                self.dst.set(r * self.w + c, v);
             }
         }
     }
@@ -161,12 +161,12 @@ impl Kernel for ColKernel {
             if c >= self.rw {
                 continue;
             }
-            for r in 0..self.rh {
-                col[r] = self.src.get(r * self.w + c);
+            for (r, v) in col.iter_mut().enumerate() {
+                *v = self.src.get(r * self.w + c);
             }
             lifting::forward_step(&col, &mut out);
-            for r in 0..self.rh {
-                self.dst.set(r * self.w + c, out[r]);
+            for (r, &v) in out.iter().enumerate() {
+                self.dst.set(r * self.w + c, v);
             }
         }
     }

@@ -243,9 +243,10 @@ impl Workload for FftWorkload {
         let a_im = ctx.create_buffer::<f32>(self.n)?;
         let b_re = ctx.create_buffer::<f32>(self.n)?;
         let b_im = ctx.create_buffer::<f32>(self.n)?;
-        let mut events = Vec::new();
-        events.push(queue.enqueue_write_buffer(&a_re, &self.host_re)?);
-        events.push(queue.enqueue_write_buffer(&a_im, &self.host_im)?);
+        let events = vec![
+            queue.enqueue_write_buffer(&a_re, &self.host_re)?,
+            queue.enqueue_write_buffer(&a_im, &self.host_im)?,
+        ];
         let items = self.n / 2;
         let local = local_1d(items, queue.device());
         self.range = NdRange::d1(round_up(items, local), local);

@@ -242,9 +242,10 @@ impl Workload for GemWorkload {
         let atoms = ctx.create_buffer::<f32>(m.atoms.len())?;
         let vertices = ctx.create_buffer::<f32>(m.vertices.len())?;
         let phi = ctx.create_buffer::<f32>(m.n_vertices())?;
-        let mut events = Vec::new();
-        events.push(queue.enqueue_write_buffer(&atoms, &m.atoms)?);
-        events.push(queue.enqueue_write_buffer(&vertices, &m.vertices)?);
+        let events = vec![
+            queue.enqueue_write_buffer(&atoms, &m.atoms)?,
+            queue.enqueue_write_buffer(&vertices, &m.vertices)?,
+        ];
         let local = local_1d(m.n_vertices(), queue.device());
         self.range = NdRange::d1(round_up(m.n_vertices(), local), local);
         self.kernel = Some(GemKernel {
@@ -314,7 +315,10 @@ mod tests {
         // No vertex may coincide with an atom (r = 0 would blow up 1/r).
         let m = synthesize_molecule("4TUT", 31.3, 6);
         let phi = serial_potential(&m);
-        assert!(phi.iter().all(|v| v.is_finite()), "potential must be finite");
+        assert!(
+            phi.iter().all(|v| v.is_finite()),
+            "potential must be finite"
+        );
     }
 
     fn run_gem(device: Device, kib: f64) {

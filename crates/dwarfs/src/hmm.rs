@@ -103,10 +103,7 @@ pub fn generate(p: &HmmParams, seed: u64) -> HmmInstance {
     let mut rng = rng_for(seed, 10);
     let a = random_stochastic(p.states, p.states, &mut rng);
     let b = random_stochastic(p.states, p.symbols, &mut rng);
-    let pi = {
-        let v = random_stochastic(1, p.states, &mut rng);
-        v
-    };
+    let pi = random_stochastic(1, p.states, &mut rng);
     let obs = (0..p.t)
         .map(|_| rng.random_range(0..p.symbols as u32))
         .collect();
@@ -179,7 +176,8 @@ pub fn serial_baum_welch(p: &HmmParams, h: &HmmInstance) -> BaumWelchResult {
         for i in 0..n {
             let mut acc = 0.0f32;
             for j in 0..n {
-                acc += h.a[i * n + j] * h.b[j * m + h.obs[step + 1] as usize] * beta[idx(step + 1, j)];
+                acc +=
+                    h.a[i * n + j] * h.b[j * m + h.obs[step + 1] as usize] * beta[idx(step + 1, j)];
             }
             beta[idx(step, i)] = acc * scale[step];
         }
@@ -275,7 +273,12 @@ impl Kernel for ForwardStepKernel {
 
     fn profile(&self) -> KernelProfile {
         let n = self.p.states as f64;
-        small_profile("hmm::forward_step", &self.p, 2.0 * n * n + n, self.p.states as u64)
+        small_profile(
+            "hmm::forward_step",
+            &self.p,
+            2.0 * n * n + n,
+            self.p.states as u64,
+        )
     }
 
     fn run_group(&self, group: &WorkGroup) {
@@ -354,7 +357,12 @@ impl Kernel for BackwardStepKernel {
 
     fn profile(&self) -> KernelProfile {
         let n = self.p.states as f64;
-        small_profile("hmm::backward_step", &self.p, 3.0 * n * n, self.p.states as u64)
+        small_profile(
+            "hmm::backward_step",
+            &self.p,
+            3.0 * n * n,
+            self.p.states as u64,
+        )
     }
 
     fn run_group(&self, group: &WorkGroup) {
@@ -577,11 +585,12 @@ impl Workload for HmmWorkload {
             b_new: ctx.create_buffer::<f32>(n * m)?,
             pi_new: ctx.create_buffer::<f32>(n)?,
         };
-        let mut events = Vec::new();
-        events.push(queue.enqueue_write_buffer(&bufs.a, &inst.a)?);
-        events.push(queue.enqueue_write_buffer(&bufs.b, &inst.b)?);
-        events.push(queue.enqueue_write_buffer(&bufs.pi, &inst.pi)?);
-        events.push(queue.enqueue_write_buffer(&bufs.obs, &inst.obs)?);
+        let events = vec![
+            queue.enqueue_write_buffer(&bufs.a, &inst.a)?,
+            queue.enqueue_write_buffer(&bufs.b, &inst.b)?,
+            queue.enqueue_write_buffer(&bufs.pi, &inst.pi)?,
+            queue.enqueue_write_buffer(&bufs.obs, &inst.obs)?,
+        ];
         self.instance = Some(inst);
         self.bufs = Some(bufs);
         self.base.ready = true;
@@ -650,7 +659,9 @@ impl Workload for HmmWorkload {
         // Re-estimated rows must remain stochastic.
         let a_new = read(&bufs.a_new)?;
         for i in 0..self.p.states {
-            let s: f32 = a_new[i * self.p.states..(i + 1) * self.p.states].iter().sum();
+            let s: f32 = a_new[i * self.p.states..(i + 1) * self.p.states]
+                .iter()
+                .sum();
             if (s - 1.0).abs() > 1e-3 {
                 return Err(format!("A'[{i}] row sum {s}"));
             }

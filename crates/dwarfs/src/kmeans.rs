@@ -149,8 +149,8 @@ impl Kernel for AssignKernel {
             for c in 0..p.clusters {
                 let mut d = 0.0f32;
                 for f in 0..p.features {
-                    let diff =
-                        self.features.get(gid * p.features + f) - self.centroids.get(c * p.features + f);
+                    let diff = self.features.get(gid * p.features + f)
+                        - self.centroids.get(c * p.features + f);
                     d += diff * diff;
                 }
                 if d < best_d {
@@ -231,16 +231,23 @@ impl Workload for KmeansWorkload {
             .collect::<Vec<_>>()
             .concat();
         for _ in 0..2 {
-            centroids = serial_update(&self.host_features, &centroids, p.points, p.features, p.clusters);
+            centroids = serial_update(
+                &self.host_features,
+                &centroids,
+                p.points,
+                p.features,
+                p.clusters,
+            );
         }
         self.host_centroids = centroids;
 
         let feature_buf = ctx.create_buffer::<f32>(p.points * p.features)?;
         let centroid_buf = ctx.create_buffer::<f32>(p.clusters * p.features)?;
         let membership_buf = ctx.create_buffer::<i32>(p.points)?;
-        let mut events = Vec::new();
-        events.push(queue.enqueue_write_buffer(&feature_buf, &self.host_features)?);
-        events.push(queue.enqueue_write_buffer(&centroid_buf, &self.host_centroids)?);
+        let events = vec![
+            queue.enqueue_write_buffer(&feature_buf, &self.host_features)?,
+            queue.enqueue_write_buffer(&centroid_buf, &self.host_centroids)?,
+        ];
 
         let local = local_1d(p.points, queue.device());
         self.range = NdRange::d1(round_up(p.points, local), local);

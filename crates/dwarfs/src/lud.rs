@@ -131,8 +131,8 @@ impl Kernel for DiagonalKernel {
                     let l = self.m.get((o + i) * n + o + k) / pivot;
                     self.m.set((o + i) * n + o + k, l);
                     for j in k + 1..b {
-                        let v = self.m.get((o + i) * n + o + j)
-                            - l * self.m.get((o + k) * n + o + j);
+                        let v =
+                            self.m.get((o + i) * n + o + j) - l * self.m.get((o + k) * n + o + j);
                         self.m.set((o + i) * n + o + j, v);
                     }
                 }
@@ -198,7 +198,8 @@ impl Kernel for PerimeterKernel {
                     for j in 0..k {
                         acc -= self.m.get(r * n + o + j) * self.m.get((o + j) * n + o + k);
                     }
-                    self.m.set(r * n + o + k, acc / self.m.get((o + k) * n + o + k));
+                    self.m
+                        .set(r * n + o + k, acc / self.m.get((o + k) * n + o + k));
                 }
             }
         }
@@ -464,7 +465,10 @@ mod tests {
             );
         }
         let large = LudWorkload::new(ScaleTable::LUD_ORDER[3], 0);
-        assert!(sizing::footprint_ok(ProblemSize::Large, large.footprint_bytes()));
+        assert!(sizing::footprint_ok(
+            ProblemSize::Large,
+            large.footprint_bytes()
+        ));
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub fn estimated_nodes(n: usize) -> f64 {
 
 /// Serial reference: count all solutions with the classic bitmask DFS.
 pub fn serial_count(n: usize) -> u64 {
-    assert!(n >= 1 && n <= 18);
+    assert!((1..=18).contains(&n));
     fn dfs(cols: u32, diag1: u32, diag2: u32, full: u32) -> u64 {
         if cols == full {
             return 1;
@@ -148,11 +148,7 @@ impl Kernel for NqueensKernel {
                 (b0, b0 << 1, b0 >> 1)
             } else {
                 let (b0, b1) = (1u32 << c0, 1u32 << c1 as usize);
-                (
-                    b0 | b1,
-                    ((b0 << 1) | b1) << 1,
-                    ((b0 >> 1) | b1) >> 1,
-                )
+                (b0 | b1, ((b0 << 1) | b1) << 1, ((b0 >> 1) | b1) >> 1)
             };
             // Iterative bitmask DFS over the remaining rows.
             let mut count = 0u64;
@@ -266,9 +262,10 @@ impl Workload for NqueensWorkload {
         let c0_buf = ctx.create_buffer::<u32>(c0.len())?;
         let c1_buf = ctx.create_buffer::<u32>(c1.len())?;
         let counts = ctx.create_buffer::<u64>(pre.len())?;
-        let mut events = Vec::new();
-        events.push(queue.enqueue_write_buffer(&c0_buf, &c0)?);
-        events.push(queue.enqueue_write_buffer(&c1_buf, &c1)?);
+        let events = vec![
+            queue.enqueue_write_buffer(&c0_buf, &c0)?,
+            queue.enqueue_write_buffer(&c1_buf, &c1)?,
+        ];
         let local = 32.min(pre.len()).max(1);
         self.range = NdRange::d1(pre.len().div_ceil(local) * local, local);
         self.kernel = Some(NqueensKernel {
@@ -350,7 +347,9 @@ mod tests {
 
     #[test]
     fn device_count_matches_on_simulated() {
-        let e5 = Platform::simulated().device_by_name("Xeon E5-2697 v2").unwrap();
+        let e5 = Platform::simulated()
+            .device_by_name("Xeon E5-2697 v2")
+            .unwrap();
         run_nq(e5, 9);
     }
 

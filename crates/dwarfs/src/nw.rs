@@ -223,7 +223,11 @@ impl NwWorkload {
     /// Workload with explicit parameters; `n` must be a positive multiple
     /// of [`TILE`].
     pub fn new(p: NwParams, seed: u64) -> Self {
-        assert!(p.n >= TILE && p.n % TILE == 0, "n = {} not a multiple of {TILE}", p.n);
+        assert!(
+            p.n >= TILE && p.n.is_multiple_of(TILE),
+            "n = {} not a multiple of {TILE}",
+            p.n
+        );
         Self {
             p,
             seed,
@@ -245,9 +249,10 @@ impl Workload for NwWorkload {
         let e = self.p.edge();
         let f = ctx.create_buffer::<i32>(e * e)?;
         let r = ctx.create_buffer::<i32>(e * e)?;
-        let mut events = Vec::new();
-        events.push(queue.enqueue_write_buffer(&f, &initial_scores(&self.p))?);
-        events.push(queue.enqueue_write_buffer(&r, &self.host_reference)?);
+        let events = vec![
+            queue.enqueue_write_buffer(&f, &initial_scores(&self.p))?,
+            queue.enqueue_write_buffer(&r, &self.host_reference)?,
+        ];
         self.f_buf = Some(f);
         self.ref_buf = Some(r);
         self.base.ready = true;
@@ -353,7 +358,9 @@ mod tests {
 
     #[test]
     fn device_matches_serial_simulated() {
-        let s9150 = Platform::simulated().device_by_name("FirePro S9150").unwrap();
+        let s9150 = Platform::simulated()
+            .device_by_name("FirePro S9150")
+            .unwrap();
         run_nw(s9150, 64);
     }
 
@@ -386,13 +393,23 @@ mod tests {
             );
         }
         let l = NwParams::for_size(ProblemSize::Large);
-        assert!(sizing::footprint_ok(ProblemSize::Large, l.footprint_bytes()));
+        assert!(sizing::footprint_ok(
+            ProblemSize::Large,
+            l.footprint_bytes()
+        ));
     }
 
     #[test]
     fn launch_count_is_2nb_minus_1() {
         assert_eq!(NwParams { n: 48, penalty: 10 }.launches(), 5);
-        assert_eq!(NwParams { n: 4096, penalty: 10 }.launches(), 511);
+        assert_eq!(
+            NwParams {
+                n: 4096,
+                penalty: 10
+            }
+            .launches(),
+            511
+        );
     }
 
     #[test]

@@ -127,7 +127,8 @@ pub fn serial_iteration(p: &SradParams, j: &mut [f32], q0sqr: f32) {
             let cs = cmat[idx((r + 1).min(rows - 1), c)];
             let cw = cmat[idx(r, c)];
             let ce = cmat[idx(r, (c + 1).min(cols - 1))];
-            let d = cn * dn[idx(r, c)] + cs * ds[idx(r, c)] + cw * dw[idx(r, c)] + ce * de[idx(r, c)];
+            let d =
+                cn * dn[idx(r, c)] + cs * ds[idx(r, c)] + cw * dw[idx(r, c)] + ce * de[idx(r, c)];
             j[idx(r, c)] += 0.25 * LAMBDA * d;
         }
     }
@@ -235,7 +236,9 @@ impl Kernel for Srad2Kernel {
                 + cs * self.b.ds.get(idx(r, c))
                 + cw * self.b.dw.get(idx(r, c))
                 + ce * self.b.de.get(idx(r, c));
-            self.b.j.set(idx(r, c), self.b.j.get(idx(r, c)) + 0.25 * LAMBDA * d);
+            self.b
+                .j
+                .set(idx(r, c), self.b.j.get(idx(r, c)) + 0.25 * LAMBDA * d);
         }
     }
 }
@@ -257,6 +260,17 @@ impl Benchmark for Srad {
     }
 }
 
+/// The six device buffers of a prepared srad instance: image, diffusion
+/// coefficient, and the four directional derivatives.
+type DeviceBufs = (
+    Buffer<f32>,
+    Buffer<f32>,
+    Buffer<f32>,
+    Buffer<f32>,
+    Buffer<f32>,
+    Buffer<f32>,
+);
+
 /// A configured srad instance.
 pub struct SradWorkload {
     p: SradParams,
@@ -264,7 +278,7 @@ pub struct SradWorkload {
     base: WorkloadBase,
     host_image: Vec<f32>,
     q0sqr: f32,
-    bufs: Option<(Buffer<f32>, Buffer<f32>, Buffer<f32>, Buffer<f32>, Buffer<f32>, Buffer<f32>)>,
+    bufs: Option<DeviceBufs>,
     range: NdRange,
 }
 
@@ -315,12 +329,7 @@ impl Workload for SradWorkload {
         let de = ctx.create_buffer::<f32>(n)?;
         let ev = queue.enqueue_write_buffer(&j, &self.host_image)?;
         self.bufs = Some((j, c, dn, ds, dw, de));
-        self.range = NdRange::d2(
-            round_up(self.p.cols, 16),
-            round_up(self.p.rows, 16),
-            16,
-            16,
-        );
+        self.range = NdRange::d2(round_up(self.p.cols, 16), round_up(self.p.rows, 16), 16, 16);
         self.base.ready = true;
         Ok(vec![ev])
     }
@@ -450,10 +459,16 @@ mod tests {
         }
         // medium: 1024×336×24 = 8 257 536 ≤ 8 MiB L3 — just fits.
         let m = SradParams::for_size(ProblemSize::Medium);
-        assert!(sizing::footprint_ok(ProblemSize::Medium, m.footprint_bytes()));
+        assert!(sizing::footprint_ok(
+            ProblemSize::Medium,
+            m.footprint_bytes()
+        ));
         // large: 2048×1024×24 = 48 MiB ≥ 4×L3.
         let l = SradParams::for_size(ProblemSize::Large);
-        assert!(sizing::footprint_ok(ProblemSize::Large, l.footprint_bytes()));
+        assert!(sizing::footprint_ok(
+            ProblemSize::Large,
+            l.footprint_bytes()
+        ));
     }
 
     #[test]

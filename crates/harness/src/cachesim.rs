@@ -12,12 +12,12 @@
 
 use eod_clrt::prelude::*;
 // Explicit import outranks the glob: restore the two-parameter Result.
-use std::result::Result;
 use eod_core::sizes::ProblemSize;
 use eod_devsim::cache::{CacheConfig, CacheHierarchy, TlbConfig};
 use eod_devsim::profile::{AccessPattern, KernelProfile};
 use eod_dwarfs::registry;
 use serde::Serialize;
+use std::result::Result;
 
 /// Steady-state miss ratios of one benchmark × size on the Skylake
 /// hierarchy.
@@ -70,7 +70,9 @@ pub fn synthesize_pass(profile: &KernelProfile, cap_bytes: u64) -> Vec<u64> {
             let mut x = 0x12345u64;
             (0..lines)
                 .map(|_| {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     (x % lines) * 64
                 })
                 .collect()
@@ -79,7 +81,11 @@ pub fn synthesize_pass(profile: &KernelProfile, cap_bytes: u64) -> Vec<u64> {
 }
 
 /// Run the two-pass verification for one benchmark × size.
-pub fn verify_group(benchmark: &str, size: ProblemSize, seed: u64) -> Result<CacheVerification, String> {
+pub fn verify_group(
+    benchmark: &str,
+    size: ProblemSize,
+    seed: u64,
+) -> Result<CacheVerification, String> {
     let bench = registry::benchmark_by_name(benchmark)
         .ok_or_else(|| format!("unknown benchmark {benchmark}"))?;
     // Get the iteration's fused profile from a tiny real run's events

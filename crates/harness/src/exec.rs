@@ -1,0 +1,100 @@
+//! Job-spec execution: the bridge between a serializable
+//! [`JobSpec`](eod_core::spec::JobSpec) and the measurement
+//! [`Runner`](crate::Runner).
+//!
+//! [`execute_spec`] is the single entry point the execution service calls
+//! for every job. It resolves the named benchmark and device, then runs
+//! the group exactly as the direct CLI paths do — same runner, same
+//! per-group noise reseed — so a served result is indistinguishable from
+//! a directly computed one and can be cached by spec content address.
+
+use crate::runner::{GroupResult, Runner, RunnerConfig, RunnerError};
+use eod_clrt::prelude::*;
+use eod_core::spec::JobSpec;
+use eod_dwarfs::registry;
+
+/// Resolve a spec's device name: [`eod_core::spec::NATIVE_DEVICE`], or a
+/// Table 1 simulated device by its printed name.
+pub fn resolve_device(spec: &JobSpec) -> std::result::Result<Device, RunnerError> {
+    if spec.is_native() {
+        return Ok(Device::native());
+    }
+    Platform::simulated()
+        .device_by_name(&spec.device)
+        .ok_or_else(|| RunnerError::Infra(format!("unknown device {:?}", spec.device)))
+}
+
+/// Run the measurement group a [`JobSpec`] describes.
+pub fn execute_spec(spec: &JobSpec) -> std::result::Result<GroupResult, RunnerError> {
+    let benchmark = registry::benchmark_by_name(&spec.benchmark)
+        .ok_or_else(|| RunnerError::Infra(format!("unknown benchmark {:?}", spec.benchmark)))?;
+    if !benchmark.supported_sizes().contains(&spec.size) {
+        return Err(RunnerError::Infra(format!(
+            "{} does not support size {}",
+            spec.benchmark,
+            spec.size.label()
+        )));
+    }
+    let device = resolve_device(spec)?;
+    let runner = Runner::new(RunnerConfig::from_exec(&spec.config));
+    runner.run_group(benchmark.as_ref(), spec.size, device)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eod_core::sizes::ProblemSize;
+    use eod_core::spec::NATIVE_DEVICE;
+
+    fn spec(device: &str) -> JobSpec {
+        JobSpec {
+            benchmark: "crc".to_string(),
+            size: ProblemSize::Tiny,
+            device: device.to_string(),
+            config: RunnerConfig::smoke().to_exec(),
+        }
+    }
+
+    #[test]
+    fn spec_execution_matches_direct_runner() {
+        let s = spec("GTX 1080");
+        let served = execute_spec(&s).unwrap();
+        let runner = Runner::new(RunnerConfig::smoke());
+        let bench = registry::benchmark_by_name("crc").unwrap();
+        let gtx = Platform::simulated().device_by_name("GTX 1080").unwrap();
+        let direct = runner
+            .run_group(bench.as_ref(), ProblemSize::Tiny, gtx)
+            .unwrap();
+        // Modeled quantities are a pure function of the spec; wall-clock
+        // quantities (setup_ms) are not compared.
+        assert_eq!(served.kernel_ms, direct.kernel_ms);
+        assert_eq!(served.energy_j, direct.energy_j);
+        assert_eq!(served.footprint_bytes, direct.footprint_bytes);
+        assert!(served.verified);
+    }
+
+    #[test]
+    fn native_and_unknown_names_resolve() {
+        assert!(execute_spec(&spec(NATIVE_DEVICE)).unwrap().verified);
+        let err = execute_spec(&spec("No Such Device")).unwrap_err();
+        assert!(matches!(err, RunnerError::Infra(_)), "{err}");
+        let mut bad = spec("GTX 1080");
+        bad.benchmark = "nope".into();
+        assert!(matches!(
+            execute_spec(&bad).unwrap_err(),
+            RunnerError::Infra(_)
+        ));
+    }
+
+    #[test]
+    fn unsupported_size_is_rejected() {
+        // nqueens is validated at tiny only (§4.4.4), so any other size
+        // must be refused before the runner starts.
+        let mut s = spec("GTX 1080");
+        s.benchmark = "nqueens".into();
+        s.size = ProblemSize::Large;
+        let err = execute_spec(&s).unwrap_err();
+        assert!(matches!(err, RunnerError::Infra(_)), "{err}");
+        assert!(err.to_string().contains("does not support"));
+    }
+}

@@ -10,6 +10,8 @@ use crate::report;
 use crate::runner::{GroupResult, Runner, RunnerConfig};
 use eod_clrt::Device;
 use eod_core::sizes::ProblemSize;
+use eod_core::spec::JobSpec;
+use eod_devsim::catalog::DeviceId;
 use eod_dwarfs::registry;
 use serde::Serialize;
 
@@ -183,8 +185,7 @@ pub fn fig4(runner: &Runner) -> Result<Figure, String> {
 }
 
 /// The eight benchmarks on Figure 5's x-axis.
-pub const FIG5_BENCHMARKS: [&str; 8] =
-    ["kmeans", "lud", "csr", "fft", "dwt", "gem", "srad", "crc"];
+pub const FIG5_BENCHMARKS: [&str; 8] = ["kmeans", "lud", "csr", "fft", "dwt", "gem", "srad", "crc"];
 
 /// Figure 5: kernel execution energy at `large` on the i7-6700K (RAPL) and
 /// GTX 1080 (NVML). One panel per benchmark, each with the two devices;
@@ -204,7 +205,208 @@ pub fn fig5(runner: &Runner) -> Result<Figure, String> {
     Ok(Figure {
         id: "fig5".into(),
         title: "Kernel execution energy (large problem size), i7-6700K vs GTX 1080".into(),
-    panels,
+        panels,
+    })
+}
+
+/// One facet of a [`FigurePlan`]: the specs of [`PanelPlan::specs`] are in
+/// device (x-axis) order, mirroring the panel the direct path produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PanelPlan {
+    /// Facet label, as rendered by the direct path.
+    pub label: String,
+    /// One spec per group, in device order.
+    pub specs: Vec<JobSpec>,
+}
+
+/// A figure decomposed into independent measurement-group jobs.
+///
+/// Where the `fig*` functions *run* a figure, a plan only *names* its
+/// groups — each as a serializable [`JobSpec`] — so the groups can be
+/// executed elsewhere (the `eod-serve` queue, with cache reuse across
+/// submissions) and reassembled with [`FigurePlan::assemble`]. Because the
+/// runner reseeds the noise stream per group from the spec alone, a plan
+/// executed one spec at a time yields the same kernel-time samples as the
+/// direct path, whatever the execution order or process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigurePlan {
+    /// Figure id, e.g. `fig2a`.
+    pub id: String,
+    /// Caption-style title (same as the direct path's).
+    pub title: String,
+    /// Facets in the paper's order.
+    pub panels: Vec<PanelPlan>,
+}
+
+impl FigurePlan {
+    /// All specs across panels, in execution order.
+    pub fn specs(&self) -> impl Iterator<Item = &JobSpec> {
+        self.panels.iter().flat_map(|p| p.specs.iter())
+    }
+
+    /// Total number of measurement-group jobs in the plan.
+    pub fn job_count(&self) -> usize {
+        self.panels.iter().map(|p| p.specs.len()).sum()
+    }
+
+    /// Reassemble a [`Figure`] from one result per spec, in
+    /// [`FigurePlan::specs`] order.
+    pub fn assemble(&self, results: Vec<GroupResult>) -> Result<Figure, String> {
+        if results.len() != self.job_count() {
+            return Err(format!(
+                "{}: plan has {} groups but {} results were supplied",
+                self.id,
+                self.job_count(),
+                results.len()
+            ));
+        }
+        let mut remaining = results.into_iter();
+        let panels = self
+            .panels
+            .iter()
+            .map(|p| Panel {
+                label: p.label.clone(),
+                groups: remaining.by_ref().take(p.specs.len()).collect(),
+            })
+            .collect();
+        Ok(Figure {
+            id: self.id.clone(),
+            title: self.title.clone(),
+            panels,
+        })
+    }
+}
+
+/// The spec for one figure group: the runner configuration as submitted,
+/// with `real_execution` cleared for the model-only groups exactly as the
+/// direct path does.
+pub fn group_spec(
+    benchmark: &str,
+    size: ProblemSize,
+    device: &str,
+    config: &RunnerConfig,
+) -> JobSpec {
+    let mut exec = config.to_exec();
+    if is_model_only(benchmark, size) {
+        exec.real_execution = false;
+    }
+    JobSpec {
+        benchmark: benchmark.to_string(),
+        size,
+        device: device.to_string(),
+        config: exec,
+    }
+}
+
+/// Device names in catalog order, mirroring [`figure_devices`].
+fn plan_device_names(include_knl: bool) -> Vec<String> {
+    DeviceId::all()
+        .map(|id| id.spec().name.to_string())
+        .filter(|n| include_knl || n != "Xeon Phi 7210")
+        .collect()
+}
+
+fn plan_panels(
+    benchmark: &str,
+    sizes: &[ProblemSize],
+    devices: &[String],
+    config: &RunnerConfig,
+) -> Vec<PanelPlan> {
+    sizes
+        .iter()
+        .map(|&size| PanelPlan {
+            label: size.label().to_string(),
+            specs: devices
+                .iter()
+                .map(|d| group_spec(benchmark, size, d, config))
+                .collect(),
+        })
+        .collect()
+}
+
+/// The job plan for a figure id (`fig1`, `fig2a`…`fig2e`, `fig3a`, `fig3b`,
+/// `fig4`, `fig5`), enumerating the same groups in the same order as the
+/// corresponding `fig*` function.
+pub fn figure_plan(id: &str, config: &RunnerConfig) -> Result<FigurePlan, String> {
+    let (title, panels) = match id {
+        "fig1" => (
+            "Kernel execution times for the crc benchmark".to_string(),
+            plan_panels("crc", ProblemSize::all(), &plan_device_names(true), config),
+        ),
+        "fig2a" | "fig2b" | "fig2c" | "fig2d" | "fig2e" => {
+            let benchmark = match id.as_bytes()[4] {
+                b'a' => "kmeans",
+                b'b' => "lud",
+                b'c' => "csr",
+                b'd' => "dwt",
+                _ => "fft",
+            };
+            (
+                format!("Kernel execution times for {benchmark}"),
+                plan_panels(
+                    benchmark,
+                    ProblemSize::all(),
+                    &plan_device_names(false),
+                    config,
+                ),
+            )
+        }
+        "fig3a" | "fig3b" => {
+            let benchmark = if id == "fig3a" { "srad" } else { "nw" };
+            (
+                format!("Kernel execution times for {benchmark}"),
+                plan_panels(
+                    benchmark,
+                    ProblemSize::all(),
+                    &plan_device_names(false),
+                    config,
+                ),
+            )
+        }
+        "fig4" => {
+            let devices = plan_device_names(false);
+            let relabel = |mut panels: Vec<PanelPlan>, label: &str| {
+                panels[0].label = label.to_string();
+                panels
+            };
+            let mut panels = relabel(
+                plan_panels("gem", &[ProblemSize::Small], &devices, config),
+                "gem (2D3V)",
+            );
+            panels.extend(relabel(
+                plan_panels("nqueens", &[ProblemSize::Tiny], &devices, config),
+                "nqueens (n=18)",
+            ));
+            panels.extend(relabel(
+                plan_panels("hmm", &[ProblemSize::Tiny], &devices, config),
+                "hmm (tiny)",
+            ));
+            ("Single-problem-size benchmarks".to_string(), panels)
+        }
+        "fig5" => {
+            let devices: Vec<String> = ["i7-6700K", "GTX 1080"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let panels = FIG5_BENCHMARKS
+                .iter()
+                .flat_map(|&b| {
+                    let mut p = plan_panels(b, &[ProblemSize::Large], &devices, config);
+                    p[0].label = b.to_string();
+                    p
+                })
+                .collect();
+            (
+                "Kernel execution energy (large problem size), i7-6700K vs GTX 1080".to_string(),
+                panels,
+            )
+        }
+        _ => return Err(format!("no figure plan for {id:?}")),
+    };
+    Ok(FigurePlan {
+        id: id.to_string(),
+        title,
+        panels,
     })
 }
 
@@ -236,8 +438,7 @@ mod tests {
         let f = fig1(&smoke_runner()).unwrap();
         assert_eq!(f.panels.len(), 4);
         assert_eq!(f.panels[0].groups.len(), 15);
-        assert!(f
-            .panels[0]
+        assert!(f.panels[0]
             .groups
             .iter()
             .any(|g| g.device == "Xeon Phi 7210"));
@@ -249,8 +450,7 @@ mod tests {
         let f = fig2(&smoke_runner(), 'a').unwrap();
         assert_eq!(f.panels.len(), 4);
         assert_eq!(f.panels[0].groups.len(), 14);
-        assert!(!f
-            .panels[0]
+        assert!(!f.panels[0]
             .groups
             .iter()
             .any(|g| g.device == "Xeon Phi 7210"));
@@ -287,5 +487,69 @@ mod tests {
         assert!(is_model_only("gem", ProblemSize::Large));
         assert!(!is_model_only("gem", ProblemSize::Small));
         assert!(!is_model_only("crc", ProblemSize::Large));
+    }
+
+    #[test]
+    fn figure_plans_mirror_the_direct_figures() {
+        let cfg = RunnerConfig::smoke();
+        let p1 = figure_plan("fig1", &cfg).unwrap();
+        assert_eq!(p1.panels.len(), 4);
+        assert_eq!(p1.job_count(), 4 * 15);
+        assert!(p1.panels[0]
+            .specs
+            .iter()
+            .any(|s| s.device == "Xeon Phi 7210"));
+        let p2 = figure_plan("fig2a", &cfg).unwrap();
+        assert_eq!(p2.panels[0].specs.len(), 14);
+        assert!(p2.specs().all(|s| s.benchmark == "kmeans"));
+        assert!(!p2.specs().any(|s| s.device == "Xeon Phi 7210"));
+        // Model-only groups carry real_execution = false in their specs,
+        // exactly as the direct path clears it (lud large).
+        let pb = figure_plan("fig2b", &cfg).unwrap();
+        assert_eq!(pb.panels[3].label, "large");
+        assert!(pb.panels[3].specs.iter().all(|s| !s.config.real_execution));
+        assert!(pb.panels[0].specs.iter().all(|s| s.config.real_execution));
+        let p4 = figure_plan("fig4", &cfg).unwrap();
+        assert_eq!(p4.panels[0].label, "gem (2D3V)");
+        assert_eq!(p4.panels[1].label, "nqueens (n=18)");
+        let p5 = figure_plan("fig5", &cfg).unwrap();
+        assert_eq!(p5.job_count(), 16);
+        assert!(figure_plan("fig9", &cfg).is_err());
+    }
+
+    #[test]
+    fn plan_execution_matches_direct_path() {
+        // Execute a slice of the fig1 plan spec-by-spec and compare with
+        // the direct runner: the identity the serve result cache rests on.
+        let cfg = RunnerConfig::smoke();
+        let plan = figure_plan("fig1", &cfg).unwrap();
+        let runner = smoke_runner();
+        let bench = registry::benchmark_by_name("crc").unwrap();
+        for spec in plan.panels[0].specs.iter().take(2) {
+            let planned = crate::exec::execute_spec(spec).unwrap();
+            let device = eod_clrt::Platform::simulated()
+                .device_by_name(&spec.device)
+                .unwrap();
+            let direct = runner.run_group(bench.as_ref(), spec.size, device).unwrap();
+            assert_eq!(planned.kernel_ms, direct.kernel_ms, "{}", spec.device);
+        }
+    }
+
+    #[test]
+    fn plan_assembly_preserves_panel_structure() {
+        let cfg = RunnerConfig::smoke();
+        let plan = figure_plan("fig4", &cfg).unwrap();
+        assert!(
+            plan.assemble(Vec::new()).is_err(),
+            "count mismatch is typed"
+        );
+        let results: Vec<GroupResult> = plan
+            .specs()
+            .map(|s| crate::exec::execute_spec(s).unwrap())
+            .collect();
+        let fig = plan.assemble(results).unwrap();
+        assert_eq!(fig.panels.len(), 3);
+        assert_eq!(fig.panels[0].label, "gem (2D3V)");
+        assert!(fig.render_ascii().contains("nqueens"));
     }
 }

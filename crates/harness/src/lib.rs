@@ -1,8 +1,10 @@
 //! `eod-harness` — the experiment runner and figure/table regeneration
 //! layer for the Extended OpenDwarfs reproduction.
 //!
-//! The binary (`cargo run -p eod-harness --bin eod -- <target>`) regenerates
-//! every table and figure in the paper; this library holds the pieces:
+//! The `eod` binary (`cargo run -p eod-serve --bin eod -- <target>`, hosted
+//! by the `eod-serve` crate so the service subcommands can reach it)
+//! regenerates every table and figure in the paper; this library holds the
+//! pieces:
 //!
 //! * [`runner`] — the §4.3 measurement procedure: run each benchmark in a
 //!   loop until a time floor elapses, record the mean kernel time as one
@@ -16,14 +18,19 @@
 //!   auto-tuning against the device model;
 //! * [`schedule`] — the paper's stated end goal: device-selection
 //!   scheduling under time and energy constraints, evaluated over the
-//!   measured matrix.
+//!   measured matrix;
+//! * [`exec`] — [`exec::execute_spec`], the bridge that runs a
+//!   serializable `JobSpec` through the same runner path, used by the
+//!   `eod-serve` execution service.
 
 pub mod autotune;
 pub mod cachesim;
+pub mod exec;
 pub mod figures;
 pub mod report;
 pub mod runner;
 pub mod schedule;
 pub mod tables;
 
-pub use runner::{GroupResult, Runner, RunnerConfig};
+pub use exec::execute_spec;
+pub use runner::{GroupResult, Runner, RunnerConfig, RunnerError};

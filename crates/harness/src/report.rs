@@ -143,7 +143,11 @@ mod tests {
     fn samples_csv_has_row_per_sample() {
         let csv = samples_csv(&[group("i7-6700K", &[1.0, 2.0, 3.0])]);
         assert_eq!(csv.lines().count(), 4);
-        assert!(csv.lines().nth(1).unwrap().starts_with("crc,tiny,i7-6700K,CPU,0,1.0"));
+        assert!(csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("crc,tiny,i7-6700K,CPU,0,1.0"));
         assert!(csv.contains(",0.500000"));
     }
 
@@ -158,7 +162,10 @@ mod tests {
     fn ascii_panel_renders_each_device() {
         let panel = ascii_panel(
             "crc tiny",
-            &[group("i7-6700K", &[1.0, 1.2, 0.9]), group("K20m", &[4.0, 4.5])],
+            &[
+                group("i7-6700K", &[1.0, 1.2, 0.9]),
+                group("K20m", &[4.0, 4.5]),
+            ],
         );
         assert!(panel.contains("crc tiny"));
         assert!(panel.contains("i7-6700K"));

@@ -23,6 +23,7 @@
 use eod_clrt::prelude::*;
 use eod_core::benchmark::Benchmark;
 use eod_core::sizes::ProblemSize;
+use eod_core::spec::ExecConfig;
 use eod_devsim::catalog::DeviceId;
 use eod_scibench::counters::CounterValues;
 use eod_scibench::energy::EnergySample;
@@ -31,7 +32,49 @@ use eod_scibench::region::{Region, RegionLog, RegionSample};
 use eod_scibench::stats::Summary;
 use eod_scibench::BoxplotSummary;
 use serde::Serialize;
+use std::fmt;
 use std::time::{Duration, Instant};
+
+/// Why a measurement group could not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunnerError {
+    /// The group exceeded its wall-clock budget ([`RunnerConfig::timeout`]).
+    /// Checked cooperatively between iterations, so a group ends at an
+    /// iteration boundary shortly after the limit passes.
+    TimedOut {
+        /// The configured budget that was exceeded.
+        limit: Duration,
+    },
+    /// The first executed iteration disagreed with the serial reference; a
+    /// wrong kernel invalidates the timing, so no result is produced.
+    VerificationFailed(String),
+    /// Setup, transfer, or execution infrastructure failed.
+    Infra(String),
+}
+
+impl fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunnerError::TimedOut { limit } => {
+                write!(
+                    f,
+                    "timed out after exceeding {:.3}s budget",
+                    limit.as_secs_f64()
+                )
+            }
+            RunnerError::VerificationFailed(m) => write!(f, "verification failed: {m}"),
+            RunnerError::Infra(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
+impl From<RunnerError> for String {
+    fn from(e: RunnerError) -> Self {
+        e.to_string()
+    }
+}
 
 /// Measurement configuration.
 #[derive(Debug, Clone)]
@@ -58,6 +101,10 @@ pub struct RunnerConfig {
     pub energy_all_devices: bool,
     /// Workload + noise seed.
     pub seed: u64,
+    /// Wall-clock budget for one group; `None` (the default presets) means
+    /// unbounded. Exceeding it aborts the group with
+    /// [`RunnerError::TimedOut`].
+    pub timeout: Option<Duration>,
 }
 
 impl RunnerConfig {
@@ -71,6 +118,7 @@ impl RunnerConfig {
             real_execution: true,
             energy_all_devices: false,
             seed: 42,
+            timeout: None,
         }
     }
 
@@ -96,6 +144,35 @@ impl RunnerConfig {
             real_execution: true,
             energy_all_devices: false,
             seed: 42,
+            timeout: None,
+        }
+    }
+
+    /// Build from the serializable [`ExecConfig`] a job spec carries.
+    pub fn from_exec(exec: &ExecConfig) -> Self {
+        Self {
+            samples: exec.samples,
+            min_loop: exec.min_loop,
+            max_iters_per_sample: exec.max_iters_per_sample,
+            verify: exec.verify,
+            real_execution: exec.real_execution,
+            energy_all_devices: exec.energy_all_devices,
+            seed: exec.seed,
+            timeout: exec.timeout,
+        }
+    }
+
+    /// The serializable [`ExecConfig`] form of this configuration.
+    pub fn to_exec(&self) -> ExecConfig {
+        ExecConfig {
+            samples: self.samples,
+            min_loop: self.min_loop,
+            max_iters_per_sample: self.max_iters_per_sample,
+            verify: self.verify,
+            real_execution: self.real_execution,
+            energy_all_devices: self.energy_all_devices,
+            seed: self.seed,
+            timeout: self.timeout,
         }
     }
 }
@@ -168,16 +245,36 @@ impl Runner {
 
     /// Run one group: `benchmark` at `size` on `device`.
     ///
-    /// Returns an error string for infrastructure failures; verification
-    /// failures are reported in [`GroupResult::verified`] only if
-    /// `config.verify` is set (they are returned as errors, since a wrong
-    /// kernel invalidates the timing).
+    /// Infrastructure failures, verification mismatches (a wrong kernel
+    /// invalidates the timing) and wall-clock budget overruns each return
+    /// their own [`RunnerError`] variant.
+    ///
+    /// The device's noise stream is reseeded from the group's identity
+    /// (benchmark, size, device, seed) before any launch, so a group's
+    /// samples are a pure function of those four values — independent of
+    /// what ran on the device before. This is what lets the execution
+    /// service cache results and still return exactly what a direct
+    /// single-group run produces.
     pub fn run_group(
         &self,
         benchmark: &dyn Benchmark,
         size: ProblemSize,
         device: Device,
-    ) -> std::result::Result<GroupResult, String> {
+    ) -> std::result::Result<GroupResult, RunnerError> {
+        device.reseed_noise(group_noise_seed(
+            self.config.seed,
+            benchmark.name(),
+            size.label(),
+            device.name(),
+        ));
+        let deadline = self
+            .config
+            .timeout
+            .map(|limit| (Instant::now() + limit, limit));
+        let check_deadline = || match deadline {
+            Some((at, limit)) if Instant::now() >= at => Err(RunnerError::TimedOut { limit }),
+            _ => Ok(()),
+        };
         let ctx = Context::new(device.clone());
         let queue = CommandQueue::new(&ctx).with_profiling();
         let mut workload = benchmark.workload(size, self.config.seed);
@@ -186,7 +283,10 @@ impl Runner {
         // Host setup + transfers.
         let mut regions = RegionLog::new();
         let setup_wall = Instant::now();
-        let setup_events = workload.setup(&ctx, &queue).map_err(|e| e.to_string())?;
+        let setup_events = workload
+            .setup(&ctx, &queue)
+            .map_err(|e| RunnerError::Infra(e.to_string()))?;
+        check_deadline()?;
         let setup_ms = setup_wall.elapsed().as_secs_f64() * 1e3;
         let transfer_ms: f64 = setup_events.iter().map(|e| e.millis()).sum();
         regions.record(Region::HostSetup, setup_wall.elapsed());
@@ -200,7 +300,10 @@ impl Runner {
         if model_only {
             queue.set_replay(true);
         }
-        let first = workload.run_iteration(&queue).map_err(|e| e.to_string())?;
+        let first = workload
+            .run_iteration(&queue)
+            .map_err(|e| RunnerError::Infra(e.to_string()))?;
+        check_deadline()?;
         let launches_per_iteration = first.kernel_launches();
         let mut counters_acc = CounterValues::new();
         let mut have_counters = false;
@@ -212,12 +315,12 @@ impl Runner {
         }
         let verified = if self.config.verify && !model_only {
             workload.verify(&queue).map_err(|e| {
-                format!(
-                    "{} {} on {}: verification failed: {e}",
+                RunnerError::VerificationFailed(format!(
+                    "{} {} on {}: {e}",
                     benchmark.name(),
                     size.label(),
                     device.name()
-                )
+                ))
             })?;
             true
         } else {
@@ -229,7 +332,9 @@ impl Runner {
         let power_model = match device.backend() {
             Backend::Simulated(sim)
                 if self.config.energy_all_devices
-                    || device.sim_id().is_some_and(|id| id.spec().energy_instrumented()) =>
+                    || device
+                        .sim_id()
+                        .is_some_and(|id| id.spec().energy_instrumented()) =>
             {
                 Some(sim.power)
             }
@@ -244,7 +349,10 @@ impl Runner {
             let loop_start_device = queue.clock_seconds();
             let loop_start_wall = Instant::now();
             loop {
-                let out = workload.run_iteration(&queue).map_err(|e| e.to_string())?;
+                check_deadline()?;
+                let out = workload
+                    .run_iteration(&queue)
+                    .map_err(|e| RunnerError::Infra(e.to_string()))?;
                 iters += 1;
                 total_kernel += out.kernel_time();
                 if let Some(pm) = &power_model {
@@ -314,7 +422,7 @@ impl Runner {
         benchmark: &dyn Benchmark,
         size: ProblemSize,
         devices: &[Device],
-    ) -> std::result::Result<Vec<GroupResult>, String> {
+    ) -> std::result::Result<Vec<GroupResult>, RunnerError> {
         devices
             .iter()
             .map(|d| self.run_group(benchmark, size, d.clone()))
@@ -329,6 +437,26 @@ impl Runner {
     }
 }
 
+/// Noise seed for one measurement group, derived (FNV-1a) from the run
+/// seed and the group's identity so every group gets its own reproducible
+/// stream no matter which device handle runs it or in what order.
+fn group_noise_seed(seed: u64, benchmark: &str, size: &str, device: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&seed.to_le_bytes());
+    eat(benchmark.as_bytes());
+    eat(&[0xff]);
+    eat(size.as_bytes());
+    eat(&[0xff]);
+    eat(device.as_bytes());
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,7 +467,9 @@ mod tests {
         let runner = Runner::new(RunnerConfig::smoke());
         let bench = registry::benchmark_by_name("crc").unwrap();
         let gtx = Platform::simulated().device_by_name("GTX 1080").unwrap();
-        let g = runner.run_group(bench.as_ref(), ProblemSize::Tiny, gtx).unwrap();
+        let g = runner
+            .run_group(bench.as_ref(), ProblemSize::Tiny, gtx)
+            .unwrap();
         assert_eq!(g.kernel_ms.len(), 5);
         assert!(g.kernel_ms.iter().all(|&t| t > 0.0));
         assert!(g.verified);
@@ -355,12 +485,20 @@ mod tests {
         let bench = registry::benchmark_by_name("srad").unwrap();
         let sim = Platform::simulated();
         let gtx = runner
-            .run_group(bench.as_ref(), ProblemSize::Tiny, sim.device_by_name("GTX 1080").unwrap())
+            .run_group(
+                bench.as_ref(),
+                ProblemSize::Tiny,
+                sim.device_by_name("GTX 1080").unwrap(),
+            )
             .unwrap();
         assert!(gtx.energy_j.is_some());
         assert!(gtx.energy_j.as_ref().unwrap().iter().all(|&e| e > 0.0));
         let k20 = runner
-            .run_group(bench.as_ref(), ProblemSize::Tiny, sim.device_by_name("K20m").unwrap())
+            .run_group(
+                bench.as_ref(),
+                ProblemSize::Tiny,
+                sim.device_by_name("K20m").unwrap(),
+            )
             .unwrap();
         assert!(k20.energy_j.is_none());
     }
@@ -378,11 +516,67 @@ mod tests {
     }
 
     #[test]
+    fn tiny_timeout_produces_typed_error() {
+        let mut cfg = RunnerConfig::smoke();
+        // A nanosecond budget trips on the first cooperative check.
+        cfg.timeout = Some(Duration::from_nanos(1));
+        let runner = Runner::new(cfg);
+        let bench = registry::benchmark_by_name("crc").unwrap();
+        let gtx = Platform::simulated().device_by_name("GTX 1080").unwrap();
+        let err = runner
+            .run_group(bench.as_ref(), ProblemSize::Tiny, gtx)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RunnerError::TimedOut {
+                limit: Duration::from_nanos(1)
+            }
+        );
+        assert!(err.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn group_results_are_order_independent() {
+        // Running other groups first on the same device handles must not
+        // change a group's samples (the noise stream reseeds per group).
+        let runner = Runner::new(RunnerConfig::smoke());
+        let crc = registry::benchmark_by_name("crc").unwrap();
+        let fft = registry::benchmark_by_name("fft").unwrap();
+        let device = Platform::simulated().device_by_name("K40m").unwrap();
+        let direct = runner
+            .run_group(crc.as_ref(), ProblemSize::Tiny, device.clone())
+            .unwrap();
+        let _warmup = runner
+            .run_group(fft.as_ref(), ProblemSize::Tiny, device.clone())
+            .unwrap();
+        let after = runner
+            .run_group(crc.as_ref(), ProblemSize::Tiny, device)
+            .unwrap();
+        assert_eq!(direct.kernel_ms, after.kernel_ms);
+    }
+
+    #[test]
+    fn exec_config_round_trips() {
+        let cfg = RunnerConfig::quick();
+        let back = RunnerConfig::from_exec(&cfg.to_exec());
+        assert_eq!(back.samples, cfg.samples);
+        assert_eq!(back.min_loop, cfg.min_loop);
+        assert_eq!(back.max_iters_per_sample, cfg.max_iters_per_sample);
+        assert_eq!(back.verify, cfg.verify);
+        assert_eq!(back.real_execution, cfg.real_execution);
+        assert_eq!(back.energy_all_devices, cfg.energy_all_devices);
+        assert_eq!(back.seed, cfg.seed);
+        assert_eq!(back.timeout, cfg.timeout);
+    }
+
+    #[test]
     fn summaries_and_boxplots_derive() {
         let runner = Runner::new(RunnerConfig::smoke());
         let bench = registry::benchmark_by_name("fft").unwrap();
         let i7 = Platform::simulated().device_by_name("i7-6700K").unwrap();
-        let g = runner.run_group(bench.as_ref(), ProblemSize::Tiny, i7).unwrap();
+        let g = runner
+            .run_group(bench.as_ref(), ProblemSize::Tiny, i7)
+            .unwrap();
         let s = g.time_summary();
         assert!(s.min <= s.median && s.median <= s.max);
         let b = g.boxplot();

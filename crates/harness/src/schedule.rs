@@ -122,11 +122,7 @@ pub fn schedule(matrix: &Matrix, policy: Policy) -> Result<Schedule, String> {
         let pick = match policy {
             Policy::FastestDevice => devices
                 .iter()
-                .min_by(|a, b| {
-                    cell_of(a)
-                        .time_ms
-                        .total_cmp(&cell_of(b).time_ms)
-                })
+                .min_by(|a, b| cell_of(a).time_ms.total_cmp(&cell_of(b).time_ms))
                 .copied(),
             Policy::LowestEnergy => devices
                 .iter()
@@ -184,10 +180,13 @@ mod tests {
     fn matrix() -> Matrix {
         let mut m = Matrix::default();
         let mut add = |b: &str, d: &str, t: f64, e: f64| {
-            m.cells
-                .entry(b.into())
-                .or_default()
-                .insert(d.into(), Cell { time_ms: t, energy_j: e });
+            m.cells.entry(b.into()).or_default().insert(
+                d.into(),
+                Cell {
+                    time_ms: t,
+                    energy_j: e,
+                },
+            );
         };
         // crc: CPU fast and cheap, GPU slow and expensive.
         add("crc", "cpu", 1.0, 0.1);
@@ -242,7 +241,11 @@ mod tests {
         let fft = s.assignments.iter().find(|a| a.benchmark == "fft").unwrap();
         assert_eq!(fft.device, "cpu");
         // srad's CPU (10 ms) is 10× the GPU — infeasible, GPU chosen.
-        let srad = s.assignments.iter().find(|a| a.benchmark == "srad").unwrap();
+        let srad = s
+            .assignments
+            .iter()
+            .find(|a| a.benchmark == "srad")
+            .unwrap();
         assert_eq!(srad.device, "gpu");
     }
 

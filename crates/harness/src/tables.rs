@@ -55,11 +55,14 @@ pub fn table1() -> String {
 
 /// Table 2 — workload scale parameters Φ.
 pub fn table2() -> String {
-    let mut out = String::from(
-        "| Benchmark | tiny | small | medium | large |\n|---|---|---|---|---|\n",
-    );
+    let mut out =
+        String::from("| Benchmark | tiny | small | medium | large |\n|---|---|---|---|---|\n");
     for row in ScaleTable::rows() {
-        let _ = writeln!(out, "| {} | {} | {} | {} | {} |", row[0], row[1], row[2], row[3], row[4]);
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} |",
+            row[0], row[1], row[2], row[3], row[4]
+        );
     }
     out
 }
@@ -133,7 +136,10 @@ pub fn power_report() -> String {
     let n2 = sample_size_for_power(0.5, 0.05, 0.8, TTestKind::TwoSample);
     let n1 = sample_size_for_power(0.5, 0.05, 0.8, TTestKind::OneSample);
     let p50 = power_of_t_test(50, 0.5, 0.05, TTestKind::OneSample);
-    let _ = writeln!(out, "t-test power calculation (α = 0.05, d = 0.5, power = 0.8):");
+    let _ = writeln!(
+        out,
+        "t-test power calculation (α = 0.05, d = 0.5, power = 0.8):"
+    );
     let _ = writeln!(out, "  two-sample design : n = {n2} per group");
     let _ = writeln!(out, "  one-sample design : n = {n1} per group");
     let _ = writeln!(

@@ -96,15 +96,11 @@ impl BoxplotSummary {
         };
         let mut line = vec![b' '; width];
         // Whisker span
-        for c in col(self.whisker_lo)..=col(self.whisker_hi) {
-            line[c] = b'-';
-        }
+        line[col(self.whisker_lo)..=col(self.whisker_hi)].fill(b'-');
         line[col(self.whisker_lo)] = b'|';
         line[col(self.whisker_hi)] = b'|';
         // Box
-        for c in col(self.q1)..=col(self.q3) {
-            line[c] = b'=';
-        }
+        line[col(self.q1)..=col(self.q3)].fill(b'=');
         line[col(self.q1)] = b'[';
         line[col(self.q3)] = b']';
         // Median drawn last so it is always visible.

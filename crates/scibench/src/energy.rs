@@ -129,7 +129,10 @@ impl EnergyMeter for RaplMeter {
         }
         let after = self.raw_register();
         let joules = Self::register_delta(before, after) as f64 * 1e-9;
-        EnergySample { joules, duration: d }
+        EnergySample {
+            joules,
+            duration: d,
+        }
     }
 }
 
@@ -180,7 +183,10 @@ impl EnergyMeter for NvmlMeter {
             joules += w * slice.as_secs_f64();
             t += slice;
         }
-        EnergySample { joules, duration: d }
+        EnergySample {
+            joules,
+            duration: d,
+        }
     }
 }
 

@@ -56,7 +56,11 @@ impl LsbWriter {
         for (k, v) in &self.metadata {
             let _ = writeln!(out, "# {k}: {v}");
         }
-        let _ = writeln!(out, "{:>12} {:>6} {:>18} {:>14}", "region", "id", "time_us", "energy_j");
+        let _ = writeln!(
+            out,
+            "{:>12} {:>6} {:>18} {:>14}",
+            "region", "id", "time_us", "energy_j"
+        );
         for &region in Region::all() {
             for (id, sample) in log.samples(region).iter().enumerate() {
                 let energy = sample

@@ -132,11 +132,7 @@ impl RegionLog {
 
     /// Total wall time recorded across all regions.
     pub fn total_time(&self) -> Duration {
-        self.samples
-            .values()
-            .flatten()
-            .map(|s| s.duration)
-            .sum()
+        self.samples.values().flatten().map(|s| s.duration).sum()
     }
 }
 

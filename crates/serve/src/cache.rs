@@ -1,0 +1,189 @@
+//! Content-addressed LRU result cache.
+//!
+//! Keys are [`JobSpec::spec_key`](eod_core::spec::JobSpec::spec_key)
+//! content addresses, so two byte-identical specs share one entry while
+//! any semantic change (seed, sample count, timeout…) misses. Each entry
+//! stores the group's serialized JSON verbatim *and* the deserialized
+//! [`GroupResult`] behind an `Arc`: hits hand clients the stored bytes
+//! unchanged (byte-identical across hits, O(1) apart from the clone) and
+//! hand the in-process figure assembler the structured result without a
+//! parse.
+
+use eod_harness::GroupResult;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Hit/miss/occupancy counters, as reported to clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to execution.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// The eviction bound.
+    pub capacity: u64,
+}
+
+struct Entry {
+    json: String,
+    result: Arc<GroupResult>,
+    last_used: u64,
+}
+
+struct CacheState {
+    entries: HashMap<String, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// The cache: a bounded map from spec key to stored result.
+pub struct ResultCache {
+    state: Mutex<CacheState>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// An empty cache evicting beyond `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Look up a spec key, counting a hit or miss and refreshing recency.
+    pub fn get(&self, key: &str) -> Option<(String, Arc<GroupResult>)> {
+        let mut s = self.state.lock().unwrap();
+        s.tick += 1;
+        let tick = s.tick;
+        match s.entries.get_mut(key) {
+            Some(e) => {
+                e.last_used = tick;
+                let out = (e.json.clone(), Arc::clone(&e.result));
+                s.hits += 1;
+                Some(out)
+            }
+            None => {
+                s.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Like [`Self::get`] but without touching the hit/miss counters — for
+    /// the worker's queued-job re-check, which would otherwise double-count
+    /// every submission.
+    pub fn peek(&self, key: &str) -> Option<(String, Arc<GroupResult>)> {
+        let mut s = self.state.lock().unwrap();
+        s.tick += 1;
+        let tick = s.tick;
+        s.entries.get_mut(key).map(|e| {
+            e.last_used = tick;
+            (e.json.clone(), Arc::clone(&e.result))
+        })
+    }
+
+    /// Store a result, evicting the least-recently-used entry when the
+    /// bound is exceeded. The eviction scan is O(entries); capacities here
+    /// are small (hundreds) and inserts are rare next to group execution.
+    pub fn insert(&self, key: String, json: String, result: Arc<GroupResult>) {
+        let mut s = self.state.lock().unwrap();
+        s.tick += 1;
+        let tick = s.tick;
+        s.entries.insert(
+            key,
+            Entry {
+                json,
+                result,
+                last_used: tick,
+            },
+        );
+        while s.entries.len() > self.capacity {
+            let oldest = s
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty above capacity");
+            s.entries.remove(&oldest);
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let s = self.state.lock().unwrap();
+        CacheStats {
+            hits: s.hits,
+            misses: s.misses,
+            entries: s.entries.len() as u64,
+            capacity: self.capacity as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> Arc<GroupResult> {
+        Arc::new(GroupResult {
+            benchmark: "crc".into(),
+            size: "tiny".into(),
+            device: "d".into(),
+            class: "CPU".into(),
+            kernel_ms: vec![1.0],
+            setup_ms: 0.0,
+            transfer_ms: 0.0,
+            launches_per_iteration: 1,
+            counters: None,
+            energy_j: None,
+            footprint_bytes: 0,
+            verified: true,
+            regions: Default::default(),
+        })
+    }
+
+    #[test]
+    fn hit_returns_stored_bytes_and_counts() {
+        let c = ResultCache::new(4);
+        assert!(c.get("k").is_none());
+        c.insert("k".into(), "{\"x\":1}".into(), result());
+        let (json, _) = c.get("k").unwrap();
+        assert_eq!(json, "{\"x\":1}");
+        let st = c.stats();
+        assert_eq!((st.hits, st.misses, st.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let c = ResultCache::new(4);
+        c.insert("k".into(), "{}".into(), result());
+        assert!(c.peek("k").is_some());
+        assert!(c.peek("absent").is_none());
+        let st = c.stats();
+        assert_eq!((st.hits, st.misses), (0, 0));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let c = ResultCache::new(2);
+        c.insert("a".into(), "A".into(), result());
+        c.insert("b".into(), "B".into(), result());
+        // Touch "a" so "b" is the least recently used, then overflow.
+        c.get("a");
+        c.insert("c".into(), "C".into(), result());
+        assert_eq!(c.stats().entries, 2);
+        assert!(c.get("a").is_some());
+        assert!(c.get("b").is_none(), "coldest entry was evicted");
+        assert!(c.get("c").is_some());
+    }
+}

@@ -1,0 +1,296 @@
+//! A blocking protocol client, used by the `eod` CLI subcommands and the
+//! integration tests.
+
+use crate::protocol::{codes, decode, encode, JobInfo, Request, Response};
+use eod_core::spec::{JobSpec, Priority};
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Why a client call failed, with the server's typed refusals surfaced as
+/// their own variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The queue refused the job: at capacity.
+    QueueFull(String),
+    /// The service is shutting down.
+    ShuttingDown(String),
+    /// Any other server-reported error (`code`, `message`).
+    Server(String, String),
+    /// Socket or serialization trouble on the client side.
+    Transport(String),
+    /// The server answered with a response the call did not expect.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::QueueFull(m) => write!(f, "refused: {m}"),
+            ClientError::ShuttingDown(m) => write!(f, "refused: {m}"),
+            ClientError::Server(code, m) => write!(f, "server error [{code}]: {m}"),
+            ClientError::Transport(m) => write!(f, "transport: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// The terminal outcome of a waited-on submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Assigned job id.
+    pub job: u64,
+    /// Spec content address.
+    pub key: String,
+    /// Terminal state (`done`, `failed`, `timed-out`).
+    pub state: String,
+    /// Whether the result came from the cache.
+    pub cached: bool,
+    /// The stored `GroupResult` JSON, verbatim (`done` only).
+    pub group: Option<String>,
+    /// Error message (`failed`/`timed-out` only).
+    pub error: Option<String>,
+    /// States observed, in order, starting with the state at admission
+    /// (e.g. `["queued", "running", "done"]`, or `["done"]` for a cache
+    /// hit).
+    pub transitions: Vec<String>,
+}
+
+/// A completed figure batch as reported by the server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureOutput {
+    /// Figure id.
+    pub id: String,
+    /// ASCII rendering, identical to the direct CLI path's.
+    pub rendered: String,
+    /// Groups in the batch.
+    pub jobs: u64,
+    /// Batch lookups answered from the cache.
+    pub cache_hits: u64,
+    /// Batch lookups that required execution.
+    pub cache_misses: u64,
+}
+
+/// One connection to an `eod-serve` server.
+pub struct Client {
+    out: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `127.0.0.1:3597`).
+    pub fn connect(addr: &str) -> Result<Self, ClientError> {
+        let out = TcpStream::connect(addr)
+            .map_err(|e| ClientError::Transport(format!("connect {addr}: {e}")))?;
+        let reader = BufReader::new(
+            out.try_clone()
+                .map_err(|e| ClientError::Transport(e.to_string()))?,
+        );
+        Ok(Self { out, reader })
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        self.out
+            .write_all(encode(req).as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"))
+            .and_then(|()| self.out.flush())
+            .map_err(|e| ClientError::Transport(e.to_string()))
+    }
+
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| ClientError::Transport(e.to_string()))?;
+        if n == 0 {
+            return Err(ClientError::Transport(
+                "server closed the connection".into(),
+            ));
+        }
+        decode(&line).map_err(ClientError::Protocol)
+    }
+
+    /// Surface a server `Error` response as the matching typed variant.
+    fn typed(resp: Response) -> Result<Response, ClientError> {
+        match resp {
+            Response::Error { code, message } => Err(match code.as_str() {
+                codes::QUEUE_FULL => ClientError::QueueFull(message),
+                codes::SHUTTING_DOWN => ClientError::ShuttingDown(message),
+                _ => ClientError::Server(code, message),
+            }),
+            other => Ok(other),
+        }
+    }
+
+    /// Submit without waiting; returns `(job id, key, state, cached)`.
+    pub fn submit(
+        &mut self,
+        spec: &JobSpec,
+        priority: Priority,
+    ) -> Result<(u64, String, String, bool), ClientError> {
+        self.send(&Request::Submit {
+            spec: spec.clone(),
+            priority,
+            wait: false,
+        })?;
+        match Self::typed(self.recv()?)? {
+            Response::Accepted {
+                job,
+                key,
+                state,
+                cached,
+            } => Ok((job, key, state, cached)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected {}",
+                encode(&other)
+            ))),
+        }
+    }
+
+    /// Submit and wait, collecting the streamed transitions and the
+    /// terminal result.
+    pub fn submit_wait(
+        &mut self,
+        spec: &JobSpec,
+        priority: Priority,
+    ) -> Result<JobOutcome, ClientError> {
+        self.send(&Request::Submit {
+            spec: spec.clone(),
+            priority,
+            wait: true,
+        })?;
+        let admitted = match Self::typed(self.recv()?)? {
+            Response::Accepted { state, .. } => state,
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "unexpected {}",
+                    encode(&other)
+                )))
+            }
+        };
+        let mut transitions = vec![admitted];
+        loop {
+            match Self::typed(self.recv()?)? {
+                Response::Status { state, .. } => transitions.push(state),
+                Response::Result {
+                    job,
+                    key,
+                    state,
+                    cached,
+                    group,
+                    error,
+                } => {
+                    return Ok(JobOutcome {
+                        job,
+                        key,
+                        state,
+                        cached,
+                        group,
+                        error,
+                        transitions,
+                    })
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected {}",
+                        encode(&other)
+                    )))
+                }
+            }
+        }
+    }
+
+    /// One job's terminal-or-current status line.
+    pub fn status(&mut self, job: u64) -> Result<JobOutcome, ClientError> {
+        self.send(&Request::Status { job: Some(job) })?;
+        match Self::typed(self.recv()?)? {
+            Response::Result {
+                job,
+                key,
+                state,
+                cached,
+                group,
+                error,
+            } => Ok(JobOutcome {
+                job,
+                key,
+                state,
+                cached,
+                group,
+                error,
+                transitions: Vec::new(),
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected {}",
+                encode(&other)
+            ))),
+        }
+    }
+
+    /// All jobs the server knows about.
+    pub fn list(&mut self) -> Result<Vec<JobInfo>, ClientError> {
+        self.send(&Request::Status { job: None })?;
+        match Self::typed(self.recv()?)? {
+            Response::Jobs { jobs } => Ok(jobs),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected {}",
+                encode(&other)
+            ))),
+        }
+    }
+
+    /// Run a figure batch server-side.
+    pub fn figure(&mut self, id: &str) -> Result<FigureOutput, ClientError> {
+        self.send(&Request::Figure { id: id.to_string() })?;
+        match Self::typed(self.recv()?)? {
+            Response::Figure {
+                id,
+                rendered,
+                jobs,
+                cache_hits,
+                cache_misses,
+            } => Ok(FigureOutput {
+                id,
+                rendered,
+                jobs,
+                cache_hits,
+                cache_misses,
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected {}",
+                encode(&other)
+            ))),
+        }
+    }
+
+    /// Cache/queue/worker counters: `(cache stats, queued, workers)`.
+    pub fn stats(&mut self) -> Result<(crate::cache::CacheStats, u64, u64), ClientError> {
+        self.send(&Request::Stats)?;
+        match Self::typed(self.recv()?)? {
+            Response::Stats {
+                cache,
+                queued,
+                workers,
+            } => Ok((cache, queued, workers)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected {}",
+                encode(&other)
+            ))),
+        }
+    }
+
+    /// Ask the server to shut down.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Shutdown)?;
+        match Self::typed(self.recv()?)? {
+            Response::Bye => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected {}",
+                encode(&other)
+            ))),
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Job records: identity, status transitions, and transition waiting.
+//!
+//! A job moves `Queued → Running → Done | Failed | TimedOut` (cache hits
+//! jump straight from `Queued` to `Done`). Every transition wakes waiters,
+//! so a connection handler can stream each state change to its client as
+//! it happens rather than polling.
+
+use eod_core::spec::{JobSpec, Priority};
+use eod_harness::GroupResult;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Monotonic job identity, assigned at submission.
+pub type JobId = u64;
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobPhase {
+    /// Admitted, awaiting a worker.
+    Queued,
+    /// A worker is executing the group.
+    Running,
+    /// Finished with a result.
+    Done,
+    /// Finished with an execution error.
+    Failed,
+    /// Aborted by the per-job wall-clock budget.
+    TimedOut,
+}
+
+impl JobPhase {
+    /// Whether no further transition can happen.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobPhase::Done | JobPhase::Failed | JobPhase::TimedOut)
+    }
+}
+
+impl fmt::Display for JobPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+            JobPhase::Failed => "failed",
+            JobPhase::TimedOut => "timed-out",
+        })
+    }
+}
+
+/// A point-in-time copy of a job's status, cheap to hand to a connection.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Current phase.
+    pub phase: JobPhase,
+    /// Whether the result came from the cache.
+    pub cached: bool,
+    /// Stored result JSON (terminal `Done` only), byte-identical to what
+    /// the cache holds.
+    pub json: Option<String>,
+    /// Structured result (terminal `Done` only).
+    pub result: Option<Arc<GroupResult>>,
+    /// Error message (terminal `Failed`/`TimedOut` only).
+    pub error: Option<String>,
+}
+
+struct Status {
+    snapshot: Snapshot,
+}
+
+/// One submitted job.
+pub struct JobRecord {
+    /// Assigned identity.
+    pub id: JobId,
+    /// What to run.
+    pub spec: JobSpec,
+    /// Content address of `spec` — the cache key.
+    pub key: String,
+    /// Scheduling priority (not part of the key: it never changes results).
+    pub priority: Priority,
+    status: Mutex<Status>,
+    changed: Condvar,
+}
+
+impl JobRecord {
+    fn new(id: JobId, spec: JobSpec, priority: Priority) -> Self {
+        let key = spec.spec_key();
+        Self {
+            id,
+            spec,
+            key,
+            priority,
+            status: Mutex::new(Status {
+                snapshot: Snapshot {
+                    phase: JobPhase::Queued,
+                    cached: false,
+                    json: None,
+                    result: None,
+                    error: None,
+                },
+            }),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// Current status.
+    pub fn snapshot(&self) -> Snapshot {
+        self.status.lock().unwrap().snapshot.clone()
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> JobPhase {
+        self.status.lock().unwrap().snapshot.phase
+    }
+
+    fn transition(&self, f: impl FnOnce(&mut Snapshot)) {
+        let mut s = self.status.lock().unwrap();
+        // Terminal states are final: a late transition (e.g. a worker
+        // finishing after shutdown marked the job failed) is dropped.
+        if s.snapshot.phase.is_terminal() {
+            return;
+        }
+        f(&mut s.snapshot);
+        drop(s);
+        self.changed.notify_all();
+    }
+
+    /// Mark the job picked up by a worker.
+    pub fn set_running(&self) {
+        self.transition(|s| s.phase = JobPhase::Running);
+    }
+
+    /// Mark the job finished with a result.
+    pub fn set_done(&self, json: String, result: Arc<GroupResult>, cached: bool) {
+        self.transition(|s| {
+            s.phase = JobPhase::Done;
+            s.cached = cached;
+            s.json = Some(json);
+            s.result = Some(result);
+        });
+    }
+
+    /// Mark the job finished with an error; `timed_out` selects the
+    /// [`JobPhase::TimedOut`] terminal over [`JobPhase::Failed`].
+    pub fn set_failed(&self, error: String, timed_out: bool) {
+        self.transition(|s| {
+            s.phase = if timed_out {
+                JobPhase::TimedOut
+            } else {
+                JobPhase::Failed
+            };
+            s.error = Some(error);
+        });
+    }
+
+    /// Block until the phase differs from `seen`, returning the new status.
+    /// Returns immediately if it already differs or `seen` is terminal.
+    pub fn wait_change(&self, seen: JobPhase) -> Snapshot {
+        let mut s = self.status.lock().unwrap();
+        while s.snapshot.phase == seen && !seen.is_terminal() {
+            s = self.changed.wait(s).unwrap();
+        }
+        s.snapshot.clone()
+    }
+
+    /// Block until the job reaches a terminal phase.
+    pub fn wait_terminal(&self) -> Snapshot {
+        let mut s = self.status.lock().unwrap();
+        while !s.snapshot.phase.is_terminal() {
+            s = self.changed.wait(s).unwrap();
+        }
+        s.snapshot.clone()
+    }
+}
+
+/// The registry of all jobs the service has seen.
+pub struct JobBoard {
+    jobs: Mutex<HashMap<JobId, Arc<JobRecord>>>,
+    next_id: AtomicU64,
+}
+
+impl JobBoard {
+    /// An empty board.
+    pub fn new() -> Self {
+        Self {
+            jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Register a new job in `Queued` state.
+    pub fn create(&self, spec: JobSpec, priority: Priority) -> Arc<JobRecord> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let rec = Arc::new(JobRecord::new(id, spec, priority));
+        self.jobs.lock().unwrap().insert(id, Arc::clone(&rec));
+        rec
+    }
+
+    /// Drop a job that was never admitted (queue refused it).
+    pub fn forget(&self, id: JobId) {
+        self.jobs.lock().unwrap().remove(&id);
+    }
+
+    /// Look up a job.
+    pub fn get(&self, id: JobId) -> Option<Arc<JobRecord>> {
+        self.jobs.lock().unwrap().get(&id).cloned()
+    }
+
+    /// All jobs, in id (submission) order.
+    pub fn all(&self) -> Vec<Arc<JobRecord>> {
+        let mut v: Vec<_> = self.jobs.lock().unwrap().values().cloned().collect();
+        v.sort_by_key(|r| r.id);
+        v
+    }
+}
+
+impl Default for JobBoard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eod_core::sizes::ProblemSize;
+    use eod_core::spec::ExecConfig;
+    use std::time::Duration;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            benchmark: "crc".into(),
+            size: ProblemSize::Tiny,
+            device: "GTX 1080".into(),
+            config: ExecConfig {
+                samples: 1,
+                min_loop: Duration::from_micros(1),
+                max_iters_per_sample: 1,
+                verify: false,
+                real_execution: true,
+                energy_all_devices: false,
+                seed: 1,
+                timeout: None,
+            },
+        }
+    }
+
+    #[test]
+    fn transitions_and_terminality() {
+        let board = JobBoard::new();
+        let rec = board.create(spec(), Priority::Normal);
+        assert_eq!(rec.phase(), JobPhase::Queued);
+        rec.set_running();
+        assert_eq!(rec.phase(), JobPhase::Running);
+        rec.set_failed("boom".into(), false);
+        assert_eq!(rec.phase(), JobPhase::Failed);
+        // Terminal is final: a late success is dropped.
+        rec.set_running();
+        assert_eq!(rec.phase(), JobPhase::Failed);
+        assert_eq!(rec.snapshot().error.as_deref(), Some("boom"));
+    }
+
+    #[test]
+    fn waiters_see_each_transition() {
+        let board = JobBoard::new();
+        let rec = board.create(spec(), Priority::High);
+        let waiter = {
+            let rec = Arc::clone(&rec);
+            std::thread::spawn(move || {
+                let s1 = rec.wait_change(JobPhase::Queued);
+                let s2 = rec.wait_terminal();
+                (s1.phase, s2.phase)
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        rec.set_running();
+        std::thread::sleep(Duration::from_millis(10));
+        rec.set_failed("timed out after exceeding budget".into(), true);
+        assert_eq!(
+            waiter.join().unwrap(),
+            (JobPhase::Running, JobPhase::TimedOut)
+        );
+    }
+
+    #[test]
+    fn board_assigns_monotonic_ids() {
+        let board = JobBoard::new();
+        let a = board.create(spec(), Priority::Normal);
+        let b = board.create(spec(), Priority::Normal);
+        assert!(b.id > a.id);
+        assert_eq!(board.all().len(), 2);
+        board.forget(a.id);
+        assert!(board.get(a.id).is_none());
+        assert!(board.get(b.id).is_some());
+    }
+}

@@ -1,0 +1,37 @@
+//! `eod-serve` — a concurrent benchmark-execution service.
+//!
+//! The direct `eod` paths run one measurement group at a time in one
+//! process. This crate turns the same execution pipeline into a local
+//! service so repeated and concurrent experiment campaigns share work:
+//!
+//! * [`queue`] — a bounded job queue with typed admission control
+//!   ([`queue::AdmissionError`]) and priority-then-FIFO ordering;
+//! * [`jobs`] — job records with streamed status transitions
+//!   (`Queued → Running → Done | Failed | TimedOut`);
+//! * [`cache`] — a content-addressed LRU result cache keyed by
+//!   [`JobSpec::spec_key`](eod_core::spec::JobSpec::spec_key), serving
+//!   hits as the stored `GroupResult` JSON byte-for-byte;
+//! * [`service`] — the worker pool wiring those together over
+//!   [`eod_harness::execute_spec`], plus the figure-batch path;
+//! * [`protocol`]/[`server`]/[`client`] — newline-delimited JSON over a
+//!   local TCP socket, driven by `eod serve` / `eod submit` /
+//!   `eod status`.
+//!
+//! Results served from the cache are sound because the runner reseeds the
+//! device noise stream per group from the spec's content alone — a cached
+//! result is bit-identical to what re-running the spec would produce.
+
+pub mod cache;
+pub mod client;
+pub mod jobs;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod service;
+
+pub use cache::{CacheStats, ResultCache};
+pub use client::{Client, ClientError, FigureOutput, JobOutcome};
+pub use jobs::{JobBoard, JobId, JobPhase, JobRecord};
+pub use queue::{AdmissionError, JobQueue};
+pub use server::Server;
+pub use service::{FigureOutcome, ServeConfig, Service};

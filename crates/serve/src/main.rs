@@ -7,6 +7,7 @@
 //! eod fig1|fig2a..fig2e|fig3a|fig3b|fig4|fig5|figures
 //! eod run <benchmark> <size> [-p P -d D]
 //! eod cov|autotune|schedule|list
+//! eod serve|submit|status|shutdown          (execution service)
 //! ```
 //!
 //! Options: `--paper` (full §4.3 constants: 2 s loops × 50 samples),
@@ -15,15 +16,20 @@
 
 use eod_clrt::prelude::*;
 // An explicit import outranks the glob: restore the two-parameter Result.
-use std::result::Result;
 use eod_core::args::{parse_arguments, DeviceSelector, ParsedArgs};
 use eod_core::sizes::ProblemSize;
+use eod_core::spec::{JobSpec, Priority};
 use eod_dwarfs::registry;
 use eod_harness::figures::{self, Figure};
 use eod_harness::{report, schedule, tables};
 use eod_harness::{Runner, RunnerConfig};
+use eod_serve::{Client, ServeConfig, Server, Service};
 use std::path::PathBuf;
+use std::result::Result;
 use std::time::Duration;
+
+/// Default service endpoint (0xE0D = 3597).
+const DEFAULT_ADDR: &str = "127.0.0.1:3597";
 
 struct Cli {
     command: String,
@@ -66,9 +72,7 @@ fn parse_cli() -> Result<Cli, String> {
             }
             "--out" => {
                 i += 1;
-                out_dir = Some(PathBuf::from(
-                    argv.get(i).ok_or("--out needs a directory")?,
-                ));
+                out_dir = Some(PathBuf::from(argv.get(i).ok_or("--out needs a directory")?));
             }
             _ => rest.push(argv[i].clone()),
         }
@@ -119,7 +123,13 @@ fn write_figure(fig: &Figure, out_dir: &Option<PathBuf>) -> Result<(), String> {
             std::fs::write(lsb_dir.join(writer.file_name()), writer.render(&g.regions))
                 .map_err(|e| e.to_string())?;
         }
-        eprintln!("wrote {}/{{{}_samples.csv,{}_summary.csv,{}.json}}", dir.display(), fig.id, fig.id, fig.id);
+        eprintln!(
+            "wrote {}/{{{}_samples.csv,{}_summary.csv,{}.json}}",
+            dir.display(),
+            fig.id,
+            fig.id,
+            fig.id
+        );
     }
     Ok(())
 }
@@ -165,7 +175,9 @@ fn workload_from_args(
     let parsed = parse_arguments(benchmark, args)
         .ok_or_else(|| format!("cannot parse {benchmark} arguments {args:?} (Table 3 grammar)"))?;
     Ok(match parsed {
-        ParsedArgs::Kmeans { points, features, .. } => Box::new(dw::kmeans::KmeansWorkload::new(
+        ParsedArgs::Kmeans {
+            points, features, ..
+        } => Box::new(dw::kmeans::KmeansWorkload::new(
             dw::kmeans::KmeansParams {
                 points,
                 features,
@@ -180,16 +192,21 @@ fn workload_from_args(
             seed,
         )),
         ParsedArgs::Fft { n } => Box::new(dw::fft::FftWorkload::new(n, seed)),
-        ParsedArgs::Dwt { levels, w, h } => {
-            Box::new(dw::dwt::DwtWorkload::new(dw::dwt::DwtParams { w, h, levels }, seed))
-        }
-        ParsedArgs::Srad { rows, cols, roi, .. } => {
-            Box::new(dw::srad::SradWorkload::new(dw::srad::SradParams { rows, cols, roi }, seed))
-        }
+        ParsedArgs::Dwt { levels, w, h } => Box::new(dw::dwt::DwtWorkload::new(
+            dw::dwt::DwtParams { w, h, levels },
+            seed,
+        )),
+        ParsedArgs::Srad {
+            rows, cols, roi, ..
+        } => Box::new(dw::srad::SradWorkload::new(
+            dw::srad::SradParams { rows, cols, roi },
+            seed,
+        )),
         ParsedArgs::Crc { bytes, .. } => Box::new(dw::crc::CrcWorkload::new(bytes, seed)),
-        ParsedArgs::Nw { n, penalty } => {
-            Box::new(dw::nw::NwWorkload::new(dw::nw::NwParams { n, penalty }, seed))
-        }
+        ParsedArgs::Nw { n, penalty } => Box::new(dw::nw::NwWorkload::new(
+            dw::nw::NwParams { n, penalty },
+            seed,
+        )),
         ParsedArgs::Gem { molecule } => {
             use eod_core::sizes::ScaleTable;
             let kib = ScaleTable::GEM_MOLECULES
@@ -212,7 +229,10 @@ fn workload_from_args(
 }
 
 fn cmd_run(cli: &Cli) -> Result<(), String> {
-    let benchmark = cli.args.first().ok_or("usage: eod run <benchmark> <size|--args \"…\">")?;
+    let benchmark = cli
+        .args
+        .first()
+        .ok_or("usage: eod run <benchmark> <size|--args \"…\">")?;
     // `--args "<table 3 string>"` overrides the size-based configuration.
     let custom_args = cli
         .args
@@ -252,8 +272,8 @@ fn cmd_run(cli: &Cli) -> Result<(), String> {
             .ok_or_else(|| format!("bad device selector {selector:?}"))?;
         Platform::select(sel.platform, sel.device).map_err(|e| e.to_string())?
     };
-    let bench =
-        registry::benchmark_by_name(benchmark).ok_or_else(|| format!("unknown benchmark {benchmark}"))?;
+    let bench = registry::benchmark_by_name(benchmark)
+        .ok_or_else(|| format!("unknown benchmark {benchmark}"))?;
     let runner = Runner::new(cli.config.clone());
     let g = if let Some(args) = custom_args {
         // Run the custom workload through a one-off Table-3 configuration.
@@ -262,7 +282,8 @@ fn cmd_run(cli: &Cli) -> Result<(), String> {
         let mut w = workload_from_args(benchmark, &args, cli.config.seed)?;
         w.setup(&ctx, &queue).map_err(|e| e.to_string())?;
         let out = w.run_iteration(&queue).map_err(|e| e.to_string())?;
-        w.verify(&queue).map_err(|e| format!("verification failed: {e}"))?;
+        w.verify(&queue)
+            .map_err(|e| format!("verification failed: {e}"))?;
         println!(
             "{benchmark} --args {args:?} on {}: verified, {} kernel launches, {:.4} ms kernel time",
             device.name(),
@@ -276,7 +297,13 @@ fn cmd_run(cli: &Cli) -> Result<(), String> {
     let s = g.time_summary();
     println!(
         "{} {} on {} [{}]: verified={} launches/iter={} footprint={} B",
-        g.benchmark, g.size, g.device, g.class, g.verified, g.launches_per_iteration, g.footprint_bytes
+        g.benchmark,
+        g.size,
+        g.device,
+        g.class,
+        g.verified,
+        g.launches_per_iteration,
+        g.footprint_bytes
     );
     println!(
         "kernel time: median {:.4} ms  mean {:.4} ms  CoV {:.3}  (n = {})",
@@ -285,7 +312,10 @@ fn cmd_run(cli: &Cli) -> Result<(), String> {
         s.cov(),
         s.n
     );
-    println!("setup {:.3} ms, transfers {:.3} ms", g.setup_ms, g.transfer_ms);
+    println!(
+        "setup {:.3} ms, transfers {:.3} ms",
+        g.setup_ms, g.transfer_ms
+    );
     if let Some(c) = &g.counters {
         println!("counters:");
         for (e, v) in c.iter() {
@@ -308,9 +338,17 @@ fn cmd_cov(cli: &Cli) -> Result<(), String> {
     let bench = registry::benchmark_by_name("srad").expect("srad exists");
     println!("| device | clock (MHz) | CoV |\n|---|---:|---:|");
     for device in runner.simulated_devices() {
-        let clock = device.sim_id().map(|id| id.spec().best_clock_mhz()).unwrap_or(0);
+        let clock = device
+            .sim_id()
+            .map(|id| id.spec().best_clock_mhz())
+            .unwrap_or(0);
         let g = runner.run_group(bench.as_ref(), ProblemSize::Tiny, device)?;
-        println!("| {} | {} | {:.4} |", g.device, clock, g.time_summary().cov());
+        println!(
+            "| {} | {} | {:.4} |",
+            g.device,
+            clock,
+            g.time_summary().cov()
+        );
     }
     Ok(())
 }
@@ -371,7 +409,11 @@ fn cmd_ideal(cli: &Cli) -> Result<(), String> {
                 "| {} | {} | {} | {:.5} | {:.5} | {:.1} % |",
                 profile.name,
                 name,
-                if ideal.compute_bound { "compute" } else { "memory" },
+                if ideal.compute_bound {
+                    "compute"
+                } else {
+                    "memory"
+                },
                 ideal.ideal_s * 1e3,
                 cost.total_s * 1e3,
                 roofline::attained_fraction(id.spec(), &profile, cost.total_s) * 100.0
@@ -410,12 +452,18 @@ fn cmd_ablation() -> Result<(), String> {
     let gtx = DeviceModel::new(eod_devsim::catalog::DeviceId::by_name("GTX 1080").unwrap());
     let r9 = DeviceModel::new(eod_devsim::catalog::DeviceId::by_name("R9 290X").unwrap());
 
-    println!("CPU/GPU and AMD ratios under single-term ablation (ratio >1 ⇒ first device slower):\n");
+    println!(
+        "CPU/GPU and AMD ratios under single-term ablation (ratio >1 ⇒ first device slower):\n"
+    );
     println!("| ablated term | crc i7/GTX | nw R9/GTX | srad i7/GTX |");
     println!("|---|---:|---:|---:|");
-    let mut configs: Vec<(String, ModelAblation)> = vec![("(full model)".into(), ModelAblation::full())];
+    let mut configs: Vec<(String, ModelAblation)> =
+        vec![("(full model)".into(), ModelAblation::full())];
     for &t in ModelAblation::terms() {
-        configs.push((format!("− {t}"), ModelAblation::without(t).expect("known term")));
+        configs.push((
+            format!("− {t}"),
+            ModelAblation::without(t).expect("known term"),
+        ));
     }
     configs.push(("bare roofline".into(), ModelAblation::bare_roofline()));
     for (label, ab) in configs {
@@ -435,8 +483,12 @@ fn cmd_autotune() -> Result<(), String> {
     let ctx = Context::new(Device::native());
     let queue = CommandQueue::new(&ctx).with_profiling();
     let n = 1 << 20;
-    let x = ctx.create_buffer_from(&vec![1.0f32; n]).map_err(|e| e.to_string())?;
-    let y = ctx.create_buffer_from(&vec![2.0f32; n]).map_err(|e| e.to_string())?;
+    let x = ctx
+        .create_buffer_from(&vec![1.0f32; n])
+        .map_err(|e| e.to_string())?;
+    let y = ctx
+        .create_buffer_from(&vec![2.0f32; n])
+        .map_err(|e| e.to_string())?;
     let k = ClosureKernel::new("saxpy", n as u64, {
         let (x, y) = (x.view(), y.view());
         move |item: &WorkItem| {
@@ -454,7 +506,10 @@ fn cmd_autotune() -> Result<(), String> {
     println!("auto-tuning saxpy ({n} items) on the native backend:");
     for (local, t) in &r.measurements {
         let marker = if *local == r.best { "  ← best" } else { "" };
-        println!("  local {local:>4}: {:>10.1} µs{marker}", t.as_secs_f64() * 1e6);
+        println!(
+            "  local {local:>4}: {:>10.1} µs{marker}",
+            t.as_secs_f64() * 1e6
+        );
     }
     println!("speedup over local={}: {:.2}×", candidates[0], r.speedup());
     Ok(())
@@ -482,6 +537,218 @@ fn cmd_schedule(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    match flag_value(args, flag) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{flag} needs a number")),
+    }
+}
+
+fn serve_addr(args: &[String]) -> String {
+    flag_value(args, "--addr").unwrap_or_else(|| DEFAULT_ADDR.to_string())
+}
+
+fn cmd_serve(cli: &Cli) -> Result<(), String> {
+    let addr = serve_addr(&cli.args);
+    let mut cfg = ServeConfig {
+        runner: cli.config.clone(),
+        ..ServeConfig::default()
+    };
+    if let Some(w) = parse_flag(&cli.args, "--workers")? {
+        cfg.workers = w;
+    }
+    if let Some(q) = parse_flag(&cli.args, "--queue-cap")? {
+        cfg.queue_capacity = q;
+    }
+    if let Some(c) = parse_flag(&cli.args, "--cache-cap")? {
+        cfg.cache_capacity = c;
+    }
+    let (workers, queue_cap, cache_cap) = (cfg.workers, cfg.queue_capacity, cfg.cache_capacity);
+    let service = Service::start(cfg);
+    let server = Server::bind(service, &addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "eod-serve listening on {} ({workers} workers, queue \u{2264} {queue_cap}, cache \u{2264} {cache_cap})",
+        server.local_addr()
+    );
+    server.run().map_err(|e| e.to_string())
+}
+
+/// Median of the `kernel_ms` samples in a stored `GroupResult` JSON.
+fn median_kernel_ms(json: &str) -> Option<f64> {
+    let v: serde::Value = serde_json::from_str(json).ok()?;
+    let serde::Value::Seq(samples) = v.get_field("kernel_ms") else {
+        return None;
+    };
+    let mut xs: Vec<f64> = samples
+        .iter()
+        .filter_map(|s| match s {
+            serde::Value::F64(f) => Some(*f),
+            serde::Value::I64(i) => Some(*i as f64),
+            serde::Value::U64(u) => Some(*u as f64),
+            _ => None,
+        })
+        .collect();
+    if xs.is_empty() {
+        return None;
+    }
+    xs.sort_by(f64::total_cmp);
+    let mid = xs.len() / 2;
+    Some(if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        0.5 * (xs[mid - 1] + xs[mid])
+    })
+}
+
+fn cmd_submit(cli: &Cli) -> Result<(), String> {
+    let addr = serve_addr(&cli.args);
+    let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+    if let Some(fig) = flag_value(&cli.args, "--fig") {
+        let out = client.figure(&fig).map_err(|e| e.to_string())?;
+        // Match the direct figure commands' trailing newline exactly.
+        println!("{}", out.rendered);
+        eprintln!(
+            "batch: {} jobs, {} cache hits, {} misses",
+            out.jobs, out.cache_hits, out.cache_misses
+        );
+        return Ok(());
+    }
+    let value_flags = ["--addr", "--device", "--timeout-ms"];
+    let bool_flags = ["--high", "--no-wait"];
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < cli.args.len() {
+        let a = cli.args[i].as_str();
+        if value_flags.contains(&a) {
+            i += 2;
+        } else if bool_flags.contains(&a) {
+            i += 1;
+        } else {
+            positional.push(cli.args[i].clone());
+            i += 1;
+        }
+    }
+    let benchmark = positional.first().ok_or(
+        "usage: eod submit <benchmark> [size] [--device NAME] [--high] [--timeout-ms T] \
+         [--no-wait] [--addr HOST:PORT]  |  eod submit --fig <figN>",
+    )?;
+    let size = positional
+        .get(1)
+        .and_then(|s| ProblemSize::parse(s))
+        .unwrap_or(ProblemSize::Tiny);
+    let device = flag_value(&cli.args, "--device").unwrap_or_else(|| "i7-6700K".to_string());
+    let mut exec = cli.config.to_exec();
+    if let Some(ms) = parse_flag::<u64>(&cli.args, "--timeout-ms")? {
+        exec.timeout = Some(Duration::from_millis(ms));
+    }
+    let spec = JobSpec {
+        benchmark: benchmark.clone(),
+        size,
+        device,
+        config: exec,
+    };
+    let priority = if has_flag(&cli.args, "--high") {
+        Priority::High
+    } else {
+        Priority::Normal
+    };
+    if has_flag(&cli.args, "--no-wait") {
+        let (job, key, state, cached) =
+            client.submit(&spec, priority).map_err(|e| e.to_string())?;
+        println!(
+            "job {job} [{key}] {state}{}",
+            if cached { " (cache hit)" } else { "" }
+        );
+        return Ok(());
+    }
+    let outcome = client
+        .submit_wait(&spec, priority)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "job {} [{}]: {}",
+        outcome.job,
+        outcome.key,
+        outcome.transitions.join(" → ")
+    );
+    if outcome.state == "done" {
+        let median = outcome
+            .group
+            .as_deref()
+            .and_then(median_kernel_ms)
+            .map(|m| format!(", median {m:.4} ms"))
+            .unwrap_or_default();
+        println!(
+            "{} {} on {}: done{}{median}",
+            spec.benchmark,
+            spec.size.label(),
+            spec.device,
+            if outcome.cached { " (cache hit)" } else { "" }
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "job {} {}: {}",
+            outcome.job,
+            outcome.state,
+            outcome.error.unwrap_or_default()
+        ))
+    }
+}
+
+fn cmd_status(cli: &Cli) -> Result<(), String> {
+    let addr = serve_addr(&cli.args);
+    let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+    if let Some(id) = cli.args.iter().find_map(|a| a.parse::<u64>().ok()) {
+        let o = client.status(id).map_err(|e| e.to_string())?;
+        println!(
+            "job {} [{}] {}{}{}",
+            o.job,
+            o.key,
+            o.state,
+            if o.cached { " (cache hit)" } else { "" },
+            o.error.map(|e| format!(": {e}")).unwrap_or_default()
+        );
+        return Ok(());
+    }
+    let jobs = client.list().map_err(|e| e.to_string())?;
+    let (cache, queued, workers) = client.stats().map_err(|e| e.to_string())?;
+    println!("| job | key | benchmark | size | device | state | cached |");
+    println!("|---:|---|---|---|---|---|---|");
+    for j in jobs {
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} |",
+            j.job, j.key, j.benchmark, j.size, j.device, j.state, j.cached
+        );
+    }
+    println!(
+        "\ncache: {} hits, {} misses, {}/{} entries; queued {}; workers {}",
+        cache.hits, cache.misses, cache.entries, cache.capacity, queued, workers
+    );
+    Ok(())
+}
+
+fn cmd_shutdown(cli: &Cli) -> Result<(), String> {
+    let addr = serve_addr(&cli.args);
+    let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+    client.shutdown().map_err(|e| e.to_string())?;
+    println!("server at {addr} stopping");
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let cli = parse_cli()?;
     let runner = Runner::new(cli.config.clone());
@@ -490,12 +757,22 @@ fn run() -> Result<(), String> {
             println!("benchmarks (the paper's eleven):");
             for b in registry::all_benchmarks() {
                 let sizes: Vec<_> = b.supported_sizes().iter().map(|s| s.label()).collect();
-                println!("  {:<8} {:<28} sizes: {}", b.name(), b.dwarf().name(), sizes.join(","));
+                println!(
+                    "  {:<8} {:<28} sizes: {}",
+                    b.name(),
+                    b.dwarf().name(),
+                    sizes.join(",")
+                );
             }
             println!("extensions:");
             for b in registry::extension_benchmarks() {
                 let sizes: Vec<_> = b.supported_sizes().iter().map(|s| s.label()).collect();
-                println!("  {:<8} {:<28} sizes: {}", b.name(), b.dwarf().name(), sizes.join(","));
+                println!(
+                    "  {:<8} {:<28} sizes: {}",
+                    b.name(),
+                    b.dwarf().name(),
+                    sizes.join(",")
+                );
             }
             println!("\nplatforms:");
             for (p, platform) in Platform::all().iter().enumerate() {
@@ -543,13 +820,20 @@ fn run() -> Result<(), String> {
         "ideal" => cmd_ideal(&cli)?,
         "autotune" => cmd_autotune()?,
         "schedule" => cmd_schedule(&cli)?,
-        "help" | _ => {
+        "serve" => cmd_serve(&cli)?,
+        "submit" => cmd_submit(&cli)?,
+        "status" => cmd_status(&cli)?,
+        "shutdown" => cmd_shutdown(&cli)?,
+        _ => {
             println!(
                 "usage: eod <command> [--paper|--quick] [--samples N] [--seed S] [--loop-ms M] [--out DIR]\n\
                  commands: list table1 table2 table3 sizing power\n\
                  \u{20}         fig1 fig2a..fig2e fig3a fig3b fig4 fig5 figures\n\
                  \u{20}         run <benchmark> <size> [-p P -d D -t T]\n\
-                 \u{20}         cov cachesim aiwc ideal ablation autotune schedule"
+                 \u{20}         cov cachesim aiwc ideal ablation autotune schedule\n\
+                 \u{20}         serve [--addr A --workers N --queue-cap N --cache-cap N]\n\
+                 \u{20}         submit <benchmark> [size] [--device D --high --timeout-ms T --no-wait]\n\
+                 \u{20}         submit --fig <figN>   status [job]   shutdown   [--addr HOST:PORT]"
             );
         }
     }

@@ -1,0 +1,303 @@
+//! The wire protocol: newline-delimited JSON over a local TCP socket.
+//!
+//! Every line is one serialized [`Request`] (client → server) or
+//! [`Response`] (server → client). A `Submit` with `wait: true` is
+//! answered by an `Accepted` line, then one `Status` line per state
+//! transition as it happens, then a final `Result` line — the streaming
+//! contract. All refusals and failures arrive as typed `Error` responses
+//! with a machine-readable `code`.
+
+use crate::cache::CacheStats;
+use crate::jobs::{JobRecord, Snapshot};
+use crate::queue::AdmissionError;
+use eod_core::spec::{JobSpec, Priority};
+use serde::{Deserialize, Serialize};
+
+/// Error codes carried by [`Response::Error`].
+pub mod codes {
+    /// The queue refused the job: at capacity.
+    pub const QUEUE_FULL: &str = "queue_full";
+    /// The service is shutting down.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// The request line did not parse or named something unknown.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// No job with the requested id.
+    pub const UNKNOWN_JOB: &str = "unknown_job";
+    /// A figure batch could not complete.
+    pub const FIGURE_FAILED: &str = "figure_failed";
+}
+
+/// A client request, one per line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Submit one job. With `wait`, the connection streams status
+    /// transitions and ends the exchange with a `Result` line.
+    Submit {
+        /// What to run.
+        spec: JobSpec,
+        /// Queue priority.
+        priority: Priority,
+        /// Stream transitions until terminal instead of returning after
+        /// admission.
+        wait: bool,
+    },
+    /// Ask for one job's status (`job` set) or a listing of all jobs.
+    Status {
+        /// Job id, or `None` for all jobs.
+        job: Option<u64>,
+    },
+    /// Run a whole figure (e.g. `"fig2a"`) through the queue and return
+    /// its rendering plus the batch's cache economy.
+    Figure {
+        /// Figure id.
+        id: String,
+    },
+    /// Cache and queue counters.
+    Stats,
+    /// Stop the service: drain workers, then stop accepting connections.
+    Shutdown,
+}
+
+/// One job in a `Status` listing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobInfo {
+    /// Job id.
+    pub job: u64,
+    /// Spec content address.
+    pub key: String,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Problem-size label.
+    pub size: String,
+    /// Device name.
+    pub device: String,
+    /// Phase, as its display string (`queued`, `running`, `done`,
+    /// `failed`, `timed-out`).
+    pub state: String,
+    /// Whether the result came from the cache.
+    pub cached: bool,
+    /// Terminal error message, if any.
+    pub error: Option<String>,
+}
+
+impl JobInfo {
+    /// Summarize a record at its current state.
+    pub fn of(rec: &JobRecord) -> Self {
+        let snap = rec.snapshot();
+        Self {
+            job: rec.id,
+            key: rec.key.clone(),
+            benchmark: rec.spec.benchmark.clone(),
+            size: rec.spec.size.label().to_string(),
+            device: rec.spec.device.clone(),
+            state: snap.phase.to_string(),
+            cached: snap.cached,
+            error: snap.error,
+        }
+    }
+}
+
+/// A server response, one per line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// The job was admitted (or answered from the cache, `state: done`).
+    Accepted {
+        /// Assigned job id.
+        job: u64,
+        /// Spec content address.
+        key: String,
+        /// Phase at admission.
+        state: String,
+        /// Whether the cache answered immediately.
+        cached: bool,
+    },
+    /// One state transition of a waited-on job.
+    Status {
+        /// Job id.
+        job: u64,
+        /// New phase.
+        state: String,
+    },
+    /// Terminal outcome of a waited-on or queried job.
+    Result {
+        /// Job id.
+        job: u64,
+        /// Spec content address.
+        key: String,
+        /// Terminal phase.
+        state: String,
+        /// Whether the result came from the cache.
+        cached: bool,
+        /// The stored `GroupResult` JSON, verbatim (`done` only).
+        group: Option<String>,
+        /// Error message (`failed`/`timed-out` only).
+        error: Option<String>,
+    },
+    /// Listing for `Status { job: None }`.
+    Jobs {
+        /// All jobs in submission order.
+        jobs: Vec<JobInfo>,
+    },
+    /// A completed figure batch.
+    Figure {
+        /// Figure id.
+        id: String,
+        /// ASCII rendering, identical to the direct CLI path's.
+        rendered: String,
+        /// Groups in the batch.
+        jobs: u64,
+        /// Batch lookups answered from the cache.
+        cache_hits: u64,
+        /// Batch lookups that required execution.
+        cache_misses: u64,
+    },
+    /// Counters for `Stats`.
+    Stats {
+        /// Cache counters.
+        cache: CacheStats,
+        /// Jobs awaiting a worker.
+        queued: u64,
+        /// Worker threads.
+        workers: u64,
+    },
+    /// A typed refusal or failure; `code` is one of [`codes`].
+    Error {
+        /// Machine-readable code.
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Acknowledgement of `Shutdown`.
+    Bye,
+}
+
+impl Response {
+    /// The typed refusal for a queue admission error.
+    pub fn admission_error(e: AdmissionError) -> Self {
+        Response::Error {
+            code: match e {
+                AdmissionError::QueueFull { .. } => codes::QUEUE_FULL.to_string(),
+                AdmissionError::ShuttingDown => codes::SHUTTING_DOWN.to_string(),
+            },
+            message: e.to_string(),
+        }
+    }
+
+    /// The terminal `Result` line for a job snapshot.
+    pub fn result_of(rec: &JobRecord, snap: &Snapshot) -> Self {
+        Response::Result {
+            job: rec.id,
+            key: rec.key.clone(),
+            state: snap.phase.to_string(),
+            cached: snap.cached,
+            group: snap.json.clone(),
+            error: snap.error.clone(),
+        }
+    }
+}
+
+/// Serialize one protocol line (no trailing newline).
+pub fn encode<T: Serialize>(msg: &T) -> String {
+    serde_json::to_string(msg).expect("protocol types always serialize")
+}
+
+/// Parse one protocol line.
+pub fn decode<T: Deserialize>(line: &str) -> Result<T, String> {
+    serde_json::from_str::<T>(line.trim()).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eod_core::sizes::ProblemSize;
+    use eod_core::spec::ExecConfig;
+    use std::time::Duration;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            benchmark: "fft".into(),
+            size: ProblemSize::Small,
+            device: "native".into(),
+            config: ExecConfig {
+                samples: 2,
+                min_loop: Duration::from_micros(10),
+                max_iters_per_sample: 2,
+                verify: true,
+                real_execution: true,
+                energy_all_devices: false,
+                seed: 9,
+                timeout: Some(Duration::from_secs(30)),
+            },
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Submit {
+                spec: spec(),
+                priority: Priority::High,
+                wait: true,
+            },
+            Request::Status { job: Some(3) },
+            Request::Status { job: None },
+            Request::Figure { id: "fig2a".into() },
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            let line = encode(&req);
+            assert!(!line.contains('\n'), "one request per line");
+            let back: Request = decode(&line).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Accepted {
+                job: 1,
+                key: "abc".into(),
+                state: "queued".into(),
+                cached: false,
+            },
+            Response::Result {
+                job: 1,
+                key: "abc".into(),
+                state: "done".into(),
+                cached: true,
+                group: Some("{\"kernel_ms\":[1.0]}".into()),
+                error: None,
+            },
+            Response::Error {
+                code: codes::QUEUE_FULL.into(),
+                message: "queue full (2 jobs waiting)".into(),
+            },
+            Response::Bye,
+        ] {
+            let back: Response = decode(&encode(&resp)).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn admission_errors_map_to_codes() {
+        let Response::Error { code, .. } =
+            Response::admission_error(AdmissionError::QueueFull { capacity: 4 })
+        else {
+            panic!("expected error response");
+        };
+        assert_eq!(code, codes::QUEUE_FULL);
+        let Response::Error { code, .. } = Response::admission_error(AdmissionError::ShuttingDown)
+        else {
+            panic!("expected error response");
+        };
+        assert_eq!(code, codes::SHUTTING_DOWN);
+    }
+
+    #[test]
+    fn garbage_lines_are_typed_errors() {
+        assert!(decode::<Request>("{not json").is_err());
+        assert!(decode::<Request>("{\"Nope\":{}}").is_err());
+    }
+}

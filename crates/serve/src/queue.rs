@@ -1,0 +1,183 @@
+//! Bounded, priority-aware job queue.
+//!
+//! Admission control is typed: a full queue refuses new work with
+//! [`AdmissionError::QueueFull`] instead of blocking or growing without
+//! bound, and a closed queue refuses with [`AdmissionError::ShuttingDown`].
+//! Within the bound, [`Priority::High`] jobs are popped before every
+//! queued [`Priority::Normal`] job; jobs of equal priority leave in
+//! submission (FIFO) order.
+
+use eod_core::spec::Priority;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+
+/// Why a submission was refused at the queue boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The queue already holds `capacity` jobs awaiting a worker.
+    QueueFull {
+        /// The configured bound that was hit.
+        capacity: usize,
+    },
+    /// The service is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::QueueFull { capacity } => {
+                write!(f, "queue full ({capacity} jobs waiting)")
+            }
+            AdmissionError::ShuttingDown => f.write_str("service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+struct QueueState<T> {
+    high: VecDeque<T>,
+    normal: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> QueueState<T> {
+    fn len(&self) -> usize {
+        self.high.len() + self.normal.len()
+    }
+}
+
+/// A bounded two-level FIFO shared between submitters and workers.
+pub struct JobQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// An open queue holding at most `capacity` jobs.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                high: VecDeque::new(),
+                normal: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently awaiting a worker.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().len()
+    }
+
+    /// Whether no jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admit a job, or refuse with a typed error.
+    pub fn push(&self, item: T, priority: Priority) -> Result<(), AdmissionError> {
+        let mut s = self.state.lock().unwrap();
+        if s.closed {
+            return Err(AdmissionError::ShuttingDown);
+        }
+        if s.len() >= self.capacity {
+            return Err(AdmissionError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        match priority {
+            Priority::High => s.high.push_back(item),
+            Priority::Normal => s.normal.push_back(item),
+        }
+        drop(s);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Block until a job is available and take it; `None` once the queue is
+    /// closed and drained (the worker-exit signal).
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = s.high.pop_front().or_else(|| s.normal.pop_front()) {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.ready.wait(s).unwrap();
+        }
+    }
+
+    /// Stop admitting; workers drain what is queued and then exit.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_priority_high_first() {
+        let q = JobQueue::new(8);
+        q.push("n1", Priority::Normal).unwrap();
+        q.push("h1", Priority::High).unwrap();
+        q.push("n2", Priority::Normal).unwrap();
+        q.push("h2", Priority::High).unwrap();
+        q.close();
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, ["h1", "h2", "n1", "n2"]);
+    }
+
+    #[test]
+    fn admission_is_bounded_and_typed() {
+        let q = JobQueue::new(2);
+        q.push(1, Priority::Normal).unwrap();
+        q.push(2, Priority::High).unwrap();
+        assert_eq!(
+            q.push(3, Priority::High),
+            Err(AdmissionError::QueueFull { capacity: 2 })
+        );
+        assert_eq!(q.len(), 2);
+        q.pop();
+        q.push(3, Priority::Normal).unwrap();
+    }
+
+    #[test]
+    fn closed_queue_refuses_then_drains() {
+        let q = JobQueue::new(4);
+        q.push(7, Priority::Normal).unwrap();
+        q.close();
+        assert_eq!(
+            q.push(8, Priority::Normal),
+            Err(AdmissionError::ShuttingDown)
+        );
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        use std::sync::Arc;
+        let q = Arc::new(JobQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(42, Priority::Normal).unwrap();
+        assert_eq!(popper.join().unwrap(), Some(42));
+    }
+}

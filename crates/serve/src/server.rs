@@ -1,0 +1,191 @@
+//! The TCP front end: accept loop and per-connection request handling.
+//!
+//! Connections speak the newline-delimited JSON protocol from
+//! [`crate::protocol`]. Each connection gets its own thread; the service
+//! itself bounds concurrency at the queue and worker pool, so connection
+//! threads only ever block on I/O or on job-transition waits.
+
+use crate::protocol::{codes, decode, encode, JobInfo, Request, Response};
+use crate::service::Service;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A bound listener ready to serve a [`Service`].
+pub struct Server {
+    service: Arc<Service>,
+    listener: TcpListener,
+    addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind to `addr` (e.g. `127.0.0.1:0` for an ephemeral test port).
+    pub fn bind(service: Arc<Service>, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Self {
+            service,
+            listener,
+            addr,
+            stopping: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (reports the ephemeral port after `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Accept and serve connections until a client sends `Shutdown`, then
+    /// drain the workers and return.
+    pub fn run(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.stopping.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let service = Arc::clone(&self.service);
+            let stopping = Arc::clone(&self.stopping);
+            let addr = self.addr;
+            let _ = std::thread::Builder::new()
+                .name("eod-serve-conn".to_string())
+                .spawn(move || {
+                    let _ = handle_connection(&service, stream, &stopping, addr);
+                });
+        }
+        self.service.shutdown();
+        Ok(())
+    }
+}
+
+fn send(out: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    out.write_all(encode(resp).as_bytes())?;
+    out.write_all(b"\n")?;
+    out.flush()
+}
+
+fn handle_connection(
+    service: &Service,
+    stream: TcpStream,
+    stopping: &AtomicBool,
+    addr: SocketAddr,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = match decode::<Request>(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                send(
+                    &mut out,
+                    &Response::Error {
+                        code: codes::BAD_REQUEST.to_string(),
+                        message: e,
+                    },
+                )?;
+                continue;
+            }
+        };
+        match req {
+            Request::Submit {
+                spec,
+                priority,
+                wait,
+            } => match service.submit(spec, priority) {
+                Err(e) => send(&mut out, &Response::admission_error(e))?,
+                Ok(rec) => {
+                    let mut snap = rec.snapshot();
+                    send(
+                        &mut out,
+                        &Response::Accepted {
+                            job: rec.id,
+                            key: rec.key.clone(),
+                            state: snap.phase.to_string(),
+                            cached: snap.cached,
+                        },
+                    )?;
+                    if wait {
+                        // Stream every transition, then the terminal line.
+                        let mut seen = snap.phase;
+                        while !snap.phase.is_terminal() {
+                            snap = rec.wait_change(seen);
+                            seen = snap.phase;
+                            send(
+                                &mut out,
+                                &Response::Status {
+                                    job: rec.id,
+                                    state: snap.phase.to_string(),
+                                },
+                            )?;
+                        }
+                        send(&mut out, &Response::result_of(&rec, &snap))?;
+                    }
+                }
+            },
+            Request::Status { job: Some(id) } => match service.job(id) {
+                None => send(
+                    &mut out,
+                    &Response::Error {
+                        code: codes::UNKNOWN_JOB.to_string(),
+                        message: format!("no job {id}"),
+                    },
+                )?,
+                Some(rec) => {
+                    let snap = rec.snapshot();
+                    send(&mut out, &Response::result_of(&rec, &snap))?
+                }
+            },
+            Request::Status { job: None } => {
+                let jobs = service.jobs().iter().map(|r| JobInfo::of(r)).collect();
+                send(&mut out, &Response::Jobs { jobs })?;
+            }
+            Request::Figure { id } => match service.run_figure(&id) {
+                Ok(outcome) => send(
+                    &mut out,
+                    &Response::Figure {
+                        id,
+                        rendered: outcome.figure.render_ascii(),
+                        jobs: outcome.jobs,
+                        cache_hits: outcome.cache_hits,
+                        cache_misses: outcome.cache_misses,
+                    },
+                )?,
+                Err(message) => send(
+                    &mut out,
+                    &Response::Error {
+                        code: codes::FIGURE_FAILED.to_string(),
+                        message,
+                    },
+                )?,
+            },
+            Request::Stats => {
+                let cache = service.cache_stats();
+                send(
+                    &mut out,
+                    &Response::Stats {
+                        cache,
+                        queued: service.queued() as u64,
+                        workers: service.config().workers as u64,
+                    },
+                )?;
+            }
+            Request::Shutdown => {
+                send(&mut out, &Response::Bye)?;
+                stopping.store(true, Ordering::SeqCst);
+                // Wake the accept loop so it observes the flag.
+                let _ = TcpStream::connect(addr);
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}

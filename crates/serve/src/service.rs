@@ -1,0 +1,247 @@
+//! The execution service: admission → queue → worker pool → cache.
+//!
+//! [`Service::submit`] is the one write path. It content-addresses the
+//! spec, answers `Done` immediately on a cache hit, and otherwise admits
+//! the job to the bounded queue where one of the pool's workers picks it
+//! up, runs it through [`eod_harness::execute_spec`] (the same path the
+//! direct CLI uses), stores the result, and publishes the transition.
+//! Workers never propagate panics or errors past the job record: every
+//! failure lands as a typed terminal state the client can read.
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::jobs::{JobBoard, JobId, JobRecord};
+use crate::queue::{AdmissionError, JobQueue};
+use eod_core::spec::{JobSpec, Priority};
+use eod_harness::figures::{self, Figure};
+use eod_harness::{RunnerConfig, RunnerError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Service sizing and execution defaults.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing jobs concurrently.
+    pub workers: usize,
+    /// Queue admission bound.
+    pub queue_capacity: usize,
+    /// Result-cache entry bound.
+    pub cache_capacity: usize,
+    /// Runner configuration used for figure batches (individual submits
+    /// carry their own [`eod_core::spec::ExecConfig`]).
+    pub runner: RunnerConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 256,
+            cache_capacity: 1024,
+            runner: RunnerConfig::quick(),
+        }
+    }
+}
+
+/// A figure executed through the service, with the batch's cache economy.
+#[derive(Debug, Clone)]
+pub struct FigureOutcome {
+    /// The assembled figure, identical (in its deterministic fields) to
+    /// the direct path's.
+    pub figure: Figure,
+    /// Groups in the batch.
+    pub jobs: u64,
+    /// Batch lookups answered from the cache.
+    pub cache_hits: u64,
+    /// Batch lookups that required execution.
+    pub cache_misses: u64,
+}
+
+/// The running service. Create with [`Service::start`]; share via `Arc`.
+pub struct Service {
+    config: ServeConfig,
+    queue: JobQueue<Arc<JobRecord>>,
+    cache: ResultCache,
+    board: JobBoard,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Start the worker pool and return the shared service handle.
+    pub fn start(config: ServeConfig) -> Arc<Self> {
+        let workers = config.workers.max(1);
+        let svc = Arc::new(Self {
+            queue: JobQueue::new(config.queue_capacity),
+            cache: ResultCache::new(config.cache_capacity),
+            board: JobBoard::new(),
+            workers: Mutex::new(Vec::new()),
+            config,
+        });
+        let mut handles = svc.workers.lock().unwrap();
+        for i in 0..workers {
+            let svc = Arc::clone(&svc);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("eod-serve-worker-{i}"))
+                    .spawn(move || svc.worker_loop())
+                    .expect("spawn worker"),
+            );
+        }
+        drop(handles);
+        svc
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Submit one job. Cache hits return an already-`Done` record; misses
+    /// return a `Queued` record, or a typed refusal when the queue is full
+    /// or the service is stopping.
+    pub fn submit(
+        &self,
+        spec: JobSpec,
+        priority: Priority,
+    ) -> Result<Arc<JobRecord>, AdmissionError> {
+        self.submit_inner(spec, priority, false)
+    }
+
+    /// Like [`Self::submit`] but waits out a full queue instead of
+    /// refusing — backpressure for the trusted in-process figure batch,
+    /// never for protocol clients.
+    fn submit_backpressured(
+        &self,
+        spec: JobSpec,
+        priority: Priority,
+    ) -> Result<Arc<JobRecord>, AdmissionError> {
+        self.submit_inner(spec, priority, true)
+    }
+
+    fn submit_inner(
+        &self,
+        spec: JobSpec,
+        priority: Priority,
+        backpressure: bool,
+    ) -> Result<Arc<JobRecord>, AdmissionError> {
+        let rec = self.board.create(spec, priority);
+        // One counted lookup per submission, however many push retries the
+        // backpressure loop needs.
+        if let Some((json, result)) = self.cache.get(&rec.key) {
+            rec.set_done(json, result, true);
+            return Ok(rec);
+        }
+        loop {
+            match self.queue.push(Arc::clone(&rec), priority) {
+                Ok(()) => return Ok(rec),
+                Err(AdmissionError::QueueFull { .. }) if backpressure => {
+                    std::thread::sleep(Duration::from_millis(2));
+                    // An identical job may have finished while we waited.
+                    if let Some((json, result)) = self.cache.peek(&rec.key) {
+                        rec.set_done(json, result, true);
+                        return Ok(rec);
+                    }
+                }
+                Err(e) => {
+                    self.board.forget(rec.id);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    fn worker_loop(&self) {
+        while let Some(rec) = self.queue.pop() {
+            rec.set_running();
+            // An identical job may have completed while this one queued;
+            // answer from the store without re-executing. peek() keeps the
+            // hit/miss counters honest — the miss was already counted at
+            // submission.
+            if let Some((json, result)) = self.cache.peek(&rec.key) {
+                rec.set_done(json, result, true);
+                continue;
+            }
+            match eod_harness::execute_spec(&rec.spec) {
+                Ok(group) => match serde_json::to_string(&group) {
+                    Ok(json) => {
+                        let result = Arc::new(group);
+                        self.cache
+                            .insert(rec.key.clone(), json.clone(), Arc::clone(&result));
+                        rec.set_done(json, result, false);
+                    }
+                    Err(e) => rec.set_failed(format!("result serialization: {e}"), false),
+                },
+                Err(e @ RunnerError::TimedOut { .. }) => rec.set_failed(e.to_string(), true),
+                Err(e) => rec.set_failed(e.to_string(), false),
+            }
+        }
+    }
+
+    /// Look up a job by id.
+    pub fn job(&self, id: JobId) -> Option<Arc<JobRecord>> {
+        self.board.get(id)
+    }
+
+    /// All jobs in submission order.
+    pub fn jobs(&self) -> Vec<Arc<JobRecord>> {
+        self.board.all()
+    }
+
+    /// Cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Jobs awaiting a worker.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Run a whole figure through the queue: one job per measurement
+    /// group, assembled back into the figure's panel structure. Repeat
+    /// submissions are answered from the cache group by group.
+    pub fn run_figure(&self, id: &str) -> Result<FigureOutcome, String> {
+        let plan = figures::figure_plan(id, &self.config.runner)?;
+        let before = self.cache.stats();
+        let records: Vec<Arc<JobRecord>> = plan
+            .specs()
+            .map(|spec| {
+                self.submit_backpressured(spec.clone(), Priority::Normal)
+                    .map_err(|e| format!("{id}: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut results = Vec::with_capacity(records.len());
+        for rec in &records {
+            let snap = rec.wait_terminal();
+            match snap.result {
+                Some(r) => results.push((*r).clone()),
+                None => {
+                    return Err(format!(
+                        "{id}: group {} {} on {} {}: {}",
+                        rec.spec.benchmark,
+                        rec.spec.size.label(),
+                        rec.spec.device,
+                        snap.phase,
+                        snap.error.unwrap_or_default()
+                    ))
+                }
+            }
+        }
+        let after = self.cache.stats();
+        Ok(FigureOutcome {
+            figure: plan.assemble(results)?,
+            jobs: plan.job_count() as u64,
+            cache_hits: after.hits - before.hits,
+            cache_misses: after.misses - before.misses,
+        })
+    }
+
+    /// Stop admitting work, drain the queue, and join every worker.
+    pub fn shutdown(&self) {
+        self.queue.close();
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}

@@ -70,10 +70,8 @@ fn native_results_equal_simulated_results() {
     let run_nw = |device: Device| -> Vec<i32> {
         let ctx = Context::new(device);
         let queue = CommandQueue::new(&ctx).with_profiling();
-        let mut w = eod_dwarfs::nw::NwWorkload::new(
-            eod_dwarfs::nw::NwParams { n: 64, penalty: 10 },
-            11,
-        );
+        let mut w =
+            eod_dwarfs::nw::NwWorkload::new(eod_dwarfs::nw::NwParams { n: 64, penalty: 10 }, 11);
         w.setup(&ctx, &queue).unwrap();
         w.run_iteration(&queue).unwrap();
         w.verify(&queue).unwrap();

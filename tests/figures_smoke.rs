@@ -65,12 +65,7 @@ fn median(fig: &figures::Figure, panel: &str, device: &str) -> f64 {
 fn fig1_cpus_win_crc_at_every_size() {
     let fig = fig1();
     for panel in ["tiny", "small", "medium", "large"] {
-        let groups = &fig
-            .panels
-            .iter()
-            .find(|p| p.label == panel)
-            .unwrap()
-            .groups;
+        let groups = &fig.panels.iter().find(|p| p.label == panel).unwrap().groups;
         let best_cpu = groups
             .iter()
             .filter(|g| g.class == "CPU")
@@ -215,7 +210,10 @@ fn modern_gpus_beat_hpc_gpus_which_beat_same_generation_consumers() {
     let k40 = median(fig, "large", "K40m");
     let hd7970 = median(fig, "large", "HD 7970");
     let titan = median(fig, "large", "Titan X");
-    assert!(k40 < hd7970, "HPC K40m {k40} vs consumer-2011 HD7970 {hd7970}");
+    assert!(
+        k40 < hd7970,
+        "HPC K40m {k40} vs consumer-2011 HD7970 {hd7970}"
+    );
     assert!(titan < k40, "modern Titan X {titan} vs K40m {k40}");
 }
 

@@ -4,7 +4,6 @@
 //! footprints consistent with the §4.4 methodology.
 
 use eod_clrt::prelude::*;
-use eod_core::benchmark::Workload as _;
 use eod_core::sizes::ProblemSize;
 use eod_dwarfs::registry;
 use eod_harness::{Runner, RunnerConfig};
@@ -71,8 +70,8 @@ fn footprint_meter_agrees_with_workload_prediction() {
             let queue = CommandQueue::new(&ctx).with_profiling();
             let mut w = bench.workload(ProblemSize::Tiny, 7);
             w.setup(&ctx, &queue).unwrap();
-            let expect = eod_dwarfs::nqueens::prefixes(eod_dwarfs::nqueens::DEFAULT_EXEC_CAP)
-                .len() as u64
+            let expect = eod_dwarfs::nqueens::prefixes(eod_dwarfs::nqueens::DEFAULT_EXEC_CAP).len()
+                as u64
                 * 16;
             assert_eq!(ctx.allocated_bytes(), expect, "nqueens capped allocation");
             continue;
@@ -115,22 +114,15 @@ fn replay_timing_equals_real_timing_distribution() {
     // or not the kernel actually executes.
     let bench = registry::benchmark_by_name("srad").unwrap();
     let run = |replay: bool| -> Vec<f64> {
-        let device = Device::simulated_seeded(
-            eod_devsim::catalog::DeviceId::by_name("K40m").unwrap(),
-            123,
-        );
+        let device =
+            Device::simulated_seeded(eod_devsim::catalog::DeviceId::by_name("K40m").unwrap(), 123);
         let ctx = Context::new(device);
         let queue = CommandQueue::new(&ctx).with_profiling();
         let mut w = bench.workload(ProblemSize::Tiny, 9);
         w.setup(&ctx, &queue).unwrap();
         queue.set_replay(replay);
         (0..5)
-            .map(|_| {
-                w.run_iteration(&queue)
-                    .unwrap()
-                    .kernel_time()
-                    .as_secs_f64()
-            })
+            .map(|_| w.run_iteration(&queue).unwrap().kernel_time().as_secs_f64())
             .collect()
     };
     assert_eq!(run(false), run(true));

@@ -1,0 +1,278 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! tests use: the `proptest!` macro, `prop_assert*!`/`prop_assume!`,
+//! strategies over ranges, `any`, `Just`, `prop_oneof!`, tuple strategies
+//! with `prop_map`, and `prop::collection::vec`.
+//!
+//! Differences from upstream, deliberate for an offline test stub:
+//! cases are generated from a seed derived from the test's module path
+//! (fully deterministic run to run), and failing inputs are reported but
+//! not shrunk.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+/// Outcome of a single generated test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails with this message.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; another case is drawn.
+    Reject,
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject => f.write_str("inputs rejected by prop_assume!"),
+        }
+    }
+}
+
+/// Number of accepted cases each property runs.
+const CASES: u64 = 64;
+/// Attempt ceiling guarding against assume-heavy properties.
+const MAX_ATTEMPTS: u64 = CASES * 16;
+
+fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drive one property: draw cases from a name-derived deterministic seed
+/// until [`CASES`] accepted runs succeed. Called by generated test fns.
+pub fn run_cases<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = StdRng::seed_from_u64(fnv1a(name));
+    let mut accepted = 0u64;
+    let mut attempts = 0u64;
+    while accepted < CASES && attempts < MAX_ATTEMPTS {
+        attempts += 1;
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property {name} failed on case {}: {msg}", accepted + 1);
+            }
+        }
+    }
+    assert!(
+        accepted > 0,
+        "property {name}: every generated case was rejected by prop_assume!"
+    );
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespace mirror so `prop::collection::vec(...)` resolves.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+pub mod collection {
+    //! Strategies over collections.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` strategy: each element from `element`, length from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ----------------------------------------------------------------- macros
+
+/// Define property tests: each function's `pat in strategy` arguments are
+/// drawn per case and the body runs under [`run_cases`].
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__pt_rng| {
+                        $(let $p = $crate::strategy::Strategy::generate(&($s), __pt_rng);)+
+                        let __pt_result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                        __pt_result
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Assert within a property; failure reports the generated case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __pt_l == __pt_r,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            __pt_l,
+            __pt_r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        $crate::prop_assert!(__pt_l == __pt_r, $($fmt)+);
+    }};
+}
+
+/// Assert inequality within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __pt_l != __pt_r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            __pt_l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        $crate::prop_assert!(__pt_l != __pt_r, $($fmt)+);
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// A strategy choosing uniformly among the given strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $(::std::boxed::Box::new($s)
+                as ::std::boxed::Box<dyn $crate::strategy::DynStrategy<_>>),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Generated values respect their range strategies.
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, f in -2.0f64..2.0, b in any::<bool>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!(u8::from(b) <= 1);
+        }
+
+        /// Vec strategy honors its length range and element strategy.
+        #[test]
+        fn vec_lengths(mut xs in prop::collection::vec(any::<u8>(), 1..50)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 50);
+            xs.sort();
+            prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+        }
+
+        /// Tuple strategies with prop_map compose.
+        #[test]
+        fn map_and_tuple(v in (1u32..10, 1u32..10).prop_map(|(a, b)| a * b)) {
+            prop_assert!((1..100).contains(&v));
+        }
+
+        /// prop_oneof picks only from its arms; assume rejects half.
+        #[test]
+        fn oneof_and_assume(pick in prop_oneof![Just(1u8), Just(3u8), Just(5u8)], n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            let pick: u8 = pick;
+            prop_assert!(pick % 2 == 1);
+            prop_assert_ne!(pick, 2u8);
+            prop_assert_eq!(pick % 2, 1u8);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let strat = crate::collection::vec(0u64..1000, 5..10);
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failures_panic() {
+        crate::run_cases("tests::failures_panic", |_| {
+            Err(crate::TestCaseError::Fail("forced".into()))
+        });
+    }
+}

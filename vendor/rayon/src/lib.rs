@@ -1,0 +1,254 @@
+//! Offline vendored stand-in for `rayon`.
+//!
+//! Provides the one parallel-iterator shape this workspace uses —
+//! `slice.par_iter().for_each(f)` — on a persistent global thread pool, so
+//! per-kernel-launch overhead stays in the microsecond range (the CPU
+//! backend launches kernels in tight measurement loops; spawning OS
+//! threads per launch would dominate small work-groups).
+//!
+//! Scheduling is work-stealing by atomic index: the calling thread and up
+//! to N−1 pool workers race on a shared cursor over the item slice. The
+//! caller always participates, which keeps nested `for_each` calls (a
+//! pool worker launching another parallel region) deadlock-free: every
+//! region can be completed by its own calling thread alone.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+pub mod prelude {
+    //! Import surface mirroring `rayon::prelude`.
+    pub use crate::{ParIter, ParallelSlice};
+}
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Injector {
+    queue: Mutex<VecDeque<Task>>,
+    available: Condvar,
+}
+
+struct Pool {
+    injector: Arc<Injector>,
+    workers: usize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .max(1);
+        let injector = Arc::new(Injector {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+        for i in 0..workers {
+            let inj = Arc::clone(&injector);
+            std::thread::Builder::new()
+                .name(format!("rayon-stub-{i}"))
+                .spawn(move || loop {
+                    let task = {
+                        let mut q = inj.queue.lock().unwrap_or_else(|e| e.into_inner());
+                        loop {
+                            if let Some(t) = q.pop_front() {
+                                break t;
+                            }
+                            q = inj.available.wait(q).unwrap_or_else(|e| e.into_inner());
+                        }
+                    };
+                    task();
+                })
+                .expect("spawn pool worker");
+        }
+        Pool { injector, workers }
+    })
+}
+
+/// Completion latch: counts outstanding helper tasks.
+struct Latch {
+    outstanding: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Latch {
+    fn wait(&self) {
+        let mut n = self.outstanding.lock().unwrap_or_else(|e| e.into_inner());
+        while *n > 0 {
+            n = self.done.wait(n).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn arrive(&self) {
+        let mut n = self.outstanding.lock().unwrap_or_else(|e| e.into_inner());
+        *n -= 1;
+        if *n == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Extension trait providing `par_iter` on slices (and through deref, on
+/// `Vec`), mirroring rayon's `IntoParallelRefIterator`.
+pub trait ParallelSlice<T: Sync> {
+    /// A parallel iterator over shared references.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Apply `f` to every item, potentially in parallel. Returns when all
+    /// items have been processed; panics if `f` panicked on any item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync + Send,
+    {
+        let items = self.items;
+        let p = pool();
+        if items.len() <= 1 || p.workers <= 1 {
+            items.iter().for_each(f);
+            return;
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let latch = Arc::new(Latch {
+            outstanding: Mutex::new(0),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+
+        // One stealing loop shared by the caller and the helper tasks.
+        let run = |latch: &Latch| {
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = catch_unwind(AssertUnwindSafe(|| f(&items[i])));
+                if r.is_err() {
+                    latch.panicked.store(true, Ordering::SeqCst);
+                    // Park the cursor at the end so other participants
+                    // stop picking up new items.
+                    cursor.store(items.len(), Ordering::SeqCst);
+                    break;
+                }
+            }
+        };
+
+        let helpers = (p.workers - 1).min(items.len() - 1);
+        {
+            let mut q = p.injector.queue.lock().unwrap_or_else(|e| e.into_inner());
+            *latch.outstanding.lock().unwrap_or_else(|e| e.into_inner()) = helpers;
+            for _ in 0..helpers {
+                let latch = Arc::clone(&latch);
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new({
+                    let run = &run;
+                    move || {
+                        // Arrive even if `run` panics internally (it
+                        // cannot — panics are caught — but stay safe).
+                        struct Arrive<'l>(&'l Latch);
+                        impl Drop for Arrive<'_> {
+                            fn drop(&mut self) {
+                                self.0.arrive();
+                            }
+                        }
+                        let _guard = Arrive(&latch);
+                        run(&latch);
+                    }
+                });
+                // SAFETY: `for_each` blocks on the latch until every
+                // helper task has completed, so the borrows of `items`,
+                // `f`, `cursor` and `run` captured in the task strictly
+                // outlive its execution. The lifetime erasure is confined
+                // to the queue hand-off.
+                let task: Task =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Task>(task) };
+                q.push_back(task);
+            }
+            p.injector.available.notify_all();
+        }
+
+        run(&latch);
+        latch.wait();
+        if latch.panicked.load(Ordering::SeqCst) {
+            panic!("a rayon-stub parallel task panicked");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        let flags: Vec<AtomicU64> = (0..10_000).map(|_| AtomicU64::new(0)).collect();
+        let items: Vec<usize> = (0..10_000).collect();
+        items.par_iter().for_each(|&i| {
+            flags[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(flags.iter().all(|f| f.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn sums_match_serial() {
+        let items: Vec<u64> = (0..100_000).collect();
+        let total = AtomicU64::new(0);
+        items.par_iter().for_each(|&x| {
+            total.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 100_000 * 99_999 / 2);
+    }
+
+    #[test]
+    fn nested_regions_complete() {
+        let outer: Vec<usize> = (0..16).collect();
+        let hits = AtomicU64::new(0);
+        outer.par_iter().for_each(|_| {
+            let inner: Vec<usize> = (0..64).collect();
+            inner.par_iter().for_each(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 16 * 64);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let items: Vec<usize> = (0..128).collect();
+        let r = std::panic::catch_unwind(|| {
+            items.par_iter().for_each(|&i| {
+                if i == 77 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u8> = vec![];
+        empty.par_iter().for_each(|_| panic!("not called"));
+        let one = [5u8];
+        let hits = AtomicU64::new(0);
+        one.par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,429 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` — the
+//! build environment has no crates.io access, so there is no `syn` or
+//! `quote`; the item is parsed directly from the `proc_macro` token
+//! stream. Supported shapes (everything this workspace derives on):
+//!
+//! * structs with named fields;
+//! * tuple structs (newtypes serialize as their inner value, wider tuples
+//!   as arrays);
+//! * enums with unit variants (serialized as the variant-name string) and
+//!   struct variants (serialized as `{"Variant": {fields…}}`),
+//!   mirroring serde's externally-tagged default.
+//!
+//! Generics, `#[serde(...)]` attributes, and tuple enum variants are not
+//! supported and fail with a clear compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed derive target.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(field names)` for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip `#[...]` attribute groups starting at `i`.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, …) starting at `i`.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Split the tokens of a brace/paren body on top-level commas, tracking
+/// angle-bracket depth so `BTreeMap<K, V>` stays one piece.
+fn split_on_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Field names of a named-field body (`{ a: T, b: U }`).
+fn named_field_names(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for piece in split_on_commas(body) {
+        let mut i = skip_attributes(&piece, 0);
+        i = skip_visibility(&piece, i);
+        match piece.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            _ => return Err("expected field name".to_string()),
+        }
+        match piece.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => {
+                return Err(format!(
+                    "expected `:` after field `{}`",
+                    names.last().unwrap()
+                ))
+            }
+        }
+    }
+    Ok(names)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attributes(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".to_string()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err(format!("expected a name after `{kind}`")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Named(named_field_names(&body)?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Tuple(split_on_commas(&body).len())
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                _ => return Err(format!("unsupported struct body for `{name}`")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    g.stream().into_iter().collect::<Vec<TokenTree>>()
+                }
+                _ => return Err(format!("expected enum body for `{name}`")),
+            };
+            let mut variants = Vec::new();
+            for piece in split_on_commas(&body) {
+                let j = skip_attributes(&piece, 0);
+                let vname = match piece.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    None => continue, // trailing comma
+                    _ => return Err(format!("expected variant name in `{name}`")),
+                };
+                let fields = match piece.get(j + 1) {
+                    None => None,
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Some(named_field_names(&body)?)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        return Err(format!(
+                            "vendored serde_derive does not support tuple variant `{name}::{vname}`"
+                        ));
+                    }
+                    _ => {
+                        return Err(format!(
+                            "unsupported tokens after variant `{name}::{vname}`"
+                        ))
+                    }
+                };
+                variants.push(Variant {
+                    name: vname,
+                    fields,
+                });
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive on `{other}` items")),
+    }
+}
+
+/// `#[derive(Serialize)]`: implement `serde::Serialize` by rendering to a
+/// `serde::Value` tree.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let entries: Vec<String> = (0..n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Map(::std::vec![])".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        None => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from({vname:?}))"
+                        ),
+                        Some(fields) => {
+                            let pat = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {pat} }} => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from({vname:?}), \
+                                 ::serde::Value::Map(::std::vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// `#[derive(Deserialize)]`: implement `serde::Deserialize` by rebuilding
+/// from a `serde::Value` tree.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(v.get_field({f:?}))\
+                                 .map_err(|e| ::serde::DeError::msg(\
+                                 ::std::format!(\"{name}.{f}: {{}}\", e)))?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "if let ::serde::Value::Map(_) = v {{\n\
+                             ::std::result::Result::Ok({name} {{ {} }})\n\
+                         }} else {{\n\
+                             ::std::result::Result::Err(::serde::DeError::msg(\
+                             ::std::format!(\"{name}: expected object, got {{}}\", v.kind())))\n\
+                         }}",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                        .collect();
+                    format!(
+                        "if let ::serde::Value::Seq(items) = v {{\n\
+                             if items.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::DeError::msg(\
+                                 ::std::format!(\"{name}: expected {n} elements, got {{}}\", items.len())));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}({}))\n\
+                         }} else {{\n\
+                             ::std::result::Result::Err(::serde::DeError::msg(\
+                             ::std::format!(\"{name}: expected array, got {{}}\", v.kind())))\n\
+                         }}",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                     ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => ::std::result::Result::Ok({name}::{vname})")
+                })
+                .collect();
+            let struct_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| v.fields.as_ref().map(|fields| (&v.name, fields)))
+                .map(|(vname, fields)| {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(inner.get_field({f:?}))\
+                                 .map_err(|e| ::serde::DeError::msg(\
+                                 ::std::format!(\"{name}::{vname}.{f}: {{}}\", e)))?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{ {} }})",
+                        inits.join(", ")
+                    )
+                })
+                .collect();
+            let str_arm = format!(
+                "::serde::Value::Str(s) => match s.as_str() {{\n\
+                     {}\n\
+                     other => ::std::result::Result::Err(::serde::DeError::msg(\
+                     ::std::format!(\"{name}: unknown variant {{other:?}}\")))\n\
+                 }}",
+                unit_arms
+                    .iter()
+                    .map(|a| format!("{a},"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+            let map_arm = if struct_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (k, inner) = &entries[0];\n\
+                         match k.as_str() {{\n\
+                             {}\n\
+                             other => ::std::result::Result::Err(::serde::DeError::msg(\
+                             ::std::format!(\"{name}: unknown variant {{other:?}}\")))\n\
+                         }}\n\
+                     }},",
+                    struct_arms
+                        .iter()
+                        .map(|a| format!("{a},"))
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                     ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             {str_arm},\n\
+                             {map_arm}\n\
+                             other => ::std::result::Result::Err(::serde::DeError::msg(\
+                             ::std::format!(\"{name}: expected variant, got {{}}\", other.kind())))\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
