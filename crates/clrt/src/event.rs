@@ -56,9 +56,19 @@ impl Event {
         Duration::from_secs_f64((self.end - self.start).max(0.0))
     }
 
-    /// Queueing overhead: `START − QUEUED`.
+    /// Queueing overhead: `START − QUEUED`. Saturates at zero like
+    /// [`Self::duration`] — `Duration::from_secs_f64` panics on negative
+    /// input, and profiling clocks on real OpenCL drivers are not always
+    /// perfectly ordered.
     pub fn queue_overhead(&self) -> Duration {
         Duration::from_secs_f64((self.start - self.queued).max(0.0))
+    }
+
+    /// Submission overhead: `START − SUBMIT` — the device-side launch
+    /// latency once the command left the host queue. Saturates at zero on
+    /// out-of-order timestamps like [`Self::queue_overhead`].
+    pub fn submit_overhead(&self) -> Duration {
+        Duration::from_secs_f64((self.start - self.submit).max(0.0))
     }
 
     /// Execution time in milliseconds, the unit of the paper's y-axes.
@@ -86,6 +96,7 @@ mod tests {
         };
         assert!((e.duration().as_secs_f64() - 0.008).abs() < 1e-12);
         assert!((e.queue_overhead().as_secs_f64() - 0.002).abs() < 1e-12);
+        assert!((e.submit_overhead().as_secs_f64() - 0.001).abs() < 1e-12);
         assert!((e.millis() - 8.0).abs() < 1e-9);
     }
 
@@ -103,5 +114,26 @@ mod tests {
             profile: None,
         };
         assert_eq!(e.duration(), Duration::ZERO);
+    }
+
+    #[test]
+    fn out_of_order_timestamps_saturate_every_overhead() {
+        // Regression: QUEUED after START (and SUBMIT after START) must
+        // clamp to zero rather than feed a negative f64 into
+        // `Duration::from_secs_f64` (a panic path).
+        let e = Event {
+            name: "k".into(),
+            kind: CommandKind::Kernel,
+            queued: 5.0,
+            submit: 4.5,
+            start: 3.0,
+            end: 3.5,
+            counters: None,
+            cost: None,
+            profile: None,
+        };
+        assert_eq!(e.queue_overhead(), Duration::ZERO);
+        assert_eq!(e.submit_overhead(), Duration::ZERO);
+        assert!((e.duration().as_secs_f64() - 0.5).abs() < 1e-12);
     }
 }

@@ -21,9 +21,11 @@ use crate::event::{CommandKind, Event};
 use crate::kernel::Kernel;
 use crate::ndrange::NdRange;
 use crate::scalar::Scalar;
+use eod_telemetry::{Span, TraceSink, Track};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// An in-order command queue with optional profiling.
@@ -36,6 +38,10 @@ pub struct CommandQueue {
     /// Replay mode (simulated devices only): skip functional re-execution of
     /// kernels and advance modeled time only. See [`CommandQueue::set_replay`].
     replay: AtomicBool,
+    /// Optional span sink: when attached, every enqueued command records
+    /// one device-track span carrying its profiling timestamps (and, on
+    /// simulated devices, the modeled cost breakdown) as arguments.
+    trace: Mutex<Option<Arc<TraceSink>>>,
 }
 
 impl CommandQueue {
@@ -46,6 +52,7 @@ impl CommandQueue {
             profiling: false,
             clock: Mutex::new(0.0),
             replay: AtomicBool::new(false),
+            trace: Mutex::new(None),
         }
     }
 
@@ -73,6 +80,56 @@ impl CommandQueue {
     pub fn with_profiling(mut self) -> Self {
         self.profiling = true;
         self
+    }
+
+    /// Attach a span sink (builder style).
+    pub fn with_trace(self, sink: Arc<TraceSink>) -> Self {
+        self.set_trace(Some(sink));
+        self
+    }
+
+    /// Attach or detach the span sink at runtime; `None` stops recording.
+    pub fn set_trace(&self, sink: Option<Arc<TraceSink>>) {
+        *self.trace.lock() = sink;
+    }
+
+    /// Record one device-track span for a completed command, if a sink is
+    /// attached. The slice covers `START..END` (the quantity every figure
+    /// plots); `QUEUED`/`SUBMIT` and the derived overheads ride along as
+    /// span arguments, and simulated kernels attach their modeled
+    /// [`KernelCost`] breakdown.
+    fn trace_event(&self, ev: &Event) {
+        let Some(sink) = self.trace.lock().clone() else {
+            return;
+        };
+        let category = match ev.kind {
+            CommandKind::Kernel => "kernel",
+            CommandKind::WriteBuffer | CommandKind::ReadBuffer => "transfer",
+        };
+        let mut span = Span::new(
+            ev.name.clone(),
+            category,
+            Track::Device,
+            ev.start * 1e6,
+            (ev.end - ev.start).max(0.0) * 1e6,
+        )
+        .with_arg("queued_us", ev.queued * 1e6)
+        .with_arg("submit_us", ev.submit * 1e6)
+        .with_arg("queue_overhead_us", ev.queue_overhead().as_secs_f64() * 1e6)
+        .with_arg(
+            "submit_overhead_us",
+            ev.submit_overhead().as_secs_f64() * 1e6,
+        );
+        if let Some(cost) = &ev.cost {
+            span = span
+                .with_arg("cost_launch_us", cost.launch_s * 1e6)
+                .with_arg("cost_compute_us", cost.compute_s * 1e6)
+                .with_arg("cost_serial_us", cost.serial_s * 1e6)
+                .with_arg("cost_memory_us", cost.memory_s * 1e6)
+                .with_arg("bound", format!("{:?}", cost.bound).to_lowercase())
+                .with_arg("utilization", cost.utilization);
+        }
+        sink.record(span);
     }
 
     /// The device this queue feeds.
@@ -141,6 +198,7 @@ impl CommandQueue {
                     end,
                 );
                 ev.profile = Some(profile);
+                self.trace_event(&ev);
                 Ok(ev)
             }
             Backend::Simulated(sim) => {
@@ -163,6 +221,7 @@ impl CommandQueue {
                 ev.counters = Some(counters);
                 ev.cost = Some(cost);
                 ev.profile = Some(profile);
+                self.trace_event(&ev);
                 Ok(ev)
             }
         }
@@ -184,13 +243,19 @@ impl CommandQueue {
                 buf.copy_from_slice(data);
                 let elapsed = wall.elapsed().as_secs_f64();
                 let (start, end) = self.advance_clock(elapsed);
-                Ok(self.make_event("write".into(), CommandKind::WriteBuffer, queued, start, end))
+                let ev =
+                    self.make_event("write".into(), CommandKind::WriteBuffer, queued, start, end);
+                self.trace_event(&ev);
+                Ok(ev)
             }
             Backend::Simulated(sim) => {
                 buf.copy_from_slice(data);
                 let t = sim.transfer.transfer_time(buf.bytes()).as_secs_f64();
                 let (start, end) = self.advance_clock(t);
-                Ok(self.make_event("write".into(), CommandKind::WriteBuffer, queued, start, end))
+                let ev =
+                    self.make_event("write".into(), CommandKind::WriteBuffer, queued, start, end);
+                self.trace_event(&ev);
+                Ok(ev)
             }
         }
     }
@@ -211,13 +276,19 @@ impl CommandQueue {
                 buf.copy_to_slice(out);
                 let elapsed = wall.elapsed().as_secs_f64();
                 let (start, end) = self.advance_clock(elapsed);
-                Ok(self.make_event("read".into(), CommandKind::ReadBuffer, queued, start, end))
+                let ev =
+                    self.make_event("read".into(), CommandKind::ReadBuffer, queued, start, end);
+                self.trace_event(&ev);
+                Ok(ev)
             }
             Backend::Simulated(sim) => {
                 buf.copy_to_slice(out);
                 let t = sim.transfer.transfer_time(buf.bytes()).as_secs_f64();
                 let (start, end) = self.advance_clock(t);
-                Ok(self.make_event("read".into(), CommandKind::ReadBuffer, queued, start, end))
+                let ev =
+                    self.make_event("read".into(), CommandKind::ReadBuffer, queued, start, end);
+                self.trace_event(&ev);
+                Ok(ev)
             }
         }
     }
@@ -357,6 +428,58 @@ mod tests {
         });
         queue.enqueue_kernel(&k, &NdRange::d1(n, 8)).unwrap();
         assert_eq!(b.get(5), 7, "native backend always executes");
+    }
+
+    #[test]
+    fn trace_spans_match_event_timestamps() {
+        // Acceptance: kernel/write/read slice durations equal the
+        // corresponding Event END − START values.
+        let gtx = Platform::simulated().device_by_name("GTX 1080").unwrap();
+        let ctx = Context::new(gtx);
+        let sink = std::sync::Arc::new(TraceSink::new());
+        let queue = CommandQueue::new(&ctx)
+            .with_profiling()
+            .with_trace(std::sync::Arc::clone(&sink));
+        let n = 1024;
+        let b = ctx.create_buffer::<f32>(n).unwrap();
+        let data = vec![1.0f32; n];
+        let mut out_data = vec![0.0f32; n];
+        let k = ClosureKernel::new("triple", n as u64, {
+            let b = b.view();
+            move |item: &WorkItem| {
+                let i = item.global_id(0);
+                b.set(i, b.get(i) * 3.0);
+            }
+        });
+        let events = vec![
+            queue.enqueue_write_buffer(&b, &data).unwrap(),
+            queue.enqueue_kernel(&k, &NdRange::d1(n, 64)).unwrap(),
+            queue.enqueue_read_buffer(&b, &mut out_data).unwrap(),
+        ];
+        let spans = sink.drain();
+        assert_eq!(spans.len(), events.len());
+        for (span, ev) in spans.iter().zip(&events) {
+            assert_eq!(span.name, ev.name);
+            assert!(
+                (span.dur_us - (ev.end - ev.start) * 1e6).abs() < 1e-9,
+                "{}: span dur {} µs vs event {} µs",
+                ev.name,
+                span.dur_us,
+                (ev.end - ev.start) * 1e6
+            );
+            assert!((span.start_us - ev.start * 1e6).abs() < 1e-9);
+            assert_eq!(span.track, eod_telemetry::Track::Device);
+        }
+        let kernel_span = &spans[1];
+        assert_eq!(kernel_span.category, "kernel");
+        assert!(
+            kernel_span.args.iter().any(|(k, _)| k == "cost_launch_us"),
+            "simulated kernels attach the KernelCost breakdown"
+        );
+        // Detaching the sink stops recording.
+        queue.set_trace(None);
+        queue.enqueue_write_buffer(&b, &data).unwrap();
+        assert!(sink.is_empty());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! stored bit-cast into the same-width atomic integer.
 //!
 //! Kernels that intentionally accumulate into shared locations (histogram-
-//! style) should use [`Scalar::fetch_add_f64`]-style helpers or design
+//! style) should use `fetch_add`-style helpers or design
 //! disjoint writes, as OpenCL kernels do.
 
 use std::sync::atomic::{AtomicI32, AtomicI64, AtomicU32, AtomicU64, AtomicU8, Ordering};

@@ -50,6 +50,21 @@ pub enum Priority {
     High,
 }
 
+impl Priority {
+    /// Both priorities, in pop (high-first) order.
+    pub fn all() -> &'static [Priority] {
+        &[Priority::High, Priority::Normal]
+    }
+
+    /// Lowercase label used in metrics and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+}
+
 /// One unit of work for the execution service: a measurement group plus
 /// the configuration to run it under.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

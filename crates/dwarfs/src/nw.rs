@@ -103,7 +103,7 @@ pub fn generate_reference(p: &NwParams, seed: u64) -> Vec<i32> {
     reference
 }
 
-/// Boundary-initialized score matrix: F[i][0] = −i·p, F[0][j] = −j·p.
+/// Boundary-initialized score matrix: `F[i][0] = −i·p`, `F[0][j] = −j·p`.
 pub fn initial_scores(p: &NwParams) -> Vec<i32> {
     let e = p.edge();
     let mut f = vec![0i32; e * e];

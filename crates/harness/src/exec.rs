@@ -1,6 +1,5 @@
-//! Job-spec execution: the bridge between a serializable
-//! [`JobSpec`](eod_core::spec::JobSpec) and the measurement
-//! [`Runner`](crate::Runner).
+//! Job-spec execution: the bridge between a serializable [`JobSpec`] and
+//! the measurement [`Runner`].
 //!
 //! [`execute_spec`] is the single entry point the execution service calls
 //! for every job. It resolves the named benchmark and device, then runs

@@ -31,8 +31,10 @@ use eod_scibench::power;
 use eod_scibench::region::{Region, RegionLog, RegionSample};
 use eod_scibench::stats::Summary;
 use eod_scibench::BoxplotSummary;
+use eod_telemetry::TraceSink;
 use serde::Serialize;
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Why a measurement group could not produce a result.
@@ -230,12 +232,31 @@ impl GroupResult {
 /// Runs measurement groups.
 pub struct Runner {
     config: RunnerConfig,
+    /// Optional span sink: when attached, every group records host-phase
+    /// spans (setup, first iteration, verification, one per sample) and
+    /// the command queue records per-command device spans into it.
+    trace: Option<Arc<TraceSink>>,
 }
 
 impl Runner {
     /// A runner with the given configuration.
     pub fn new(config: RunnerConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            trace: None,
+        }
+    }
+
+    /// Attach a span sink; groups run by this runner record their host
+    /// phases and device commands into it.
+    pub fn with_trace(mut self, sink: Arc<TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// The attached span sink, if any.
+    pub fn trace(&self) -> Option<&Arc<TraceSink>> {
+        self.trace.as_ref()
     }
 
     /// The active configuration.
@@ -277,15 +298,33 @@ impl Runner {
         };
         let ctx = Context::new(device.clone());
         let queue = CommandQueue::new(&ctx).with_profiling();
+        if let Some(sink) = &self.trace {
+            queue.set_trace(Some(Arc::clone(sink)));
+        }
+        let trace = self.trace.as_deref();
+        // Declared before the phase guards so it drops (and records) last:
+        // the group span encloses every phase span on the host track.
+        let mut group_span = trace.map(|s| {
+            let mut g = s.host_span(format!("group {} {}", benchmark.name(), size.label()));
+            g.arg("device", device.name());
+            g
+        });
         let mut workload = benchmark.workload(size, self.config.seed);
         let footprint_bytes = workload.footprint_bytes();
 
         // Host setup + transfers.
         let mut regions = RegionLog::new();
         let setup_wall = Instant::now();
-        let setup_events = workload
-            .setup(&ctx, &queue)
-            .map_err(|e| RunnerError::Infra(e.to_string()))?;
+        let setup_events = {
+            let mut g = trace.map(|s| s.host_span("setup"));
+            let ev = workload
+                .setup(&ctx, &queue)
+                .map_err(|e| RunnerError::Infra(e.to_string()))?;
+            if let Some(g) = g.as_mut() {
+                g.arg("transfers", ev.len());
+            }
+            ev
+        };
         check_deadline()?;
         let setup_ms = setup_wall.elapsed().as_secs_f64() * 1e3;
         let transfer_ms: f64 = setup_events.iter().map(|e| e.millis()).sum();
@@ -300,9 +339,12 @@ impl Runner {
         if model_only {
             queue.set_replay(true);
         }
-        let first = workload
-            .run_iteration(&queue)
-            .map_err(|e| RunnerError::Infra(e.to_string()))?;
+        let first = {
+            let _g = trace.map(|s| s.host_span("first_iteration"));
+            workload
+                .run_iteration(&queue)
+                .map_err(|e| RunnerError::Infra(e.to_string()))?
+        };
         check_deadline()?;
         let launches_per_iteration = first.kernel_launches();
         let mut counters_acc = CounterValues::new();
@@ -314,6 +356,7 @@ impl Runner {
             }
         }
         let verified = if self.config.verify && !model_only {
+            let _g = trace.map(|s| s.host_span("verify"));
             workload.verify(&queue).map_err(|e| {
                 RunnerError::VerificationFailed(format!(
                     "{} {} on {}: {e}",
@@ -342,7 +385,8 @@ impl Runner {
         };
         let mut kernel_ms = Vec::with_capacity(self.config.samples);
         let mut energy_samples: Vec<f64> = Vec::new();
-        for _ in 0..self.config.samples {
+        for sample_idx in 0..self.config.samples {
+            let mut sample_span = trace.map(|s| s.host_span(format!("sample {sample_idx}")));
             let mut iters = 0usize;
             let mut total_kernel = Duration::ZERO;
             let mut total_energy = 0.0f64;
@@ -375,6 +419,10 @@ impl Runner {
                 }
             }
             let mean_kernel = Duration::from_secs_f64(total_kernel.as_secs_f64() / iters as f64);
+            if let Some(g) = sample_span.as_mut() {
+                g.arg("iters", iters);
+                g.arg("mean_kernel_ms", mean_kernel.as_secs_f64() * 1e3);
+            }
             kernel_ms.push(mean_kernel.as_secs_f64() * 1e3);
             let energy = power_model.is_some().then(|| {
                 let joules = total_energy / iters as f64;
@@ -394,6 +442,9 @@ impl Runner {
             );
         }
         queue.set_replay(false);
+        if let Some(g) = group_span.as_mut() {
+            g.arg("samples", kernel_ms.len());
+        }
 
         let class = device
             .sim_id()
@@ -553,6 +604,37 @@ mod tests {
             .run_group(crc.as_ref(), ProblemSize::Tiny, device)
             .unwrap();
         assert_eq!(direct.kernel_ms, after.kernel_ms);
+    }
+
+    #[test]
+    fn traced_group_records_host_and_device_spans() {
+        use eod_telemetry::Track;
+        let sink = Arc::new(TraceSink::new());
+        let runner = Runner::new(RunnerConfig::smoke()).with_trace(Arc::clone(&sink));
+        let bench = registry::benchmark_by_name("crc").unwrap();
+        let gtx = Platform::simulated().device_by_name("GTX 1080").unwrap();
+        runner
+            .run_group(bench.as_ref(), ProblemSize::Tiny, gtx)
+            .unwrap();
+        let spans = sink.drain();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"setup"));
+        assert!(names.contains(&"first_iteration"));
+        assert!(names.contains(&"verify"));
+        assert!(names.iter().any(|n| n.starts_with("sample ")));
+        // Device commands recorded onto the device track via the queue.
+        assert!(spans
+            .iter()
+            .any(|s| s.track == Track::Device && s.category == "kernel"));
+        // The group span encloses its phases on the host clock.
+        let group = spans.iter().find(|s| s.name == "group crc tiny").unwrap();
+        let setup = spans.iter().find(|s| s.name == "setup").unwrap();
+        assert!(group.start_us <= setup.start_us);
+        assert!(group.end_us() >= setup.end_us());
+        assert!(group
+            .args
+            .iter()
+            .any(|(k, _)| k == "samples" || k == "device"));
     }
 
     #[test]

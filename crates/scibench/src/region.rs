@@ -10,6 +10,7 @@
 use crate::counters::CounterValues;
 use crate::energy::EnergySample;
 use crate::stats::Summary;
+use eod_telemetry::{Span, TraceSink, Track};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -134,6 +135,31 @@ impl RegionLog {
     pub fn total_time(&self) -> Duration {
         self.samples.values().flatten().map(|s| s.duration).sum()
     }
+
+    /// Bridge the journal onto a trace sink's region track.
+    ///
+    /// A `RegionLog` keeps durations, not absolute timestamps, so the
+    /// samples are laid end-to-end in region order — the track reads as a
+    /// LibSciBench-style breakdown of where the run's measured time went
+    /// (the paper's three components side by side), not as a wall-clock
+    /// reconstruction. Each span carries its sample index and, when
+    /// measured, its energy as arguments.
+    pub fn record_trace(&self, sink: &TraceSink) {
+        let mut cursor_us = 0.0;
+        for &region in Region::all() {
+            for (i, s) in self.samples(region).iter().enumerate() {
+                let dur_us = s.duration.as_secs_f64() * 1e6;
+                let mut span =
+                    Span::new(region.label(), "region", Track::Regions, cursor_us, dur_us)
+                        .with_arg("sample", i);
+                if let Some(e) = s.energy {
+                    span = span.with_arg("joules", e.joules);
+                }
+                sink.record(span);
+                cursor_us += dur_us;
+            }
+        }
+    }
 }
 
 /// Reduced statistics for one region: a time distribution, an optional
@@ -222,6 +248,27 @@ mod tests {
         );
         let e = st.energy.unwrap();
         assert!((e.mean - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_bridge_lays_samples_end_to_end() {
+        let mut log = RegionLog::new();
+        log.record(Region::HostSetup, Duration::from_millis(10));
+        log.record(Region::Kernel, Duration::from_millis(2));
+        log.record(Region::Kernel, Duration::from_millis(4));
+        let sink = TraceSink::new();
+        log.record_trace(&sink);
+        let spans = sink.drain();
+        assert_eq!(spans.len(), 3);
+        // Region::all() order: kernel first, then host_setup.
+        assert_eq!(spans[0].name, "kernel");
+        assert_eq!(spans[0].start_us, 0.0);
+        assert_eq!(spans[0].dur_us, 2_000.0);
+        assert_eq!(spans[1].name, "kernel");
+        assert_eq!(spans[1].start_us, 2_000.0);
+        assert_eq!(spans[2].name, "host_setup");
+        assert_eq!(spans[2].start_us, 6_000.0);
+        assert!(spans.iter().all(|s| s.track == Track::Regions));
     }
 
     #[test]

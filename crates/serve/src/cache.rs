@@ -21,6 +21,8 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that fell through to execution.
     pub misses: u64,
+    /// Entries displaced by the LRU bound since startup.
+    pub evictions: u64,
     /// Entries currently resident.
     pub entries: u64,
     /// The eviction bound.
@@ -38,6 +40,7 @@ struct CacheState {
     tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 /// The cache: a bounded map from spec key to stored result.
@@ -55,6 +58,7 @@ impl ResultCache {
                 tick: 0,
                 hits: 0,
                 misses: 0,
+                evictions: 0,
             }),
             capacity: capacity.max(1),
         }
@@ -115,6 +119,7 @@ impl ResultCache {
                 .map(|(k, _)| k.clone())
                 .expect("non-empty above capacity");
             s.entries.remove(&oldest);
+            s.evictions += 1;
         }
     }
 
@@ -124,6 +129,7 @@ impl ResultCache {
         CacheStats {
             hits: s.hits,
             misses: s.misses,
+            evictions: s.evictions,
             entries: s.entries.len() as u64,
             capacity: self.capacity as u64,
         }
@@ -171,6 +177,22 @@ mod tests {
         assert!(c.peek("absent").is_none());
         let st = c.stats();
         assert_eq!((st.hits, st.misses), (0, 0));
+    }
+
+    #[test]
+    fn eviction_counter_tracks_displacements() {
+        let c = ResultCache::new(2);
+        c.insert("a".into(), "A".into(), result());
+        c.insert("b".into(), "B".into(), result());
+        assert_eq!(c.stats().evictions, 0);
+        c.insert("c".into(), "C".into(), result());
+        c.insert("d".into(), "D".into(), result());
+        let st = c.stats();
+        assert_eq!(st.evictions, 2);
+        assert_eq!(st.entries, 2);
+        // Re-inserting a resident key displaces nothing.
+        c.insert("d".into(), "D2".into(), result());
+        assert_eq!(c.stats().evictions, 2);
     }
 
     #[test]

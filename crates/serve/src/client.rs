@@ -282,6 +282,18 @@ impl Client {
         }
     }
 
+    /// The server's metric surface in Prometheus text exposition format.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.send(&Request::Metrics)?;
+        match Self::typed(self.recv()?)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected {}",
+                encode(&other)
+            ))),
+        }
+    }
+
     /// Ask the server to shut down.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.send(&Request::Shutdown)?;

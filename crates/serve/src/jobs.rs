@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Monotonic job identity, assigned at submission.
 pub type JobId = u64;
@@ -80,6 +81,8 @@ pub struct JobRecord {
     pub key: String,
     /// Scheduling priority (not part of the key: it never changes results).
     pub priority: Priority,
+    /// When the job was registered — the zero point of its latency.
+    submitted_at: Instant,
     status: Mutex<Status>,
     changed: Condvar,
 }
@@ -92,6 +95,7 @@ impl JobRecord {
             spec,
             key,
             priority,
+            submitted_at: Instant::now(),
             status: Mutex::new(Status {
                 snapshot: Snapshot {
                     phase: JobPhase::Queued,
@@ -103,6 +107,12 @@ impl JobRecord {
             }),
             changed: Condvar::new(),
         }
+    }
+
+    /// Wall time since submission — observed into the latency histogram
+    /// when the job reaches a terminal state.
+    pub fn age(&self) -> Duration {
+        self.submitted_at.elapsed()
     }
 
     /// Current status.

@@ -13,6 +13,11 @@
 //!   hits as the stored `GroupResult` JSON byte-for-byte;
 //! * [`service`] — the worker pool wiring those together over
 //!   [`eod_harness::execute_spec`], plus the figure-batch path;
+//! * [`metrics`] — the service's metric surface
+//!   ([`metrics::ServiceMetrics`]): queue depth and admission rejections
+//!   by priority, worker utilization, job latency, and cache economy,
+//!   rendered in Prometheus text format for the protocol's `Metrics`
+//!   request and for `eod serve --metrics-addr`'s `GET /metrics`;
 //! * [`protocol`]/[`server`]/[`client`] — newline-delimited JSON over a
 //!   local TCP socket, driven by `eod serve` / `eod submit` /
 //!   `eod status`.
@@ -24,6 +29,7 @@
 pub mod cache;
 pub mod client;
 pub mod jobs;
+pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
@@ -32,6 +38,7 @@ pub mod service;
 pub use cache::{CacheStats, ResultCache};
 pub use client::{Client, ClientError, FigureOutput, JobOutcome};
 pub use jobs::{JobBoard, JobId, JobPhase, JobRecord};
+pub use metrics::ServiceMetrics;
 pub use queue::{AdmissionError, JobQueue};
 pub use server::Server;
 pub use service::{FigureOutcome, ServeConfig, Service};

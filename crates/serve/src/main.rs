@@ -24,8 +24,10 @@ use eod_harness::figures::{self, Figure};
 use eod_harness::{report, schedule, tables};
 use eod_harness::{Runner, RunnerConfig};
 use eod_serve::{Client, ServeConfig, Server, Service};
+use eod_telemetry::{render_chrome_trace, MetricsServer, TraceSink};
 use std::path::PathBuf;
 use std::result::Result;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Default service endpoint (0xE0D = 3597).
@@ -36,12 +38,14 @@ struct Cli {
     args: Vec<String>,
     config: RunnerConfig,
     out_dir: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     let mut config = RunnerConfig::quick();
     let mut out_dir = None;
+    let mut trace_out = None;
     let mut rest = Vec::new();
     let mut i = 0;
     while i < argv.len() {
@@ -74,6 +78,12 @@ fn parse_cli() -> Result<Cli, String> {
                 i += 1;
                 out_dir = Some(PathBuf::from(argv.get(i).ok_or("--out needs a directory")?));
             }
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(PathBuf::from(
+                    argv.get(i).ok_or("--trace-out needs a file path")?,
+                ));
+            }
             _ => rest.push(argv[i].clone()),
         }
         i += 1;
@@ -88,7 +98,21 @@ fn parse_cli() -> Result<Cli, String> {
         args: rest,
         config,
         out_dir,
+        trace_out,
     })
+}
+
+/// Export collected spans as a Chrome trace-event / Perfetto JSON file.
+fn write_trace(sink: &TraceSink, path: &PathBuf) -> Result<(), String> {
+    let spans = sink.snapshot();
+    std::fs::write(path, render_chrome_trace(&spans))
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    eprintln!(
+        "wrote {} ({} spans) — open in ui.perfetto.dev",
+        path.display(),
+        spans.len()
+    );
+    Ok(())
 }
 
 fn write_figure(fig: &Figure, out_dir: &Option<PathBuf>) -> Result<(), String> {
@@ -274,11 +298,18 @@ fn cmd_run(cli: &Cli) -> Result<(), String> {
     };
     let bench = registry::benchmark_by_name(benchmark)
         .ok_or_else(|| format!("unknown benchmark {benchmark}"))?;
-    let runner = Runner::new(cli.config.clone());
+    let trace = cli.trace_out.as_ref().map(|_| Arc::new(TraceSink::new()));
+    let mut runner = Runner::new(cli.config.clone());
+    if let Some(sink) = &trace {
+        runner = runner.with_trace(Arc::clone(sink));
+    }
     let g = if let Some(args) = custom_args {
         // Run the custom workload through a one-off Table-3 configuration.
         let ctx = Context::new(device.clone());
         let queue = CommandQueue::new(&ctx).with_profiling();
+        if let Some(sink) = &trace {
+            queue.set_trace(Some(Arc::clone(sink)));
+        }
         let mut w = workload_from_args(benchmark, &args, cli.config.seed)?;
         w.setup(&ctx, &queue).map_err(|e| e.to_string())?;
         let out = w.run_iteration(&queue).map_err(|e| e.to_string())?;
@@ -290,6 +321,9 @@ fn cmd_run(cli: &Cli) -> Result<(), String> {
             out.kernel_launches(),
             out.kernel_time().as_secs_f64() * 1e3
         );
+        if let (Some(sink), Some(path)) = (&trace, &cli.trace_out) {
+            write_trace(sink, path)?;
+        }
         return Ok(());
     } else {
         runner.run_group(bench.as_ref(), size, device)?
@@ -327,6 +361,12 @@ fn cmd_run(cli: &Cli) -> Result<(), String> {
     }
     if let Some(es) = g.energy_summary() {
         println!("energy: mean {:.4} J per iteration", es.mean);
+    }
+    if let (Some(sink), Some(path)) = (&trace, &cli.trace_out) {
+        // Lay the LibSciBench region journal onto its own track beside the
+        // host/device spans, then export everything.
+        g.regions.record_trace(sink);
+        write_trace(sink, path)?;
     }
     Ok(())
 }
@@ -579,12 +619,26 @@ fn cmd_serve(cli: &Cli) -> Result<(), String> {
     }
     let (workers, queue_cap, cache_cap) = (cfg.workers, cfg.queue_capacity, cfg.cache_capacity);
     let service = Service::start(cfg);
+    let metrics_server = match flag_value(&cli.args, "--metrics-addr") {
+        Some(maddr) => {
+            let svc = Arc::clone(&service);
+            let ms = MetricsServer::serve(&maddr, move || svc.metrics_text())
+                .map_err(|e| format!("bind metrics {maddr}: {e}"))?;
+            println!("metrics on http://{}/metrics", ms.local_addr());
+            Some(ms)
+        }
+        None => None,
+    };
     let server = Server::bind(service, &addr).map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
         "eod-serve listening on {} ({workers} workers, queue \u{2264} {queue_cap}, cache \u{2264} {cache_cap})",
         server.local_addr()
     );
-    server.run().map_err(|e| e.to_string())
+    let outcome = server.run().map_err(|e| e.to_string());
+    if let Some(ms) = metrics_server {
+        ms.stop();
+    }
+    outcome
 }
 
 /// Median of the `kernel_ms` samples in a stored `GroupResult` JSON.
@@ -735,8 +789,8 @@ fn cmd_status(cli: &Cli) -> Result<(), String> {
         );
     }
     println!(
-        "\ncache: {} hits, {} misses, {}/{} entries; queued {}; workers {}",
-        cache.hits, cache.misses, cache.entries, cache.capacity, queued, workers
+        "\ncache: {} hits, {} misses, {} evictions, {}/{} entries; queued {}; workers {}",
+        cache.hits, cache.misses, cache.evictions, cache.entries, cache.capacity, queued, workers
     );
     Ok(())
 }
@@ -826,12 +880,12 @@ fn run() -> Result<(), String> {
         "shutdown" => cmd_shutdown(&cli)?,
         _ => {
             println!(
-                "usage: eod <command> [--paper|--quick] [--samples N] [--seed S] [--loop-ms M] [--out DIR]\n\
+                "usage: eod <command> [--paper|--quick] [--samples N] [--seed S] [--loop-ms M] [--out DIR] [--trace-out FILE]\n\
                  commands: list table1 table2 table3 sizing power\n\
                  \u{20}         fig1 fig2a..fig2e fig3a fig3b fig4 fig5 figures\n\
-                 \u{20}         run <benchmark> <size> [-p P -d D -t T]\n\
+                 \u{20}         run <benchmark> <size> [-p P -d D -t T] [--trace-out trace.json]\n\
                  \u{20}         cov cachesim aiwc ideal ablation autotune schedule\n\
-                 \u{20}         serve [--addr A --workers N --queue-cap N --cache-cap N]\n\
+                 \u{20}         serve [--addr A --workers N --queue-cap N --cache-cap N --metrics-addr M]\n\
                  \u{20}         submit <benchmark> [size] [--device D --high --timeout-ms T --no-wait]\n\
                  \u{20}         submit --fig <figN>   status [job]   shutdown   [--addr HOST:PORT]"
             );

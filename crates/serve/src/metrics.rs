@@ -1,0 +1,271 @@
+//! The service's metric surface.
+//!
+//! One [`ServiceMetrics`] instance holds typed handles into an
+//! [`eod_telemetry::Registry`]; the service increments event counters at
+//! the moment things happen (admissions, rejections, terminal states,
+//! worker pickup/release) and refreshes point-in-time gauges (queue
+//! depth, cache occupancy, busy workers) at scrape time, so a scrape is
+//! always consistent with what `Stats` would report. Cache hit/miss/
+//! eviction totals are mirrored from the cache's own counters rather than
+//! double-counted here.
+
+use crate::cache::CacheStats;
+use eod_core::spec::Priority;
+use eod_telemetry::{Counter, Gauge, Histogram, Registry, LATENCY_BUCKETS};
+use std::sync::Arc;
+
+/// Reasons an admission was refused, as metric label values.
+pub mod reject_reasons {
+    /// The queue was at capacity.
+    pub const QUEUE_FULL: &str = "queue_full";
+    /// The service was shutting down.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+}
+
+fn per_priority<T>(mut make: impl FnMut(Priority) -> T) -> [(Priority, T); 2] {
+    let [a, b] = [Priority::High, Priority::Normal];
+    [(a, make(a)), (b, make(b))]
+}
+
+fn pick<T>(pairs: &[(Priority, Arc<T>)], priority: Priority) -> &T {
+    pairs
+        .iter()
+        .find(|(p, _)| *p == priority)
+        .map(|(_, v)| v.as_ref())
+        .expect("both priorities registered")
+}
+
+/// Typed handles into the service's metric registry.
+pub struct ServiceMetrics {
+    registry: Registry,
+    queue_depth: [(Priority, Arc<Gauge>); 2],
+    queue_capacity: Arc<Gauge>,
+    submissions: [(Priority, Arc<Counter>); 2],
+    rejections_full: [(Priority, Arc<Counter>); 2],
+    rejections_shutdown: [(Priority, Arc<Counter>); 2],
+    jobs_done: Arc<Counter>,
+    jobs_failed: Arc<Counter>,
+    jobs_timed_out: Arc<Counter>,
+    job_latency: Arc<Histogram>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    cache_entries: Arc<Gauge>,
+    cache_capacity: Arc<Gauge>,
+    workers: Arc<Gauge>,
+    workers_busy: Arc<Gauge>,
+}
+
+impl ServiceMetrics {
+    /// Register every instrument the service exposes.
+    pub fn new() -> Self {
+        let r = Registry::new();
+        let queue_depth = per_priority(|p| {
+            r.gauge_with(
+                "eod_queue_depth",
+                "Jobs awaiting a worker, by priority.",
+                &[("priority", p.label())],
+            )
+        });
+        let queue_capacity = r.gauge("eod_queue_capacity", "Queue admission bound.");
+        let submissions = per_priority(|p| {
+            r.counter_with(
+                "eod_jobs_submitted_total",
+                "Jobs registered at submission, by priority (cache hits included).",
+                &[("priority", p.label())],
+            )
+        });
+        let rejections_full = per_priority(|p| {
+            r.counter_with(
+                "eod_admission_rejections_total",
+                "Submissions refused at the queue boundary, by priority and reason.",
+                &[
+                    ("priority", p.label()),
+                    ("reason", reject_reasons::QUEUE_FULL),
+                ],
+            )
+        });
+        let rejections_shutdown = per_priority(|p| {
+            r.counter_with(
+                "eod_admission_rejections_total",
+                "Submissions refused at the queue boundary, by priority and reason.",
+                &[
+                    ("priority", p.label()),
+                    ("reason", reject_reasons::SHUTTING_DOWN),
+                ],
+            )
+        });
+        let completed = |state: &str| {
+            r.counter_with(
+                "eod_jobs_completed_total",
+                "Jobs reaching a terminal state, by state.",
+                &[("state", state)],
+            )
+        };
+        let jobs_done = completed("done");
+        let jobs_failed = completed("failed");
+        let jobs_timed_out = completed("timed-out");
+        let job_latency = r.histogram(
+            "eod_job_latency_seconds",
+            "Submission-to-terminal latency of jobs.",
+            &LATENCY_BUCKETS,
+        );
+        let cache_hits = r.counter("eod_cache_hits_total", "Lookups answered from the cache.");
+        let cache_misses = r.counter(
+            "eod_cache_misses_total",
+            "Lookups that fell through to execution.",
+        );
+        let cache_evictions = r.counter(
+            "eod_cache_evictions_total",
+            "Entries displaced by the LRU bound.",
+        );
+        let cache_entries = r.gauge("eod_cache_entries", "Entries currently resident.");
+        let cache_capacity = r.gauge("eod_cache_capacity", "Cache entry bound.");
+        let workers = r.gauge("eod_workers", "Worker threads in the pool.");
+        let workers_busy = r.gauge("eod_workers_busy", "Workers currently executing a job.");
+        Self {
+            registry: r,
+            queue_depth,
+            queue_capacity,
+            submissions,
+            rejections_full,
+            rejections_shutdown,
+            jobs_done,
+            jobs_failed,
+            jobs_timed_out,
+            job_latency,
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            cache_entries,
+            cache_capacity,
+            workers,
+            workers_busy,
+        }
+    }
+
+    /// Count one submission (before the cache/queue decide its fate).
+    pub fn on_submission(&self, priority: Priority) {
+        pick(&self.submissions, priority).inc();
+    }
+
+    /// Count one typed refusal at the queue boundary.
+    pub fn on_rejection(&self, priority: Priority, e: crate::queue::AdmissionError) {
+        use crate::queue::AdmissionError;
+        match e {
+            AdmissionError::QueueFull { .. } => pick(&self.rejections_full, priority).inc(),
+            AdmissionError::ShuttingDown => pick(&self.rejections_shutdown, priority).inc(),
+        }
+    }
+
+    /// Count a terminal transition and observe the job's latency.
+    pub fn on_terminal(&self, phase: crate::jobs::JobPhase, latency_secs: f64) {
+        use crate::jobs::JobPhase;
+        match phase {
+            JobPhase::Done => self.jobs_done.inc(),
+            JobPhase::Failed => self.jobs_failed.inc(),
+            JobPhase::TimedOut => self.jobs_timed_out.inc(),
+            JobPhase::Queued | JobPhase::Running => return,
+        }
+        self.job_latency.observe(latency_secs);
+    }
+
+    /// A worker picked a job up.
+    pub fn worker_busy(&self) {
+        self.workers_busy.add(1.0);
+    }
+
+    /// A worker finished its job (however it ended).
+    pub fn worker_idle(&self) {
+        self.workers_busy.add(-1.0);
+    }
+
+    /// Refresh the point-in-time gauges and mirrored cache totals, then
+    /// render the whole registry in Prometheus text exposition format.
+    pub fn render(
+        &self,
+        depths: (usize, usize),
+        queue_capacity: usize,
+        cache: &CacheStats,
+        workers: usize,
+    ) -> String {
+        let (high, normal) = depths;
+        pick(&self.queue_depth, Priority::High).set(high as f64);
+        pick(&self.queue_depth, Priority::Normal).set(normal as f64);
+        self.queue_capacity.set(queue_capacity as f64);
+        self.cache_hits.mirror(cache.hits as f64);
+        self.cache_misses.mirror(cache.misses as f64);
+        self.cache_evictions.mirror(cache.evictions as f64);
+        self.cache_entries.set(cache.entries as f64);
+        self.cache_capacity.set(cache.capacity as f64);
+        self.workers.set(workers as f64);
+        self.registry.render()
+    }
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::JobPhase;
+    use crate::queue::AdmissionError;
+
+    fn stats() -> CacheStats {
+        CacheStats {
+            hits: 4,
+            misses: 7,
+            evictions: 2,
+            entries: 5,
+            capacity: 16,
+        }
+    }
+
+    #[test]
+    fn counters_and_gauges_land_in_the_exposition() {
+        let m = ServiceMetrics::new();
+        m.on_submission(Priority::High);
+        m.on_submission(Priority::Normal);
+        m.on_submission(Priority::Normal);
+        m.on_rejection(Priority::Normal, AdmissionError::QueueFull { capacity: 2 });
+        m.on_rejection(Priority::High, AdmissionError::ShuttingDown);
+        m.on_terminal(JobPhase::Done, 0.02);
+        m.on_terminal(JobPhase::TimedOut, 0.3);
+        m.worker_busy();
+        let text = m.render((1, 3), 8, &stats(), 4);
+        assert!(text.contains("eod_queue_depth{priority=\"high\"} 1\n"));
+        assert!(text.contains("eod_queue_depth{priority=\"normal\"} 3\n"));
+        assert!(text.contains("eod_queue_capacity 8\n"));
+        assert!(text.contains("eod_jobs_submitted_total{priority=\"normal\"} 2\n"));
+        assert!(text.contains(
+            "eod_admission_rejections_total{priority=\"normal\",reason=\"queue_full\"} 1\n"
+        ));
+        assert!(text.contains(
+            "eod_admission_rejections_total{priority=\"high\",reason=\"shutting_down\"} 1\n"
+        ));
+        assert!(text.contains("eod_jobs_completed_total{state=\"done\"} 1\n"));
+        assert!(text.contains("eod_jobs_completed_total{state=\"timed-out\"} 1\n"));
+        assert!(text.contains("eod_job_latency_seconds_count 2\n"));
+        assert!(text.contains("eod_job_latency_seconds_bucket{le=\"0.025\"} 1\n"));
+        assert!(text.contains("eod_cache_hits_total 4\n"));
+        assert!(text.contains("eod_cache_misses_total 7\n"));
+        assert!(text.contains("eod_cache_evictions_total 2\n"));
+        assert!(text.contains("eod_cache_entries 5\n"));
+        assert!(text.contains("eod_workers 4\n"));
+        assert!(text.contains("eod_workers_busy 1\n"));
+    }
+
+    #[test]
+    fn non_terminal_phases_do_not_count() {
+        let m = ServiceMetrics::new();
+        m.on_terminal(JobPhase::Queued, 1.0);
+        m.on_terminal(JobPhase::Running, 1.0);
+        let text = m.render((0, 0), 1, &stats(), 1);
+        assert!(text.contains("eod_job_latency_seconds_count 0\n"));
+        assert!(text.contains("eod_jobs_completed_total{state=\"done\"} 0\n"));
+    }
+}

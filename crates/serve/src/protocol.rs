@@ -54,6 +54,9 @@ pub enum Request {
     },
     /// Cache and queue counters.
     Stats,
+    /// The full metric surface in Prometheus text exposition format —
+    /// the same text `GET /metrics` serves.
+    Metrics,
     /// Stop the service: drain workers, then stop accepting connections.
     Shutdown,
 }
@@ -160,6 +163,11 @@ pub enum Response {
         /// Worker threads.
         workers: u64,
     },
+    /// The Prometheus exposition text for `Metrics`.
+    Metrics {
+        /// Exposition-format text, exactly as `GET /metrics` would serve.
+        text: String,
+    },
     /// A typed refusal or failure; `code` is one of [`codes`].
     Error {
         /// Machine-readable code.
@@ -243,6 +251,7 @@ mod tests {
             Request::Status { job: None },
             Request::Figure { id: "fig2a".into() },
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
         ] {
             let line = encode(&req);
@@ -272,6 +281,9 @@ mod tests {
             Response::Error {
                 code: codes::QUEUE_FULL.into(),
                 message: "queue full (2 jobs waiting)".into(),
+            },
+            Response::Metrics {
+                text: "# TYPE eod_queue_depth gauge\neod_queue_depth 0\n".into(),
             },
             Response::Bye,
         ] {

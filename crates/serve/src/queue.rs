@@ -80,6 +80,12 @@ impl<T> JobQueue<T> {
         self.state.lock().unwrap().len()
     }
 
+    /// Jobs awaiting a worker at each priority: `(high, normal)`.
+    pub fn depths(&self) -> (usize, usize) {
+        let s = self.state.lock().unwrap();
+        (s.high.len(), s.normal.len())
+    }
+
     /// Whether no jobs are waiting.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -168,6 +174,68 @@ mod tests {
         );
         assert_eq!(q.pop(), Some(7));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn depths_track_per_priority() {
+        let q = JobQueue::new(8);
+        q.push(1, Priority::High).unwrap();
+        q.push(2, Priority::Normal).unwrap();
+        q.push(3, Priority::Normal).unwrap();
+        assert_eq!(q.depths(), (1, 2));
+        assert_eq!(q.len(), 3);
+        q.pop();
+        assert_eq!(q.depths(), (0, 2));
+    }
+
+    #[test]
+    fn contended_pushes_keep_priority_and_per_producer_fifo() {
+        use eod_core::spec::Priority;
+        use std::sync::Arc;
+        let q = Arc::new(JobQueue::new(1024));
+        let producers: Vec<_> = (0..4u32)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..100u32 {
+                        let pri = if i % 2 == 0 {
+                            Priority::High
+                        } else {
+                            Priority::Normal
+                        };
+                        q.push((t, i, pri), pri).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(popped.len(), 400);
+        // Every high job leaves before any normal job.
+        let first_normal = popped
+            .iter()
+            .position(|&(_, _, p)| p == Priority::Normal)
+            .unwrap();
+        assert_eq!(first_normal, 200);
+        assert!(popped[..first_normal]
+            .iter()
+            .all(|&(_, _, p)| p == Priority::High));
+        // FIFO within each (producer, priority) stream.
+        for t in 0..4u32 {
+            for pri in [Priority::High, Priority::Normal] {
+                let seq: Vec<u32> = popped
+                    .iter()
+                    .filter(|&&(tt, _, p)| tt == t && p == pri)
+                    .map(|&(_, i, _)| i)
+                    .collect();
+                assert_eq!(seq.len(), 50);
+                assert!(seq.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+        assert_eq!(q.depths(), (0, 0));
     }
 
     #[test]

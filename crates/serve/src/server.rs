@@ -178,6 +178,10 @@ fn handle_connection(
                     },
                 )?;
             }
+            Request::Metrics => {
+                let text = service.metrics_text();
+                send(&mut out, &Response::Metrics { text })?;
+            }
             Request::Shutdown => {
                 send(&mut out, &Response::Bye)?;
                 stopping.store(true, Ordering::SeqCst);

@@ -10,6 +10,7 @@
 
 use crate::cache::{CacheStats, ResultCache};
 use crate::jobs::{JobBoard, JobId, JobRecord};
+use crate::metrics::ServiceMetrics;
 use crate::queue::{AdmissionError, JobQueue};
 use eod_core::spec::{JobSpec, Priority};
 use eod_harness::figures::{self, Figure};
@@ -63,6 +64,7 @@ pub struct Service {
     queue: JobQueue<Arc<JobRecord>>,
     cache: ResultCache,
     board: JobBoard,
+    metrics: ServiceMetrics,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -74,6 +76,7 @@ impl Service {
             queue: JobQueue::new(config.queue_capacity),
             cache: ResultCache::new(config.cache_capacity),
             board: JobBoard::new(),
+            metrics: ServiceMetrics::new(),
             workers: Mutex::new(Vec::new()),
             config,
         });
@@ -125,10 +128,13 @@ impl Service {
         backpressure: bool,
     ) -> Result<Arc<JobRecord>, AdmissionError> {
         let rec = self.board.create(spec, priority);
+        self.metrics.on_submission(priority);
         // One counted lookup per submission, however many push retries the
         // backpressure loop needs.
         if let Some((json, result)) = self.cache.get(&rec.key) {
             rec.set_done(json, result, true);
+            self.metrics
+                .on_terminal(rec.phase(), rec.age().as_secs_f64());
             return Ok(rec);
         }
         loop {
@@ -139,11 +145,14 @@ impl Service {
                     // An identical job may have finished while we waited.
                     if let Some((json, result)) = self.cache.peek(&rec.key) {
                         rec.set_done(json, result, true);
+                        self.metrics
+                            .on_terminal(rec.phase(), rec.age().as_secs_f64());
                         return Ok(rec);
                     }
                 }
                 Err(e) => {
                     self.board.forget(rec.id);
+                    self.metrics.on_rejection(priority, e);
                     return Err(e);
                 }
             }
@@ -153,27 +162,31 @@ impl Service {
     fn worker_loop(&self) {
         while let Some(rec) = self.queue.pop() {
             rec.set_running();
+            self.metrics.worker_busy();
             // An identical job may have completed while this one queued;
             // answer from the store without re-executing. peek() keeps the
             // hit/miss counters honest — the miss was already counted at
             // submission.
             if let Some((json, result)) = self.cache.peek(&rec.key) {
                 rec.set_done(json, result, true);
-                continue;
+            } else {
+                match eod_harness::execute_spec(&rec.spec) {
+                    Ok(group) => match serde_json::to_string(&group) {
+                        Ok(json) => {
+                            let result = Arc::new(group);
+                            self.cache
+                                .insert(rec.key.clone(), json.clone(), Arc::clone(&result));
+                            rec.set_done(json, result, false);
+                        }
+                        Err(e) => rec.set_failed(format!("result serialization: {e}"), false),
+                    },
+                    Err(e @ RunnerError::TimedOut { .. }) => rec.set_failed(e.to_string(), true),
+                    Err(e) => rec.set_failed(e.to_string(), false),
+                }
             }
-            match eod_harness::execute_spec(&rec.spec) {
-                Ok(group) => match serde_json::to_string(&group) {
-                    Ok(json) => {
-                        let result = Arc::new(group);
-                        self.cache
-                            .insert(rec.key.clone(), json.clone(), Arc::clone(&result));
-                        rec.set_done(json, result, false);
-                    }
-                    Err(e) => rec.set_failed(format!("result serialization: {e}"), false),
-                },
-                Err(e @ RunnerError::TimedOut { .. }) => rec.set_failed(e.to_string(), true),
-                Err(e) => rec.set_failed(e.to_string(), false),
-            }
+            self.metrics
+                .on_terminal(rec.phase(), rec.age().as_secs_f64());
+            self.metrics.worker_idle();
         }
     }
 
@@ -195,6 +208,22 @@ impl Service {
     /// Jobs awaiting a worker.
     pub fn queued(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Jobs awaiting a worker at each priority: `(high, normal)`.
+    pub fn queue_depths(&self) -> (usize, usize) {
+        self.queue.depths()
+    }
+
+    /// The full metric surface in Prometheus text exposition format —
+    /// answers both the protocol's `Metrics` request and `GET /metrics`.
+    pub fn metrics_text(&self) -> String {
+        self.metrics.render(
+            self.queue.depths(),
+            self.queue.capacity(),
+            &self.cache.stats(),
+            self.config.workers.max(1),
+        )
     }
 
     /// Run a whole figure through the queue: one job per measurement

@@ -332,3 +332,82 @@ fn figure_batch_round_trip_hits_the_cache_and_matches_direct() {
     assert_eq!(first.figure.render_ascii(), direct.render_ascii());
     svc.shutdown();
 }
+
+#[test]
+fn metrics_surface_over_protocol_and_http() {
+    let cfg = smoke_serve(2, 8, 4);
+    let runner = cfg.runner.clone();
+    let service = Service::start(cfg);
+    // The Prometheus endpoint, exactly as `eod serve --metrics-addr` wires it.
+    let metrics_http = eod_telemetry::MetricsServer::serve("127.0.0.1:0", {
+        let svc = Arc::clone(&service);
+        move || svc.metrics_text()
+    })
+    .expect("bind metrics endpoint");
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || {
+        let _ = server.run();
+    });
+
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+    let job = spec("crc", ProblemSize::Tiny, "GTX 1080", &runner);
+    let first = client.submit_wait(&job, Priority::Normal).expect("submit");
+    assert_eq!(first.state, "done");
+    let second = client.submit_wait(&job, Priority::High).expect("resubmit");
+    assert!(second.cached, "identical spec is a cache hit");
+
+    // The same exposition text over the ndjson protocol…
+    let text = client.metrics().expect("metrics request");
+    assert!(text.contains("# TYPE eod_queue_depth gauge"), "{text}");
+    assert!(
+        text.contains("eod_queue_depth{priority=\"high\"} 0\n"),
+        "{text}"
+    );
+    assert!(
+        text.contains("eod_queue_depth{priority=\"normal\"} 0\n"),
+        "{text}"
+    );
+    assert!(text.contains("eod_cache_hits_total 1\n"), "{text}");
+    assert!(text.contains("eod_cache_misses_total 1\n"), "{text}");
+    assert!(
+        text.contains("# TYPE eod_job_latency_seconds histogram"),
+        "{text}"
+    );
+    assert!(
+        text.contains("eod_job_latency_seconds_bucket{le=\"+Inf\"} 2\n"),
+        "{text}"
+    );
+    assert!(text.contains("eod_job_latency_seconds_count 2\n"), "{text}");
+    assert!(
+        text.contains("eod_jobs_completed_total{state=\"done\"} 2\n"),
+        "{text}"
+    );
+    assert!(
+        text.contains("eod_jobs_submitted_total{priority=\"high\"} 1\n"),
+        "{text}"
+    );
+    assert!(text.contains("eod_workers 2\n"), "{text}");
+
+    // …and over plain HTTP for a Prometheus scraper.
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(metrics_http.local_addr()).expect("connect http");
+    write!(s, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).expect("read response");
+    assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+    assert!(resp.contains("text/plain; version=0.0.4"), "{resp}");
+    assert!(
+        resp.contains("eod_queue_depth{priority=\"normal\"}"),
+        "{resp}"
+    );
+    assert!(resp.contains("eod_cache_hits_total 1\n"), "{resp}");
+    assert!(resp.contains("eod_cache_misses_total 1\n"), "{resp}");
+    assert!(
+        resp.contains("eod_job_latency_seconds_bucket{le=\"+Inf\"} 2"),
+        "{resp}"
+    );
+
+    metrics_http.stop();
+    stop_server(addr, handle);
+}

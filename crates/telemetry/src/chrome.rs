@@ -1,0 +1,238 @@
+//! Chrome trace-event / Perfetto JSON export.
+//!
+//! Emits the JSON-object flavour of the [trace-event format] that both
+//! `chrome://tracing` and `ui.perfetto.dev` load: a `traceEvents` array of
+//! complete (`"ph":"X"`) slices plus metadata (`"ph":"M"`) events naming
+//! the processes and threads. Timestamps are microseconds.
+//!
+//! Clock domains are kept honest by process split: host-track spans land
+//! in pid 1 ("eod host — wall clock") and device-track spans in pid 2
+//! ("device queue — queue clock"), because simulated devices advance in
+//! *modeled* time that deliberately does not follow the host's wall clock.
+//!
+//! The writer is hand-rolled (string escaping included) so the exporter
+//! has no dependencies and its output shape is fully pinned by tests.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::span::{ArgValue, Span, Track};
+use std::fmt::Write as _;
+
+/// Process id hosting wall-clock (host + region) tracks.
+const HOST_PID: u32 = 1;
+/// Process id hosting queue-clock (device command) tracks.
+const DEVICE_PID: u32 = 2;
+
+fn ids(track: Track) -> (u32, u32) {
+    match track {
+        Track::Host => (HOST_PID, 1),
+        Track::Regions => (HOST_PID, 2),
+        Track::Device => (DEVICE_PID, 1),
+    }
+}
+
+/// Append `s` as a JSON string literal (quotes included).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append an f64 as a JSON number (`null` for non-finite, matching
+/// serde_json's behaviour).
+fn push_json_num(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_arg_value(out: &mut String, v: &ArgValue) {
+    match v {
+        ArgValue::U64(u) => {
+            let _ = write!(out, "{u}");
+        }
+        ArgValue::F64(f) => push_json_num(out, *f),
+        ArgValue::Str(s) => push_json_str(out, s),
+        ArgValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+fn push_metadata(out: &mut String, pid: u32, tid: Option<u32>, kind: &str, name: &str) {
+    out.push_str("{\"ph\":\"M\",\"pid\":");
+    let _ = write!(out, "{pid}");
+    if let Some(tid) = tid {
+        let _ = write!(out, ",\"tid\":{tid}");
+    }
+    out.push_str(",\"name\":");
+    push_json_str(out, kind);
+    out.push_str(",\"args\":{\"name\":");
+    push_json_str(out, name);
+    out.push_str("}}");
+}
+
+/// Render spans as a complete Chrome trace-event JSON document.
+pub fn render_chrome_trace(spans: &[Span]) -> String {
+    let mut out = String::with_capacity(256 + spans.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    push_metadata(
+        &mut out,
+        HOST_PID,
+        None,
+        "process_name",
+        "eod host — wall clock",
+    );
+    out.push(',');
+    push_metadata(
+        &mut out,
+        DEVICE_PID,
+        None,
+        "process_name",
+        "device queue — queue clock",
+    );
+    for track in [Track::Host, Track::Regions, Track::Device] {
+        let (pid, tid) = ids(track);
+        out.push(',');
+        push_metadata(&mut out, pid, Some(tid), "thread_name", track.label());
+    }
+    for span in spans {
+        let (pid, tid) = ids(span.track);
+        out.push_str(",{\"ph\":\"X\",\"name\":");
+        push_json_str(&mut out, &span.name);
+        out.push_str(",\"cat\":");
+        push_json_str(&mut out, span.category);
+        let _ = write!(out, ",\"pid\":{pid},\"tid\":{tid},\"ts\":");
+        push_json_num(&mut out, span.start_us);
+        out.push_str(",\"dur\":");
+        push_json_num(&mut out, span.dur_us.max(0.0));
+        if !span.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (k, v)) in span.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_str(&mut out, k);
+                out.push(':');
+                push_arg_value(&mut out, v);
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(doc: &str) -> serde::Value {
+        serde_json::from_str(doc).expect("exporter output is valid JSON")
+    }
+
+    fn events(v: &serde::Value) -> &[serde::Value] {
+        match v.get_field("traceEvents") {
+            serde::Value::Seq(evs) => evs,
+            other => panic!("traceEvents missing: {other:?}"),
+        }
+    }
+
+    fn as_f64(v: &serde::Value) -> f64 {
+        match v {
+            serde::Value::F64(f) => *f,
+            serde::Value::U64(u) => *u as f64,
+            serde::Value::I64(i) => *i as f64,
+            other => panic!("not a number: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_valid_and_carries_metadata() {
+        let doc = render_chrome_trace(&[]);
+        let v = parse(&doc);
+        let evs = events(&v);
+        // 2 process_name + 3 thread_name metadata events, nothing else.
+        assert_eq!(evs.len(), 5);
+        assert!(evs
+            .iter()
+            .all(|e| e.get_field("ph") == &serde::Value::Str("M".into())));
+    }
+
+    #[test]
+    fn slices_carry_timestamps_durations_and_args() {
+        let spans = vec![
+            Span::new("saxpy", "kernel", Track::Device, 12.5, 80.0)
+                .with_arg("queued_us", 10.0)
+                .with_arg("bound", "memory"),
+            Span::new("host_setup", "host", Track::Host, 0.0, 1500.0),
+        ];
+        let v = parse(&render_chrome_trace(&spans));
+        let evs = events(&v);
+        let kernel = evs
+            .iter()
+            .find(|e| e.get_field("name") == &serde::Value::Str("saxpy".into()))
+            .expect("kernel slice present");
+        assert_eq!(kernel.get_field("ph"), &serde::Value::Str("X".into()));
+        assert_eq!(as_f64(kernel.get_field("ts")), 12.5);
+        assert_eq!(as_f64(kernel.get_field("dur")), 80.0);
+        assert_eq!(kernel.get_field("pid"), &serde::Value::U64(2));
+        assert_eq!(
+            kernel.get_field("args").get_field("bound"),
+            &serde::Value::Str("memory".into())
+        );
+        let host = evs
+            .iter()
+            .find(|e| e.get_field("name") == &serde::Value::Str("host_setup".into()))
+            .expect("host slice present");
+        assert_eq!(host.get_field("pid"), &serde::Value::U64(1));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let spans = vec![Span::new(
+            "weird \"name\"\nwith\tcontrol\u{1}chars\\",
+            "kernel",
+            Track::Device,
+            0.0,
+            1.0,
+        )];
+        let doc = render_chrome_trace(&spans);
+        let v = parse(&doc);
+        let evs = events(&v);
+        let slice = evs.last().unwrap();
+        assert_eq!(
+            slice.get_field("name"),
+            &serde::Value::Str("weird \"name\"\nwith\tcontrol\u{1}chars\\".into())
+        );
+    }
+
+    #[test]
+    fn non_finite_values_become_null() {
+        let spans =
+            vec![Span::new("k", "kernel", Track::Device, f64::NAN, 1.0)
+                .with_arg("bad", f64::INFINITY)];
+        let v = parse(&render_chrome_trace(&spans));
+        let slice = events(&v).last().unwrap().clone();
+        assert_eq!(slice.get_field("ts"), &serde::Value::Null);
+        assert_eq!(
+            slice.get_field("args").get_field("bad"),
+            &serde::Value::Null
+        );
+    }
+}

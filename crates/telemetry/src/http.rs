@@ -1,0 +1,152 @@
+//! A minimal plain-HTTP `GET /metrics` listener.
+//!
+//! Just enough HTTP/1.1 for a Prometheus scraper: one thread accepts
+//! connections, reads the request line, and answers `GET /metrics` with
+//! the render callback's output in text exposition format. Anything else
+//! gets `404`; malformed requests get `400`. Connections are
+//! close-per-request (`Connection: close`), which every scraper handles.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Content type of the Prometheus text exposition format.
+pub const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// A running metrics endpoint; dropping it does *not* stop the listener —
+/// call [`MetricsServer::stop`].
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
+    /// `render()`'s output at `GET /metrics` until [`Self::stop`].
+    pub fn serve<F>(addr: &str, render: F) -> std::io::Result<Self>
+    where
+        F: Fn() -> String + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stopping = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stopping);
+        let handle = std::thread::Builder::new()
+            .name("eod-metrics-http".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        let _ = handle_request(stream, &render);
+                    }
+                }
+            })?;
+        Ok(Self {
+            addr,
+            stopping,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (reports the ephemeral port after `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the listener thread.
+    pub fn stop(mut self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn respond(
+    mut stream: TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn handle_request<F: Fn() -> String>(stream: TcpStream, render: &F) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    // Drain the header block so well-behaved clients see a clean close.
+    let mut header = String::new();
+    while reader.read_line(&mut header)? > 0 && header.trim() != "" {
+        header.clear();
+    }
+    match (method, path) {
+        ("GET", "/metrics") => respond(stream, "200 OK", METRICS_CONTENT_TYPE, &render()),
+        ("GET", _) => respond(stream, "404 Not Found", "text/plain", "not found\n"),
+        ("", _) => respond(stream, "400 Bad Request", "text/plain", "bad request\n"),
+        _ => respond(
+            stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "only GET is supported\n",
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("read response");
+        out
+    }
+
+    #[test]
+    fn serves_metrics_and_404s_everything_else() {
+        let server =
+            MetricsServer::serve("127.0.0.1:0", || "eod_up 1\n".to_string()).expect("bind");
+        let addr = server.local_addr();
+        let ok = http_get(addr, "/metrics");
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("text/plain; version=0.0.4"));
+        assert!(ok.ends_with("eod_up 1\n"), "{ok}");
+        let missing = http_get(addr, "/other");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        server.stop();
+    }
+
+    #[test]
+    fn render_is_called_per_scrape() {
+        use std::sync::atomic::AtomicU64;
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let server = MetricsServer::serve("127.0.0.1:0", move || {
+            format!("scrapes {}\n", n2.fetch_add(1, Ordering::SeqCst) + 1)
+        })
+        .expect("bind");
+        let addr = server.local_addr();
+        assert!(http_get(addr, "/metrics").contains("scrapes 1"));
+        assert!(http_get(addr, "/metrics").contains("scrapes 2"));
+        server.stop();
+    }
+}

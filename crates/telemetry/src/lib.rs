@@ -1,0 +1,39 @@
+//! `eod-telemetry` — tracing and metrics for the Extended OpenDwarfs suite.
+//!
+//! The paper's core methodological contribution is measurement discipline:
+//! LibSciBench regions over the four OpenCL profiling timestamps
+//! (`QUEUED`/`SUBMIT`/`START`/`END`) that "identify overheads in kernel
+//! construction and buffer enqueuing". This crate keeps that per-command
+//! structure instead of throwing it away after aggregation, and adds the
+//! standard operability layer for the long-lived execution service:
+//!
+//! * [`span`]/[`sink`] — a lock-cheap span recorder. [`sink::TraceSink`]
+//!   collects [`span::Span`]s from any thread; the `eod-clrt` command queue
+//!   records one span per enqueued command (kernel, write, read) carrying
+//!   the profiling timestamps and the devsim cost breakdown as span
+//!   arguments, and the harness runner nests host-side phases around them;
+//! * [`chrome`] — a Chrome trace-event / Perfetto JSON exporter, so
+//!   `eod run --trace-out trace.json` produces a file loadable in
+//!   `ui.perfetto.dev` showing the paper's three time components per
+//!   command;
+//! * [`metrics`] — counters, gauges, and fixed-bucket histograms behind a
+//!   [`metrics::Registry`], rendered in Prometheus text exposition format
+//!   (no dependencies, atomics only on the hot path);
+//! * [`http`] — a minimal plain-HTTP `GET /metrics` listener for scraping
+//!   a running `eod serve`.
+//!
+//! The crate is a dependency leaf: it uses only `std`, so every layer of
+//! the workspace (clrt, scibench, harness, serve) can emit into it without
+//! cycles.
+
+pub mod chrome;
+pub mod http;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+pub use chrome::render_chrome_trace;
+pub use http::MetricsServer;
+pub use metrics::{Counter, Gauge, Histogram, Registry, LATENCY_BUCKETS};
+pub use sink::{SpanGuard, TraceSink};
+pub use span::{ArgValue, Span, Track};

@@ -1,0 +1,471 @@
+//! Counters, gauges, and fixed-bucket histograms with a Prometheus text
+//! exposition renderer.
+//!
+//! Instruments are plain atomics — `observe`/`inc` on the hot path never
+//! takes a lock — and the [`Registry`] holds them behind `Arc` so the
+//! service keeps typed handles while the renderer walks the registry.
+//! Values are `f64` throughout (Prometheus samples are 64-bit floats);
+//! atomic updates go through compare-exchange on the bit pattern, which
+//! keeps the crate dependency-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+fn atomic_f64_add(bits: &AtomicU64, delta: f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + delta).to_bits();
+        match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// A monotonically increasing value.
+#[derive(Debug)]
+pub struct Counter {
+    bits: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    /// Add `delta` (negative deltas are ignored: counters only go up).
+    pub fn add(&self, delta: f64) {
+        if delta > 0.0 {
+            atomic_f64_add(&self.bits, delta);
+        }
+    }
+
+    /// Overwrite with a value mirrored from another monotonic source
+    /// (e.g. the result cache's own hit/miss counters). The caller owns
+    /// monotonicity.
+    pub fn mirror(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A value that can go up and down.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Set to `value`.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative).
+    pub fn add(&self, delta: f64) {
+        atomic_f64_add(&self.bits, delta);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A fixed-bucket histogram (cumulative `le` semantics, like Prometheus).
+#[derive(Debug)]
+pub struct Histogram {
+    /// Finite upper bounds, ascending; an implicit `+Inf` bucket follows.
+    bounds: Vec<f64>,
+    /// One per finite bound, plus the `+Inf` overflow bucket.
+    counts: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+}
+
+/// Default latency buckets in seconds: 1 ms … 10 s, roughly log-spaced —
+/// wide enough for tiny cache hits and full `--paper` groups alike.
+pub const LATENCY_BUCKETS: [f64; 13] = [
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+];
+
+impl Histogram {
+    /// A histogram over ascending finite `bounds` (an `+Inf` bucket is
+    /// always appended).
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.sum_bits, value);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative `(upper bound, count ≤ bound)` pairs ending with
+    /// `(+Inf, total)`.
+    pub fn cumulative(&self) -> Vec<(f64, u64)> {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.counts.len());
+        for (i, c) in self.counts.iter().enumerate() {
+            acc += c.load(Ordering::Relaxed);
+            let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, acc));
+        }
+        out
+    }
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Instrument {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Registered {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+/// A set of named instruments, rendered together in Prometheus text
+/// exposition format. Registration order is exposition order; several
+/// registrations may share a name with different labels (one family).
+pub struct Registry {
+    metrics: Mutex<Vec<Registered>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            metrics: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn register(&self, name: &str, help: &str, labels: &[(&str, &str)], instrument: Instrument) {
+        self.metrics.lock().unwrap().push(Registered {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            instrument,
+        });
+    }
+
+    /// Register an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register a counter with fixed labels (one series of a family).
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let c = Arc::new(Counter::new());
+        self.register(name, help, labels, Instrument::Counter(Arc::clone(&c)));
+        c
+    }
+
+    /// Register an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register a gauge with fixed labels.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        self.register(name, help, labels, Instrument::Gauge(Arc::clone(&g)));
+        g
+    }
+
+    /// Register an unlabelled histogram over `bounds`.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::new(bounds));
+        self.register(name, help, &[], Instrument::Histogram(Arc::clone(&h)));
+        h
+    }
+
+    /// Render every registered instrument in Prometheus text exposition
+    /// format (version 0.0.4).
+    pub fn render(&self) -> String {
+        let metrics = self.metrics.lock().unwrap();
+        let mut out = String::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for m in metrics.iter() {
+            if !seen.contains(&m.name.as_str()) {
+                seen.push(&m.name);
+                out.push_str("# HELP ");
+                out.push_str(&m.name);
+                out.push(' ');
+                out.push_str(&m.help);
+                out.push('\n');
+                out.push_str("# TYPE ");
+                out.push_str(&m.name);
+                out.push(' ');
+                out.push_str(m.instrument.type_name());
+                out.push('\n');
+            }
+            match &m.instrument {
+                Instrument::Counter(c) => {
+                    render_sample(&mut out, &m.name, &m.labels, None, c.get());
+                }
+                Instrument::Gauge(g) => {
+                    render_sample(&mut out, &m.name, &m.labels, None, g.get());
+                }
+                Instrument::Histogram(h) => {
+                    for (bound, count) in h.cumulative() {
+                        render_sample(
+                            &mut out,
+                            &format!("{}_bucket", m.name),
+                            &m.labels,
+                            Some(("le", fmt_value(bound))),
+                            count as f64,
+                        );
+                    }
+                    render_sample(
+                        &mut out,
+                        &format!("{}_sum", m.name),
+                        &m.labels,
+                        None,
+                        h.sum(),
+                    );
+                    render_sample(
+                        &mut out,
+                        &format!("{}_count", m.name),
+                        &m.labels,
+                        None,
+                        h.count() as f64,
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Format a sample value: integers without a decimal point, `+Inf` for
+/// the histogram overflow bound.
+fn fmt_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_sample(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    extra: Option<(&str, String)>,
+    value: f64,
+) {
+    out.push_str(name);
+    if !labels.is_empty() || extra.is_some() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_label(v));
+            out.push('"');
+        }
+        if let Some((k, v)) = extra {
+            if !first {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_label(&v));
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(&fmt_value(value));
+    out.push('\n');
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_only_go_up() {
+        let c = Counter::new();
+        c.inc();
+        c.add(2.5);
+        c.add(-10.0);
+        assert_eq!(c.get(), 3.5);
+        c.mirror(7.0);
+        assert_eq!(c.get(), 7.0);
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let g = Gauge::new();
+        g.set(5.0);
+        g.add(-2.0);
+        assert_eq!(g.get(), 3.0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_le_semantics() {
+        let h = Histogram::new(&[0.01, 0.1, 1.0]);
+        for v in [0.005, 0.01, 0.05, 0.5, 3.0] {
+            h.observe(v);
+        }
+        // ≤0.01 holds 0.005 and the boundary value 0.01 itself.
+        assert_eq!(
+            h.cumulative(),
+            vec![(0.01, 2), (0.1, 3), (1.0, 4), (f64::INFINITY, 5)]
+        );
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 3.565).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_observations_lose_nothing() {
+        let h = Arc::new(Histogram::new(&LATENCY_BUCKETS));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        h.observe(i as f64 * 1e-4);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 8000);
+    }
+
+    #[test]
+    fn render_is_prometheus_text_format() {
+        let r = Registry::new();
+        let hits = r.counter_with("eod_cache_ops_total", "Cache operations.", &[("op", "hit")]);
+        let misses = r.counter_with(
+            "eod_cache_ops_total",
+            "Cache operations.",
+            &[("op", "miss")],
+        );
+        let depth = r.gauge("eod_queue_depth", "Jobs awaiting a worker.");
+        let lat = r.histogram("eod_job_latency_seconds", "Job latency.", &[0.1, 1.0]);
+        hits.add(3.0);
+        misses.inc();
+        depth.set(2.0);
+        lat.observe(0.05);
+        lat.observe(5.0);
+        let text = r.render();
+        assert!(text.contains("# HELP eod_cache_ops_total Cache operations.\n"));
+        assert!(text.contains("# TYPE eod_cache_ops_total counter\n"));
+        // HELP/TYPE appear once for the two-series family.
+        assert_eq!(text.matches("# TYPE eod_cache_ops_total").count(), 1);
+        assert!(text.contains("eod_cache_ops_total{op=\"hit\"} 3\n"));
+        assert!(text.contains("eod_cache_ops_total{op=\"miss\"} 1\n"));
+        assert!(text.contains("# TYPE eod_queue_depth gauge\n"));
+        assert!(text.contains("eod_queue_depth 2\n"));
+        assert!(text.contains("eod_job_latency_seconds_bucket{le=\"0.1\"} 1\n"));
+        assert!(text.contains("eod_job_latency_seconds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("eod_job_latency_seconds_sum 5.05\n"));
+        assert!(text.contains("eod_job_latency_seconds_count 2\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_bounds_are_rejected() {
+        Histogram::new(&[1.0, 0.5]);
+    }
+}

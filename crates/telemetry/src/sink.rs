@@ -1,0 +1,166 @@
+//! The thread-safe span collector.
+//!
+//! A [`TraceSink`] is shared (behind `Arc`) between the harness runner,
+//! the command queue, and any other layer that wants to record spans.
+//! Recording is lock-cheap: spans are fully built by the caller and the
+//! lock is held only for one `Vec::push`. When no sink is attached the
+//! instrumented layers skip span construction entirely, so tracing off
+//! costs one `Option` check per command.
+
+use crate::span::{Span, Track};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A collector of [`Span`]s with a wall-clock epoch for host-side spans.
+pub struct TraceSink {
+    epoch: Instant,
+    spans: Mutex<Vec<Span>>,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSink {
+    /// An empty sink whose host-clock zero is *now*.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Microseconds of wall time since the sink was created — the host
+    /// track's clock.
+    pub fn now_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Record one finished span.
+    pub fn record(&self, span: Span) {
+        self.spans.lock().unwrap().push(span);
+    }
+
+    /// Open a host-track span ending (and recording) when the guard drops.
+    pub fn host_span(&self, name: impl Into<String>) -> SpanGuard<'_> {
+        SpanGuard {
+            sink: self,
+            name: name.into(),
+            start_us: self.now_us(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Number of spans recorded so far.
+    pub fn len(&self) -> usize {
+        self.spans.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy of all spans recorded so far, in recording order.
+    pub fn snapshot(&self) -> Vec<Span> {
+        self.spans.lock().unwrap().clone()
+    }
+
+    /// Take all spans out of the sink, leaving it empty.
+    pub fn drain(&self) -> Vec<Span> {
+        std::mem::take(&mut *self.spans.lock().unwrap())
+    }
+}
+
+/// An open host-phase span; records itself into the sink on drop.
+pub struct SpanGuard<'a> {
+    sink: &'a TraceSink,
+    name: String,
+    start_us: f64,
+    args: Vec<(String, crate::span::ArgValue)>,
+}
+
+impl SpanGuard<'_> {
+    /// Attach an argument to the span being built.
+    pub fn arg(&mut self, key: impl Into<String>, value: impl Into<crate::span::ArgValue>) {
+        self.args.push((key.into(), value.into()));
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let dur_us = self.sink.now_us() - self.start_us;
+        self.sink.record(Span {
+            name: std::mem::take(&mut self.name),
+            category: "host",
+            track: Track::Host,
+            start_us: self.start_us,
+            dur_us: dur_us.max(0.0),
+            args: std::mem::take(&mut self.args),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn record_snapshot_drain() {
+        let sink = TraceSink::new();
+        sink.record(Span::new("a", "kernel", Track::Device, 0.0, 1.0));
+        sink.record(Span::new("b", "transfer", Track::Device, 1.0, 2.0));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.snapshot().len(), 2);
+        let taken = sink.drain();
+        assert_eq!(taken.len(), 2);
+        assert!(sink.is_empty());
+        assert_eq!(taken[0].name, "a");
+        assert_eq!(taken[1].name, "b");
+    }
+
+    #[test]
+    fn host_guard_records_on_drop_with_args() {
+        let sink = TraceSink::new();
+        {
+            let mut g = sink.host_span("setup");
+            g.arg("iters", 3u64);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let spans = sink.drain();
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!(s.name, "setup");
+        assert_eq!(s.track, Track::Host);
+        assert!(s.dur_us >= 1_000.0, "slept 2 ms, got {} µs", s.dur_us);
+        assert_eq!(s.args.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let sink = Arc::new(TraceSink::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let sink = Arc::clone(&sink);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        sink.record(Span::new(
+                            format!("t{t}-{i}"),
+                            "kernel",
+                            Track::Device,
+                            i as f64,
+                            1.0,
+                        ));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(sink.len(), 800);
+    }
+}

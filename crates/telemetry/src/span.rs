@@ -1,0 +1,159 @@
+//! Trace spans: one timed slice on one track.
+//!
+//! A [`Span`] is a complete (begin + duration) slice in the Chrome
+//! trace-event sense. Spans carry free-form [`ArgValue`] arguments — the
+//! place where the OpenCL profiling timestamps and the devsim
+//! `KernelCost` breakdown travel so Perfetto shows them in the slice
+//! details pane.
+
+/// Which timeline a span belongs to.
+///
+/// Device-command timestamps live on the *queue clock* (modeled time for
+/// simulated devices), host phases on the wall clock anchored at the
+/// sink's epoch. Keeping them on separate tracks keeps each track
+/// internally consistent instead of pretending the two clock domains
+/// align.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Track {
+    /// Host-side phases (setup, verification, sample loops) on the wall
+    /// clock.
+    Host,
+    /// Device commands (kernel, write, read) on the queue clock.
+    Device,
+    /// LibSciBench region journal laid end-to-end (no absolute
+    /// timestamps of its own — see `RegionLog::record_trace`).
+    Regions,
+}
+
+impl Track {
+    /// Human-readable track name used in exporter metadata.
+    pub fn label(self) -> &'static str {
+        match self {
+            Track::Host => "host phases",
+            Track::Device => "device commands",
+            Track::Regions => "lsb regions",
+        }
+    }
+}
+
+/// A span argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Float (non-finite values export as `null`).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Bool(v)
+    }
+}
+
+/// One complete slice: a named, categorized interval with arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Slice name (kernel name, `"write"`, `"read"`, or a host phase).
+    pub name: String,
+    /// Category string, used by trace viewers for filtering (e.g.
+    /// `"kernel"`, `"transfer"`, `"host"`, `"region"`).
+    pub category: &'static str,
+    /// Which timeline the span belongs to.
+    pub track: Track,
+    /// Start time in microseconds on the track's clock.
+    pub start_us: f64,
+    /// Duration in microseconds (never negative).
+    pub dur_us: f64,
+    /// Arguments shown in the slice details pane.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+impl Span {
+    /// A span with no arguments.
+    pub fn new(
+        name: impl Into<String>,
+        category: &'static str,
+        track: Track,
+        start_us: f64,
+        dur_us: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            category,
+            track,
+            start_us,
+            dur_us: dur_us.max(0.0),
+            args: Vec::new(),
+        }
+    }
+
+    /// Attach an argument (builder style).
+    pub fn with_arg(mut self, key: impl Into<String>, value: impl Into<ArgValue>) -> Self {
+        self.args.push((key.into(), value.into()));
+        self
+    }
+
+    /// End time in microseconds.
+    pub fn end_us(&self) -> f64 {
+        self.start_us + self.dur_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negative_durations_clamp_to_zero() {
+        let s = Span::new("k", "kernel", Track::Device, 10.0, -5.0);
+        assert_eq!(s.dur_us, 0.0);
+        assert_eq!(s.end_us(), 10.0);
+    }
+
+    #[test]
+    fn args_accumulate_in_order() {
+        let s = Span::new("k", "kernel", Track::Device, 0.0, 1.0)
+            .with_arg("queued_us", 3.5)
+            .with_arg("launches", 2u64)
+            .with_arg("bound", "memory");
+        assert_eq!(s.args.len(), 3);
+        assert_eq!(s.args[0], ("queued_us".into(), ArgValue::F64(3.5)));
+        assert_eq!(s.args[1], ("launches".into(), ArgValue::U64(2)));
+        assert_eq!(s.args[2], ("bound".into(), ArgValue::Str("memory".into())));
+    }
+}

@@ -48,7 +48,7 @@ fn fnv1a(text: &str) -> u64 {
 }
 
 /// Drive one property: draw cases from a name-derived deterministic seed
-/// until [`CASES`] accepted runs succeed. Called by generated test fns.
+/// until `CASES` accepted runs succeed. Called by generated test fns.
 pub fn run_cases<F>(name: &str, mut case: F)
 where
     F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
