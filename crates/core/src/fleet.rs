@@ -1,0 +1,179 @@
+//! Shared fleet vocabulary: capability advertisements, lease terms, and
+//! per-job attempt history.
+//!
+//! These types cross process boundaries (worker ⇄ coordinator wire
+//! messages carry them) and appear in client-facing status output, so
+//! they live in the dependency-leaf core crate where both the execution
+//! service and the fleet subsystem can reach them without a cycle.
+
+use serde::{Deserialize, Serialize};
+
+/// Wire-protocol revision a worker advertises in its `Register` message.
+/// Coordinators accept any worker whose version they can parse; the
+/// number exists so a future incompatible change can be refused with a
+/// clear error instead of a decode failure.
+pub const FLEET_PROTO_VERSION: u32 = 1;
+
+/// Coordinator-assigned worker identity, unique per coordinator lifetime.
+pub type WorkerId = u64;
+
+/// Coordinator-assigned lease identity, unique per coordinator lifetime.
+pub type LeaseId = u64;
+
+/// What a worker can do, advertised once at registration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerCapabilities {
+    /// Human-readable worker name (metric label; deduplicated by the
+    /// coordinator if two workers advertise the same name).
+    pub name: String,
+    /// Jobs the worker executes concurrently.
+    pub slots: u32,
+    /// Device names the worker serves; empty means every device.
+    pub devices: Vec<String>,
+}
+
+impl WorkerCapabilities {
+    /// Whether this worker can execute jobs targeting `device`.
+    pub fn supports_device(&self, device: &str) -> bool {
+        self.devices.is_empty() || self.devices.iter().any(|d| d == device)
+    }
+}
+
+/// Lease economics the coordinator dictates in its `Welcome` message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeaseTerms {
+    /// How often the worker must heartbeat, in milliseconds.
+    pub heartbeat_ms: u64,
+    /// How long a lease lives without renewal, in milliseconds. Every
+    /// heartbeat renews all leases the worker lists.
+    pub lease_ttl_ms: u64,
+}
+
+/// How one execution attempt of a job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttemptOutcome {
+    /// The attempt produced the job's result.
+    Completed,
+    /// The executor reported an error; the failure is deterministic and
+    /// terminal.
+    ExecutionFailed,
+    /// The attempt exceeded the job's wall-clock budget.
+    TimedOut,
+    /// The lease expired without renewal; the job was requeued.
+    LeaseExpired,
+    /// The worker holding the lease died (missed heartbeats or dropped
+    /// its connection); the job was requeued.
+    WorkerLost,
+    /// Another attempt of the same job finished first; this duplicate's
+    /// result was discarded (straggler re-dispatch, first wins).
+    Superseded,
+    /// The worker refused the grant (e.g. no free slot); the job was
+    /// requeued without counting an execution failure.
+    Rejected,
+}
+
+impl AttemptOutcome {
+    /// Lowercase label used in status output and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttemptOutcome::Completed => "completed",
+            AttemptOutcome::ExecutionFailed => "failed",
+            AttemptOutcome::TimedOut => "timed-out",
+            AttemptOutcome::LeaseExpired => "lease-expired",
+            AttemptOutcome::WorkerLost => "worker-lost",
+            AttemptOutcome::Superseded => "superseded",
+            AttemptOutcome::Rejected => "rejected",
+        }
+    }
+}
+
+/// One resolved execution attempt in a job's history.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attempt {
+    /// 1-based attempt ordinal.
+    pub attempt: u32,
+    /// Who executed it: a fleet worker's name, or `"local"` for the
+    /// in-process pool.
+    pub worker: String,
+    /// How it ended.
+    pub outcome: AttemptOutcome,
+    /// Error message or other context, when there is any.
+    pub detail: Option<String>,
+}
+
+impl Attempt {
+    /// Compact one-line rendering for status output, e.g.
+    /// `#2 local timed-out (timed out after exceeding 0.001s budget)`.
+    pub fn render(&self) -> String {
+        match &self.detail {
+            Some(d) => format!(
+                "#{} {} {} ({d})",
+                self.attempt,
+                self.worker,
+                self.outcome.label()
+            ),
+            None => format!("#{} {} {}", self.attempt, self.worker, self.outcome.label()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capabilities_device_filter() {
+        let any = WorkerCapabilities {
+            name: "w".into(),
+            slots: 2,
+            devices: Vec::new(),
+        };
+        assert!(any.supports_device("GTX 1080"));
+        let gpu_only = WorkerCapabilities {
+            name: "w".into(),
+            slots: 2,
+            devices: vec!["GTX 1080".into(), "K40m".into()],
+        };
+        assert!(gpu_only.supports_device("K40m"));
+        assert!(!gpu_only.supports_device("i7-6700K"));
+    }
+
+    #[test]
+    fn attempt_history_round_trips() {
+        let a = Attempt {
+            attempt: 2,
+            worker: "w1".into(),
+            outcome: AttemptOutcome::LeaseExpired,
+            detail: Some("missed 3 heartbeats".into()),
+        };
+        let back = Attempt::from_value(&a.to_value()).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(a.render(), "#2 w1 lease-expired (missed 3 heartbeats)");
+        let bare = Attempt {
+            attempt: 1,
+            worker: "local".into(),
+            outcome: AttemptOutcome::Completed,
+            detail: None,
+        };
+        assert_eq!(bare.render(), "#1 local completed");
+    }
+
+    #[test]
+    fn every_outcome_has_a_distinct_label() {
+        let all = [
+            AttemptOutcome::Completed,
+            AttemptOutcome::ExecutionFailed,
+            AttemptOutcome::TimedOut,
+            AttemptOutcome::LeaseExpired,
+            AttemptOutcome::WorkerLost,
+            AttemptOutcome::Superseded,
+            AttemptOutcome::Rejected,
+        ];
+        let labels: std::collections::BTreeSet<_> = all.iter().map(|o| o.label()).collect();
+        assert_eq!(labels.len(), all.len());
+        for o in all {
+            let back = AttemptOutcome::from_value(&o.to_value()).unwrap();
+            assert_eq!(back, o);
+        }
+    }
+}

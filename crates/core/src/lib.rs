@@ -17,11 +17,15 @@
 //! * [`validation`] — output-correctness helpers ("comparing outputs
 //!   against a serial implementation … or comparing norms", §4.4.2);
 //! * [`spec`] — serializable job specifications and stable content
-//!   hashing for the execution service.
+//!   hashing for the execution service;
+//! * [`fleet`] — the distributed-fleet vocabulary shared by the
+//!   coordinator, the workers, and client-facing status output: worker
+//!   capability advertisements, lease terms, and per-job attempt history.
 
 pub mod args;
 pub mod benchmark;
 pub mod dwarf;
+pub mod fleet;
 pub mod sizes;
 pub mod sizing;
 pub mod spec;
@@ -29,6 +33,7 @@ pub mod validation;
 
 pub use benchmark::{Benchmark, IterationOutput, Workload};
 pub use dwarf::Dwarf;
+pub use fleet::{Attempt, AttemptOutcome, LeaseTerms, WorkerCapabilities};
 pub use sizes::{ProblemSize, ScaleTable};
 pub use sizing::SkylakeHierarchy;
 pub use spec::{ExecConfig, JobSpec, Priority};

@@ -1,0 +1,340 @@
+//! The fleet wire protocol: newline-delimited JSON, one message per line.
+//!
+//! Two directions, two enums: [`WorkerMsg`] travels worker → coordinator,
+//! [`CoordMsg`] coordinator → worker. Every variant is a *struct* variant
+//! (even the payload-free ones) so each serializes as a one-entry object
+//! — `{"Heartbeat":{"held":[3]}}` — whose body tolerates unknown fields:
+//! a newer peer can add fields and an older one still decodes the message
+//! (the derive resolves fields by name and ignores the rest). Entirely
+//! unknown message *variants* fail to decode; both loop implementations
+//! count and skip such lines instead of dropping the connection, so a
+//! newer peer introducing a new message degrades to a no-op rather than
+//! an outage.
+
+use eod_core::fleet::WorkerCapabilities;
+use eod_core::spec::JobSpec;
+use serde::{Deserialize, Serialize};
+
+/// A message from a worker to the coordinator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkerMsg {
+    /// First message on a connection: advertise capabilities.
+    Register {
+        /// Protocol revision ([`eod_core::fleet::FLEET_PROTO_VERSION`]).
+        proto: u32,
+        /// What this worker can do.
+        caps: WorkerCapabilities,
+    },
+    /// Periodic liveness signal; renews every listed lease.
+    Heartbeat {
+        /// Leases the worker currently holds (running or queued locally).
+        held: Vec<u64>,
+    },
+    /// A leased job finished with a result.
+    Completed {
+        /// The lease under which the job ran.
+        lease: u64,
+        /// The job id.
+        job: u64,
+        /// The serialized `GroupResult`, stored verbatim in the shared
+        /// result cache.
+        group: String,
+    },
+    /// A leased job finished with an execution error.
+    Failed {
+        /// The lease under which the job ran.
+        lease: u64,
+        /// The job id.
+        job: u64,
+        /// Error message.
+        error: String,
+        /// Whether the error was the per-job wall-clock budget.
+        timed_out: bool,
+    },
+    /// The worker refused a grant (e.g. no free slot); the coordinator
+    /// requeues the job without counting an execution failure.
+    Reject {
+        /// The refused lease.
+        lease: u64,
+        /// The job id.
+        job: u64,
+        /// Why it was refused.
+        reason: String,
+    },
+    /// A revoked lease's execution finished; the result was discarded and
+    /// the slot is free again.
+    Released {
+        /// The revoked lease.
+        lease: u64,
+        /// The job id.
+        job: u64,
+    },
+    /// Graceful goodbye: the worker has drained and is disconnecting.
+    Bye {},
+}
+
+/// A message from the coordinator to a worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CoordMsg {
+    /// Registration accepted; carries the worker's identity and the lease
+    /// economics it must observe.
+    Welcome {
+        /// Coordinator-assigned worker id.
+        worker: u64,
+        /// Required heartbeat period, milliseconds.
+        heartbeat_ms: u64,
+        /// Lease lifetime without renewal, milliseconds.
+        lease_ttl_ms: u64,
+    },
+    /// Assign a job to the worker under a lease.
+    Grant {
+        /// The new lease's id.
+        lease: u64,
+        /// The job id (echoed in the completion message).
+        job: u64,
+        /// What to run.
+        spec: JobSpec,
+    },
+    /// Cancel a lease: another attempt of the job won, discard the result
+    /// when execution finishes and answer with `Released`.
+    Revoke {
+        /// The cancelled lease.
+        lease: u64,
+        /// Why (for logs).
+        reason: String,
+    },
+    /// Stop accepting grants, finish what is running, then say `Bye`.
+    Drain {},
+}
+
+/// Serialize one protocol line (no trailing newline).
+pub fn encode<T: Serialize>(msg: &T) -> String {
+    serde_json::to_string(msg).expect("fleet protocol types always serialize")
+}
+
+/// Parse one protocol line.
+pub fn decode<T: Deserialize>(line: &str) -> Result<T, String> {
+    serde_json::from_str::<T>(line.trim()).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eod_core::fleet::FLEET_PROTO_VERSION;
+    use eod_core::sizes::ProblemSize;
+    use eod_core::spec::ExecConfig;
+    use serde::Value;
+    use std::time::Duration;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            benchmark: "srad".into(),
+            size: ProblemSize::Small,
+            device: "GTX 1080".into(),
+            config: ExecConfig {
+                samples: 3,
+                min_loop: Duration::from_micros(20),
+                max_iters_per_sample: 4,
+                verify: true,
+                real_execution: true,
+                energy_all_devices: false,
+                seed: 11,
+                timeout: Some(Duration::from_secs(60)),
+            },
+        }
+    }
+
+    fn caps() -> WorkerCapabilities {
+        WorkerCapabilities {
+            name: "w1".into(),
+            slots: 4,
+            devices: vec!["GTX 1080".into()],
+        }
+    }
+
+    /// Every worker → coordinator message round-trips through one line.
+    #[test]
+    fn worker_messages_round_trip() {
+        for msg in [
+            WorkerMsg::Register {
+                proto: FLEET_PROTO_VERSION,
+                caps: caps(),
+            },
+            WorkerMsg::Heartbeat { held: vec![] },
+            WorkerMsg::Heartbeat {
+                held: vec![1, 7, 9],
+            },
+            WorkerMsg::Completed {
+                lease: 3,
+                job: 12,
+                group: "{\"kernel_ms\":[0.5]}".into(),
+            },
+            WorkerMsg::Failed {
+                lease: 4,
+                job: 13,
+                error: "verification failed".into(),
+                timed_out: false,
+            },
+            WorkerMsg::Failed {
+                lease: 5,
+                job: 14,
+                error: "timed out".into(),
+                timed_out: true,
+            },
+            WorkerMsg::Reject {
+                lease: 6,
+                job: 15,
+                reason: "no free slot".into(),
+            },
+            WorkerMsg::Released { lease: 7, job: 16 },
+            WorkerMsg::Bye {},
+        ] {
+            let line = encode(&msg);
+            assert!(!line.contains('\n'), "one message per line: {line}");
+            let back: WorkerMsg = decode(&line).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    /// Every coordinator → worker message round-trips through one line.
+    #[test]
+    fn coordinator_messages_round_trip() {
+        for msg in [
+            CoordMsg::Welcome {
+                worker: 2,
+                heartbeat_ms: 500,
+                lease_ttl_ms: 2000,
+            },
+            CoordMsg::Grant {
+                lease: 8,
+                job: 21,
+                spec: spec(),
+            },
+            CoordMsg::Revoke {
+                lease: 8,
+                reason: "superseded".into(),
+            },
+            CoordMsg::Drain {},
+        ] {
+            let line = encode(&msg);
+            assert!(!line.contains('\n'), "one message per line: {line}");
+            let back: CoordMsg = decode(&line).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    /// Splice an unknown field into a message's variant body. Returns the
+    /// re-encoded line.
+    fn with_extra_field(line: &str, field: &str) -> String {
+        let v: Value = serde_json::from_str(line).unwrap();
+        let Value::Map(mut outer) = v else {
+            panic!("messages serialize as one-entry objects: {line}")
+        };
+        assert_eq!(outer.len(), 1);
+        let (_, inner) = &mut outer[0];
+        let Value::Map(fields) = inner else {
+            panic!("variant bodies are objects: {line}")
+        };
+        fields.push((field.to_string(), Value::Bool(true)));
+        serde_json::to_string(&Value::Map(outer)).unwrap()
+    }
+
+    /// Forward compatibility: a newer peer may add fields to any message
+    /// body; an older decoder must ignore them.
+    #[test]
+    fn unknown_fields_in_any_message_are_tolerated() {
+        let worker_msgs = [
+            encode(&WorkerMsg::Register {
+                proto: FLEET_PROTO_VERSION,
+                caps: caps(),
+            }),
+            encode(&WorkerMsg::Heartbeat { held: vec![2] }),
+            encode(&WorkerMsg::Completed {
+                lease: 1,
+                job: 2,
+                group: "{}".into(),
+            }),
+            encode(&WorkerMsg::Failed {
+                lease: 1,
+                job: 2,
+                error: "x".into(),
+                timed_out: false,
+            }),
+            encode(&WorkerMsg::Reject {
+                lease: 1,
+                job: 2,
+                reason: "busy".into(),
+            }),
+            encode(&WorkerMsg::Released { lease: 1, job: 2 }),
+            encode(&WorkerMsg::Bye {}),
+        ];
+        for line in worker_msgs {
+            let extended = with_extra_field(&line, "future_hint");
+            let original: WorkerMsg = decode(&line).unwrap();
+            let tolerant: WorkerMsg = decode(&extended)
+                .unwrap_or_else(|e| panic!("extended line must decode: {extended}: {e}"));
+            assert_eq!(tolerant, original);
+        }
+        let coord_msgs = [
+            encode(&CoordMsg::Welcome {
+                worker: 1,
+                heartbeat_ms: 100,
+                lease_ttl_ms: 400,
+            }),
+            encode(&CoordMsg::Grant {
+                lease: 1,
+                job: 2,
+                spec: spec(),
+            }),
+            encode(&CoordMsg::Revoke {
+                lease: 1,
+                reason: "superseded".into(),
+            }),
+            encode(&CoordMsg::Drain {}),
+        ];
+        for line in coord_msgs {
+            let extended = with_extra_field(&line, "future_hint");
+            let original: CoordMsg = decode(&line).unwrap();
+            let tolerant: CoordMsg = decode(&extended)
+                .unwrap_or_else(|e| panic!("extended line must decode: {extended}: {e}"));
+            assert_eq!(tolerant, original);
+        }
+    }
+
+    /// Unknown fields nested inside a Grant's spec are also ignored.
+    #[test]
+    fn unknown_fields_inside_nested_spec_are_tolerated() {
+        let line = encode(&CoordMsg::Grant {
+            lease: 1,
+            job: 2,
+            spec: spec(),
+        });
+        let v: Value = serde_json::from_str(&line).unwrap();
+        let Value::Map(mut outer) = v else { panic!() };
+        let (_, inner) = &mut outer[0];
+        let Value::Map(fields) = inner else { panic!() };
+        for (k, fv) in fields.iter_mut() {
+            if k == "spec" {
+                let Value::Map(spec_fields) = fv else {
+                    panic!()
+                };
+                spec_fields.push(("affinity".into(), Value::Str("any".into())));
+            }
+        }
+        let extended = serde_json::to_string(&Value::Map(outer)).unwrap();
+        let back: CoordMsg = decode(&extended).unwrap();
+        let CoordMsg::Grant { spec: s, .. } = back else {
+            panic!()
+        };
+        assert_eq!(s, spec());
+    }
+
+    /// Unknown variants and garbage fail to decode (callers skip the line).
+    #[test]
+    fn unknown_variants_and_garbage_are_errors() {
+        assert!(decode::<WorkerMsg>("{\"FutureMessage\":{}}").is_err());
+        assert!(decode::<CoordMsg>("{\"FutureMessage\":{}}").is_err());
+        assert!(decode::<WorkerMsg>("{not json").is_err());
+        assert!(decode::<CoordMsg>("").is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Fleet observability: counters for the failure-handling machinery and
+//! per-worker utilization gauges.
+//!
+//! The fleet keeps its own [`Registry`] so the serve layer can append
+//! `metrics_text()` to its existing exposition without merging
+//! registries. Per-worker gauges are registered lazily when a worker
+//! registers; workers never un-register (the registry has no removal),
+//! so a departed worker's gauges freeze at zero — which is itself a
+//! useful signal on a dashboard.
+
+use eod_telemetry::metrics::{Counter, Gauge, Registry};
+use std::sync::Arc;
+
+/// Fleet-wide counters, created once per coordinator.
+pub struct FleetMetrics {
+    registry: Registry,
+    /// Leases granted (including straggler duplicates).
+    pub dispatches: Arc<Counter>,
+    /// Jobs requeued after a failed/expired/rejected attempt.
+    pub retries: Arc<Counter>,
+    /// Jobs requeued because their worker died (missed heartbeats or
+    /// dropped connection).
+    pub failovers: Arc<Counter>,
+    /// Duplicate leases granted for jobs running past the straggler
+    /// deadline.
+    pub straggler_redispatches: Arc<Counter>,
+    /// Results discarded because another attempt finished first.
+    pub duplicates_discarded: Arc<Counter>,
+    /// Lines that failed to decode (skipped, not fatal).
+    pub protocol_errors: Arc<Counter>,
+    /// Currently registered (live) workers.
+    pub workers: Arc<Gauge>,
+}
+
+/// One worker's gauge set, created at registration.
+pub struct WorkerGauges {
+    /// Advertised slot count (constant after registration).
+    pub slots: Arc<Gauge>,
+    /// Slots currently running a job.
+    pub slots_busy: Arc<Gauge>,
+    /// Leases currently held.
+    pub leases: Arc<Gauge>,
+    /// Seconds since the last heartbeat (refreshed at render time).
+    pub heartbeat_age: Arc<Gauge>,
+}
+
+impl FleetMetrics {
+    pub fn new() -> FleetMetrics {
+        let registry = Registry::new();
+        let dispatches = registry.counter(
+            "eod_fleet_dispatches_total",
+            "Leases granted to workers, including straggler duplicates.",
+        );
+        let retries = registry.counter(
+            "eod_fleet_retries_total",
+            "Jobs requeued after a failed, expired, or rejected attempt.",
+        );
+        let failovers = registry.counter(
+            "eod_fleet_failovers_total",
+            "Jobs requeued because the worker holding them died.",
+        );
+        let straggler_redispatches = registry.counter(
+            "eod_fleet_straggler_redispatches_total",
+            "Duplicate leases granted for jobs past the straggler deadline.",
+        );
+        let duplicates_discarded = registry.counter(
+            "eod_fleet_duplicates_discarded_total",
+            "Completed results discarded because another attempt won.",
+        );
+        let protocol_errors = registry.counter(
+            "eod_fleet_protocol_errors_total",
+            "Protocol lines that failed to decode and were skipped.",
+        );
+        let workers = registry.gauge("eod_fleet_workers", "Currently registered live workers.");
+        FleetMetrics {
+            registry,
+            dispatches,
+            retries,
+            failovers,
+            straggler_redispatches,
+            duplicates_discarded,
+            protocol_errors,
+            workers,
+        }
+    }
+
+    /// Register the per-worker gauge family for `worker_label`.
+    pub fn worker_gauges(&self, worker_label: &str) -> WorkerGauges {
+        let labels = &[("worker", worker_label)];
+        let slots = self.registry.gauge_with(
+            "eod_fleet_worker_slots",
+            "Slots the worker advertised at registration.",
+            labels,
+        );
+        let slots_busy = self.registry.gauge_with(
+            "eod_fleet_worker_slots_busy",
+            "Slots currently executing a job.",
+            labels,
+        );
+        let leases = self.registry.gauge_with(
+            "eod_fleet_worker_leases",
+            "Leases the worker currently holds.",
+            labels,
+        );
+        let heartbeat_age = self.registry.gauge_with(
+            "eod_fleet_worker_heartbeat_age_seconds",
+            "Seconds since the worker's last heartbeat.",
+            labels,
+        );
+        WorkerGauges {
+            slots,
+            slots_busy,
+            leases,
+            heartbeat_age,
+        }
+    }
+
+    /// Prometheus text exposition of every fleet metric.
+    pub fn render(&self) -> String {
+        self.registry.render()
+    }
+}
+
+impl Default for FleetMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_contains_fleet_counters_and_worker_gauges() {
+        let m = FleetMetrics::new();
+        m.retries.inc();
+        m.failovers.inc();
+        m.straggler_redispatches.add(2.0);
+        m.workers.set(3.0);
+        let w = m.worker_gauges("w1");
+        w.slots.set(4.0);
+        w.slots_busy.set(1.0);
+        w.leases.set(1.0);
+        w.heartbeat_age.set(0.25);
+        let text = m.render();
+        assert!(text.contains("eod_fleet_retries_total 1"));
+        assert!(text.contains("eod_fleet_failovers_total 1"));
+        assert!(text.contains("eod_fleet_straggler_redispatches_total 2"));
+        assert!(text.contains("eod_fleet_workers 3"));
+        assert!(text.contains("eod_fleet_worker_slots{worker=\"w1\"} 4"));
+        assert!(text.contains("eod_fleet_worker_slots_busy{worker=\"w1\"} 1"));
+        assert!(text.contains("eod_fleet_worker_heartbeat_age_seconds{worker=\"w1\"}"));
+    }
+}

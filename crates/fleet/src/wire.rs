@@ -1,0 +1,374 @@
+//! Line transports for the fleet protocol.
+//!
+//! Everything above this layer speaks [`Wire`]: send one line, receive
+//! one line with a timeout, close. Two implementations exist — [`TcpWire`]
+//! for real deployments and [`LocalWire`] for tests, which connects a
+//! coordinator to an in-process worker through a pair of channels that
+//! carry *encoded protocol lines*, so unit tests exercise the exact
+//! serialization path production traffic takes, minus the socket.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Why a transport operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The peer is gone (clean close or broken pipe). Terminal.
+    Closed,
+    /// An I/O error other than disconnection.
+    Io(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A bidirectional, line-oriented message transport.
+///
+/// `recv_line` returns `Ok(None)` on timeout (the caller's loop tick) and
+/// `Err(WireError::Closed)` when the peer is gone for good.
+pub trait Wire: Send + Sync {
+    /// Send one protocol line (the implementation appends the newline).
+    fn send_line(&self, line: &str) -> Result<(), WireError>;
+    /// Wait up to `timeout` for the next line.
+    fn recv_line(&self, timeout: Duration) -> Result<Option<String>, WireError>;
+    /// Tear the connection down; the peer observes `Closed`.
+    fn close(&self);
+}
+
+/// In-process transport: a pair of endpoints joined by two channels.
+pub struct LocalWire {
+    tx: Mutex<Option<Sender<String>>>,
+    rx: Mutex<Receiver<String>>,
+}
+
+impl LocalWire {
+    /// Create a connected pair; lines sent on one endpoint arrive at the
+    /// other. Closing either endpoint disconnects both directions it owns.
+    pub fn pair() -> (Arc<LocalWire>, Arc<LocalWire>) {
+        let (a_tx, b_rx) = mpsc::channel();
+        let (b_tx, a_rx) = mpsc::channel();
+        let a = Arc::new(LocalWire {
+            tx: Mutex::new(Some(a_tx)),
+            rx: Mutex::new(a_rx),
+        });
+        let b = Arc::new(LocalWire {
+            tx: Mutex::new(Some(b_tx)),
+            rx: Mutex::new(b_rx),
+        });
+        (a, b)
+    }
+}
+
+impl Wire for LocalWire {
+    fn send_line(&self, line: &str) -> Result<(), WireError> {
+        let guard = self.tx.lock().unwrap();
+        match guard.as_ref() {
+            Some(tx) => tx.send(line.to_string()).map_err(|_| WireError::Closed),
+            None => Err(WireError::Closed),
+        }
+    }
+
+    fn recv_line(&self, timeout: Duration) -> Result<Option<String>, WireError> {
+        let rx = self.rx.lock().unwrap();
+        match rx.recv_timeout(timeout) {
+            Ok(line) => Ok(Some(line)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(WireError::Closed),
+        }
+    }
+
+    fn close(&self) {
+        // Dropping the sender disconnects the peer's receiver; our own
+        // receiver drains whatever was already in flight, then reports
+        // Closed once the peer drops its sender too.
+        self.tx.lock().unwrap().take();
+    }
+}
+
+/// TCP transport: one socket, writes serialized under a mutex, reads
+/// buffered with a per-call timeout.
+pub struct TcpWire {
+    writer: Mutex<TcpStream>,
+    reader: Mutex<BufReader<TcpStream>>,
+    shutdown_handle: TcpStream,
+    closed: AtomicBool,
+}
+
+impl TcpWire {
+    /// Wrap an established connection.
+    pub fn new(stream: TcpStream) -> std::io::Result<TcpWire> {
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        let shutdown_handle = stream.try_clone()?;
+        Ok(TcpWire {
+            writer: Mutex::new(stream),
+            reader: Mutex::new(reader),
+            shutdown_handle,
+            closed: AtomicBool::new(false),
+        })
+    }
+
+    /// Connect to a coordinator, retrying with linear backoff while the
+    /// address refuses connections, up to `deadline` from now. Lets a
+    /// worker start before (or survive a restart of) its coordinator.
+    pub fn connect(addr: &str, deadline: Duration) -> std::io::Result<TcpWire> {
+        let start = Instant::now();
+        let mut delay = Duration::from_millis(50);
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => return TcpWire::new(stream),
+                Err(e) if start.elapsed() + delay < deadline => {
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(Duration::from_millis(500));
+                    let _ = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Wire for TcpWire {
+    fn send_line(&self, line: &str) -> Result<(), WireError> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(WireError::Closed);
+        }
+        let mut w = self.writer.lock().unwrap();
+        let mut buf = String::with_capacity(line.len() + 1);
+        buf.push_str(line);
+        buf.push('\n');
+        w.write_all(buf.as_bytes()).map_err(|e| match e.kind() {
+            std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted => WireError::Closed,
+            _ => WireError::Io(e.to_string()),
+        })
+    }
+
+    fn recv_line(&self, timeout: Duration) -> Result<Option<String>, WireError> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(WireError::Closed);
+        }
+        let mut r = self.reader.lock().unwrap();
+        r.get_ref()
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))
+            .map_err(|e| WireError::Io(e.to_string()))?;
+        let mut line = String::new();
+        match r.read_line(&mut line) {
+            Ok(0) => Err(WireError::Closed),
+            Ok(_) => Ok(Some(line)),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // A timeout mid-line would lose the partial read, but
+                // protocol lines are written with a single write_all, so
+                // in practice a line is either fully available or absent.
+                Ok(None)
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::ConnectionReset
+                    || e.kind() == std::io::ErrorKind::ConnectionAborted =>
+            {
+                Err(WireError::Closed)
+            }
+            Err(e) => Err(WireError::Io(e.to_string())),
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        let _ = self.shutdown_handle.shutdown(Shutdown::Both);
+    }
+}
+
+/// TCP accept loop for a coordinator: each inbound connection becomes a
+/// [`TcpWire`] handed to the supplied callback (which attaches it to the
+/// coordinator).
+pub struct FleetListener {
+    addr: std::net::SocketAddr,
+    stopping: Arc<AtomicBool>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl FleetListener {
+    /// Bind `addr` and start accepting; `on_connect` runs on the accept
+    /// thread for every connection.
+    pub fn start(
+        addr: &str,
+        on_connect: impl Fn(Arc<dyn Wire>) + Send + 'static,
+    ) -> std::io::Result<Arc<FleetListener>> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stopping = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&stopping);
+        let handle = std::thread::Builder::new()
+            .name("fleet-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    match TcpWire::new(stream) {
+                        Ok(wire) => on_connect(Arc::new(wire)),
+                        Err(_) => continue,
+                    }
+                }
+            })
+            .expect("spawn fleet accept thread");
+        Ok(Arc::new(FleetListener {
+            addr: local,
+            stopping,
+            handle: Mutex::new(Some(handle)),
+        }))
+    }
+
+    /// The bound address (useful when started on port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept thread. Existing connections
+    /// stay up; the coordinator owns their lifecycle.
+    pub fn stop(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        // Unblock accept() with a throwaway connection, the same trick the
+        // serve crate's Server uses.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.lock().unwrap().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_pair_delivers_lines_both_ways() {
+        let (a, b) = LocalWire::pair();
+        a.send_line("{\"ping\":1}").unwrap();
+        b.send_line("{\"pong\":2}").unwrap();
+        assert_eq!(
+            b.recv_line(Duration::from_millis(100)).unwrap().as_deref(),
+            Some("{\"ping\":1}")
+        );
+        assert_eq!(
+            a.recv_line(Duration::from_millis(100)).unwrap().as_deref(),
+            Some("{\"pong\":2}")
+        );
+    }
+
+    #[test]
+    fn local_timeout_is_none_and_close_is_closed() {
+        let (a, b) = LocalWire::pair();
+        assert_eq!(a.recv_line(Duration::from_millis(10)).unwrap(), None);
+        b.close();
+        assert_eq!(b.send_line("x"), Err(WireError::Closed));
+        // a's sends now fail; a's receiver reports Closed once drained.
+        assert_eq!(
+            a.recv_line(Duration::from_millis(50)),
+            Err(WireError::Closed)
+        );
+    }
+
+    #[test]
+    fn local_close_drains_in_flight_lines_first() {
+        let (a, b) = LocalWire::pair();
+        a.send_line("last words").unwrap();
+        a.close();
+        assert_eq!(
+            b.recv_line(Duration::from_millis(50)).unwrap().as_deref(),
+            Some("last words")
+        );
+        assert_eq!(
+            b.recv_line(Duration::from_millis(50)),
+            Err(WireError::Closed)
+        );
+    }
+
+    #[test]
+    fn tcp_wire_round_trips_and_detects_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let wire = TcpWire::new(stream).unwrap();
+            let line = wire.recv_line(Duration::from_secs(2)).unwrap().unwrap();
+            wire.send_line(line.trim()).unwrap();
+            wire.close();
+        });
+        let client = TcpWire::connect(&addr.to_string(), Duration::from_secs(2)).unwrap();
+        client.send_line("{\"echo\":true}").unwrap();
+        let back = client.recv_line(Duration::from_secs(2)).unwrap().unwrap();
+        assert_eq!(back.trim(), "{\"echo\":true}");
+        // After the server closes, the next read reports Closed (possibly
+        // after a timeout tick).
+        let mut saw_closed = false;
+        for _ in 0..50 {
+            match client.recv_line(Duration::from_millis(50)) {
+                Err(WireError::Closed) => {
+                    saw_closed = true;
+                    break;
+                }
+                Ok(None) => continue,
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        assert!(saw_closed);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_connect_retries_until_listener_binds() {
+        // Reserve a port, free it, then bind it again after a delay; the
+        // connect helper must ride out the refused window.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let binder = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            TcpListener::bind(addr).unwrap().accept().unwrap();
+        });
+        let wire = TcpWire::connect(&addr.to_string(), Duration::from_secs(5)).unwrap();
+        drop(wire);
+        binder.join().unwrap();
+    }
+
+    #[test]
+    fn listener_hands_connections_to_callback_and_stops() {
+        let (tx, rx) = mpsc::channel::<Arc<dyn Wire>>();
+        let listener = FleetListener::start("127.0.0.1:0", move |wire| {
+            let _ = tx.send(wire);
+        })
+        .unwrap();
+        let addr = listener.local_addr().to_string();
+        let client = TcpWire::connect(&addr, Duration::from_secs(2)).unwrap();
+        let server_side = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        client.send_line("hello").unwrap();
+        assert_eq!(
+            server_side
+                .recv_line(Duration::from_secs(2))
+                .unwrap()
+                .unwrap()
+                .trim(),
+            "hello"
+        );
+        listener.stop();
+    }
+}

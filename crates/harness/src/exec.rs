@@ -39,6 +39,19 @@ pub fn execute_spec(spec: &JobSpec) -> std::result::Result<GroupResult, RunnerEr
     runner.run_group(benchmark.as_ref(), spec.size, device)
 }
 
+/// Worker-side entry point for the fleet: run the group and return the
+/// result both serialized (the bytes shipped to the coordinator and
+/// stored verbatim in the shared result cache — byte-identical to what
+/// the in-process service path would store) and structured.
+pub fn execute_spec_serialized(
+    spec: &JobSpec,
+) -> std::result::Result<(String, GroupResult), RunnerError> {
+    let group = execute_spec(spec)?;
+    let json = serde_json::to_string(&group)
+        .map_err(|e| RunnerError::Infra(format!("result serialization: {e}")))?;
+    Ok((json, group))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

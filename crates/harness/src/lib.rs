@@ -32,5 +32,5 @@ pub mod runner;
 pub mod schedule;
 pub mod tables;
 
-pub use exec::execute_spec;
+pub use exec::{execute_spec, execute_spec_serialized};
 pub use runner::{GroupResult, Runner, RunnerConfig, RunnerError};

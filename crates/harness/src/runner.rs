@@ -32,7 +32,7 @@ use eod_scibench::region::{Region, RegionLog, RegionSample};
 use eod_scibench::stats::Summary;
 use eod_scibench::BoxplotSummary;
 use eod_telemetry::TraceSink;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -180,7 +180,7 @@ impl RunnerConfig {
 }
 
 /// All measurements for one (benchmark, size, device) group.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GroupResult {
     /// Benchmark name.
     pub benchmark: String,

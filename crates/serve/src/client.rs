@@ -1,11 +1,18 @@
 //! A blocking protocol client, used by the `eod` CLI subcommands and the
 //! integration tests.
+//!
+//! [`Client::connect`] rides out transient connection failures (the server
+//! still binding its socket, a connection reset during accept) with capped
+//! exponential backoff and jitter; [`Client::connect_once`] keeps the old
+//! fail-fast behavior for callers probing liveness.
 
 use crate::protocol::{codes, decode, encode, JobInfo, Request, Response};
+use eod_core::fleet::Attempt;
 use eod_core::spec::{JobSpec, Priority};
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 /// Why a client call failed, with the server's typed refusals surfaced as
 /// their own variants.
@@ -52,6 +59,9 @@ pub struct JobOutcome {
     pub group: Option<String>,
     /// Error message (`failed`/`timed-out` only).
     pub error: Option<String>,
+    /// Execution-attempt history (retries, failovers, straggler
+    /// duplicates); empty for first-try successes.
+    pub attempts: Vec<Attempt>,
     /// States observed, in order, starting with the state at admission
     /// (e.g. `["queued", "running", "done"]`, or `["done"]` for a cache
     /// hit).
@@ -73,6 +83,63 @@ pub struct FigureOutput {
     pub cache_misses: u64,
 }
 
+/// How [`Client::connect_with`] retries transient connection failures.
+///
+/// Only `ConnectionRefused` and `ConnectionReset` are retried — those are
+/// what a still-binding or restarting server produces. Everything else
+/// (unreachable host, bad address) fails immediately. Delays double from
+/// `base_delay` up to `max_delay` and each is scaled by a 0.5–1.5×
+/// jitter so a fleet of clients does not reconnect in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectPolicy {
+    /// Total connection attempts (the first one included); 1 = fail fast.
+    pub attempts: u32,
+    /// Delay before the second attempt.
+    pub base_delay: Duration,
+    /// Ceiling on the doubled delay.
+    pub max_delay: Duration,
+}
+
+impl Default for ConnectPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 6,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_millis(400),
+        }
+    }
+}
+
+impl ConnectPolicy {
+    /// Fail on the first refusal — the pre-retry behavior.
+    pub fn fail_fast() -> Self {
+        Self {
+            attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// The backoff before attempt `n + 1` (0-based `n`), jittered.
+    fn delay_after(&self, n: u32) -> Duration {
+        let exp = self.base_delay.saturating_mul(1u32 << n.min(16));
+        let capped = exp.min(self.max_delay);
+        // Cheap decorrelating jitter in [0.5, 1.5): a xorshift of the
+        // subsecond clock — no RNG dependency, and exact timing is
+        // irrelevant here.
+        let mut x = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0x9e3779b9)
+            | 1;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        let scale = 0.5 + (x as f64 / u32::MAX as f64);
+        capped.mul_f64(scale)
+    }
+}
+
 /// One connection to an `eod-serve` server.
 pub struct Client {
     out: TcpStream,
@@ -80,15 +147,53 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connect to `addr` (e.g. `127.0.0.1:3597`).
+    /// Connect to `addr` (e.g. `127.0.0.1:3597`), retrying transient
+    /// refusals under the default [`ConnectPolicy`].
     pub fn connect(addr: &str) -> Result<Self, ClientError> {
-        let out = TcpStream::connect(addr)
-            .map_err(|e| ClientError::Transport(format!("connect {addr}: {e}")))?;
-        let reader = BufReader::new(
-            out.try_clone()
-                .map_err(|e| ClientError::Transport(e.to_string()))?,
-        );
-        Ok(Self { out, reader })
+        Self::connect_with(addr, ConnectPolicy::default())
+    }
+
+    /// Connect with exactly one attempt — fails fast if the server is not
+    /// yet listening.
+    pub fn connect_once(addr: &str) -> Result<Self, ClientError> {
+        Self::connect_with(addr, ConnectPolicy::fail_fast())
+    }
+
+    /// Connect under an explicit retry policy.
+    pub fn connect_with(addr: &str, policy: ConnectPolicy) -> Result<Self, ClientError> {
+        let attempts = policy.attempts.max(1);
+        let mut last = None;
+        for n in 0..attempts {
+            match TcpStream::connect(addr) {
+                Ok(out) => {
+                    let reader = BufReader::new(
+                        out.try_clone()
+                            .map_err(|e| ClientError::Transport(e.to_string()))?,
+                    );
+                    return Ok(Self { out, reader });
+                }
+                Err(e) => {
+                    let transient = matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionRefused | std::io::ErrorKind::ConnectionReset
+                    );
+                    let tried = n + 1;
+                    if !transient || tried == attempts {
+                        return Err(ClientError::Transport(format!(
+                            "connect {addr}: {e} (after {tried} attempt{})",
+                            if tried == 1 { "" } else { "s" }
+                        )));
+                    }
+                    last = Some(e);
+                    std::thread::sleep(policy.delay_after(n));
+                }
+            }
+        }
+        // Unreachable: the loop always returns; keep the compiler honest.
+        Err(ClientError::Transport(format!(
+            "connect {addr}: {}",
+            last.map_or_else(|| "no attempts".to_string(), |e| e.to_string())
+        )))
     }
 
     fn send(&mut self, req: &Request) -> Result<(), ClientError> {
@@ -182,6 +287,7 @@ impl Client {
                     cached,
                     group,
                     error,
+                    attempts,
                 } => {
                     return Ok(JobOutcome {
                         job,
@@ -190,6 +296,7 @@ impl Client {
                         cached,
                         group,
                         error,
+                        attempts,
                         transitions,
                     })
                 }
@@ -214,6 +321,7 @@ impl Client {
                 cached,
                 group,
                 error,
+                attempts,
             } => Ok(JobOutcome {
                 job,
                 key,
@@ -221,6 +329,7 @@ impl Client {
                 cached,
                 group,
                 error,
+                attempts,
                 transitions: Vec::new(),
             }),
             other => Err(ClientError::Protocol(format!(

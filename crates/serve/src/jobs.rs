@@ -5,6 +5,7 @@
 //! so a connection handler can stream each state change to its client as
 //! it happens rather than polling.
 
+use eod_core::fleet::Attempt;
 use eod_core::spec::{JobSpec, Priority};
 use eod_harness::GroupResult;
 use serde::{Deserialize, Serialize};
@@ -85,6 +86,10 @@ pub struct JobRecord {
     submitted_at: Instant,
     status: Mutex<Status>,
     changed: Condvar,
+    /// Execution-attempt history (local timeout retries, fleet failovers,
+    /// straggler duplicates); kept outside `status` so recording an
+    /// attempt never wakes transition waiters.
+    attempts: Mutex<Vec<Attempt>>,
 }
 
 impl JobRecord {
@@ -106,7 +111,24 @@ impl JobRecord {
                 },
             }),
             changed: Condvar::new(),
+            attempts: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Append one execution attempt to the job's history.
+    pub fn record_attempt(&self, attempt: Attempt) {
+        self.attempts.lock().unwrap().push(attempt);
+    }
+
+    /// Replace the history wholesale — the fleet sink hands the full
+    /// coordinator-side history at completion.
+    pub fn set_attempts(&self, attempts: Vec<Attempt>) {
+        *self.attempts.lock().unwrap() = attempts;
+    }
+
+    /// The attempt history so far.
+    pub fn attempts(&self) -> Vec<Attempt> {
+        self.attempts.lock().unwrap().clone()
     }
 
     /// Wall time since submission — observed into the latency histogram
@@ -140,6 +162,12 @@ impl JobRecord {
     /// Mark the job picked up by a worker.
     pub fn set_running(&self) {
         self.transition(|s| s.phase = JobPhase::Running);
+    }
+
+    /// Put a running job back to `Queued` — the timeout-retry path. A
+    /// no-op once terminal, like every transition.
+    pub fn set_queued(&self) {
+        self.transition(|s| s.phase = JobPhase::Queued);
     }
 
     /// Mark the job finished with a result.
@@ -292,6 +320,29 @@ mod tests {
             waiter.join().unwrap(),
             (JobPhase::Running, JobPhase::TimedOut)
         );
+    }
+
+    #[test]
+    fn requeue_transition_and_attempt_history() {
+        use eod_core::fleet::AttemptOutcome;
+        let board = JobBoard::new();
+        let rec = board.create(spec(), Priority::Normal);
+        rec.set_running();
+        rec.record_attempt(Attempt {
+            attempt: 1,
+            worker: "local".into(),
+            outcome: AttemptOutcome::TimedOut,
+            detail: Some("budget".into()),
+        });
+        rec.set_queued();
+        assert_eq!(rec.phase(), JobPhase::Queued);
+        assert_eq!(rec.attempts().len(), 1);
+        rec.set_failed("gave up".into(), true);
+        // Terminal: a late requeue is dropped.
+        rec.set_queued();
+        assert_eq!(rec.phase(), JobPhase::TimedOut);
+        rec.set_attempts(Vec::new());
+        assert!(rec.attempts().is_empty());
     }
 
     #[test]

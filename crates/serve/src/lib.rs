@@ -22,6 +22,13 @@
 //!   local TCP socket, driven by `eod serve` / `eod submit` /
 //!   `eod status`.
 //!
+//! In fleet mode ([`Service::start_fleet`], `eod fleet`) the local worker
+//! pool is replaced by an [`eod_fleet::Coordinator`] dispatching the same
+//! queue to remote `eod worker` processes under expiring leases, with
+//! failover, bounded retries, and straggler re-dispatch; queue, cache,
+//! job board, protocol, and metrics surface are shared between the two
+//! modes, and results stay byte-identical either way.
+//!
 //! Results served from the cache are sound because the runner reseeds the
 //! device noise stream per group from the spec's content alone — a cached
 //! result is bit-identical to what re-running the spec would produce.
@@ -36,7 +43,7 @@ pub mod server;
 pub mod service;
 
 pub use cache::{CacheStats, ResultCache};
-pub use client::{Client, ClientError, FigureOutput, JobOutcome};
+pub use client::{Client, ClientError, ConnectPolicy, FigureOutput, JobOutcome};
 pub use jobs::{JobBoard, JobId, JobPhase, JobRecord};
 pub use metrics::ServiceMetrics;
 pub use queue::{AdmissionError, JobQueue};

@@ -8,6 +8,7 @@
 //! eod run <benchmark> <size> [-p P -d D]
 //! eod cov|autotune|schedule|list
 //! eod serve|submit|status|shutdown          (execution service)
+//! eod fleet|worker                          (distributed execution)
 //! ```
 //!
 //! Options: `--paper` (full §4.3 constants: 2 s loops × 50 samples),
@@ -17,9 +18,11 @@
 use eod_clrt::prelude::*;
 // An explicit import outranks the glob: restore the two-parameter Result.
 use eod_core::args::{parse_arguments, DeviceSelector, ParsedArgs};
+use eod_core::fleet::WorkerCapabilities;
 use eod_core::sizes::ProblemSize;
 use eod_core::spec::{JobSpec, Priority};
 use eod_dwarfs::registry;
+use eod_fleet::{Coordinator, FleetConfig, FleetListener, TcpWire, Worker, WorkerExit};
 use eod_harness::figures::{self, Figure};
 use eod_harness::{report, schedule, tables};
 use eod_harness::{Runner, RunnerConfig};
@@ -32,6 +35,9 @@ use std::time::Duration;
 
 /// Default service endpoint (0xE0D = 3597).
 const DEFAULT_ADDR: &str = "127.0.0.1:3597";
+
+/// Default fleet (worker-registration) endpoint — one above the service.
+const DEFAULT_FLEET_ADDR: &str = "127.0.0.1:3598";
 
 struct Cli {
     command: String,
@@ -641,6 +647,102 @@ fn cmd_serve(cli: &Cli) -> Result<(), String> {
     outcome
 }
 
+fn cmd_fleet(cli: &Cli) -> Result<(), String> {
+    let addr = serve_addr(&cli.args);
+    let fleet_addr =
+        flag_value(&cli.args, "--fleet-addr").unwrap_or_else(|| DEFAULT_FLEET_ADDR.to_string());
+    let mut cfg = ServeConfig {
+        runner: cli.config.clone(),
+        ..ServeConfig::default()
+    };
+    if let Some(q) = parse_flag(&cli.args, "--queue-cap")? {
+        cfg.queue_capacity = q;
+    }
+    if let Some(c) = parse_flag(&cli.args, "--cache-cap")? {
+        cfg.cache_capacity = c;
+    }
+    let (queue_cap, cache_cap) = (cfg.queue_capacity, cfg.cache_capacity);
+    let (service, coord) = Service::start_fleet(cfg, FleetConfig::default());
+    let listener = {
+        let coord = Arc::clone(&coord);
+        FleetListener::start(&fleet_addr, move |wire| Coordinator::attach(&coord, wire))
+            .map_err(|e| format!("bind fleet {fleet_addr}: {e}"))?
+    };
+    let metrics_server = match flag_value(&cli.args, "--metrics-addr") {
+        Some(maddr) => {
+            let svc = Arc::clone(&service);
+            let ms = MetricsServer::serve(&maddr, move || svc.metrics_text())
+                .map_err(|e| format!("bind metrics {maddr}: {e}"))?;
+            println!("metrics on http://{}/metrics", ms.local_addr());
+            Some(ms)
+        }
+        None => None,
+    };
+    let server = Server::bind(service, &addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "eod fleet coordinator: clients on {}, workers on {} (queue \u{2264} {queue_cap}, cache \u{2264} {cache_cap})",
+        server.local_addr(),
+        listener.local_addr()
+    );
+    println!(
+        "start workers with: eod worker --connect {}",
+        listener.local_addr()
+    );
+    // `run` returns after a client `Shutdown`; the service's own shutdown
+    // (inside `run`) drains the coordinator, so only the listener remains.
+    let outcome = server.run().map_err(|e| e.to_string());
+    listener.stop();
+    if let Some(ms) = metrics_server {
+        ms.stop();
+    }
+    outcome
+}
+
+fn cmd_worker(cli: &Cli) -> Result<(), String> {
+    let addr = flag_value(&cli.args, "--connect").unwrap_or_else(|| DEFAULT_FLEET_ADDR.to_string());
+    let slots: u32 = parse_flag(&cli.args, "--slots")?.unwrap_or(1).max(1);
+    let devices: Vec<String> = flag_value(&cli.args, "--devices")
+        .map(|s| {
+            s.split(',')
+                .map(|d| d.trim().to_string())
+                .filter(|d| !d.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
+    let name =
+        flag_value(&cli.args, "--name").unwrap_or_else(|| format!("worker-{}", std::process::id()));
+    let caps = WorkerCapabilities {
+        name: name.clone(),
+        slots,
+        devices: devices.clone(),
+    };
+    // The coordinator may still be binding its socket: ride out refusals
+    // for up to 10 s, like `Client::connect` does for the service port.
+    let wire = TcpWire::connect(&addr, Duration::from_secs(10))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    println!(
+        "{name}: registered with {addr} ({slots} slot{}{})",
+        if slots == 1 { "" } else { "s" },
+        if devices.is_empty() {
+            String::from(", any device")
+        } else {
+            format!(", devices {}", devices.join(","))
+        }
+    );
+    let exit = Worker::new(caps)
+        .run(Arc::new(wire))
+        .map_err(|e| format!("worker: {e}"))?;
+    println!(
+        "{name}: {}",
+        match exit {
+            WorkerExit::Drained => "drained, bye",
+            WorkerExit::Killed => "killed",
+            WorkerExit::Disconnected => "coordinator went away",
+        }
+    );
+    Ok(())
+}
+
 /// Median of the `kernel_ms` samples in a stored `GroupResult` JSON.
 fn median_kernel_ms(json: &str) -> Option<f64> {
     let v: serde::Value = serde_json::from_str(json).ok()?;
@@ -776,6 +878,12 @@ fn cmd_status(cli: &Cli) -> Result<(), String> {
             if o.cached { " (cache hit)" } else { "" },
             o.error.map(|e| format!(": {e}")).unwrap_or_default()
         );
+        if !o.attempts.is_empty() {
+            println!("attempts:");
+            for a in &o.attempts {
+                println!("  {}", a.render());
+            }
+        }
         return Ok(());
     }
     let jobs = client.list().map_err(|e| e.to_string())?;
@@ -875,6 +983,8 @@ fn run() -> Result<(), String> {
         "autotune" => cmd_autotune()?,
         "schedule" => cmd_schedule(&cli)?,
         "serve" => cmd_serve(&cli)?,
+        "fleet" => cmd_fleet(&cli)?,
+        "worker" => cmd_worker(&cli)?,
         "submit" => cmd_submit(&cli)?,
         "status" => cmd_status(&cli)?,
         "shutdown" => cmd_shutdown(&cli)?,
@@ -886,6 +996,8 @@ fn run() -> Result<(), String> {
                  \u{20}         run <benchmark> <size> [-p P -d D -t T] [--trace-out trace.json]\n\
                  \u{20}         cov cachesim aiwc ideal ablation autotune schedule\n\
                  \u{20}         serve [--addr A --workers N --queue-cap N --cache-cap N --metrics-addr M]\n\
+                 \u{20}         fleet [--addr A --fleet-addr F --queue-cap N --cache-cap N --metrics-addr M]\n\
+                 \u{20}         worker [--connect F --slots N --devices D1,D2 --name W]\n\
                  \u{20}         submit <benchmark> [size] [--device D --high --timeout-ms T --no-wait]\n\
                  \u{20}         submit --fig <figN>   status [job]   shutdown   [--addr HOST:PORT]"
             );

@@ -10,6 +10,7 @@
 use crate::cache::CacheStats;
 use crate::jobs::{JobRecord, Snapshot};
 use crate::queue::AdmissionError;
+use eod_core::fleet::Attempt;
 use eod_core::spec::{JobSpec, Priority};
 use serde::{Deserialize, Serialize};
 
@@ -81,6 +82,9 @@ pub struct JobInfo {
     pub cached: bool,
     /// Terminal error message, if any.
     pub error: Option<String>,
+    /// Execution-attempt history: local timeout retries, fleet failovers,
+    /// straggler duplicates. Empty for first-try successes.
+    pub attempts: Vec<Attempt>,
 }
 
 impl JobInfo {
@@ -96,6 +100,7 @@ impl JobInfo {
             state: snap.phase.to_string(),
             cached: snap.cached,
             error: snap.error,
+            attempts: rec.attempts(),
         }
     }
 }
@@ -135,6 +140,9 @@ pub enum Response {
         group: Option<String>,
         /// Error message (`failed`/`timed-out` only).
         error: Option<String>,
+        /// Execution-attempt history (retries, failovers, straggler
+        /// duplicates); empty for first-try successes.
+        attempts: Vec<Attempt>,
     },
     /// Listing for `Status { job: None }`.
     Jobs {
@@ -200,6 +208,7 @@ impl Response {
             cached: snap.cached,
             group: snap.json.clone(),
             error: snap.error.clone(),
+            attempts: rec.attempts(),
         }
     }
 }
@@ -277,6 +286,12 @@ mod tests {
                 cached: true,
                 group: Some("{\"kernel_ms\":[1.0]}".into()),
                 error: None,
+                attempts: vec![eod_core::fleet::Attempt {
+                    attempt: 1,
+                    worker: "w0".into(),
+                    outcome: eod_core::fleet::AttemptOutcome::Completed,
+                    detail: None,
+                }],
             },
             Response::Error {
                 code: codes::QUEUE_FULL.into(),
@@ -311,5 +326,28 @@ mod tests {
     fn garbage_lines_are_typed_errors() {
         assert!(decode::<Request>("{not json").is_err());
         assert!(decode::<Request>("{\"Nope\":{}}").is_err());
+    }
+
+    #[test]
+    fn unknown_fields_from_a_newer_peer_are_tolerated() {
+        // A newer server may add fields to `Result`; an older client must
+        // still decode the line (the derive ignores unknown fields).
+        let resp = Response::Result {
+            job: 4,
+            key: "abc".into(),
+            state: "done".into(),
+            cached: false,
+            group: None,
+            error: None,
+            attempts: vec![Attempt {
+                attempt: 1,
+                worker: "w0".into(),
+                outcome: eod_core::fleet::AttemptOutcome::Completed,
+                detail: None,
+            }],
+        };
+        let line = encode(&resp).replacen("{\"Result\":{", "{\"Result\":{\"novel\":1,", 1);
+        let back: Response = decode(&line).unwrap();
+        assert_eq!(back, resp);
     }
 }

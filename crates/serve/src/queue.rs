@@ -111,6 +111,24 @@ impl<T> JobQueue<T> {
         Ok(())
     }
 
+    /// Put a job back at the *head* of its priority class. Requeues are
+    /// exempt from the capacity bound: the job was already admitted once,
+    /// and refusing its retry would turn a transient failure into a lost
+    /// result. Only a closed queue refuses.
+    pub fn requeue(&self, item: T, priority: Priority) -> Result<(), AdmissionError> {
+        let mut s = self.state.lock().unwrap();
+        if s.closed {
+            return Err(AdmissionError::ShuttingDown);
+        }
+        match priority {
+            Priority::High => s.high.push_front(item),
+            Priority::Normal => s.normal.push_front(item),
+        }
+        drop(s);
+        self.ready.notify_one();
+        Ok(())
+    }
+
     /// Block until a job is available and take it; `None` once the queue is
     /// closed and drained (the worker-exit signal).
     pub fn pop(&self) -> Option<T> {
@@ -161,6 +179,27 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.pop();
         q.push(3, Priority::Normal).unwrap();
+    }
+
+    #[test]
+    fn requeue_goes_to_the_head_and_ignores_capacity() {
+        let q = JobQueue::new(2);
+        q.push(1, Priority::Normal).unwrap();
+        q.push(2, Priority::Normal).unwrap();
+        // At capacity, a push refuses but a requeue is admitted at the head.
+        assert!(matches!(
+            q.push(3, Priority::Normal),
+            Err(AdmissionError::QueueFull { .. })
+        ));
+        q.requeue(3, Priority::Normal).unwrap();
+        assert_eq!(q.len(), 3);
+        q.close();
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, [3, 1, 2]);
+        assert_eq!(
+            q.requeue(9, Priority::High),
+            Err(AdmissionError::ShuttingDown)
+        );
     }
 
     #[test]

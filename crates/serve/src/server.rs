@@ -174,7 +174,7 @@ fn handle_connection(
                     &Response::Stats {
                         cache,
                         queued: service.queued() as u64,
-                        workers: service.config().workers as u64,
+                        workers: service.worker_count() as u64,
                     },
                 )?;
             }

@@ -7,14 +7,24 @@
 //! direct CLI uses), stores the result, and publishes the transition.
 //! Workers never propagate panics or errors past the job record: every
 //! failure lands as a typed terminal state the client can read.
+//!
+//! Two execution backends share everything above the queue. The default
+//! [`Service::start`] runs a local worker pool. [`Service::start_fleet`]
+//! replaces the pool with a dispatcher that forwards jobs to an
+//! [`eod_fleet::Coordinator`], which shards them across remote workers
+//! under expiring leases; outcomes land back in the same job records and
+//! result cache, so cache keys, stored JSON, and the protocol surface
+//! are identical in both modes.
 
 use crate::cache::{CacheStats, ResultCache};
 use crate::jobs::{JobBoard, JobId, JobRecord};
 use crate::metrics::ServiceMetrics;
 use crate::queue::{AdmissionError, JobQueue};
+use eod_core::fleet::{Attempt, AttemptOutcome};
 use eod_core::spec::{JobSpec, Priority};
+use eod_fleet::{CompletionSink, Coordinator, FleetConfig, FleetOutcome};
 use eod_harness::figures::{self, Figure};
-use eod_harness::{RunnerConfig, RunnerError};
+use eod_harness::{GroupResult, RunnerConfig, RunnerError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -66,6 +76,8 @@ pub struct Service {
     board: JobBoard,
     metrics: ServiceMetrics,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Fleet-mode coordinator; `None` when a local pool executes jobs.
+    fleet: Mutex<Option<Arc<Coordinator>>>,
 }
 
 impl Service {
@@ -78,6 +90,7 @@ impl Service {
             board: JobBoard::new(),
             metrics: ServiceMetrics::new(),
             workers: Mutex::new(Vec::new()),
+            fleet: Mutex::new(None),
             config,
         });
         let mut handles = svc.workers.lock().unwrap();
@@ -92,6 +105,43 @@ impl Service {
         }
         drop(handles);
         svc
+    }
+
+    /// Start in **fleet mode**: no local pool; one dispatcher thread
+    /// forwards admitted jobs to the returned [`Coordinator`], which
+    /// leases them out to remote workers (attach connections with
+    /// [`Coordinator::attach`]). The caller owns the coordinator's
+    /// listener; [`Service::shutdown`] drains the coordinator too.
+    pub fn start_fleet(config: ServeConfig, fleet: FleetConfig) -> (Arc<Self>, Arc<Coordinator>) {
+        let svc = Arc::new(Self {
+            queue: JobQueue::new(config.queue_capacity),
+            cache: ResultCache::new(config.cache_capacity),
+            board: JobBoard::new(),
+            metrics: ServiceMetrics::new(),
+            workers: Mutex::new(Vec::new()),
+            fleet: Mutex::new(None),
+            config,
+        });
+        let sink: CompletionSink = {
+            let svc = Arc::downgrade(&svc);
+            Box::new(move |job, outcome, attempts| {
+                if let Some(svc) = svc.upgrade() {
+                    svc.fleet_complete(job, outcome, attempts);
+                }
+            })
+        };
+        let coord = Coordinator::start(fleet, sink);
+        *svc.fleet.lock().unwrap() = Some(Arc::clone(&coord));
+        let dispatcher = {
+            let svc = Arc::clone(&svc);
+            let coord = Arc::clone(&coord);
+            std::thread::Builder::new()
+                .name("eod-fleet-dispatch".into())
+                .spawn(move || svc.fleet_dispatch_loop(&coord))
+                .expect("spawn fleet dispatcher")
+        };
+        svc.workers.lock().unwrap().push(dispatcher);
+        (svc, coord)
     }
 
     /// The active configuration.
@@ -161,33 +211,108 @@ impl Service {
 
     fn worker_loop(&self) {
         while let Some(rec) = self.queue.pop() {
-            rec.set_running();
             self.metrics.worker_busy();
-            // An identical job may have completed while this one queued;
-            // answer from the store without re-executing. peek() keeps the
-            // hit/miss counters honest — the miss was already counted at
-            // submission.
-            if let Some((json, result)) = self.cache.peek(&rec.key) {
-                rec.set_done(json, result, true);
-            } else {
-                match eod_harness::execute_spec(&rec.spec) {
-                    Ok(group) => match serde_json::to_string(&group) {
-                        Ok(json) => {
-                            let result = Arc::new(group);
-                            self.cache
-                                .insert(rec.key.clone(), json.clone(), Arc::clone(&result));
-                            rec.set_done(json, result, false);
-                        }
-                        Err(e) => rec.set_failed(format!("result serialization: {e}"), false),
-                    },
-                    Err(e @ RunnerError::TimedOut { .. }) => rec.set_failed(e.to_string(), true),
-                    Err(e) => rec.set_failed(e.to_string(), false),
-                }
+            if self.execute_one(&rec) {
+                self.metrics
+                    .on_terminal(rec.phase(), rec.age().as_secs_f64());
             }
-            self.metrics
-                .on_terminal(rec.phase(), rec.age().as_secs_f64());
             self.metrics.worker_idle();
         }
+    }
+
+    /// Run one job to a terminal state; `false` means the job went back
+    /// to the queue (a first wall-clock timeout earns exactly one retry)
+    /// and must not be counted terminal yet.
+    fn execute_one(&self, rec: &Arc<JobRecord>) -> bool {
+        rec.set_running();
+        // An identical job may have completed while this one queued;
+        // answer from the store without re-executing. peek() keeps the
+        // hit/miss counters honest — the miss was already counted at
+        // submission.
+        if let Some((json, result)) = self.cache.peek(&rec.key) {
+            rec.set_done(json, result, true);
+            return true;
+        }
+        match eod_harness::execute_spec(&rec.spec) {
+            Ok(group) => match serde_json::to_string(&group) {
+                Ok(json) => {
+                    let result = Arc::new(group);
+                    self.cache
+                        .insert(rec.key.clone(), json.clone(), Arc::clone(&result));
+                    rec.set_done(json, result, false);
+                }
+                Err(e) => rec.set_failed(format!("result serialization: {e}"), false),
+            },
+            Err(e @ RunnerError::TimedOut { .. }) => {
+                let prior_timeouts = rec
+                    .attempts()
+                    .iter()
+                    .filter(|a| a.outcome == AttemptOutcome::TimedOut)
+                    .count() as u32;
+                rec.record_attempt(Attempt {
+                    attempt: prior_timeouts + 1,
+                    worker: "local".into(),
+                    outcome: AttemptOutcome::TimedOut,
+                    detail: Some(e.to_string()),
+                });
+                // A budget overrun is requeued exactly once: scheduling
+                // noise can blow the budget one time, but a second overrun
+                // is the spec's own wall-clock and is terminal.
+                if prior_timeouts == 0 {
+                    rec.set_queued();
+                    if self.queue.requeue(Arc::clone(rec), rec.priority).is_ok() {
+                        return false;
+                    }
+                    // Shutting down: the retry has nowhere to run.
+                }
+                rec.set_failed(e.to_string(), true);
+            }
+            Err(e) => rec.set_failed(e.to_string(), false),
+        }
+        true
+    }
+
+    /// Fleet-mode replacement for the worker pool: hands admitted jobs to
+    /// the coordinator. Late cache hits (an identical job finished while
+    /// this one queued) are still answered locally.
+    fn fleet_dispatch_loop(&self, coord: &Coordinator) {
+        while let Some(rec) = self.queue.pop() {
+            if let Some((json, result)) = self.cache.peek(&rec.key) {
+                rec.set_done(json, result, true);
+                self.metrics
+                    .on_terminal(rec.phase(), rec.age().as_secs_f64());
+                continue;
+            }
+            // "Running" here means "in the fleet's hands" — grants,
+            // retries, and failovers are the coordinator's business.
+            rec.set_running();
+            coord.submit(rec.id, rec.spec.clone());
+        }
+    }
+
+    /// Completion-sink target: land a fleet outcome in the job record and
+    /// result cache, exactly as the local pool would. The stored JSON is
+    /// the worker's serialization of the same `GroupResult` the local
+    /// path produces, so cached bytes are identical across modes.
+    fn fleet_complete(&self, job: JobId, outcome: FleetOutcome, attempts: &[Attempt]) {
+        let Some(rec) = self.board.get(job) else {
+            return;
+        };
+        rec.set_attempts(attempts.to_vec());
+        match outcome {
+            FleetOutcome::Done { group } => match serde_json::from_str::<GroupResult>(&group) {
+                Ok(result) => {
+                    let result = Arc::new(result);
+                    self.cache
+                        .insert(rec.key.clone(), group.clone(), Arc::clone(&result));
+                    rec.set_done(group, result, false);
+                }
+                Err(e) => rec.set_failed(format!("result deserialization: {e}"), false),
+            },
+            FleetOutcome::Failed { error, timed_out } => rec.set_failed(error, timed_out),
+        }
+        self.metrics
+            .on_terminal(rec.phase(), rec.age().as_secs_f64());
     }
 
     /// Look up a job by id.
@@ -215,15 +340,32 @@ impl Service {
         self.queue.depths()
     }
 
+    /// Executors visible to clients: the local pool's size, or in fleet
+    /// mode the coordinator's live remote workers.
+    pub fn worker_count(&self) -> usize {
+        match self.fleet.lock().unwrap().as_ref() {
+            Some(coord) => coord.live_workers(),
+            None => self.config.workers.max(1),
+        }
+    }
+
     /// The full metric surface in Prometheus text exposition format —
     /// answers both the protocol's `Metrics` request and `GET /metrics`.
+    /// In fleet mode the coordinator's registry (per-worker utilization
+    /// and heartbeat-age gauges, retry/failover/straggler counters) is
+    /// appended to the service's own.
     pub fn metrics_text(&self) -> String {
-        self.metrics.render(
+        let mut text = self.metrics.render(
             self.queue.depths(),
             self.queue.capacity(),
             &self.cache.stats(),
-            self.config.workers.max(1),
-        )
+            self.worker_count(),
+        );
+        let coord = self.fleet.lock().unwrap().clone();
+        if let Some(coord) = coord {
+            text.push_str(&coord.metrics_text());
+        }
+        text
     }
 
     /// Run a whole figure through the queue: one job per measurement
@@ -265,12 +407,19 @@ impl Service {
         })
     }
 
-    /// Stop admitting work, drain the queue, and join every worker.
+    /// Stop admitting work, drain the queue, and join every worker. In
+    /// fleet mode this also drains the coordinator: workers get `Drain`,
+    /// open jobs get a grace period, stragglers are failed through the
+    /// sink.
     pub fn shutdown(&self) {
         self.queue.close();
         let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
         for h in handles {
             let _ = h.join();
+        }
+        let coord = self.fleet.lock().unwrap().take();
+        if let Some(coord) = coord {
+            coord.shutdown(Duration::from_secs(5));
         }
     }
 }

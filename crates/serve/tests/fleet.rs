@@ -1,0 +1,265 @@
+//! End-to-end tests of the service's fleet mode: byte-identical results
+//! against the local worker pool (including with a worker killed
+//! mid-batch), the timeout requeue-once policy with visible attempt
+//! history, client reconnect against a late-binding server, and the
+//! fleet metric surface.
+
+use eod_core::fleet::{AttemptOutcome, WorkerCapabilities};
+use eod_core::sizes::ProblemSize;
+use eod_core::spec::{JobSpec, Priority};
+use eod_fleet::{Coordinator, Executor, FleetConfig, LocalWire, Worker, WorkerExit, WorkerKill};
+use eod_harness::RunnerConfig;
+use eod_serve::{Client, ClientError, ConnectPolicy, ServeConfig, Server, Service};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn smoke_serve(workers: usize, queue_capacity: usize, cache_capacity: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        queue_capacity,
+        cache_capacity,
+        runner: RunnerConfig::smoke(),
+    }
+}
+
+fn spec(benchmark: &str, size: ProblemSize, device: &str, config: &RunnerConfig) -> JobSpec {
+    JobSpec {
+        benchmark: benchmark.to_string(),
+        size,
+        device: device.to_string(),
+        config: config.to_exec(),
+    }
+}
+
+/// Attach an in-process worker (real harness executor) to a coordinator.
+fn attach_worker(
+    coord: &Arc<Coordinator>,
+    worker: Worker,
+) -> (WorkerKill, std::thread::JoinHandle<WorkerExit>) {
+    let (coord_end, worker_end) = LocalWire::pair();
+    Coordinator::attach(coord, coord_end);
+    let kill = worker.kill_handle();
+    let handle = std::thread::spawn(move || worker.run(worker_end).unwrap());
+    (kill, handle)
+}
+
+fn caps(name: &str, slots: u32) -> WorkerCapabilities {
+    WorkerCapabilities {
+        name: name.into(),
+        slots,
+        devices: Vec::new(),
+    }
+}
+
+#[test]
+fn fleet_figure_batch_is_byte_identical_to_the_local_pool() {
+    // The same figure through both backends. The runner reseeds its noise
+    // stream from each spec's content alone, so the serialized results —
+    // and therefore the whole assembled figure — must match byte for byte.
+    let local = Service::start(smoke_serve(4, 128, 256));
+    let local_fig = local.run_figure("fig2a").expect("local batch");
+
+    let (svc, coord) = Service::start_fleet(smoke_serve(0, 128, 256), FleetConfig::default());
+    let (_k1, h1) = attach_worker(&coord, Worker::new(caps("w1", 2)));
+    let (_k2, h2) = attach_worker(&coord, Worker::new(caps("w2", 2)));
+    let fleet_fig = svc.run_figure("fig2a").expect("fleet batch");
+
+    assert_eq!(fleet_fig.jobs, local_fig.jobs);
+    assert_eq!(
+        fleet_fig.figure.render_ascii(),
+        local_fig.figure.render_ascii(),
+        "fleet report output diverged from the local pool's"
+    );
+    // Every modeled quantity matches group by group. Wall-clock fields
+    // (setup_ms) are process-local measurements and are excluded, the
+    // same contract exec.rs documents for served-vs-direct execution.
+    let (lg, fg) = (local_fig.figure.all_groups(), fleet_fig.figure.all_groups());
+    assert_eq!(lg.len(), fg.len());
+    for (l, f) in lg.iter().zip(&fg) {
+        assert_eq!(l.benchmark, f.benchmark);
+        assert_eq!(l.device, f.device);
+        assert_eq!(l.kernel_ms, f.kernel_ms, "{} on {}", l.benchmark, l.device);
+        assert_eq!(l.energy_j, f.energy_j);
+        assert_eq!(l.footprint_bytes, f.footprint_bytes);
+        assert_eq!(l.verified, f.verified);
+    }
+
+    // Resubmitting the same batch is answered entirely from the cache —
+    // remote results are content-addressed exactly like local ones.
+    let again = svc.run_figure("fig2a").expect("cached batch");
+    assert_eq!(again.cache_hits, again.jobs);
+    assert_eq!(again.cache_misses, 0);
+
+    // The metric surface folds the coordinator's registry in: per-worker
+    // gauges and the fleet counters, next to the service's own.
+    let text = svc.metrics_text();
+    for needle in [
+        "eod_fleet_workers 2",
+        "eod_fleet_worker_slots{worker=\"w1\"} 2",
+        "eod_fleet_worker_slots_busy{worker=\"w2\"}",
+        "eod_fleet_worker_heartbeat_age_seconds{worker=\"w1\"}",
+        "eod_fleet_dispatches_total",
+        "eod_fleet_retries_total",
+        "eod_fleet_failovers_total",
+        "eod_fleet_straggler_redispatches_total",
+        "eod_queue_depth",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+
+    svc.shutdown();
+    assert_eq!(h1.join().unwrap(), WorkerExit::Drained);
+    assert_eq!(h2.join().unwrap(), WorkerExit::Drained);
+}
+
+#[test]
+fn fleet_batch_survives_a_worker_killed_mid_batch() {
+    let runner = RunnerConfig::smoke();
+    let specs: Vec<JobSpec> = (0..12u64)
+        .map(|i| {
+            let mut s = spec("crc", ProblemSize::Tiny, "GTX 1080", &runner);
+            s.config.seed = 1000 + i;
+            s
+        })
+        .collect();
+    // The reference results, computed through the same local path the
+    // in-process pool uses.
+    let reference: Vec<_> = specs
+        .iter()
+        .map(|s| eod_harness::execute_spec(s).unwrap())
+        .collect();
+
+    let (svc, coord) = Service::start_fleet(smoke_serve(0, 64, 64), FleetConfig::fast());
+    // The victim hangs on whatever job it draws; killing it must fail the
+    // job over to the (real) savior without changing any result.
+    let hang: Executor = Arc::new(|_spec: &JobSpec| {
+        std::thread::sleep(Duration::from_secs(30));
+        Ok("{\"never\":true}".into())
+    });
+    let (kill, hv) = attach_worker(&coord, Worker::with_executor(caps("victim", 1), hang));
+    let records: Vec<_> = specs
+        .iter()
+        .map(|s| svc.submit(s.clone(), Priority::Normal).unwrap())
+        .collect();
+    // Wait until the victim actually holds a job, then send in the savior
+    // and kill the victim mid-lease.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while !svc
+        .metrics_text()
+        .contains("eod_fleet_worker_slots_busy{worker=\"victim\"} 1")
+    {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "victim never got a job"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (_ks, hs) = attach_worker(&coord, Worker::new(caps("savior", 1)));
+    kill.kill();
+
+    for (rec, want) in records.iter().zip(&reference) {
+        let snap = rec.wait_terminal();
+        assert_eq!(snap.phase.to_string(), "done", "{:?}", snap.error);
+        let got = snap.result.expect("done jobs carry a result");
+        assert_eq!(got.kernel_ms, want.kernel_ms, "failover changed a result");
+        assert_eq!(got.energy_j, want.energy_j);
+        assert_eq!(got.footprint_bytes, want.footprint_bytes);
+        assert!(got.verified);
+    }
+    // The job the victim held carries its history: a lost first attempt,
+    // then completion on the survivor.
+    let failed_over = records
+        .iter()
+        .find(|r| r.attempts().len() >= 2)
+        .expect("some job failed over");
+    let attempts = failed_over.attempts();
+    assert!(attempts
+        .iter()
+        .any(|a| a.outcome == AttemptOutcome::WorkerLost
+            || a.outcome == AttemptOutcome::LeaseExpired));
+    let last = attempts.last().unwrap();
+    assert_eq!(last.outcome, AttemptOutcome::Completed);
+    assert_eq!(last.worker, "savior");
+    let text = svc.metrics_text();
+    assert!(
+        text.contains("eod_fleet_failovers_total 1") || text.contains("eod_fleet_retries_total 1"),
+        "{text}"
+    );
+
+    assert_eq!(hv.join().unwrap(), WorkerExit::Killed);
+    svc.shutdown();
+    hs.join().unwrap();
+}
+
+#[test]
+fn timed_out_job_is_requeued_exactly_once_with_visible_history() {
+    let service = Service::start(smoke_serve(1, 8, 8));
+    let server = Server::bind(service, "127.0.0.1:0").expect("bind ephemeral");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || {
+        let _ = server.run();
+    });
+
+    let mut s = spec(
+        "kmeans",
+        ProblemSize::Tiny,
+        "GTX 1080",
+        &RunnerConfig::smoke(),
+    );
+    s.config.timeout = Some(Duration::from_nanos(1));
+    let mut client = Client::connect(&addr).unwrap();
+    let outcome = client.submit_wait(&s, Priority::Normal).unwrap();
+    assert_eq!(outcome.state, "timed-out");
+    // Exactly one retry: two attempts, both over budget, both local.
+    assert_eq!(outcome.attempts.len(), 2, "{:?}", outcome.attempts);
+    for (i, a) in outcome.attempts.iter().enumerate() {
+        assert_eq!(a.attempt, i as u32 + 1);
+        assert_eq!(a.worker, "local");
+        assert_eq!(a.outcome, AttemptOutcome::TimedOut);
+    }
+    // The history is queryable after the fact too (what `eod status <id>`
+    // prints).
+    let status = client.status(outcome.job).unwrap();
+    assert_eq!(status.attempts, outcome.attempts);
+
+    Client::connect(&addr)
+        .and_then(|mut c| c.shutdown())
+        .expect("shutdown");
+    handle.join().expect("server thread exits cleanly");
+}
+
+#[test]
+fn client_rides_out_a_late_binding_server() {
+    // Reserve an address, release it, and bind the real server only after
+    // a delay — `connect` must ride out the refusals; `connect_once` must
+    // fail fast while nothing listens.
+    let addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    match Client::connect_once(&addr) {
+        Err(ClientError::Transport(m)) => assert!(m.contains("after 1 attempt"), "{m}"),
+        Err(other) => panic!("connect_once against a dead port: {other}"),
+        Ok(_) => panic!("connect_once against a dead port succeeded"),
+    }
+    let server_addr = addr.clone();
+    let t = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        let service = Service::start(smoke_serve(1, 8, 8));
+        let server = Server::bind(service, &server_addr).expect("bind reserved addr");
+        let _ = server.run();
+    });
+    let mut client = Client::connect_with(
+        &addr,
+        ConnectPolicy {
+            attempts: 10,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_millis(200),
+        },
+    )
+    .expect("reconnect once the server binds");
+    let (_cache, _queued, workers) = client.stats().unwrap();
+    assert_eq!(workers, 1);
+    client.shutdown().unwrap();
+    t.join().unwrap();
+}
