@@ -13,6 +13,8 @@ use eod_core::benchmark::Workload;
 use eod_core::sizes::ProblemSize;
 use eod_dwarfs::registry;
 
+pub mod engine;
+
 /// A benchmark workload bound to the native device and ready to iterate.
 pub struct Prepared {
     /// Kept alive: buffers are metered against this context.

@@ -92,28 +92,35 @@ impl<T: Scalar> Buffer<T> {
     /// Copy the whole buffer out to a new `Vec` (host-side convenience; the
     /// metered path is `CommandQueue::enqueue_read_buffer`).
     pub fn to_vec(&self) -> Vec<T> {
-        self.cells.iter().map(|c| T::load(c)).collect()
+        let mut out = vec![T::default(); self.len()];
+        T::load_slice(&self.cells, &mut out);
+        out
     }
 
-    /// Overwrite the buffer from a slice of the same length.
-    pub(crate) fn copy_from_slice(&self, data: &[T]) {
+    /// Overwrite the buffer from a slice of the same length in one
+    /// memcpy-style pass (see [`Scalar::store_slice`] for the layout
+    /// argument and the no-concurrent-access contract). This is the
+    /// transfer fast path behind `CommandQueue::enqueue_write_buffer`.
+    pub fn copy_from_slice(&self, data: &[T]) {
         assert_eq!(data.len(), self.len(), "host slice length mismatch");
-        for (cell, &v) in self.cells.iter().zip(data) {
-            T::store(cell, v);
-        }
+        T::store_slice(&self.cells, data);
     }
 
-    /// Read the buffer into a slice of the same length.
-    pub(crate) fn copy_to_slice(&self, out: &mut [T]) {
+    /// Read the buffer into a slice of the same length in one
+    /// memcpy-style pass (see [`Scalar::load_slice`]). This is the
+    /// transfer fast path behind `CommandQueue::enqueue_read_buffer`.
+    pub fn copy_to_slice(&self, out: &mut [T]) {
         assert_eq!(out.len(), self.len(), "host slice length mismatch");
-        for (cell, o) in self.cells.iter().zip(out.iter_mut()) {
-            *o = T::load(cell);
-        }
+        T::load_slice(&self.cells, out);
     }
 }
 
-/// Kernel-side handle to a buffer: bounds-checked loads and stores with
-/// relaxed atomics. Indexing semantics match `__global T*` pointers.
+/// Kernel-side handle to a buffer: loads and stores with relaxed atomics.
+/// Indexing semantics match `__global T*` pointers — and like OpenCL
+/// global pointers, out-of-bounds access is the kernel's bug, so the
+/// per-item accessors bounds-check in debug builds only (the release
+/// fast path is a bare `mov`). The bulk accessors stay checked; their
+/// one check is amortized over the whole span.
 #[derive(Debug)]
 pub struct BufView<T: Scalar> {
     cells: Arc<Vec<T::Atomic>>,
@@ -141,15 +148,68 @@ impl<T: Scalar> BufView<T> {
     }
 
     /// Load element `i`.
+    ///
+    /// Bounds are checked in debug builds only; indexing past `len()` in
+    /// a release build is undefined behaviour, as for an OpenCL global
+    /// pointer.
     #[inline]
     pub fn get(&self, i: usize) -> T {
-        T::load(&self.cells[i])
+        debug_assert!(
+            i < self.cells.len(),
+            "buffer read at {i} >= len {}",
+            self.cells.len()
+        );
+        // SAFETY: in-bounds is the kernel contract, verified under
+        // debug_assertions (the test profile keeps them on).
+        T::load(unsafe { self.cells.get_unchecked(i) })
     }
 
     /// Store element `i`.
+    ///
+    /// Bounds are checked in debug builds only; see [`BufView::get`].
     #[inline]
     pub fn set(&self, i: usize, v: T) {
-        T::store(&self.cells[i], v)
+        debug_assert!(
+            i < self.cells.len(),
+            "buffer write at {i} >= len {}",
+            self.cells.len()
+        );
+        // SAFETY: as in `get`.
+        T::store(unsafe { self.cells.get_unchecked(i) }, v)
+    }
+
+    /// Bulk-read `out.len()` elements starting at `start` in one
+    /// memcpy-style pass — the row/tile access path for kernels that
+    /// stage a span of device memory into private/local storage.
+    /// Equivalent to `out[j] = self.get(start + j)` for all `j`; the
+    /// range is bounds-checked (one check for the whole span).
+    ///
+    /// The covered elements must not be written concurrently (disjoint
+    /// concurrent writers elsewhere in the buffer are fine); see
+    /// [`Scalar::load_slice`].
+    #[inline]
+    pub fn read_slice(&self, start: usize, out: &mut [T]) {
+        T::load_slice(&self.cells[start..start + out.len()], out);
+    }
+
+    /// Bulk-write `src.len()` elements starting at `start` in one
+    /// memcpy-style pass. Equivalent to `self.set(start + j, src[j])`
+    /// for all `j`; the range is bounds-checked (one check for the whole
+    /// span).
+    ///
+    /// The covered elements must not be accessed concurrently; see
+    /// [`Scalar::store_slice`].
+    #[inline]
+    pub fn write_slice(&self, start: usize, src: &[T]) {
+        T::store_slice(&self.cells[start..start + src.len()], src);
+    }
+
+    /// Set every element to `v` in one pass. Equivalent to a full
+    /// per-element store loop; same concurrency contract as
+    /// [`BufView::write_slice`].
+    #[inline]
+    pub fn fill(&self, v: T) {
+        T::fill_cells(&self.cells, v);
     }
 }
 
@@ -190,6 +250,27 @@ mod tests {
         let mut out = [0u32; 4];
         b.copy_to_slice(&mut out);
         assert_eq!(out, [5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn view_slice_ops_roundtrip() {
+        let b = test_buffer(&[0.0f32; 8]);
+        let v = b.view();
+        v.write_slice(2, &[1.0, 2.0, 3.0]);
+        assert_eq!(b.to_vec(), vec![0.0, 0.0, 1.0, 2.0, 3.0, 0.0, 0.0, 0.0]);
+        let mut mid = [0.0f32; 4];
+        v.read_slice(1, &mut mid);
+        assert_eq!(mid, [0.0, 1.0, 2.0, 3.0]);
+        v.fill(7.5);
+        assert_eq!(b.to_vec(), vec![7.5; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "range end index")]
+    fn view_slice_out_of_range_panics() {
+        let b = test_buffer(&[0u32; 4]);
+        let mut out = [0u32; 3];
+        b.view().read_slice(2, &mut out);
     }
 
     #[test]

@@ -70,9 +70,7 @@ impl<F: Fn(&WorkItem) + Sync> Kernel for ClosureKernel<F> {
     }
 
     fn run_group(&self, group: &WorkGroup) {
-        for item in group.items() {
-            (self.f)(&item);
-        }
+        group.for_each_item(|item| (self.f)(item));
     }
 }
 

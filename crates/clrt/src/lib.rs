@@ -20,7 +20,13 @@
 //! Device memory is modeled soundly: a [`buffer::Buffer`] stores scalars as
 //! relaxed atomics (free on x86-64: a relaxed load/store compiles to a plain
 //! `mov`), so concurrent work-items can write disjoint elements safely —
-//! exactly the discipline OpenCL kernels follow — without any `unsafe`.
+//! exactly the discipline OpenCL kernels follow. Per-element atomics remain
+//! the semantic model; bulk transfers and row/tile staging additionally get
+//! a memcpy-style fast path ([`buffer::BufView::read_slice`] and friends)
+//! that exploits the bit-compatibility of each scalar with its atomic cell
+//! (see [`scalar::Scalar::LAYOUT_COMPAT`]). Kernel dispatch is adaptive
+//! ([`queue::DispatchMode`]): small launches run inline, large ones fan out
+//! by group index with no per-launch allocation.
 //!
 //! ```
 //! use eod_clrt::prelude::*;
@@ -68,7 +74,7 @@ pub mod prelude {
     pub use crate::kernel::{ClosureKernel, Kernel};
     pub use crate::ndrange::{NdRange, WorkGroup, WorkItem};
     pub use crate::platform::Platform;
-    pub use crate::queue::CommandQueue;
+    pub use crate::queue::{CommandQueue, DispatchMode};
     pub use crate::scalar::Scalar;
 }
 

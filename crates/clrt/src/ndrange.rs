@@ -106,18 +106,47 @@ impl NdRange {
     }
 
     /// Iterate over all work-groups in row-major order.
+    ///
+    /// Strength-reduced: the group id is carried as an incrementing
+    /// coordinate counter, so no division is performed per group.
     pub fn work_groups(&self) -> impl Iterator<Item = WorkGroup> + '_ {
         let groups = self.groups();
-        (0..self.group_count()).map(move |flat| {
-            let gz = flat / (groups[0] * groups[1]);
-            let rem = flat % (groups[0] * groups[1]);
-            let gy = rem / groups[0];
-            let gx = rem % groups[0];
-            WorkGroup {
+        let mut id = [0usize; 3];
+        (0..self.group_count()).map(move |_| {
+            let wg = WorkGroup {
                 range: *self,
-                group_id: [gx, gy, gz],
+                group_id: id,
+            };
+            id[0] += 1;
+            if id[0] == groups[0] {
+                id[0] = 0;
+                id[1] += 1;
+                if id[1] == groups[1] {
+                    id[1] = 0;
+                    id[2] += 1;
+                }
             }
+            wg
         })
+    }
+
+    /// The work-group at flat row-major index `flat` — random access for
+    /// dispatchers that iterate group *indices* (e.g. a parallel index
+    /// range) instead of materializing every group up front.
+    ///
+    /// `flat` must be `< group_count()`; the two divisions here run once
+    /// per *group*, not per item.
+    #[inline]
+    pub fn group_at(&self, flat: usize) -> WorkGroup {
+        let groups = self.groups();
+        debug_assert!(flat < self.group_count(), "group index out of range");
+        let plane = groups[0] * groups[1];
+        let gz = flat / plane;
+        let rem = flat % plane;
+        WorkGroup {
+            range: *self,
+            group_id: [rem % groups[0], rem / groups[0], gz],
+        }
     }
 }
 
@@ -157,6 +186,46 @@ impl WorkGroup {
     /// Group id in dimension `d` (like `get_group_id`).
     pub fn group_id(&self, d: usize) -> usize {
         self.group_id[d]
+    }
+
+    /// Drive `f` over this group's work-items in row-major local order —
+    /// the same visit order as [`WorkGroup::items`], without the
+    /// per-item cost. One `WorkItem` is updated in place across the
+    /// nested loops: ids increment along the x row and the global base
+    /// is recomputed once per row, so no work-item ever pays a division,
+    /// a multiplication, or a fresh struct copy.
+    ///
+    /// This is the execution engine's inner loop; `items()` remains for
+    /// code that wants iterator adapters.
+    #[inline]
+    pub fn for_each_item(&self, mut f: impl FnMut(&WorkItem)) {
+        let l = self.range.local;
+        let base = [
+            self.group_id[0] * l[0],
+            self.group_id[1] * l[1],
+            self.group_id[2] * l[2],
+        ];
+        let mut item = WorkItem {
+            global: base,
+            local: [0; 3],
+            group: self.group_id,
+            range: self.range,
+        };
+        for lz in 0..l[2] {
+            item.local[2] = lz;
+            item.global[2] = base[2] + lz;
+            for ly in 0..l[1] {
+                item.local[1] = ly;
+                item.global[1] = base[1] + ly;
+                item.local[0] = 0;
+                item.global[0] = base[0];
+                for _ in 0..l[0] {
+                    f(&item);
+                    item.local[0] += 1;
+                    item.global[0] += 1;
+                }
+            }
+        }
     }
 }
 
@@ -258,6 +327,38 @@ mod tests {
                     assert!(item.local_id(d) < item.local_size(d));
                     assert!(item.global_id(d) < item.global_size(d));
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_item_matches_items_iterator() {
+        // Identical sequence of WorkItems (ids, order, count) in 1D, 2D
+        // and 3D — the fast driver must be indistinguishable from the
+        // iterator it replaces.
+        for r in [
+            NdRange::d1(96, 32),
+            NdRange::d2(8, 6, 4, 2),
+            NdRange::d3([4, 6, 4], [2, 3, 2]),
+        ] {
+            for g in r.work_groups() {
+                let via_iter: Vec<WorkItem> = g.items().collect();
+                let mut via_driver = Vec::new();
+                g.for_each_item(|item| via_driver.push(*item));
+                assert_eq!(via_driver, via_iter, "range {r:?} group {:?}", g.group_id);
+            }
+        }
+    }
+
+    #[test]
+    fn group_at_matches_work_groups_order() {
+        for r in [
+            NdRange::d1(96, 32),
+            NdRange::d2(8, 6, 4, 2),
+            NdRange::d3([4, 6, 4], [2, 3, 2]),
+        ] {
+            for (flat, g) in r.work_groups().enumerate() {
+                assert_eq!(r.group_at(flat), g, "range {r:?} flat {flat}");
             }
         }
     }

@@ -6,12 +6,15 @@
 //! command with `QUEUED`/`SUBMIT`/`START`/`END` timestamps on the queue's
 //! clock.
 //!
-//! Work-group scheduling uses Rayon: groups of one launch execute in
-//! parallel across host threads, work-items within a group run in local-id
-//! order — the same decomposition Intel's OpenCL CPU runtime applies.
+//! Work-group scheduling is adaptive: launches whose total volume is small
+//! run inline on the calling thread (skipping the Rayon fork-join, which
+//! would cost more than the kernel), while larger launches fan work-groups
+//! out across host threads by *index* — no `Vec<WorkGroup>` is ever
+//! materialized — the same decomposition Intel's OpenCL CPU runtime
+//! applies. Work-items within a group always run in local-id order.
 //! Simulated devices execute identically (results must be real) but are
 //! *timed* by the `eod-devsim` model, with the queue clock advancing in
-//! modeled time.
+//! modeled time; the scheduling choice can never perturb modeled time.
 
 use crate::buffer::Buffer;
 use crate::context::Context;
@@ -24,20 +27,46 @@ use crate::scalar::Scalar;
 use eod_telemetry::{Span, TraceSink, Track};
 use parking_lot::Mutex;
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// How `enqueue_kernel` maps work-groups onto host threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum DispatchMode {
+    /// Inline for small launches, parallel-by-index otherwise (default).
+    #[default]
+    Adaptive = 0,
+    /// Always run groups sequentially on the calling thread.
+    Inline = 1,
+    /// Always fan groups out over the thread pool.
+    Parallel = 2,
+}
+
+/// Launches at or below this many total work-items run inline under
+/// [`DispatchMode::Adaptive`]: a 4096-item saxpy finishes in a few
+/// microseconds, which is what one Rayon fork-join costs, so forking can
+/// only lose in this regime.
+const INLINE_DISPATCH_MAX_ITEMS: usize = 4096;
 
 /// An in-order command queue with optional profiling.
 pub struct CommandQueue {
     ctx: Context,
     profiling: bool,
-    /// Queue clock in seconds: wall-anchored for native, modeled for
-    /// simulated devices.
-    clock: Mutex<f64>,
+    /// Queue clock in seconds, stored as `f64` bits so advancing it is a
+    /// CAS instead of a mutex acquisition: wall-anchored for native,
+    /// modeled for simulated devices. Monotone non-decreasing, so the
+    /// bit-level CAS never sees the same value for two distinct clocks.
+    clock: AtomicU64,
     /// Replay mode (simulated devices only): skip functional re-execution of
     /// kernels and advance modeled time only. See [`CommandQueue::set_replay`].
     replay: AtomicBool,
+    /// Work-group scheduling policy (a [`DispatchMode`] discriminant).
+    dispatch: AtomicU8,
+    /// Lock-free "is a sink attached?" flag mirroring `trace`, so the
+    /// per-command fast path is one relaxed load instead of a mutex.
+    trace_attached: AtomicBool,
     /// Optional span sink: when attached, every enqueued command records
     /// one device-track span carrying its profiling timestamps (and, on
     /// simulated devices, the modeled cost breakdown) as arguments.
@@ -50,9 +79,28 @@ impl CommandQueue {
         Self {
             ctx: ctx.clone(),
             profiling: false,
-            clock: Mutex::new(0.0),
+            clock: AtomicU64::new(0.0f64.to_bits()),
             replay: AtomicBool::new(false),
+            dispatch: AtomicU8::new(DispatchMode::Adaptive as u8),
+            trace_attached: AtomicBool::new(false),
             trace: Mutex::new(None),
+        }
+    }
+
+    /// Override the work-group scheduling policy. [`DispatchMode::Adaptive`]
+    /// is right for production; the fixed modes exist for benchmarking the
+    /// dispatcher itself and for determinism tests (results must be
+    /// byte-identical under every mode).
+    pub fn set_dispatch_mode(&self, mode: DispatchMode) {
+        self.dispatch.store(mode as u8, Ordering::Relaxed);
+    }
+
+    /// The current scheduling policy.
+    pub fn dispatch_mode(&self) -> DispatchMode {
+        match self.dispatch.load(Ordering::Relaxed) {
+            1 => DispatchMode::Inline,
+            2 => DispatchMode::Parallel,
+            _ => DispatchMode::Adaptive,
         }
     }
 
@@ -90,7 +138,11 @@ impl CommandQueue {
 
     /// Attach or detach the span sink at runtime; `None` stops recording.
     pub fn set_trace(&self, sink: Option<Arc<TraceSink>>) {
+        let attached = sink.is_some();
         *self.trace.lock() = sink;
+        // Release pairs with the Acquire in `trace_event`, so a thread
+        // that observes the flag also observes the sink behind the mutex.
+        self.trace_attached.store(attached, Ordering::Release);
     }
 
     /// Record one device-track span for a completed command, if a sink is
@@ -99,6 +151,13 @@ impl CommandQueue {
     /// span arguments, and simulated kernels attach their modeled
     /// [`KernelCost`] breakdown.
     fn trace_event(&self, ev: &Event) {
+        // The untraced fast path: one relaxed-ish load, no lock, and —
+        // crucially — none of the Span allocation and argument formatting
+        // below. Tracing is off for every figure-regeneration run, so
+        // this branch is the per-command cost that matters.
+        if !self.trace_attached.load(Ordering::Acquire) {
+            return;
+        }
         let Some(sink) = self.trace.lock().clone() else {
             return;
         };
@@ -140,7 +199,7 @@ impl CommandQueue {
     /// Seconds elapsed on the queue clock (modeled time for simulated
     /// devices — the harness reads this as "device wall time").
     pub fn clock_seconds(&self) -> f64 {
-        *self.clock.lock()
+        f64::from_bits(self.clock.load(Ordering::Relaxed))
     }
 
     /// Block until all enqueued commands complete. Execution is synchronous
@@ -148,10 +207,46 @@ impl CommandQueue {
     pub fn finish(&self) {}
 
     fn advance_clock(&self, seconds: f64) -> (f64, f64) {
-        let mut clock = self.clock.lock();
-        let start = *clock;
-        *clock += seconds;
-        (start, *clock)
+        // CAS loop over the clock's bit pattern. Commands on one queue
+        // are almost always enqueued from one thread, so the loop runs
+        // once; under contention it degrades to the usual lock-free
+        // retry, still cheaper than parking on a mutex.
+        let mut observed = self.clock.load(Ordering::Relaxed);
+        loop {
+            let start = f64::from_bits(observed);
+            let end = start + seconds;
+            match self.clock.compare_exchange_weak(
+                observed,
+                end.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return (start, end),
+                Err(current) => observed = current,
+            }
+        }
+    }
+
+    /// Execute every work-group of a launch under the current
+    /// [`DispatchMode`]. The parallel path iterates group *indices* via
+    /// [`NdRange::group_at`], so no per-launch `Vec<WorkGroup>` is
+    /// allocated in either path.
+    fn run_kernel_groups(&self, kernel: &dyn Kernel, range: &NdRange) {
+        let n = range.group_count();
+        let inline = match self.dispatch_mode() {
+            DispatchMode::Inline => true,
+            DispatchMode::Parallel => false,
+            DispatchMode::Adaptive => n <= 1 || range.global_volume() <= INLINE_DISPATCH_MAX_ITEMS,
+        };
+        if inline {
+            for g in range.work_groups() {
+                kernel.run_group(&g);
+            }
+        } else {
+            (0..n)
+                .into_par_iter()
+                .for_each(|flat| kernel.run_group(&range.group_at(flat)));
+        }
     }
 
     fn make_event(
@@ -182,12 +277,11 @@ impl CommandQueue {
         profile.validate().map_err(Error::InvalidValue)?;
 
         let queued = self.clock_seconds();
-        let groups: Vec<_> = range.work_groups().collect();
 
         match self.device().backend() {
             Backend::NativeCpu => {
                 let wall = Instant::now();
-                groups.par_iter().for_each(|g| kernel.run_group(g));
+                self.run_kernel_groups(kernel, range);
                 let elapsed = wall.elapsed().as_secs_f64();
                 let (start, end) = self.advance_clock(elapsed);
                 let mut ev = self.make_event(
@@ -205,7 +299,7 @@ impl CommandQueue {
                 // Real execution for correct results — unless this queue is
                 // replaying an already-executed, verified iteration.
                 if !self.replay() {
-                    groups.par_iter().for_each(|g| kernel.run_group(g));
+                    self.run_kernel_groups(kernel, range);
                 }
                 // Modeled time for the event.
                 let cost = sim.noisy_cost(&profile);
@@ -480,6 +574,100 @@ mod tests {
         queue.set_trace(None);
         queue.enqueue_write_buffer(&b, &data).unwrap();
         assert!(sink.is_empty());
+    }
+
+    /// A kernel with order-sensitive f32 math per item: any change in which
+    /// item computes which output, or in per-item arithmetic order, changes
+    /// the bits.
+    fn mix_kernel(out: &crate::buffer::Buffer<f32>, n: usize) -> impl Kernel {
+        ClosureKernel::new("mix", n as u64, {
+            let out = out.view();
+            move |item: &WorkItem| {
+                let i = item.global_id(0);
+                let g = item.group_id(0) as f32;
+                let l = item.local_id(0) as f32;
+                let v = (i as f32 + 0.1) * 1.000_1 + g * 0.333_3 - l / 7.0;
+                out.set(i, v * v + v.sqrt());
+            }
+        })
+    }
+
+    fn run_mix(queue: &CommandQueue, ctx: &Context, n: usize) -> Vec<u32> {
+        let out = ctx.create_buffer::<f32>(n).unwrap();
+        let k = mix_kernel(&out, n);
+        queue.enqueue_kernel(&k, &NdRange::d1(n, 64)).unwrap();
+        out.to_vec().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn dispatch_modes_produce_byte_identical_results() {
+        // Determinism acceptance: the same kernel must produce bit-identical
+        // output under inline dispatch, forced parallel dispatch, and
+        // replay-then-execute on a simulated device.
+        let n = 64 * 1024; // large enough that Adaptive would go parallel
+        let ctx = Context::new(Device::native());
+        let queue = CommandQueue::new(&ctx);
+
+        queue.set_dispatch_mode(DispatchMode::Inline);
+        let inline_bits = run_mix(&queue, &ctx, n);
+        queue.set_dispatch_mode(DispatchMode::Parallel);
+        let parallel_bits = run_mix(&queue, &ctx, n);
+        assert_eq!(inline_bits, parallel_bits, "inline vs parallel dispatch");
+
+        // Replay then execute on a simulated device: replay must leave the
+        // buffer untouched, and the subsequent real execution must match the
+        // native result bit-for-bit.
+        let gtx = Platform::simulated().device_by_name("GTX 1080").unwrap();
+        let sim_ctx = Context::new(gtx);
+        let sim_queue = CommandQueue::new(&sim_ctx).with_profiling();
+        let out = sim_ctx.create_buffer::<f32>(n).unwrap();
+        let k = mix_kernel(&out, n);
+        sim_queue.set_replay(true);
+        sim_queue.enqueue_kernel(&k, &NdRange::d1(n, 64)).unwrap();
+        assert!(
+            out.to_vec().iter().all(|&v| v == 0.0),
+            "replay must not run"
+        );
+        sim_queue.set_replay(false);
+        sim_queue.enqueue_kernel(&k, &NdRange::d1(n, 64)).unwrap();
+        let replayed_bits: Vec<u32> = out.to_vec().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(inline_bits, replayed_bits, "replay-then-execute");
+    }
+
+    #[test]
+    fn trace_sink_attached_mid_stream_records_subsequent_commands() {
+        // Regression for the lock-free trace_event fast path: a queue that
+        // starts without a sink must begin recording as soon as one is
+        // attached, and only the commands enqueued after attachment.
+        let gtx = Platform::simulated().device_by_name("GTX 1080").unwrap();
+        let ctx = Context::new(gtx);
+        let queue = CommandQueue::new(&ctx).with_profiling();
+        let n = 512;
+        let b = ctx.create_buffer::<f32>(n).unwrap();
+        let data = vec![1.0f32; n];
+        queue.enqueue_write_buffer(&b, &data).unwrap();
+        queue.enqueue_write_buffer(&b, &data).unwrap();
+
+        let sink = std::sync::Arc::new(TraceSink::new());
+        queue.set_trace(Some(std::sync::Arc::clone(&sink)));
+        let k = ClosureKernel::new("halve", n as u64, {
+            let b = b.view();
+            move |item: &WorkItem| {
+                let i = item.global_id(0);
+                b.set(i, b.get(i) * 0.5);
+            }
+        });
+        queue.enqueue_kernel(&k, &NdRange::d1(n, 64)).unwrap();
+        let mut out = vec![0.0f32; n];
+        queue.enqueue_read_buffer(&b, &mut out).unwrap();
+
+        let spans = sink.drain();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["halve", "read"],
+            "only post-attach commands are recorded"
+        );
     }
 
     #[test]

@@ -27,6 +27,76 @@ pub trait Scalar: Copy + Default + Send + Sync + PartialEq + std::fmt::Debug + '
     fn load(cell: &Self::Atomic) -> Self;
     /// Relaxed store.
     fn store(cell: &Self::Atomic, v: Self);
+
+    /// Compile-time layout guard backing the bulk paths below: one atomic
+    /// cell occupies exactly the bytes of one scalar, at the same
+    /// alignment. Floats satisfy this because `new_cell`/`store` keep the
+    /// IEEE-754 bit pattern (`to_bits`) in the integer cell, which has the
+    /// same object representation as the float itself — so copying cell
+    /// memory as scalar memory reproduces `load` for every element.
+    const LAYOUT_COMPAT: () = assert!(
+        std::mem::size_of::<Self::Atomic>() == Self::BYTES
+            && std::mem::size_of::<Self>() == Self::BYTES
+            && std::mem::align_of::<Self::Atomic>() == std::mem::align_of::<Self>()
+    );
+
+    /// Copy every cell's value into `out` with one `memcpy`-style pass
+    /// instead of a per-element atomic-load loop. Semantically identical
+    /// to `out[i] = Self::load(&cells[i])` for all `i`.
+    ///
+    /// Callers must guarantee no thread concurrently writes the covered
+    /// cells. The runtime's in-order queue provides this between
+    /// commands; racing on the *same* cells a transfer covers is
+    /// undefined, exactly as in OpenCL. Concurrent access to *other*
+    /// cells of the same buffer is fine — the copy only touches
+    /// `cells[..]`.
+    #[inline]
+    fn load_slice(cells: &[Self::Atomic], out: &mut [Self]) {
+        const { Self::LAYOUT_COMPAT };
+        assert_eq!(cells.len(), out.len(), "host slice length mismatch");
+        // SAFETY: LAYOUT_COMPAT proves the cell array is bit-compatible
+        // with a scalar array; the caller guarantees the covered cells
+        // have no concurrent writers, so the non-atomic read cannot race.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                cells.as_ptr().cast::<Self>(),
+                out.as_mut_ptr(),
+                out.len(),
+            );
+        }
+    }
+
+    /// Copy `src` into the cells with one `memcpy`-style pass instead of
+    /// a per-element atomic-store loop. Semantically identical to
+    /// `Self::store(&cells[i], src[i])` for all `i`.
+    ///
+    /// Same no-concurrent-access contract as [`Scalar::load_slice`],
+    /// extended to concurrent readers of the covered cells.
+    #[inline]
+    fn store_slice(cells: &[Self::Atomic], src: &[Self]) {
+        const { Self::LAYOUT_COMPAT };
+        assert_eq!(cells.len(), src.len(), "host slice length mismatch");
+        // SAFETY: layout-compat as above; atomic cells are interior-
+        // mutable, so writing through a pointer derived from a shared
+        // reference is permitted, and the caller rules out racing access
+        // to the covered cells.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), cells.as_ptr() as *mut Self, src.len());
+        }
+    }
+
+    /// Set every cell to `v` in one pass (memset-style for byte-uniform
+    /// patterns). Semantically identical to storing `v` per element.
+    ///
+    /// Same no-concurrent-access contract as [`Scalar::store_slice`].
+    #[inline]
+    fn fill_cells(cells: &[Self::Atomic], v: Self) {
+        const { Self::LAYOUT_COMPAT };
+        // SAFETY: as in `store_slice`.
+        unsafe {
+            std::slice::from_raw_parts_mut(cells.as_ptr() as *mut Self, cells.len()).fill(v);
+        }
+    }
 }
 
 macro_rules! int_scalar {
@@ -132,6 +202,54 @@ mod tests {
         assert_eq!(<f64 as Scalar>::BYTES, 8);
         assert_eq!(<u8 as Scalar>::BYTES, 1);
         assert_eq!(<i32 as Scalar>::BYTES, 4);
+    }
+
+    fn bulk_matches_per_element<T: Scalar>(values: &[T]) {
+        let cells: Vec<T::Atomic> = values.iter().map(|&v| T::new_cell(v)).collect();
+        // load_slice == per-element load loop.
+        let mut bulk = vec![T::default(); values.len()];
+        T::load_slice(&cells, &mut bulk);
+        let per: Vec<T> = cells.iter().map(|c| T::load(c)).collect();
+        assert_eq!(bulk, per);
+        // store_slice == per-element store loop.
+        let cells2: Vec<T::Atomic> = values.iter().map(|_| T::new_cell(T::default())).collect();
+        T::store_slice(&cells2, values);
+        let back: Vec<T> = cells2.iter().map(|c| T::load(c)).collect();
+        assert_eq!(back, values);
+        // fill_cells == per-element store of one value.
+        if let Some(&v) = values.first() {
+            T::fill_cells(&cells2, v);
+            assert!(cells2.iter().all(|c| T::load(c) == v));
+        }
+    }
+
+    #[test]
+    fn bulk_paths_match_atomic_paths_for_all_scalars() {
+        bulk_matches_per_element::<u8>(&[0, 1, 127, 255]);
+        bulk_matches_per_element::<u32>(&[0, 1, 0xdead_beef, u32::MAX]);
+        bulk_matches_per_element::<i32>(&[0, -1, i32::MIN, i32::MAX]);
+        bulk_matches_per_element::<u64>(&[0, 1, u64::MAX]);
+        bulk_matches_per_element::<i64>(&[0, -1, i64::MIN, i64::MAX]);
+        // NaN is excluded here (NaN != NaN breaks the equality harness);
+        // `bulk_float_nan_payloads_survive` covers it bit-exactly.
+        bulk_matches_per_element::<f32>(&[0.0, -0.0, f32::INFINITY, 1.5e-42]);
+        bulk_matches_per_element::<f64>(&[0.0, -0.0, f64::NEG_INFINITY, 5e-324]);
+    }
+
+    #[test]
+    fn bulk_float_nan_payloads_survive() {
+        // NaN payload bits must be preserved by the memcpy path; `==`
+        // can't see them, so compare bit patterns directly.
+        let weird = f32::from_bits(0x7fc0_1234);
+        let cells = [f32::new_cell(weird)];
+        let mut out = [0.0f32];
+        f32::load_slice(&cells, &mut out);
+        assert_eq!(out[0].to_bits(), 0x7fc0_1234);
+        f32::store_slice(&cells, &[f32::from_bits(0xffc0_5678)]);
+        assert_eq!(f32::load(&cells[0]).to_bits(), 0xffc0_5678);
+        // Negative zero's sign bit survives the fill path too.
+        f32::fill_cells(&cells, -0.0);
+        assert_eq!(f32::load(&cells[0]).to_bits(), (-0.0f32).to_bits());
     }
 
     #[test]

@@ -3,7 +3,107 @@
 use eod_clrt::prelude::*;
 use proptest::prelude::*;
 
+/// Raw object representation of a scalar slice, for byte-identity asserts.
+fn as_bytes<T: Scalar>(v: &[T]) -> &[u8] {
+    // SAFETY: every `Scalar` is a plain-old-data type with no padding.
+    unsafe { std::slice::from_raw_parts(v.as_ptr().cast::<u8>(), std::mem::size_of_val(v)) }
+}
+
+/// Drives one scalar type through write_slice/read_slice/fill and checks
+/// each against the equivalent per-element loop, byte for byte.
+fn check_bulk_equivalence<T, F>(
+    bits: &[u64],
+    start: usize,
+    conv: F,
+) -> std::result::Result<(), TestCaseError>
+where
+    T: Scalar + Copy,
+    F: Fn(u64) -> T,
+{
+    let data: Vec<T> = bits.iter().map(|&b| conv(b)).collect();
+    let n = start + data.len() + 3; // slack so untouched cells are observable
+    let ctx = Context::new(Device::native());
+
+    // Write: bulk vs per-element into otherwise-identical buffers.
+    let bulk = ctx.create_buffer::<T>(n).unwrap();
+    let by_item = ctx.create_buffer::<T>(n).unwrap();
+    bulk.view().write_slice(start, &data);
+    for (i, &v) in data.iter().enumerate() {
+        by_item.view().set(start + i, v);
+    }
+    let (bulk_v, item_v) = (bulk.to_vec(), by_item.to_vec());
+    prop_assert_eq!(as_bytes(&bulk_v), as_bytes(&item_v));
+
+    // Read: bulk vs per-element out of the same buffer.
+    let mut bulk_out = vec![conv(0); data.len()];
+    bulk.view().read_slice(start, &mut bulk_out);
+    let item_out: Vec<T> = (0..data.len())
+        .map(|i| bulk.view().get(start + i))
+        .collect();
+    prop_assert_eq!(as_bytes(&bulk_out), as_bytes(&item_out));
+    prop_assert_eq!(as_bytes(&bulk_out), as_bytes(&data));
+
+    // Fill: bulk vs per-element store of the same value.
+    let fill_v = conv(bits[0].rotate_left(17));
+    bulk.view().fill(fill_v);
+    for i in 0..n {
+        by_item.view().set(i, fill_v);
+    }
+    let (bulk_v, item_v) = (bulk.to_vec(), by_item.to_vec());
+    prop_assert_eq!(as_bytes(&bulk_v), as_bytes(&item_v));
+    Ok(())
+}
+
 proptest! {
+    /// Bulk buffer ops are byte-identical to per-element loops for every
+    /// scalar type, including arbitrary float bit patterns (NaN payloads).
+    #[test]
+    fn bulk_ops_match_per_element_for_all_scalars(
+        bits in prop::collection::vec(any::<u64>(), 1..200),
+        start in 0usize..8,
+    ) {
+        check_bulk_equivalence(&bits, start, |b| b as u8)?;
+        check_bulk_equivalence(&bits, start, |b| b as u32)?;
+        check_bulk_equivalence(&bits, start, |b| b as i32)?;
+        check_bulk_equivalence(&bits, start, |b| b)?;
+        check_bulk_equivalence(&bits, start, |b| b as i64)?;
+        check_bulk_equivalence(&bits, start, |b| f32::from_bits(b as u32))?;
+        check_bulk_equivalence(&bits, start, f64::from_bits)?;
+    }
+
+    /// Concurrent writers on disjoint sub-slices of one buffer produce the
+    /// same bytes as a serial per-element loop — the bulk fast path touches
+    /// only the cells inside its range.
+    #[test]
+    fn concurrent_disjoint_bulk_writers_match_serial(
+        chunks in prop::collection::vec(prop::collection::vec(any::<u32>(), 1..64), 2..8),
+    ) {
+        let n: usize = chunks.iter().map(Vec::len).sum();
+        let ctx = Context::new(Device::native());
+        let buf = ctx.create_buffer::<f32>(n).unwrap();
+        let starts: Vec<usize> = chunks
+            .iter()
+            .scan(0, |acc, c| { let s = *acc; *acc += c.len(); Some(s) })
+            .collect();
+        std::thread::scope(|scope| {
+            for (&start, chunk) in starts.iter().zip(&chunks) {
+                let view = buf.view();
+                scope.spawn(move || {
+                    let vals: Vec<f32> =
+                        chunk.iter().map(|&b| f32::from_bits(b)).collect();
+                    view.write_slice(start, &vals);
+                });
+            }
+        });
+        let serial: Vec<f32> = chunks
+            .iter()
+            .flatten()
+            .map(|&b| f32::from_bits(b))
+            .collect();
+        let got = buf.to_vec();
+        prop_assert_eq!(as_bytes(&got), as_bytes(&serial));
+    }
+
     /// Buffers round-trip arbitrary f32 bit patterns through device memory.
     #[test]
     fn buffer_roundtrip_f32(data in prop::collection::vec(any::<u32>(), 1..500)) {

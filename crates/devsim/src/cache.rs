@@ -48,13 +48,20 @@ impl CacheConfig {
 
 /// One set-associative LRU cache level.
 ///
-/// Tags are stored per set in recency order (index 0 = most recent), which
-/// makes LRU update a rotate — fine for simulation purposes and easy to
-/// verify.
+/// Tags live in one flat array of `ways` slots per set, recency-ordered
+/// within each set's occupied prefix (index 0 = most recent). An LRU
+/// update is then an in-place `rotate_right` over at most `ways` slots —
+/// no `Vec::remove`/`insert` element shuffling, no per-set allocations,
+/// and one contiguous allocation for the whole cache. The hit/miss
+/// sequence is exactly that of the textbook recency-list formulation
+/// (asserted against a reference model in the tests).
 #[derive(Debug, Clone)]
 pub struct CacheSim {
     config: CacheConfig,
-    sets: Vec<Vec<u64>>,
+    /// `sets() * ways` tag slots; set `s` owns `tags[s*ways .. (s+1)*ways]`.
+    tags: Vec<u64>,
+    /// Occupied ways per set (slots beyond this hold stale garbage).
+    lens: Vec<u32>,
     hits: u64,
     misses: u64,
     num_sets: u64,
@@ -70,7 +77,8 @@ impl CacheSim {
         let sets = config.sets();
         Self {
             config,
-            sets: vec![Vec::with_capacity(config.ways); sets],
+            tags: vec![0; sets * config.ways],
+            lens: vec![0; sets],
             hits: 0,
             misses: 0,
             num_sets: sets as u64,
@@ -85,20 +93,31 @@ impl CacheSim {
         let line = addr >> self.line_shift;
         let set_idx = (line % self.num_sets) as usize;
         let tag = line / self.num_sets;
-        let set = &mut self.sets[set_idx];
+        let ways = self.config.ways;
+        let len = self.lens[set_idx] as usize;
+        let base = set_idx * ways;
+        let set = &mut self.tags[base..base + len];
         if let Some(pos) = set.iter().position(|&t| t == tag) {
-            // Hit: move to MRU position.
-            set.remove(pos);
-            set.insert(0, tag);
+            // Hit: rotate the `0..=pos` prefix right by one — the found
+            // tag wraps to the MRU slot, everything younger ages by one.
+            set[..=pos].rotate_right(1);
             self.hits += 1;
             true
         } else {
-            // Miss: allocate at MRU, evicting LRU if full.
-            if set.len() == self.config.ways {
-                set.pop();
-            }
-            set.insert(0, tag);
             self.misses += 1;
+            if len == ways {
+                // Full: rotate the whole set (the LRU victim's slot wraps
+                // to the front) and overwrite it with the new tag.
+                set.rotate_right(1);
+                set[0] = tag;
+            } else {
+                // Not full: grow the occupied prefix by one slot, rotate
+                // the stale slot to the front, overwrite it.
+                let set = &mut self.tags[base..base + len + 1];
+                set.rotate_right(1);
+                set[0] = tag;
+                self.lens[set_idx] = (len + 1) as u32;
+            }
             false
         }
     }
@@ -125,7 +144,7 @@ impl CacheSim {
 
     /// Number of resident lines (for capacity invariants).
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 
     /// Geometry of this level.
@@ -133,11 +152,10 @@ impl CacheSim {
         self.config
     }
 
-    /// Forget all contents and counts.
+    /// Forget all contents and counts. Stale tags stay in `tags` but are
+    /// unreachable once every occupancy count is zero.
     pub fn reset(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
+        self.lens.fill(0);
         self.hits = 0;
         self.misses = 0;
     }
@@ -361,6 +379,90 @@ mod tests {
         c.access(d); // miss, evicts LRU = b
         assert!(c.access(a), "a must survive");
         assert!(!c.access(b), "b was the LRU victim");
+    }
+
+    /// The pre-rotate implementation, kept verbatim as a reference model:
+    /// per-set `Vec` recency lists updated with `remove` + `insert(0, _)`.
+    struct ReferenceLru {
+        sets: Vec<Vec<u64>>,
+        ways: usize,
+        num_sets: u64,
+        line_shift: u32,
+    }
+
+    impl ReferenceLru {
+        fn new(config: CacheConfig) -> Self {
+            Self {
+                sets: vec![Vec::new(); config.sets()],
+                ways: config.ways,
+                num_sets: config.sets() as u64,
+                line_shift: config.line_size.trailing_zeros(),
+            }
+        }
+
+        fn access(&mut self, addr: u64) -> bool {
+            let line = addr >> self.line_shift;
+            let set = &mut self.sets[(line % self.num_sets) as usize];
+            let tag = line / self.num_sets;
+            if let Some(pos) = set.iter().position(|&t| t == tag) {
+                set.remove(pos);
+                set.insert(0, tag);
+                true
+            } else {
+                if set.len() == self.ways {
+                    set.pop();
+                }
+                set.insert(0, tag);
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_lru_matches_remove_insert_reference() {
+        // Mixed trace over several geometries: every access must produce the
+        // same hit/miss outcome as the old remove+insert(0) formulation.
+        for cfg in [
+            CacheConfig {
+                capacity: 512,
+                line_size: 64,
+                ways: 2,
+            },
+            CacheConfig {
+                capacity: 2048,
+                line_size: 32,
+                ways: 4,
+            },
+            CacheConfig::kib(48, 6), // 96 sets, non-power-of-two
+        ] {
+            let mut fast = CacheSim::new(cfg);
+            let mut reference = ReferenceLru::new(cfg);
+            // Deterministic LCG mixing streaming, strided, and re-touch
+            // phases so hits, cold misses, and capacity misses all occur.
+            let mut state = 0x2545_f491_4f6c_dd1du64;
+            let mut addrs = Vec::new();
+            for i in 0..4_000u64 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let addr = match i % 4 {
+                    0 => i * 64,                                               // streaming
+                    1 => (i % 37) * cfg.line_size as u64,                      // small working set
+                    2 => state % (16 * 1024), // random within 16 KiB
+                    _ => *addrs.get((state % (i + 1)) as usize).unwrap_or(&0), // re-touch
+                };
+                addrs.push(addr);
+                assert_eq!(
+                    fast.access(addr),
+                    reference.access(addr),
+                    "divergence at access #{i} (addr {addr:#x}, geometry {cfg:?})"
+                );
+            }
+            assert_eq!(
+                fast.resident_lines(),
+                reference.sets.iter().map(Vec::len).sum::<usize>()
+            );
+        }
     }
 
     #[test]

@@ -95,19 +95,34 @@ impl Kernel for FftPassKernel {
     }
 
     fn run_group(&self, group: &WorkGroup) {
+        // The two input operands of every butterfly in this group are
+        // contiguous spans (`i` and `i + t` for consecutive `i`), so
+        // stage all four with slice copies; the ping-pong buffers make
+        // the input side read-only during a pass. The `p`-strided output
+        // scatter stays per-element. Identical arithmetic per butterfly.
         let t = self.n / 2;
         let p = self.p;
-        for item in group.items() {
-            let i = item.global_id(0);
-            if i >= t {
-                continue;
-            }
+        let gsize = group.range.local[0];
+        let gbase = group.group_id(0) * gsize;
+        let active = t.saturating_sub(gbase).min(gsize);
+        if active == 0 {
+            return; // fully padded tail group
+        }
+        let mut re0 = vec![0.0f32; active];
+        let mut im0 = vec![0.0f32; active];
+        let mut re1 = vec![0.0f32; active];
+        let mut im1 = vec![0.0f32; active];
+        self.in_re.read_slice(gbase, &mut re0);
+        self.in_im.read_slice(gbase, &mut im0);
+        self.in_re.read_slice(gbase + t, &mut re1);
+        self.in_im.read_slice(gbase + t, &mut im1);
+        let lanes = re0.iter().zip(&im0).zip(re1.iter().zip(&im1));
+        for (j, ((&u0r, &u0i), (&x1r, &x1i))) in lanes.enumerate() {
+            let i = gbase + j;
             // Bainville: k = i & (p-1); out base = ((i-k)<<1) + k.
             let k = i & (p - 1);
             let out = ((i - k) << 1) + k;
             let alpha = -std::f32::consts::PI * k as f32 / p as f32;
-            let (u0r, u0i) = (self.in_re.get(i), self.in_im.get(i));
-            let (x1r, x1i) = (self.in_re.get(i + t), self.in_im.get(i + t));
             let (c, s) = (alpha.cos(), alpha.sin());
             let (u1r, u1i) = (x1r * c - x1i * s, x1r * s + x1i * c);
             self.out_re.set(out, u0r + u1r);

@@ -153,24 +153,43 @@ impl Kernel for GemKernel {
     }
 
     fn run_group(&self, group: &WorkGroup) {
-        for item in group.items() {
-            let v = item.global_id(0);
-            if v >= self.n_vertices {
-                continue;
-            }
-            let vx = self.vertices.get(3 * v);
-            let vy = self.vertices.get(3 * v + 1);
-            let vz = self.vertices.get(3 * v + 2);
-            let mut phi = 0.0f32;
-            for a in 0..self.n_atoms {
-                let dx = vx - self.atoms.get(4 * a);
-                let dy = vy - self.atoms.get(4 * a + 1);
-                let dz = vz - self.atoms.get(4 * a + 2);
-                let r = (dx * dx + dy * dy + dz * dz).sqrt();
-                phi += self.atoms.get(4 * a + 3) / r;
-            }
-            self.phi.set(v, phi);
+        // The local-memory structure of the OpenCL original: stage this
+        // group's vertex triples once, then stream the atom quads through
+        // a private tile (16 KiB — L1-resident) shared by every vertex of
+        // the group. All inner-loop operands are plain floats, so the
+        // all-pairs loop vectorizes; per-vertex accumulation order over
+        // atoms is unchanged (tiles ascend, atoms within a tile ascend),
+        // keeping results bit-identical to the per-element version.
+        const TILE: usize = 1024;
+        let gsize = group.range.local[0];
+        let gbase = group.group_id(0) * gsize;
+        let active = self.n_vertices.saturating_sub(gbase).min(gsize);
+        if active == 0 {
+            return; // fully padded tail group
         }
+        let mut verts = vec![0.0f32; active * 3];
+        self.vertices.read_slice(gbase * 3, &mut verts);
+        let mut phis = vec![0.0f32; active];
+        let mut tile = vec![0.0f32; TILE.min(self.n_atoms).max(1) * 4];
+        let mut a0 = 0usize;
+        while a0 < self.n_atoms {
+            let cnt = TILE.min(self.n_atoms - a0);
+            self.atoms.read_slice(a0 * 4, &mut tile[..cnt * 4]);
+            for (vi, phi) in phis.iter_mut().enumerate() {
+                let (vx, vy, vz) = (verts[3 * vi], verts[3 * vi + 1], verts[3 * vi + 2]);
+                let mut acc = *phi;
+                for a in 0..cnt {
+                    let dx = vx - tile[4 * a];
+                    let dy = vy - tile[4 * a + 1];
+                    let dz = vz - tile[4 * a + 2];
+                    let r = (dx * dx + dy * dy + dz * dz).sqrt();
+                    acc += tile[4 * a + 3] / r;
+                }
+                *phi = acc;
+            }
+            a0 += cnt;
+        }
+        self.phi.write_slice(gbase, &phis);
     }
 }
 

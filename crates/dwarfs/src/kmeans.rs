@@ -138,19 +138,32 @@ impl Kernel for AssignKernel {
     }
 
     fn run_group(&self, group: &WorkGroup) {
+        // Stage the centroid table (shared by every point — the OpenCL
+        // kernel keeps it in local memory) and this group's contiguous
+        // feature rows with two slice copies, then run the distance loops
+        // on plain floats. Same arithmetic in the same order, so the
+        // assignment is identical to the per-element version.
         let p = &self.params;
-        for item in group.items() {
-            let gid = item.global_id(0);
-            if gid >= p.points {
-                continue;
-            }
+        let gsize = group.range.local[0];
+        let gbase = group.group_id(0) * gsize;
+        let active = p.points.saturating_sub(gbase).min(gsize);
+        if active == 0 {
+            return; // fully padded tail group
+        }
+        let mut cent = vec![0.0f32; p.clusters * p.features];
+        self.centroids.read_slice(0, &mut cent);
+        let mut feats = vec![0.0f32; active * p.features];
+        self.features.read_slice(gbase * p.features, &mut feats);
+        let mut members = vec![0i32; active];
+        for (i, m) in members.iter_mut().enumerate() {
+            let row = &feats[i * p.features..(i + 1) * p.features];
             let mut best = 0i32;
             let mut best_d = f32::INFINITY;
             for c in 0..p.clusters {
+                let crow = &cent[c * p.features..(c + 1) * p.features];
                 let mut d = 0.0f32;
-                for f in 0..p.features {
-                    let diff = self.features.get(gid * p.features + f)
-                        - self.centroids.get(c * p.features + f);
+                for (&x, &y) in row.iter().zip(crow) {
+                    let diff = x - y;
                     d += diff * diff;
                 }
                 if d < best_d {
@@ -158,8 +171,9 @@ impl Kernel for AssignKernel {
                     best = c as i32;
                 }
             }
-            self.membership.set(gid, best);
+            *m = best;
         }
+        self.membership.write_slice(gbase, &members);
     }
 }
 

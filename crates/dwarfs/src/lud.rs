@@ -119,25 +119,35 @@ impl Kernel for DiagonalKernel {
     }
 
     fn run_group(&self, group: &WorkGroup) {
-        for item in group.items() {
+        group.for_each_item(|item| {
             if item.global_id(0) != 0 {
-                continue;
+                return;
             }
             let (n, o) = (self.n, self.offset);
             let b = BLOCK.min(n - o);
+            // Stage the block in private memory (row reads amortized via
+            // the slice path), factorize locally with the exact
+            // operation order of the in-place version, write rows back.
+            let mut blk = [[0.0f32; BLOCK]; BLOCK];
+            for (k, row) in blk.iter_mut().take(b).enumerate() {
+                self.m.read_slice((o + k) * n + o, &mut row[..b]);
+            }
             for k in 0..b {
-                let pivot = self.m.get((o + k) * n + o + k);
-                for i in k + 1..b {
-                    let l = self.m.get((o + i) * n + o + k) / pivot;
-                    self.m.set((o + i) * n + o + k, l);
-                    for j in k + 1..b {
-                        let v =
-                            self.m.get((o + i) * n + o + j) - l * self.m.get((o + k) * n + o + j);
-                        self.m.set((o + i) * n + o + j, v);
+                let (top, below) = blk.split_at_mut(k + 1);
+                let pivot_row = &top[k];
+                let pivot = pivot_row[k];
+                for row in below[..b - k - 1].iter_mut() {
+                    let l = row[k] / pivot;
+                    row[k] = l;
+                    for (rj, &pj) in row[k + 1..b].iter_mut().zip(&pivot_row[k + 1..b]) {
+                        *rj -= l * pj;
                     }
                 }
             }
-        }
+            for (k, row) in blk.iter().take(b).enumerate() {
+                self.m.write_slice((o + k) * n + o, &row[..b]);
+            }
+        });
     }
 }
 
@@ -178,31 +188,47 @@ impl Kernel for PerimeterKernel {
         let (n, o) = (self.n, self.offset);
         let rem = self.rem();
         let b = BLOCK;
-        for item in group.items() {
+        // Stage the factorized diagonal block once per group (the local-
+        // memory trick of the OpenCL kernel): every work-item re-reads its
+        // triangles ~b²/2 times, so one slice-copy replaces hundreds of
+        // strided atomic loads. The block is read-only to this kernel.
+        let mut diag = [[0.0f32; BLOCK]; BLOCK];
+        for (k, row) in diag.iter_mut().take(b).enumerate() {
+            self.m.read_slice((o + k) * n + o, row);
+        }
+        group.for_each_item(|item| {
             let t = item.global_id(0);
             if t < rem {
-                // U12 column c: forward substitution with unit-diagonal L11.
+                // U12 column c: forward substitution with unit-diagonal
+                // L11. Earlier entries of this column are this item's own
+                // writes, so carry them in a private array.
                 let c = o + b + t;
+                let mut colv = [0.0f32; BLOCK];
                 for k in 0..b {
                     let mut acc = self.m.get((o + k) * n + c);
                     for j in 0..k {
-                        acc -= self.m.get((o + k) * n + o + j) * self.m.get((o + j) * n + c);
+                        acc -= diag[k][j] * colv[j];
                     }
+                    colv[k] = acc;
                     self.m.set((o + k) * n + c, acc);
                 }
             } else if t < 2 * rem {
                 // L21 row r: solve against U11 (divide by its diagonal).
+                // The row is contiguous: stage it, solve privately with
+                // the same operation order, write it back in one pass.
                 let r = o + b + (t - rem);
+                let mut rowv = [0.0f32; BLOCK];
+                self.m.read_slice(r * n + o, &mut rowv);
                 for k in 0..b {
-                    let mut acc = self.m.get(r * n + o + k);
+                    let mut acc = rowv[k];
                     for j in 0..k {
-                        acc -= self.m.get(r * n + o + j) * self.m.get((o + j) * n + o + k);
+                        acc -= rowv[j] * diag[j][k];
                     }
-                    self.m
-                        .set(r * n + o + k, acc / self.m.get((o + k) * n + o + k));
+                    rowv[k] = acc / diag[k][k];
                 }
+                self.m.write_slice(r * n + o, &rowv);
             }
-        }
+        });
     }
 }
 
@@ -241,10 +267,42 @@ impl Kernel for InternalKernel {
         let (n, o) = (self.n, self.offset);
         let rem = self.rem();
         let base = o + BLOCK;
-        for item in group.items() {
+        let rowbase = group.group_id(1) * group.range.local[1];
+        let colbase = group.group_id(0) * group.range.local[0];
+        if group.range.local == [BLOCK, BLOCK, 1]
+            && rowbase + BLOCK <= rem
+            && colbase + BLOCK <= rem
+        {
+            // Tiled fast path for full interior groups: stage this
+            // group's L21 strip, U12 tile and C tile with slice copies,
+            // run the rank-BLOCK update on private arrays (pure scalar
+            // math, no atomics in the inner loop, same per-element
+            // operation order as below), and write each row back in one
+            // pass.
+            let mut l = [[0.0f32; BLOCK]; BLOCK];
+            let mut u = [[0.0f32; BLOCK]; BLOCK];
+            for i in 0..BLOCK {
+                self.m.read_slice((base + rowbase + i) * n + o, &mut l[i]);
+                self.m.read_slice((o + i) * n + base + colbase, &mut u[i]);
+            }
+            for (r, lr) in l.iter().enumerate() {
+                let row = base + rowbase + r;
+                let mut crow = [0.0f32; BLOCK];
+                self.m.read_slice(row * n + base + colbase, &mut crow);
+                for (c, acc) in crow.iter_mut().enumerate() {
+                    for (&lv, uk) in lr.iter().zip(&u) {
+                        *acc -= lv * uk[c];
+                    }
+                }
+                self.m.write_slice(row * n + base + colbase, &crow);
+            }
+            return;
+        }
+        // Edge groups (partial tiles) keep the per-item path.
+        group.for_each_item(|item| {
             let (c, r) = (item.global_id(0), item.global_id(1));
             if r >= rem || c >= rem {
-                continue;
+                return;
             }
             let row = base + r;
             let col = base + c;
@@ -253,7 +311,7 @@ impl Kernel for InternalKernel {
                 acc -= self.m.get(row * n + o + k) * self.m.get((o + k) * n + col);
             }
             self.m.set(row * n + col, acc);
-        }
+        });
     }
 }
 

@@ -170,10 +170,10 @@ impl Kernel for Srad1Kernel {
 
     fn run_group(&self, group: &WorkGroup) {
         let (rows, cols) = (self.p.rows, self.p.cols);
-        for item in group.items() {
+        group.for_each_item(|item| {
             let (c, r) = (item.global_id(0), item.global_id(1));
             if r >= rows || c >= cols {
-                continue;
+                return;
             }
             let idx = |r: usize, c: usize| r * cols + c;
             let jc = self.b.j.get(idx(r, c));
@@ -193,7 +193,7 @@ impl Kernel for Srad1Kernel {
             self.b.ds.set(idx(r, c), s);
             self.b.dw.set(idx(r, c), w);
             self.b.de.set(idx(r, c), e);
-        }
+        });
     }
 }
 
@@ -222,10 +222,10 @@ impl Kernel for Srad2Kernel {
 
     fn run_group(&self, group: &WorkGroup) {
         let (rows, cols) = (self.p.rows, self.p.cols);
-        for item in group.items() {
+        group.for_each_item(|item| {
             let (c, r) = (item.global_id(0), item.global_id(1));
             if r >= rows || c >= cols {
-                continue;
+                return;
             }
             let idx = |r: usize, c: usize| r * cols + c;
             let cn = self.b.c.get(idx(r, c));
@@ -239,7 +239,7 @@ impl Kernel for Srad2Kernel {
             self.b
                 .j
                 .set(idx(r, c), self.b.j.get(idx(r, c)) + 0.25 * LAMBDA * d);
-        }
+        });
     }
 }
 

@@ -279,7 +279,7 @@ mod tests {
             verified: true,
             regions: Default::default(),
         };
-        assert!(Matrix::from_groups(&[g.clone()]).is_err());
+        assert!(Matrix::from_groups(std::slice::from_ref(&g)).is_err());
         let mut g2 = g;
         g2.energy_j = Some(vec![0.5]);
         let m = Matrix::from_groups(&[g2]).unwrap();

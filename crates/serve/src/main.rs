@@ -561,6 +561,27 @@ fn cmd_autotune() -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_bench_engine(cli: &Cli) -> Result<(), String> {
+    use eod_bench::engine;
+    let full = has_flag(&cli.args, "--full");
+    let report = engine::run(full);
+    print!("{}", engine::render(&report));
+    let json_path = flag_value(&cli.args, "--json").unwrap_or_else(|| "BENCH_engine.json".into());
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&json_path, json + "\n").map_err(|e| format!("write {json_path}: {e}"))?;
+    eprintln!("wrote {json_path}");
+    if let Some(baseline_path) = flag_value(&cli.args, "--baseline") {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("read baseline {baseline_path}: {e}"))?;
+        let baseline: engine::EngineReport =
+            serde_json::from_str(&text).map_err(|e| format!("parse {baseline_path}: {e}"))?;
+        engine::check_regression(&report, &baseline, 2.0)
+            .map_err(|e| format!("dispatch-rate regression vs {baseline_path}: {e}"))?;
+        println!("baseline check vs {baseline_path}: ok (no metric regressed more than 2x)");
+    }
+    Ok(())
+}
+
 fn cmd_schedule(cli: &Cli) -> Result<(), String> {
     let mut cfg = cli.config.clone();
     cfg.energy_all_devices = true;
@@ -981,6 +1002,7 @@ fn run() -> Result<(), String> {
         "ablation" => cmd_ablation()?,
         "ideal" => cmd_ideal(&cli)?,
         "autotune" => cmd_autotune()?,
+        "bench-engine" => cmd_bench_engine(&cli)?,
         "schedule" => cmd_schedule(&cli)?,
         "serve" => cmd_serve(&cli)?,
         "fleet" => cmd_fleet(&cli)?,
@@ -995,6 +1017,7 @@ fn run() -> Result<(), String> {
                  \u{20}         fig1 fig2a..fig2e fig3a fig3b fig4 fig5 figures\n\
                  \u{20}         run <benchmark> <size> [-p P -d D -t T] [--trace-out trace.json]\n\
                  \u{20}         cov cachesim aiwc ideal ablation autotune schedule\n\
+                 \u{20}         bench-engine [--full] [--json FILE] [--baseline FILE]\n\
                  \u{20}         serve [--addr A --workers N --queue-cap N --cache-cap N --metrics-addr M]\n\
                  \u{20}         fleet [--addr A --fleet-addr F --queue-cap N --cache-cap N --metrics-addr M]\n\
                  \u{20}         worker [--connect F --slots N --devices D1,D2 --name W]\n\

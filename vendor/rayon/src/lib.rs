@@ -19,7 +19,7 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 pub mod prelude {
     //! Import surface mirroring `rayon::prelude`.
-    pub use crate::{ParIter, ParallelSlice};
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, RangeParIter};
 }
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
@@ -91,6 +91,87 @@ impl Latch {
     }
 }
 
+/// The shared work-stealing driver: apply `f` to every index in
+/// `0..len`, racing the calling thread against up to N−1 pool workers on
+/// an atomic cursor. Returns when every index has been processed; panics
+/// if `f` panicked on any index.
+fn run_indexed<F>(len: usize, f: F)
+where
+    F: Fn(usize) + Sync + Send,
+{
+    let p = pool();
+    if len <= 1 || p.workers <= 1 {
+        for i in 0..len {
+            f(i);
+        }
+        return;
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let latch = Arc::new(Latch {
+        outstanding: Mutex::new(0),
+        done: Condvar::new(),
+        panicked: AtomicBool::new(false),
+    });
+
+    // One stealing loop shared by the caller and the helper tasks.
+    let run = |latch: &Latch| {
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= len {
+                break;
+            }
+            let r = catch_unwind(AssertUnwindSafe(|| f(i)));
+            if r.is_err() {
+                latch.panicked.store(true, Ordering::SeqCst);
+                // Park the cursor at the end so other participants
+                // stop picking up new items.
+                cursor.store(len, Ordering::SeqCst);
+                break;
+            }
+        }
+    };
+
+    let helpers = (p.workers - 1).min(len - 1);
+    {
+        let mut q = p.injector.queue.lock().unwrap_or_else(|e| e.into_inner());
+        *latch.outstanding.lock().unwrap_or_else(|e| e.into_inner()) = helpers;
+        for _ in 0..helpers {
+            let latch = Arc::clone(&latch);
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new({
+                let run = &run;
+                move || {
+                    // Arrive even if `run` panics internally (it
+                    // cannot — panics are caught — but stay safe).
+                    struct Arrive<'l>(&'l Latch);
+                    impl Drop for Arrive<'_> {
+                        fn drop(&mut self) {
+                            self.0.arrive();
+                        }
+                    }
+                    let _guard = Arrive(&latch);
+                    run(&latch);
+                }
+            });
+            // SAFETY: `run_indexed` blocks on the latch until every
+            // helper task has completed, so the borrows of `f`, `cursor`
+            // and `run` captured in the task strictly outlive its
+            // execution. The lifetime erasure is confined to the queue
+            // hand-off.
+            let task: Task =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Task>(task) };
+            q.push_back(task);
+        }
+        p.injector.available.notify_all();
+    }
+
+    run(&latch);
+    latch.wait();
+    if latch.panicked.load(Ordering::SeqCst) {
+        panic!("a rayon-stub parallel task panicked");
+    }
+}
+
 /// Extension trait providing `par_iter` on slices (and through deref, on
 /// `Vec`), mirroring rayon's `IntoParallelRefIterator`.
 pub trait ParallelSlice<T: Sync> {
@@ -117,75 +198,43 @@ impl<'a, T: Sync> ParIter<'a, T> {
         F: Fn(&'a T) + Sync + Send,
     {
         let items = self.items;
-        let p = pool();
-        if items.len() <= 1 || p.workers <= 1 {
-            items.iter().for_each(f);
-            return;
-        }
+        run_indexed(items.len(), |i| f(&items[i]));
+    }
+}
 
-        let cursor = AtomicUsize::new(0);
-        let latch = Arc::new(Latch {
-            outstanding: Mutex::new(0),
-            done: Condvar::new(),
-            panicked: AtomicBool::new(false),
-        });
+/// Mirror of rayon's `IntoParallelIterator`, implemented for the index
+/// ranges the runtime dispatches work-groups over. Iterating indices
+/// instead of a materialized slice keeps per-launch allocation off the
+/// dispatch path.
+pub trait IntoParallelIterator {
+    /// The parallel iterator produced.
+    type Iter;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
 
-        // One stealing loop shared by the caller and the helper tasks.
-        let run = |latch: &Latch| {
-            loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = catch_unwind(AssertUnwindSafe(|| f(&items[i])));
-                if r.is_err() {
-                    latch.panicked.store(true, Ordering::SeqCst);
-                    // Park the cursor at the end so other participants
-                    // stop picking up new items.
-                    cursor.store(items.len(), Ordering::SeqCst);
-                    break;
-                }
-            }
-        };
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeParIter;
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter { range: self }
+    }
+}
 
-        let helpers = (p.workers - 1).min(items.len() - 1);
-        {
-            let mut q = p.injector.queue.lock().unwrap_or_else(|e| e.into_inner());
-            *latch.outstanding.lock().unwrap_or_else(|e| e.into_inner()) = helpers;
-            for _ in 0..helpers {
-                let latch = Arc::clone(&latch);
-                let task: Box<dyn FnOnce() + Send + '_> = Box::new({
-                    let run = &run;
-                    move || {
-                        // Arrive even if `run` panics internally (it
-                        // cannot — panics are caught — but stay safe).
-                        struct Arrive<'l>(&'l Latch);
-                        impl Drop for Arrive<'_> {
-                            fn drop(&mut self) {
-                                self.0.arrive();
-                            }
-                        }
-                        let _guard = Arrive(&latch);
-                        run(&latch);
-                    }
-                });
-                // SAFETY: `for_each` blocks on the latch until every
-                // helper task has completed, so the borrows of `items`,
-                // `f`, `cursor` and `run` captured in the task strictly
-                // outlive its execution. The lifetime erasure is confined
-                // to the queue hand-off.
-                let task: Task =
-                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Task>(task) };
-                q.push_back(task);
-            }
-            p.injector.available.notify_all();
-        }
+/// Parallel iterator over a `Range<usize>`.
+pub struct RangeParIter {
+    range: std::ops::Range<usize>,
+}
 
-        run(&latch);
-        latch.wait();
-        if latch.panicked.load(Ordering::SeqCst) {
-            panic!("a rayon-stub parallel task panicked");
-        }
+impl RangeParIter {
+    /// Apply `f` to every index, potentially in parallel. Returns when
+    /// all indices have been processed; panics if `f` panicked on any.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync + Send,
+    {
+        let start = self.range.start;
+        let len = self.range.end.saturating_sub(start);
+        run_indexed(len, |i| f(start + i));
     }
 }
 
@@ -238,6 +287,27 @@ mod tests {
             });
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn range_for_each_visits_every_index_once() {
+        let flags: Vec<AtomicU64> = (0..10_000).map(|_| AtomicU64::new(0)).collect();
+        (0..flags.len()).into_par_iter().for_each(|i| {
+            flags[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(flags.iter().all(|f| f.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn offset_range_covers_exact_window() {
+        let flags: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        (25..75).into_par_iter().for_each(|i| {
+            flags[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for (i, f) in flags.iter().enumerate() {
+            let expect = u64::from((25..75).contains(&i));
+            assert_eq!(f.load(Ordering::SeqCst), expect, "index {i}");
+        }
     }
 
     #[test]
