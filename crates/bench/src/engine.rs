@@ -115,12 +115,18 @@ impl Kernel for SaxpyKernel {
         let mut xs = [0.0f32; 256];
         let mut ys = [0.0f32; 256];
         let (xs, ys) = (&mut xs[..count], &mut ys[..count]);
-        self.x.read_slice(base, xs);
-        self.y.read_slice(base, ys);
+        // SAFETY: `x` is a launch input no work-item writes, and each
+        // group exclusively owns `y[base..base + count]`; the in-order
+        // queue serializes transfers against kernel execution.
+        unsafe {
+            self.x.read_slice(base, xs);
+            self.y.read_slice(base, ys);
+        }
         for (y, &x) in ys.iter_mut().zip(xs.iter()) {
             *y += 2.0 * x;
         }
-        self.y.write_slice(base, ys);
+        // SAFETY: the group's exclusive span, as above.
+        unsafe { self.y.write_slice(base, ys) };
     }
 }
 
@@ -174,10 +180,16 @@ impl Kernel for GemmTileKernel {
         let mut at = [[0.0f32; GEMM_T]; GEMM_T]; // a[row0+r][0..16]
         let mut bt = [[0.0f32; GEMM_T]; GEMM_T]; // b[k][col0..col0+16]
         let mut ct = [[0.0f32; GEMM_T]; GEMM_T];
+        // SAFETY: `a` and `b` are launch inputs no work-item writes, and
+        // each group exclusively owns its 16×16 C tile (groups partition
+        // C by row/column block); transfers are serialized by the
+        // in-order queue.
         for r in 0..GEMM_T {
-            self.a.read_slice((row0 + r) * GEMM_N, &mut at[r]);
-            self.b.read_slice(r * GEMM_N + col0, &mut bt[r]);
-            self.c.read_slice((row0 + r) * GEMM_N + col0, &mut ct[r]);
+            unsafe {
+                self.a.read_slice((row0 + r) * GEMM_N, &mut at[r]);
+                self.b.read_slice(r * GEMM_N + col0, &mut bt[r]);
+                self.c.read_slice((row0 + r) * GEMM_N + col0, &mut ct[r]);
+            }
         }
         for r in 0..GEMM_T {
             for (kk, bk) in bt.iter().enumerate() {
@@ -188,7 +200,8 @@ impl Kernel for GemmTileKernel {
             }
         }
         for (r, cr) in ct.iter().enumerate() {
-            self.c.write_slice((row0 + r) * GEMM_N + col0, cr);
+            // SAFETY: the group's exclusive C tile, as above.
+            unsafe { self.c.write_slice((row0 + r) * GEMM_N + col0, cr) };
         }
     }
 }

@@ -90,37 +90,55 @@ impl<T: Scalar> Buffer<T> {
     }
 
     /// Copy the whole buffer out to a new `Vec` (host-side convenience; the
-    /// metered path is `CommandQueue::enqueue_read_buffer`).
+    /// metered path is `CommandQueue::enqueue_read_buffer`). Reads each
+    /// element with a relaxed atomic load, so it is safe — and merely
+    /// possibly stale — even while kernels are writing the buffer.
     pub fn to_vec(&self) -> Vec<T> {
-        let mut out = vec![T::default(); self.len()];
-        T::load_slice(&self.cells, &mut out);
-        out
+        self.cells.iter().map(|c| T::load(c)).collect()
     }
 
     /// Overwrite the buffer from a slice of the same length in one
     /// memcpy-style pass (see [`Scalar::store_slice`] for the layout
-    /// argument and the no-concurrent-access contract). This is the
-    /// transfer fast path behind `CommandQueue::enqueue_write_buffer`.
-    pub fn copy_from_slice(&self, data: &[T]) {
+    /// argument). This is the transfer fast path behind
+    /// `CommandQueue::enqueue_write_buffer`.
+    ///
+    /// # Safety
+    ///
+    /// The write is non-atomic: no other thread may access any element of
+    /// this buffer (through any clone or [`BufView`]) for the duration of
+    /// the call — the [`Scalar::store_slice`] contract.
+    pub unsafe fn copy_from_slice(&self, data: &[T]) {
         assert_eq!(data.len(), self.len(), "host slice length mismatch");
-        T::store_slice(&self.cells, data);
+        // SAFETY: forwarded to the caller.
+        unsafe { T::store_slice(&self.cells, data) };
     }
 
     /// Read the buffer into a slice of the same length in one
     /// memcpy-style pass (see [`Scalar::load_slice`]). This is the
     /// transfer fast path behind `CommandQueue::enqueue_read_buffer`.
-    pub fn copy_to_slice(&self, out: &mut [T]) {
+    ///
+    /// # Safety
+    ///
+    /// The read is non-atomic: no other thread may *write* any element of
+    /// this buffer for the duration of the call — the
+    /// [`Scalar::load_slice`] contract. (The safe [`Buffer::to_vec`]
+    /// tolerates concurrent writers.)
+    pub unsafe fn copy_to_slice(&self, out: &mut [T]) {
         assert_eq!(out.len(), self.len(), "host slice length mismatch");
-        T::load_slice(&self.cells, out);
+        // SAFETY: forwarded to the caller.
+        unsafe { T::load_slice(&self.cells, out) };
     }
 }
 
 /// Kernel-side handle to a buffer: loads and stores with relaxed atomics.
-/// Indexing semantics match `__global T*` pointers — and like OpenCL
-/// global pointers, out-of-bounds access is the kernel's bug, so the
-/// per-item accessors bounds-check in debug builds only (the release
-/// fast path is a bare `mov`). The bulk accessors stay checked; their
-/// one check is amortized over the whole span.
+/// Indexing semantics match `__global T*` pointers. The safe per-item
+/// accessors [`BufView::get`]/[`BufView::set`] are always bounds-checked
+/// (an out-of-bounds index panics, never corrupts memory); kernels whose
+/// hot loop has already established its index range can opt into the
+/// unchecked variants with an explicit `unsafe` block. The bulk accessors
+/// bounds-check once per span but are `unsafe` for a different reason:
+/// they copy non-atomically, so the caller must rule out concurrent
+/// access to the covered elements.
 #[derive(Debug)]
 pub struct BufView<T: Scalar> {
     cells: Arc<Vec<T::Atomic>>,
@@ -147,34 +165,52 @@ impl<T: Scalar> BufView<T> {
         self.cells.is_empty()
     }
 
-    /// Load element `i`.
-    ///
-    /// Bounds are checked in debug builds only; indexing past `len()` in
-    /// a release build is undefined behaviour, as for an OpenCL global
-    /// pointer.
+    /// Load element `i` (bounds-checked; panics past `len()`, as a safe
+    /// API must — a kernel index bug is a panic, never memory
+    /// corruption).
     #[inline]
     pub fn get(&self, i: usize) -> T {
+        T::load(&self.cells[i])
+    }
+
+    /// Store element `i` (bounds-checked; see [`BufView::get`]).
+    #[inline]
+    pub fn set(&self, i: usize, v: T) {
+        T::store(&self.cells[i], v)
+    }
+
+    /// Load element `i` without a bounds check (checked in debug builds
+    /// only; the release fast path is a bare `mov`).
+    ///
+    /// # Safety
+    ///
+    /// `i` must be `< self.len()` — an out-of-bounds index is undefined
+    /// behaviour, as for an OpenCL global pointer.
+    #[inline]
+    pub unsafe fn get_unchecked(&self, i: usize) -> T {
         debug_assert!(
             i < self.cells.len(),
             "buffer read at {i} >= len {}",
             self.cells.len()
         );
-        // SAFETY: in-bounds is the kernel contract, verified under
+        // SAFETY: in-bounds is the caller's contract, verified under
         // debug_assertions (the test profile keeps them on).
         T::load(unsafe { self.cells.get_unchecked(i) })
     }
 
-    /// Store element `i`.
+    /// Store element `i` without a bounds check.
     ///
-    /// Bounds are checked in debug builds only; see [`BufView::get`].
+    /// # Safety
+    ///
+    /// `i` must be `< self.len()`; see [`BufView::get_unchecked`].
     #[inline]
-    pub fn set(&self, i: usize, v: T) {
+    pub unsafe fn set_unchecked(&self, i: usize, v: T) {
         debug_assert!(
             i < self.cells.len(),
             "buffer write at {i} >= len {}",
             self.cells.len()
         );
-        // SAFETY: as in `get`.
+        // SAFETY: as in `get_unchecked`.
         T::store(unsafe { self.cells.get_unchecked(i) }, v)
     }
 
@@ -182,14 +218,20 @@ impl<T: Scalar> BufView<T> {
     /// memcpy-style pass — the row/tile access path for kernels that
     /// stage a span of device memory into private/local storage.
     /// Equivalent to `out[j] = self.get(start + j)` for all `j`; the
-    /// range is bounds-checked (one check for the whole span).
+    /// range is bounds-checked (one check for the whole span, panicking
+    /// like the safe accessors).
+    ///
+    /// # Safety
     ///
     /// The covered elements must not be written concurrently (disjoint
-    /// concurrent writers elsewhere in the buffer are fine); see
-    /// [`Scalar::load_slice`].
+    /// concurrent access elsewhere in the buffer is fine); see
+    /// [`Scalar::load_slice`]. Kernels typically discharge this by
+    /// reading only buffers the launch treats as inputs, or spans their
+    /// own work-group exclusively owns.
     #[inline]
-    pub fn read_slice(&self, start: usize, out: &mut [T]) {
-        T::load_slice(&self.cells[start..start + out.len()], out);
+    pub unsafe fn read_slice(&self, start: usize, out: &mut [T]) {
+        // SAFETY: no-concurrent-writer is forwarded to the caller.
+        unsafe { T::load_slice(&self.cells[start..start + out.len()], out) };
     }
 
     /// Bulk-write `src.len()` elements starting at `start` in one
@@ -197,19 +239,28 @@ impl<T: Scalar> BufView<T> {
     /// for all `j`; the range is bounds-checked (one check for the whole
     /// span).
     ///
-    /// The covered elements must not be accessed concurrently; see
-    /// [`Scalar::store_slice`].
+    /// # Safety
+    ///
+    /// The covered elements must not be accessed concurrently at all;
+    /// see [`Scalar::store_slice`]. Kernels typically discharge this by
+    /// writing only the span their own work-group exclusively owns.
     #[inline]
-    pub fn write_slice(&self, start: usize, src: &[T]) {
-        T::store_slice(&self.cells[start..start + src.len()], src);
+    pub unsafe fn write_slice(&self, start: usize, src: &[T]) {
+        // SAFETY: no-concurrent-access is forwarded to the caller.
+        unsafe { T::store_slice(&self.cells[start..start + src.len()], src) };
     }
 
     /// Set every element to `v` in one pass. Equivalent to a full
-    /// per-element store loop; same concurrency contract as
-    /// [`BufView::write_slice`].
+    /// per-element store loop.
+    ///
+    /// # Safety
+    ///
+    /// Same no-concurrent-access contract as [`BufView::write_slice`],
+    /// over the whole buffer.
     #[inline]
-    pub fn fill(&self, v: T) {
-        T::fill_cells(&self.cells, v);
+    pub unsafe fn fill(&self, v: T) {
+        // SAFETY: no-concurrent-access is forwarded to the caller.
+        unsafe { T::fill_cells(&self.cells, v) };
     }
 }
 
@@ -246,9 +297,10 @@ mod tests {
     #[test]
     fn copy_from_and_to_slice() {
         let b = test_buffer(&[0u32; 4]);
-        b.copy_from_slice(&[5, 6, 7, 8]);
+        // SAFETY: single-threaded test — no concurrent access.
+        unsafe { b.copy_from_slice(&[5, 6, 7, 8]) };
         let mut out = [0u32; 4];
-        b.copy_to_slice(&mut out);
+        unsafe { b.copy_to_slice(&mut out) };
         assert_eq!(out, [5, 6, 7, 8]);
     }
 
@@ -256,13 +308,28 @@ mod tests {
     fn view_slice_ops_roundtrip() {
         let b = test_buffer(&[0.0f32; 8]);
         let v = b.view();
-        v.write_slice(2, &[1.0, 2.0, 3.0]);
+        // SAFETY: single-threaded test — no concurrent access.
+        unsafe { v.write_slice(2, &[1.0, 2.0, 3.0]) };
         assert_eq!(b.to_vec(), vec![0.0, 0.0, 1.0, 2.0, 3.0, 0.0, 0.0, 0.0]);
         let mut mid = [0.0f32; 4];
-        v.read_slice(1, &mut mid);
+        unsafe { v.read_slice(1, &mut mid) };
         assert_eq!(mid, [0.0, 1.0, 2.0, 3.0]);
-        v.fill(7.5);
+        unsafe { v.fill(7.5) };
         assert_eq!(b.to_vec(), vec![7.5; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn view_get_out_of_bounds_panics() {
+        let b = test_buffer(&[0u32; 4]);
+        b.view().get(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn view_set_out_of_bounds_panics() {
+        let b = test_buffer(&[0u32; 4]);
+        b.view().set(4, 1);
     }
 
     #[test]
@@ -270,14 +337,17 @@ mod tests {
     fn view_slice_out_of_range_panics() {
         let b = test_buffer(&[0u32; 4]);
         let mut out = [0u32; 3];
-        b.view().read_slice(2, &mut out);
+        // SAFETY: single-threaded test; the call must panic on the range
+        // check before any copy happens.
+        unsafe { b.view().read_slice(2, &mut out) };
     }
 
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn mismatched_slice_panics() {
         let b = test_buffer(&[0u32; 4]);
-        b.copy_from_slice(&[1, 2]);
+        // SAFETY: single-threaded test; panics on the length check.
+        unsafe { b.copy_from_slice(&[1, 2]) };
     }
 
     #[test]

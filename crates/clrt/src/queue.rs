@@ -207,10 +207,17 @@ impl CommandQueue {
     pub fn finish(&self) {}
 
     fn advance_clock(&self, seconds: f64) -> (f64, f64) {
-        // CAS loop over the clock's bit pattern. Commands on one queue
-        // are almost always enqueued from one thread, so the loop runs
-        // once; under contention it degrades to the usual lock-free
-        // retry, still cheaper than parking on a mutex.
+        // CAS loop over the clock's bit pattern. Per-queue enqueue is
+        // expected to be single-threaded (OpenCL's in-order model; every
+        // caller in this repo enqueues from one thread per queue), so the
+        // loop runs once; under contention it degrades to the usual
+        // lock-free retry, still cheaper than parking on a mutex. Note
+        // for any future multi-producer use: each command still gets a
+        // well-formed, non-overlapping (start, end) interval — the CAS
+        // retries until it owns a fresh span — but a concurrent
+        // `clock_seconds` reader between attempts can observe a clock
+        // value that no event's interval has claimed yet, a subtly
+        // different interleaving than the old mutex gave.
         let mut observed = self.clock.load(Ordering::Relaxed);
         loop {
             let start = f64::from_bits(observed);
@@ -322,6 +329,13 @@ impl CommandQueue {
     }
 
     /// Copy host data into a buffer (`clEnqueueWriteBuffer`).
+    ///
+    /// The transfer is one memcpy-style pass, so — exactly as in OpenCL —
+    /// the buffer must not be accessed by anything executing concurrently
+    /// on another thread while the transfer runs. Commands on *this*
+    /// queue can never overlap it: execution is synchronous and in-order,
+    /// so every previously enqueued kernel has completed before the copy
+    /// starts.
     pub fn enqueue_write_buffer<T: Scalar>(&self, buf: &Buffer<T>, data: &[T]) -> Result<Event> {
         if data.len() != buf.len() {
             return Err(Error::InvalidBufferSize(format!(
@@ -331,10 +345,17 @@ impl CommandQueue {
             )));
         }
         let queued = self.clock_seconds();
+        // SAFETY (both backends): this runtime executes commands
+        // synchronously, so no kernel previously enqueued on this queue
+        // is still running; concurrent access from other threads is
+        // excluded by the documented OpenCL-style transfer contract
+        // above. This is the crate-internal home of the bulk-copy fast
+        // path — kernels and hosts going through safe APIs get the
+        // atomic per-element path instead.
         match self.device().backend() {
             Backend::NativeCpu => {
                 let wall = Instant::now();
-                buf.copy_from_slice(data);
+                unsafe { buf.copy_from_slice(data) };
                 let elapsed = wall.elapsed().as_secs_f64();
                 let (start, end) = self.advance_clock(elapsed);
                 let ev =
@@ -343,7 +364,7 @@ impl CommandQueue {
                 Ok(ev)
             }
             Backend::Simulated(sim) => {
-                buf.copy_from_slice(data);
+                unsafe { buf.copy_from_slice(data) };
                 let t = sim.transfer.transfer_time(buf.bytes()).as_secs_f64();
                 let (start, end) = self.advance_clock(t);
                 let ev =
@@ -355,6 +376,10 @@ impl CommandQueue {
     }
 
     /// Copy a buffer back to host memory (`clEnqueueReadBuffer`).
+    ///
+    /// Same memcpy-style transfer contract as
+    /// [`CommandQueue::enqueue_write_buffer`]: no concurrent writers to
+    /// the buffer from other threads while the transfer runs.
     pub fn enqueue_read_buffer<T: Scalar>(&self, buf: &Buffer<T>, out: &mut [T]) -> Result<Event> {
         if out.len() != buf.len() {
             return Err(Error::InvalidBufferSize(format!(
@@ -364,10 +389,13 @@ impl CommandQueue {
             )));
         }
         let queued = self.clock_seconds();
+        // SAFETY (both backends): as in `enqueue_write_buffer` — in-order
+        // synchronous execution means no enqueued kernel still runs, and
+        // the documented transfer contract excludes other threads.
         match self.device().backend() {
             Backend::NativeCpu => {
                 let wall = Instant::now();
-                buf.copy_to_slice(out);
+                unsafe { buf.copy_to_slice(out) };
                 let elapsed = wall.elapsed().as_secs_f64();
                 let (start, end) = self.advance_clock(elapsed);
                 let ev =
@@ -376,7 +404,7 @@ impl CommandQueue {
                 Ok(ev)
             }
             Backend::Simulated(sim) => {
-                buf.copy_to_slice(out);
+                unsafe { buf.copy_to_slice(out) };
                 let t = sim.transfer.transfer_time(buf.bytes()).as_secs_f64();
                 let (start, end) = self.advance_clock(t);
                 let ev =

@@ -44,14 +44,18 @@ pub trait Scalar: Copy + Default + Send + Sync + PartialEq + std::fmt::Debug + '
     /// instead of a per-element atomic-load loop. Semantically identical
     /// to `out[i] = Self::load(&cells[i])` for all `i`.
     ///
-    /// Callers must guarantee no thread concurrently writes the covered
-    /// cells. The runtime's in-order queue provides this between
+    /// # Safety
+    ///
+    /// No thread may concurrently write the covered cells: the copy is
+    /// non-atomic, so a racing writer is undefined behaviour (whereas the
+    /// per-element [`Scalar::load`] loop merely reads torn-free stale
+    /// values). The runtime's in-order queue provides this between
     /// commands; racing on the *same* cells a transfer covers is
     /// undefined, exactly as in OpenCL. Concurrent access to *other*
     /// cells of the same buffer is fine — the copy only touches
     /// `cells[..]`.
     #[inline]
-    fn load_slice(cells: &[Self::Atomic], out: &mut [Self]) {
+    unsafe fn load_slice(cells: &[Self::Atomic], out: &mut [Self]) {
         const { Self::LAYOUT_COMPAT };
         assert_eq!(cells.len(), out.len(), "host slice length mismatch");
         // SAFETY: LAYOUT_COMPAT proves the cell array is bit-compatible
@@ -70,10 +74,13 @@ pub trait Scalar: Copy + Default + Send + Sync + PartialEq + std::fmt::Debug + '
     /// a per-element atomic-store loop. Semantically identical to
     /// `Self::store(&cells[i], src[i])` for all `i`.
     ///
+    /// # Safety
+    ///
     /// Same no-concurrent-access contract as [`Scalar::load_slice`],
-    /// extended to concurrent readers of the covered cells.
+    /// extended to concurrent *readers* of the covered cells (the
+    /// non-atomic write races with even an atomic load).
     #[inline]
-    fn store_slice(cells: &[Self::Atomic], src: &[Self]) {
+    unsafe fn store_slice(cells: &[Self::Atomic], src: &[Self]) {
         const { Self::LAYOUT_COMPAT };
         assert_eq!(cells.len(), src.len(), "host slice length mismatch");
         // SAFETY: layout-compat as above; atomic cells are interior-
@@ -88,9 +95,11 @@ pub trait Scalar: Copy + Default + Send + Sync + PartialEq + std::fmt::Debug + '
     /// Set every cell to `v` in one pass (memset-style for byte-uniform
     /// patterns). Semantically identical to storing `v` per element.
     ///
+    /// # Safety
+    ///
     /// Same no-concurrent-access contract as [`Scalar::store_slice`].
     #[inline]
-    fn fill_cells(cells: &[Self::Atomic], v: Self) {
+    unsafe fn fill_cells(cells: &[Self::Atomic], v: Self) {
         const { Self::LAYOUT_COMPAT };
         // SAFETY: as in `store_slice`.
         unsafe {
@@ -206,19 +215,21 @@ mod tests {
 
     fn bulk_matches_per_element<T: Scalar>(values: &[T]) {
         let cells: Vec<T::Atomic> = values.iter().map(|&v| T::new_cell(v)).collect();
+        // SAFETY: the cells are local to this test and accessed from one
+        // thread only, so the no-concurrent-access contract holds.
         // load_slice == per-element load loop.
         let mut bulk = vec![T::default(); values.len()];
-        T::load_slice(&cells, &mut bulk);
+        unsafe { T::load_slice(&cells, &mut bulk) };
         let per: Vec<T> = cells.iter().map(|c| T::load(c)).collect();
         assert_eq!(bulk, per);
         // store_slice == per-element store loop.
         let cells2: Vec<T::Atomic> = values.iter().map(|_| T::new_cell(T::default())).collect();
-        T::store_slice(&cells2, values);
+        unsafe { T::store_slice(&cells2, values) };
         let back: Vec<T> = cells2.iter().map(|c| T::load(c)).collect();
         assert_eq!(back, values);
         // fill_cells == per-element store of one value.
         if let Some(&v) = values.first() {
-            T::fill_cells(&cells2, v);
+            unsafe { T::fill_cells(&cells2, v) };
             assert!(cells2.iter().all(|c| T::load(c) == v));
         }
     }
@@ -243,12 +254,13 @@ mod tests {
         let weird = f32::from_bits(0x7fc0_1234);
         let cells = [f32::new_cell(weird)];
         let mut out = [0.0f32];
-        f32::load_slice(&cells, &mut out);
+        // SAFETY: single-threaded test — no concurrent access to `cells`.
+        unsafe { f32::load_slice(&cells, &mut out) };
         assert_eq!(out[0].to_bits(), 0x7fc0_1234);
-        f32::store_slice(&cells, &[f32::from_bits(0xffc0_5678)]);
+        unsafe { f32::store_slice(&cells, &[f32::from_bits(0xffc0_5678)]) };
         assert_eq!(f32::load(&cells[0]).to_bits(), 0xffc0_5678);
         // Negative zero's sign bit survives the fill path too.
-        f32::fill_cells(&cells, -0.0);
+        unsafe { f32::fill_cells(&cells, -0.0) };
         assert_eq!(f32::load(&cells[0]).to_bits(), (-0.0f32).to_bits());
     }
 

@@ -25,9 +25,11 @@ where
     let ctx = Context::new(Device::native());
 
     // Write: bulk vs per-element into otherwise-identical buffers.
+    // SAFETY (all bulk calls in this fn): the buffers are local to this
+    // single-threaded test, so nothing accesses them concurrently.
     let bulk = ctx.create_buffer::<T>(n).unwrap();
     let by_item = ctx.create_buffer::<T>(n).unwrap();
-    bulk.view().write_slice(start, &data);
+    unsafe { bulk.view().write_slice(start, &data) };
     for (i, &v) in data.iter().enumerate() {
         by_item.view().set(start + i, v);
     }
@@ -36,7 +38,7 @@ where
 
     // Read: bulk vs per-element out of the same buffer.
     let mut bulk_out = vec![conv(0); data.len()];
-    bulk.view().read_slice(start, &mut bulk_out);
+    unsafe { bulk.view().read_slice(start, &mut bulk_out) };
     let item_out: Vec<T> = (0..data.len())
         .map(|i| bulk.view().get(start + i))
         .collect();
@@ -45,7 +47,7 @@ where
 
     // Fill: bulk vs per-element store of the same value.
     let fill_v = conv(bits[0].rotate_left(17));
-    bulk.view().fill(fill_v);
+    unsafe { bulk.view().fill(fill_v) };
     for i in 0..n {
         by_item.view().set(i, fill_v);
     }
@@ -91,7 +93,10 @@ proptest! {
                 scope.spawn(move || {
                     let vals: Vec<f32> =
                         chunk.iter().map(|&b| f32::from_bits(b)).collect();
-                    view.write_slice(start, &vals);
+                    // SAFETY: each writer covers its own disjoint
+                    // sub-range — exactly the contract's allowance for
+                    // concurrent access *outside* the covered cells.
+                    unsafe { view.write_slice(start, &vals) };
                 });
             }
         });

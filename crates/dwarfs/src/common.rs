@@ -26,6 +26,13 @@ pub fn round_up(global: usize, local: usize) -> usize {
     global.div_ceil(local) * local
 }
 
+/// Upper bound on the 1-D work-group sizes the suite launches
+/// ([`local_1d`] caps at 64; the bench kernels go up to 256). Kernels
+/// that stage per-group windows size their stack scratch arrays with
+/// this so the hot dispatch path never heap-allocates; slicing such an
+/// array to the actual group size panics if a launch ever exceeds it.
+pub const MAX_LOCAL_1D: usize = 256;
+
 /// Pick a 1-D work-group size: the device maximum capped at 64 (the
 /// OpenDwarfs codes use 64–256) and no larger than the rounded global size.
 pub fn local_1d(global: usize, device: &Device) -> usize {

@@ -14,7 +14,7 @@
 //! exactly 32 KiB, small N = 16384 exactly 256 KiB, medium N = 524288
 //! exactly 8 MiB, large N = 2²¹ exactly 32 MiB.
 
-use crate::common::{local_1d, random_vec, rng_for, round_up, WorkloadBase};
+use crate::common::{local_1d, random_vec, rng_for, round_up, WorkloadBase, MAX_LOCAL_1D};
 use eod_clrt::prelude::*;
 use eod_core::benchmark::{Benchmark, IterationOutput, Workload};
 use eod_core::dwarf::Dwarf;
@@ -108,15 +108,25 @@ impl Kernel for FftPassKernel {
         if active == 0 {
             return; // fully padded tail group
         }
-        let mut re0 = vec![0.0f32; active];
-        let mut im0 = vec![0.0f32; active];
-        let mut re1 = vec![0.0f32; active];
-        let mut im1 = vec![0.0f32; active];
-        self.in_re.read_slice(gbase, &mut re0);
-        self.in_im.read_slice(gbase, &mut im0);
-        self.in_re.read_slice(gbase + t, &mut re1);
-        self.in_im.read_slice(gbase + t, &mut im1);
-        let lanes = re0.iter().zip(&im0).zip(re1.iter().zip(&im1));
+        // Fixed stack scratch: a per-group heap allocation would tax the
+        // hot dispatch path the staging is meant to speed up.
+        let mut re0 = [0.0f32; MAX_LOCAL_1D];
+        let mut im0 = [0.0f32; MAX_LOCAL_1D];
+        let mut re1 = [0.0f32; MAX_LOCAL_1D];
+        let mut im1 = [0.0f32; MAX_LOCAL_1D];
+        let (re0, im0) = (&mut re0[..active], &mut im0[..active]);
+        let (re1, im1) = (&mut re1[..active], &mut im1[..active]);
+        // SAFETY: the ping-pong buffers make the input side strictly
+        // read-only during a pass (every work-item writes only the
+        // output pair), and the in-order queue serializes transfers
+        // against kernel execution.
+        unsafe {
+            self.in_re.read_slice(gbase, re0);
+            self.in_im.read_slice(gbase, im0);
+            self.in_re.read_slice(gbase + t, re1);
+            self.in_im.read_slice(gbase + t, im1);
+        }
+        let lanes = re0.iter().zip(im0.iter()).zip(re1.iter().zip(im1.iter()));
         for (j, ((&u0r, &u0i), (&x1r, &x1i))) in lanes.enumerate() {
             let i = gbase + j;
             // Bainville: k = i & (p-1); out base = ((i-k)<<1) + k.

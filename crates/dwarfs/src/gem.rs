@@ -15,7 +15,7 @@
 //! vertex, inner loop over all atoms) match the original, which is what the
 //! figure actually exercises.
 
-use crate::common::{local_1d, rng_for, round_up, WorkloadBase};
+use crate::common::{local_1d, rng_for, round_up, WorkloadBase, MAX_LOCAL_1D};
 use eod_clrt::prelude::*;
 use eod_core::benchmark::{Benchmark, IterationOutput, Workload};
 use eod_core::dwarf::Dwarf;
@@ -167,14 +167,23 @@ impl Kernel for GemKernel {
         if active == 0 {
             return; // fully padded tail group
         }
-        let mut verts = vec![0.0f32; active * 3];
-        self.vertices.read_slice(gbase * 3, &mut verts);
-        let mut phis = vec![0.0f32; active];
-        let mut tile = vec![0.0f32; TILE.min(self.n_atoms).max(1) * 4];
+        // Fixed stack scratch (~20 KiB): a per-group heap allocation
+        // would tax the hot dispatch path the staging is meant to speed
+        // up, exactly as in the bench saxpy kernel.
+        let mut verts = [0.0f32; MAX_LOCAL_1D * 3];
+        let verts = &mut verts[..active * 3];
+        let mut phis = [0.0f32; MAX_LOCAL_1D];
+        let phis = &mut phis[..active];
+        let mut tile = [0.0f32; TILE * 4];
+        // SAFETY: `vertices` and `atoms` are launch inputs — no work-item
+        // writes them, and the in-order queue serializes transfers
+        // against kernel execution.
+        unsafe { self.vertices.read_slice(gbase * 3, verts) };
         let mut a0 = 0usize;
         while a0 < self.n_atoms {
             let cnt = TILE.min(self.n_atoms - a0);
-            self.atoms.read_slice(a0 * 4, &mut tile[..cnt * 4]);
+            // SAFETY: as above — atoms are read-only during the launch.
+            unsafe { self.atoms.read_slice(a0 * 4, &mut tile[..cnt * 4]) };
             for (vi, phi) in phis.iter_mut().enumerate() {
                 let (vx, vy, vz) = (verts[3 * vi], verts[3 * vi + 1], verts[3 * vi + 2]);
                 let mut acc = *phi;
@@ -189,7 +198,9 @@ impl Kernel for GemKernel {
             }
             a0 += cnt;
         }
-        self.phi.write_slice(gbase, &phis);
+        // SAFETY: each work-group exclusively owns
+        // `phi[gbase..gbase + active]` — group output spans are disjoint.
+        unsafe { self.phi.write_slice(gbase, phis) };
     }
 }
 

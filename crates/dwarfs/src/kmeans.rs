@@ -12,7 +12,7 @@
 //! `feature = Pn·Fn·sizeof(f32)`, `membership = Pn·sizeof(i32)`,
 //! `cluster = Cn·Fn·sizeof(f32)`.
 
-use crate::common::{local_1d, random_vec, rng_for, round_up, WorkloadBase};
+use crate::common::{local_1d, random_vec, rng_for, round_up, WorkloadBase, MAX_LOCAL_1D};
 use eod_clrt::prelude::*;
 use eod_core::benchmark::{Benchmark, IterationOutput, Workload};
 use eod_core::dwarf::Dwarf;
@@ -142,7 +142,15 @@ impl Kernel for AssignKernel {
         // kernel keeps it in local memory) and this group's contiguous
         // feature rows with two slice copies, then run the distance loops
         // on plain floats. Same arithmetic in the same order, so the
-        // assignment is identical to the per-element version.
+        // assignment is identical to the per-element version. The staged
+        // sizes depend on the feature count, so the float scratch lives
+        // in a per-thread buffer reused across groups (no allocation
+        // after each worker thread's first group) rather than a per-group
+        // `vec!`.
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<Vec<f32>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
         let p = &self.params;
         let gsize = group.range.local[0];
         let gbase = group.group_id(0) * gsize;
@@ -150,30 +158,43 @@ impl Kernel for AssignKernel {
         if active == 0 {
             return; // fully padded tail group
         }
-        let mut cent = vec![0.0f32; p.clusters * p.features];
-        self.centroids.read_slice(0, &mut cent);
-        let mut feats = vec![0.0f32; active * p.features];
-        self.features.read_slice(gbase * p.features, &mut feats);
-        let mut members = vec![0i32; active];
-        for (i, m) in members.iter_mut().enumerate() {
-            let row = &feats[i * p.features..(i + 1) * p.features];
-            let mut best = 0i32;
-            let mut best_d = f32::INFINITY;
-            for c in 0..p.clusters {
-                let crow = &cent[c * p.features..(c + 1) * p.features];
-                let mut d = 0.0f32;
-                for (&x, &y) in row.iter().zip(crow) {
-                    let diff = x - y;
-                    d += diff * diff;
-                }
-                if d < best_d {
-                    best_d = d;
-                    best = c as i32;
-                }
+        let ncent = p.clusters * p.features;
+        SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            scratch.resize(ncent + active * p.features, 0.0);
+            let (cent, feats) = scratch.split_at_mut(ncent);
+            let feats = &mut feats[..active * p.features];
+            // SAFETY: `centroids` and `features` are launch inputs — no
+            // work-item writes them, and the in-order queue serializes
+            // transfers against kernel execution.
+            unsafe {
+                self.centroids.read_slice(0, cent);
+                self.features.read_slice(gbase * p.features, feats);
             }
-            *m = best;
-        }
-        self.membership.write_slice(gbase, &members);
+            let mut members = [0i32; MAX_LOCAL_1D];
+            let members = &mut members[..active];
+            for (i, m) in members.iter_mut().enumerate() {
+                let row = &feats[i * p.features..(i + 1) * p.features];
+                let mut best = 0i32;
+                let mut best_d = f32::INFINITY;
+                for c in 0..p.clusters {
+                    let crow = &cent[c * p.features..(c + 1) * p.features];
+                    let mut d = 0.0f32;
+                    for (&x, &y) in row.iter().zip(crow) {
+                        let diff = x - y;
+                        d += diff * diff;
+                    }
+                    if d < best_d {
+                        best_d = d;
+                        best = c as i32;
+                    }
+                }
+                *m = best;
+            }
+            // SAFETY: each work-group exclusively owns
+            // `membership[gbase..gbase + active]`.
+            unsafe { self.membership.write_slice(gbase, members) };
+        });
     }
 }
 

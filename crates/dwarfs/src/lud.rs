@@ -129,8 +129,12 @@ impl Kernel for DiagonalKernel {
             // the slice path), factorize locally with the exact
             // operation order of the in-place version, write rows back.
             let mut blk = [[0.0f32; BLOCK]; BLOCK];
+            // SAFETY (reads and write-back below): this is a single-
+            // work-item launch (NdRange::d1(1, 1)) — the sole accessor
+            // of the matrix while it runs, with transfers serialized by
+            // the in-order queue.
             for (k, row) in blk.iter_mut().take(b).enumerate() {
-                self.m.read_slice((o + k) * n + o, &mut row[..b]);
+                unsafe { self.m.read_slice((o + k) * n + o, &mut row[..b]) };
             }
             for k in 0..b {
                 let (top, below) = blk.split_at_mut(k + 1);
@@ -145,7 +149,8 @@ impl Kernel for DiagonalKernel {
                 }
             }
             for (k, row) in blk.iter().take(b).enumerate() {
-                self.m.write_slice((o + k) * n + o, &row[..b]);
+                // SAFETY: see the staging loop above.
+                unsafe { self.m.write_slice((o + k) * n + o, &row[..b]) };
             }
         });
     }
@@ -193,8 +198,11 @@ impl Kernel for PerimeterKernel {
         // triangles ~b²/2 times, so one slice-copy replaces hundreds of
         // strided atomic loads. The block is read-only to this kernel.
         let mut diag = [[0.0f32; BLOCK]; BLOCK];
+        // SAFETY: the diagonal block is read-only to this kernel — every
+        // write-item targets the block row (columns ≥ o + BLOCK) or the
+        // block column (rows ≥ o + BLOCK), both disjoint from it.
         for (k, row) in diag.iter_mut().take(b).enumerate() {
-            self.m.read_slice((o + k) * n + o, row);
+            unsafe { self.m.read_slice((o + k) * n + o, row) };
         }
         group.for_each_item(|item| {
             let t = item.global_id(0);
@@ -218,7 +226,11 @@ impl Kernel for PerimeterKernel {
                 // the same operation order, write it back in one pass.
                 let r = o + b + (t - rem);
                 let mut rowv = [0.0f32; BLOCK];
-                self.m.read_slice(r * n + o, &mut rowv);
+                // SAFETY: row segment `m[r][o..o+BLOCK]` is owned
+                // exclusively by work-item `t` (distinct `t` → distinct
+                // `r`), and the U12 branch above writes only rows
+                // `o..o+BLOCK` — disjoint from every L21 row.
+                unsafe { self.m.read_slice(r * n + o, &mut rowv) };
                 for k in 0..b {
                     let mut acc = rowv[k];
                     for j in 0..k {
@@ -226,7 +238,8 @@ impl Kernel for PerimeterKernel {
                     }
                     rowv[k] = acc / diag[k][k];
                 }
-                self.m.write_slice(r * n + o, &rowv);
+                // SAFETY: as above — this item's exclusive row segment.
+                unsafe { self.m.write_slice(r * n + o, &rowv) };
             }
         });
     }
@@ -281,20 +294,31 @@ impl Kernel for InternalKernel {
             // pass.
             let mut l = [[0.0f32; BLOCK]; BLOCK];
             let mut u = [[0.0f32; BLOCK]; BLOCK];
+            // SAFETY: the L21 strip (columns o..o+BLOCK) and U12 strip
+            // (rows o..o+BLOCK) are read-only to this kernel — every
+            // write targets the trailing submatrix (rows ≥ base AND
+            // columns ≥ base), disjoint from both strips.
             for i in 0..BLOCK {
-                self.m.read_slice((base + rowbase + i) * n + o, &mut l[i]);
-                self.m.read_slice((o + i) * n + base + colbase, &mut u[i]);
+                unsafe {
+                    self.m.read_slice((base + rowbase + i) * n + o, &mut l[i]);
+                    self.m.read_slice((o + i) * n + base + colbase, &mut u[i]);
+                }
             }
             for (r, lr) in l.iter().enumerate() {
                 let row = base + rowbase + r;
                 let mut crow = [0.0f32; BLOCK];
-                self.m.read_slice(row * n + base + colbase, &mut crow);
+                // SAFETY: this group's C tile (rows rowbase..+BLOCK ×
+                // columns colbase..+BLOCK of the trailing submatrix) is
+                // exclusively its own — groups and edge items partition
+                // the trailing submatrix by global id.
+                unsafe { self.m.read_slice(row * n + base + colbase, &mut crow) };
                 for (c, acc) in crow.iter_mut().enumerate() {
                     for (&lv, uk) in lr.iter().zip(&u) {
                         *acc -= lv * uk[c];
                     }
                 }
-                self.m.write_slice(row * n + base + colbase, &crow);
+                // SAFETY: as above — the group's exclusive C tile.
+                unsafe { self.m.write_slice(row * n + base + colbase, &crow) };
             }
             return;
         }
