@@ -256,6 +256,72 @@ fn transfer_metrics(label: &str, n: usize, budget: Duration) -> (EngineMetric, E
     (write, read)
 }
 
+/// Like [`measure`] but checks the clock after every iteration — for
+/// bodies that take milliseconds, where a batch of 16 would blow far
+/// past the budget.
+fn measure_every(budget: Duration, mut f: impl FnMut()) -> (u64, f64) {
+    f(); // one warm-up (first-touch allocations)
+    let mut iters = 0u64;
+    let start = Instant::now();
+    loop {
+        f();
+        iters += 1;
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    (iters, start.elapsed().as_secs_f64())
+}
+
+/// Full-catalog cache sweep rate for an 8 MiB streaming workload — the
+/// §4.4-style multi-device evaluation that dominates `verify-cache` and
+/// figure cache analysis.
+///
+/// Both engines run the same serial per-device loop, so the ratio
+/// isolates the algorithm: the exact path re-simulates the two-pass
+/// trace per device, the stack-distance path analyzes the trace once and
+/// derives each device's counts from the histogram. `fresh` empties the
+/// memo cache every sweep (the honest cold-sweep cost, analysis
+/// included); without it the memoized steady state is measured.
+fn cachesim_sweep_metric(
+    name: &str,
+    engine: eod_devsim::stackdist::CacheEngine,
+    fresh: bool,
+    budget: Duration,
+) -> EngineMetric {
+    use eod_devsim::catalog::CATALOG;
+    use eod_devsim::profile::AccessPattern;
+    use eod_devsim::stackdist::{
+        two_pass_counts, HierarchyShape, HistogramCache, DEFAULT_TRACE_CAP,
+    };
+    let shapes: Vec<HierarchyShape> = CATALOG.iter().map(HierarchyShape::for_spec).collect();
+    let ws = 8u64 << 20;
+    let cache = HistogramCache::new();
+    let (iterations, elapsed_s) = measure_every(budget, || {
+        if fresh {
+            cache.clear();
+        }
+        for shape in &shapes {
+            let counts = two_pass_counts(
+                engine,
+                AccessPattern::Streaming,
+                ws,
+                DEFAULT_TRACE_CAP,
+                shape,
+                &cache,
+            );
+            std::hint::black_box(counts.total.accesses);
+        }
+    });
+    EngineMetric {
+        name: name.to_string(),
+        unit: "sweeps_per_s".to_string(),
+        value: iterations as f64 / elapsed_s,
+        iterations,
+        elapsed_s,
+    }
+}
+
 /// Run the full suite. `full` lengthens the per-metric timing window from
 /// 150 ms to 1 s for lower-variance numbers.
 pub fn run(full: bool) -> EngineReport {
@@ -275,6 +341,25 @@ pub fn run(full: bool) -> EngineReport {
         metrics.push(w);
         metrics.push(r);
     }
+    use eod_devsim::stackdist::CacheEngine;
+    metrics.push(cachesim_sweep_metric(
+        "cachesim_sweep_exact_8mib",
+        CacheEngine::Exact,
+        true,
+        budget,
+    ));
+    metrics.push(cachesim_sweep_metric(
+        "cachesim_sweep_stackdist_8mib",
+        CacheEngine::StackDistance,
+        true,
+        budget,
+    ));
+    metrics.push(cachesim_sweep_metric(
+        "cachesim_sweep_stackdist_memoized_8mib",
+        CacheEngine::StackDistance,
+        false,
+        budget,
+    ));
     EngineReport { metrics }
 }
 
@@ -375,6 +460,9 @@ mod tests {
             "read_4mib",
             "write_256kib",
             "read_256kib",
+            "cachesim_sweep_exact_8mib",
+            "cachesim_sweep_stackdist_8mib",
+            "cachesim_sweep_stackdist_memoized_8mib",
         ] {
             let m = r.metric(name).unwrap_or_else(|| panic!("missing {name}"));
             assert!(m.value > 0.0, "{name} rate must be positive");

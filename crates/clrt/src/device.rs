@@ -52,9 +52,14 @@ impl SimBackend {
         cost
     }
 
-    /// Synthesized counters for an invocation.
+    /// Synthesized counters for an invocation, via the session's selected
+    /// cache engine (`--cache-engine`; stack-distance by default).
     pub fn counters(&self, profile: &KernelProfile, cost: &KernelCost) -> CounterValues {
-        self.model.synthesize_counters(profile, cost)
+        self.model.synthesize_counters_engine(
+            profile,
+            cost,
+            eod_devsim::stackdist::default_engine(),
+        )
     }
 
     /// Restart the noise stream from `seed`.

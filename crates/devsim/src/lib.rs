@@ -18,6 +18,10 @@
 //! * [`model`] — the roofline-with-overheads timing model mapping a
 //!   [`profile::KernelProfile`] onto a device, producing predicted time,
 //!   utilization, and synthesized hardware counters;
+//! * [`stackdist`] — the one-pass reuse-distance cache engine: lazy trace
+//!   generators, Mattson stack-distance histograms with a hypergeometric
+//!   set-associativity correction, memoized per-workload analyses, and
+//!   the `CacheEngine` switch between it and the exact simulator;
 //! * [`energy`] — the TDP-anchored power model behind the RAPL/NVML meters;
 //! * [`noise`] — the measurement-noise model reproducing the paper's
 //!   observation that the coefficient of variation grows as device clocks
@@ -37,6 +41,7 @@ pub mod model;
 pub mod noise;
 pub mod profile;
 pub mod roofline;
+pub mod stackdist;
 pub mod transfer;
 
 pub use cache::{CacheConfig, CacheHierarchy, CacheSim, TlbConfig};
@@ -45,4 +50,5 @@ pub use energy::PowerModel;
 pub use model::{DeviceModel, KernelCost, ModelAblation};
 pub use noise::NoiseModel;
 pub use profile::{AccessPattern, KernelProfile};
+pub use stackdist::{CacheEngine, HierarchyShape, HistogramCache, TraceAnalysis, TracePass};
 pub use transfer::TransferModel;

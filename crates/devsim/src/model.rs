@@ -24,6 +24,9 @@
 
 use crate::catalog::{AcceleratorClass, DeviceId, DeviceSpec};
 use crate::profile::KernelProfile;
+use crate::stackdist::{
+    two_pass_counts, CacheEngine, HierarchyShape, HistogramCache, DEFAULT_TRACE_CAP,
+};
 use eod_scibench::counters::{CounterValues, HwCounter};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -347,14 +350,9 @@ impl DeviceModel {
         }
     }
 
-    /// Synthesize the paper's PAPI counter set for one invocation.
-    ///
-    /// Instruction counts come from the profile; cache misses come from the
-    /// capacity-tier analysis (a working set resident in level *k* produces
-    /// only cold/conflict misses at level *k* and below-threshold noise at
-    /// inner levels). The numbers are self-consistent with the timing model
-    /// — IPC falls when the model says the kernel is memory bound.
-    pub fn synthesize_counters(&self, p: &KernelProfile, cost: &KernelCost) -> CounterValues {
+    /// Instruction-side counters shared by both counter synthesizers;
+    /// returns the counter set plus the word-granular memory access count.
+    fn instruction_counters(&self, p: &KernelProfile, cost: &KernelCost) -> (CounterValues, f64) {
         let mut c = CounterValues::new();
         let loads = p.bytes_read / 4.0;
         let stores = p.bytes_written / 4.0;
@@ -374,17 +372,37 @@ impl DeviceModel {
             HwCounter::BranchMispredictions,
             (branches * mispredict_rate) as u64,
         );
+        (c, mem_accesses)
+    }
 
-        // Cache misses by tier. Line-grain cold traffic = bytes/64; a tier
-        // that holds the working set converts reuse into hits at all outer
-        // levels. Irregular patterns waste part of each line.
-        let line_waste = match p.pattern {
+    /// Fraction of each cache line wasted by the access pattern.
+    fn line_waste(pattern: crate::profile::AccessPattern) -> f64 {
+        match pattern {
             crate::profile::AccessPattern::Streaming => 1.0,
             crate::profile::AccessPattern::Strided => 2.0,
             crate::profile::AccessPattern::Gather => 4.0,
             crate::profile::AccessPattern::Random => 8.0,
-        };
-        let cold_lines = (p.total_bytes() / 64.0 * line_waste).max(0.0);
+        }
+    }
+
+    /// Synthesize the paper's PAPI counter set for one invocation.
+    ///
+    /// Instruction counts come from the profile; cache misses come from the
+    /// capacity-tier analysis (a working set resident in level *k* produces
+    /// only cold/conflict misses at level *k* and below-threshold noise at
+    /// inner levels). The numbers are self-consistent with the timing model
+    /// — IPC falls when the model says the kernel is memory bound.
+    ///
+    /// This is the closed-form tier heuristic; [`Self::synthesize_counters_engine`]
+    /// replaces the tier step with per-level miss ratios from a cache
+    /// engine run against this device's actual hierarchy geometry.
+    pub fn synthesize_counters(&self, p: &KernelProfile, cost: &KernelCost) -> CounterValues {
+        let (mut c, mem_accesses) = self.instruction_counters(p, cost);
+
+        // Cache misses by tier. Line-grain cold traffic = bytes/64; a tier
+        // that holds the working set converts reuse into hits at all outer
+        // levels. Irregular patterns waste part of each line.
+        let cold_lines = (p.total_bytes() / 64.0 * Self::line_waste(p.pattern)).max(0.0);
         let noise_misses = mem_accesses * 0.001; // conflict-miss floor
         let tier = self.mem_tier(p.working_set);
         let (l1m, l2m, l3a, l3m) = match tier {
@@ -407,6 +425,56 @@ impl DeviceModel {
             0.0
         };
         c.set(HwCounter::DataTlbMisses, tlb as u64);
+        c
+    }
+
+    /// Synthesize counters with per-level miss ratios from a cache engine.
+    ///
+    /// Instead of the `mem_tier` step function, the two-pass verification
+    /// trace for this profile is evaluated against the device's own
+    /// hierarchy geometry ([`HierarchyShape::for_spec`]) by the selected
+    /// [`CacheEngine`], and the steady-state per-line miss ratios are
+    /// scaled to the invocation's line traffic. The analysis is memoized
+    /// in [`HistogramCache::global`], so repeated invocations of the same
+    /// workload (samples, devices sharing a profile) pay nothing.
+    pub fn synthesize_counters_engine(
+        &self,
+        p: &KernelProfile,
+        cost: &KernelCost,
+        engine: CacheEngine,
+    ) -> CounterValues {
+        let (mut c, mem_accesses) = self.instruction_counters(p, cost);
+
+        let shape = HierarchyShape::for_spec(self.spec);
+        let warm = two_pass_counts(
+            engine,
+            p.pattern,
+            p.working_set.max(64),
+            DEFAULT_TRACE_CAP,
+            &shape,
+            HistogramCache::global(),
+        )
+        .warm();
+        let n = (warm.accesses as f64).max(1.0);
+        let (wr1, wr2, wr3) = (
+            warm.l1_misses as f64 / n,
+            warm.l2_misses as f64 / n,
+            warm.l3_misses as f64 / n,
+        );
+        let wtlb = warm.tlb_misses as f64 / n;
+
+        // Scale per-line-touch miss probabilities to the invocation's line
+        // traffic, with the same conflict-noise floors as the tier model.
+        let lines = (p.total_bytes() / 64.0 * Self::line_waste(p.pattern)).max(0.0);
+        let noise_misses = mem_accesses * 0.001;
+        let l1m = (lines * wr1).max(noise_misses);
+        let l2m = (lines * wr2).max(noise_misses * 0.5).min(l1m);
+        let l3m = (lines * wr3).min(l2m);
+        c.set(HwCounter::L1DataCacheMisses, l1m as u64);
+        c.set(HwCounter::L2DataCacheMisses, l2m as u64);
+        c.set(HwCounter::L3TotalCacheAccesses, l2m as u64);
+        c.set(HwCounter::L3TotalCacheMisses, l3m as u64);
+        c.set(HwCounter::DataTlbMisses, (lines * wtlb) as u64);
         c
     }
 }

@@ -146,6 +146,53 @@ proptest! {
         prop_assert!(c.accesses as usize == addrs.len());
     }
 
+    /// The one-pass reuse analyzer reports exactly the distances a naive
+    /// recency-list (Mattson stack) reference computes, access by access,
+    /// on arbitrary traces — so its implied fully-associative hit
+    /// sequence (`d ≤ C`) matches LRU for *every* capacity at once.
+    #[test]
+    fn reuse_distances_match_recency_list_reference(
+        addrs in prop::collection::vec(0u64..1 << 18, 1..1500),
+    ) {
+        let mut an = eod_devsim::stackdist::ReuseAnalyzer::new(6, 1 << 12, 1500);
+        let mut stack: Vec<u64> = Vec::new(); // most recent first
+        for &a in &addrs {
+            let unit = a >> 6;
+            let expect = stack.iter().position(|&u| u == unit).map(|i| {
+                stack.remove(i);
+                (i + 1) as u64
+            });
+            stack.insert(0, unit);
+            prop_assert_eq!(an.record(a), expect, "addr {}", a);
+        }
+    }
+
+    /// Fully-associative LRU hits from the simulator equal the analytic
+    /// stack-distance count `#(d ≤ capacity-lines)` on random traces, and
+    /// resident lines never exceed sets × ways.
+    #[test]
+    fn fully_associative_hits_match_stack_distance(
+        addrs in prop::collection::vec(0u64..1 << 16, 1..1500),
+        capacity_kib in 1usize..32,
+    ) {
+        let capacity = capacity_kib * 1024;
+        let lines = capacity / 64;
+        // ways == lines → one set → true LRU over the whole capacity.
+        let mut c = CacheSim::new(CacheConfig { capacity, line_size: 64, ways: lines });
+        let mut an = eod_devsim::stackdist::ReuseAnalyzer::new(6, 1 << 10, 1500);
+        let mut analytic_hits = 0u64;
+        for &a in &addrs {
+            c.access(a);
+            if let Some(d) = an.record(a) {
+                if d <= lines as u64 {
+                    analytic_hits += 1;
+                }
+            }
+        }
+        prop_assert_eq!(c.hits(), analytic_hits);
+        prop_assert!(c.resident_lines() <= lines);
+    }
+
     /// Noise samples are positive and mean-one-ish for any CoV.
     #[test]
     fn noise_positive_mean_one(cov in 0.0f64..1.0, seed in 0u64..1000) {

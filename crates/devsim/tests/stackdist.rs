@@ -1,0 +1,221 @@
+//! Oracle-equivalence and memo-cache tests for the reuse-distance engine.
+//!
+//! The stack-distance engine's acceptance bar (DESIGN.md "Reuse-distance
+//! cache engine"): per-level steady-state hit-ratio error vs the exact
+//! set-associative simulator within 1 % absolute over the trace corpus,
+//! and the same resolved innermost-fitting level everywhere. The corpus
+//! deliberately includes the §4.4 boundary cases (working set exactly at
+//! and just beyond a level's capacity) where the naive binomial
+//! correction fails.
+
+use eod_devsim::catalog::DeviceId;
+use eod_devsim::profile::AccessPattern;
+use eod_devsim::stackdist::{
+    two_pass_counts, CacheEngine, HierarchyShape, HistogramCache, DEFAULT_TRACE_CAP,
+};
+
+/// Working sets probing every capacity relationship of the Skylake-style
+/// hierarchy: inside L1, exactly L1, just past L1, inside/at/past L2,
+/// mid-L3, *exactly* L3 (the fft-medium boundary), just past, and DRAM.
+const WORKING_SETS: &[u64] = &[
+    16 << 10,
+    32 << 10,
+    40 << 10,
+    200 << 10,
+    256 << 10,
+    320 << 10,
+    4 << 20,
+    8 << 20,
+    (8 << 20) + (64 << 10),
+    12 << 20,
+    32 << 20,
+];
+
+const PATTERNS: &[AccessPattern] = &[
+    AccessPattern::Streaming,
+    AccessPattern::Strided,
+    AccessPattern::Random,
+    AccessPattern::Gather,
+];
+
+/// Hierarchies under test: the Skylake verify shape, a no-L3 GPU, a
+/// small-L1 discrete part, and the KNL-style CPU.
+fn shapes() -> Vec<(String, HierarchyShape)> {
+    ["i7-6700K", "GTX 1080", "R9 Fury X", "Xeon Phi 7210"]
+        .iter()
+        .map(|name| {
+            let spec = DeviceId::by_name(name).expect("catalog device").spec();
+            (name.to_string(), HierarchyShape::for_spec(spec))
+        })
+        .collect()
+}
+
+/// Warm-pass per-level miss ratios in the verify path's vocabulary.
+fn ratios(c: &eod_devsim::cache::HierarchyCounts) -> (f64, f64, f64) {
+    let accesses = (c.accesses as f64).max(1.0);
+    let l1m = c.l1_misses as f64;
+    let l2m = c.l2_misses as f64;
+    let l3m = c.l3_misses as f64;
+    (l1m / accesses, l2m / l1m.max(1.0), l3m / l2m.max(1.0))
+}
+
+fn resolved_level(r1: f64, r2: f64, r3: f64) -> u8 {
+    if r1 < 0.05 {
+        1
+    } else if r2 < 0.05 {
+        2
+    } else if r3 < 0.05 {
+        3
+    } else {
+        4
+    }
+}
+
+#[test]
+fn stackdist_matches_exact_oracle_within_tolerance() {
+    let cache = HistogramCache::new();
+    let mut worst: (f64, String) = (0.0, String::new());
+    for &(ref name, shape) in &shapes() {
+        for &pattern in PATTERNS {
+            for &ws in WORKING_SETS {
+                let exact = two_pass_counts(
+                    CacheEngine::Exact,
+                    pattern,
+                    ws,
+                    DEFAULT_TRACE_CAP,
+                    &shape,
+                    &cache,
+                )
+                .warm();
+                let sd = two_pass_counts(
+                    CacheEngine::StackDistance,
+                    pattern,
+                    ws,
+                    DEFAULT_TRACE_CAP,
+                    &shape,
+                    &cache,
+                )
+                .warm();
+                let n = (exact.accesses as f64).max(1.0);
+                assert_eq!(exact.accesses, sd.accesses, "{name} {pattern:?} {ws}");
+                // Per-level hit-ratio error over the *full access stream*
+                // (misses / accesses), the quantity both engines feed the
+                // counter synthesis.
+                for (lvl, a, b) in [
+                    ("L1", exact.l1_misses, sd.l1_misses),
+                    ("L2", exact.l2_misses, sd.l2_misses),
+                    ("L3", exact.l3_misses, sd.l3_misses),
+                    ("TLB", exact.tlb_misses, sd.tlb_misses),
+                ] {
+                    let err = (a as f64 - b as f64).abs() / n;
+                    if err > worst.0 {
+                        worst = (err, format!("{name} {pattern:?} ws={ws} {lvl}"));
+                    }
+                    assert!(
+                        err <= 0.01,
+                        "{name} {pattern:?} ws={ws} {lvl}: exact {a} vs stackdist {b} \
+                         ({err:.4} > 0.01 absolute)"
+                    );
+                }
+                let (e1, e2, e3) = ratios(&exact);
+                let (s1, s2, s3) = ratios(&sd);
+                assert_eq!(
+                    resolved_level(e1, e2, e3),
+                    resolved_level(s1, s2, s3),
+                    "{name} {pattern:?} ws={ws}: resolved level diverged \
+                     (exact {e1:.3}/{e2:.3}/{e3:.3} vs sd {s1:.3}/{s2:.3}/{s3:.3})"
+                );
+            }
+        }
+    }
+    eprintln!("worst per-level error: {:.4} at {}", worst.0, worst.1);
+}
+
+#[test]
+fn exact_engine_is_bit_identical_to_direct_simulation() {
+    // The Exact arm must reproduce the simulator verbatim (it *is* the
+    // simulator, memoized) — spot-check against a hand-driven hierarchy.
+    let shape = HierarchyShape::for_spec(DeviceId::by_name("i7-6700K").unwrap().spec());
+    let cache = HistogramCache::new();
+    for &pattern in PATTERNS {
+        let ws = 300 << 10;
+        let counts = two_pass_counts(
+            CacheEngine::Exact,
+            pattern,
+            ws,
+            DEFAULT_TRACE_CAP,
+            &shape,
+            &cache,
+        );
+        let mut h = shape.build();
+        h.run_trace(eod_devsim::stackdist::TracePass::new(
+            pattern,
+            ws,
+            DEFAULT_TRACE_CAP,
+        ));
+        assert_eq!(counts.cold, h.counts(), "{pattern:?} cold pass");
+        h.run_trace(eod_devsim::stackdist::TracePass::new(
+            pattern,
+            ws,
+            DEFAULT_TRACE_CAP,
+        ));
+        assert_eq!(counts.total, h.counts(), "{pattern:?} second pass");
+    }
+}
+
+#[test]
+fn memo_cache_reuses_histograms_across_devices() {
+    let cache = HistogramCache::new();
+    let i7 = HierarchyShape::for_spec(DeviceId::by_name("i7-6700K").unwrap().spec());
+    let gtx = HierarchyShape::for_spec(DeviceId::by_name("GTX 1080").unwrap().spec());
+    let (ws, cap) = (1 << 20, DEFAULT_TRACE_CAP);
+
+    two_pass_counts(
+        CacheEngine::StackDistance,
+        AccessPattern::Streaming,
+        ws,
+        cap,
+        &i7,
+        &cache,
+    );
+    assert_eq!(
+        cache.misses.get(),
+        1.0,
+        "first device computes the histogram"
+    );
+    assert_eq!(cache.hits.get(), 0.0);
+
+    // Same profile, different device: histogram cache hit.
+    two_pass_counts(
+        CacheEngine::StackDistance,
+        AccessPattern::Streaming,
+        ws,
+        cap,
+        &gtx,
+        &cache,
+    );
+    assert_eq!(cache.misses.get(), 1.0, "second device reuses it");
+    assert_eq!(cache.hits.get(), 1.0);
+    assert_eq!(cache.len(), 1);
+}
+
+#[test]
+fn memo_cache_misses_on_differing_working_set_or_pattern() {
+    let cache = HistogramCache::new();
+    let a = cache.get_or_analyze(AccessPattern::Streaming, 1 << 20, DEFAULT_TRACE_CAP);
+    let b = cache.get_or_analyze(AccessPattern::Streaming, 2 << 20, DEFAULT_TRACE_CAP);
+    let c = cache.get_or_analyze(AccessPattern::Random, 1 << 20, DEFAULT_TRACE_CAP);
+    assert_eq!(
+        cache.misses.get(),
+        3.0,
+        "ws and pattern are part of the key"
+    );
+    assert_eq!(cache.hits.get(), 0.0);
+    assert_eq!(cache.len(), 3);
+    let again = cache.get_or_analyze(AccessPattern::Streaming, 1 << 20, DEFAULT_TRACE_CAP);
+    assert!(std::sync::Arc::ptr_eq(&a, &again));
+    assert_eq!(cache.hits.get(), 1.0);
+    drop((b, c));
+    cache.clear();
+    assert!(cache.is_empty());
+}

@@ -2,22 +2,37 @@
 //!
 //! The paper: "Caching performance was measured using PAPI counters … cache
 //! miss results … were used to verify the selection of suitable problem
-//! sizes for each benchmark." We have no PAPI, but we have the cache
-//! simulator: for each benchmark × size this module synthesizes a memory
+//! sizes for each benchmark." We have no PAPI, but we have two cache
+//! engines: for each benchmark × size this module synthesizes a memory
 //! trace shaped by the workload's own kernel profile (its working set and
-//! access pattern), streams it twice through the Skylake hierarchy — the
-//! first pass warms, the second models the steady-state timing loop — and
-//! checks that the *innermost level that absorbs the traffic* is the level
-//! §4.4 designed the size for.
+//! access pattern), evaluates its two-pass (cold + steady-state) behaviour
+//! on a hierarchy — via the exact set-associative simulator or the
+//! reuse-distance analytic engine ([`eod_devsim::stackdist`]) — and checks
+//! that the *innermost level that absorbs the traffic* is the level §4.4
+//! designed the size for.
+//!
+//! Beyond the single-device Skylake verification the module offers
+//! [`device_sweep`]: the same profile evaluated across the *entire* Table 1
+//! catalog in parallel. With the stack-distance engine the trace is
+//! analyzed once (memoized in [`HistogramCache::global`]) and each device
+//! only pays the cheap per-geometry derivation — the speedup measured by
+//! `eod bench-engine`.
 
 use eod_clrt::prelude::*;
 // Explicit import outranks the glob: restore the two-parameter Result.
 use eod_core::sizes::ProblemSize;
-use eod_devsim::cache::{CacheConfig, CacheHierarchy, TlbConfig};
-use eod_devsim::profile::{AccessPattern, KernelProfile};
-use eod_dwarfs::registry;
+use eod_devsim::cache::HierarchyCounts;
+use eod_devsim::catalog::{DeviceId, CATALOG};
+use eod_devsim::profile::KernelProfile;
+use eod_devsim::stackdist::{
+    default_engine, two_pass_counts, CacheEngine, HierarchyShape, HistogramCache, TracePass,
+    DEFAULT_TRACE_CAP,
+};
+use eod_telemetry::span::{Span, Track};
+use eod_telemetry::TraceSink;
 use serde::Serialize;
 use std::result::Result;
+use std::sync::Mutex;
 
 /// Steady-state miss ratios of one benchmark × size on the Skylake
 /// hierarchy.
@@ -40,58 +55,34 @@ pub struct CacheVerification {
     pub resolved_level: u8,
 }
 
-/// The Skylake i7-6700K hierarchy as cache configs.
-fn skylake() -> CacheHierarchy {
-    CacheHierarchy::new(
-        CacheConfig::kib(32, 8),
-        CacheConfig::kib(256, 8),
-        Some(CacheConfig::kib(8192, 16)),
-        TlbConfig::default(),
+/// The Skylake i7-6700K hierarchy the §4.4 verification runs against.
+fn skylake() -> HierarchyShape {
+    HierarchyShape::for_spec(
+        DeviceId::by_name("i7-6700K")
+            .expect("catalog device")
+            .spec(),
     )
 }
 
-/// Synthesize a one-pass address trace over `ws` bytes in the profile's
-/// dominant pattern. Trace length is capped so `large` stays tractable —
-/// the cap preserves the capacity relationship that decides hit/miss
-/// behaviour because it samples the *same* footprint.
-pub fn synthesize_pass(profile: &KernelProfile, cap_bytes: u64) -> Vec<u64> {
-    let ws = profile.working_set.min(cap_bytes).max(64);
-    match profile.pattern {
-        AccessPattern::Streaming => (0..ws / 64).map(|i| i * 64).collect(),
-        AccessPattern::Strided => {
-            // Column-walk: stride of 4 KiB wrapping over the footprint,
-            // touching every line once per pass.
-            let lines = ws / 64;
-            (0..lines).map(|i| (i * 4096) % (lines * 64)).collect()
-        }
-        AccessPattern::Gather | AccessPattern::Random => {
-            // Deterministic LCG over the footprint's lines.
-            let lines = (ws / 64).max(1);
-            let mut x = 0x12345u64;
-            (0..lines)
-                .map(|_| {
-                    x = x
-                        .wrapping_mul(6364136223846793005)
-                        .wrapping_add(1442695040888963407);
-                    (x % lines) * 64
-                })
-                .collect()
-        }
-    }
+/// Synthesize a one-pass address trace over the profile's working set in
+/// its dominant pattern, as a lazy iterator — nothing is materialized.
+/// Trace length is capped so `large` stays tractable — the cap preserves
+/// the capacity relationship that decides hit/miss behaviour because it
+/// samples the *same* footprint.
+pub fn synthesize_pass(profile: &KernelProfile, cap_bytes: u64) -> TracePass {
+    TracePass::new(profile.pattern, profile.working_set, cap_bytes)
 }
 
-/// Run the two-pass verification for one benchmark × size.
-pub fn verify_group(
+/// Extract the iteration's dominant kernel profile for `benchmark × size`
+/// by replaying one iteration on the simulated Skylake (profiles only, no
+/// result buffers).
+pub fn group_profile(
     benchmark: &str,
     size: ProblemSize,
     seed: u64,
-) -> Result<CacheVerification, String> {
-    let bench = registry::benchmark_by_name(benchmark)
+) -> Result<KernelProfile, String> {
+    let bench = eod_dwarfs::registry::benchmark_by_name(benchmark)
         .ok_or_else(|| format!("unknown benchmark {benchmark}"))?;
-    // Get the iteration's fused profile from a tiny real run's events
-    // scaled by the requested size's parameters: run the actual size on
-    // the native device only when it is cheap, otherwise derive profile
-    // from a constructed workload without executing (setup only).
     let device = Platform::simulated()
         .device_by_name("i7-6700K")
         .expect("catalog device");
@@ -102,31 +93,21 @@ pub fn verify_group(
     // Replay: we only need profiles, not results.
     queue.set_replay(true);
     let out = w.run_iteration(&queue).map_err(|e| e.to_string())?;
-    let profile = out
-        .events
+    out.events
         .iter()
         .filter_map(|e| e.profile.clone())
         .max_by(|a, b| a.working_set.cmp(&b.working_set))
-        .ok_or("no kernel events")?;
+        .ok_or_else(|| "no kernel events".to_string())
+}
 
-    let mut h = skylake();
-    let pass = synthesize_pass(&profile, 64 << 20);
-    // Warm pass.
-    h.run_trace(pass.iter().copied());
-    let cold = h.counts();
-    // Steady-state pass.
-    h.run_trace(pass.iter().copied());
-    let warm = h.counts();
-
-    let d = |a: u64, b: u64| a.saturating_sub(b) as f64;
-    let accesses = d(warm.accesses, cold.accesses).max(1.0);
-    let l1m = d(warm.l1_misses, cold.l1_misses);
-    let l2a = l1m.max(1.0);
-    let l2m = d(warm.l2_misses, cold.l2_misses);
-    let l3a = l2m.max(1.0);
-    let l3m = d(warm.l3_misses, cold.l3_misses);
-    let (r1, r2, r3) = (l1m / accesses, l2m / l2a, l3m / l3a);
-    let resolved_level = if r1 < 0.05 {
+/// Warm-pass miss ratios in the §4.4 vocabulary plus the resolved level.
+fn resolve(warm: &HierarchyCounts) -> (f64, f64, f64, u8) {
+    let accesses = (warm.accesses as f64).max(1.0);
+    let l1m = warm.l1_misses as f64;
+    let l2m = warm.l2_misses as f64;
+    let l3m = warm.l3_misses as f64;
+    let (r1, r2, r3) = (l1m / accesses, l2m / l1m.max(1.0), l3m / l2m.max(1.0));
+    let level = if r1 < 0.05 {
         1
     } else if r2 < 0.05 {
         2
@@ -135,6 +116,36 @@ pub fn verify_group(
     } else {
         4
     };
+    (r1, r2, r3, level)
+}
+
+/// Run the two-pass verification for one benchmark × size with the
+/// session's default cache engine.
+pub fn verify_group(
+    benchmark: &str,
+    size: ProblemSize,
+    seed: u64,
+) -> Result<CacheVerification, String> {
+    verify_group_with(benchmark, size, seed, default_engine())
+}
+
+/// [`verify_group`] with an explicit engine choice.
+pub fn verify_group_with(
+    benchmark: &str,
+    size: ProblemSize,
+    seed: u64,
+    engine: CacheEngine,
+) -> Result<CacheVerification, String> {
+    let profile = group_profile(benchmark, size, seed)?;
+    let counts = two_pass_counts(
+        engine,
+        profile.pattern,
+        profile.working_set,
+        DEFAULT_TRACE_CAP,
+        &skylake(),
+        HistogramCache::global(),
+    );
+    let (r1, r2, r3, resolved_level) = resolve(&counts.warm());
     Ok(CacheVerification {
         benchmark: benchmark.to_string(),
         size: size.label().to_string(),
@@ -146,18 +157,165 @@ pub fn verify_group(
     })
 }
 
-/// Markdown report over all benchmarks and sizes.
+/// One device's steady-state cache behaviour for a fixed workload profile.
+#[derive(Debug, Clone, Serialize)]
+pub struct DeviceCacheRow {
+    /// Device name from the Table 1 catalog.
+    pub device: String,
+    /// L1 miss ratio on the warm pass.
+    pub l1_miss_ratio: f64,
+    /// L2 miss ratio (misses / L2 accesses).
+    pub l2_miss_ratio: f64,
+    /// L3 miss ratio (1.0 past the last level on L3-less devices).
+    pub l3_miss_ratio: f64,
+    /// TLB miss ratio over all warm accesses.
+    pub tlb_miss_ratio: f64,
+    /// Innermost level absorbing the traffic (1–3, or 4 for DRAM).
+    pub resolved_level: u8,
+}
+
+/// A full-catalog cache sweep of one benchmark × size.
+#[derive(Debug, Clone, Serialize)]
+pub struct DeviceSweep {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Problem size label.
+    pub size: String,
+    /// Working set in bytes.
+    pub working_set: u64,
+    /// Engine the sweep ran with (`"exact"` or `"stackdist"`).
+    pub engine: String,
+    /// One row per catalog device, in catalog order.
+    pub rows: Vec<DeviceCacheRow>,
+}
+
+/// Evaluate one benchmark × size across every catalog device in parallel.
+///
+/// Devices are independent, so the per-device evaluations run on the
+/// rayon pool; with [`CacheEngine::StackDistance`] they share one memoized
+/// trace analysis and only pay the per-geometry derivation. When `sink`
+/// is given, each device evaluation records a [`Track::Devsim`] span.
+pub fn device_sweep(
+    benchmark: &str,
+    size: ProblemSize,
+    seed: u64,
+    engine: CacheEngine,
+    sink: Option<&TraceSink>,
+) -> Result<DeviceSweep, String> {
+    use rayon::prelude::*;
+    let profile = group_profile(benchmark, size, seed)?;
+    let cache = HistogramCache::global();
+    let slots: Vec<Mutex<Option<DeviceCacheRow>>> =
+        CATALOG.iter().map(|_| Mutex::new(None)).collect();
+    (0..CATALOG.len()).into_par_iter().for_each(|i| {
+        let spec = &CATALOG[i];
+        let start_us = sink.map(|s| s.now_us());
+        let shape = HierarchyShape::for_spec(spec);
+        let warm = two_pass_counts(
+            engine,
+            profile.pattern,
+            profile.working_set,
+            DEFAULT_TRACE_CAP,
+            &shape,
+            cache,
+        )
+        .warm();
+        let (r1, r2, r3, resolved_level) = resolve(&warm);
+        let tlb = warm.tlb_misses as f64 / (warm.accesses as f64).max(1.0);
+        if let (Some(s), Some(start)) = (sink, start_us) {
+            s.record(
+                Span::new(
+                    format!("cachesweep {}", spec.name),
+                    "devsim",
+                    Track::Devsim,
+                    start,
+                    s.now_us() - start,
+                )
+                .with_arg("engine", engine.label())
+                .with_arg("benchmark", benchmark)
+                .with_arg("working_set", profile.working_set)
+                .with_arg("resolved_level", u64::from(resolved_level)),
+            );
+        }
+        *slots[i].lock().unwrap() = Some(DeviceCacheRow {
+            device: spec.name.to_string(),
+            l1_miss_ratio: r1,
+            l2_miss_ratio: r2,
+            l3_miss_ratio: r3,
+            tlb_miss_ratio: tlb,
+            resolved_level,
+        });
+    });
+    let rows = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("sweep slot filled"))
+        .collect();
+    Ok(DeviceSweep {
+        benchmark: benchmark.to_string(),
+        size: size.label().to_string(),
+        working_set: profile.working_set,
+        engine: engine.label().to_string(),
+        rows,
+    })
+}
+
+/// Markdown table for one [`device_sweep`].
+pub fn sweep_report(
+    benchmark: &str,
+    size: ProblemSize,
+    seed: u64,
+    engine: CacheEngine,
+    sink: Option<&TraceSink>,
+) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let sweep = device_sweep(benchmark, size, seed, engine, sink)?;
+    let mut out = format!(
+        "### {} {} — {:.1} KiB working set ({} engine)\n\n\
+         | device | L1 miss | L2 miss | L3 miss | TLB miss | resolves to |\n\
+         |---|---:|---:|---:|---:|---|\n",
+        sweep.benchmark,
+        sweep.size,
+        sweep.working_set as f64 / 1024.0,
+        sweep.engine,
+    );
+    for row in &sweep.rows {
+        let level = match row.resolved_level {
+            1 => "L1",
+            2 => "L2",
+            3 => "L3",
+            _ => "DRAM",
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {:.3} | {:.3} | {:.3} | {:.4} | {} |",
+            row.device,
+            row.l1_miss_ratio,
+            row.l2_miss_ratio,
+            row.l3_miss_ratio,
+            row.tlb_miss_ratio,
+            level
+        );
+    }
+    Ok(out)
+}
+
+/// Markdown report over all benchmarks and sizes with the default engine.
 pub fn report(seed: u64) -> Result<String, String> {
+    report_with(seed, default_engine())
+}
+
+/// [`report`] with an explicit engine choice.
+pub fn report_with(seed: u64, engine: CacheEngine) -> Result<String, String> {
     use std::fmt::Write as _;
     let mut out = String::from(
         "| benchmark | size | working set | L1 miss | L2 miss | L3 miss | resolves to |\n\
          |---|---|---:|---:|---:|---:|---|\n",
     );
-    for bench in registry::all_benchmarks() {
+    for bench in eod_dwarfs::registry::all_benchmarks() {
         for &size in &bench.supported_sizes() {
             // gem medium/large profiles exist without execution (replay);
             // still skip nothing — profiles are analytic.
-            let v = verify_group(bench.name(), size, seed)?;
+            let v = verify_group_with(bench.name(), size, seed, engine)?;
             let level = match v.resolved_level {
                 1 => "L1",
                 2 => "L2",
@@ -183,6 +341,7 @@ pub fn report(seed: u64) -> Result<String, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eod_devsim::profile::AccessPattern;
 
     #[test]
     fn tiny_sizes_resolve_to_l1() {
@@ -218,17 +377,76 @@ mod tests {
     }
 
     #[test]
+    fn engines_agree_on_skylake_resolution() {
+        for (b, size) in [
+            ("kmeans", ProblemSize::Tiny),
+            ("fft", ProblemSize::Small),
+            ("fft", ProblemSize::Medium),
+            ("lud", ProblemSize::Large),
+        ] {
+            let exact = verify_group_with(b, size, 3, CacheEngine::Exact).unwrap();
+            let sd = verify_group_with(b, size, 3, CacheEngine::StackDistance).unwrap();
+            assert_eq!(
+                exact.resolved_level, sd.resolved_level,
+                "{b} {size:?}: exact {exact:?} vs stackdist {sd:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn device_sweep_covers_catalog_and_engines_agree() {
+        let sink = TraceSink::new();
+        let sd = device_sweep(
+            "fft",
+            ProblemSize::Medium,
+            3,
+            CacheEngine::StackDistance,
+            Some(&sink),
+        )
+        .unwrap();
+        assert_eq!(sd.rows.len(), CATALOG.len());
+        // Each device evaluation recorded one devsim-track span.
+        let spans = sink.drain();
+        assert_eq!(spans.len(), CATALOG.len());
+        assert!(spans.iter().all(|s| s.track == Track::Devsim));
+        let exact = device_sweep("fft", ProblemSize::Medium, 3, CacheEngine::Exact, None).unwrap();
+        for (a, b) in exact.rows.iter().zip(&sd.rows) {
+            assert_eq!(a.device, b.device, "catalog order is stable");
+            assert_eq!(
+                a.resolved_level, b.resolved_level,
+                "{}: exact {a:?} vs stackdist {b:?}",
+                a.device
+            );
+        }
+    }
+
+    #[test]
     fn synthesized_traces_have_expected_shapes() {
         let mut p = KernelProfile::new("x");
         p.working_set = 128 * 1024;
         p.pattern = AccessPattern::Streaming;
-        let t = synthesize_pass(&p, 1 << 30);
+        let t: Vec<u64> = synthesize_pass(&p, 1 << 30).collect();
         assert_eq!(t.len(), 2048);
         assert!(t.windows(2).all(|w| w[1] == w[0] + 64), "unit stride");
         p.pattern = AccessPattern::Random;
-        let r = synthesize_pass(&p, 1 << 30);
+        let r: Vec<u64> = synthesize_pass(&p, 1 << 30).collect();
         assert_eq!(r.len(), 2048);
         assert!(r.iter().all(|&a| a < 128 * 1024));
         assert!(r.windows(2).any(|w| w[1] != w[0] + 64), "not sequential");
+    }
+
+    #[test]
+    fn strided_pass_touches_every_line_exactly_once() {
+        // The old `(i * 4096) % (lines * 64)` walk revisited the same
+        // footprint/4096-th of the lines; the column walk must cover all.
+        let mut p = KernelProfile::new("x");
+        p.pattern = AccessPattern::Strided;
+        for ws in [4096u64, 128 * 1024, 130 * 64, 1 << 20] {
+            p.working_set = ws;
+            let mut t: Vec<u64> = synthesize_pass(&p, 1 << 30).collect();
+            t.sort_unstable();
+            let expect: Vec<u64> = (0..ws / 64).map(|i| i * 64).collect();
+            assert_eq!(t, expect, "ws={ws}");
+        }
     }
 }

@@ -410,6 +410,35 @@ pub fn figure_plan(id: &str, config: &RunnerConfig) -> Result<FigurePlan, String
     })
 }
 
+/// Cache-level sweeps for every distinct benchmark × size of a figure.
+///
+/// Companion analysis to the timing figures: which hierarchy level each
+/// of the figure's workloads resolves to on every catalog device. The
+/// per-device evaluations inside each [`crate::cachesim::device_sweep`]
+/// run on the rayon pool and share the global histogram memo cache, so
+/// the whole figure costs one trace analysis per distinct workload.
+pub fn figure_cache_levels(
+    id: &str,
+    config: &RunnerConfig,
+    engine: eod_devsim::stackdist::CacheEngine,
+    sink: Option<&eod_telemetry::TraceSink>,
+) -> Result<Vec<crate::cachesim::DeviceSweep>, String> {
+    let plan = figure_plan(id, config)?;
+    let mut workloads: Vec<(String, ProblemSize)> = Vec::new();
+    for spec in plan.specs() {
+        if !workloads
+            .iter()
+            .any(|(b, s)| b == &spec.benchmark && *s == spec.size)
+        {
+            workloads.push((spec.benchmark.clone(), spec.size));
+        }
+    }
+    workloads
+        .iter()
+        .map(|(b, s)| crate::cachesim::device_sweep(b, *s, config.seed, engine, sink))
+        .collect()
+}
+
 /// Convenience: build all figures with one runner.
 pub fn all_figures(config: RunnerConfig) -> Result<Vec<Figure>, String> {
     let runner = Runner::new(config);
@@ -443,6 +472,21 @@ mod tests {
             .iter()
             .any(|g| g.device == "Xeon Phi 7210"));
         assert!(f.median("tiny", "i7-6700K").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn figure_cache_levels_covers_distinct_workloads() {
+        let sweeps = figure_cache_levels(
+            "fig1",
+            &RunnerConfig::smoke(),
+            eod_devsim::stackdist::CacheEngine::StackDistance,
+            None,
+        )
+        .unwrap();
+        // fig1 is crc over the four sizes; each sweep spans the catalog.
+        assert_eq!(sweeps.len(), 4);
+        assert!(sweeps.iter().all(|s| s.benchmark == "crc"));
+        assert!(sweeps.iter().all(|s| s.rows.len() == 15));
     }
 
     #[test]

@@ -90,6 +90,14 @@ fn parse_cli() -> Result<Cli, String> {
                     argv.get(i).ok_or("--trace-out needs a file path")?,
                 ));
             }
+            "--cache-engine" => {
+                i += 1;
+                let engine = argv
+                    .get(i)
+                    .and_then(|v| eod_devsim::stackdist::CacheEngine::parse(v))
+                    .ok_or("--cache-engine needs `exact` or `stackdist`")?;
+                eod_devsim::stackdist::set_default_engine(engine);
+            }
             _ => rest.push(argv[i].clone()),
         }
         i += 1;
@@ -932,6 +940,31 @@ fn cmd_shutdown(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+/// `eod cachesweep <benchmark> <size>` — one workload's steady-state cache
+/// behaviour across the whole Table 1 catalog, evaluated in parallel by
+/// the session's cache engine; `--trace-out` captures one devsim-track
+/// span per device evaluation.
+fn cmd_cachesweep(cli: &Cli) -> Result<(), String> {
+    let benchmark = cli
+        .args
+        .first()
+        .ok_or("usage: eod cachesweep <benchmark> <size>")?;
+    let size = match cli.args.get(1) {
+        Some(s) => ProblemSize::parse(s).ok_or_else(|| format!("unknown size {s}"))?,
+        None => ProblemSize::Medium,
+    };
+    let sink = TraceSink::new();
+    let engine = eod_devsim::stackdist::default_engine();
+    print!(
+        "{}",
+        eod_harness::cachesim::sweep_report(benchmark, size, cli.config.seed, engine, Some(&sink))?
+    );
+    if let Some(path) = &cli.trace_out {
+        write_trace(&sink, path)?;
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let cli = parse_cli()?;
     let runner = Runner::new(cli.config.clone());
@@ -970,6 +1003,7 @@ fn run() -> Result<(), String> {
         "table3" => print!("{}", tables::table3()),
         "sizing" => print!("{}", tables::sizing_report()),
         "cachesim" => print!("{}", eod_harness::cachesim::report(cli.config.seed)?),
+        "cachesweep" => cmd_cachesweep(&cli)?,
         "power" => print!("{}", tables::power_report()),
         "fig1" => show_figure(&figures::fig1(&runner)?, &cli.out_dir)?,
         "fig2a" | "fig2b" | "fig2c" | "fig2d" | "fig2e" => {
@@ -1016,7 +1050,8 @@ fn run() -> Result<(), String> {
                  commands: list table1 table2 table3 sizing power\n\
                  \u{20}         fig1 fig2a..fig2e fig3a fig3b fig4 fig5 figures\n\
                  \u{20}         run <benchmark> <size> [-p P -d D -t T] [--trace-out trace.json]\n\
-                 \u{20}         cov cachesim aiwc ideal ablation autotune schedule\n\
+                 \u{20}         cov cachesim cachesweep <benchmark> <size> aiwc ideal ablation autotune schedule\n\
+                 \u{20}         [--cache-engine exact|stackdist]  (counter/cachesim engine; default stackdist)\n\
                  \u{20}         bench-engine [--full] [--json FILE] [--baseline FILE]\n\
                  \u{20}         serve [--addr A --workers N --queue-cap N --cache-cap N --metrics-addr M]\n\
                  \u{20}         fleet [--addr A --fleet-addr F --queue-cap N --cache-cap N --metrics-addr M]\n\

@@ -27,6 +27,7 @@ fn ids(track: Track) -> (u32, u32) {
     match track {
         Track::Host => (HOST_PID, 1),
         Track::Regions => (HOST_PID, 2),
+        Track::Devsim => (HOST_PID, 3),
         Track::Device => (DEVICE_PID, 1),
     }
 }
@@ -105,7 +106,7 @@ pub fn render_chrome_trace(spans: &[Span]) -> String {
         "process_name",
         "device queue — queue clock",
     );
-    for track in [Track::Host, Track::Regions, Track::Device] {
+    for track in [Track::Host, Track::Regions, Track::Devsim, Track::Device] {
         let (pid, tid) = ids(track);
         out.push(',');
         push_metadata(&mut out, pid, Some(tid), "thread_name", track.label());
@@ -167,8 +168,8 @@ mod tests {
         let doc = render_chrome_trace(&[]);
         let v = parse(&doc);
         let evs = events(&v);
-        // 2 process_name + 3 thread_name metadata events, nothing else.
-        assert_eq!(evs.len(), 5);
+        // 2 process_name + 4 thread_name metadata events, nothing else.
+        assert_eq!(evs.len(), 6);
         assert!(evs
             .iter()
             .all(|e| e.get_field("ph") == &serde::Value::Str("M".into())));

@@ -23,6 +23,8 @@ pub enum Track {
     /// LibSciBench region journal laid end-to-end (no absolute
     /// timestamps of its own — see `RegionLog::record_trace`).
     Regions,
+    /// Device-model evaluations (cache-engine sweeps) on the wall clock.
+    Devsim,
 }
 
 impl Track {
@@ -32,6 +34,7 @@ impl Track {
             Track::Host => "host phases",
             Track::Device => "device commands",
             Track::Regions => "lsb regions",
+            Track::Devsim => "devsim cache engine",
         }
     }
 }
