@@ -322,6 +322,42 @@ fn cachesim_sweep_metric(
     }
 }
 
+/// Warm-path prediction rate: one cold `predict` fills the memoized
+/// profile and prediction caches, then the measured loop prices what a
+/// scheduler pays per placement query — a full-catalog ranked
+/// `PredictionSet` served from the spec-hash cache.
+fn predict_warm_metric(budget: Duration) -> EngineMetric {
+    use eod_core::sizes::ProblemSize;
+    use eod_core::spec::{ExecConfig, JobSpec};
+    let spec = JobSpec {
+        benchmark: "srad".into(),
+        size: ProblemSize::Small,
+        device: "GTX 1080".into(),
+        config: ExecConfig {
+            samples: 2,
+            min_loop: Duration::from_micros(50),
+            max_iters_per_sample: 2,
+            verify: false,
+            real_execution: false,
+            energy_all_devices: false,
+            seed: 42,
+            timeout: None,
+        },
+    };
+    let predictor = eod_predict::Predictor::new();
+    predictor.predict(&spec).expect("cold predict");
+    let (iterations, elapsed_s) = measure(budget, || {
+        std::hint::black_box(predictor.predict(&spec).expect("warm predict"));
+    });
+    EngineMetric {
+        name: "predict_warm".to_string(),
+        unit: "predictions_per_s".to_string(),
+        value: iterations as f64 / elapsed_s,
+        iterations,
+        elapsed_s,
+    }
+}
+
 /// Run the full suite. `full` lengthens the per-metric timing window from
 /// 150 ms to 1 s for lower-variance numbers.
 pub fn run(full: bool) -> EngineReport {
@@ -360,6 +396,7 @@ pub fn run(full: bool) -> EngineReport {
         false,
         budget,
     ));
+    metrics.push(predict_warm_metric(budget));
     EngineReport { metrics }
 }
 
@@ -463,6 +500,7 @@ mod tests {
             "cachesim_sweep_exact_8mib",
             "cachesim_sweep_stackdist_8mib",
             "cachesim_sweep_stackdist_memoized_8mib",
+            "predict_warm",
         ] {
             let m = r.metric(name).unwrap_or_else(|| panic!("missing {name}"));
             assert!(m.value > 0.0, "{name} rate must be positive");

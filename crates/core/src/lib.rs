@@ -26,6 +26,7 @@ pub mod args;
 pub mod benchmark;
 pub mod dwarf;
 pub mod fleet;
+pub mod predict;
 pub mod sizes;
 pub mod sizing;
 pub mod spec;
@@ -34,6 +35,7 @@ pub mod validation;
 pub use benchmark::{Benchmark, IterationOutput, Workload};
 pub use dwarf::Dwarf;
 pub use fleet::{Attempt, AttemptOutcome, LeaseTerms, WorkerCapabilities};
+pub use predict::{Prediction, PredictionSet, ProfileProvenance};
 pub use sizes::{ProblemSize, ScaleTable};
 pub use sizing::SkylakeHierarchy;
 pub use spec::{ExecConfig, JobSpec, Priority};

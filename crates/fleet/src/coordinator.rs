@@ -28,10 +28,12 @@
 
 use crate::messages::{decode, encode, CoordMsg, WorkerMsg};
 use crate::metrics::{FleetMetrics, WorkerGauges};
+use crate::placement::{Candidate, Greedy, PlacementPolicy};
 use crate::wire::{Wire, WireError};
 use eod_core::fleet::{Attempt, AttemptOutcome, LeaseId, WorkerCapabilities, WorkerId};
 use eod_core::spec::JobSpec;
-use std::collections::{HashMap, VecDeque};
+use eod_telemetry::Counter;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -157,6 +159,9 @@ struct JobState {
     done: bool,
     not_before: Option<Instant>,
     straggler_dispatched: bool,
+    /// Modeled runtime from the placement policy's predictor, if any —
+    /// feeds worker-backlog estimates on later dispatch passes.
+    predicted_s: Option<f64>,
 }
 
 #[derive(Default)]
@@ -170,9 +175,17 @@ struct Inner {
     waiting: Vec<u64>,
     /// Recent completed-attempt durations (ms) for the straggler deadline.
     completed_ms: VecDeque<f64>,
+    /// Which workers have completed which `spec_key`s — the cache-affinity
+    /// signal for predictive placement. Bounded; cleared when it grows
+    /// past [`RESIDENCY_CAP`] keys.
+    residency: HashMap<String, HashSet<WorkerId>>,
     next_worker_id: u64,
     next_lease_id: u64,
 }
+
+/// Residency map size bound; crossing it clears the map (affinity is an
+/// optimization hint, not correctness state).
+const RESIDENCY_CAP: usize = 1024;
 
 /// The coordinator: accepts worker connections via [`Coordinator::attach`],
 /// jobs via [`Coordinator::submit`], and reports outcomes through the
@@ -183,20 +196,37 @@ pub struct Coordinator {
     wake: Condvar,
     sink: CompletionSink,
     metrics: FleetMetrics,
+    policy: Arc<dyn PlacementPolicy>,
+    placements: Arc<Counter>,
     stopping: AtomicBool,
     threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Coordinator {
-    /// Start the coordinator engine (one background thread driving lease
-    /// expiry, failover, straggler scans, backoff, and dispatch).
+    /// Start the coordinator engine with the default [`Greedy`] placement
+    /// policy (the historical most-free-slots dispatch rule).
     pub fn start(config: FleetConfig, sink: CompletionSink) -> Arc<Coordinator> {
+        Self::start_with_policy(config, sink, Arc::new(Greedy::new()))
+    }
+
+    /// Start the coordinator engine (one background thread driving lease
+    /// expiry, failover, straggler scans, backoff, and dispatch) with an
+    /// explicit placement policy.
+    pub fn start_with_policy(
+        config: FleetConfig,
+        sink: CompletionSink,
+        policy: Arc<dyn PlacementPolicy>,
+    ) -> Arc<Coordinator> {
+        let metrics = FleetMetrics::new();
+        let placements = metrics.placements(policy.name());
         let coord = Arc::new(Coordinator {
             config,
             inner: Mutex::new(Inner::default()),
             wake: Condvar::new(),
             sink,
-            metrics: FleetMetrics::new(),
+            metrics,
+            policy,
+            placements,
             stopping: AtomicBool::new(false),
             threads: Mutex::new(Vec::new()),
         });
@@ -212,6 +242,9 @@ impl Coordinator {
     /// Submit a job for distributed execution. `job` is the caller's id,
     /// echoed in the sink callback.
     pub fn submit(&self, job: u64, spec: JobSpec) {
+        // Prediction can be milliseconds of model work on a cold cache;
+        // do it before taking the coordinator lock.
+        let predicted_s = self.policy.predict_runtime_s(&spec);
         let mut inner = self.inner.lock().unwrap();
         inner.jobs.insert(
             job,
@@ -223,6 +256,7 @@ impl Coordinator {
                 done: false,
                 not_before: None,
                 straggler_dispatched: false,
+                predicted_s,
             },
         );
         inner.ready.push_back(job);
@@ -441,7 +475,10 @@ impl Coordinator {
     }
 
     /// Grant every ready job an eligible worker; jobs with no eligible
-    /// worker stay queued for the next pass.
+    /// worker stay queued for the next pass. Eligibility (liveness, free
+    /// slots, device capability, no duplicate attempt on one worker) is
+    /// enforced here; *which* eligible worker wins is the placement
+    /// policy's call.
     fn dispatch(&self, inner: &mut Inner) {
         let mut pending = std::mem::take(&mut inner.ready);
         while let Some(job_id) = pending.pop_front() {
@@ -457,23 +494,61 @@ impl Coordinator {
                 .filter_map(|l| inner.leases.get(l))
                 .map(|l| l.worker)
                 .collect();
-            let device = job.spec.device.clone();
-            let mut best: Option<(WorkerId, u32)> = None;
-            for w in inner.workers.values() {
-                if !w.alive || w.draining || w.busy >= w.caps.slots {
+            let spec = job.spec.clone();
+            let key = spec.spec_key();
+
+            // Predicted backlog per worker: sum of predicted runtimes of
+            // the jobs it currently leases (grants in this same pass
+            // count, so one pass doesn't pile everything on one worker).
+            let mut backlog: HashMap<WorkerId, f64> = HashMap::new();
+            for l in inner.leases.values() {
+                if l.revoked {
                     continue;
                 }
-                if !w.caps.supports_device(&device) || holders.contains(&w.id) {
-                    continue;
-                }
-                let free = w.caps.slots - w.busy;
-                if best.is_none_or(|(_, bf)| free > bf) {
-                    best = Some((w.id, free));
-                }
+                let p = inner
+                    .jobs
+                    .get(&l.job)
+                    .and_then(|j| j.predicted_s)
+                    .unwrap_or(0.0);
+                *backlog.entry(l.worker).or_default() += p;
             }
-            match best {
-                Some((wid, _)) => self.grant(inner, job_id, wid),
-                None => inner.ready.push_back(job_id),
+
+            let mut candidates: Vec<Candidate> = inner
+                .workers
+                .values()
+                .filter(|w| {
+                    w.alive
+                        && !w.draining
+                        && w.busy < w.caps.slots
+                        && w.caps.supports_device(&spec.device)
+                        && !holders.contains(&w.id)
+                })
+                .map(|w| Candidate {
+                    id: w.id,
+                    label: w.label.clone(),
+                    slots: w.caps.slots,
+                    free_slots: w.caps.slots - w.busy,
+                    devices: w.caps.devices.clone(),
+                    backlog_s: backlog.get(&w.id).copied().unwrap_or(0.0),
+                    holds_result: inner
+                        .residency
+                        .get(&key)
+                        .is_some_and(|held| held.contains(&w.id)),
+                })
+                .collect();
+            candidates.sort_by_key(|c| c.id);
+            if candidates.is_empty() {
+                inner.ready.push_back(job_id);
+                continue;
+            }
+            match self.policy.place(&spec, &candidates) {
+                Some(wid) if candidates.iter().any(|c| c.id == wid) => {
+                    self.grant(inner, job_id, wid);
+                    self.placements.inc();
+                }
+                // A policy returning None or an ineligible id defers the
+                // job to the next pass rather than violating eligibility.
+                _ => inner.ready.push_back(job_id),
             }
         }
     }
@@ -729,9 +804,15 @@ impl Coordinator {
                 },
             );
         }
-        if let Some(job) = inner.jobs.get_mut(&job_id) {
+        let finished = inner.jobs.get_mut(&job_id).map(|job| {
             job.done = true;
-            let attempts = job.attempts.clone();
+            (job.spec.spec_key(), job.attempts.clone())
+        });
+        if let Some((key, attempts)) = finished {
+            if inner.residency.len() > RESIDENCY_CAP {
+                inner.residency.clear();
+            }
+            inner.residency.entry(key).or_default().insert(wid);
             (self.sink)(job_id, FleetOutcome::Done { group }, &attempts);
         }
         self.gc_job(inner, job_id);

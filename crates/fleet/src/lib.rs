@@ -32,11 +32,13 @@
 pub mod coordinator;
 pub mod messages;
 pub mod metrics;
+pub mod placement;
 pub mod wire;
 pub mod worker;
 
 pub use coordinator::{CompletionSink, Coordinator, FleetConfig, FleetOutcome};
 pub use messages::{CoordMsg, WorkerMsg};
+pub use placement::{Candidate, Greedy, PlacementPolicy, Predictive, RoundRobin};
 pub use wire::{FleetListener, LocalWire, TcpWire, Wire, WireError};
 pub use worker::{ExecFailure, Executor, Worker, WorkerExit, WorkerKill};
 

@@ -84,6 +84,16 @@ impl FleetMetrics {
         }
     }
 
+    /// Per-policy counter of placement decisions that produced a grant,
+    /// registered once per coordinator with its active policy's name.
+    pub fn placements(&self, policy: &str) -> Arc<Counter> {
+        self.registry.counter_with(
+            "eod_fleet_placements_total",
+            "Placement decisions that produced a grant, by policy.",
+            &[("policy", policy)],
+        )
+    }
+
     /// Register the per-worker gauge family for `worker_label`.
     pub fn worker_gauges(&self, worker_label: &str) -> WorkerGauges {
         let labels = &[("worker", worker_label)];
@@ -143,8 +153,12 @@ mod tests {
         w.slots_busy.set(1.0);
         w.leases.set(1.0);
         w.heartbeat_age.set(0.25);
+        let p = m.placements("round-robin");
+        p.inc();
         let text = m.render();
         assert!(text.contains("eod_fleet_retries_total 1"));
+        assert!(text.contains("eod_fleet_placements_total{policy=\"round-robin\"} 1"));
+        assert!(text.contains("# HELP eod_fleet_placements_total "));
         assert!(text.contains("eod_fleet_failovers_total 1"));
         assert!(text.contains("eod_fleet_straggler_redispatches_total 2"));
         assert!(text.contains("eod_fleet_workers 3"));

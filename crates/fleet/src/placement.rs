@@ -1,0 +1,349 @@
+//! Pluggable placement: which eligible worker gets the next job.
+//!
+//! The coordinator's dispatcher builds one [`Candidate`] per worker that
+//! *could* run a job (alive, not draining, a free slot, supports the
+//! spec's device, not already holding an attempt of the same job) and
+//! asks a [`PlacementPolicy`] to pick among them. The candidate list is
+//! sorted by worker id, so policies see a stable order instead of the
+//! registration-order `HashMap` iteration the dispatcher historically
+//! leaked into its decisions.
+//!
+//! Three policies ship:
+//!
+//! * [`RoundRobin`] — rotate through eligible workers, the unbiased
+//!   baseline;
+//! * [`Greedy`] — most free slots first (the previous hard-coded
+//!   behaviour, now with a deterministic lowest-id tie-break);
+//! * [`Predictive`] — consult an [`eod_predict::Predictor`]: score each
+//!   worker by its predicted queue backlog plus the modeled cost of
+//!   running this job there, discounted when the worker already holds
+//!   the job's `spec_hash` result (cache affinity) and penalized in
+//!   proportion to how much of the device catalog the worker can serve
+//!   (keep flexible workers free for jobs only they can take).
+
+use eod_core::fleet::WorkerId;
+use eod_core::spec::JobSpec;
+use eod_predict::{catalog_len, Predictor};
+use std::sync::{Arc, Mutex};
+
+/// One eligible worker, as the dispatcher presents it to a policy.
+///
+/// Candidates are pre-filtered (alive, free slot, device-capable, not a
+/// holder of this job) and sorted by ascending [`WorkerId`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Coordinator-assigned worker id (registration order).
+    pub id: WorkerId,
+    /// Human-readable worker label, as used in metrics and attempts.
+    pub label: String,
+    /// Advertised slot count.
+    pub slots: u32,
+    /// Slots currently free.
+    pub free_slots: u32,
+    /// Devices the worker advertised; empty means "any device".
+    pub devices: Vec<String>,
+    /// Sum of predicted runtimes (seconds) of jobs currently leased to
+    /// this worker; 0 when no prediction is available.
+    pub backlog_s: f64,
+    /// Whether this worker has already completed a job with the same
+    /// `spec_key` — landing here again may hit a warm local state.
+    pub holds_result: bool,
+}
+
+/// A placement decision procedure. Implementations must be cheap and
+/// deterministic given the same candidate list and internal state: the
+/// dispatcher calls [`PlacementPolicy::place`] under the coordinator
+/// lock.
+pub trait PlacementPolicy: Send + Sync {
+    /// Policy name, used as the `policy` label on placement counters.
+    fn name(&self) -> &'static str;
+
+    /// Pick a worker for `spec` from `candidates` (non-empty, sorted by
+    /// id). Returning `None` or an id not in the list requeues the job.
+    fn place(&self, spec: &JobSpec, candidates: &[Candidate]) -> Option<WorkerId>;
+
+    /// Predicted runtime of `spec` in seconds, if this policy can model
+    /// it. The coordinator records it on the job so later dispatch
+    /// passes can weigh worker backlogs.
+    fn predict_runtime_s(&self, _spec: &JobSpec) -> Option<f64> {
+        None
+    }
+}
+
+/// Rotate through eligible workers in id order, resuming after the last
+/// worker granted. Immune to registration order and slot-count skew.
+#[derive(Default)]
+pub struct RoundRobin {
+    cursor: Mutex<Option<WorkerId>>,
+}
+
+impl RoundRobin {
+    /// A fresh rotation starting at the lowest-id worker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PlacementPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn place(&self, _spec: &JobSpec, candidates: &[Candidate]) -> Option<WorkerId> {
+        let mut cursor = self.cursor.lock().unwrap();
+        let pick = match *cursor {
+            Some(last) => candidates
+                .iter()
+                .find(|c| c.id > last)
+                .or_else(|| candidates.first()),
+            None => candidates.first(),
+        }?;
+        *cursor = Some(pick.id);
+        Some(pick.id)
+    }
+}
+
+/// Most free slots wins; ties go to the lowest worker id. This is the
+/// dispatch rule the coordinator always had, minus its dependence on
+/// `HashMap` iteration order for ties.
+#[derive(Default)]
+pub struct Greedy;
+
+impl Greedy {
+    /// The stateless greedy policy.
+    pub fn new() -> Self {
+        Greedy
+    }
+}
+
+impl PlacementPolicy for Greedy {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn place(&self, _spec: &JobSpec, candidates: &[Candidate]) -> Option<WorkerId> {
+        // Candidates are sorted by id, so strict > keeps the lowest id
+        // among equals.
+        let mut best: Option<&Candidate> = None;
+        for c in candidates {
+            if best.is_none_or(|b| c.free_slots > b.free_slots) {
+                best = Some(c);
+            }
+        }
+        best.map(|c| c.id)
+    }
+}
+
+/// Model-guided placement: route each job to the worker where its
+/// predicted completion is cheapest, energy-aware on ties.
+///
+/// The score for candidate `w` is
+///
+/// ```text
+/// score(w) = backlog_s(w) / slots(w)                 — queueing delay
+///          + run_s × affinity(w)                     — cost of running here
+///          + run_s × flexibility_weight × breadth(w) — opportunity cost
+/// ```
+///
+/// where `affinity(w)` drops below 1 when `w` already holds this
+/// `spec_key`'s result (a predicted win elsewhere must beat that modeled
+/// benefit to move the job), and `breadth(w)` is the fraction of the
+/// device catalog `w` can serve — spending a flexible worker on a job a
+/// specialist could run is charged as a modeled opportunity cost.
+/// Ties break on the minimum predicted energy over the worker's device
+/// portfolio, then narrower portfolio, then lowest id.
+pub struct Predictive {
+    predictor: Arc<Predictor>,
+    /// Fraction of the job's modeled runtime assumed saved by landing on
+    /// a worker that already holds this spec's result.
+    affinity_fraction: f64,
+    /// Weight of the portfolio-breadth opportunity cost.
+    flexibility_weight: f64,
+}
+
+impl Predictive {
+    /// Predictive placement with the default affinity/flexibility
+    /// weights.
+    pub fn new(predictor: Arc<Predictor>) -> Self {
+        Self {
+            predictor,
+            affinity_fraction: 0.75,
+            flexibility_weight: 1.0,
+        }
+    }
+
+    /// Minimum predicted energy (J) over the candidate's device
+    /// portfolio — the energy tie-break key.
+    fn portfolio_energy(&self, spec: &JobSpec, c: &Candidate) -> f64 {
+        let Ok(set) = self.predictor.predict(spec) else {
+            return f64::INFINITY;
+        };
+        let over_all = c.devices.is_empty();
+        set.predictions
+            .iter()
+            .filter(|p| over_all || c.devices.contains(&p.device))
+            .map(|p| p.modeled_energy_j)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl PlacementPolicy for Predictive {
+    fn name(&self) -> &'static str {
+        "predictive"
+    }
+
+    fn place(&self, spec: &JobSpec, candidates: &[Candidate]) -> Option<WorkerId> {
+        let Some(run_s) = self.predictor.runtime_s(spec) else {
+            // Native or unpredictable spec: fall back to greedy.
+            return Greedy.place(spec, candidates);
+        };
+        let catalog = catalog_len() as f64;
+        let mut best: Option<(f64, f64, f64, WorkerId)> = None;
+        for c in candidates {
+            let breadth = if c.devices.is_empty() {
+                1.0
+            } else {
+                c.devices.len() as f64 / catalog
+            };
+            let affinity = if c.holds_result {
+                1.0 - self.affinity_fraction
+            } else {
+                1.0
+            };
+            let score = c.backlog_s / c.slots.max(1) as f64
+                + run_s * (affinity + self.flexibility_weight * breadth);
+            let energy = self.portfolio_energy(spec, c);
+            let key = (score, energy, breadth, c.id);
+            let better = best.is_none_or(|(bs, be, bb, _)| {
+                score
+                    .total_cmp(&bs)
+                    .then(energy.total_cmp(&be))
+                    .then(breadth.total_cmp(&bb))
+                    .is_lt()
+            });
+            if better {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, _, _, id)| id)
+    }
+
+    fn predict_runtime_s(&self, spec: &JobSpec) -> Option<f64> {
+        self.predictor.runtime_s(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eod_core::sizes::ProblemSize;
+    use eod_core::spec::ExecConfig;
+    use std::time::Duration;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            benchmark: "kmeans".into(),
+            size: ProblemSize::Tiny,
+            device: "GTX 1080".into(),
+            config: ExecConfig {
+                samples: 1,
+                min_loop: Duration::from_micros(1),
+                max_iters_per_sample: 1,
+                verify: false,
+                real_execution: false,
+                energy_all_devices: false,
+                seed: 1,
+                timeout: None,
+            },
+        }
+    }
+
+    fn cand(id: WorkerId, free: u32) -> Candidate {
+        Candidate {
+            id,
+            label: format!("w{id}"),
+            slots: 2,
+            free_slots: free,
+            devices: Vec::new(),
+            backlog_s: 0.0,
+            holds_result: false,
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates_regardless_of_free_slots() {
+        let rr = RoundRobin::new();
+        let s = spec();
+        // Worker 1 has more free slots; a greedy picker would pin to it.
+        let cands = vec![cand(1, 2), cand(2, 1), cand(3, 1)];
+        let picks: Vec<_> = (0..6).map(|_| rr.place(&s, &cands).unwrap()).collect();
+        assert_eq!(picks, vec![1, 2, 3, 1, 2, 3]);
+    }
+
+    #[test]
+    fn round_robin_skips_absent_workers_and_wraps() {
+        let rr = RoundRobin::new();
+        let s = spec();
+        assert_eq!(rr.place(&s, &[cand(1, 1), cand(2, 1)]), Some(1));
+        // Worker 2 became ineligible; the rotation moves past it.
+        assert_eq!(rr.place(&s, &[cand(1, 1), cand(3, 1)]), Some(3));
+        // Wrap-around back to the lowest id.
+        assert_eq!(rr.place(&s, &[cand(1, 1), cand(3, 1)]), Some(1));
+        assert_eq!(rr.place(&s, &[]), None);
+    }
+
+    #[test]
+    fn greedy_prefers_free_slots_then_lowest_id() {
+        let g = Greedy::new();
+        let s = spec();
+        assert_eq!(g.place(&s, &[cand(1, 1), cand(2, 2)]), Some(2));
+        // Equal free slots: deterministic lowest id, not map order.
+        assert_eq!(g.place(&s, &[cand(1, 1), cand(2, 1)]), Some(1));
+        assert_eq!(g.place(&s, &[]), None);
+    }
+
+    #[test]
+    fn predictive_prefers_idle_over_backlogged_workers() {
+        let p = Predictive::new(Arc::new(Predictor::new()));
+        let s = spec();
+        let mut busy = cand(1, 1);
+        busy.backlog_s = 10.0;
+        let idle = cand(2, 1);
+        assert_eq!(p.place(&s, &[busy, idle]), Some(2));
+    }
+
+    #[test]
+    fn predictive_prefers_result_holder_on_equal_load() {
+        let p = Predictive::new(Arc::new(Predictor::new()));
+        let s = spec();
+        let plain = cand(1, 1);
+        let mut warm = cand(2, 1);
+        warm.holds_result = true;
+        assert_eq!(p.place(&s, &[plain, warm]), Some(2));
+    }
+
+    #[test]
+    fn predictive_spares_flexible_workers_for_constrained_jobs() {
+        let p = Predictive::new(Arc::new(Predictor::new()));
+        let s = spec();
+        // Worker 1 serves the whole catalog (empty = any); worker 2 only
+        // the job's own device. Equal load: the specialist should win so
+        // the generalist stays free for jobs only it can run.
+        let generalist = cand(1, 1);
+        let mut specialist = cand(2, 1);
+        specialist.devices = vec!["GTX 1080".into()];
+        assert_eq!(p.place(&s, &[generalist, specialist]), Some(2));
+    }
+
+    #[test]
+    fn predictive_reports_a_runtime_for_catalog_devices_only() {
+        let p = Predictive::new(Arc::new(Predictor::new()));
+        let s = spec();
+        assert!(p.predict_runtime_s(&s).unwrap() > 0.0);
+        let mut native = spec();
+        native.device = eod_core::spec::NATIVE_DEVICE.into();
+        assert_eq!(p.predict_runtime_s(&native), None);
+        // Native specs still place (greedy fallback).
+        assert_eq!(p.place(&native, &[cand(1, 1), cand(2, 2)]), Some(2));
+    }
+}

@@ -218,6 +218,16 @@ impl GroupResult {
         Summary::of(&self.kernel_ms).expect("groups always have samples")
     }
 
+    /// Mean of the kernel-time samples in milliseconds, or `None` for an
+    /// empty sample set — the "actual" the serving layer compares against
+    /// predicted runtimes.
+    pub fn mean_kernel_ms(&self) -> Option<f64> {
+        if self.kernel_ms.is_empty() {
+            return None;
+        }
+        Some(self.kernel_ms.iter().sum::<f64>() / self.kernel_ms.len() as f64)
+    }
+
     /// Boxplot statistics of the kernel-time samples.
     pub fn boxplot(&self) -> BoxplotSummary {
         BoxplotSummary::of(&self.kernel_ms).expect("groups always have samples")

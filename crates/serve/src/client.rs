@@ -8,6 +8,7 @@
 
 use crate::protocol::{codes, decode, encode, JobInfo, Request, Response};
 use eod_core::fleet::Attempt;
+use eod_core::predict::PredictionSet;
 use eod_core::spec::{JobSpec, Priority};
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
@@ -391,7 +392,30 @@ impl Client {
         }
     }
 
+    /// Rank the device catalog for `spec` using the server's predictor.
+    ///
+    /// The spec's own `device` field is ignored by the model sweep: the
+    /// returned set always covers the full device catalog, sorted by
+    /// modeled runtime.
+    pub fn predict(&mut self, spec: &JobSpec) -> Result<PredictionSet, ClientError> {
+        self.send(&Request::Predict { spec: spec.clone() })?;
+        match Self::typed(self.recv()?)? {
+            Response::Predictions { set } => Ok(set),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected {}",
+                encode(&other)
+            ))),
+        }
+    }
+
     /// The server's metric surface in Prometheus text exposition format.
+    ///
+    /// Besides the queue/cache/worker series, the exposition carries the
+    /// predictor's `eod_predict_*` series (request, hit/miss, and error
+    /// counters plus the latency histogram), the service-side
+    /// `eod_predict_feedback_total` / `eod_predict_error_ratio`
+    /// predicted-vs-actual feed, and — in fleet mode — the coordinator's
+    /// `eod_fleet_placements_total{policy=...}` placement counters.
     pub fn metrics(&mut self) -> Result<String, ClientError> {
         self.send(&Request::Metrics)?;
         match Self::typed(self.recv()?)? {

@@ -90,6 +90,9 @@ pub struct JobRecord {
     /// straggler duplicates); kept outside `status` so recording an
     /// attempt never wakes transition waiters.
     attempts: Mutex<Vec<Attempt>>,
+    /// Modeled runtime in milliseconds from the predictive placement
+    /// policy, set at fleet dispatch; `None` outside predictive mode.
+    predicted_ms: Mutex<Option<f64>>,
 }
 
 impl JobRecord {
@@ -112,7 +115,19 @@ impl JobRecord {
             }),
             changed: Condvar::new(),
             attempts: Mutex::new(Vec::new()),
+            predicted_ms: Mutex::new(None),
         }
+    }
+
+    /// Record the predictive policy's modeled runtime for this job.
+    pub fn set_predicted_ms(&self, ms: f64) {
+        *self.predicted_ms.lock().unwrap() = Some(ms);
+    }
+
+    /// The modeled runtime recorded at dispatch, if predictive placement
+    /// was active.
+    pub fn predicted_ms(&self) -> Option<f64> {
+        *self.predicted_ms.lock().unwrap()
     }
 
     /// Append one execution attempt to the job's history.

@@ -48,4 +48,4 @@ pub use jobs::{JobBoard, JobId, JobPhase, JobRecord};
 pub use metrics::ServiceMetrics;
 pub use queue::{AdmissionError, JobQueue};
 pub use server::Server;
-pub use service::{FigureOutcome, ServeConfig, Service};
+pub use service::{FigureOutcome, Placement, ServeConfig, Service};

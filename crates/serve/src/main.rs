@@ -22,11 +22,15 @@ use eod_core::fleet::WorkerCapabilities;
 use eod_core::sizes::ProblemSize;
 use eod_core::spec::{JobSpec, Priority};
 use eod_dwarfs::registry;
-use eod_fleet::{Coordinator, FleetConfig, FleetListener, TcpWire, Worker, WorkerExit};
+use eod_fleet::{
+    CompletionSink, Coordinator, FleetConfig, FleetListener, FleetOutcome, Greedy, LocalWire,
+    PlacementPolicy, Predictive, RoundRobin, TcpWire, Worker, WorkerExit,
+};
 use eod_harness::figures::{self, Figure};
 use eod_harness::{report, schedule, tables};
 use eod_harness::{Runner, RunnerConfig};
-use eod_serve::{Client, ServeConfig, Server, Service};
+use eod_predict::Predictor;
+use eod_serve::{Client, Placement, ServeConfig, Server, Service};
 use eod_telemetry::{render_chrome_trace, MetricsServer, TraceSink};
 use std::path::PathBuf;
 use std::result::Result;
@@ -691,7 +695,8 @@ fn cmd_fleet(cli: &Cli) -> Result<(), String> {
         cfg.cache_capacity = c;
     }
     let (queue_cap, cache_cap) = (cfg.queue_capacity, cfg.cache_capacity);
-    let (service, coord) = Service::start_fleet(cfg, FleetConfig::default());
+    let placement = parse_placement(&cli.args)?.unwrap_or_default();
+    let (service, coord) = Service::start_fleet_placed(cfg, FleetConfig::default(), placement);
     let listener = {
         let coord = Arc::clone(&coord);
         FleetListener::start(&fleet_addr, move |wire| Coordinator::attach(&coord, wire))
@@ -709,9 +714,10 @@ fn cmd_fleet(cli: &Cli) -> Result<(), String> {
     };
     let server = Server::bind(service, &addr).map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
-        "eod fleet coordinator: clients on {}, workers on {} (queue \u{2264} {queue_cap}, cache \u{2264} {cache_cap})",
+        "eod fleet coordinator: clients on {}, workers on {} (queue \u{2264} {queue_cap}, cache \u{2264} {cache_cap}, placement {})",
         server.local_addr(),
-        listener.local_addr()
+        listener.local_addr(),
+        placement.label()
     );
     println!(
         "start workers with: eod worker --connect {}",
@@ -894,6 +900,291 @@ fn cmd_submit(cli: &Cli) -> Result<(), String> {
     }
 }
 
+fn parse_placement(args: &[String]) -> Result<Option<Placement>, String> {
+    flag_value(args, "--placement")
+        .map(|s| {
+            Placement::parse(&s)
+                .ok_or_else(|| format!("unknown placement {s:?} (round-robin|greedy|predictive)"))
+        })
+        .transpose()
+}
+
+/// `eod predict <benchmark> [size]` — rank the device catalog for one
+/// spec by modeled runtime. Local by default; `--addr` asks a running
+/// server instead (same ranking, served from its prediction cache).
+fn cmd_predict(cli: &Cli) -> Result<(), String> {
+    let value_flags = ["--addr", "--device"];
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < cli.args.len() {
+        if value_flags.contains(&cli.args[i].as_str()) {
+            i += 2;
+        } else {
+            positional.push(cli.args[i].clone());
+            i += 1;
+        }
+    }
+    let benchmark = positional
+        .first()
+        .ok_or("usage: eod predict <benchmark> [size] [--device NAME] [--addr HOST:PORT]")?;
+    let size = positional
+        .get(1)
+        .and_then(|s| ProblemSize::parse(s))
+        .unwrap_or(ProblemSize::Tiny);
+    let device = flag_value(&cli.args, "--device").unwrap_or_else(|| "i7-6700K".to_string());
+    let spec = JobSpec {
+        benchmark: benchmark.clone(),
+        size,
+        device,
+        config: cli.config.to_exec(),
+    };
+    let set = match flag_value(&cli.args, "--addr") {
+        Some(addr) => {
+            let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+            client.predict(&spec).map_err(|e| e.to_string())?
+        }
+        None => {
+            let predictor = Predictor::new();
+            (*predictor.predict(&spec).map_err(|e| e.to_string())?).clone()
+        }
+    };
+    println!(
+        "predictions for {} {} [{}] — {} devices, ascending modeled runtime:",
+        set.benchmark,
+        set.size,
+        set.spec_key,
+        set.predictions.len()
+    );
+    println!(
+        "| rank | device | class | runtime (µs) | energy (J) | EDP (J·s) | confidence | profile |"
+    );
+    println!("|---:|---|---|---:|---:|---:|---:|---|");
+    for (rank, p) in set.predictions.iter().enumerate() {
+        println!(
+            "| {} | {} | {} | {:.2} | {:.6} | {:.3e} | {:.2} | {} |",
+            rank + 1,
+            p.device,
+            p.class,
+            p.modeled_runtime_us,
+            p.modeled_energy_j,
+            p.edp_j_s,
+            p.confidence,
+            p.cache_profile_provenance.label()
+        );
+    }
+    if let Some(best) = set.best() {
+        println!(
+            "\nbest: {} ({:.2} µs modeled, EDP {:.3e} J·s)",
+            best.device, best.modeled_runtime_us, best.edp_j_s
+        );
+    }
+    Ok(())
+}
+
+/// FNV-1a 64 over the measurement content of each result, in job-id
+/// order — a placement-independent content address for a whole batch.
+///
+/// Wall-clock incidentals (`setup_ms`, region timestamps) vary run to
+/// run, so the digest covers only the deterministic simulated
+/// measurements: identity, verification, footprint, and the exact bit
+/// patterns of the `kernel_ms` samples.
+fn batch_digest(results: &std::collections::BTreeMap<u64, String>) -> Result<u64, String> {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |bytes: &[u8]| {
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for (job, json) in results {
+        let v: serde::Value =
+            serde_json::from_str(json).map_err(|e| format!("job {job} result: {e}"))?;
+        mix(&job.to_le_bytes());
+        for field in ["benchmark", "size", "device", "class"] {
+            match v.get_field(field) {
+                serde::Value::Str(s) => mix(s.as_bytes()),
+                _ => return Err(format!("job {job} result lacks field {field}")),
+            }
+        }
+        let serde::Value::Bool(verified) = v.get_field("verified") else {
+            return Err(format!("job {job} result lacks field verified"));
+        };
+        mix(&[u8::from(*verified)]);
+        for field in ["footprint_bytes", "launches_per_iteration"] {
+            match v.get_field(field) {
+                serde::Value::U64(n) => mix(&n.to_le_bytes()),
+                serde::Value::I64(n) => mix(&n.to_le_bytes()),
+                _ => return Err(format!("job {job} result lacks field {field}")),
+            }
+        }
+        let serde::Value::Seq(samples) = v.get_field("kernel_ms") else {
+            return Err(format!("job {job} result lacks field kernel_ms"));
+        };
+        for s in samples {
+            let ms = match s {
+                serde::Value::F64(f) => *f,
+                serde::Value::I64(i) => *i as f64,
+                serde::Value::U64(u) => *u as f64,
+                _ => return Err(format!("job {job} kernel_ms holds a non-number")),
+            };
+            mix(&ms.to_bits().to_le_bytes());
+        }
+    }
+    Ok(h)
+}
+
+/// `eod schedbench` — the scheduler ablation harness: run a fixed mixed
+/// dwarf batch through an in-process LocalWire fleet under a chosen
+/// placement policy, report who ran what, the makespan, and a
+/// placement-independent digest of the result bytes.
+fn cmd_schedbench(cli: &Cli) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    use std::sync::mpsc;
+
+    let placement = parse_placement(&cli.args)?.unwrap_or(Placement::Predictive);
+    let digest_only = has_flag(&cli.args, "--digest-only");
+    let predictor = Arc::new(Predictor::new());
+    let policy: Arc<dyn PlacementPolicy> = match placement {
+        Placement::RoundRobin => Arc::new(RoundRobin::new()),
+        Placement::Greedy => Arc::new(Greedy::new()),
+        Placement::Predictive => Arc::new(Predictive::new(Arc::clone(&predictor))),
+    };
+
+    // The batch: mixed dwarfs, smoke-sized, fixed order. Two jobs target
+    // "R9 290X", which only the generalist worker can serve; two jobs are
+    // deliberately long (small size). Round-robin's rotation hands an
+    // early flexible job to the generalist while a pinned specialist sits
+    // idle, so the R9 jobs serialize behind it; predictive placement's
+    // flexibility penalty keeps the generalist free for them. Specs are
+    // fixed — results are a pure function of the spec, so the digest must
+    // not depend on the placement policy.
+    let exec = RunnerConfig::smoke().to_exec();
+    let mut specs = Vec::new();
+    for (benchmark, size, device) in [
+        ("srad", ProblemSize::Tiny, "GTX 1080"),
+        ("nw", ProblemSize::Medium, "i7-6700K"),
+        ("srad", ProblemSize::Medium, "R9 290X"),
+        ("crc", ProblemSize::Tiny, "i7-6700K"),
+        ("fft", ProblemSize::Tiny, "GTX 1080"),
+        ("dwt", ProblemSize::Tiny, "i7-6700K"),
+        ("kmeans", ProblemSize::Tiny, "GTX 1080"),
+        ("csr", ProblemSize::Small, "R9 290X"),
+    ] {
+        specs.push(JobSpec {
+            benchmark: benchmark.into(),
+            size,
+            device: device.into(),
+            config: exec.clone(),
+        });
+    }
+
+    let (tx, rx) = mpsc::channel();
+    let sink: CompletionSink = Box::new(move |job, outcome, attempts| {
+        let _ = tx.send((job, outcome, attempts.to_vec()));
+    });
+    let coord = Coordinator::start_with_policy(FleetConfig::default(), sink, policy);
+
+    // A deliberately lopsided fleet: two specialists pinned to one device
+    // each, plus one generalist that can serve anything. Placement
+    // quality shows up as how well the generalist is kept free for
+    // overflow instead of being grabbed by jobs a specialist could run.
+    let caps = |name: &str, devices: Vec<String>| WorkerCapabilities {
+        name: name.into(),
+        slots: 1,
+        devices,
+    };
+    let mut handles = Vec::new();
+    for (name, devices) in [
+        ("cpu-0", vec!["i7-6700K".to_string()]),
+        ("gpu-0", vec!["GTX 1080".to_string()]),
+        ("any-0", Vec::new()),
+    ] {
+        let worker = Worker::new(caps(name, devices));
+        let (coord_end, worker_end) = LocalWire::pair();
+        Coordinator::attach(&coord, coord_end);
+        handles.push(std::thread::spawn(move || worker.run(worker_end)));
+    }
+    // Let all three registrations land before the first submit — the
+    // batch must see the full fleet or placement degenerates to
+    // first-registered-wins for every policy.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while coord.live_workers() < 3 {
+        if std::time::Instant::now() >= deadline {
+            return Err("schedbench workers failed to register within 10 s".into());
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // Warm the prediction cache outside the timed region: a long-lived
+    // coordinator serves placements from the memoized profiles, so the
+    // ablation times steady-state scheduling, not first-contact model
+    // extraction (which `eod bench-engine` prices separately).
+    if placement == Placement::Predictive {
+        for spec in &specs {
+            let _ = predictor.predict(spec);
+        }
+    }
+
+    let started = std::time::Instant::now();
+    for (i, spec) in specs.iter().enumerate() {
+        coord.submit(i as u64 + 1, spec.clone());
+    }
+    let mut results: BTreeMap<u64, String> = BTreeMap::new();
+    let mut workers: BTreeMap<u64, String> = BTreeMap::new();
+    while results.len() < specs.len() {
+        let (job, outcome, attempts) = rx
+            .recv_timeout(Duration::from_secs(300))
+            .map_err(|_| "schedbench batch timed out after 300 s".to_string())?;
+        match outcome {
+            FleetOutcome::Done { group } => {
+                results.insert(job, group);
+                if let Some(w) = attempts
+                    .iter()
+                    .rev()
+                    .find(|a| a.outcome == eod_core::fleet::AttemptOutcome::Completed)
+                {
+                    workers.insert(job, w.worker.clone());
+                }
+            }
+            FleetOutcome::Failed { error, .. } => {
+                return Err(format!("schedbench job {job} failed: {error}"));
+            }
+        }
+    }
+    let makespan = started.elapsed();
+    coord.shutdown(Duration::from_secs(5));
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let digest = batch_digest(&results)?;
+    if digest_only {
+        println!("results digest: {digest:016x}");
+        return Ok(());
+    }
+    println!(
+        "scheduler ablation batch — placement {}:",
+        placement.label()
+    );
+    println!("| job | benchmark | size | device | worker |");
+    println!("|---:|---|---|---|---|");
+    for (i, spec) in specs.iter().enumerate() {
+        let job = i as u64 + 1;
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            job,
+            spec.benchmark,
+            spec.size.label(),
+            spec.device,
+            workers.get(&job).map(String::as_str).unwrap_or("?")
+        );
+    }
+    println!("\nmakespan: {:.1} ms", makespan.as_secs_f64() * 1e3);
+    println!("results digest: {digest:016x}");
+    Ok(())
+}
+
 fn cmd_status(cli: &Cli) -> Result<(), String> {
     let addr = serve_addr(&cli.args);
     let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
@@ -917,12 +1208,22 @@ fn cmd_status(cli: &Cli) -> Result<(), String> {
     }
     let jobs = client.list().map_err(|e| e.to_string())?;
     let (cache, queued, workers) = client.stats().map_err(|e| e.to_string())?;
-    println!("| job | key | benchmark | size | device | state | cached |");
-    println!("|---:|---|---|---|---|---|---|");
+    let ms = |v: Option<f64>| v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "–".into());
+    println!("| job | key | benchmark | size | device | state | cached | worker | predicted (ms) | actual (ms) |");
+    println!("|---:|---|---|---|---|---|---|---|---:|---:|");
     for j in jobs {
         println!(
-            "| {} | {} | {} | {} | {} | {} | {} |",
-            j.job, j.key, j.benchmark, j.size, j.device, j.state, j.cached
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            j.job,
+            j.key,
+            j.benchmark,
+            j.size,
+            j.device,
+            j.state,
+            j.cached,
+            j.worker.as_deref().unwrap_or("–"),
+            ms(j.predicted_ms),
+            ms(j.actual_ms)
         );
     }
     println!(
@@ -1042,6 +1343,8 @@ fn run() -> Result<(), String> {
         "fleet" => cmd_fleet(&cli)?,
         "worker" => cmd_worker(&cli)?,
         "submit" => cmd_submit(&cli)?,
+        "predict" => cmd_predict(&cli)?,
+        "schedbench" => cmd_schedbench(&cli)?,
         "status" => cmd_status(&cli)?,
         "shutdown" => cmd_shutdown(&cli)?,
         _ => {
@@ -1054,10 +1357,12 @@ fn run() -> Result<(), String> {
                  \u{20}         [--cache-engine exact|stackdist]  (counter/cachesim engine; default stackdist)\n\
                  \u{20}         bench-engine [--full] [--json FILE] [--baseline FILE]\n\
                  \u{20}         serve [--addr A --workers N --queue-cap N --cache-cap N --metrics-addr M]\n\
-                 \u{20}         fleet [--addr A --fleet-addr F --queue-cap N --cache-cap N --metrics-addr M]\n\
+                 \u{20}         fleet [--addr A --fleet-addr F --queue-cap N --cache-cap N --metrics-addr M --placement P]\n\
                  \u{20}         worker [--connect F --slots N --devices D1,D2 --name W]\n\
                  \u{20}         submit <benchmark> [size] [--device D --high --timeout-ms T --no-wait]\n\
-                 \u{20}         submit --fig <figN>   status [job]   shutdown   [--addr HOST:PORT]"
+                 \u{20}         submit --fig <figN>   status [job]   shutdown   [--addr HOST:PORT]\n\
+                 \u{20}         predict <benchmark> [size] [--device D --addr HOST:PORT]\n\
+                 \u{20}         schedbench [--placement round-robin|greedy|predictive] [--digest-only]"
             );
         }
     }

@@ -54,6 +54,8 @@ pub struct ServiceMetrics {
     cache_capacity: Arc<Gauge>,
     workers: Arc<Gauge>,
     workers_busy: Arc<Gauge>,
+    predict_feedback: Arc<Counter>,
+    predict_error_ratio: Arc<Gauge>,
 }
 
 impl ServiceMetrics {
@@ -123,6 +125,14 @@ impl ServiceMetrics {
         let cache_capacity = r.gauge("eod_cache_capacity", "Cache entry bound.");
         let workers = r.gauge("eod_workers", "Worker threads in the pool.");
         let workers_busy = r.gauge("eod_workers_busy", "Workers currently executing a job.");
+        let predict_feedback = r.counter(
+            "eod_predict_feedback_total",
+            "Completed jobs whose measured runtime was compared against the predictive policy's model.",
+        );
+        let predict_error_ratio = r.gauge(
+            "eod_predict_error_ratio",
+            "Most recent |predicted - actual| / actual runtime error from a completed predictively-placed job.",
+        );
         Self {
             registry: r,
             queue_depth,
@@ -141,7 +151,16 @@ impl ServiceMetrics {
             cache_capacity,
             workers,
             workers_busy,
+            predict_feedback,
+            predict_error_ratio,
         }
+    }
+
+    /// Record one predicted-vs-actual comparison from a completed job
+    /// placed by the predictive policy.
+    pub fn on_prediction_feedback(&self, error_ratio: f64) {
+        self.predict_feedback.inc();
+        self.predict_error_ratio.set(error_ratio);
     }
 
     /// Count one submission (before the cache/queue decide its fate).
@@ -257,6 +276,20 @@ mod tests {
         assert!(text.contains("eod_cache_entries 5\n"));
         assert!(text.contains("eod_workers 4\n"));
         assert!(text.contains("eod_workers_busy 1\n"));
+    }
+
+    #[test]
+    fn prediction_feedback_lands_in_the_exposition_with_help_and_type() {
+        let m = ServiceMetrics::new();
+        m.on_prediction_feedback(0.25);
+        m.on_prediction_feedback(0.1);
+        let text = m.render((0, 0), 1, &stats(), 1);
+        assert!(text.contains("eod_predict_feedback_total 2\n"), "{text}");
+        assert!(text.contains("eod_predict_error_ratio 0.1\n"), "{text}");
+        for name in ["eod_predict_feedback_total", "eod_predict_error_ratio"] {
+            assert!(text.contains(&format!("# HELP {name} ")), "missing {name}");
+            assert!(text.contains(&format!("# TYPE {name} ")), "missing {name}");
+        }
     }
 
     #[test]

@@ -10,7 +10,8 @@
 use crate::cache::CacheStats;
 use crate::jobs::{JobRecord, Snapshot};
 use crate::queue::AdmissionError;
-use eod_core::fleet::Attempt;
+use eod_core::fleet::{Attempt, AttemptOutcome};
+use eod_core::predict::PredictionSet;
 use eod_core::spec::{JobSpec, Priority};
 use serde::{Deserialize, Serialize};
 
@@ -26,6 +27,9 @@ pub mod codes {
     pub const UNKNOWN_JOB: &str = "unknown_job";
     /// A figure batch could not complete.
     pub const FIGURE_FAILED: &str = "figure_failed";
+    /// A prediction could not be made (unknown benchmark, unsupported
+    /// size, or profile extraction failed).
+    pub const PREDICT_FAILED: &str = "predict_failed";
 }
 
 /// A client request, one per line.
@@ -52,6 +56,13 @@ pub enum Request {
     Figure {
         /// Figure id.
         id: String,
+    },
+    /// Predict the spec's runtime and energy on every catalog device
+    /// without executing anything; answered by a `Predictions` line.
+    Predict {
+        /// The spec to model. Its `device` field does not restrict the
+        /// sweep — predictions always cover the whole catalog.
+        spec: JobSpec,
     },
     /// Cache and queue counters.
     Stats,
@@ -85,12 +96,28 @@ pub struct JobInfo {
     /// Execution-attempt history: local timeout retries, fleet failovers,
     /// straggler duplicates. Empty for first-try successes.
     pub attempts: Vec<Attempt>,
+    /// Worker that produced the result (the completing attempt's label);
+    /// `None` before completion or for local/cached execution.
+    pub worker: Option<String>,
+    /// Predictive-placement modeled runtime in milliseconds, when that
+    /// policy dispatched the job.
+    pub predicted_ms: Option<f64>,
+    /// Measured mean kernel time in milliseconds (terminal `done` only) —
+    /// the actual next to `predicted_ms`.
+    pub actual_ms: Option<f64>,
 }
 
 impl JobInfo {
     /// Summarize a record at its current state.
     pub fn of(rec: &JobRecord) -> Self {
         let snap = rec.snapshot();
+        let attempts = rec.attempts();
+        let worker = attempts
+            .iter()
+            .rev()
+            .find(|a| a.outcome == AttemptOutcome::Completed)
+            .map(|a| a.worker.clone());
+        let actual_ms = snap.result.as_ref().and_then(|r| r.mean_kernel_ms());
         Self {
             job: rec.id,
             key: rec.key.clone(),
@@ -100,7 +127,10 @@ impl JobInfo {
             state: snap.phase.to_string(),
             cached: snap.cached,
             error: snap.error,
-            attempts: rec.attempts(),
+            attempts,
+            worker,
+            predicted_ms: rec.predicted_ms(),
+            actual_ms,
         }
     }
 }
@@ -170,6 +200,11 @@ pub enum Response {
         queued: u64,
         /// Worker threads.
         workers: u64,
+    },
+    /// The ranked per-device predictions for a `Predict` request.
+    Predictions {
+        /// One entry per catalog device, ascending modeled runtime.
+        set: PredictionSet,
     },
     /// The Prometheus exposition text for `Metrics`.
     Metrics {
@@ -258,6 +293,7 @@ mod tests {
             },
             Request::Status { job: Some(3) },
             Request::Status { job: None },
+            Request::Predict { spec: spec() },
             Request::Figure { id: "fig2a".into() },
             Request::Stats,
             Request::Metrics,
@@ -299,6 +335,22 @@ mod tests {
             },
             Response::Metrics {
                 text: "# TYPE eod_queue_depth gauge\neod_queue_depth 0\n".into(),
+            },
+            Response::Predictions {
+                set: eod_core::predict::PredictionSet {
+                    spec_key: "abc".into(),
+                    benchmark: "fft".into(),
+                    size: "small".into(),
+                    predictions: vec![eod_core::predict::Prediction {
+                        device: "GTX 1080".into(),
+                        class: "Consumer GPU".into(),
+                        modeled_runtime_us: 120.5,
+                        modeled_energy_j: 0.02,
+                        edp_j_s: 2.4e-6,
+                        confidence: 0.9,
+                        cache_profile_provenance: eod_core::predict::ProfileProvenance::Memoized,
+                    }],
+                },
             },
             Response::Bye,
         ] {

@@ -167,6 +167,21 @@ fn handle_connection(
                     },
                 )?,
             },
+            Request::Predict { spec } => match service.predict(&spec) {
+                Ok(set) => send(
+                    &mut out,
+                    &Response::Predictions {
+                        set: (*set).clone(),
+                    },
+                )?,
+                Err(e) => send(
+                    &mut out,
+                    &Response::Error {
+                        code: codes::PREDICT_FAILED.to_string(),
+                        message: e.to_string(),
+                    },
+                )?,
+            },
             Request::Stats => {
                 let cache = service.cache_stats();
                 send(

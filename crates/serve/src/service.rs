@@ -21,13 +21,51 @@ use crate::jobs::{JobBoard, JobId, JobRecord};
 use crate::metrics::ServiceMetrics;
 use crate::queue::{AdmissionError, JobQueue};
 use eod_core::fleet::{Attempt, AttemptOutcome};
+use eod_core::predict::PredictionSet;
 use eod_core::spec::{JobSpec, Priority};
-use eod_fleet::{CompletionSink, Coordinator, FleetConfig, FleetOutcome};
+use eod_fleet::{
+    CompletionSink, Coordinator, FleetConfig, FleetOutcome, Greedy, PlacementPolicy, Predictive,
+    RoundRobin,
+};
 use eod_harness::figures::{self, Figure};
 use eod_harness::{GroupResult, RunnerConfig, RunnerError};
+use eod_predict::{PredictError, Predictor};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Which placement policy a fleet-mode service runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Rotate through eligible workers.
+    RoundRobin,
+    /// Most free slots first — the historical default.
+    #[default]
+    Greedy,
+    /// Model-guided placement via the prediction service.
+    Predictive,
+}
+
+impl Placement {
+    /// Parse a `--placement` argument.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "round-robin" | "roundrobin" | "rr" => Some(Placement::RoundRobin),
+            "greedy" => Some(Placement::Greedy),
+            "predictive" => Some(Placement::Predictive),
+            _ => None,
+        }
+    }
+
+    /// The canonical policy name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Placement::RoundRobin => "round-robin",
+            Placement::Greedy => "greedy",
+            Placement::Predictive => "predictive",
+        }
+    }
+}
 
 /// Service sizing and execution defaults.
 #[derive(Debug, Clone)]
@@ -78,6 +116,13 @@ pub struct Service {
     workers: Mutex<Vec<JoinHandle<()>>>,
     /// Fleet-mode coordinator; `None` when a local pool executes jobs.
     fleet: Mutex<Option<Arc<Coordinator>>>,
+    /// The prediction service. Always present — `Predict` requests work
+    /// in every mode — and shared with the predictive placement policy
+    /// when that mode is active.
+    predictor: Arc<Predictor>,
+    /// Whether the fleet runs under predictive placement (enables the
+    /// predicted-vs-actual feedback gauge).
+    predictive: bool,
 }
 
 impl Service {
@@ -91,6 +136,8 @@ impl Service {
             metrics: ServiceMetrics::new(),
             workers: Mutex::new(Vec::new()),
             fleet: Mutex::new(None),
+            predictor: Arc::new(Predictor::new()),
+            predictive: false,
             config,
         });
         let mut handles = svc.workers.lock().unwrap();
@@ -113,6 +160,23 @@ impl Service {
     /// [`Coordinator::attach`]). The caller owns the coordinator's
     /// listener; [`Service::shutdown`] drains the coordinator too.
     pub fn start_fleet(config: ServeConfig, fleet: FleetConfig) -> (Arc<Self>, Arc<Coordinator>) {
+        Self::start_fleet_placed(config, fleet, Placement::Greedy)
+    }
+
+    /// Fleet mode with an explicit placement policy. [`Placement::Predictive`]
+    /// shares the service's predictor with the policy and enables the
+    /// predicted-vs-actual feedback gauge.
+    pub fn start_fleet_placed(
+        config: ServeConfig,
+        fleet: FleetConfig,
+        placement: Placement,
+    ) -> (Arc<Self>, Arc<Coordinator>) {
+        let predictor = Arc::new(Predictor::new());
+        let policy: Arc<dyn PlacementPolicy> = match placement {
+            Placement::RoundRobin => Arc::new(RoundRobin::new()),
+            Placement::Greedy => Arc::new(Greedy::new()),
+            Placement::Predictive => Arc::new(Predictive::new(Arc::clone(&predictor))),
+        };
         let svc = Arc::new(Self {
             queue: JobQueue::new(config.queue_capacity),
             cache: ResultCache::new(config.cache_capacity),
@@ -120,6 +184,8 @@ impl Service {
             metrics: ServiceMetrics::new(),
             workers: Mutex::new(Vec::new()),
             fleet: Mutex::new(None),
+            predictor,
+            predictive: placement == Placement::Predictive,
             config,
         });
         let sink: CompletionSink = {
@@ -130,7 +196,7 @@ impl Service {
                 }
             })
         };
-        let coord = Coordinator::start(fleet, sink);
+        let coord = Coordinator::start_with_policy(fleet, sink, policy);
         *svc.fleet.lock().unwrap() = Some(Arc::clone(&coord));
         let dispatcher = {
             let svc = Arc::clone(&svc);
@@ -286,6 +352,13 @@ impl Service {
             // "Running" here means "in the fleet's hands" — grants,
             // retries, and failovers are the coordinator's business.
             rec.set_running();
+            if self.predictive {
+                // The policy already predicted this spec at submit time,
+                // so this is a prediction-cache hit.
+                if let Some(run_s) = self.predictor.runtime_s(&rec.spec) {
+                    rec.set_predicted_ms(run_s * 1e3);
+                }
+            }
             coord.submit(rec.id, rec.spec.clone());
         }
     }
@@ -303,6 +376,17 @@ impl Service {
             FleetOutcome::Done { group } => match serde_json::from_str::<GroupResult>(&group) {
                 Ok(result) => {
                     let result = Arc::new(result);
+                    // Feed the prediction-error gauge from the measured
+                    // runtime when predictive placement dispatched this.
+                    if let (Some(predicted_ms), Some(actual_ms)) =
+                        (rec.predicted_ms(), result.mean_kernel_ms())
+                    {
+                        if actual_ms > 0.0 {
+                            self.metrics.on_prediction_feedback(
+                                (predicted_ms - actual_ms).abs() / actual_ms,
+                            );
+                        }
+                    }
                     self.cache
                         .insert(rec.key.clone(), group.clone(), Arc::clone(&result));
                     rec.set_done(group, result, false);
@@ -313,6 +397,12 @@ impl Service {
         }
         self.metrics
             .on_terminal(rec.phase(), rec.age().as_secs_f64());
+    }
+
+    /// Predict the spec's runtime and energy on every catalog device
+    /// without executing anything — the `Predict` protocol request.
+    pub fn predict(&self, spec: &JobSpec) -> Result<Arc<PredictionSet>, PredictError> {
+        self.predictor.predict(spec)
     }
 
     /// Look up a job by id.
@@ -351,9 +441,10 @@ impl Service {
 
     /// The full metric surface in Prometheus text exposition format —
     /// answers both the protocol's `Metrics` request and `GET /metrics`.
-    /// In fleet mode the coordinator's registry (per-worker utilization
-    /// and heartbeat-age gauges, retry/failover/straggler counters) is
-    /// appended to the service's own.
+    /// The predictor's `eod_predict_*` series is always appended; in
+    /// fleet mode the coordinator's registry (per-worker utilization and
+    /// heartbeat-age gauges, retry/failover/straggler counters, and the
+    /// per-policy `eod_fleet_placements_total` counter) is appended too.
     pub fn metrics_text(&self) -> String {
         let mut text = self.metrics.render(
             self.queue.depths(),
@@ -361,6 +452,7 @@ impl Service {
             &self.cache.stats(),
             self.worker_count(),
         );
+        text.push_str(&self.predictor.metrics_text());
         let coord = self.fleet.lock().unwrap().clone();
         if let Some(coord) = coord {
             text.push_str(&coord.metrics_text());
