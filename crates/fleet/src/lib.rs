@@ -32,12 +32,14 @@
 pub mod coordinator;
 pub mod messages;
 pub mod metrics;
+pub mod net_wire;
 pub mod placement;
 pub mod wire;
 pub mod worker;
 
 pub use coordinator::{CompletionSink, Coordinator, FleetConfig, FleetOutcome};
 pub use messages::{CoordMsg, WorkerMsg};
+pub use net_wire::{NetFleetListener, ReactorWire};
 pub use placement::{Candidate, Greedy, PlacementPolicy, Predictive, RoundRobin};
 pub use wire::{FleetListener, LocalWire, TcpWire, Wire, WireError};
 pub use worker::{ExecFailure, Executor, Worker, WorkerExit, WorkerKill};

@@ -1,0 +1,228 @@
+//! Reactor-backed fleet transport: the coordinator's accept loop and all
+//! worker-connection reads multiplex on one `eod-net` event loop instead
+//! of a blocking socket per worker.
+//!
+//! The adapter is [`ReactorWire`]: the reactor handler feeds inbound
+//! lines into a per-connection channel, and [`Wire::recv_line`] becomes
+//! a channel receive — so the coordinator's per-wire reader threads
+//! block on in-process queues while a single thread owns every socket.
+//! Outbound lines go through the reactor's [`Outbox`], inheriting its
+//! write watermarks and slow-consumer protection.
+
+#![cfg(target_os = "linux")]
+
+use crate::wire::{Wire, WireError};
+use eod_net::{ConnId, Handler, NetConfig, NetMetrics, Outbox, Reactor};
+use std::collections::HashMap;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One fleet connection as seen by the coordinator: sends go to the
+/// reactor's outbox, receives drain the handler-fed line channel.
+pub struct ReactorWire {
+    conn: ConnId,
+    outbox: Outbox,
+    rx: Mutex<Receiver<String>>,
+}
+
+impl Wire for ReactorWire {
+    fn send_line(&self, line: &str) -> Result<(), WireError> {
+        if self.outbox.send(self.conn, line) {
+            Ok(())
+        } else {
+            Err(WireError::Closed)
+        }
+    }
+
+    fn recv_line(&self, timeout: Duration) -> Result<Option<String>, WireError> {
+        let rx = self.rx.lock().unwrap();
+        match rx.recv_timeout(timeout) {
+            Ok(line) => Ok(Some(line)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(WireError::Closed),
+        }
+    }
+
+    fn close(&self) {
+        self.outbox.close(self.conn);
+    }
+}
+
+/// Reactor handler bridging connections to [`ReactorWire`]s.
+struct Bridge {
+    on_connect: Box<dyn Fn(Arc<dyn Wire>) + Send>,
+    senders: HashMap<ConnId, Sender<String>>,
+}
+
+impl Handler for Bridge {
+    fn on_open(&mut self, conn: ConnId, _peer: std::net::SocketAddr, outbox: &Outbox) {
+        let (tx, rx) = mpsc::channel();
+        self.senders.insert(conn, tx);
+        (self.on_connect)(Arc::new(ReactorWire {
+            conn,
+            outbox: outbox.clone(),
+            rx: Mutex::new(rx),
+        }));
+    }
+
+    fn on_line(&mut self, conn: ConnId, line: &str, _outbox: &Outbox) {
+        if let Some(tx) = self.senders.get(&conn) {
+            // A send error means the wire was dropped; the reactor-side
+            // close arrives via on_close.
+            let _ = tx.send(line.to_string());
+        }
+    }
+
+    fn on_close(&mut self, conn: ConnId) {
+        // Dropping the sender disconnects the wire's receiver: after the
+        // queued lines drain, recv_line reports Closed — the same drain
+        // semantics LocalWire gives.
+        self.senders.remove(&conn);
+    }
+}
+
+/// Drop-in replacement for [`crate::FleetListener`] running on the
+/// reactor: same `start(addr, on_connect)` shape, one event loop for
+/// every worker connection.
+pub struct NetFleetListener {
+    addr: std::net::SocketAddr,
+    outbox: Outbox,
+    metrics: Arc<NetMetrics>,
+    handle: Mutex<Option<JoinHandle<std::io::Result<()>>>>,
+}
+
+impl NetFleetListener {
+    /// Bind `addr` and start the event loop; `on_connect` runs on the
+    /// loop thread for every inbound connection.
+    pub fn start(
+        addr: &str,
+        on_connect: impl Fn(Arc<dyn Wire>) + Send + 'static,
+    ) -> std::io::Result<Arc<NetFleetListener>> {
+        let metrics = Arc::new(NetMetrics::new());
+        let reactor = Reactor::bind(addr, NetConfig::default(), Arc::clone(&metrics))?;
+        let addr = reactor.local_addr()?;
+        let outbox = reactor.outbox();
+        let handle = reactor.spawn(Bridge {
+            on_connect: Box::new(on_connect),
+            senders: HashMap::new(),
+        });
+        Ok(Arc::new(NetFleetListener {
+            addr,
+            outbox,
+            metrics,
+            handle: Mutex::new(Some(handle)),
+        }))
+    }
+
+    /// The bound address (useful when started on port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The event loop's metric surface (connection gauges, byte/line
+    /// counters), for merging into a metrics scrape.
+    pub fn metrics(&self) -> Arc<NetMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Drain and stop the event loop. Pending outbound lines flush
+    /// within the reactor's drain deadline; wires report Closed after
+    /// their queued inbound lines drain.
+    pub fn stop(&self) {
+        self.outbox.shutdown();
+        if let Some(h) = self.handle.lock().unwrap().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::TcpWire;
+
+    #[test]
+    fn reactor_listener_hands_wires_to_callback_and_round_trips() {
+        let (tx, rx) = mpsc::channel::<Arc<dyn Wire>>();
+        let listener = NetFleetListener::start("127.0.0.1:0", move |wire| {
+            let _ = tx.send(wire);
+        })
+        .unwrap();
+        let addr = listener.local_addr().to_string();
+
+        let client = TcpWire::connect(&addr, Duration::from_secs(2)).unwrap();
+        let server_side = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        client.send_line("{\"hello\":1}").unwrap();
+        assert_eq!(
+            server_side
+                .recv_line(Duration::from_secs(2))
+                .unwrap()
+                .unwrap()
+                .trim(),
+            "{\"hello\":1}"
+        );
+        server_side.send_line("{\"ack\":2}").unwrap();
+        assert_eq!(
+            client
+                .recv_line(Duration::from_secs(2))
+                .unwrap()
+                .unwrap()
+                .trim(),
+            "{\"ack\":2}"
+        );
+        // Server-side close tears the TCP connection down for the peer.
+        server_side.close();
+        let mut saw_closed = false;
+        for _ in 0..100 {
+            match client.recv_line(Duration::from_millis(50)) {
+                Err(WireError::Closed) => {
+                    saw_closed = true;
+                    break;
+                }
+                Ok(None) => continue,
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        assert!(saw_closed, "peer never observed the close");
+        listener.stop();
+    }
+
+    #[test]
+    fn peer_disconnect_surfaces_closed_after_draining_lines() {
+        let (tx, rx) = mpsc::channel::<Arc<dyn Wire>>();
+        let listener = NetFleetListener::start("127.0.0.1:0", move |wire| {
+            let _ = tx.send(wire);
+        })
+        .unwrap();
+        let addr = listener.local_addr().to_string();
+
+        let client = TcpWire::connect(&addr, Duration::from_secs(2)).unwrap();
+        let server_side = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        client.send_line("{\"final\":true}").unwrap();
+        client.close();
+        // The queued line arrives first; only then does Closed surface.
+        assert_eq!(
+            server_side
+                .recv_line(Duration::from_secs(2))
+                .unwrap()
+                .unwrap()
+                .trim(),
+            "{\"final\":true}"
+        );
+        let mut saw_closed = false;
+        for _ in 0..100 {
+            match server_side.recv_line(Duration::from_millis(50)) {
+                Err(WireError::Closed) => {
+                    saw_closed = true;
+                    break;
+                }
+                Ok(None) => continue,
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        assert!(saw_closed);
+        listener.stop();
+    }
+}

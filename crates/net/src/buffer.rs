@@ -1,0 +1,215 @@
+//! Per-connection byte buffers with newline-delimited framing.
+//!
+//! [`LineReader`] accumulates whatever the socket yields and hands back
+//! complete lines; a line longer than the configured bound is a framing
+//! violation (the connection should be closed rather than buffer without
+//! limit). [`WriteQueue`] holds bytes the socket was not ready to take,
+//! compacting lazily so steady-state flushes never reallocate.
+
+/// Outcome of feeding bytes into a [`LineReader`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum LineError {
+    /// A single line exceeded the configured bound — the peer is either
+    /// broken or hostile, and the connection should be dropped.
+    TooLong {
+        /// The configured bound that was exceeded.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for LineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LineError::TooLong { limit } => write!(f, "line exceeds {limit} bytes"),
+        }
+    }
+}
+
+/// Accumulates raw reads and yields complete `\n`-terminated lines.
+pub struct LineReader {
+    buf: Vec<u8>,
+    /// Bytes before this offset have been consumed as lines.
+    start: usize,
+    max_line: usize,
+}
+
+impl LineReader {
+    /// A reader refusing lines longer than `max_line` bytes.
+    pub fn new(max_line: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            start: 0,
+            max_line,
+        }
+    }
+
+    /// Append freshly-read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: reclaim consumed space instead of
+        // letting the buffer creep rightward forever.
+        if self.start > 0 && self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > 4096 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Take the next complete line (without its `\n`, `\r\n` tolerated),
+    /// decoded lossily — invalid UTF-8 becomes replacement characters so
+    /// the protocol layer can answer with a typed parse error instead of
+    /// the transport tearing the connection down.
+    pub fn next_line(&mut self) -> Result<Option<String>, LineError> {
+        match self.buf[self.start..].iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                let end = self.start + pos;
+                let mut slice = &self.buf[self.start..end];
+                if slice.last() == Some(&b'\r') {
+                    slice = &slice[..slice.len() - 1];
+                }
+                let line = String::from_utf8_lossy(slice).into_owned();
+                self.start = end + 1;
+                Ok(Some(line))
+            }
+            None => {
+                if self.buf.len() - self.start > self.max_line {
+                    return Err(LineError::TooLong {
+                        limit: self.max_line,
+                    });
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Bytes buffered but not yet consumed as lines.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+}
+
+/// Bytes queued for a socket that was not ready to take them.
+pub struct WriteQueue {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl WriteQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self {
+            buf: Vec::new(),
+            start: 0,
+        }
+    }
+
+    /// Queue a protocol line; the trailing `\n` is appended here so
+    /// callers never forget the frame delimiter.
+    pub fn push_line(&mut self, line: &str) {
+        if self.start > 0 && self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        self.buf.reserve(line.len() + 1);
+        self.buf.extend_from_slice(line.as_bytes());
+        self.buf.push(b'\n');
+    }
+
+    /// The unsent bytes, for the flush loop.
+    pub fn unsent(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    /// Record that the socket accepted `n` bytes from the front.
+    pub fn consume(&mut self, n: usize) {
+        self.start += n;
+        debug_assert!(self.start <= self.buf.len());
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > 64 * 1024 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Bytes still awaiting the socket.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether everything queued has been flushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for WriteQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_split_across_reads_reassemble() {
+        let mut r = LineReader::new(1024);
+        r.extend(b"{\"a\":");
+        assert_eq!(r.next_line().unwrap(), None);
+        r.extend(b"1}\n{\"b\":2}\n{\"c\"");
+        assert_eq!(r.next_line().unwrap().as_deref(), Some("{\"a\":1}"));
+        assert_eq!(r.next_line().unwrap().as_deref(), Some("{\"b\":2}"));
+        assert_eq!(r.next_line().unwrap(), None);
+        assert_eq!(r.pending(), 4);
+        r.extend(b":3}\r\n");
+        assert_eq!(r.next_line().unwrap().as_deref(), Some("{\"c\":3}"));
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn oversized_line_is_a_framing_error() {
+        let mut r = LineReader::new(8);
+        r.extend(b"0123456789abcdef");
+        assert_eq!(r.next_line(), Err(LineError::TooLong { limit: 8 }));
+    }
+
+    #[test]
+    fn invalid_utf8_is_lossy_not_fatal() {
+        let mut r = LineReader::new(64);
+        r.extend(b"\xff\xfe{bad}\n{\"ok\":1}\n");
+        let bad = r.next_line().unwrap().unwrap();
+        assert!(bad.contains('\u{fffd}'));
+        assert_eq!(r.next_line().unwrap().as_deref(), Some("{\"ok\":1}"));
+    }
+
+    #[test]
+    fn write_queue_tracks_partial_flushes() {
+        let mut w = WriteQueue::new();
+        assert!(w.is_empty());
+        w.push_line("abc");
+        w.push_line("de");
+        assert_eq!(w.unsent(), b"abc\nde\n");
+        w.consume(5);
+        assert_eq!(w.unsent(), b"e\n");
+        w.push_line("f");
+        assert_eq!(w.unsent(), b"e\nf\n");
+        w.consume(4);
+        assert!(w.is_empty());
+        assert_eq!(w.unsent(), b"");
+    }
+
+    #[test]
+    fn reader_compacts_after_heavy_consumption() {
+        let mut r = LineReader::new(128);
+        for i in 0..1000 {
+            r.extend(format!("line-{i}\n").as_bytes());
+            assert_eq!(r.next_line().unwrap().unwrap(), format!("line-{i}"));
+        }
+        assert_eq!(r.pending(), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! `eod-net` — a readiness-driven async I/O layer for the serving stack.
+//!
+//! The blocking `eod-serve` front-end spends one OS thread per
+//! connection, which caps concurrency around thread limits and makes
+//! streaming push impossible at scale. This crate provides the minimal
+//! event-driven alternative — no external dependencies, consistent with
+//! the workspace's vendored-only policy:
+//!
+//! * [`sys`] — direct `extern "C"` bindings to the handful of Linux
+//!   syscalls the loop needs (`epoll`, `eventfd`, `setrlimit`), wrapped
+//!   in safe types so the rest of the crate never touches a raw fd;
+//! * [`buffer`] — per-connection read/write buffers with bounded
+//!   newline-delimited framing ([`LineReader`], [`WriteQueue`]);
+//! * [`reactor`] — the level-triggered epoll event loop ([`Reactor`]),
+//!   the protocol plug-in point ([`Handler`]), and the cross-thread
+//!   write handle ([`Outbox`]) that lets worker pools push responses and
+//!   job-progress frames to any connection without owning a socket;
+//! * [`metrics`] — connection gauges, accept/close/backpressure
+//!   counters, and a pipeline-depth histogram ([`NetMetrics`]) rendered
+//!   through `eod-telemetry`.
+//!
+//! One reactor thread multiplexes every connection: requests pipeline
+//! (many in flight per connection), per-connection write watermarks pause
+//! reads when a peer stops consuming (TCP flow control then pushes back),
+//! and a global connection cap refuses accepts beyond the configured
+//! bound. `eod serve --transport reactor`, the fleet coordinator
+//! listener, and the `eod bench-serve` load generator all run on this
+//! loop.
+
+pub mod buffer;
+pub mod metrics;
+pub mod reactor;
+pub mod sys;
+
+pub use buffer::{LineError, LineReader, WriteQueue};
+pub use metrics::NetMetrics;
+pub use reactor::{ConnId, Handler, NetConfig, Outbox, Reactor};
+pub use sys::raise_nofile_limit;

@@ -1,0 +1,142 @@
+//! The reactor's metric surface.
+//!
+//! One [`NetMetrics`] instance owns its own [`eod_telemetry::Registry`];
+//! the embedding service appends [`NetMetrics::render`] to its own
+//! exposition so `GET /metrics` and the protocol's `Metrics` request show
+//! the connection plane next to the job plane.
+
+use eod_telemetry::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
+
+/// Pipeline-depth buckets: how many complete requests one readable burst
+/// carried (1 = strict request/response, >1 = the client pipelined).
+const PIPELINE_BUCKETS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// Typed handles into the reactor's metric registry.
+pub struct NetMetrics {
+    registry: Registry,
+    /// Connections currently open.
+    pub connections: Arc<Gauge>,
+    /// Connections accepted since startup.
+    pub accepts: Arc<Counter>,
+    /// Connections refused because the global connection cap was reached.
+    pub accepts_rejected: Arc<Counter>,
+    /// Connections closed since startup (all causes).
+    pub closes: Arc<Counter>,
+    /// Protocol lines received.
+    pub lines_in: Arc<Counter>,
+    /// Protocol lines sent.
+    pub lines_out: Arc<Counter>,
+    /// Bytes received.
+    pub bytes_in: Arc<Counter>,
+    /// Bytes sent.
+    pub bytes_out: Arc<Counter>,
+    /// Reads paused because a connection's write queue crossed its high
+    /// watermark (per-connection backpressure engaging).
+    pub backpressure_pauses: Arc<Counter>,
+    /// Connections dropped because the peer stopped reading while pushes
+    /// kept accumulating past the hard write bound.
+    pub slow_consumer_drops: Arc<Counter>,
+    /// Connections dropped for framing violations (oversized line).
+    pub framing_errors: Arc<Counter>,
+    /// Complete requests observed per readable burst — the pipelining
+    /// depth clients actually use.
+    pub pipeline_depth: Arc<Histogram>,
+}
+
+impl NetMetrics {
+    /// Register every instrument the reactor exposes.
+    pub fn new() -> Self {
+        let r = Registry::new();
+        let connections = r.gauge("eod_net_connections", "Connections currently open.");
+        let accepts = r.counter("eod_net_accepts_total", "Connections accepted.");
+        let accepts_rejected = r.counter(
+            "eod_net_accepts_rejected_total",
+            "Connections refused at the global connection cap.",
+        );
+        let closes = r.counter("eod_net_closes_total", "Connections closed (all causes).");
+        let lines_in = r.counter("eod_net_lines_in_total", "Protocol lines received.");
+        let lines_out = r.counter("eod_net_lines_out_total", "Protocol lines sent.");
+        let bytes_in = r.counter("eod_net_bytes_in_total", "Bytes received.");
+        let bytes_out = r.counter("eod_net_bytes_out_total", "Bytes sent.");
+        let backpressure_pauses = r.counter(
+            "eod_net_backpressure_pauses_total",
+            "Reads paused at the per-connection write high watermark.",
+        );
+        let slow_consumer_drops = r.counter(
+            "eod_net_slow_consumer_drops_total",
+            "Connections dropped after the hard per-connection write bound.",
+        );
+        let framing_errors = r.counter(
+            "eod_net_framing_errors_total",
+            "Connections dropped for oversized (unframed) lines.",
+        );
+        let pipeline_depth = r.histogram(
+            "eod_net_pipeline_depth",
+            "Complete requests decoded per readable burst.",
+            &PIPELINE_BUCKETS,
+        );
+        Self {
+            registry: r,
+            connections,
+            accepts,
+            accepts_rejected,
+            closes,
+            lines_in,
+            lines_out,
+            bytes_in,
+            bytes_out,
+            backpressure_pauses,
+            slow_consumer_drops,
+            framing_errors,
+            pipeline_depth,
+        }
+    }
+
+    /// The reactor registry in Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        self.registry.render()
+    }
+}
+
+impl Default for NetMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_series_lands_in_the_exposition_with_help_and_type() {
+        let m = NetMetrics::new();
+        m.connections.set(3.0);
+        m.accepts.inc();
+        m.closes.inc();
+        m.lines_in.add(5.0);
+        m.lines_out.add(7.0);
+        m.pipeline_depth.observe(4.0);
+        let text = m.render();
+        for name in [
+            "eod_net_connections",
+            "eod_net_accepts_total",
+            "eod_net_accepts_rejected_total",
+            "eod_net_closes_total",
+            "eod_net_lines_in_total",
+            "eod_net_lines_out_total",
+            "eod_net_bytes_in_total",
+            "eod_net_bytes_out_total",
+            "eod_net_backpressure_pauses_total",
+            "eod_net_slow_consumer_drops_total",
+            "eod_net_framing_errors_total",
+            "eod_net_pipeline_depth",
+        ] {
+            assert!(text.contains(&format!("# HELP {name} ")), "missing {name}");
+            assert!(text.contains(&format!("# TYPE {name} ")), "missing {name}");
+        }
+        assert!(text.contains("eod_net_connections 3\n"));
+        assert!(text.contains("eod_net_pipeline_depth_bucket{le=\"4\"} 1\n"));
+    }
+}

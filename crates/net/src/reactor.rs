@@ -1,0 +1,587 @@
+//! The event loop: a single-threaded, level-triggered epoll reactor.
+//!
+//! One [`Reactor`] owns a listening socket, an [`crate::sys::Epoll`]
+//! instance, and every accepted connection. Connections are identified by
+//! a monotonically increasing [`ConnId`] (never reused within a run, so a
+//! stale id held by a worker thread can never address the wrong peer).
+//! Protocol logic lives behind the [`Handler`] trait; the reactor calls it
+//! with complete decoded lines and never exposes sockets or buffers.
+//!
+//! Writes go through the [`Outbox`], the only handle other threads hold:
+//! `send` enqueues a command and wakes the loop via eventfd, and the loop
+//! applies commands between readiness batches. This keeps all socket I/O
+//! on the reactor thread — no locks around buffers, no partial-write
+//! coordination.
+//!
+//! Backpressure is layered:
+//!
+//! * **per-connection** — when a peer stops reading and its write queue
+//!   crosses the high watermark, the reactor drops `EPOLLIN` interest for
+//!   that connection (stops reading → TCP flow control pushes back on the
+//!   peer) and resumes below the low watermark; a queue that still grows
+//!   past the hard cap identifies a dead-but-not-closed consumer and the
+//!   connection is dropped;
+//! * **global** — accepts beyond `max_connections` are refused
+//!   immediately rather than queued.
+//!
+//! Shutdown (`Outbox::shutdown`) stops accepting, lets every connection
+//! flush its pending responses, and force-closes whatever remains at the
+//! drain deadline.
+
+use crate::buffer::{LineError, LineReader, WriteQueue};
+use crate::metrics::NetMetrics;
+use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use std::collections::{HashMap, HashSet};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Identifies one accepted connection for the lifetime of a reactor run.
+pub type ConnId = u64;
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const FIRST_CONN: u64 = 2;
+
+/// How often the loop wakes to check the drain deadline while shutting
+/// down, in milliseconds.
+const DRAIN_TICK_MS: i32 = 20;
+
+/// Reactor tuning knobs.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Global connection cap; accepts beyond it are refused immediately.
+    pub max_connections: usize,
+    /// Framing bound: a single line longer than this closes the
+    /// connection.
+    pub max_line_bytes: usize,
+    /// Write-queue size at which reads from that connection pause.
+    pub write_high_watermark: usize,
+    /// Write-queue size at which paused reads resume.
+    pub write_low_watermark: usize,
+    /// Write-queue size at which a slow consumer is disconnected.
+    pub write_hard_cap: usize,
+    /// How long shutdown waits for connections to flush before
+    /// force-closing them.
+    pub drain_deadline: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 16_384,
+            max_line_bytes: 4 * 1024 * 1024,
+            write_high_watermark: 256 * 1024,
+            write_low_watermark: 64 * 1024,
+            write_hard_cap: 8 * 1024 * 1024,
+            drain_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Protocol logic plugged into the reactor. All callbacks run on the
+/// reactor thread; they must not block. Long work belongs on other
+/// threads, which reply later through the [`Outbox`].
+pub trait Handler: Send {
+    /// A connection was accepted.
+    fn on_open(&mut self, _conn: ConnId, _peer: SocketAddr, _outbox: &Outbox) {}
+
+    /// A complete line arrived on `conn`.
+    fn on_line(&mut self, conn: ConnId, line: &str, outbox: &Outbox);
+
+    /// `conn` is gone (peer closed, error, shed, or shutdown). The id is
+    /// dead: subsequent `Outbox::send`s to it return `false`.
+    fn on_close(&mut self, _conn: ConnId) {}
+}
+
+enum Cmd {
+    /// Queue a line on a connection (newline appended by the reactor).
+    Send(ConnId, String),
+    /// Flush whatever is queued on a connection, then close it.
+    Close(ConnId),
+    /// Stop accepting, drain all connections, exit the loop.
+    Shutdown,
+}
+
+struct OutboxInner {
+    cmds: Mutex<Vec<Cmd>>,
+    alive: Mutex<HashSet<ConnId>>,
+    waker: EventFd,
+}
+
+/// The write-side handle to a running reactor. Cloneable and shareable
+/// across threads; every operation enqueues a command and wakes the loop.
+#[derive(Clone)]
+pub struct Outbox {
+    inner: Arc<OutboxInner>,
+}
+
+impl Outbox {
+    fn new(waker: EventFd) -> Self {
+        Self {
+            inner: Arc::new(OutboxInner {
+                cmds: Mutex::new(Vec::new()),
+                alive: Mutex::new(HashSet::new()),
+                waker,
+            }),
+        }
+    }
+
+    /// Queue `line` for `conn`. Returns `false` if the connection is
+    /// already gone — the caller's response has no recipient and should
+    /// be dropped, not retried.
+    pub fn send(&self, conn: ConnId, line: &str) -> bool {
+        if !self.inner.alive.lock().unwrap().contains(&conn) {
+            return false;
+        }
+        self.push(Cmd::Send(conn, line.to_owned()));
+        true
+    }
+
+    /// Flush then close `conn`. Further sends to it are refused.
+    pub fn close(&self, conn: ConnId) {
+        // Deregister eagerly so responses racing the close are dropped at
+        // the source instead of queueing behind a dying connection.
+        self.inner.alive.lock().unwrap().remove(&conn);
+        self.push(Cmd::Close(conn));
+    }
+
+    /// Whether `conn` is still open (best-effort: it may close between
+    /// this check and a subsequent `send`).
+    pub fn is_alive(&self, conn: ConnId) -> bool {
+        self.inner.alive.lock().unwrap().contains(&conn)
+    }
+
+    /// Connections currently open.
+    pub fn connection_count(&self) -> usize {
+        self.inner.alive.lock().unwrap().len()
+    }
+
+    /// Begin graceful shutdown: stop accepting, flush pending responses
+    /// everywhere, then exit the loop (bounded by
+    /// [`NetConfig::drain_deadline`]).
+    pub fn shutdown(&self) {
+        self.push(Cmd::Shutdown);
+    }
+
+    fn push(&self, cmd: Cmd) {
+        self.inner.cmds.lock().unwrap().push(cmd);
+        self.inner.waker.wake();
+    }
+
+    fn take(&self) -> Vec<Cmd> {
+        std::mem::take(&mut *self.inner.cmds.lock().unwrap())
+    }
+
+    fn register(&self, conn: ConnId) {
+        self.inner.alive.lock().unwrap().insert(conn);
+    }
+
+    fn deregister(&self, conn: ConnId) {
+        self.inner.alive.lock().unwrap().remove(&conn);
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    reader: LineReader,
+    write: WriteQueue,
+    /// Interest bits currently registered with epoll.
+    interest: u32,
+    /// Reads paused by the write high watermark.
+    read_paused: bool,
+    /// Flush-then-close requested; no further reads are dispatched.
+    closing: bool,
+}
+
+/// A bound listener plus the epoll machinery, ready to [`Reactor::run`].
+pub struct Reactor {
+    listener: TcpListener,
+    epoll: Epoll,
+    outbox: Outbox,
+    config: NetConfig,
+    metrics: Arc<NetMetrics>,
+}
+
+impl Reactor {
+    /// Bind `addr` and prepare the event loop.
+    pub fn bind(addr: &str, config: NetConfig, metrics: Arc<NetMetrics>) -> io::Result<Reactor> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let epoll = Epoll::new()?;
+        let outbox = Outbox::new(EventFd::new()?);
+        Ok(Reactor {
+            listener,
+            epoll,
+            outbox,
+            config,
+            metrics,
+        })
+    }
+
+    /// The address actually bound (resolves `:0` ports).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A write-side handle usable from any thread, including before the
+    /// loop starts.
+    pub fn outbox(&self) -> Outbox {
+        self.outbox.clone()
+    }
+
+    /// Run the event loop on a new thread.
+    pub fn spawn(self, handler: impl Handler + 'static) -> std::thread::JoinHandle<io::Result<()>> {
+        std::thread::Builder::new()
+            .name("eod-net-reactor".into())
+            .spawn(move || self.run(handler))
+            .expect("spawn reactor thread")
+    }
+
+    /// Run the event loop on the current thread until shutdown completes.
+    pub fn run(self, mut handler: impl Handler) -> io::Result<()> {
+        let Reactor {
+            listener,
+            epoll,
+            outbox,
+            config,
+            metrics,
+        } = self;
+        epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+        epoll.add(outbox.inner.waker.fd(), EPOLLIN, TOKEN_WAKER)?;
+        let mut el = EventLoop {
+            epoll,
+            conns: HashMap::new(),
+            config,
+            metrics,
+            outbox,
+            draining: None,
+        };
+        let handler: &mut dyn Handler = &mut handler;
+        let mut next_token = FIRST_CONN;
+        let mut events = vec![
+            EpollEvent {
+                events: 0,
+                token: 0
+            };
+            1024
+        ];
+        let mut accepting = true;
+        loop {
+            let timeout = if el.draining.is_some() {
+                DRAIN_TICK_MS
+            } else {
+                -1
+            };
+            let n = el.epoll.wait(&mut events, timeout)?;
+            for ev in events.iter().take(n) {
+                let token = { ev.token };
+                let bits = { ev.events };
+                match token {
+                    TOKEN_LISTENER => el.accept_ready(&listener, &mut next_token, handler),
+                    TOKEN_WAKER => el.outbox.inner.waker.drain(),
+                    t => {
+                        if bits & (EPOLLERR | EPOLLHUP) != 0 {
+                            el.close_conn(t, handler);
+                            continue;
+                        }
+                        if bits & EPOLLOUT != 0 {
+                            el.try_flush(t, handler);
+                        }
+                        if bits & (EPOLLIN | EPOLLRDHUP) != 0 {
+                            el.handle_readable(t, handler);
+                        }
+                    }
+                }
+            }
+            el.apply_commands(handler);
+            if let Some(started) = el.draining {
+                if accepting {
+                    // Stop new work: the listener leaves the interest
+                    // list, so pending SYNs are never accepted.
+                    let _ = el.epoll.delete(listener.as_raw_fd());
+                    accepting = false;
+                }
+                let flushed: Vec<ConnId> = el
+                    .conns
+                    .iter()
+                    .filter(|(_, c)| c.write.is_empty())
+                    .map(|(t, _)| *t)
+                    .collect();
+                for t in flushed {
+                    el.close_conn(t, handler);
+                }
+                if el.conns.is_empty() || started.elapsed() >= el.config.drain_deadline {
+                    break;
+                }
+            }
+        }
+        let leftover: Vec<ConnId> = el.conns.keys().copied().collect();
+        for t in leftover {
+            el.close_conn(t, handler);
+        }
+        Ok(())
+    }
+}
+
+struct EventLoop {
+    epoll: Epoll,
+    conns: HashMap<ConnId, Conn>,
+    config: NetConfig,
+    metrics: Arc<NetMetrics>,
+    outbox: Outbox,
+    draining: Option<Instant>,
+}
+
+impl EventLoop {
+    fn accept_ready(
+        &mut self,
+        listener: &TcpListener,
+        next_token: &mut u64,
+        handler: &mut dyn Handler,
+    ) {
+        loop {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    if self.draining.is_some() || self.conns.len() >= self.config.max_connections {
+                        self.metrics.accepts_rejected.inc();
+                        continue; // dropping the stream closes it
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = *next_token;
+                    *next_token += 1;
+                    let interest = EPOLLIN | EPOLLRDHUP;
+                    if self.epoll.add(stream.as_raw_fd(), interest, token).is_err() {
+                        continue;
+                    }
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            reader: LineReader::new(self.config.max_line_bytes),
+                            write: WriteQueue::new(),
+                            interest,
+                            read_paused: false,
+                            closing: false,
+                        },
+                    );
+                    self.outbox.register(token);
+                    self.metrics.accepts.inc();
+                    self.metrics.connections.set(self.conns.len() as f64);
+                    handler.on_open(token, peer, &self.outbox);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn handle_readable(&mut self, token: ConnId, handler: &mut dyn Handler) {
+        let mut scratch = [0u8; 16 * 1024];
+        let mut eof = false;
+        let mut fatal = false;
+        {
+            let conn = match self.conns.get_mut(&token) {
+                Some(c) => c,
+                None => return,
+            };
+            if conn.read_paused || conn.closing {
+                return;
+            }
+            loop {
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        self.metrics.bytes_in.add(n as f64);
+                        conn.reader.extend(&scratch[..n]);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        fatal = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if fatal {
+            self.close_conn(token, handler);
+            return;
+        }
+        let mut depth = 0u32;
+        loop {
+            let line = {
+                let conn = match self.conns.get_mut(&token) {
+                    Some(c) => c,
+                    None => break,
+                };
+                match conn.reader.next_line() {
+                    Ok(Some(l)) => l,
+                    Ok(None) => break,
+                    Err(LineError::TooLong { .. }) => {
+                        self.metrics.framing_errors.inc();
+                        self.close_conn(token, handler);
+                        return;
+                    }
+                }
+            };
+            depth += 1;
+            self.metrics.lines_in.inc();
+            handler.on_line(token, &line, &self.outbox);
+        }
+        if depth > 0 {
+            self.metrics.pipeline_depth.observe(f64::from(depth));
+        }
+        if eof {
+            // The peer finished sending. Apply any responses the handler
+            // just queued so a half-closing client (send all, shutdown
+            // write, read replies) still gets synchronous answers, then
+            // flush-and-close.
+            self.apply_commands(handler);
+            match self.conns.get_mut(&token) {
+                Some(c) if !c.write.is_empty() => {
+                    c.closing = true;
+                    self.outbox.deregister(token);
+                    self.update_interest(token);
+                }
+                Some(_) => self.close_conn(token, handler),
+                None => {}
+            }
+        }
+    }
+
+    fn apply_commands(&mut self, handler: &mut dyn Handler) {
+        for cmd in self.outbox.take() {
+            match cmd {
+                Cmd::Send(token, line) => {
+                    match self.conns.get_mut(&token) {
+                        Some(c) if !c.closing => c.write.push_line(&line),
+                        _ => continue,
+                    }
+                    self.metrics.lines_out.inc();
+                    self.try_flush(token, handler);
+                }
+                Cmd::Close(token) => {
+                    let flushed = match self.conns.get_mut(&token) {
+                        Some(c) => {
+                            c.closing = true;
+                            c.write.is_empty()
+                        }
+                        None => continue,
+                    };
+                    if flushed {
+                        self.close_conn(token, handler);
+                    } else {
+                        self.update_interest(token);
+                    }
+                }
+                Cmd::Shutdown => {
+                    if self.draining.is_none() {
+                        self.draining = Some(Instant::now());
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_flush(&mut self, token: ConnId, handler: &mut dyn Handler) {
+        let mut dead = false;
+        {
+            let conn = match self.conns.get_mut(&token) {
+                Some(c) => c,
+                None => return,
+            };
+            while !conn.write.is_empty() {
+                match conn.stream.write(conn.write.unsent()) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.write.consume(n);
+                        self.metrics.bytes_out.add(n as f64);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if dead {
+            self.close_conn(token, handler);
+            return;
+        }
+        self.after_write(token, handler);
+    }
+
+    /// Re-evaluate watermarks, the hard cap, and pending close after any
+    /// change to a connection's write queue.
+    fn after_write(&mut self, token: ConnId, handler: &mut dyn Handler) {
+        let (len, closing, paused) = match self.conns.get(&token) {
+            Some(c) => (c.write.len(), c.closing, c.read_paused),
+            None => return,
+        };
+        if closing && len == 0 {
+            self.close_conn(token, handler);
+            return;
+        }
+        if len > self.config.write_hard_cap {
+            self.metrics.slow_consumer_drops.inc();
+            self.close_conn(token, handler);
+            return;
+        }
+        if !paused && len >= self.config.write_high_watermark {
+            if let Some(c) = self.conns.get_mut(&token) {
+                c.read_paused = true;
+            }
+            self.metrics.backpressure_pauses.inc();
+        } else if paused && len <= self.config.write_low_watermark {
+            if let Some(c) = self.conns.get_mut(&token) {
+                c.read_paused = false;
+            }
+        }
+        self.update_interest(token);
+    }
+
+    fn update_interest(&mut self, token: ConnId) {
+        let conn = match self.conns.get_mut(&token) {
+            Some(c) => c,
+            None => return,
+        };
+        let mut want = EPOLLRDHUP;
+        if !conn.read_paused && !conn.closing {
+            want |= EPOLLIN;
+        }
+        if !conn.write.is_empty() {
+            want |= EPOLLOUT;
+        }
+        if want != conn.interest {
+            let fd = conn.stream.as_raw_fd();
+            if self.epoll.modify(fd, want, token).is_ok() {
+                conn.interest = want;
+            }
+        }
+    }
+
+    fn close_conn(&mut self, token: ConnId, handler: &mut dyn Handler) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            self.outbox.deregister(token);
+            self.metrics.closes.inc();
+            self.metrics.connections.set(self.conns.len() as f64);
+            handler.on_close(token);
+        }
+    }
+}

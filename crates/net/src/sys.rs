@@ -1,0 +1,250 @@
+//! Thin, safe wrappers over the handful of Linux syscalls the reactor
+//! needs: `epoll` for readiness, `eventfd` for cross-thread wakeups, and
+//! `setrlimit` for raising the open-file bound before large runs.
+//!
+//! The build environment vendors every dependency, so instead of pulling
+//! in `libc` these are direct `extern "C"` declarations against the C
+//! library the Rust standard library already links. Only the subset the
+//! crate uses is declared, and everything unsafe is wrapped here — the
+//! rest of the crate never touches a raw fd except through these types.
+
+#![cfg(target_os = "linux")]
+
+use std::io;
+use std::os::raw::{c_int, c_void};
+use std::os::unix::io::RawFd;
+
+// Values from the Linux UAPI headers (stable ABI).
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+const RLIMIT_NOFILE: c_int = 7;
+
+/// One readiness record. On x86-64 the kernel ABI packs this struct to
+/// 12 bytes; other architectures use natural alignment.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness bit set (`EPOLLIN` | `EPOLLOUT` | …).
+    pub events: u32,
+    /// Caller-chosen token identifying the registered fd.
+    pub token: u64,
+}
+
+#[repr(C)]
+struct RLimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: u32, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+    fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An epoll instance. Registrations map raw fds to caller-chosen `u64`
+/// tokens; `wait` reports which tokens became ready.
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Create a new epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Epoll> {
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, token };
+        cvt(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// Register `fd` for the given interest under `token`.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Change the interest set of an already-registered fd.
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Remove an fd from the interest list.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        // Pre-2.6.9 kernels demanded a non-null event for DEL; passing one
+        // unconditionally costs nothing.
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Block up to `timeout_ms` (−1 = forever) for readiness, filling
+    /// `events`; returns how many entries are valid.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            let n = unsafe {
+                epoll_wait(
+                    self.fd,
+                    events.as_mut_ptr(),
+                    events.len() as c_int,
+                    timeout_ms,
+                )
+            };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+/// A wakeup channel for the event loop: any thread may `wake()`, the loop
+/// observes readability on `fd()` and calls `drain()`.
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    /// A fresh non-blocking eventfd.
+    pub fn new() -> io::Result<EventFd> {
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(EventFd { fd })
+    }
+
+    /// The fd to register with [`Epoll`].
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Make the fd readable, waking any epoll waiting on it. Saturation
+    /// (counter at `u64::MAX - 1`) would return `EAGAIN`, which is fine:
+    /// the loop is already guaranteed to wake.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+    }
+
+    /// Consume pending wakeups so the fd goes quiet until the next `wake`.
+    pub fn drain(&self) {
+        let mut buf: u64 = 0;
+        unsafe { read(self.fd, (&mut buf as *mut u64).cast(), 8) };
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+// eventfd writes/reads are thread-safe at the syscall level.
+unsafe impl Send for EventFd {}
+unsafe impl Sync for EventFd {}
+
+/// Raise the soft `RLIMIT_NOFILE` bound toward `want` (capped at the hard
+/// limit) and return the resulting soft limit. Large connection counts
+/// need two fds per loopback connection when client and server share a
+/// process, so benchmarks call this before connecting.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let mut lim = RLimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) })?;
+    if lim.rlim_cur < want {
+        let target = want.min(lim.rlim_max);
+        let new = RLimit {
+            rlim_cur: target,
+            rlim_max: lim.rlim_max,
+        };
+        cvt(unsafe { setrlimit(RLIMIT_NOFILE, &new) })?;
+        return Ok(target);
+    }
+    Ok(lim.rlim_cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eventfd_wakes_epoll_and_drains_quiet() {
+        let ep = Epoll::new().unwrap();
+        let ev = EventFd::new().unwrap();
+        ep.add(ev.fd(), EPOLLIN, 7).unwrap();
+        let mut events = [EpollEvent {
+            events: 0,
+            token: 0,
+        }; 4];
+        // Quiet: a zero-timeout wait reports nothing.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+        ev.wake();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!({ events[0].token }, 7);
+        ev.drain();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn epoll_reports_listener_readability_on_connect() {
+        use std::net::{TcpListener, TcpStream};
+        use std::os::unix::io::AsRawFd;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(listener.as_raw_fd(), EPOLLIN, 1).unwrap();
+        let mut events = [EpollEvent {
+            events: 0,
+            token: 0,
+        }; 4];
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let n = ep.wait(&mut events, 2000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!({ events[0].token }, 1);
+        assert!({ events[0].events } & EPOLLIN != 0);
+        ep.delete(listener.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable_and_non_decreasing() {
+        let now = raise_nofile_limit(0).unwrap();
+        assert!(now > 0);
+        let after = raise_nofile_limit(now).unwrap();
+        assert!(after >= now);
+    }
+}

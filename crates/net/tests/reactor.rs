@@ -1,0 +1,287 @@
+//! Reactor integration tests: real sockets against a spawned event loop.
+
+use eod_net::{ConnId, Handler, NetConfig, NetMetrics, Outbox, Reactor};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Replies `echo:<line>` to every line, synchronously on the loop.
+struct Echo {
+    opens: Arc<AtomicUsize>,
+    closes: Arc<AtomicUsize>,
+}
+
+impl Handler for Echo {
+    fn on_open(&mut self, _conn: ConnId, _peer: SocketAddr, _outbox: &Outbox) {
+        self.opens.fetch_add(1, Ordering::SeqCst);
+    }
+    fn on_line(&mut self, conn: ConnId, line: &str, outbox: &Outbox) {
+        outbox.send(conn, &format!("echo:{line}"));
+    }
+    fn on_close(&mut self, _conn: ConnId) {
+        self.closes.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+struct Spawned {
+    addr: SocketAddr,
+    outbox: Outbox,
+    metrics: Arc<NetMetrics>,
+    join: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn spawn_echo(config: NetConfig) -> (Spawned, Arc<AtomicUsize>, Arc<AtomicUsize>) {
+    let metrics = Arc::new(NetMetrics::new());
+    let reactor = Reactor::bind("127.0.0.1:0", config, metrics.clone()).unwrap();
+    let addr = reactor.local_addr().unwrap();
+    let outbox = reactor.outbox();
+    let opens = Arc::new(AtomicUsize::new(0));
+    let closes = Arc::new(AtomicUsize::new(0));
+    let join = reactor.spawn(Echo {
+        opens: opens.clone(),
+        closes: closes.clone(),
+    });
+    (
+        Spawned {
+            addr,
+            outbox,
+            metrics,
+            join,
+        },
+        opens,
+        closes,
+    )
+}
+
+#[test]
+fn echo_round_trip_and_clean_shutdown() {
+    let (srv, opens, closes) = spawn_echo(NetConfig::default());
+    let mut c = TcpStream::connect(srv.addr).unwrap();
+    c.write_all(b"hello\n").unwrap();
+    let mut r = BufReader::new(c.try_clone().unwrap());
+    let mut line = String::new();
+    r.read_line(&mut line).unwrap();
+    assert_eq!(line, "echo:hello\n");
+    drop(r);
+    drop(c);
+    srv.outbox.shutdown();
+    srv.join.join().unwrap().unwrap();
+    assert_eq!(opens.load(Ordering::SeqCst), 1);
+    assert_eq!(closes.load(Ordering::SeqCst), 1);
+    let text = srv.metrics.render();
+    assert!(text.contains("eod_net_accepts_total 1"));
+    assert!(text.contains("eod_net_closes_total 1"));
+}
+
+#[test]
+fn pipelined_requests_come_back_in_order() {
+    let (srv, _, _) = spawn_echo(NetConfig::default());
+    let mut c = TcpStream::connect(srv.addr).unwrap();
+    let mut burst = String::new();
+    for i in 0..100 {
+        burst.push_str(&format!("req-{i}\n"));
+    }
+    c.write_all(burst.as_bytes()).unwrap();
+    let mut r = BufReader::new(c);
+    for i in 0..100 {
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert_eq!(line, format!("echo:req-{i}\n"));
+    }
+    srv.outbox.shutdown();
+    srv.join.join().unwrap().unwrap();
+}
+
+#[test]
+fn half_close_still_yields_all_responses() {
+    let (srv, _, _) = spawn_echo(NetConfig::default());
+    let mut c = TcpStream::connect(srv.addr).unwrap();
+    c.write_all(b"a\nb\nc\n").unwrap();
+    c.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut all = String::new();
+    c.read_to_string(&mut all).unwrap();
+    assert_eq!(all, "echo:a\necho:b\necho:c\n");
+    srv.outbox.shutdown();
+    srv.join.join().unwrap().unwrap();
+}
+
+#[test]
+fn many_concurrent_connections_multiplex_on_one_loop() {
+    let (srv, opens, _) = spawn_echo(NetConfig::default());
+    let mut conns: Vec<TcpStream> = (0..200)
+        .map(|_| TcpStream::connect(srv.addr).unwrap())
+        .collect();
+    for (i, c) in conns.iter_mut().enumerate() {
+        c.write_all(format!("from-{i}\n").as_bytes()).unwrap();
+    }
+    for (i, c) in conns.iter_mut().enumerate() {
+        let mut r = BufReader::new(c.try_clone().unwrap());
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert_eq!(line, format!("echo:from-{i}\n"));
+    }
+    assert_eq!(opens.load(Ordering::SeqCst), 200);
+    let text = srv.metrics.render();
+    assert!(text.contains("eod_net_connections 200"));
+    drop(conns);
+    srv.outbox.shutdown();
+    srv.join.join().unwrap().unwrap();
+}
+
+#[test]
+fn global_connection_cap_refuses_excess_accepts() {
+    let config = NetConfig {
+        max_connections: 4,
+        ..NetConfig::default()
+    };
+    let (srv, _, _) = spawn_echo(config);
+    let keep: Vec<TcpStream> = (0..4)
+        .map(|_| TcpStream::connect(srv.addr).unwrap())
+        .collect();
+    // Confirm the four in-cap connections are served (so the reactor has
+    // definitely processed their accepts before the fifth arrives).
+    for c in &keep {
+        let mut c2 = c.try_clone().unwrap();
+        c2.write_all(b"x\n").unwrap();
+        let mut line = String::new();
+        BufReader::new(c2).read_line(&mut line).unwrap();
+        assert_eq!(line, "echo:x\n");
+    }
+    let mut extra = TcpStream::connect(srv.addr).unwrap();
+    extra
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut buf = [0u8; 1];
+    // The reactor accepts then immediately closes the over-cap socket, so
+    // the client observes EOF.
+    assert_eq!(extra.read(&mut buf).unwrap(), 0);
+    assert!(srv
+        .metrics
+        .render()
+        .contains("eod_net_accepts_rejected_total 1"));
+    drop(keep);
+    srv.outbox.shutdown();
+    srv.join.join().unwrap().unwrap();
+}
+
+#[test]
+fn oversized_line_drops_the_connection_as_framing_error() {
+    let config = NetConfig {
+        max_line_bytes: 64,
+        ..NetConfig::default()
+    };
+    let (srv, _, _) = spawn_echo(config);
+    let mut c = TcpStream::connect(srv.addr).unwrap();
+    c.write_all(&[b'x'; 4096]).unwrap(); // no newline within bound
+    c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut buf = [0u8; 1];
+    assert_eq!(c.read(&mut buf).unwrap(), 0);
+    assert!(srv
+        .metrics
+        .render()
+        .contains("eod_net_framing_errors_total 1"));
+    srv.outbox.shutdown();
+    srv.join.join().unwrap().unwrap();
+}
+
+/// A peer that subscribes to server-side push but never reads must first
+/// trip the write watermark (reads pause, counted) and — because push
+/// frames keep coming regardless — eventually the hard cap, which
+/// disconnects it rather than buffering without bound.
+#[test]
+fn slow_consumer_hits_backpressure_then_disconnect() {
+    let config = NetConfig {
+        write_high_watermark: 32 * 1024,
+        write_low_watermark: 8 * 1024,
+        write_hard_cap: 128 * 1024,
+        ..NetConfig::default()
+    };
+    let metrics = Arc::new(NetMetrics::new());
+    let reactor = Reactor::bind("127.0.0.1:0", config, metrics.clone()).unwrap();
+    let addr = reactor.local_addr().unwrap();
+    let outbox = reactor.outbox();
+
+    /// Starts a push thread per connection that streams 8 KiB frames
+    /// until the reactor reports the connection gone.
+    struct Pusher;
+    impl Handler for Pusher {
+        fn on_open(&mut self, conn: ConnId, _peer: SocketAddr, outbox: &Outbox) {
+            let outbox = outbox.clone();
+            std::thread::spawn(move || {
+                let frame = "y".repeat(8 * 1024);
+                while outbox.send(conn, &frame) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        }
+        fn on_line(&mut self, _conn: ConnId, _line: &str, _outbox: &Outbox) {}
+    }
+    let join = reactor.spawn(Pusher);
+
+    let _c = TcpStream::connect(addr).unwrap(); // connect, never read
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut dropped = false;
+    while Instant::now() < deadline {
+        if metrics
+            .render()
+            .contains("eod_net_slow_consumer_drops_total 1")
+        {
+            dropped = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(dropped, "slow consumer was never dropped");
+    let text = metrics.render();
+    assert!(
+        text.contains("eod_net_backpressure_pauses_total")
+            && !text.contains("eod_net_backpressure_pauses_total 0\n"),
+        "backpressure pause should have engaged before the drop: {text}"
+    );
+    outbox.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// Shutdown must flush queued responses before closing (drain), bounded
+/// by the deadline.
+#[test]
+fn shutdown_drains_pending_writes_before_exit() {
+    let (srv, _, _) = spawn_echo(NetConfig {
+        drain_deadline: Duration::from_secs(10),
+        ..NetConfig::default()
+    });
+    let mut c = TcpStream::connect(srv.addr).unwrap();
+    c.write_all(b"last-words\n").unwrap();
+    // Give the loop a moment to queue the echo, then shut down before
+    // reading anything.
+    std::thread::sleep(Duration::from_millis(100));
+    srv.outbox.shutdown();
+    let mut all = String::new();
+    c.read_to_string(&mut all).unwrap();
+    assert_eq!(all, "echo:last-words\n");
+    srv.join.join().unwrap().unwrap();
+}
+
+/// Sends to a closed connection report failure instead of queueing.
+#[test]
+fn send_to_dead_connection_returns_false() {
+    let (srv, _, closes) = spawn_echo(NetConfig::default());
+    let c = TcpStream::connect(srv.addr).unwrap();
+    // Wait for the accept, then learn the conn id via connection_count.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while srv.outbox.connection_count() == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(srv.outbox.connection_count(), 1);
+    drop(c);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while closes.load(Ordering::SeqCst) == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // First accepted connection gets token 2.
+    assert!(!srv.outbox.send(2, "anyone home?"));
+    srv.outbox.shutdown();
+    srv.join.join().unwrap().unwrap();
+}

@@ -68,8 +68,12 @@ pub struct Snapshot {
     pub error: Option<String>,
 }
 
+/// A transition observer registered with [`JobRecord::watch`].
+type Watcher = Box<dyn Fn(&Snapshot) + Send>;
+
 struct Status {
     snapshot: Snapshot,
+    watchers: Vec<Watcher>,
 }
 
 /// One submitted job.
@@ -112,6 +116,7 @@ impl JobRecord {
                     result: None,
                     error: None,
                 },
+                watchers: Vec::new(),
             }),
             changed: Condvar::new(),
             attempts: Mutex::new(Vec::new()),
@@ -170,8 +175,50 @@ impl JobRecord {
             return;
         }
         f(&mut s.snapshot);
+        // Watchers run under the lock so they observe every transition
+        // exactly once, in order — the push-streaming contract. They only
+        // enqueue (never block), so holding the lock is cheap.
+        for w in &s.watchers {
+            w(&s.snapshot);
+        }
+        let watchers_done = if s.snapshot.phase.is_terminal() {
+            std::mem::take(&mut s.watchers)
+        } else {
+            Vec::new()
+        };
         drop(s);
+        drop(watchers_done);
         self.changed.notify_all();
+    }
+
+    /// Register `watcher` for every subsequent transition and return the
+    /// snapshot current at registration. Registration is atomic with the
+    /// returned snapshot: no transition can fall between them, so a
+    /// caller streaming `snapshot → watcher events` never misses or
+    /// duplicates a state. Watchers run under the status lock and must
+    /// only enqueue work, never block. A watcher registered on an
+    /// already-terminal job is dropped without being called (the returned
+    /// snapshot is the terminal one).
+    pub fn watch(&self, watcher: impl Fn(&Snapshot) + Send + 'static) -> Snapshot {
+        self.watch_primed(|_| {}, watcher)
+    }
+
+    /// Like [`JobRecord::watch`], but first calls `prime` with the
+    /// registration snapshot under the same lock. Anything `prime`
+    /// enqueues (e.g. a protocol acknowledgement) is therefore ordered
+    /// strictly before the watcher's first event — even if another
+    /// thread transitions the job the instant registration completes.
+    pub fn watch_primed(
+        &self,
+        prime: impl FnOnce(&Snapshot),
+        watcher: impl Fn(&Snapshot) + Send + 'static,
+    ) -> Snapshot {
+        let mut s = self.status.lock().unwrap();
+        prime(&s.snapshot);
+        if !s.snapshot.phase.is_terminal() {
+            s.watchers.push(Box::new(watcher));
+        }
+        s.snapshot.clone()
     }
 
     /// Mark the job picked up by a worker.
@@ -358,6 +405,51 @@ mod tests {
         assert_eq!(rec.phase(), JobPhase::TimedOut);
         rec.set_attempts(Vec::new());
         assert!(rec.attempts().is_empty());
+    }
+
+    #[test]
+    fn watchers_stream_each_transition_in_order() {
+        use std::sync::Mutex as StdMutex;
+        let board = JobBoard::new();
+        let rec = board.create(spec(), Priority::Normal);
+        let seen: Arc<StdMutex<Vec<JobPhase>>> = Arc::new(StdMutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let at_registration = rec.watch(move |snap| sink.lock().unwrap().push(snap.phase));
+        assert_eq!(at_registration.phase, JobPhase::Queued);
+        rec.set_running();
+        rec.set_done(
+            "{}".into(),
+            Arc::new(GroupResult {
+                benchmark: "crc".into(),
+                size: "tiny".into(),
+                device: "d".into(),
+                class: "CPU".into(),
+                kernel_ms: vec![1.0],
+                setup_ms: 0.0,
+                transfer_ms: 0.0,
+                launches_per_iteration: 1,
+                counters: None,
+                energy_j: None,
+                footprint_bytes: 0,
+                verified: true,
+                regions: Default::default(),
+            }),
+            false,
+        );
+        // Late transitions after terminal are dropped, so the watcher
+        // fires exactly twice.
+        rec.set_running();
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![JobPhase::Running, JobPhase::Done]
+        );
+        // Watching a terminal job returns the terminal snapshot and never
+        // calls the watcher.
+        let called = Arc::new(StdMutex::new(false));
+        let flag = Arc::clone(&called);
+        let snap = rec.watch(move |_| *flag.lock().unwrap() = true);
+        assert_eq!(snap.phase, JobPhase::Done);
+        assert!(!*called.lock().unwrap());
     }
 
     #[test]

@@ -33,10 +33,12 @@
 //! device noise stream per group from the spec's content alone — a cached
 //! result is bit-identical to what re-running the spec would produce.
 
+pub mod bench;
 pub mod cache;
 pub mod client;
 pub mod jobs;
 pub mod metrics;
+pub mod net_server;
 pub mod protocol;
 pub mod queue;
 pub mod server;
@@ -46,6 +48,7 @@ pub use cache::{CacheStats, ResultCache};
 pub use client::{Client, ClientError, ConnectPolicy, FigureOutput, JobOutcome};
 pub use jobs::{JobBoard, JobId, JobPhase, JobRecord};
 pub use metrics::ServiceMetrics;
+pub use net_server::NetServer;
 pub use queue::{AdmissionError, JobQueue};
 pub use server::Server;
 pub use service::{FigureOutcome, Placement, ServeConfig, Service};

@@ -24,13 +24,13 @@ use eod_core::spec::{JobSpec, Priority};
 use eod_dwarfs::registry;
 use eod_fleet::{
     CompletionSink, Coordinator, FleetConfig, FleetListener, FleetOutcome, Greedy, LocalWire,
-    PlacementPolicy, Predictive, RoundRobin, TcpWire, Worker, WorkerExit,
+    NetFleetListener, PlacementPolicy, Predictive, RoundRobin, TcpWire, Worker, WorkerExit,
 };
 use eod_harness::figures::{self, Figure};
 use eod_harness::{report, schedule, tables};
 use eod_harness::{Runner, RunnerConfig};
 use eod_predict::Predictor;
-use eod_serve::{Client, Placement, ServeConfig, Server, Service};
+use eod_serve::{Client, NetServer, Placement, ServeConfig, Server, Service};
 use eod_telemetry::{render_chrome_trace, MetricsServer, TraceSink};
 use std::path::PathBuf;
 use std::result::Result;
@@ -641,6 +641,34 @@ fn serve_addr(args: &[String]) -> String {
     flag_value(args, "--addr").unwrap_or_else(|| DEFAULT_ADDR.to_string())
 }
 
+/// Which TCP front end serves the protocol.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Transport {
+    /// One epoll event loop multiplexing every connection (default).
+    Reactor,
+    /// Thread per connection; the original transport, kept as fallback.
+    Blocking,
+}
+
+impl Transport {
+    fn label(self) -> &'static str {
+        match self {
+            Transport::Reactor => "reactor",
+            Transport::Blocking => "blocking",
+        }
+    }
+}
+
+fn parse_transport(args: &[String]) -> Result<Transport, String> {
+    match flag_value(args, "--transport").as_deref() {
+        None | Some("reactor") => Ok(Transport::Reactor),
+        Some("blocking") => Ok(Transport::Blocking),
+        Some(other) => Err(format!(
+            "--transport must be `reactor` or `blocking`, not {other:?}"
+        )),
+    }
+}
+
 fn cmd_serve(cli: &Cli) -> Result<(), String> {
     let addr = serve_addr(&cli.args);
     let mut cfg = ServeConfig {
@@ -657,27 +685,301 @@ fn cmd_serve(cli: &Cli) -> Result<(), String> {
         cfg.cache_capacity = c;
     }
     let (workers, queue_cap, cache_cap) = (cfg.workers, cfg.queue_capacity, cfg.cache_capacity);
+    let transport = parse_transport(&cli.args)?;
     let service = Service::start(cfg);
-    let metrics_server = match flag_value(&cli.args, "--metrics-addr") {
-        Some(maddr) => {
-            let svc = Arc::clone(&service);
-            let ms = MetricsServer::serve(&maddr, move || svc.metrics_text())
-                .map_err(|e| format!("bind metrics {maddr}: {e}"))?;
-            println!("metrics on http://{}/metrics", ms.local_addr());
-            Some(ms)
+    match transport {
+        Transport::Reactor => {
+            // Thousands of concurrent connections need more than the
+            // usual soft fd limit; best-effort — the reactor's own
+            // connection cap still applies.
+            let _ = eod_net::raise_nofile_limit(65_536);
+            let net = NetServer::start(Arc::clone(&service), &addr, eod_net::NetConfig::default())
+                .map_err(|e| format!("bind {addr}: {e}"))?;
+            let metrics_server = match flag_value(&cli.args, "--metrics-addr") {
+                Some(maddr) => {
+                    let svc = Arc::clone(&service);
+                    let nm = net.net_metrics();
+                    let ms = MetricsServer::serve(&maddr, move || {
+                        let mut text = svc.metrics_text();
+                        text.push_str(&nm.render());
+                        text
+                    })
+                    .map_err(|e| format!("bind metrics {maddr}: {e}"))?;
+                    println!("metrics on http://{}/metrics", ms.local_addr());
+                    Some(ms)
+                }
+                None => None,
+            };
+            println!(
+                "eod-serve listening on {} (reactor, {workers} workers, queue \u{2264} {queue_cap}, cache \u{2264} {cache_cap})",
+                net.local_addr()
+            );
+            let outcome = net.wait().map_err(|e| e.to_string());
+            if let Some(ms) = metrics_server {
+                ms.stop();
+            }
+            outcome
         }
-        None => None,
-    };
-    let server = Server::bind(service, &addr).map_err(|e| format!("bind {addr}: {e}"))?;
-    println!(
-        "eod-serve listening on {} ({workers} workers, queue \u{2264} {queue_cap}, cache \u{2264} {cache_cap})",
-        server.local_addr()
-    );
-    let outcome = server.run().map_err(|e| e.to_string());
-    if let Some(ms) = metrics_server {
-        ms.stop();
+        Transport::Blocking => {
+            let metrics_server = match flag_value(&cli.args, "--metrics-addr") {
+                Some(maddr) => {
+                    let svc = Arc::clone(&service);
+                    let ms = MetricsServer::serve(&maddr, move || svc.metrics_text())
+                        .map_err(|e| format!("bind metrics {maddr}: {e}"))?;
+                    println!("metrics on http://{}/metrics", ms.local_addr());
+                    Some(ms)
+                }
+                None => None,
+            };
+            let server = Server::bind(service, &addr).map_err(|e| format!("bind {addr}: {e}"))?;
+            println!(
+                "eod-serve listening on {} (blocking, {workers} workers, queue \u{2264} {queue_cap}, cache \u{2264} {cache_cap})",
+                server.local_addr()
+            );
+            let outcome = server.run().map_err(|e| e.to_string());
+            if let Some(ms) = metrics_server {
+                ms.stop();
+            }
+            outcome
+        }
     }
-    outcome
+}
+
+/// A child `eod serve` process spawned for benchmarking, with its
+/// stdout-announced service and metrics addresses.
+struct ChildServer {
+    child: std::process::Child,
+    addr: String,
+    metrics_addr: Option<String>,
+}
+
+impl ChildServer {
+    /// Spawn `eod serve` on the given transport with ephemeral ports and
+    /// parse the announced addresses from its stdout.
+    fn spawn(transport: Transport, workers: usize) -> Result<ChildServer, String> {
+        use std::io::BufRead as _;
+        let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+        let mut child = std::process::Command::new(exe)
+            .args([
+                "serve",
+                "--transport",
+                transport.label(),
+                "--addr",
+                "127.0.0.1:0",
+                "--metrics-addr",
+                "127.0.0.1:0",
+                "--workers",
+                &workers.to_string(),
+                "--samples",
+                "5",
+                "--loop-ms",
+                "1",
+            ])
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("spawn server: {e}"))?;
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let mut addr = None;
+        let mut metrics_addr = None;
+        while addr.is_none() {
+            let line = match lines.next() {
+                Some(Ok(l)) => l,
+                _ => {
+                    let _ = child.kill();
+                    return Err("server exited before announcing its address".into());
+                }
+            };
+            if let Some(rest) = line.strip_prefix("metrics on http://") {
+                metrics_addr = rest.strip_suffix("/metrics").map(str::to_string);
+            } else if let Some(rest) = line.strip_prefix("eod-serve listening on ") {
+                addr = rest.split_whitespace().next().map(str::to_string);
+            }
+        }
+        // Keep draining stdout so the child never blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines.map_while(Result::ok) {});
+        Ok(ChildServer {
+            child,
+            addr: addr.unwrap(),
+            metrics_addr,
+        })
+    }
+
+    /// Plain-HTTP scrape of the child's `/metrics`.
+    fn scrape_metrics(&self) -> Result<String, String> {
+        use std::io::{Read as _, Write as _};
+        let maddr = self
+            .metrics_addr
+            .as_deref()
+            .ok_or("child has no metrics endpoint")?;
+        let mut s = std::net::TcpStream::connect(maddr).map_err(|e| e.to_string())?;
+        s.write_all(b"GET /metrics HTTP/1.0\r\nConnection: close\r\n\r\n")
+            .map_err(|e| e.to_string())?;
+        let mut body = String::new();
+        s.read_to_string(&mut body).map_err(|e| e.to_string())?;
+        Ok(body)
+    }
+
+    /// Protocol shutdown, then reap the process.
+    fn shutdown(mut self) -> Result<(), String> {
+        Client::connect(&self.addr)
+            .and_then(|mut c| c.shutdown())
+            .map_err(|e| format!("shutdown child: {e}"))?;
+        let status = self.child.wait().map_err(|e| e.to_string())?;
+        if status.success() {
+            Ok(())
+        } else {
+            Err(format!("server child exited with {status}"))
+        }
+    }
+}
+
+fn cmd_bench_serve(cli: &Cli) -> Result<(), String> {
+    use eod_serve::bench::{run_load, LoadOptions};
+
+    let smoke = has_flag(&cli.args, "--smoke");
+    let connections: usize =
+        parse_flag(&cli.args, "--connections")?.unwrap_or(if smoke { 500 } else { 10_000 });
+    let pipeline: usize = parse_flag(&cli.args, "--pipeline")?.unwrap_or(4).max(1);
+    let requests_per_conn: usize = parse_flag(&cli.args, "--requests-per-conn")?
+        .unwrap_or(if smoke { 8 } else { 10 })
+        .max(1);
+    // The blocking transport burns a thread per connection, so its
+    // comparison point runs at a modest connection count.
+    let blocking_connections: usize = parse_flag(&cli.args, "--blocking-connections")?
+        .unwrap_or(connections.min(if smoke { 64 } else { 256 }));
+    let json_out = flag_value(&cli.args, "--json")
+        .or_else(|| (!smoke).then(|| "BENCH_serve.json".to_string()));
+
+    // One spec for every request: the priming submit executes it once,
+    // after which the run measures transport + cache-hit service time.
+    let bench_spec = JobSpec {
+        benchmark: "crc".into(),
+        size: ProblemSize::Tiny,
+        device: "GTX 1080".into(),
+        config: RunnerConfig::smoke().to_exec(),
+    };
+    let opts = |conns: usize, framed: bool| LoadOptions {
+        connections: conns,
+        pipeline,
+        requests_per_conn,
+        spec: bench_spec.clone(),
+        deadline: Duration::from_secs(if smoke { 120 } else { 600 }),
+        // The blocking transport has no framing envelope; bare pipelined
+        // lines correlate by FIFO order instead.
+        framed,
+    };
+
+    let bench_transport = |transport: Transport, conns: usize| -> Result<_, String> {
+        let server = ChildServer::spawn(transport, 2)?;
+        Client::connect(&server.addr)
+            .and_then(|mut c| c.submit_wait(&bench_spec, Priority::Normal))
+            .map_err(|e| format!("prime cache: {e}"))?;
+        eprintln!(
+            "bench-serve: {} transport, {conns} connections \u{00d7} {requests_per_conn} requests, pipeline {pipeline}",
+            transport.label()
+        );
+        let report = run_load(&server.addr, &opts(conns, transport == Transport::Reactor))?;
+        eprintln!(
+            "  {:>9.0} submit/s  p50 {:>7.0} \u{00b5}s  p99 {:>8.0} \u{00b5}s  p999 {:>8.0} \u{00b5}s  ({} responses, {} dropped, {:.2} s)",
+            report.submits_per_s,
+            report.p50_us,
+            report.p99_us,
+            report.p999_us,
+            report.responses,
+            report.dropped,
+            report.wall_s,
+        );
+        Ok((server, report))
+    };
+
+    // Reactor first — the transport under test.
+    let (reactor_server, reactor_report) = bench_transport(Transport::Reactor, connections)?;
+
+    if smoke {
+        // Gate 1: zero drops, zero protocol errors, every id answered.
+        if reactor_report.dropped != 0
+            || reactor_report.errors != 0
+            || reactor_report.responses != reactor_report.requests
+        {
+            return Err(format!(
+                "smoke gate failed: {} of {} requests answered, {} dropped, {} errors",
+                reactor_report.responses,
+                reactor_report.requests,
+                reactor_report.dropped,
+                reactor_report.errors
+            ));
+        }
+        // Gate 2: the reactor surface shows up on the metrics scrape.
+        let scraped = reactor_server.scrape_metrics()?;
+        for metric in [
+            "eod_net_connections",
+            "eod_net_accepts_total",
+            "eod_net_pipeline_depth",
+            "eod_admission_rejections_total",
+        ] {
+            if !scraped.contains(metric) {
+                return Err(format!("metrics scrape is missing {metric}"));
+            }
+        }
+        // Gate 3: figure batches are byte-identical across transports.
+        let reactor_fig = Client::connect(&reactor_server.addr)
+            .and_then(|mut c| c.figure("fig2a"))
+            .map_err(|e| format!("reactor figure: {e}"))?;
+        reactor_server.shutdown()?;
+        let blocking_server = ChildServer::spawn(Transport::Blocking, 2)?;
+        let blocking_fig = Client::connect(&blocking_server.addr)
+            .and_then(|mut c| c.figure("fig2a"))
+            .map_err(|e| format!("blocking figure: {e}"))?;
+        let (_, blocking_report) = {
+            Client::connect(&blocking_server.addr)
+                .and_then(|mut c| c.submit_wait(&bench_spec, Priority::Normal))
+                .map_err(|e| format!("prime cache: {e}"))?;
+            let report = run_load(&blocking_server.addr, &opts(blocking_connections, false))?;
+            ((), report)
+        };
+        blocking_server.shutdown()?;
+        if blocking_fig.rendered != reactor_fig.rendered {
+            return Err("figure output differs between transports".into());
+        }
+        if blocking_report.dropped != 0 || blocking_report.errors != 0 {
+            return Err(format!(
+                "blocking transport dropped {} / errored {}",
+                blocking_report.dropped, blocking_report.errors
+            ));
+        }
+        println!(
+            "bench-serve smoke OK: {} connections, {} responses, 0 dropped; figures byte-identical across transports; metrics present",
+            connections, reactor_report.responses
+        );
+        return Ok(());
+    }
+
+    reactor_server.shutdown()?;
+    let (blocking_server, blocking_report) =
+        bench_transport(Transport::Blocking, blocking_connections)?;
+    blocking_server.shutdown()?;
+
+    if let Some(path) = json_out {
+        let nproc = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let json = format!(
+            "{{\n  \"benchmark\": \"bench-serve\",\n  \"pipeline\": {pipeline},\n  \"requests_per_conn\": {requests_per_conn},\n  \"host_parallelism\": {nproc},\n  \"reactor\": {},\n  \"blocking\": {}\n}}\n",
+            serde_json::to_string_pretty(&reactor_report).map_err(|e| e.to_string())?,
+            serde_json::to_string_pretty(&blocking_report).map_err(|e| e.to_string())?,
+        );
+        std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if reactor_report.dropped != 0 || blocking_report.dropped != 0 {
+        return Err(format!(
+            "dropped responses: reactor {}, blocking {}",
+            reactor_report.dropped, blocking_report.dropped
+        ));
+    }
+    Ok(())
 }
 
 fn cmd_fleet(cli: &Cli) -> Result<(), String> {
@@ -696,11 +998,43 @@ fn cmd_fleet(cli: &Cli) -> Result<(), String> {
     }
     let (queue_cap, cache_cap) = (cfg.queue_capacity, cfg.cache_capacity);
     let placement = parse_placement(&cli.args)?.unwrap_or_default();
+    let transport = parse_transport(&cli.args)?;
     let (service, coord) = Service::start_fleet_placed(cfg, FleetConfig::default(), placement);
+
+    // The worker-registration listener, on the chosen transport. Both
+    // shapes hand every inbound connection to `Coordinator::attach` as
+    // an `Arc<dyn Wire>`; only the accept/read machinery differs.
+    enum FleetAccept {
+        Reactor(Arc<NetFleetListener>),
+        Blocking(Arc<FleetListener>),
+    }
+    impl FleetAccept {
+        fn local_addr(&self) -> std::net::SocketAddr {
+            match self {
+                FleetAccept::Reactor(l) => l.local_addr(),
+                FleetAccept::Blocking(l) => l.local_addr(),
+            }
+        }
+        fn stop(&self) {
+            match self {
+                FleetAccept::Reactor(l) => l.stop(),
+                FleetAccept::Blocking(l) => l.stop(),
+            }
+        }
+    }
     let listener = {
         let coord = Arc::clone(&coord);
-        FleetListener::start(&fleet_addr, move |wire| Coordinator::attach(&coord, wire))
-            .map_err(|e| format!("bind fleet {fleet_addr}: {e}"))?
+        let on_connect = move |wire| Coordinator::attach(&coord, wire);
+        match transport {
+            Transport::Reactor => FleetAccept::Reactor(
+                NetFleetListener::start(&fleet_addr, on_connect)
+                    .map_err(|e| format!("bind fleet {fleet_addr}: {e}"))?,
+            ),
+            Transport::Blocking => FleetAccept::Blocking(
+                FleetListener::start(&fleet_addr, on_connect)
+                    .map_err(|e| format!("bind fleet {fleet_addr}: {e}"))?,
+            ),
+        }
     };
     let metrics_server = match flag_value(&cli.args, "--metrics-addr") {
         Some(maddr) => {
@@ -712,20 +1046,42 @@ fn cmd_fleet(cli: &Cli) -> Result<(), String> {
         }
         None => None,
     };
-    let server = Server::bind(service, &addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    // The client-facing port on the same transport.
+    let (client_addr, wait): (
+        std::net::SocketAddr,
+        Box<dyn FnOnce() -> Result<(), String>>,
+    ) = match transport {
+        Transport::Reactor => {
+            let _ = eod_net::raise_nofile_limit(65_536);
+            let net = NetServer::start(Arc::clone(&service), &addr, eod_net::NetConfig::default())
+                .map_err(|e| format!("bind {addr}: {e}"))?;
+            (
+                net.local_addr(),
+                Box::new(move || net.wait().map_err(|e| e.to_string())),
+            )
+        }
+        Transport::Blocking => {
+            let server = Server::bind(Arc::clone(&service), &addr)
+                .map_err(|e| format!("bind {addr}: {e}"))?;
+            (
+                server.local_addr(),
+                Box::new(move || server.run().map_err(|e| e.to_string())),
+            )
+        }
+    };
     println!(
-        "eod fleet coordinator: clients on {}, workers on {} (queue \u{2264} {queue_cap}, cache \u{2264} {cache_cap}, placement {})",
-        server.local_addr(),
+        "eod fleet coordinator: clients on {client_addr}, workers on {} ({}, queue \u{2264} {queue_cap}, cache \u{2264} {cache_cap}, placement {})",
         listener.local_addr(),
+        transport.label(),
         placement.label()
     );
     println!(
         "start workers with: eod worker --connect {}",
         listener.local_addr()
     );
-    // `run` returns after a client `Shutdown`; the service's own shutdown
-    // (inside `run`) drains the coordinator, so only the listener remains.
-    let outcome = server.run().map_err(|e| e.to_string());
+    // The wait returns after a client `Shutdown`; the service's own
+    // shutdown drains the coordinator, so only the listener remains.
+    let outcome = wait();
     listener.stop();
     if let Some(ms) = metrics_server {
         ms.stop();
@@ -1340,6 +1696,7 @@ fn run() -> Result<(), String> {
         "bench-engine" => cmd_bench_engine(&cli)?,
         "schedule" => cmd_schedule(&cli)?,
         "serve" => cmd_serve(&cli)?,
+        "bench-serve" => cmd_bench_serve(&cli)?,
         "fleet" => cmd_fleet(&cli)?,
         "worker" => cmd_worker(&cli)?,
         "submit" => cmd_submit(&cli)?,
@@ -1356,8 +1713,9 @@ fn run() -> Result<(), String> {
                  \u{20}         cov cachesim cachesweep <benchmark> <size> aiwc ideal ablation autotune schedule\n\
                  \u{20}         [--cache-engine exact|stackdist]  (counter/cachesim engine; default stackdist)\n\
                  \u{20}         bench-engine [--full] [--json FILE] [--baseline FILE]\n\
-                 \u{20}         serve [--addr A --workers N --queue-cap N --cache-cap N --metrics-addr M]\n\
-                 \u{20}         fleet [--addr A --fleet-addr F --queue-cap N --cache-cap N --metrics-addr M --placement P]\n\
+                 \u{20}         serve [--addr A --workers N --queue-cap N --cache-cap N --metrics-addr M --transport reactor|blocking]\n\
+                 \u{20}         bench-serve [--connections N --pipeline D --requests-per-conn R --smoke --json FILE]\n\
+                 \u{20}         fleet [--addr A --fleet-addr F --queue-cap N --cache-cap N --metrics-addr M --placement P --transport T]\n\
                  \u{20}         worker [--connect F --slots N --devices D1,D2 --name W]\n\
                  \u{20}         submit <benchmark> [size] [--device D --high --timeout-ms T --no-wait]\n\
                  \u{20}         submit --fig <figN>   status [job]   shutdown   [--addr HOST:PORT]\n\

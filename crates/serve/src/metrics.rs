@@ -20,6 +20,9 @@ pub mod reject_reasons {
     pub const QUEUE_FULL: &str = "queue_full";
     /// The service was shutting down.
     pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// A queued normal-priority job was displaced by a high-priority
+    /// admission at queue capacity.
+    pub const SHED_LOW_PRIORITY: &str = "shed_low_priority";
 }
 
 fn per_priority<T>(mut make: impl FnMut(Priority) -> T) -> [(Priority, T); 2] {
@@ -43,6 +46,7 @@ pub struct ServiceMetrics {
     submissions: [(Priority, Arc<Counter>); 2],
     rejections_full: [(Priority, Arc<Counter>); 2],
     rejections_shutdown: [(Priority, Arc<Counter>); 2],
+    rejections_shed: Arc<Counter>,
     jobs_done: Arc<Counter>,
     jobs_failed: Arc<Counter>,
     jobs_timed_out: Arc<Counter>,
@@ -97,6 +101,16 @@ impl ServiceMetrics {
                 ],
             )
         });
+        // Shedding only ever displaces normal-priority work, so the shed
+        // series carries a fixed priority label.
+        let rejections_shed = r.counter_with(
+            "eod_admission_rejections_total",
+            "Submissions refused at the queue boundary, by priority and reason.",
+            &[
+                ("priority", Priority::Normal.label()),
+                ("reason", reject_reasons::SHED_LOW_PRIORITY),
+            ],
+        );
         let completed = |state: &str| {
             r.counter_with(
                 "eod_jobs_completed_total",
@@ -140,6 +154,7 @@ impl ServiceMetrics {
             submissions,
             rejections_full,
             rejections_shutdown,
+            rejections_shed,
             jobs_done,
             jobs_failed,
             jobs_timed_out,
@@ -175,6 +190,12 @@ impl ServiceMetrics {
             AdmissionError::QueueFull { .. } => pick(&self.rejections_full, priority).inc(),
             AdmissionError::ShuttingDown => pick(&self.rejections_shutdown, priority).inc(),
         }
+    }
+
+    /// Count one queued normal-priority job displaced by a high-priority
+    /// admission at queue capacity.
+    pub fn on_shed(&self) {
+        self.rejections_shed.inc();
     }
 
     /// Count a terminal transition and observe the job's latency.
@@ -252,6 +273,7 @@ mod tests {
         m.on_submission(Priority::Normal);
         m.on_rejection(Priority::Normal, AdmissionError::QueueFull { capacity: 2 });
         m.on_rejection(Priority::High, AdmissionError::ShuttingDown);
+        m.on_shed();
         m.on_terminal(JobPhase::Done, 0.02);
         m.on_terminal(JobPhase::TimedOut, 0.3);
         m.worker_busy();
@@ -265,6 +287,9 @@ mod tests {
         ));
         assert!(text.contains(
             "eod_admission_rejections_total{priority=\"high\",reason=\"shutting_down\"} 1\n"
+        ));
+        assert!(text.contains(
+            "eod_admission_rejections_total{priority=\"normal\",reason=\"shed_low_priority\"} 1\n"
         ));
         assert!(text.contains("eod_jobs_completed_total{state=\"done\"} 1\n"));
         assert!(text.contains("eod_jobs_completed_total{state=\"timed-out\"} 1\n"));

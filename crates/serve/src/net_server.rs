@@ -1,0 +1,381 @@
+//! The reactor TCP front end: one event-loop thread multiplexing every
+//! connection over `eod-net`.
+//!
+//! Protocol and results are identical to the blocking [`crate::server`]
+//! transport — same request/response types, same bytes for the same job —
+//! plus what only a multiplexed loop can offer:
+//!
+//! * **pipelining** — clients wrap requests in id-tagged
+//!   [`RequestFrame`](crate::protocol::RequestFrame)s and keep many in
+//!   flight per connection; every response (including each streamed
+//!   `Status`/`Result` line) comes back in a [`ResponseFrame`] carrying
+//!   the originating id;
+//! * **push streaming** — waited-on submits and `Subscribe` requests
+//!   register a [`JobRecord::watch`](crate::jobs::JobRecord) callback,
+//!   so transitions are pushed
+//!   the moment they happen with no thread parked per waiter;
+//! * **backpressure composition** — the reactor's per-connection write
+//!   watermarks handle slow readers, while queue admission stays typed
+//!   and per-request: a full queue refuses each over-bound submit with
+//!   its own `Error` frame (never a connection stall), and high-priority
+//!   submits shed queued normal-priority work via
+//!   [`Service::submit_shedding`].
+//!
+//! Requests that genuinely block (`Figure` batches, `Predict` model
+//! extraction) are offloaded to a small slow-op pool; everything else is
+//! answered on the loop. Shutdown is graceful end to end: `Bye` is
+//! queued, the service drains (terminal transitions push final `Result`
+//! frames through the registered watchers), and only then does the
+//! reactor stop — flushing every connection's pending bytes before the
+//! listener exits.
+
+#![cfg(target_os = "linux")]
+
+use crate::jobs::JobRecord;
+use crate::protocol::{
+    codes, decode_request, encode, IncomingRequest, JobInfo, Request, Response, ResponseFrame,
+};
+use crate::service::Service;
+use eod_net::{ConnId, Handler, NetConfig, NetMetrics, Outbox, Reactor};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Send `resp` to `conn`, enveloped when the request carried an id.
+fn send_response(outbox: &Outbox, conn: ConnId, id: Option<u64>, resp: Response) -> bool {
+    match id {
+        Some(id) => outbox.send(conn, &encode(&ResponseFrame { id, resp })),
+        None => outbox.send(conn, &encode(&resp)),
+    }
+}
+
+type SlowJob = Box<dyn FnOnce() + Send>;
+
+/// A tiny thread pool for requests that block (figure batches, model
+/// extraction) — the reactor thread must never wait on them.
+struct SlowPool {
+    tx: Option<mpsc::Sender<SlowJob>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl SlowPool {
+    fn new(threads: usize) -> Self {
+        let (tx, rx) = mpsc::channel::<SlowJob>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..threads.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("eod-serve-slowop-{i}"))
+                    .spawn(move || loop {
+                        let job = rx.lock().unwrap().recv();
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("spawn slow-op worker")
+            })
+            .collect();
+        Self {
+            tx: Some(tx),
+            handles,
+        }
+    }
+
+    fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(Box::new(job));
+        }
+    }
+}
+
+impl Drop for SlowPool {
+    fn drop(&mut self) {
+        self.tx.take(); // hang up; workers exit after the queue drains
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The protocol logic plugged into the reactor loop.
+struct ServeHandler {
+    service: Arc<Service>,
+    net: Arc<NetMetrics>,
+    slow: SlowPool,
+    shutdown_started: Arc<AtomicBool>,
+}
+
+impl ServeHandler {
+    /// Register a watcher streaming `Status` transitions and the final
+    /// `Result` for `rec` to `conn`, with `ack` enqueued strictly before
+    /// the first push. Handles the already-terminal case (cache hits,
+    /// finished jobs) by pushing the `Result` immediately after the ack.
+    fn stream_job(
+        outbox: &Outbox,
+        conn: ConnId,
+        id: Option<u64>,
+        rec: &Arc<JobRecord>,
+        ack: impl FnOnce(&crate::jobs::Snapshot) -> Response,
+    ) {
+        let push_outbox = outbox.clone();
+        let push_rec = Arc::clone(rec);
+        let ack_outbox = outbox.clone();
+        let at_registration = rec.watch_primed(
+            move |snap| {
+                send_response(&ack_outbox, conn, id, ack(snap));
+            },
+            move |snap| {
+                let resp = if snap.phase.is_terminal() {
+                    Response::result_of(&push_rec, snap)
+                } else {
+                    Response::Status {
+                        job: push_rec.id,
+                        state: snap.phase.to_string(),
+                    }
+                };
+                send_response(&push_outbox, conn, id, resp);
+            },
+        );
+        if at_registration.phase.is_terminal() {
+            // No watcher was registered (nothing left to stream); the
+            // terminal line follows the ack directly.
+            send_response(outbox, conn, id, Response::result_of(rec, &at_registration));
+        }
+    }
+
+    fn dispatch(&self, conn: ConnId, id: Option<u64>, req: Request, outbox: &Outbox) {
+        match req {
+            Request::Submit {
+                spec,
+                priority,
+                wait,
+            } => match self.service.submit_shedding(spec, priority) {
+                Err(e) => {
+                    send_response(outbox, conn, id, Response::admission_error(e));
+                }
+                Ok(rec) => {
+                    if wait {
+                        let job = rec.id;
+                        let key = rec.key.clone();
+                        Self::stream_job(outbox, conn, id, &rec, move |snap| Response::Accepted {
+                            job,
+                            key,
+                            state: snap.phase.to_string(),
+                            cached: snap.cached,
+                        });
+                    } else {
+                        let snap = rec.snapshot();
+                        send_response(
+                            outbox,
+                            conn,
+                            id,
+                            Response::Accepted {
+                                job: rec.id,
+                                key: rec.key.clone(),
+                                state: snap.phase.to_string(),
+                                cached: snap.cached,
+                            },
+                        );
+                    }
+                }
+            },
+            Request::Status { job: Some(job) } => {
+                let resp = match self.service.job(job) {
+                    None => Response::Error {
+                        code: codes::UNKNOWN_JOB.to_string(),
+                        message: format!("no job {job}"),
+                    },
+                    Some(rec) => Response::result_of(&rec, &rec.snapshot()),
+                };
+                send_response(outbox, conn, id, resp);
+            }
+            Request::Status { job: None } => {
+                let jobs = self.service.jobs().iter().map(|r| JobInfo::of(r)).collect();
+                send_response(outbox, conn, id, Response::Jobs { jobs });
+            }
+            Request::Subscribe { job } => match self.service.job(job) {
+                None => {
+                    send_response(
+                        outbox,
+                        conn,
+                        id,
+                        Response::Error {
+                            code: codes::UNKNOWN_JOB.to_string(),
+                            message: format!("no job {job}"),
+                        },
+                    );
+                }
+                Some(rec) => {
+                    Self::stream_job(outbox, conn, id, &rec, move |snap| Response::Subscribed {
+                        job,
+                        state: snap.phase.to_string(),
+                    });
+                }
+            },
+            Request::Figure { id: fig } => {
+                let service = Arc::clone(&self.service);
+                let outbox = outbox.clone();
+                self.slow.execute(move || {
+                    let resp = match service.run_figure(&fig) {
+                        Ok(outcome) => Response::Figure {
+                            id: fig,
+                            rendered: outcome.figure.render_ascii(),
+                            jobs: outcome.jobs,
+                            cache_hits: outcome.cache_hits,
+                            cache_misses: outcome.cache_misses,
+                        },
+                        Err(message) => Response::Error {
+                            code: codes::FIGURE_FAILED.to_string(),
+                            message,
+                        },
+                    };
+                    send_response(&outbox, conn, id, resp);
+                });
+            }
+            Request::Predict { spec } => {
+                let service = Arc::clone(&self.service);
+                let outbox = outbox.clone();
+                self.slow.execute(move || {
+                    let resp = match service.predict(&spec) {
+                        Ok(set) => Response::Predictions {
+                            set: (*set).clone(),
+                        },
+                        Err(e) => Response::Error {
+                            code: codes::PREDICT_FAILED.to_string(),
+                            message: e.to_string(),
+                        },
+                    };
+                    send_response(&outbox, conn, id, resp);
+                });
+            }
+            Request::Stats => {
+                let resp = Response::Stats {
+                    cache: self.service.cache_stats(),
+                    queued: self.service.queued() as u64,
+                    workers: self.service.worker_count() as u64,
+                };
+                send_response(outbox, conn, id, resp);
+            }
+            Request::Metrics => {
+                let mut text = self.service.metrics_text();
+                text.push_str(&self.net.render());
+                send_response(outbox, conn, id, Response::Metrics { text });
+            }
+            Request::Shutdown => {
+                send_response(outbox, conn, id, Response::Bye);
+                begin_shutdown(&self.shutdown_started, &self.service, outbox);
+            }
+        }
+    }
+}
+
+/// Drain the service (terminal transitions flow to watchers, which push
+/// final `Result` frames), then drain the reactor. Runs once; later
+/// calls are no-ops.
+fn begin_shutdown(started: &AtomicBool, service: &Arc<Service>, outbox: &Outbox) {
+    if started.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let service = Arc::clone(service);
+    let outbox = outbox.clone();
+    let _ = std::thread::Builder::new()
+        .name("eod-serve-drain".into())
+        .spawn(move || {
+            service.shutdown();
+            outbox.shutdown();
+        });
+}
+
+impl Handler for ServeHandler {
+    fn on_line(&mut self, conn: ConnId, line: &str, outbox: &Outbox) {
+        if line.trim().is_empty() {
+            return;
+        }
+        match decode_request(line) {
+            Ok(IncomingRequest::Framed(frame)) => {
+                self.dispatch(conn, Some(frame.id), frame.req, outbox)
+            }
+            Ok(IncomingRequest::Bare(req)) => self.dispatch(conn, None, req, outbox),
+            Err(e) => {
+                // Malformed line: typed error, connection stays up. An
+                // unframed parse failure has no id to echo.
+                send_response(
+                    outbox,
+                    conn,
+                    None,
+                    Response::Error {
+                        code: codes::BAD_REQUEST.to_string(),
+                        message: e,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// The reactor-backed server: bind once, serve until a `Shutdown`
+/// request (or [`NetServer::shutdown`]) drains it.
+pub struct NetServer {
+    addr: SocketAddr,
+    outbox: Outbox,
+    metrics: Arc<NetMetrics>,
+    service: Arc<Service>,
+    shutdown_started: Arc<AtomicBool>,
+    join: Mutex<Option<JoinHandle<std::io::Result<()>>>>,
+}
+
+impl NetServer {
+    /// Bind `addr` and start the event-loop thread.
+    pub fn start(service: Arc<Service>, addr: &str, config: NetConfig) -> std::io::Result<Self> {
+        let metrics = Arc::new(NetMetrics::new());
+        let reactor = Reactor::bind(addr, config, Arc::clone(&metrics))?;
+        let addr = reactor.local_addr()?;
+        let outbox = reactor.outbox();
+        let shutdown_started = Arc::new(AtomicBool::new(false));
+        let handler = ServeHandler {
+            service: Arc::clone(&service),
+            net: Arc::clone(&metrics),
+            slow: SlowPool::new(2),
+            shutdown_started: Arc::clone(&shutdown_started),
+        };
+        let join = reactor.spawn(handler);
+        Ok(Self {
+            addr,
+            outbox,
+            metrics,
+            service,
+            shutdown_started,
+            join: Mutex::new(Some(join)),
+        })
+    }
+
+    /// The bound address (reports the ephemeral port after `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The reactor's metric surface, for merging into `GET /metrics`.
+    pub fn net_metrics(&self) -> Arc<NetMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Initiate the same graceful drain a protocol `Shutdown` triggers.
+    pub fn shutdown(&self) {
+        begin_shutdown(&self.shutdown_started, &self.service, &self.outbox);
+    }
+
+    /// Block until the reactor exits (after a `Shutdown` request or
+    /// [`NetServer::shutdown`] completes its drain).
+    pub fn wait(&self) -> std::io::Result<()> {
+        let handle = self.join.lock().unwrap().take();
+        match handle {
+            Some(h) => h
+                .join()
+                .map_err(|_| std::io::Error::other("reactor thread panicked"))?,
+            None => Ok(()),
+        }
+    }
+}

@@ -6,6 +6,18 @@
 //! transition as it happens, then a final `Result` line — the streaming
 //! contract. All refusals and failures arrive as typed `Error` responses
 //! with a machine-readable `code`.
+//!
+//! ## Pipelining envelopes
+//!
+//! On the reactor transport a client may keep many requests in flight on
+//! one connection. Responses are matched to requests by wrapping each
+//! line in an id-tagged envelope: [`RequestFrame`] `{"id":7,"req":…}` in,
+//! [`ResponseFrame`] `{"id":7,"resp":…}` out. Every response (including
+//! each `Status`/`Result` line of a waited-on submit, and every push
+//! frame of a [`Request::Subscribe`]) carries the id of the request that
+//! caused it. Bare un-enveloped lines remain accepted and are answered
+//! bare — the blocking client predates the envelope and still works
+//! unchanged ([`decode_request`] sorts the two framings apart).
 
 use crate::cache::CacheStats;
 use crate::jobs::{JobRecord, Snapshot};
@@ -63,6 +75,17 @@ pub enum Request {
         /// The spec to model. Its `device` field does not restrict the
         /// sweep — predictions always cover the whole catalog.
         spec: JobSpec,
+    },
+    /// Subscribe to a job's remaining state transitions: answered by a
+    /// `Subscribed` line carrying the current state, then one pushed
+    /// `Status` line per transition, then a final `Result` line when the
+    /// job reaches a terminal phase. On the pipelined (enveloped)
+    /// transport the push frames carry this request's id and interleave
+    /// with other traffic; on the blocking transport the subscription
+    /// occupies the connection until the job is terminal.
+    Subscribe {
+        /// Job id to watch.
+        job: u64,
     },
     /// Cache and queue counters.
     Stats,
@@ -174,6 +197,14 @@ pub enum Response {
         /// duplicates); empty for first-try successes.
         attempts: Vec<Attempt>,
     },
+    /// Acknowledgement of a `Subscribe`: the job exists and push frames
+    /// will follow until it reaches a terminal phase.
+    Subscribed {
+        /// Job id being watched.
+        job: u64,
+        /// Phase at subscription time.
+        state: String,
+    },
     /// Listing for `Status { job: None }`.
     Jobs {
         /// All jobs in submission order.
@@ -258,6 +289,58 @@ pub fn decode<T: Deserialize>(line: &str) -> Result<T, String> {
     serde_json::from_str::<T>(line.trim()).map_err(|e| e.to_string())
 }
 
+/// An id-tagged request envelope for the pipelined transport. Ids are
+/// chosen by the client; the server echoes them verbatim and never
+/// interprets them beyond matching responses to requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestFrame {
+    /// Client-chosen correlation id.
+    pub id: u64,
+    /// The request itself.
+    pub req: Request,
+}
+
+/// An id-tagged response envelope: `id` names the request that caused
+/// this response (push frames carry the originating `Subscribe`'s or
+/// waited `Submit`'s id).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseFrame {
+    /// Correlation id echoed from the request.
+    pub id: u64,
+    /// The response itself.
+    pub resp: Response,
+}
+
+/// One decoded inbound line: enveloped (pipelined transport) or bare
+/// (legacy blocking client).
+#[derive(Debug, Clone, PartialEq)]
+pub enum IncomingRequest {
+    /// An id-tagged [`RequestFrame`].
+    Framed(RequestFrame),
+    /// A bare [`Request`]; responses to it are sent bare as well.
+    Bare(Request),
+}
+
+/// Decode a request line in either framing. The envelope is tried first
+/// (a bare request has no `id` field, so the framings never collide); on
+/// failure the bare decode's error is reported, since bare is what
+/// hand-written clients send.
+pub fn decode_request(line: &str) -> Result<IncomingRequest, String> {
+    if let Ok(frame) = decode::<RequestFrame>(line) {
+        return Ok(IncomingRequest::Framed(frame));
+    }
+    decode::<Request>(line).map(IncomingRequest::Bare)
+}
+
+/// Decode a response line in either framing, returning the correlation
+/// id when the server enveloped it.
+pub fn decode_response(line: &str) -> Result<(Option<u64>, Response), String> {
+    if let Ok(frame) = decode::<ResponseFrame>(line) {
+        return Ok((Some(frame.id), frame.resp));
+    }
+    decode::<Response>(line).map(|resp| (None, resp))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +376,7 @@ mod tests {
             },
             Request::Status { job: Some(3) },
             Request::Status { job: None },
+            Request::Subscribe { job: 12 },
             Request::Predict { spec: spec() },
             Request::Figure { id: "fig2a".into() },
             Request::Stats,
@@ -336,6 +420,10 @@ mod tests {
             Response::Metrics {
                 text: "# TYPE eod_queue_depth gauge\neod_queue_depth 0\n".into(),
             },
+            Response::Subscribed {
+                job: 12,
+                state: "running".into(),
+            },
             Response::Predictions {
                 set: eod_core::predict::PredictionSet {
                     spec_key: "abc".into(),
@@ -378,6 +466,57 @@ mod tests {
     fn garbage_lines_are_typed_errors() {
         assert!(decode::<Request>("{not json").is_err());
         assert!(decode::<Request>("{\"Nope\":{}}").is_err());
+        assert!(decode_request("{not json").is_err());
+        assert!(decode_request("{\"Nope\":{}}").is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_with_their_ids() {
+        let frame = RequestFrame {
+            id: 41,
+            req: Request::Subscribe { job: 7 },
+        };
+        let line = encode(&frame);
+        assert_eq!(
+            decode_request(&line).unwrap(),
+            IncomingRequest::Framed(frame)
+        );
+        let out = ResponseFrame {
+            id: 41,
+            resp: Response::Subscribed {
+                job: 7,
+                state: "queued".into(),
+            },
+        };
+        let (id, resp) = decode_response(&encode(&out)).unwrap();
+        assert_eq!(id, Some(41));
+        assert_eq!(resp, out.resp);
+    }
+
+    #[test]
+    fn bare_lines_fall_back_without_colliding_with_frames() {
+        // A bare request has no `id`, so the frame decode must fail and
+        // the fallback must yield the bare variant.
+        let bare = Request::Status { job: Some(3) };
+        assert_eq!(
+            decode_request(&encode(&bare)).unwrap(),
+            IncomingRequest::Bare(bare)
+        );
+        let unit = Request::Stats;
+        assert_eq!(
+            decode_request(&encode(&unit)).unwrap(),
+            IncomingRequest::Bare(unit)
+        );
+        // And a framed line must never decode as a bare request.
+        let framed = encode(&RequestFrame {
+            id: 1,
+            req: Request::Stats,
+        });
+        assert!(decode::<Request>(&framed).is_err());
+        // Same discrimination on the response side.
+        let (id, resp) = decode_response(&encode(&Response::Bye)).unwrap();
+        assert_eq!(id, None);
+        assert_eq!(resp, Response::Bye);
     }
 
     #[test]

@@ -111,6 +111,40 @@ impl<T> JobQueue<T> {
         Ok(())
     }
 
+    /// Admit a job even at capacity by shedding queued lower-priority
+    /// work: when the queue is full and `priority` is [`Priority::High`],
+    /// the *newest* queued [`Priority::Normal`] job is evicted to make
+    /// room, and returned so the caller can fail it visibly (the shed job
+    /// was already admitted — it must not vanish silently). The newest is
+    /// chosen because it has waited least: shedding it wastes the least
+    /// queueing investment. Behaves exactly like [`JobQueue::push`] when
+    /// the queue has room, when `priority` is `Normal`, or when nothing
+    /// sheddable is queued.
+    pub fn push_or_shed(&self, item: T, priority: Priority) -> Result<Option<T>, AdmissionError> {
+        let mut s = self.state.lock().unwrap();
+        if s.closed {
+            return Err(AdmissionError::ShuttingDown);
+        }
+        let mut shed = None;
+        if s.len() >= self.capacity {
+            if priority == Priority::High {
+                shed = s.normal.pop_back();
+            }
+            if shed.is_none() {
+                return Err(AdmissionError::QueueFull {
+                    capacity: self.capacity,
+                });
+            }
+        }
+        match priority {
+            Priority::High => s.high.push_back(item),
+            Priority::Normal => s.normal.push_back(item),
+        }
+        drop(s);
+        self.ready.notify_one();
+        Ok(shed)
+    }
+
     /// Put a job back at the *head* of its priority class. Requeues are
     /// exempt from the capacity bound: the job was already admitted once,
     /// and refusing its retry would turn a transient failure into a lost
@@ -179,6 +213,38 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.pop();
         q.push(3, Priority::Normal).unwrap();
+    }
+
+    #[test]
+    fn push_or_shed_evicts_newest_normal_for_high_only() {
+        let q = JobQueue::new(2);
+        q.push("n1", Priority::Normal).unwrap();
+        q.push("n2", Priority::Normal).unwrap();
+        // A normal push at capacity still refuses.
+        assert_eq!(
+            q.push_or_shed("n3", Priority::Normal),
+            Err(AdmissionError::QueueFull { capacity: 2 })
+        );
+        // A high push sheds the newest queued normal job.
+        assert_eq!(q.push_or_shed("h1", Priority::High), Ok(Some("n2")));
+        assert_eq!(q.depths(), (1, 1));
+        // Another high push sheds the remaining normal job.
+        assert_eq!(q.push_or_shed("h2", Priority::High), Ok(Some("n1")));
+        // All-high queue: nothing sheddable, high refuses too.
+        assert_eq!(
+            q.push_or_shed("h3", Priority::High),
+            Err(AdmissionError::QueueFull { capacity: 2 })
+        );
+        // Below capacity it admits without shedding.
+        q.pop();
+        assert_eq!(q.push_or_shed("h4", Priority::High), Ok(None));
+        q.close();
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, ["h2", "h4"]);
+        assert_eq!(
+            q.push_or_shed("x", Priority::High),
+            Err(AdmissionError::ShuttingDown)
+        );
     }
 
     #[test]

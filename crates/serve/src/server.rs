@@ -1,16 +1,34 @@
-//! The TCP front end: accept loop and per-connection request handling.
+//! The blocking TCP front end: accept loop and per-connection request
+//! handling, one thread per connection.
 //!
 //! Connections speak the newline-delimited JSON protocol from
-//! [`crate::protocol`]. Each connection gets its own thread; the service
-//! itself bounds concurrency at the queue and worker pool, so connection
-//! threads only ever block on I/O or on job-transition waits.
+//! [`crate::protocol`]. The service itself bounds concurrency at the
+//! queue and worker pool, so connection threads only ever block on I/O or
+//! on job-transition waits. This transport remains as the fallback and
+//! test baseline next to the reactor front end in `eod-net`; the two
+//! produce byte-identical protocol responses.
+//!
+//! A malformed request line — bad JSON, an unknown request shape, even
+//! invalid UTF-8 — is answered with a typed `Error` response and the
+//! connection stays up. Shutdown drains: in-flight jobs finish (so
+//! waited-on submits stream their terminal `Result` lines), and the
+//! accept loop waits for every connection thread to flush and exit before
+//! returning, bounded by a drain deadline.
 
 use crate::protocol::{codes, decode, encode, JobInfo, Request, Response};
 use crate::service::Service;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often an idle connection thread re-checks the stopping flag.
+const READ_TICK: Duration = Duration::from_millis(200);
+
+/// Bound on a single request line, matching the reactor transport's
+/// framing limit.
+const MAX_LINE_BYTES: usize = 4 * 1024 * 1024;
 
 /// A bound listener ready to serve a [`Service`].
 pub struct Server {
@@ -18,6 +36,8 @@ pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
     stopping: Arc<AtomicBool>,
+    conns: Arc<(Mutex<usize>, Condvar)>,
+    drain_deadline: Duration,
 }
 
 impl Server {
@@ -30,6 +50,8 @@ impl Server {
             listener,
             addr,
             stopping: Arc::new(AtomicBool::new(false)),
+            conns: Arc::new((Mutex::new(0), Condvar::new())),
+            drain_deadline: Duration::from_secs(5),
         })
     }
 
@@ -38,8 +60,15 @@ impl Server {
         self.addr
     }
 
+    /// How long [`Server::run`] waits for connection threads to flush
+    /// and exit after shutdown is requested.
+    pub fn set_drain_deadline(&mut self, deadline: Duration) {
+        self.drain_deadline = deadline;
+    }
+
     /// Accept and serve connections until a client sends `Shutdown`, then
-    /// drain the workers and return.
+    /// drain: finish in-flight jobs, let every connection thread flush
+    /// its pending responses, and return.
     pub fn run(self) -> std::io::Result<()> {
         for stream in self.listener.incoming() {
             if self.stopping.load(Ordering::SeqCst) {
@@ -51,14 +80,35 @@ impl Server {
             };
             let service = Arc::clone(&self.service);
             let stopping = Arc::clone(&self.stopping);
+            let conns = Arc::clone(&self.conns);
             let addr = self.addr;
-            let _ = std::thread::Builder::new()
+            *conns.0.lock().unwrap() += 1;
+            let spawned = std::thread::Builder::new()
                 .name("eod-serve-conn".to_string())
                 .spawn(move || {
                     let _ = handle_connection(&service, stream, &stopping, addr);
+                    let (count, wake) = &*conns;
+                    *count.lock().unwrap() -= 1;
+                    wake.notify_all();
                 });
+            if spawned.is_err() {
+                *self.conns.0.lock().unwrap() -= 1;
+            }
         }
+        // Drain in-flight work first: terminal transitions unblock any
+        // connection thread sitting in a submit-wait, which then writes
+        // its final `Result` line before exiting.
         self.service.shutdown();
+        let (count, wake) = &*self.conns;
+        let deadline = Instant::now() + self.drain_deadline;
+        let mut active = count.lock().unwrap();
+        while *active > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                break; // drain deadline: abandon stragglers
+            }
+            active = wake.wait_timeout(active, deadline - now).unwrap().0;
+        }
         Ok(())
     }
 }
@@ -75,10 +125,47 @@ fn handle_connection(
     stopping: &AtomicBool,
     addr: SocketAddr,
 ) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
+    // A short read timeout lets the loop observe the stopping flag
+    // between requests, so shutdown drains connections instead of
+    // abandoning threads mid-write.
+    stream.set_read_timeout(Some(READ_TICK))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut out = stream;
-    for line in reader.lines() {
-        let line = line?;
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => break, // peer closed
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle tick; bytes read before the timeout stay in `buf`.
+                if stopping.load(Ordering::SeqCst) {
+                    break;
+                }
+                if buf.len() > MAX_LINE_BYTES {
+                    send(
+                        &mut out,
+                        &Response::Error {
+                            code: codes::BAD_REQUEST.to_string(),
+                            message: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                        },
+                    )?;
+                    break;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+        // Decode lossily: a line of invalid UTF-8 must come back as a
+        // typed parse error on this request, not tear the connection
+        // down (`BufRead::lines` would error out here).
+        let line = String::from_utf8_lossy(&buf).into_owned();
+        buf.clear();
         if line.trim().is_empty() {
             continue;
         }
@@ -148,6 +235,41 @@ fn handle_connection(
                 let jobs = service.jobs().iter().map(|r| JobInfo::of(r)).collect();
                 send(&mut out, &Response::Jobs { jobs })?;
             }
+            Request::Subscribe { job } => match service.job(job) {
+                None => send(
+                    &mut out,
+                    &Response::Error {
+                        code: codes::UNKNOWN_JOB.to_string(),
+                        message: format!("no job {job}"),
+                    },
+                )?,
+                Some(rec) => {
+                    // On this transport a subscription occupies the
+                    // connection until the job is terminal (the reactor
+                    // transport interleaves pushes with other traffic).
+                    let mut snap = rec.snapshot();
+                    send(
+                        &mut out,
+                        &Response::Subscribed {
+                            job: rec.id,
+                            state: snap.phase.to_string(),
+                        },
+                    )?;
+                    let mut seen = snap.phase;
+                    while !snap.phase.is_terminal() {
+                        snap = rec.wait_change(seen);
+                        seen = snap.phase;
+                        send(
+                            &mut out,
+                            &Response::Status {
+                                job: rec.id,
+                                state: snap.phase.to_string(),
+                            },
+                        )?;
+                    }
+                    send(&mut out, &Response::result_of(&rec, &snap))?;
+                }
+            },
             Request::Figure { id } => match service.run_figure(&id) {
                 Ok(outcome) => send(
                     &mut out,

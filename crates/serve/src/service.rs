@@ -92,6 +92,12 @@ impl Default for ServeConfig {
     }
 }
 
+/// Error-message prefix marking a job that was displaced (shed) from the
+/// queue by a high-priority admission at capacity. Waiters can recognize
+/// the displacement — and, like [`Service::run_figure`], choose to
+/// resubmit — by matching this prefix on a `Failed` record's error.
+pub const SHED_ERROR_PREFIX: &str = "shed:";
+
 /// A figure executed through the service, with the batch's cache economy.
 #[derive(Debug, Clone)]
 pub struct FigureOutcome {
@@ -224,6 +230,51 @@ impl Service {
         priority: Priority,
     ) -> Result<Arc<JobRecord>, AdmissionError> {
         self.submit_inner(spec, priority, false)
+    }
+
+    /// Like [`Self::submit`], but a [`Priority::High`] job arriving at a
+    /// full queue sheds the newest queued [`Priority::Normal`] job
+    /// instead of being refused: the victim's record turns `Failed` with
+    /// a [`SHED_ERROR_PREFIX`] error (its waiters and watchers see the
+    /// transition immediately) and the shed is counted as a
+    /// `shed_low_priority` admission rejection. The pipelined transport
+    /// admits through this path so high-priority work keeps flowing under
+    /// sustained load.
+    pub fn submit_shedding(
+        &self,
+        spec: JobSpec,
+        priority: Priority,
+    ) -> Result<Arc<JobRecord>, AdmissionError> {
+        let rec = self.board.create(spec, priority);
+        self.metrics.on_submission(priority);
+        if let Some((json, result)) = self.cache.get(&rec.key) {
+            rec.set_done(json, result, true);
+            self.metrics
+                .on_terminal(rec.phase(), rec.age().as_secs_f64());
+            return Ok(rec);
+        }
+        match self.queue.push_or_shed(Arc::clone(&rec), priority) {
+            Ok(shed) => {
+                if let Some(victim) = shed {
+                    victim.set_failed(
+                        format!(
+                            "{SHED_ERROR_PREFIX} displaced by a high-priority \
+                             admission at queue capacity"
+                        ),
+                        false,
+                    );
+                    self.metrics.on_shed();
+                    self.metrics
+                        .on_terminal(victim.phase(), victim.age().as_secs_f64());
+                }
+                Ok(rec)
+            }
+            Err(e) => {
+                self.board.forget(rec.id);
+                self.metrics.on_rejection(priority, e);
+                Err(e)
+            }
+        }
     }
 
     /// Like [`Self::submit`] but waits out a full queue instead of
@@ -475,18 +526,37 @@ impl Service {
             .collect::<Result<_, _>>()?;
         let mut results = Vec::with_capacity(records.len());
         for rec in &records {
-            let snap = rec.wait_terminal();
-            match snap.result {
-                Some(r) => results.push((*r).clone()),
-                None => {
-                    return Err(format!(
-                        "{id}: group {} {} on {} {}: {}",
-                        rec.spec.benchmark,
-                        rec.spec.size.label(),
-                        rec.spec.device,
-                        snap.phase,
-                        snap.error.unwrap_or_default()
-                    ))
+            let mut rec = Arc::clone(rec);
+            loop {
+                let snap = rec.wait_terminal();
+                match snap.result {
+                    Some(r) => {
+                        results.push((*r).clone());
+                        break;
+                    }
+                    None if snap
+                        .error
+                        .as_deref()
+                        .is_some_and(|e| e.starts_with(SHED_ERROR_PREFIX)) =>
+                    {
+                        // The group was displaced by unrelated high-priority
+                        // traffic, not by anything wrong with the group
+                        // itself. Resubmit: figure output must not depend
+                        // on concurrent load.
+                        rec = self
+                            .submit_backpressured(rec.spec.clone(), Priority::Normal)
+                            .map_err(|e| format!("{id}: {e}"))?;
+                    }
+                    None => {
+                        return Err(format!(
+                            "{id}: group {} {} on {} {}: {}",
+                            rec.spec.benchmark,
+                            rec.spec.size.label(),
+                            rec.spec.device,
+                            snap.phase,
+                            snap.error.unwrap_or_default()
+                        ))
+                    }
                 }
             }
         }
