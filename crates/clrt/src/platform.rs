@@ -30,7 +30,8 @@ impl Platform {
         }
     }
 
-    /// Platform 1: the fifteen simulated Table 1 devices, in figure order.
+    /// Platform 1: the simulated device catalog — the fifteen Table 1
+    /// devices in figure order, then the post-Table-1 extensions.
     pub fn simulated() -> Self {
         Self {
             name: "EOD Simulated Accelerators".to_string(),
@@ -100,7 +101,8 @@ mod tests {
         let all = Platform::all();
         assert_eq!(all.len(), 2);
         assert_eq!(all[0].devices().len(), 1);
-        assert_eq!(all[1].devices().len(), 15);
+        // Full catalog: Table 1's 15 plus the post-Table-1 extensions.
+        assert_eq!(all[1].devices().len(), DeviceId::all().count());
     }
 
     #[test]
@@ -111,8 +113,10 @@ mod tests {
         assert_eq!(Platform::select(1, 1).unwrap().name(), "i7-6700K");
         // -p 1 -d 4: GTX 1080 (the paper's example GPU)
         assert_eq!(Platform::select(1, 4).unwrap().name(), "GTX 1080");
+        // Paper-era `-d` indices are stable: extensions append after 15.
+        assert_eq!(Platform::select(1, 15).unwrap().name(), "RTX 3090");
         assert!(Platform::select(2, 0).is_err());
-        assert!(Platform::select(1, 15).is_err());
+        assert!(Platform::select(1, DeviceId::all().count()).is_err());
     }
 
     #[test]
@@ -125,8 +129,10 @@ mod tests {
     #[test]
     fn class_filter() {
         let sim = Platform::simulated();
-        assert_eq!(sim.devices_of_class(AcceleratorClass::Cpu).len(), 3);
-        assert_eq!(sim.devices_of_class(AcceleratorClass::ConsumerGpu).len(), 8);
+        // Table 1's 3/8/3/1 census plus the Xeon Gold 6148 (CPU) and
+        // RTX 3090 (consumer GPU) extensions.
+        assert_eq!(sim.devices_of_class(AcceleratorClass::Cpu).len(), 4);
+        assert_eq!(sim.devices_of_class(AcceleratorClass::ConsumerGpu).len(), 9);
         assert_eq!(sim.devices_of_class(AcceleratorClass::HpcGpu).len(), 3);
         assert_eq!(sim.devices_of_class(AcceleratorClass::Mic).len(), 1);
         let native = Platform::native();

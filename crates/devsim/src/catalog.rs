@@ -1,14 +1,23 @@
-//! The Table 1 hardware catalog.
+//! The Table 1 hardware catalog, plus post-paper extension devices.
 //!
-//! Fifteen devices exactly as the paper lists them: name, vendor, type,
-//! series, core count, min/max/turbo clocks, L1/L2/L3 cache sizes, TDP and
-//! launch date. Table 1's conventions are preserved: Intel CPU core counts
-//! are *hyper-threaded* cores, Nvidia counts are CUDA cores, AMD counts are
-//! stream processors, and the KNL's 256 "cores" are 64 physical cores × 4
-//! hardware threads. (One quirk is reproduced deliberately: Table 1 prints
-//! 4096 stream processors for the RX 480, though the retail part has 2304 —
-//! the *model* parameters below use the real value, the *table* reproduction
-//! prints the paper's.)
+//! The first [`PAPER_DEVICE_COUNT`] entries are the fifteen devices exactly
+//! as the paper lists them: name, vendor, type, series, core count,
+//! min/max/turbo clocks, L1/L2/L3 cache sizes, TDP and launch date. Table
+//! 1's conventions are preserved: Intel CPU core counts are *hyper-threaded*
+//! cores, Nvidia counts are CUDA cores, AMD counts are stream processors,
+//! and the KNL's 256 "cores" are 64 physical cores × 4 hardware threads.
+//! (One quirk is reproduced deliberately: Table 1 prints 4096 stream
+//! processors for the RX 480, though the retail part has 2304 — the *model*
+//! parameters below use the real value, the *table* reproduction prints the
+//! paper's.)
+//!
+//! After the paper's fifteen come extension entries that post-date Table 1
+//! (a modern discrete GPU and a wide-SIMD AVX-512 server CPU), used to show
+//! the device model generalizes beyond the hardware it was fit to. Paper
+//! figure regeneration iterates [`DeviceId::paper`] so the committed CSVs
+//! are unaffected; catalog-wide surfaces (prediction sweeps, cache sweeps,
+//! the simulated platform) iterate [`DeviceId::all`] and pick the new
+//! devices up automatically.
 //!
 //! Each entry is extended with the public performance parameters the device
 //! model needs but Table 1 omits: peak single-precision GFLOP/s, DRAM
@@ -92,15 +101,33 @@ pub enum CoreKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct DeviceId(pub usize);
 
+/// Number of devices in the paper's Table 1. The catalog's first
+/// `PAPER_DEVICE_COUNT` entries are exactly those devices in figure order;
+/// entries beyond are post-paper extensions.
+pub const PAPER_DEVICE_COUNT: usize = 15;
+
 impl DeviceId {
     /// The device's catalog entry.
     pub fn spec(self) -> &'static DeviceSpec {
         &CATALOG[self.0]
     }
 
-    /// All fifteen devices in figure order.
+    /// Every catalog device — the paper's fifteen plus the extension
+    /// entries — in catalog order.
     pub fn all() -> impl Iterator<Item = DeviceId> {
         (0..CATALOG.len()).map(DeviceId)
+    }
+
+    /// The paper's fifteen Table 1 devices in figure order. Figure and
+    /// table regeneration iterates this subset so committed artifacts stay
+    /// byte-identical as the catalog grows.
+    pub fn paper() -> impl Iterator<Item = DeviceId> {
+        (0..PAPER_DEVICE_COUNT).map(DeviceId)
+    }
+
+    /// Whether this device is one of the paper's Table 1 fifteen.
+    pub fn in_paper(self) -> bool {
+        self.0 < PAPER_DEVICE_COUNT
     }
 
     /// Look a device up by its Table 1 name (exact match).
@@ -549,6 +576,59 @@ pub static CATALOG: &[DeviceSpec] = &[
         serial_lane_gflops: 0.9,
         compute_efficiency: 0.12,
     },
+    // ---- Post-Table-1 extension devices (not in the paper) ----
+    DeviceSpec {
+        name: "RTX 3090",
+        vendor: Vendor::Nvidia,
+        class: AcceleratorClass::ConsumerGpu,
+        series: "Ampere",
+        core_count: 10496,
+        core_kind: CoreKind::Cuda,
+        clock_min_mhz: 1395,
+        clock_max_mhz: 1695,
+        clock_turbo_mhz: 0,
+        // 128 KiB unified L1/shared per SM (GA102 whitepaper), 6 MiB L2.
+        l1_kib: 128,
+        l2_kib: 6144,
+        l3_kib: 0,
+        tdp_w: 350,
+        launch: (3, 2020),
+        // GA102 whitepaper: 35.6 TFLOP/s SP boost, 936 GB/s GDDR6X.
+        peak_sp_gflops: 35580.0,
+        mem_bw_gbps: 936.0,
+        global_mem_mib: 24576,
+        launch_overhead_us: 5.0,
+        host_link_gbps: 26.0,
+        serial_lane_gflops: 1.9,
+        compute_efficiency: 0.82,
+    },
+    DeviceSpec {
+        name: "Xeon Gold 6148",
+        vendor: Vendor::Intel,
+        class: AcceleratorClass::Cpu,
+        series: "Skylake-SP",
+        core_count: 40,
+        core_kind: CoreKind::HyperThreaded,
+        clock_min_mhz: 1200,
+        clock_max_mhz: 2400,
+        clock_turbo_mhz: 3700,
+        // Skylake-SP: 32 KiB L1d, 1 MiB private L2, 27.5 MiB shared L3.
+        l1_kib: 32,
+        l2_kib: 1024,
+        l3_kib: 28160,
+        tdp_w: 150,
+        launch: (3, 2017),
+        // 20 cores × 2 AVX-512 FMA units × 16 SP lanes × 2 flops at the
+        // ~2.2 GHz AVX-512 all-core frequency ≈ 2.8 TFLOP/s; six DDR4-2666
+        // channels give 128 GB/s theoretical, ~107 sustainable.
+        peak_sp_gflops: 2816.0,
+        mem_bw_gbps: 107.0,
+        global_mem_mib: 98304,
+        launch_overhead_us: 4.0,
+        host_link_gbps: 16.0,
+        serial_lane_gflops: 7.4,
+        compute_efficiency: 0.78,
+    },
 ];
 
 #[cfg(test)]
@@ -556,9 +636,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn fifteen_devices_in_figure_order() {
-        assert_eq!(CATALOG.len(), 15);
-        let names: Vec<_> = CATALOG.iter().map(|d| d.name).collect();
+    fn paper_fifteen_lead_in_figure_order() {
+        assert_eq!(PAPER_DEVICE_COUNT, 15);
+        let names: Vec<_> = DeviceId::paper().map(|id| id.spec().name).collect();
         assert_eq!(
             names,
             vec![
@@ -582,16 +662,32 @@ mod tests {
     }
 
     #[test]
+    fn extension_devices_follow_the_paper_set() {
+        assert_eq!(CATALOG.len(), 17);
+        let extra: Vec<_> = DeviceId::all()
+            .filter(|id| !id.in_paper())
+            .map(|id| id.spec().name)
+            .collect();
+        assert_eq!(extra, vec!["RTX 3090", "Xeon Gold 6148"]);
+        for id in DeviceId::all().take(PAPER_DEVICE_COUNT) {
+            assert!(id.in_paper());
+        }
+        // Both post-date every Table 1 entry (Table 1's newest is Q1 2017).
+        for id in DeviceId::all().filter(|id| !id.in_paper()) {
+            assert!(id.spec().launch.1 >= 2017, "{}", id.spec().name);
+        }
+    }
+
+    #[test]
     fn class_census_matches_abstract() {
         // "three Intel CPUs, five Nvidia GPUs, six AMD GPUs and a Xeon Phi"
-        let count = |c: AcceleratorClass| CATALOG.iter().filter(|d| d.class == c).count();
+        // — a claim about the paper's Table 1 subset, not the extensions.
+        let paper: Vec<&DeviceSpec> = DeviceId::paper().map(|id| id.spec()).collect();
+        let count = |c: AcceleratorClass| paper.iter().filter(|d| d.class == c).count();
         assert_eq!(count(AcceleratorClass::Cpu), 3);
         assert_eq!(count(AcceleratorClass::Mic), 1);
-        let nvidia = CATALOG
-            .iter()
-            .filter(|d| d.vendor == Vendor::Nvidia)
-            .count();
-        let amd = CATALOG.iter().filter(|d| d.vendor == Vendor::Amd).count();
+        let nvidia = paper.iter().filter(|d| d.vendor == Vendor::Nvidia).count();
+        let amd = paper.iter().filter(|d| d.vendor == Vendor::Amd).count();
         assert_eq!(nvidia, 5);
         assert_eq!(amd, 6);
     }

@@ -1,4 +1,6 @@
-//! Registry of the eleven benchmarks, in the paper's reporting order.
+//! Registry of the eleven benchmarks, in the paper's reporting order,
+//! plus the extension set and the continuously parameterized synthetic
+//! families (`synth:…` names, resolved by [`eod_synth`]).
 
 use eod_core::benchmark::Benchmark;
 
@@ -25,13 +27,23 @@ pub fn extension_benchmarks() -> Vec<Box<dyn Benchmark>> {
     vec![Box::new(crate::cwt::Cwt)]
 }
 
-/// Look a benchmark up by name, searching the paper's eleven first and the
-/// extensions second.
+/// Synthetic generator families (family label + one-line description) —
+/// the `eod list` surface for the continuous parameter space. A concrete
+/// synthetic benchmark is named by its full `synth:…` encoding and is
+/// deliberately *not* enumerable here: the parameter space is continuous.
+pub fn synthetic_families() -> Vec<(&'static str, &'static str)> {
+    eod_synth::family_listing()
+}
+
+/// Look a benchmark up by name: the paper's eleven first, the extensions
+/// second, and `synth:…` encodings last. Synthetic names never collide
+/// with (or shadow) the discrete sets — the `synth:` prefix is reserved.
 pub fn benchmark_by_name(name: &str) -> Option<Box<dyn Benchmark>> {
     all_benchmarks()
         .into_iter()
         .chain(extension_benchmarks())
         .find(|b| b.name() == name)
+        .or_else(|| eod_synth::benchmark_for_name(name))
 }
 
 #[cfg(test)]
@@ -42,7 +54,8 @@ mod tests {
 
     #[test]
     fn eleven_benchmarks_in_paper_order() {
-        let names: Vec<_> = all_benchmarks().iter().map(|b| b.name()).collect();
+        let benches = all_benchmarks();
+        let names: Vec<_> = benches.iter().map(|b| b.name()).collect();
         assert_eq!(
             names,
             ["kmeans", "lud", "csr", "fft", "dwt", "srad", "crc", "nw", "gem", "nqueens", "hmm"]
@@ -72,6 +85,26 @@ mod tests {
     fn extensions_stay_out_of_the_paper_set() {
         assert!(all_benchmarks().iter().all(|b| b.name() != "cwt"));
         assert_eq!(extension_benchmarks().len(), 1);
+    }
+
+    #[test]
+    fn synthetic_names_resolve_without_joining_the_paper_set() {
+        let name = "synth:stream:fp=1048576:stride=1:fpe=1";
+        let b = benchmark_by_name(name).expect("synth names resolve");
+        assert_eq!(b.name(), name);
+        // Synthetic families are listed, but never appear among the
+        // discrete benchmark sets (the paper-order test above must hold).
+        assert_eq!(synthetic_families().len(), 4);
+        let discrete: Vec<String> = all_benchmarks()
+            .into_iter()
+            .chain(extension_benchmarks())
+            .map(|b| b.name().to_string())
+            .collect();
+        assert!(discrete.iter().all(|n| !n.starts_with("synth:")));
+        assert!(benchmark_by_name("synth:junk").is_none());
+        // A synthetic workload builds and sizes like any other.
+        let w = b.workload(ProblemSize::Tiny, 1);
+        assert_eq!(w.footprint_bytes(), 1_048_320); // 1 MiB to the nearest work-group
     }
 
     #[test]

@@ -298,9 +298,10 @@ pub fn group_spec(
     }
 }
 
-/// Device names in catalog order, mirroring [`figure_devices`].
+/// Device names in catalog order, mirroring [`figure_devices`] — the paper
+/// subset, so figure plans are unaffected by catalog extensions.
 fn plan_device_names(include_knl: bool) -> Vec<String> {
-    DeviceId::all()
+    DeviceId::paper()
         .map(|id| id.spec().name.to_string())
         .filter(|n| include_knl || n != "Xeon Phi 7210")
         .collect()
@@ -483,10 +484,12 @@ mod tests {
             None,
         )
         .unwrap();
-        // fig1 is crc over the four sizes; each sweep spans the catalog.
+        // fig1 is crc over the four sizes; each sweep spans the full
+        // catalog (paper 15 + extensions), never a hardcoded count.
+        let catalog = eod_devsim::catalog::DeviceId::all().count();
         assert_eq!(sweeps.len(), 4);
         assert!(sweeps.iter().all(|s| s.benchmark == "crc"));
-        assert!(sweeps.iter().all(|s| s.rows.len() == 15));
+        assert!(sweeps.iter().all(|s| s.rows.len() == catalog));
     }
 
     #[test]

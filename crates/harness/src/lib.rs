@@ -30,6 +30,7 @@ pub mod figures;
 pub mod report;
 pub mod runner;
 pub mod schedule;
+pub mod sweep;
 pub mod tables;
 
 pub use exec::{execute_spec, execute_spec_serialized};

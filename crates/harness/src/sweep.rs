@@ -1,0 +1,457 @@
+//! Continuous footprint sweeps over the synthetic workload families —
+//! the cliff plots the discrete Table 2 sizes cannot draw.
+//!
+//! A sweep runs one [`eod_synth`] family at a grid of footprints (log- or
+//! linear-spaced) on one device, derives the family metric (GB/s, GUPS,
+//! ns/hop or GFLOP/s) from the modeled kernel times, and renders a CSV
+//! plus an ASCII plot with the device's cache-level capacities marked.
+//! Each grid point travels as an ordinary `JobSpec` (the synthetic
+//! parameters ride in the benchmark name), so sweeps exercise exactly the
+//! serve/fleet execution path and hit the result cache on resubmission.
+//!
+//! [`SweepResult::check_cliffs`] is the non-advisory CI gate: the modeled
+//! metric must degrade monotonically across each cache-capacity boundary
+//! the sweep straddles, with the transition landing within one grid point
+//! of the device's modeled capacity.
+
+use crate::exec::execute_spec;
+use crate::runner::{RunnerConfig, RunnerError};
+use eod_core::sizes::ProblemSize;
+use eod_core::spec::JobSpec;
+use eod_devsim::catalog::CATALOG;
+use eod_synth::{gups, latency, roofline, stream, SynthFamily, SynthSpec};
+use std::fmt::Write as _;
+
+/// Default reference device — the paper's desktop Skylake, whose modeled
+/// L1/L2/L3 (32 KiB / 256 KiB / 8 MiB) the CI smoke asserts against.
+pub const DEFAULT_DEVICE: &str = "i7-6700K";
+
+/// One sweep's configuration.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Which synthetic family to sweep.
+    pub family: SynthFamily,
+    /// Simulated device name (Table 1 or extension).
+    pub device: String,
+    /// Smallest requested footprint in bytes.
+    pub min_bytes: u64,
+    /// Largest requested footprint in bytes.
+    pub max_bytes: u64,
+    /// Grid points, inclusive of both ends.
+    pub points: usize,
+    /// Log-spaced grid (default) or linear.
+    pub log_scale: bool,
+    /// STREAM element stride.
+    pub stride: u64,
+    /// Roofline FMAs per element.
+    pub flops_per_elem: u32,
+    /// Measurement configuration for each point.
+    pub runner: RunnerConfig,
+}
+
+impl SweepConfig {
+    /// A sweep of `family` over the default cliff-hunting range: 8 KiB
+    /// (inside L1) to 64 MiB (past the reference LLC), 24 log-spaced
+    /// points, quick measurement constants.
+    pub fn new(family: SynthFamily) -> Self {
+        Self {
+            family,
+            device: DEFAULT_DEVICE.to_string(),
+            min_bytes: 8 * 1024,
+            max_bytes: 64 * 1024 * 1024,
+            points: 24,
+            log_scale: true,
+            stride: 1,
+            flops_per_elem: 1,
+            runner: RunnerConfig::quick(),
+        }
+    }
+}
+
+/// One measured grid point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Requested footprint (the grid value).
+    pub requested_bytes: u64,
+    /// Footprint the workload realized after granularity rounding.
+    pub realized_bytes: u64,
+    /// Median of the sample means, milliseconds of kernel time.
+    pub median_ms: f64,
+    /// The family metric at this point (GB/s, GUPS, ns/hop, GFLOP/s).
+    pub metric: f64,
+    /// Content address of the job spec that produced this point.
+    pub spec_key: String,
+}
+
+/// A completed sweep.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The configuration that produced it.
+    pub config: SweepConfig,
+    /// Metric unit label (from the family).
+    pub metric_label: &'static str,
+    /// Cache capacities of the swept device in bytes (L1, L2, L3); zero
+    /// entries (no L3 on most GPUs) are omitted.
+    pub cache_bytes: Vec<(String, u64)>,
+    /// Measured points in grid order.
+    pub points: Vec<SweepPoint>,
+}
+
+/// The footprint grid: `points` values from `min` to `max` inclusive,
+/// log- or linear-spaced, deduplicated after rounding to whole bytes.
+pub fn footprint_grid(min: u64, max: u64, points: usize, log_scale: bool) -> Vec<u64> {
+    assert!(min >= 1 && max >= min && points >= 2);
+    let n = points as f64 - 1.0;
+    let mut grid: Vec<u64> = (0..points)
+        .map(|i| {
+            let t = i as f64 / n;
+            let v = if log_scale {
+                (min as f64).ln() + t * ((max as f64).ln() - (min as f64).ln())
+            } else {
+                min as f64 + t * (max as f64 - min as f64)
+            };
+            if log_scale {
+                v.exp().round() as u64
+            } else {
+                v.round() as u64
+            }
+        })
+        .collect();
+    grid.dedup();
+    grid
+}
+
+/// Work one iteration performs at a grid point, in the family's metric
+/// numerator: bytes (stream), updates (gups), hops (latency), flops
+/// (roofline). Derived analytically from the same sizing functions the
+/// workloads use, so the metric is exact for the modeled time.
+pub fn work_per_iteration(spec: &SynthSpec) -> f64 {
+    match spec.family {
+        SynthFamily::Stream => {
+            stream::bytes_per_iteration(stream::elems_per_array(spec.footprint_bytes), spec.stride)
+        }
+        SynthFamily::Gups => {
+            let n = gups::table_len(spec.footprint_bytes);
+            let items = gups::work_items(n);
+            (gups::updates_per_iteration(n) / items as u64 * items as u64) as f64
+        }
+        SynthFamily::Latency => {
+            latency::hops_per_iteration(latency::node_count(spec.footprint_bytes)) as f64
+        }
+        SynthFamily::Roofline => {
+            let n = roofline::elems_per_array(spec.footprint_bytes);
+            n as f64 * spec.flops_per_elem as f64 * 2.0 * roofline::passes_for(n) as f64
+        }
+    }
+}
+
+fn median(sorted_source: &[f64]) -> f64 {
+    let mut v = sorted_source.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let n = v.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Run a sweep: one `JobSpec` per grid point through the standard
+/// execution bridge (same runner, same noise reseed as serve/fleet).
+pub fn run_sweep(config: &SweepConfig) -> Result<SweepResult, RunnerError> {
+    let grid = footprint_grid(
+        config.min_bytes,
+        config.max_bytes,
+        config.points,
+        config.log_scale,
+    );
+    let mut points = Vec::with_capacity(grid.len());
+    for fp in grid {
+        let synth = SynthSpec {
+            family: config.family,
+            footprint_bytes: fp,
+            stride: config.stride,
+            flops_per_elem: config.flops_per_elem,
+        };
+        let job = JobSpec {
+            benchmark: synth.encode(),
+            size: ProblemSize::Small, // carried but ignored: the footprint governs
+            device: config.device.clone(),
+            config: config.runner.to_exec(),
+        };
+        let group = execute_spec(&job)?;
+        let med_ms = median(&group.kernel_ms);
+        let work = work_per_iteration(&synth);
+        let metric = match config.family {
+            // Bytes and flops per modeled second, in giga-units.
+            SynthFamily::Stream | SynthFamily::Roofline => work / (med_ms / 1e3) / 1e9,
+            SynthFamily::Gups => work / (med_ms / 1e3) / 1e9,
+            // Latency inverts: modeled nanoseconds per dependent load.
+            SynthFamily::Latency => med_ms * 1e6 / work,
+        };
+        points.push(SweepPoint {
+            requested_bytes: fp,
+            realized_bytes: group.footprint_bytes,
+            median_ms: med_ms,
+            metric,
+            spec_key: job.spec_key(),
+        });
+    }
+    let spec = CATALOG
+        .iter()
+        .find(|d| d.name == config.device)
+        .ok_or_else(|| RunnerError::Infra(format!("unknown device {:?}", config.device)))?;
+    let mut cache_bytes = Vec::new();
+    for (label, kib) in [
+        ("L1", spec.l1_kib),
+        ("L2", spec.l2_kib),
+        ("L3", spec.l3_kib),
+    ] {
+        if kib > 0 {
+            cache_bytes.push((label.to_string(), kib as u64 * 1024));
+        }
+    }
+    Ok(SweepResult {
+        config: config.clone(),
+        metric_label: config.family.metric(),
+        cache_bytes,
+        points,
+    })
+}
+
+impl SweepResult {
+    /// CSV rendering — the artifact CI digests. Deterministic for a fixed
+    /// config and seed: every column is a pure function of the spec.
+    pub fn csv(&self) -> String {
+        let mut out = String::from(
+            "family,device,stride,fpe,point,requested_bytes,realized_bytes,median_ms,metric,unit,spec_key\n",
+        );
+        for (i, p) in self.points.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{:.6},{:.4},{},{}",
+                self.config.family,
+                self.config.device,
+                self.config.stride,
+                self.config.flops_per_elem,
+                i,
+                p.requested_bytes,
+                p.realized_bytes,
+                p.median_ms,
+                p.metric,
+                self.metric_label,
+                p.spec_key,
+            );
+        }
+        out
+    }
+
+    /// FNV-1a digest of the CSV bytes, printed as the CI determinism check.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in self.csv().as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// ASCII cliff plot: metric vs footprint, with each cache capacity the
+    /// sweep straddles marked between the grid rows it falls between.
+    pub fn render_ascii(&self) -> String {
+        let mut out = format!(
+            "{} sweep on {} — {} vs footprint ({} points{})\n",
+            self.config.family,
+            self.config.device,
+            self.metric_label,
+            self.points.len(),
+            if self.config.log_scale {
+                ", log grid"
+            } else {
+                ""
+            },
+        );
+        let max = self
+            .points
+            .iter()
+            .map(|p| p.metric)
+            .fold(f64::MIN, f64::max)
+            .max(1e-12);
+        const WIDTH: usize = 46;
+        let mut prev_bytes = 0u64;
+        for p in &self.points {
+            for (label, cap) in &self.cache_bytes {
+                if prev_bytes <= *cap && *cap < p.realized_bytes {
+                    let _ = writeln!(
+                        out,
+                        "  {:—<width$} {} = {} KiB",
+                        "",
+                        label,
+                        cap / 1024,
+                        width = WIDTH + 14
+                    );
+                }
+            }
+            let bar = ((p.metric / max) * WIDTH as f64).round().max(1.0) as usize;
+            let _ = writeln!(
+                out,
+                "  {:>9} |{:#<bar$}{:pad$}| {:>10.3} {}",
+                human_bytes(p.realized_bytes),
+                "",
+                "",
+                p.metric,
+                self.metric_label,
+                bar = bar,
+                pad = WIDTH - bar.min(WIDTH),
+            );
+            prev_bytes = p.realized_bytes;
+        }
+        out
+    }
+
+    /// Grid index of the last point whose realized footprint is at or
+    /// under `cap` bytes; `None` if the sweep never gets that small.
+    fn last_point_within(&self, cap: u64) -> Option<usize> {
+        let mut idx = None;
+        for (i, p) in self.points.iter().enumerate() {
+            if p.realized_bytes <= cap {
+                idx = Some(i);
+            }
+        }
+        idx
+    }
+
+    /// The non-advisory cliff gate.
+    ///
+    /// For every cache level whose capacity lies strictly inside the swept
+    /// footprint range, the metric just inside the capacity must be better
+    /// (higher bandwidth/rate; lower latency) than the metric just outside
+    /// it — i.e. the cliff occurs within one grid point of the modeled
+    /// capacity, and the degradation across it is monotone.
+    pub fn check_cliffs(&self) -> Result<(), String> {
+        if self.points.len() < 2 {
+            return Err("sweep has fewer than 2 points".into());
+        }
+        let lo = self.points.first().expect("nonempty").realized_bytes;
+        let hi = self.points.last().expect("nonempty").realized_bytes;
+        let mut checked = 0;
+        for (label, cap) in &self.cache_bytes {
+            if *cap <= lo || *cap >= hi {
+                continue; // boundary outside the sweep: nothing to see
+            }
+            let inside = self
+                .last_point_within(*cap)
+                .ok_or_else(|| format!("no point inside {label}"))?;
+            if inside + 1 >= self.points.len() {
+                continue;
+            }
+            let (a, b) = (self.points[inside].metric, self.points[inside + 1].metric);
+            let degraded = match self.config.family {
+                SynthFamily::Latency => b > a, // latency rises past a capacity
+                _ => b < a,                    // bandwidth/rate falls
+            };
+            if !degraded {
+                return Err(format!(
+                    "no {label} cliff on {}: {} {} inside vs {} just past {} KiB",
+                    self.config.device,
+                    a,
+                    self.metric_label,
+                    b,
+                    cap / 1024
+                ));
+            }
+            checked += 1;
+        }
+        if checked == 0 {
+            return Err("sweep range straddles no cache boundary".into());
+        }
+        Ok(())
+    }
+}
+
+fn human_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1}MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_config(family: SynthFamily) -> SweepConfig {
+        SweepConfig {
+            runner: RunnerConfig::smoke(),
+            points: 8,
+            ..SweepConfig::new(family)
+        }
+    }
+
+    #[test]
+    fn grid_is_inclusive_sorted_and_log_spaced() {
+        let g = footprint_grid(8 * 1024, 64 * 1024 * 1024, 24, true);
+        assert_eq!(g.len(), 24);
+        assert_eq!(g[0], 8 * 1024);
+        assert_eq!(*g.last().unwrap(), 64 * 1024 * 1024);
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+        // Log spacing: ratios between consecutive points are roughly equal.
+        let r0 = g[1] as f64 / g[0] as f64;
+        let r_last = g[23] as f64 / g[22] as f64;
+        assert!((r0 / r_last - 1.0).abs() < 0.02, "{r0} vs {r_last}");
+    }
+
+    #[test]
+    fn linear_grid_has_constant_step() {
+        let g = footprint_grid(1000, 9000, 9, false);
+        assert_eq!(g, (1..=9).map(|i| i * 1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stream_sweep_shows_cache_cliffs_on_reference_cpu() {
+        let r = run_sweep(&smoke_config(SynthFamily::Stream)).unwrap();
+        assert!(r.points.len() >= 8);
+        r.check_cliffs().unwrap();
+        // Determinism: an identical sweep digests identically.
+        let r2 = run_sweep(&smoke_config(SynthFamily::Stream)).unwrap();
+        assert_eq!(r.digest(), r2.digest());
+        assert!(r.csv().lines().count() == r.points.len() + 1);
+        let ascii = r.render_ascii();
+        assert!(ascii.contains("L1 = 32 KiB"), "{ascii}");
+        assert!(ascii.contains("L2 = 256 KiB"), "{ascii}");
+    }
+
+    #[test]
+    fn latency_sweep_rises_across_boundaries() {
+        let r = run_sweep(&smoke_config(SynthFamily::Latency)).unwrap();
+        r.check_cliffs().unwrap();
+        let first = r.points.first().unwrap().metric;
+        let last = r.points.last().unwrap().metric;
+        assert!(
+            last > first,
+            "latency must grow with footprint: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_device() {
+        let mut c = smoke_config(SynthFamily::Gups);
+        c.device = "No Such Device".into();
+        assert!(run_sweep(&c).is_err());
+    }
+
+    #[test]
+    fn cliff_gate_rejects_flat_data() {
+        let mut r = run_sweep(&smoke_config(SynthFamily::Stream)).unwrap();
+        for p in &mut r.points {
+            p.metric = 10.0; // no cliffs anywhere
+        }
+        assert!(r.check_cliffs().is_err());
+    }
+}

@@ -7,13 +7,17 @@ use eod_devsim::catalog::{CoreKind, CATALOG};
 use eod_dwarfs::registry;
 use std::fmt::Write as _;
 
-/// Table 1 — the hardware catalog, printed with the paper's columns.
+/// Table 1 — the hardware catalog, printed with the paper's columns. The
+/// whole catalog is listed (derived from [`CATALOG`], not a hardcoded 15);
+/// rows past [`eod_devsim::catalog::PAPER_DEVICE_COUNT`] are post-paper
+/// extension devices, marked with a trailing `§`.
 pub fn table1() -> String {
+    use eod_devsim::catalog::PAPER_DEVICE_COUNT;
     let mut out = String::from(
         "| Name | Vendor | Type | Series | Core Count | Clock (MHz) min/max/turbo | \
          Cache (KiB) L1/L2/L3 | TDP (W) | Launch |\n|---|---|---|---|---:|---|---|---:|---|\n",
     );
-    for d in CATALOG {
+    for (i, d) in CATALOG.iter().enumerate() {
         let mark = match d.core_kind {
             CoreKind::HyperThreaded => "*",
             CoreKind::Cuda => "†",
@@ -27,9 +31,10 @@ pub fn table1() -> String {
                 v.to_string()
             }
         };
+        let ext = if i >= PAPER_DEVICE_COUNT { "§" } else { "" };
         let _ = writeln!(
             out,
-            "| {} | {} | {} | {} | {}{mark} | {}/{}/{} | {}/{}/{} | {} | Q{} {} |",
+            "| {}{ext} | {} | {} | {} | {}{mark} | {}/{}/{} | {}/{}/{} | {} | Q{} {} |",
             d.name,
             d.vendor.name(),
             match d.class {
@@ -49,6 +54,9 @@ pub fn table1() -> String {
             d.launch.0,
             d.launch.1,
         );
+    }
+    if CATALOG.len() > PAPER_DEVICE_COUNT {
+        out.push_str("\n§ post-Table-1 extension device (not in the paper).\n");
     }
     out
 }
@@ -157,10 +165,15 @@ mod tests {
     #[test]
     fn table1_has_all_devices() {
         let t = table1();
-        assert_eq!(t.lines().count(), 2 + 15);
+        // Header (2 lines) + one row per catalog device + blank + footnote.
+        assert_eq!(t.lines().count(), 2 + CATALOG.len() + 2);
         assert!(t.contains("Xeon E5-2697 v2"));
         assert!(t.contains("| 24* |"));
         assert!(t.contains("Q2 2016"));
+        // Extension rows are present and marked.
+        assert!(t.contains("| RTX 3090§ |"));
+        assert!(t.contains("| Xeon Gold 6148§ |"));
+        assert!(t.contains("post-Table-1 extension device"));
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! kernel behave on device X" in microseconds; this crate turns that
 //! offline capability into a serving feature. A [`Predictor`] takes a
 //! [`JobSpec`] and returns a ranked [`PredictionSet`]: one
-//! [`Prediction`] per Table 1 catalog device with modeled runtime,
+//! [`Prediction`] per catalog device (the Table 1 fifteen plus the
+//! post-paper extensions) with modeled runtime,
 //! modeled energy, energy-delay product, a confidence score, and the
 //! memoization provenance of the cache profile it leaned on.
 //!
@@ -16,7 +17,8 @@
 //!    [`CommandQueue::set_replay`] — the functional kernel body is
 //!    skipped but every launch still yields its [`KernelProfile`]
 //!    (flops, bytes, working set, access pattern). Profiles describe the
-//!    *kernel*, not the device, so one extraction serves all 15 devices.
+//!    *kernel*, not the device, so one extraction serves every catalog
+//!    device.
 //! 2. **Per-device sweep.** For each catalog device,
 //!    [`DeviceModel::predict`] converts each profile into a cost
 //!    breakdown and [`PowerModel`] into energy; runtimes and energies
@@ -55,8 +57,9 @@ pub const REFERENCE_DEVICE: &str = "i7-6700K";
 /// working set's home tier.
 const TIER_MISS_THRESHOLD: f64 = 0.05;
 
-/// Number of devices in the Table 1 catalog — the expected length of
-/// every [`PredictionSet`].
+/// Number of devices in the full catalog (paper fifteen + extensions) —
+/// the expected length of every [`PredictionSet`]. Always derived from
+/// [`DeviceId::all`], never hardcoded.
 pub fn catalog_len() -> usize {
     DeviceId::all().count()
 }
@@ -154,7 +157,7 @@ impl Default for PredictorMetrics {
 }
 
 /// The online prediction service: replay-based profile extraction, a
-/// 15-device model sweep, and a `spec_hash`-keyed memo cache.
+/// full-catalog model sweep, and a `spec_hash`-keyed memo cache.
 ///
 /// Cheap to share: wrap it in an `Arc` and hand clones to the serve
 /// layer and the fleet's predictive placement policy.
@@ -420,8 +423,21 @@ mod tests {
     fn covers_every_catalog_device() {
         let p = Predictor::new();
         let set = p.predict(&spec("kmeans", ProblemSize::Tiny)).unwrap();
+        // Width is derived from the catalog, never hardcoded: every device
+        // in `DeviceId::all()` — paper fifteen and extensions alike — must
+        // appear in the ranking exactly once.
         assert_eq!(set.predictions.len(), catalog_len());
-        assert_eq!(set.predictions.len(), 15);
+        for id in DeviceId::all() {
+            assert_eq!(
+                set.predictions
+                    .iter()
+                    .filter(|pr| pr.device == id.spec().name)
+                    .count(),
+                1,
+                "missing or duplicated {}",
+                id.spec().name
+            );
+        }
         // Ranked ascending by runtime.
         for pair in set.predictions.windows(2) {
             assert!(pair[0].modeled_runtime_us <= pair[1].modeled_runtime_us);
@@ -496,12 +512,13 @@ mod tests {
         let top: Vec<&str> = set
             .predictions
             .iter()
-            .take(3)
+            .take(4)
             .map(|pr| pr.device.as_str())
             .collect();
-        // The three highest-bandwidth catalog devices (R9 Fury X 512,
-        // GTX 1080 Ti 484, Titan X 480 GB/s) should lead the ranking.
-        for name in ["R9 Fury X", "GTX 1080 Ti", "Titan X"] {
+        // The four highest-bandwidth catalog devices (RTX 3090 936,
+        // R9 Fury X 512, GTX 1080 Ti 484, Titan X 480 GB/s) should lead
+        // the ranking.
+        for name in ["RTX 3090", "R9 Fury X", "GTX 1080 Ti", "Titan X"] {
             assert!(
                 top.contains(&name),
                 "expected {name} in the top 3, got {top:?}"

@@ -1622,6 +1622,88 @@ fn cmd_cachesweep(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse a human byte size: plain bytes, or a `KiB`/`MiB`/`GiB`/`KB`/`MB`/
+/// `GB` suffix (the decimal forms are treated as their binary neighbours,
+/// as cache capacities always are).
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    let (num, mult) = if let Some(p) = s.strip_suffix("GiB").or_else(|| s.strip_suffix("GB")) {
+        (p, 1u64 << 30)
+    } else if let Some(p) = s.strip_suffix("MiB").or_else(|| s.strip_suffix("MB")) {
+        (p, 1u64 << 20)
+    } else if let Some(p) = s.strip_suffix("KiB").or_else(|| s.strip_suffix("KB")) {
+        (p, 1u64 << 10)
+    } else if let Some(p) = s.strip_suffix("B") {
+        (p, 1)
+    } else {
+        (s, 1)
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad byte size {s:?}"))?;
+    Ok((v * mult as f64).round() as u64)
+}
+
+fn cmd_sweep(cli: &Cli) -> Result<(), String> {
+    use eod_harness::sweep::{run_sweep, SweepConfig};
+    let family_label =
+        flag_value(&cli.args, "--family").ok_or("usage: eod sweep --family stream|gups|latency|roofline [--footprint 8KiB..64MiB] [--points 24] [--log|--linear] [--device D] [--stride S] [--fpe F] [--check-cliffs]")?;
+    let family = eod_synth::SynthFamily::parse(&family_label)
+        .ok_or_else(|| format!("unknown family {family_label:?} (stream gups latency roofline)"))?;
+    let mut config = SweepConfig::new(family);
+    config.runner = cli.config.clone();
+    if let Some(range) = flag_value(&cli.args, "--footprint") {
+        let (lo, hi) = range
+            .split_once("..")
+            .ok_or_else(|| format!("--footprint wants MIN..MAX, got {range:?}"))?;
+        config.min_bytes = parse_bytes(lo)?;
+        config.max_bytes = parse_bytes(hi)?;
+        if config.min_bytes == 0 || config.max_bytes < config.min_bytes {
+            return Err(format!("bad footprint range {range:?}"));
+        }
+    }
+    if let Some(points) = parse_flag::<usize>(&cli.args, "--points")? {
+        if points < 2 {
+            return Err("--points must be at least 2".into());
+        }
+        config.points = points;
+    }
+    if has_flag(&cli.args, "--linear") {
+        config.log_scale = false;
+    }
+    // `--log` is the default; accept it anyway for symmetry.
+    if has_flag(&cli.args, "--log") {
+        config.log_scale = true;
+    }
+    if let Some(device) = flag_value(&cli.args, "--device") {
+        config.device = device;
+    }
+    if let Some(stride) = parse_flag::<u64>(&cli.args, "--stride")? {
+        config.stride = stride.max(1);
+    }
+    if let Some(fpe) = parse_flag::<u32>(&cli.args, "--fpe")? {
+        config.flops_per_elem = fpe.max(1);
+    }
+    let result = run_sweep(&config).map_err(|e| e.to_string())?;
+    print!("{}", result.render_ascii());
+    println!("csv digest: {:016x}", result.digest());
+    if let Some(dir) = &cli.out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        let path = dir.join(format!("sweep_{}.csv", config.family));
+        std::fs::write(&path, result.csv()).map_err(|e| e.to_string())?;
+        println!("wrote {}", path.display());
+    }
+    match result.check_cliffs() {
+        Ok(()) => println!("cache cliffs: within one grid point of every modeled capacity"),
+        Err(e) if has_flag(&cli.args, "--check-cliffs") => {
+            return Err(format!("cliff check failed: {e}"))
+        }
+        Err(e) => println!("cache cliffs: {e}"),
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let cli = parse_cli()?;
     let runner = Runner::new(cli.config.clone());
@@ -1647,6 +1729,10 @@ fn run() -> Result<(), String> {
                     sizes.join(",")
                 );
             }
+            println!("synthetic families (continuously parameterized; name = synth:<family>:fp=<bytes>:stride=<elems>:fpe=<n>):");
+            for (name, desc) in registry::synthetic_families() {
+                println!("  {name:<8} {desc}");
+            }
             println!("\nplatforms:");
             for (p, platform) in Platform::all().iter().enumerate() {
                 println!("  -p {p}: {}", platform.name());
@@ -1661,6 +1747,7 @@ fn run() -> Result<(), String> {
         "sizing" => print!("{}", tables::sizing_report()),
         "cachesim" => print!("{}", eod_harness::cachesim::report(cli.config.seed)?),
         "cachesweep" => cmd_cachesweep(&cli)?,
+        "sweep" => cmd_sweep(&cli)?,
         "power" => print!("{}", tables::power_report()),
         "fig1" => show_figure(&figures::fig1(&runner)?, &cli.out_dir)?,
         "fig2a" | "fig2b" | "fig2c" | "fig2d" | "fig2e" => {
@@ -1711,6 +1798,8 @@ fn run() -> Result<(), String> {
                  \u{20}         fig1 fig2a..fig2e fig3a fig3b fig4 fig5 figures\n\
                  \u{20}         run <benchmark> <size> [-p P -d D -t T] [--trace-out trace.json]\n\
                  \u{20}         cov cachesim cachesweep <benchmark> <size> aiwc ideal ablation autotune schedule\n\
+                 \u{20}         sweep --family stream|gups|latency|roofline [--footprint 8KiB..64MiB] [--points 24]\n\
+                 \u{20}               [--log|--linear] [--device D] [--stride S] [--fpe F] [--check-cliffs]\n\
                  \u{20}         [--cache-engine exact|stackdist]  (counter/cachesim engine; default stackdist)\n\
                  \u{20}         bench-engine [--full] [--json FILE] [--baseline FILE]\n\
                  \u{20}         serve [--addr A --workers N --queue-cap N --cache-cap N --metrics-addr M --transport reactor|blocking]\n\

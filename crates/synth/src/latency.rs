@@ -1,0 +1,223 @@
+//! Pointer-chase latency probe: serially dependent loads around a cycle.
+//!
+//! The table holds a Sattolo single-cycle permutation — `next[i]` is the
+//! successor of node `i` — so `pos = next[pos]` visits every node exactly
+//! once per lap and no prefetcher can guess the next line. One work-item,
+//! fully serial: the measured quantity is load-to-use latency at the cache
+//! level the footprint lands in, the axis the STREAM family cannot see.
+
+use crate::{floor_pow2, sattolo_cycle, SynthSpec, LOCAL_SIZE};
+use eod_clrt::prelude::*;
+use eod_core::benchmark::{IterationOutput, Workload};
+use eod_devsim::profile::{AccessPattern, KernelProfile};
+
+/// Minimum hops per iteration: whole laps are repeated until the chain is
+/// long enough that launch overhead cannot mask the per-hop latency.
+pub const MIN_HOPS: u64 = 1 << 20;
+
+/// Cap on hops per iteration (one hop = one dependent load).
+pub const MAX_HOPS: u64 = 1 << 22;
+
+/// Nodes for a requested footprint (8 B per `u64` pointer), power of two,
+/// minimum one work-group's worth.
+pub fn node_count(footprint_bytes: u64) -> usize {
+    floor_pow2(footprint_bytes / 8).max(LOCAL_SIZE as u64) as usize
+}
+
+/// Hops one iteration walks: whole laps of the cycle up to at least
+/// [`MIN_HOPS`]; for tables longer than [`MAX_HOPS`], one capped partial
+/// lap.
+pub fn hops_per_iteration(n: usize) -> u64 {
+    let n = n as u64;
+    if n >= MIN_HOPS {
+        n.min(MAX_HOPS)
+    } else {
+        n * MIN_HOPS.div_ceil(n)
+    }
+}
+
+struct ChaseKernel {
+    next: BufView<u64>,
+    out: BufView<u64>,
+    hops: u64,
+}
+
+impl Kernel for ChaseKernel {
+    fn name(&self) -> &str {
+        "synth::pointer_chase"
+    }
+
+    fn profile(&self) -> KernelProfile {
+        let mut prof = KernelProfile::new("synth::pointer_chase");
+        prof.bytes_read = self.hops as f64 * 8.0;
+        prof.bytes_written = 8.0;
+        prof.int_ops = self.hops as f64;
+        prof.working_set = self.next.len() as u64 * 8;
+        prof.pattern = AccessPattern::Random;
+        prof.work_items = 1;
+        // Every load depends on the previous one; nothing to parallelize.
+        prof.serial_fraction = 1.0;
+        prof
+    }
+
+    fn run_group(&self, group: &WorkGroup) {
+        for item in group.items() {
+            if item.global_id(0) != 0 {
+                continue;
+            }
+            let mut pos = 0u64;
+            for _ in 0..self.hops {
+                pos = self.next.get(pos as usize);
+            }
+            self.out.set(0, pos);
+        }
+    }
+}
+
+/// A configured pointer-chase instance.
+pub struct LatencyWorkload {
+    seed: u64,
+    n: usize,
+    hops: u64,
+    host_next: Vec<u64>,
+    next: Option<Buffer<u64>>,
+    out: Option<Buffer<u64>>,
+    range: NdRange,
+}
+
+impl LatencyWorkload {
+    /// Build from a spec (family must be `latency`) and a seed.
+    pub fn new(spec: SynthSpec, seed: u64) -> Self {
+        let n = node_count(spec.footprint_bytes);
+        Self {
+            seed,
+            n,
+            hops: hops_per_iteration(n),
+            host_next: Vec::new(),
+            next: None,
+            out: None,
+            range: NdRange::d1(LOCAL_SIZE, LOCAL_SIZE),
+        }
+    }
+
+    /// Nodes in the cycle (power of two).
+    pub fn nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Dependent loads per iteration (for ns-per-hop derivation).
+    pub fn hops(&self) -> u64 {
+        self.hops
+    }
+
+    /// Where the chase lands after `hops` steps from node 0 — the serial
+    /// reference for `verify`.
+    pub fn expected_end(&self) -> u64 {
+        let mut pos = 0u64;
+        for _ in 0..self.hops {
+            pos = self.host_next[pos as usize];
+        }
+        pos
+    }
+}
+
+impl Workload for LatencyWorkload {
+    fn footprint_bytes(&self) -> u64 {
+        (self.n as u64) * 8
+    }
+
+    fn setup(&mut self, ctx: &Context, queue: &CommandQueue) -> Result<Vec<Event>> {
+        self.host_next = sattolo_cycle(self.n, self.seed);
+        let next = ctx.create_buffer::<u64>(self.n)?;
+        let out = ctx.create_buffer::<u64>(1)?;
+        let ev = queue.enqueue_write_buffer(&next, &self.host_next)?;
+        self.next = Some(next);
+        self.out = Some(out);
+        Ok(vec![ev])
+    }
+
+    fn run_iteration(&mut self, queue: &CommandQueue) -> Result<IterationOutput> {
+        let (next, out) = match (&self.next, &self.out) {
+            (Some(n), Some(o)) => (n, o),
+            _ => return Err(Error::InvalidValue("latency used before setup".into())),
+        };
+        let kernel = ChaseKernel {
+            next: next.view(),
+            out: out.view(),
+            hops: self.hops,
+        };
+        let ev = queue.enqueue_kernel(&kernel, &self.range)?;
+        Ok(IterationOutput::new(vec![ev]))
+    }
+
+    fn verify(&mut self, queue: &CommandQueue) -> std::result::Result<(), String> {
+        let out = self.out.as_ref().ok_or("verify before setup")?;
+        let mut got = vec![0u64; 1];
+        queue
+            .enqueue_read_buffer(out, &mut got)
+            .map_err(|e| e.to_string())?;
+        let want = self.expected_end();
+        if got[0] != want {
+            return Err(format!("pointer chase ended at {} (want {want})", got[0]));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SynthFamily;
+
+    fn spec(fp: u64) -> SynthSpec {
+        SynthSpec::new(SynthFamily::Latency, fp)
+    }
+
+    #[test]
+    fn chase_verifies_and_closes_the_cycle() {
+        let ctx = Context::new(Device::native());
+        let queue = CommandQueue::new(&ctx).with_profiling();
+        let mut w = LatencyWorkload::new(spec(32 * 1024), 9);
+        w.setup(&ctx, &queue).unwrap();
+        w.run_iteration(&queue).unwrap();
+        w.verify(&queue).unwrap();
+        // Whole laps only: the walk always returns to the start, and the
+        // amortization floor is met.
+        assert_eq!(w.hops() % w.nodes() as u64, 0);
+        assert!(w.hops() >= MIN_HOPS);
+        assert_eq!(w.expected_end(), 0);
+    }
+
+    #[test]
+    fn large_tables_walk_one_capped_partial_lap() {
+        assert_eq!(hops_per_iteration(1 << 21), 1 << 21); // one full lap
+        assert_eq!(hops_per_iteration(1 << 23), MAX_HOPS); // capped partial
+        assert_eq!(hops_per_iteration(1000), 1000 * MIN_HOPS.div_ceil(1000));
+    }
+
+    #[test]
+    fn profile_is_fully_serial_random() {
+        let ctx = Context::new(Device::native());
+        let queue = CommandQueue::new(&ctx);
+        let mut w = LatencyWorkload::new(spec(1 << 16), 3);
+        w.setup(&ctx, &queue).unwrap();
+        let k = ChaseKernel {
+            next: w.next.as_ref().unwrap().view(),
+            out: w.out.as_ref().unwrap().view(),
+            hops: w.hops,
+        };
+        let p = k.profile();
+        p.validate().unwrap();
+        assert_eq!(p.serial_fraction, 1.0);
+        assert_eq!(p.work_items, 1);
+        assert_eq!(p.pattern, AccessPattern::Random);
+        assert_eq!(p.working_set, w.footprint_bytes());
+    }
+
+    #[test]
+    fn hop_cap_applies_to_huge_footprints() {
+        let w = LatencyWorkload::new(spec(1 << 30), 0);
+        assert_eq!(w.hops(), MAX_HOPS);
+        assert!(w.nodes() as u64 > MAX_HOPS);
+    }
+}
