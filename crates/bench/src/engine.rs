@@ -358,6 +358,97 @@ fn predict_warm_metric(budget: Duration) -> EngineMetric {
     }
 }
 
+/// Steady-state item throughput for one ported workload under one NativeCpu
+/// kernel path. `items_per_iter` is the number of work-items one
+/// `run_iteration` processes; amortizing repeats inside a launch are not
+/// counted — both paths repeat identically, and the scalar/vectorized ratio
+/// is the point of these rows.
+fn workload_items_metric(
+    name: &str,
+    path: eod_clrt::backend::KernelPath,
+    items_per_iter: f64,
+    mut workload: Box<dyn eod_core::benchmark::Workload>,
+    budget: Duration,
+) -> EngineMetric {
+    use eod_clrt::backend::{set_default_kernel_path, KernelPath};
+    set_default_kernel_path(path);
+    let ctx = Context::new(Device::native());
+    let queue = CommandQueue::new(&ctx);
+    workload.setup(&ctx, &queue).expect("setup");
+    let (iterations, elapsed_s) = measure_every(budget, || {
+        workload.run_iteration(&queue).expect("iteration");
+    });
+    set_default_kernel_path(KernelPath::Vectorized);
+    EngineMetric {
+        name: name.to_string(),
+        unit: "items_per_s".to_string(),
+        value: iterations as f64 * items_per_iter / elapsed_s,
+        iterations,
+        elapsed_s,
+    }
+}
+
+/// Per-dwarf scalar-vs-vectorized item throughput for every kernel family
+/// ported to `KernelBody::Vectorized`: kmeans (small), srad (medium),
+/// gem (2D3V), and the synth STREAM/roofline probes at 4 MiB.
+fn kernel_path_metrics(budget: Duration) -> Vec<EngineMetric> {
+    use eod_clrt::backend::KernelPath;
+    use eod_core::sizes::ProblemSize;
+    use eod_dwarfs::{gem, kmeans, srad};
+    use eod_synth::{roofline::RooflineWorkload, stream::StreamWorkload, SynthFamily, SynthSpec};
+    let mut out = Vec::new();
+    for path in [KernelPath::Scalar, KernelPath::Vectorized] {
+        let suffix = path.label();
+        let kp = kmeans::KmeansParams::for_size(ProblemSize::Small);
+        out.push(workload_items_metric(
+            &format!("items_kmeans_{suffix}"),
+            path,
+            kp.points as f64,
+            Box::new(kmeans::KmeansWorkload::new(kp, 5)),
+            budget,
+        ));
+        let sp = srad::SradParams::for_size(ProblemSize::Medium);
+        out.push(workload_items_metric(
+            &format!("items_srad_{suffix}"),
+            path,
+            (sp.cells() * 2) as f64, // two kernels per iteration
+            Box::new(srad::SradWorkload::new(sp, 5)),
+            budget,
+        ));
+        let (_, nv) = gem::split_for_footprint(252 * 1024); // 2D3V
+        out.push(workload_items_metric(
+            &format!("items_gem_{suffix}"),
+            path,
+            nv as f64,
+            Box::new(gem::GemWorkload::new("2D3V", 252.0, 5)),
+            budget,
+        ));
+        let sw = StreamWorkload::new(SynthSpec::new(SynthFamily::Stream, 4 << 20), 5);
+        let stream_items = (sw.elems() * 4) as f64; // copy+scale+add+triad
+        out.push(workload_items_metric(
+            &format!("items_stream_{suffix}"),
+            path,
+            stream_items,
+            Box::new(sw),
+            budget,
+        ));
+        let rspec = SynthSpec {
+            flops_per_elem: 16,
+            ..SynthSpec::new(SynthFamily::Roofline, 4 << 20)
+        };
+        let rw = RooflineWorkload::new(rspec, 5);
+        let roofline_items = rw.elems() as f64;
+        out.push(workload_items_metric(
+            &format!("items_roofline_{suffix}"),
+            path,
+            roofline_items,
+            Box::new(rw),
+            budget,
+        ));
+    }
+    out
+}
+
 /// Run the full suite. `full` lengthens the per-metric timing window from
 /// 150 ms to 1 s for lower-variance numbers.
 pub fn run(full: bool) -> EngineReport {
@@ -397,6 +488,7 @@ pub fn run(full: bool) -> EngineReport {
         budget,
     ));
     metrics.push(predict_warm_metric(budget));
+    metrics.extend(kernel_path_metrics(budget));
     EngineReport { metrics }
 }
 
@@ -501,6 +593,16 @@ mod tests {
             "cachesim_sweep_stackdist_8mib",
             "cachesim_sweep_stackdist_memoized_8mib",
             "predict_warm",
+            "items_kmeans_scalar",
+            "items_kmeans_vectorized",
+            "items_srad_scalar",
+            "items_srad_vectorized",
+            "items_gem_scalar",
+            "items_gem_vectorized",
+            "items_stream_scalar",
+            "items_stream_vectorized",
+            "items_roofline_scalar",
+            "items_roofline_vectorized",
         ] {
             let m = r.metric(name).unwrap_or_else(|| panic!("missing {name}"));
             assert!(m.value > 0.0, "{name} rate must be positive");

@@ -262,6 +262,56 @@ impl<T: Scalar> BufView<T> {
         // SAFETY: no-concurrent-access is forwarded to the caller.
         unsafe { T::fill_cells(&self.cells, v) };
     }
+
+    /// Borrow `range` as a plain shared slice — the zero-copy read path
+    /// for vectorized kernels (see [`crate::vecops`]). Unlike
+    /// [`BufView::read_slice`] nothing is staged: the slice aliases device
+    /// storage directly, so the compiler sees contiguous `&[T]` loads it
+    /// can autovectorize. The range is bounds-checked (panics like the
+    /// safe accessors).
+    ///
+    /// # Safety
+    ///
+    /// The covered elements must not be *written* for the borrow's
+    /// lifetime (concurrent readers are fine; writes elsewhere in the
+    /// buffer are fine) — the [`Scalar::load_slice`] contract, held open
+    /// instead of paid per copy. Vectorized kernels discharge this by
+    /// slicing only launch inputs, or spans their own `run_span` call
+    /// exclusively owns.
+    #[inline]
+    pub unsafe fn slice(&self, range: std::ops::Range<usize>) -> &[T] {
+        const { T::LAYOUT_COMPAT };
+        let cells = &self.cells[range];
+        // SAFETY: LAYOUT_COMPAT proves the cell array is bit-compatible
+        // with a scalar array; the caller rules out concurrent writers to
+        // the covered cells, so non-atomic reads through the reborrow
+        // cannot race.
+        unsafe { std::slice::from_raw_parts(cells.as_ptr().cast::<T>(), cells.len()) }
+    }
+
+    /// Borrow `range` as a plain mutable slice — the zero-copy write path
+    /// for vectorized kernels. The range is bounds-checked.
+    ///
+    /// # Safety
+    ///
+    /// The covered elements must not be accessed *at all* by anyone else
+    /// for the borrow's lifetime (disjoint access elsewhere in the buffer
+    /// is fine) — the [`Scalar::store_slice`] contract, held open.
+    /// Vectorized kernels discharge this by mutably slicing only the span
+    /// their own `run_span` call exclusively owns; the backend hands out
+    /// disjoint spans. Callers must also not request overlapping `slice`/
+    /// `slice_mut` borrows of the same elements from one view.
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // interior mutability: cells are atomics
+    pub unsafe fn slice_mut(&self, range: std::ops::Range<usize>) -> &mut [T] {
+        const { T::LAYOUT_COMPAT };
+        let cells = &self.cells[range];
+        // SAFETY: layout-compat as in `slice`; atomic cells are interior-
+        // mutable, so a mutable reborrow derived from a shared reference
+        // is permitted, and the caller guarantees exclusive access to the
+        // covered cells for the borrow's lifetime.
+        unsafe { std::slice::from_raw_parts_mut(cells.as_ptr() as *mut T, cells.len()) }
+    }
 }
 
 #[cfg(test)]
@@ -316,6 +366,29 @@ mod tests {
         assert_eq!(mid, [0.0, 1.0, 2.0, 3.0]);
         unsafe { v.fill(7.5) };
         assert_eq!(b.to_vec(), vec![7.5; 8]);
+    }
+
+    #[test]
+    fn span_slices_alias_storage() {
+        let b = test_buffer(&[1.0f32, 2.0, 3.0, 4.0, 5.0]);
+        let v = b.view();
+        // SAFETY: single-threaded test — no concurrent access; the two
+        // borrows cover disjoint ranges.
+        unsafe {
+            assert_eq!(v.slice(1..4), &[2.0, 3.0, 4.0]);
+            let mid = v.slice_mut(1..4);
+            mid[0] = 20.0;
+            mid[2] = 40.0;
+        }
+        assert_eq!(b.to_vec(), vec![1.0, 20.0, 3.0, 40.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "range end index")]
+    fn span_slice_out_of_range_panics() {
+        let b = test_buffer(&[0u32; 4]);
+        // SAFETY: single-threaded test; must panic on the range check.
+        let _ = unsafe { b.view().slice(2..6) };
     }
 
     #[test]

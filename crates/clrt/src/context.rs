@@ -58,16 +58,13 @@ impl Context {
             return Err(Error::InvalidBufferSize("zero-length buffer".into()));
         }
         let bytes = (data.len() * T::BYTES) as u64;
-        let capacity = self.device.global_mem_bytes();
-        // Reserve, then check; back out on failure.
+        // Reserve, then ask the backend to admit the allocation (the
+        // default enforces device capacity); back out on refusal.
         let prev = self.allocated.fetch_add(bytes, Ordering::Relaxed);
-        if prev + bytes > capacity {
+        let backend = crate::backend::default_backend().instance();
+        if let Err(e) = backend.preflight_alloc(&self.device, bytes, prev) {
             self.allocated.fetch_sub(bytes, Ordering::Relaxed);
-            return Err(Error::OutOfDeviceMemory {
-                requested: bytes,
-                allocated: prev,
-                capacity,
-            });
+            return Err(e);
         }
         Ok(Buffer::new_with_guard(
             data,

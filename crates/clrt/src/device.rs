@@ -1,17 +1,20 @@
 //! Compute devices: the native host CPU and the simulated Table 1 fleet.
 //!
 //! A [`Device`] is what a context binds to and what a command queue
-//! executes on. Two backends exist:
+//! executes on. Two timing sources exist:
 //!
-//! * [`Backend::NativeCpu`] — kernels run for real across host threads and
-//!   events carry wall-clock timestamps. This is the backend Criterion
+//! * [`Timing::Wall`] — kernels run for real across host threads and
+//!   events carry wall-clock timestamps. This is what the Criterion
 //!   benches measure.
-//! * [`Backend::Simulated`] — kernels still run for real (results must be
+//! * [`Timing::Modeled`] — kernels still run for real (results must be
 //!   correct and checkable against each benchmark's serial reference), but
 //!   event timestamps come from the `eod-devsim` timing model for the
 //!   chosen Table 1 device, perturbed by its noise model, and PAPI-style
-//!   counters are synthesized to match. This is the backend that
+//!   counters are synthesized to match. This is the source that
 //!   regenerates the paper's figures.
+//!
+//! The timing source is a per-device property; *how* kernels execute on
+//! the host is the orthogonal [`crate::backend::Backend`] seam.
 
 use eod_devsim::catalog::DeviceId;
 use eod_devsim::energy::PowerModel;
@@ -74,19 +77,19 @@ impl SimBackend {
     }
 }
 
-/// Which engine executes and times kernels.
+/// Where a device's event timestamps come from.
 #[derive(Debug)]
-pub enum Backend {
+pub enum Timing {
     /// Real execution on the host, wall-clock timing.
-    NativeCpu,
+    Wall,
     /// Real execution on the host, modeled timing for a Table 1 device.
-    Simulated(SimBackend),
+    Modeled(SimBackend),
 }
 
 #[derive(Debug)]
 pub(crate) struct DeviceInner {
     pub(crate) name: String,
-    pub(crate) backend: Backend,
+    pub(crate) timing: Timing,
     pub(crate) max_work_group_size: usize,
     pub(crate) global_mem_bytes: u64,
 }
@@ -103,7 +106,7 @@ impl Device {
         Self {
             inner: Arc::new(DeviceInner {
                 name: "Host CPU (native)".to_string(),
-                backend: Backend::NativeCpu,
+                timing: Timing::Wall,
                 max_work_group_size: 1024,
                 // Host RAM is effectively unbounded for our problem sizes.
                 global_mem_bytes: 64 << 30,
@@ -124,7 +127,7 @@ impl Device {
         Self {
             inner: Arc::new(DeviceInner {
                 name: spec.name.to_string(),
-                backend: Backend::Simulated(SimBackend {
+                timing: Timing::Modeled(SimBackend {
                     model: DeviceModel::new(id),
                     noise: NoiseModel::for_device(spec),
                     transfer: TransferModel::for_device(spec),
@@ -152,28 +155,28 @@ impl Device {
         self.inner.global_mem_bytes
     }
 
-    /// The execution backend.
-    pub fn backend(&self) -> &Backend {
-        &self.inner.backend
+    /// The event-timing source.
+    pub fn timing(&self) -> &Timing {
+        &self.inner.timing
     }
 
     /// The simulated device's catalog id, if this is a simulated device.
     pub fn sim_id(&self) -> Option<DeviceId> {
-        match &self.inner.backend {
-            Backend::Simulated(sim) => Some(sim.model.id()),
-            Backend::NativeCpu => None,
+        match &self.inner.timing {
+            Timing::Modeled(sim) => Some(sim.model.id()),
+            Timing::Wall => None,
         }
     }
 
     /// True for the native host device.
     pub fn is_native(&self) -> bool {
-        matches!(self.inner.backend, Backend::NativeCpu)
+        matches!(self.inner.timing, Timing::Wall)
     }
 
     /// Restart the simulated noise stream from `seed`; no-op natively.
     /// See [`SimBackend::reseed_noise`].
     pub fn reseed_noise(&self, seed: u64) {
-        if let Backend::Simulated(sim) = &self.inner.backend {
+        if let Timing::Modeled(sim) = &self.inner.timing {
             sim.reseed_noise(seed);
         }
     }
@@ -206,7 +209,7 @@ mod tests {
     fn noisy_cost_is_near_model() {
         let id = DeviceId::by_name("i7-6700K").unwrap();
         let d = Device::simulated_seeded(id, 7);
-        let Backend::Simulated(sim) = d.backend() else {
+        let Timing::Modeled(sim) = d.timing() else {
             panic!("expected simulated");
         };
         let mut p = KernelProfile::new("x");
@@ -234,7 +237,7 @@ mod tests {
         p.working_set = 1 << 20;
         let sample = |seed| {
             let d = Device::simulated_seeded(id, seed);
-            let Backend::Simulated(sim) = d.backend() else {
+            let Timing::Modeled(sim) = d.timing() else {
                 unreachable!()
             };
             (0..5)
@@ -249,7 +252,7 @@ mod tests {
     fn reseeding_restarts_the_noise_stream() {
         let id = DeviceId::by_name("K20m").unwrap();
         let d = Device::simulated_seeded(id, 1);
-        let Backend::Simulated(sim) = d.backend() else {
+        let Timing::Modeled(sim) = d.timing() else {
             unreachable!()
         };
         let mut p = KernelProfile::new("x");

@@ -9,6 +9,7 @@
 
 use crate::ndrange::{WorkGroup, WorkItem};
 use eod_devsim::profile::KernelProfile;
+use std::ops::Range;
 
 /// A device kernel.
 pub trait Kernel: Sync {
@@ -16,8 +17,8 @@ pub trait Kernel: Sync {
     fn name(&self) -> &str;
 
     /// Architecture-independent profile of one launch over the range it was
-    /// built for. The simulated backend times this; the native backend
-    /// ignores it.
+    /// built for. The simulated timing source prices this; wall-clock
+    /// timing ignores it.
     fn profile(&self) -> KernelProfile;
 
     /// Execute all work-items of one work-group, in local-id order.
@@ -26,6 +27,55 @@ pub trait Kernel: Sync {
     /// must write disjoint buffer elements unless they use atomic
     /// read-modify-write helpers.
     fn run_group(&self, group: &WorkGroup);
+
+    /// How the backend may execute this kernel. Defaults to the per-item
+    /// work-group loop; regular elementwise kernels return
+    /// [`KernelBody::Vectorized`] to opt into the slice-level fast path
+    /// (see [`crate::vecops`]). The scalar path must always stay correct —
+    /// it is the fallback on every backend and the reference the
+    /// equivalence tests compare against.
+    fn body(&self) -> KernelBody<'_> {
+        KernelBody::PerItem
+    }
+}
+
+/// The execution shape a kernel exposes to the backend.
+pub enum KernelBody<'a> {
+    /// Execute via [`Kernel::run_group`], one work-item at a time. The
+    /// fallback for irregular dwarfs (nw, nqueens, csr) whose inner loops
+    /// don't flatten to contiguous slices.
+    PerItem,
+    /// Execute via [`VectorizedBody::run_span`] over flat element spans.
+    /// The backend must produce bit-identical results on either variant;
+    /// the launch-time kernel-path switch picks which one runs.
+    Vectorized(&'a dyn VectorizedBody),
+}
+
+/// Slice-level execution over a flat element domain.
+///
+/// The backend partitions `0..domain()` into spans aligned to
+/// `granularity()` and calls [`run_span`](Self::run_span) for each —
+/// sequentially when the launch is inline, from worker threads otherwise.
+/// Implementations must make each span's writes independent of how the
+/// domain was partitioned: every element's value may depend only on its
+/// own index (plus read-only inputs), and any in-span reduction must use a
+/// fixed association order. That is what keeps vectorized results
+/// bit-identical to the per-item path under any thread count.
+pub trait VectorizedBody: Sync {
+    /// Number of flat elements, *without* work-group padding. The per-item
+    /// path pads the ND-range to the work-group multiple and guards; the
+    /// vectorized path iterates exactly the real domain.
+    fn domain(&self) -> usize;
+
+    /// Span-boundary alignment in elements (e.g. a row length, so a 2D
+    /// stencil sees whole rows). Must evenly divide `domain()`. Default 1.
+    fn granularity(&self) -> usize {
+        1
+    }
+
+    /// Execute all elements in `span` (a subrange of `0..domain()`, aligned
+    /// to `granularity()` except possibly at `domain()` itself).
+    fn run_span(&self, span: Range<usize>);
 }
 
 /// A kernel defined by a per-work-item closure.
@@ -100,6 +150,12 @@ mod tests {
         let p = k.profile();
         assert!(p.validate().is_ok());
         assert_eq!(p.work_items, 128);
+    }
+
+    #[test]
+    fn default_body_is_per_item() {
+        let k = ClosureKernel::new("x", 4, |_item: &WorkItem| {});
+        assert!(matches!(k.body(), KernelBody::PerItem));
     }
 
     #[test]

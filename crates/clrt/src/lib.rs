@@ -7,15 +7,24 @@
 //! `QUEUED`/`SUBMIT`/`START`/`END` timestamps. This crate reimplements that
 //! contract so every benchmark in `eod-dwarfs` runs unmodified on:
 //!
-//! * the **native CPU backend** — kernels really execute, work-groups are
-//!   scheduled across host threads with Rayon (the same shape as Intel's
-//!   OpenCL CPU driver, which fissions work-groups over TBB), and events
-//!   carry real wall-clock timestamps;
-//! * the **simulated accelerator backend** — one device per Table 1 entry.
+//! * the **native host device** with wall-clock timing — kernels really
+//!   execute, work-groups are scheduled across host threads with Rayon (the
+//!   same shape as Intel's OpenCL CPU driver, which fissions work-groups
+//!   over TBB), and events carry real wall-clock timestamps;
+//! * the **simulated accelerators** — one device per Table 1 entry.
 //!   Kernels still really execute (so results stay correct and verifiable),
 //!   but event timestamps come from `eod-devsim`'s calibrated timing model
 //!   plus its measurement-noise model, and hardware counters are synthesized
 //!   to match.
+//!
+//! Orthogonal to the per-device timing source, a pluggable execution
+//! [`backend::Backend`] owns device enumeration, allocation admission,
+//! kernel launch, and event timing: [`backend::NativeCpu`] (threaded, with
+//! a slice-level vectorized fast path for kernels exposing a
+//! [`kernel::KernelBody::Vectorized`] body over the [`vecops`] primitives)
+//! and [`backend::DevsimReplay`] (sequential inline, for model-timed
+//! replay). A future real-OpenCL backend slots in behind the same trait
+//! without touching a single kernel.
 //!
 //! Device memory is modeled soundly: a [`buffer::Buffer`] stores scalars as
 //! relaxed atomics (free on x86-64: a relaxed load/store compiles to a plain
@@ -24,7 +33,9 @@
 //! the semantic model; bulk transfers and row/tile staging additionally get
 //! a memcpy-style fast path ([`buffer::BufView::read_slice`] and friends)
 //! that exploits the bit-compatibility of each scalar with its atomic cell
-//! (see [`scalar::Scalar::LAYOUT_COMPAT`]). Kernel dispatch is adaptive
+//! (see [`scalar::Scalar::LAYOUT_COMPAT`]), and vectorized kernels borrow
+//! their spans zero-copy ([`buffer::BufView::slice`]/
+//! [`buffer::BufView::slice_mut`]). Kernel dispatch is adaptive
 //! ([`queue::DispatchMode`]): small launches run inline, large ones fan out
 //! by group index with no per-launch allocation.
 //!
@@ -53,6 +64,7 @@
 //! assert!(out.iter().all(|&v| v == 4.0));
 //! ```
 
+pub mod backend;
 pub mod buffer;
 pub mod context;
 pub mod device;
@@ -63,15 +75,20 @@ pub mod ndrange;
 pub mod platform;
 pub mod queue;
 pub mod scalar;
+pub mod vecops;
 
 /// Everything a benchmark host program needs.
 pub mod prelude {
+    pub use crate::backend::{
+        default_backend, default_kernel_path, set_default_backend, set_default_kernel_path,
+        Backend, BackendKind, KernelPath,
+    };
     pub use crate::buffer::{BufView, Buffer};
     pub use crate::context::Context;
-    pub use crate::device::{Backend, Device};
+    pub use crate::device::{Device, Timing};
     pub use crate::error::{Error, Result};
     pub use crate::event::{CommandKind, Event};
-    pub use crate::kernel::{ClosureKernel, Kernel};
+    pub use crate::kernel::{ClosureKernel, Kernel, KernelBody, VectorizedBody};
     pub use crate::ndrange::{NdRange, WorkGroup, WorkItem};
     pub use crate::platform::Platform;
     pub use crate::queue::{CommandQueue, DispatchMode};

@@ -6,19 +6,24 @@
 //! command with `QUEUED`/`SUBMIT`/`START`/`END` timestamps on the queue's
 //! clock.
 //!
-//! Work-group scheduling is adaptive: launches whose total volume is small
-//! run inline on the calling thread (skipping the Rayon fork-join, which
-//! would cost more than the kernel), while larger launches fan work-groups
-//! out across host threads by *index* — no `Vec<WorkGroup>` is ever
-//! materialized — the same decomposition Intel's OpenCL CPU runtime
-//! applies. Work-items within a group always run in local-id order.
+//! How a launch executes is the queue's [`crate::backend::Backend`]
+//! (snapshotted from the process-wide default at queue creation): the
+//! native backend schedules work-groups adaptively — small launches run
+//! inline on the calling thread (skipping the Rayon fork-join, which
+//! would cost more than the kernel), larger ones fan work-groups out
+//! across host threads by *index* with no `Vec<WorkGroup>` ever
+//! materialized, the same decomposition Intel's OpenCL CPU runtime
+//! applies — and takes the slice-level vectorized path for kernels that
+//! expose one. Work-items within a group always run in local-id order.
 //! Simulated devices execute identically (results must be real) but are
 //! *timed* by the `eod-devsim` model, with the queue clock advancing in
-//! modeled time; the scheduling choice can never perturb modeled time.
+//! modeled time; neither the scheduling choice nor the backend can ever
+//! perturb modeled time.
 
+use crate::backend::{default_backend, BackendKind};
 use crate::buffer::Buffer;
 use crate::context::Context;
-use crate::device::{Backend, Device};
+use crate::device::{Device, Timing};
 use crate::error::{Error, Result};
 use crate::event::{CommandKind, Event};
 use crate::kernel::Kernel;
@@ -26,7 +31,6 @@ use crate::ndrange::NdRange;
 use crate::scalar::Scalar;
 use eod_telemetry::{Span, TraceSink, Track};
 use parking_lot::Mutex;
-use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -44,16 +48,13 @@ pub enum DispatchMode {
     Parallel = 2,
 }
 
-/// Launches at or below this many total work-items run inline under
-/// [`DispatchMode::Adaptive`]: a 4096-item saxpy finishes in a few
-/// microseconds, which is what one Rayon fork-join costs, so forking can
-/// only lose in this regime.
-const INLINE_DISPATCH_MAX_ITEMS: usize = 4096;
-
 /// An in-order command queue with optional profiling.
 pub struct CommandQueue {
     ctx: Context,
     profiling: bool,
+    /// Which execution backend launches kernels (a [`BackendKind`]
+    /// discriminant), snapshotted from [`default_backend`] at creation.
+    backend: AtomicU8,
     /// Queue clock in seconds, stored as `f64` bits so advancing it is a
     /// CAS instead of a mutex acquisition: wall-anchored for native,
     /// modeled for simulated devices. Monotone non-decreasing, so the
@@ -79,6 +80,7 @@ impl CommandQueue {
         Self {
             ctx: ctx.clone(),
             profiling: false,
+            backend: AtomicU8::new(default_backend() as u8),
             clock: AtomicU64::new(0.0f64.to_bits()),
             replay: AtomicBool::new(false),
             dispatch: AtomicU8::new(DispatchMode::Adaptive as u8),
@@ -101,6 +103,21 @@ impl CommandQueue {
             1 => DispatchMode::Inline,
             2 => DispatchMode::Parallel,
             _ => DispatchMode::Adaptive,
+        }
+    }
+
+    /// Override this queue's execution backend (tests and equivalence
+    /// harnesses; production queues inherit the process-wide default).
+    pub fn set_backend(&self, kind: BackendKind) {
+        self.backend.store(kind as u8, Ordering::Relaxed);
+    }
+
+    /// The execution backend this queue launches kernels on.
+    pub fn backend_kind(&self) -> BackendKind {
+        if self.backend.load(Ordering::Relaxed) == BackendKind::Devsim as u8 {
+            BackendKind::Devsim
+        } else {
+            BackendKind::Native
         }
     }
 
@@ -172,6 +189,7 @@ impl CommandQueue {
             ev.start * 1e6,
             (ev.end - ev.start).max(0.0) * 1e6,
         )
+        .with_arg("backend", self.backend_kind().label())
         .with_arg("queued_us", ev.queued * 1e6)
         .with_arg("submit_us", ev.submit * 1e6)
         .with_arg("queue_overhead_us", ev.queue_overhead().as_secs_f64() * 1e6)
@@ -234,26 +252,12 @@ impl CommandQueue {
         }
     }
 
-    /// Execute every work-group of a launch under the current
-    /// [`DispatchMode`]. The parallel path iterates group *indices* via
-    /// [`NdRange::group_at`], so no per-launch `Vec<WorkGroup>` is
-    /// allocated in either path.
-    fn run_kernel_groups(&self, kernel: &dyn Kernel, range: &NdRange) {
-        let n = range.group_count();
-        let inline = match self.dispatch_mode() {
-            DispatchMode::Inline => true,
-            DispatchMode::Parallel => false,
-            DispatchMode::Adaptive => n <= 1 || range.global_volume() <= INLINE_DISPATCH_MAX_ITEMS,
-        };
-        if inline {
-            for g in range.work_groups() {
-                kernel.run_group(&g);
-            }
-        } else {
-            (0..n)
-                .into_par_iter()
-                .for_each(|flat| kernel.run_group(&range.group_at(flat)));
-        }
+    /// Hand a launch to this queue's execution backend under the current
+    /// [`DispatchMode`]; returns the elapsed wall seconds.
+    fn launch(&self, kernel: &dyn Kernel, range: &NdRange) -> f64 {
+        self.backend_kind()
+            .instance()
+            .launch(kernel, range, self.dispatch_mode())
     }
 
     fn make_event(
@@ -285,11 +289,9 @@ impl CommandQueue {
 
         let queued = self.clock_seconds();
 
-        match self.device().backend() {
-            Backend::NativeCpu => {
-                let wall = Instant::now();
-                self.run_kernel_groups(kernel, range);
-                let elapsed = wall.elapsed().as_secs_f64();
+        match self.device().timing() {
+            Timing::Wall => {
+                let elapsed = self.launch(kernel, range);
                 let (start, end) = self.advance_clock(elapsed);
                 let mut ev = self.make_event(
                     kernel.name().to_string(),
@@ -302,11 +304,11 @@ impl CommandQueue {
                 self.trace_event(&ev);
                 Ok(ev)
             }
-            Backend::Simulated(sim) => {
+            Timing::Modeled(sim) => {
                 // Real execution for correct results — unless this queue is
                 // replaying an already-executed, verified iteration.
                 if !self.replay() {
-                    self.run_kernel_groups(kernel, range);
+                    self.launch(kernel, range);
                 }
                 // Modeled time for the event.
                 let cost = sim.noisy_cost(&profile);
@@ -352,8 +354,8 @@ impl CommandQueue {
         // above. This is the crate-internal home of the bulk-copy fast
         // path — kernels and hosts going through safe APIs get the
         // atomic per-element path instead.
-        match self.device().backend() {
-            Backend::NativeCpu => {
+        match self.device().timing() {
+            Timing::Wall => {
                 let wall = Instant::now();
                 unsafe { buf.copy_from_slice(data) };
                 let elapsed = wall.elapsed().as_secs_f64();
@@ -363,7 +365,7 @@ impl CommandQueue {
                 self.trace_event(&ev);
                 Ok(ev)
             }
-            Backend::Simulated(sim) => {
+            Timing::Modeled(sim) => {
                 unsafe { buf.copy_from_slice(data) };
                 let t = sim.transfer.transfer_time(buf.bytes()).as_secs_f64();
                 let (start, end) = self.advance_clock(t);
@@ -392,8 +394,8 @@ impl CommandQueue {
         // SAFETY (both backends): as in `enqueue_write_buffer` — in-order
         // synchronous execution means no enqueued kernel still runs, and
         // the documented transfer contract excludes other threads.
-        match self.device().backend() {
-            Backend::NativeCpu => {
+        match self.device().timing() {
+            Timing::Wall => {
                 let wall = Instant::now();
                 unsafe { buf.copy_to_slice(out) };
                 let elapsed = wall.elapsed().as_secs_f64();
@@ -403,7 +405,7 @@ impl CommandQueue {
                 self.trace_event(&ev);
                 Ok(ev)
             }
-            Backend::Simulated(sim) => {
+            Timing::Modeled(sim) => {
                 unsafe { buf.copy_to_slice(out) };
                 let t = sim.transfer.transfer_time(buf.bytes()).as_secs_f64();
                 let (start, end) = self.advance_clock(t);
@@ -660,6 +662,130 @@ mod tests {
         sim_queue.enqueue_kernel(&k, &NdRange::d1(n, 64)).unwrap();
         let replayed_bits: Vec<u32> = out.to_vec().iter().map(|v| v.to_bits()).collect();
         assert_eq!(inline_bits, replayed_bits, "replay-then-execute");
+    }
+
+    /// A kernel exposing both bodies: the vectorized body computes exactly
+    /// the per-item expression over zero-copy slices.
+    struct DualPathKernel {
+        src: crate::buffer::BufView<f32>,
+        dst: crate::buffer::BufView<f32>,
+        n: usize,
+    }
+
+    impl DualPathKernel {
+        fn expr(x: f32) -> f32 {
+            (x * 1.000_1 + 0.1).sqrt() * x - 0.25
+        }
+    }
+
+    impl Kernel for DualPathKernel {
+        fn name(&self) -> &str {
+            "dual_path"
+        }
+        fn profile(&self) -> eod_devsim::profile::KernelProfile {
+            let mut p = eod_devsim::profile::KernelProfile::new("dual_path");
+            p.work_items = self.n as u64;
+            p.flops = self.n as f64 * 4.0;
+            p.bytes_read = self.n as f64 * 4.0;
+            p.bytes_written = self.n as f64 * 4.0;
+            p.working_set = self.n as u64 * 8;
+            p
+        }
+        fn run_group(&self, group: &crate::ndrange::WorkGroup) {
+            group.for_each_item(|item| {
+                let i = item.global_id(0);
+                if i < self.n {
+                    self.dst.set(i, Self::expr(self.src.get(i)));
+                }
+            });
+        }
+        fn body(&self) -> crate::kernel::KernelBody<'_> {
+            crate::kernel::KernelBody::Vectorized(self)
+        }
+    }
+
+    impl crate::kernel::VectorizedBody for DualPathKernel {
+        fn domain(&self) -> usize {
+            self.n
+        }
+        fn run_span(&self, span: std::ops::Range<usize>) {
+            // SAFETY: src is a launch input (no writers); this call
+            // exclusively owns dst[span] — the backend hands out disjoint
+            // spans.
+            unsafe {
+                let src = self.src.slice(span.clone());
+                let dst = self.dst.slice_mut(span);
+                crate::vecops::map(src, dst, Self::expr);
+            }
+        }
+    }
+
+    #[test]
+    fn backend_and_kernel_path_are_byte_equivalent() {
+        use crate::backend::{set_default_kernel_path, BackendKind, KernelPath};
+        let n: usize = 40_000; // not a work-group multiple: exercises the pad guard
+        let ctx = Context::new(Device::native());
+        let input: Vec<f32> = (0..n).map(|i| (i as f32) * 0.017 + 0.3).collect();
+        let src = ctx.create_buffer_from(&input).unwrap();
+        let range = NdRange::d1(n.div_ceil(64) * 64, 64);
+
+        let run = |backend: BackendKind, path: KernelPath, mode: DispatchMode| -> Vec<u32> {
+            let queue = CommandQueue::new(&ctx);
+            queue.set_backend(backend);
+            queue.set_dispatch_mode(mode);
+            set_default_kernel_path(path);
+            let dst = ctx.create_buffer::<f32>(n).unwrap();
+            let k = DualPathKernel {
+                src: src.view(),
+                dst: dst.view(),
+                n,
+            };
+            queue.enqueue_kernel(&k, &range).unwrap();
+            set_default_kernel_path(KernelPath::Vectorized);
+            dst.to_vec().iter().map(|v| v.to_bits()).collect()
+        };
+
+        let reference = run(
+            BackendKind::Native,
+            KernelPath::Scalar,
+            DispatchMode::Inline,
+        );
+        assert_eq!(reference[0], DualPathKernel::expr(input[0]).to_bits());
+        for backend in [BackendKind::Native, BackendKind::Devsim] {
+            for path in [KernelPath::Scalar, KernelPath::Vectorized] {
+                for mode in [
+                    DispatchMode::Inline,
+                    DispatchMode::Parallel,
+                    DispatchMode::Adaptive,
+                ] {
+                    assert_eq!(
+                        reference,
+                        run(backend, path, mode),
+                        "{backend:?} × {path:?} × {mode:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queue_snapshots_process_default_backend() {
+        use crate::backend::{set_default_backend, BackendKind};
+        let ctx = Context::new(Device::native());
+        assert_eq!(
+            CommandQueue::new(&ctx).backend_kind(),
+            crate::backend::default_backend()
+        );
+        set_default_backend(BackendKind::Devsim);
+        let q = CommandQueue::new(&ctx);
+        set_default_backend(BackendKind::Native);
+        assert_eq!(
+            q.backend_kind(),
+            BackendKind::Devsim,
+            "snapshot at creation"
+        );
+        q.set_backend(BackendKind::Native);
+        assert_eq!(q.backend_kind(), BackendKind::Native);
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! `VectorOps`: autovectorizable flat-slice primitives.
+//!
+//! The per-item path runs one cell at a time through `BufView::get`/`set`
+//! — an atomic load, a bounds check, and a store per element — which
+//! defeats autovectorization. These primitives express the same loops over
+//! plain `&[T]`/`&mut [T]` slices with no per-element branching, so the
+//! compiler's vectorizer sees straight-line streaming code. Kernels reach
+//! them through [`crate::kernel::VectorizedBody::run_span`], borrowing
+//! their spans via `BufView::{slice, slice_mut}`.
+//!
+//! # Determinism contract
+//!
+//! Elementwise primitives ([`map`], [`zip_map`], [`scale`], [`scaled_add`])
+//! compute each output element from the same scalar expression the
+//! per-item path uses, in any order — element independence makes the
+//! result partition-invariant by construction. The fused reduction
+//! [`map_reduce`] is the one primitive where order matters: floating-point
+//! addition does not associate, so its association order is **pinned** —
+//! [`REDUCE_LANES`] striped partial sums folded by a fixed pairwise tree —
+//! and never varies with SIMD width, thread count, or span partition.
+//! Callers that need bit-equality with a sequential loop must use the
+//! sequential loop; callers that adopt `map_reduce` get a deterministic
+//! value that is reproducible everywhere but *different* from left-to-right
+//! summation, which is why adopting it in a figure kernel is a
+//! result-changing event and gets flagged by the figure CSV byte-identity
+//! gates.
+
+/// `dst[i] = f(src[i])`.
+///
+/// # Panics
+/// If `src` and `dst` differ in length.
+pub fn map<T: Copy, U>(src: &[T], dst: &mut [U], f: impl Fn(T) -> U) {
+    assert_eq!(src.len(), dst.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = f(s);
+    }
+}
+
+/// `dst[i] = f(a[i], b[i])`.
+///
+/// # Panics
+/// If the three slices differ in length.
+pub fn zip_map<A: Copy, B: Copy, O>(a: &[A], b: &[B], dst: &mut [O], f: impl Fn(A, B) -> O) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), dst.len());
+    for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+        *d = f(x, y);
+    }
+}
+
+/// STREAM Scale: `dst[i] = s * src[i]`.
+pub fn scale(src: &[f32], s: f32, dst: &mut [f32]) {
+    map(src, dst, |x| s * x);
+}
+
+/// STREAM Triad shape: `dst[i] = a[i] + s * b[i]`.
+pub fn scaled_add(a: &[f32], s: f32, b: &[f32], dst: &mut [f32]) {
+    zip_map(a, b, dst, |x, y| x + s * y);
+}
+
+/// Number of independent accumulator lanes in [`map_reduce`].
+///
+/// Eight `f32` lanes fill a 256-bit vector register; narrower targets
+/// still compute the identical value because the lane assignment
+/// (element `i` goes to lane `i % REDUCE_LANES`) and the combine tree are
+/// fixed in the source, not chosen by the code generator.
+pub const REDUCE_LANES: usize = 8;
+
+/// Fused map + sum with a pinned association order.
+///
+/// Lane `j` accumulates `f(src[j]) + f(src[j + 8]) + …` in index order;
+/// the tail (`len % 8` elements) lands on lanes `0..tail` the same way.
+/// Lanes then combine by the fixed pairwise tree
+/// `((l0+l1) + (l2+l3)) + ((l4+l5) + (l6+l7))`. The result is a pure
+/// function of `src` and `f` — independent of SIMD width, span partition,
+/// and thread count — but intentionally *not* equal to a left-to-right
+/// sequential sum (see the module docs).
+pub fn map_reduce<T: Copy>(src: &[T], f: impl Fn(T) -> f32) -> f32 {
+    let mut lanes = [0.0f32; REDUCE_LANES];
+    let mut chunks = src.chunks_exact(REDUCE_LANES);
+    for chunk in &mut chunks {
+        for (lane, &x) in lanes.iter_mut().zip(chunk) {
+            *lane += f(x);
+        }
+    }
+    for (lane, &x) in lanes.iter_mut().zip(chunks.remainder()) {
+        *lane += f(x);
+    }
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Transparent restatement of the pinned order, kept deliberately
+    /// naive: stripe into eight lanes with explicit indexing, then combine
+    /// with the documented tree. `map_reduce` must equal this bit-for-bit.
+    fn reference_reduce(src: &[f32]) -> f32 {
+        let mut lanes = [0.0f32; REDUCE_LANES];
+        for (i, &x) in src.iter().enumerate() {
+            lanes[i % REDUCE_LANES] += x;
+        }
+        ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+            + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
+    }
+
+    #[test]
+    fn elementwise_primitives_match_scalar_expressions() {
+        let a: Vec<f32> = (0..100).map(|i| i as f32 * 0.37).collect();
+        let b: Vec<f32> = (0..100).map(|i| 1.0 / (i as f32 + 1.0)).collect();
+        let mut dst = vec![0.0f32; 100];
+
+        map(&a, &mut dst, |x| x * x + 1.0);
+        for i in 0..100 {
+            assert_eq!(dst[i], a[i] * a[i] + 1.0);
+        }
+        zip_map(&a, &b, &mut dst, |x, y| x + y);
+        for i in 0..100 {
+            assert_eq!(dst[i], a[i] + b[i]);
+        }
+        scale(&a, 3.0, &mut dst);
+        for i in 0..100 {
+            assert_eq!(dst[i], 3.0 * a[i]);
+        }
+        scaled_add(&a, 3.0, &b, &mut dst);
+        for i in 0..100 {
+            assert_eq!(dst[i], a[i] + 3.0 * b[i]);
+        }
+    }
+
+    #[test]
+    fn map_reduce_handles_all_tail_lengths() {
+        for n in 0..4 * REDUCE_LANES {
+            let src: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+            let got = map_reduce(&src, |x| x);
+            assert_eq!(got.to_bits(), reference_reduce(&src).to_bits(), "n={n}");
+        }
+    }
+
+    proptest! {
+        /// The association-order guarantee: for arbitrary inputs (where
+        /// f32 addition visibly fails to associate), the fused reduction
+        /// equals the documented striped-tree order bit-for-bit.
+        #[test]
+        fn map_reduce_association_order_is_pinned(
+            src in prop::collection::vec(-1.0e6f32..1.0e6, 0..200)
+        ) {
+            let got = map_reduce(&src, |x| x);
+            prop_assert_eq!(got.to_bits(), reference_reduce(&src).to_bits());
+        }
+
+        /// Splitting the input anywhere and reducing the halves must NOT
+        /// be assumed to recombine: map_reduce is whole-span only. What
+        /// IS guaranteed is that the same span always reduces to the same
+        /// bits, and that mapping is fused (reduce-of-mapped == map_reduce).
+        #[test]
+        fn map_reduce_fusion_matches_separate_map(
+            src in prop::collection::vec(-1.0e3f32..1.0e3, 0..100)
+        ) {
+            let mapped: Vec<f32> = src.iter().map(|&x| x * 0.5 + 1.0).collect();
+            let fused = map_reduce(&src, |x| x * 0.5 + 1.0);
+            prop_assert_eq!(fused.to_bits(), map_reduce(&mapped, |x| x).to_bits());
+        }
+    }
+}

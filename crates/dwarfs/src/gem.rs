@@ -202,6 +202,51 @@ impl Kernel for GemKernel {
         // `phi[gbase..gbase + active]` — group output spans are disjoint.
         unsafe { self.phi.write_slice(gbase, phis) };
     }
+
+    fn body(&self) -> KernelBody<'_> {
+        KernelBody::Vectorized(self)
+    }
+}
+
+impl VectorizedBody for GemKernel {
+    fn domain(&self) -> usize {
+        self.n_vertices
+    }
+
+    fn run_span(&self, span: std::ops::Range<usize>) {
+        // Same atom blocking as `run_group`, over zero-copy slices instead
+        // of staged stack tiles. Per-vertex accumulation order over atoms is
+        // unchanged — tiles ascend, atoms within a tile ascend — and it does
+        // not depend on the span split, so results are bit-identical to the
+        // scalar path at every size.
+        const TILE: usize = 1024;
+        // SAFETY: atoms and vertices are launch inputs (never written); this
+        // call exclusively owns phi[span] — backend spans are disjoint.
+        unsafe {
+            let atoms = self.atoms.slice(0..self.n_atoms * 4);
+            let verts = self.vertices.slice(span.start * 3..span.end * 3);
+            let phis = self.phi.slice_mut(span);
+            phis.fill(0.0);
+            let mut a0 = 0usize;
+            while a0 < self.n_atoms {
+                let cnt = TILE.min(self.n_atoms - a0);
+                let tile = &atoms[a0 * 4..(a0 + cnt) * 4];
+                for (vi, phi) in phis.iter_mut().enumerate() {
+                    let (vx, vy, vz) = (verts[3 * vi], verts[3 * vi + 1], verts[3 * vi + 2]);
+                    let mut acc = *phi;
+                    for a in 0..cnt {
+                        let dx = vx - tile[4 * a];
+                        let dy = vy - tile[4 * a + 1];
+                        let dz = vz - tile[4 * a + 2];
+                        let r = (dx * dx + dy * dy + dz * dz).sqrt();
+                        acc += tile[4 * a + 3] / r;
+                    }
+                    *phi = acc;
+                }
+                a0 += cnt;
+            }
+        }
+    }
 }
 
 /// The gem benchmark descriptor.
@@ -369,6 +414,34 @@ mod tests {
     fn device_matches_serial_simulated() {
         let k40 = Platform::simulated().device_by_name("K40m").unwrap();
         run_gem(k40, 16.0);
+    }
+
+    #[test]
+    fn kernel_paths_are_byte_identical() {
+        use eod_clrt::backend::{set_default_kernel_path, KernelPath};
+        let _g = crate::test_support::kernel_path_lock();
+        // Tiny (4TUT) and small (2D3V) only: medium/large are O(n²) in an
+        // all-pairs sum and take minutes per run. The accumulation order is
+        // size-independent (ascending tiles, ascending atoms within a tile),
+        // so these two cover the equivalence argument.
+        for (name, kib) in [("4TUT", 31.3), ("2D3V", 252.0)] {
+            let run = |path: KernelPath| -> Vec<u32> {
+                set_default_kernel_path(path);
+                let ctx = Context::new(Device::native());
+                let queue = CommandQueue::new(&ctx);
+                let mut w = GemWorkload::new(name, kib, 31);
+                w.setup(&ctx, &queue).unwrap();
+                w.run_iteration(&queue).unwrap();
+                set_default_kernel_path(KernelPath::Vectorized);
+                let phi = w.phi_buf.as_ref().unwrap();
+                phi.to_vec().iter().map(|v| v.to_bits()).collect()
+            };
+            assert_eq!(
+                run(KernelPath::Scalar),
+                run(KernelPath::Vectorized),
+                "{name}"
+            );
+        }
     }
 
     #[test]

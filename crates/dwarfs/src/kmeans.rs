@@ -196,6 +196,53 @@ impl Kernel for AssignKernel {
             unsafe { self.membership.write_slice(gbase, members) };
         });
     }
+
+    fn body(&self) -> KernelBody<'_> {
+        KernelBody::Vectorized(self)
+    }
+}
+
+impl VectorizedBody for AssignKernel {
+    fn domain(&self) -> usize {
+        self.params.points
+    }
+
+    fn run_span(&self, span: std::ops::Range<usize>) {
+        // The per-item path stages centroids and feature rows into
+        // thread-local scratch; here the distance loops run over zero-copy
+        // slices of device storage — same arithmetic in the same order
+        // (features ascending per cluster, clusters ascending, strict `<`
+        // argmin), so assignments are bit-identical.
+        let p = &self.params;
+        // SAFETY: `features` and `centroids` are launch inputs — no
+        // work-item writes them — and this call exclusively owns
+        // `membership[span]`; the backend hands out disjoint spans.
+        unsafe {
+            let cent = self.centroids.slice(0..p.clusters * p.features);
+            let feats = self
+                .features
+                .slice(span.start * p.features..span.end * p.features);
+            let members = self.membership.slice_mut(span);
+            for (i, m) in members.iter_mut().enumerate() {
+                let row = &feats[i * p.features..(i + 1) * p.features];
+                let mut best = 0i32;
+                let mut best_d = f32::INFINITY;
+                for c in 0..p.clusters {
+                    let crow = &cent[c * p.features..(c + 1) * p.features];
+                    let mut d = 0.0f32;
+                    for (&x, &y) in row.iter().zip(crow) {
+                        let diff = x - y;
+                        d += diff * diff;
+                    }
+                    if d < best_d {
+                        best_d = d;
+                        best = c as i32;
+                    }
+                }
+                *m = best;
+            }
+        }
+    }
 }
 
 /// The kmeans benchmark (static descriptor).
@@ -424,6 +471,30 @@ mod tests {
         let third = w.membership_buf.as_ref().unwrap().to_vec();
         assert_eq!(first, third);
         assert_eq!(w.base.iterations, 3);
+    }
+
+    #[test]
+    fn kernel_paths_are_byte_identical_across_paper_sizes() {
+        use eod_clrt::backend::{set_default_kernel_path, KernelPath};
+        let _g = crate::test_support::kernel_path_lock();
+        for size in [
+            ProblemSize::Tiny,
+            ProblemSize::Small,
+            ProblemSize::Medium,
+            ProblemSize::Large,
+        ] {
+            let run = |path: KernelPath| -> Vec<i32> {
+                set_default_kernel_path(path);
+                let (w, _q) = run_on(Device::native(), KmeansParams::for_size(size));
+                set_default_kernel_path(KernelPath::Vectorized);
+                w.membership_buf.as_ref().unwrap().to_vec()
+            };
+            assert_eq!(
+                run(KernelPath::Scalar),
+                run(KernelPath::Vectorized),
+                "{size:?}"
+            );
+        }
     }
 
     #[test]

@@ -195,6 +195,81 @@ impl Kernel for Srad1Kernel {
             self.b.de.set(idx(r, c), e);
         });
     }
+
+    fn body(&self) -> KernelBody<'_> {
+        KernelBody::Vectorized(self)
+    }
+}
+
+impl VectorizedBody for Srad1Kernel {
+    fn domain(&self) -> usize {
+        self.p.cells()
+    }
+
+    /// Whole rows: a span never splits a row, so the north/south neighbour
+    /// reads stay simple strided loads.
+    fn granularity(&self) -> usize {
+        self.p.cols
+    }
+
+    fn run_span(&self, span: std::ops::Range<usize>) {
+        let (rows, cols) = (self.p.rows, self.p.cols);
+        let q0 = self.q0sqr;
+        // Same expression order as `run_group` — only the neighbour *index*
+        // computation moves: row clamps hoist to per-row slices and the
+        // column clamps peel into edge cells, leaving an interior loop of
+        // pure ±1-offset loads that the compiler can vectorize. Every cell
+        // still reads the same five J values, so results are bit-identical.
+        let cell = |jc: f32, jn: f32, js: f32, jw: f32, je: f32| {
+            let n = jn - jc;
+            let s = js - jc;
+            let w = jw - jc;
+            let e = je - jc;
+            let g2 = (n * n + s * s + w * w + e * e) / (jc * jc);
+            let l = (n + s + w + e) / jc;
+            let num = 0.5 * g2 - (1.0 / 16.0) * l * l;
+            let den = 1.0 + 0.25 * l;
+            let qsqr = num / (den * den);
+            let den2 = (qsqr - q0) / (q0 * (1.0 + q0));
+            let cval = (1.0 / (1.0 + den2)).clamp(0.0, 1.0);
+            (cval, n, s, w, e)
+        };
+        // SAFETY: srad1 only reads J, and exclusively owns the c/dN/dS/dW/dE
+        // cells in `span` — the backend hands out disjoint row-aligned spans.
+        unsafe {
+            let j = self.b.j.slice(0..rows * cols);
+            let cm = self.b.c.slice_mut(span.clone());
+            let dn = self.b.dn.slice_mut(span.clone());
+            let ds = self.b.ds.slice_mut(span.clone());
+            let dw = self.b.dw.slice_mut(span.clone());
+            let de = self.b.de.slice_mut(span.clone());
+            for r in span.start / cols..span.end / cols {
+                let base = r * cols;
+                let o = base - span.start;
+                let jr = &j[base..base + cols];
+                let rn = r.saturating_sub(1) * cols;
+                let jn = &j[rn..rn + cols];
+                let rs = (r + 1).min(rows - 1) * cols;
+                let js = &j[rs..rs + cols];
+                let (cmr, dnr) = (&mut cm[o..o + cols], &mut dn[o..o + cols]);
+                let (dsr, dwr) = (&mut ds[o..o + cols], &mut dw[o..o + cols]);
+                let der = &mut de[o..o + cols];
+                let mut put = |c: usize, v: (f32, f32, f32, f32, f32)| {
+                    (cmr[c], dnr[c], dsr[c], dwr[c], der[c]) = v;
+                };
+                if cols == 1 {
+                    put(0, cell(jr[0], jn[0], js[0], jr[0], jr[0]));
+                    continue;
+                }
+                put(0, cell(jr[0], jn[0], js[0], jr[0], jr[1]));
+                for c in 1..cols - 1 {
+                    put(c, cell(jr[c], jn[c], js[c], jr[c - 1], jr[c + 1]));
+                }
+                let c = cols - 1;
+                put(c, cell(jr[c], jn[c], js[c], jr[c - 1], jr[c]));
+            }
+        }
+    }
 }
 
 /// srad2: divergence update of J.
@@ -240,6 +315,59 @@ impl Kernel for Srad2Kernel {
                 .j
                 .set(idx(r, c), self.b.j.get(idx(r, c)) + 0.25 * LAMBDA * d);
         });
+    }
+
+    fn body(&self) -> KernelBody<'_> {
+        KernelBody::Vectorized(self)
+    }
+}
+
+impl VectorizedBody for Srad2Kernel {
+    fn domain(&self) -> usize {
+        self.p.cells()
+    }
+
+    /// Whole rows, as in srad1.
+    fn granularity(&self) -> usize {
+        self.p.cols
+    }
+
+    fn run_span(&self, span: std::ops::Range<usize>) {
+        let (rows, cols) = (self.p.rows, self.p.cols);
+        // As in srad1, row clamps hoist and the east column clamp peels
+        // into an edge cell; the per-cell arithmetic and operand order are
+        // unchanged (cn = cw = c[r,c]).
+        // SAFETY: srad2 only reads c/dN/dS/dW/dE (the south/east c reads may
+        // cross into neighbouring spans, hence the full read-only c slice)
+        // and exclusively owns the J cells in `span`.
+        unsafe {
+            let cm = self.b.c.slice(0..rows * cols);
+            let dn = self.b.dn.slice(span.clone());
+            let ds = self.b.ds.slice(span.clone());
+            let dw = self.b.dw.slice(span.clone());
+            let de = self.b.de.slice(span.clone());
+            let j = self.b.j.slice_mut(span.clone());
+            for r in span.start / cols..span.end / cols {
+                let base = r * cols;
+                let o = base - span.start;
+                let cr = &cm[base..base + cols];
+                let rs = (r + 1).min(rows - 1) * cols;
+                let csr = &cm[rs..rs + cols];
+                let (dnr, dsr) = (&dn[o..o + cols], &ds[o..o + cols]);
+                let (dwr, der) = (&dw[o..o + cols], &de[o..o + cols]);
+                let jr = &mut j[o..o + cols];
+                let last = cols - 1;
+                for c in 0..last {
+                    let d = cr[c] * dnr[c] + csr[c] * dsr[c] + cr[c] * dwr[c] + cr[c + 1] * der[c];
+                    jr[c] += 0.25 * LAMBDA * d;
+                }
+                let d = cr[last] * dnr[last]
+                    + csr[last] * dsr[last]
+                    + cr[last] * dwr[last]
+                    + cr[last] * der[last];
+                jr[last] += 0.25 * LAMBDA * d;
+            }
+        }
     }
 }
 
@@ -444,6 +572,39 @@ mod tests {
             },
             2,
         );
+    }
+
+    #[test]
+    fn kernel_paths_are_byte_identical_across_paper_sizes() {
+        use eod_clrt::backend::{set_default_kernel_path, KernelPath};
+        let _g = crate::test_support::kernel_path_lock();
+        for size in [
+            ProblemSize::Tiny,
+            ProblemSize::Small,
+            ProblemSize::Medium,
+            ProblemSize::Large,
+        ] {
+            let run = |path: KernelPath| -> Vec<u32> {
+                set_default_kernel_path(path);
+                let ctx = Context::new(Device::native());
+                let queue = CommandQueue::new(&ctx);
+                let mut w = SradWorkload::new(SradParams::for_size(size), 29);
+                w.setup(&ctx, &queue).unwrap();
+                // Two iterations so srad2's output feeds srad1 at least once.
+                w.run_iteration(&queue).unwrap();
+                w.run_iteration(&queue).unwrap();
+                set_default_kernel_path(KernelPath::Vectorized);
+                let (j, ..) = w.bufs.as_ref().unwrap();
+                let mut got = vec![0.0f32; w.p.cells()];
+                queue.enqueue_read_buffer(j, &mut got).unwrap();
+                got.iter().map(|v| v.to_bits()).collect()
+            };
+            assert_eq!(
+                run(KernelPath::Scalar),
+                run(KernelPath::Vectorized),
+                "{size:?}"
+            );
+        }
     }
 
     #[test]

@@ -382,8 +382,8 @@ impl Runner {
 
         // Timing loop in replay mode (no-op on the native backend).
         queue.set_replay(true);
-        let power_model = match device.backend() {
-            Backend::Simulated(sim)
+        let power_model = match device.timing() {
+            Timing::Modeled(sim)
                 if self.config.energy_all_devices
                     || device
                         .sim_id()

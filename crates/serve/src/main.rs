@@ -102,6 +102,22 @@ fn parse_cli() -> Result<Cli, String> {
                     .ok_or("--cache-engine needs `exact` or `stackdist`")?;
                 eod_devsim::stackdist::set_default_engine(engine);
             }
+            "--backend" => {
+                i += 1;
+                let kind = argv
+                    .get(i)
+                    .and_then(|v| eod_clrt::backend::BackendKind::parse(v))
+                    .ok_or("--backend needs `native` or `devsim`")?;
+                eod_clrt::backend::set_default_backend(kind);
+            }
+            "--kernel-path" => {
+                i += 1;
+                let path = argv
+                    .get(i)
+                    .and_then(|v| eod_clrt::backend::KernelPath::parse(v))
+                    .ok_or("--kernel-path needs `scalar` or `vectorized`")?;
+                eod_clrt::backend::set_default_kernel_path(path);
+            }
             _ => rest.push(argv[i].clone()),
         }
         i += 1;
@@ -1586,6 +1602,11 @@ fn cmd_status(cli: &Cli) -> Result<(), String> {
         "\ncache: {} hits, {} misses, {} evictions, {}/{} entries; queued {}; workers {}",
         cache.hits, cache.misses, cache.evictions, cache.entries, cache.capacity, queued, workers
     );
+    println!(
+        "backend: {} (kernel path {})",
+        eod_clrt::backend::default_backend().label(),
+        eod_clrt::backend::default_kernel_path().label()
+    );
     Ok(())
 }
 
@@ -1801,6 +1822,8 @@ fn run() -> Result<(), String> {
                  \u{20}         sweep --family stream|gups|latency|roofline [--footprint 8KiB..64MiB] [--points 24]\n\
                  \u{20}               [--log|--linear] [--device D] [--stride S] [--fpe F] [--check-cliffs]\n\
                  \u{20}         [--cache-engine exact|stackdist]  (counter/cachesim engine; default stackdist)\n\
+                 \u{20}         [--backend native|devsim]  (execution backend; default native)\n\
+                 \u{20}         [--kernel-path scalar|vectorized]  (NativeCpu dispatch; default vectorized)\n\
                  \u{20}         bench-engine [--full] [--json FILE] [--baseline FILE]\n\
                  \u{20}         serve [--addr A --workers N --queue-cap N --cache-cap N --metrics-addr M --transport reactor|blocking]\n\
                  \u{20}         bench-serve [--connections N --pipeline D --requests-per-conn R --smoke --json FILE]\n\

@@ -82,6 +82,51 @@ impl Kernel for RooflineKernel {
             }
         }
     }
+
+    fn body(&self) -> KernelBody<'_> {
+        KernelBody::Vectorized(self)
+    }
+}
+
+impl VectorizedBody for RooflineKernel {
+    fn domain(&self) -> usize {
+        self.n
+    }
+
+    fn run_span(&self, span: std::ops::Range<usize>) {
+        // Passes hoist to whole-span sweeps (idempotent, as above); each
+        // element still computes exactly `fma_chain(input[i], fpe)`. The
+        // chain is serially dependent *within* an element, so the sweep is
+        // lane-blocked: eight independent chains advance together, which
+        // lets the inner step vectorize. Lanes never interact — per-element
+        // arithmetic and order are untouched.
+        const LANES: usize = 8;
+        let passes = passes_for(self.n);
+        // SAFETY: input is a launch input (never written); this call
+        // exclusively owns output[span] — the backend hands out disjoint
+        // spans.
+        unsafe {
+            let src = self.input.slice(span.clone());
+            let dst = self.output.slice_mut(span);
+            for _ in 0..passes {
+                let mut s_blocks = src.chunks_exact(LANES);
+                let mut d_blocks = dst.chunks_exact_mut(LANES);
+                for (s, d) in (&mut s_blocks).zip(&mut d_blocks) {
+                    let mut lane = [0.0f32; LANES];
+                    lane.copy_from_slice(s);
+                    for _ in 0..self.fpe {
+                        for x in &mut lane {
+                            *x = *x * FMA_A + FMA_B;
+                        }
+                    }
+                    d.copy_from_slice(&lane);
+                }
+                for (s, d) in s_blocks.remainder().iter().zip(d_blocks.into_remainder()) {
+                    *d = fma_chain(*s, self.fpe);
+                }
+            }
+        }
+    }
 }
 
 /// A configured roofline instance.
@@ -218,6 +263,31 @@ mod tests {
         assert_eq!(profiles[1].flops, 16.0 * profiles[0].flops);
         assert_eq!(profiles[1].bytes_read, profiles[0].bytes_read);
         assert_eq!(profiles[1].bytes_written, profiles[0].bytes_written);
+    }
+
+    #[test]
+    fn kernel_paths_are_byte_identical() {
+        use eod_clrt::backend::{set_default_kernel_path, KernelPath};
+        let _g = crate::tests::kernel_path_lock();
+        // Three synth parameter points across the intensity axis.
+        for (fp, fpe) in [(48 * 1024u64, 1u32), (1 << 20, 16), (4 << 20, 64)] {
+            let run = |path: KernelPath| -> Vec<u32> {
+                set_default_kernel_path(path);
+                let ctx = Context::new(Device::native());
+                let queue = CommandQueue::new(&ctx);
+                let mut w = RooflineWorkload::new(spec(fp, fpe), 17);
+                w.setup(&ctx, &queue).unwrap();
+                w.run_iteration(&queue).unwrap();
+                set_default_kernel_path(KernelPath::Vectorized);
+                let out = w.output.as_ref().unwrap();
+                out.to_vec().iter().map(|v| v.to_bits()).collect()
+            };
+            assert_eq!(
+                run(KernelPath::Scalar),
+                run(KernelPath::Vectorized),
+                "fp={fp} fpe={fpe}"
+            );
+        }
     }
 
     #[test]

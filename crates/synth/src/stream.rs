@@ -154,6 +154,77 @@ impl Kernel for StreamKernel {
             }
         }
     }
+
+    fn body(&self) -> KernelBody<'_> {
+        KernelBody::Vectorized(self)
+    }
+}
+
+impl VectorizedBody for StreamKernel {
+    fn domain(&self) -> usize {
+        // Touched elements, un-padded: index j maps to element j·stride,
+        // and (touched−1)·stride ≤ n−1, so no in-span guard is needed.
+        self.n.div_ceil(self.stride)
+    }
+
+    fn run_span(&self, span: std::ops::Range<usize>) {
+        // Repeats hoist to whole-span passes (idempotent, as above): the
+        // per-item path re-touches one element reps times; here each pass
+        // streams the span, which is both what real STREAM does and what
+        // lets the compiler vectorize. Per-element math is identical.
+        let reps = reps_for(self.n.div_ceil(self.stride), self.op);
+        if self.stride == 1 {
+            // SAFETY: every op reads only arrays its launch never writes
+            // (`a` always; `b`/`c` when they are sources) and writes only
+            // its destination, which this call exclusively owns — spans
+            // are disjoint and no op has overlapping source/destination.
+            unsafe {
+                let a = self.a.slice(span.clone());
+                match self.op {
+                    StreamOp::Copy => {
+                        let c = self.c.slice_mut(span);
+                        for _ in 0..reps {
+                            c.copy_from_slice(a);
+                        }
+                    }
+                    StreamOp::Scale => {
+                        let b = self.b.slice_mut(span);
+                        for _ in 0..reps {
+                            eod_clrt::vecops::scale(a, SCALAR, b);
+                        }
+                    }
+                    StreamOp::Add => {
+                        let b = self.b.slice(span.clone());
+                        let c = self.c.slice_mut(span);
+                        for _ in 0..reps {
+                            eod_clrt::vecops::zip_map(a, b, c, |x, y| x + y);
+                        }
+                    }
+                    StreamOp::Triad => {
+                        let c = self.c.slice(span.clone());
+                        let b = self.b.slice_mut(span);
+                        for _ in 0..reps {
+                            eod_clrt::vecops::scaled_add(c, SCALAR, a, b);
+                        }
+                    }
+                }
+            }
+        } else {
+            // Strided: same expressions through the checked accessors,
+            // reps still hoisted outermost.
+            for _ in 0..reps {
+                for j in span.clone() {
+                    let i = j * self.stride;
+                    match self.op {
+                        StreamOp::Copy => self.c.set(i, self.a.get(i)),
+                        StreamOp::Scale => self.b.set(i, SCALAR * self.a.get(i)),
+                        StreamOp::Add => self.c.set(i, self.a.get(i) + self.b.get(i)),
+                        StreamOp::Triad => self.b.set(i, self.c.get(i) + SCALAR * self.a.get(i)),
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// A configured STREAM instance.
@@ -327,6 +398,38 @@ mod tests {
         assert!(bytes_per_iteration(1000, 1) >= 4.0 * TRAFFIC_TARGET as f64);
         // Striding reduces touched elements, not the amortized floor.
         assert!(bytes_per_iteration(1000, 4) >= 4.0 * TRAFFIC_TARGET as f64);
+    }
+
+    #[test]
+    fn kernel_paths_are_byte_identical() {
+        use eod_clrt::backend::{set_default_kernel_path, KernelPath};
+        let _g = crate::tests::kernel_path_lock();
+        // Three synth parameter points: cache-resident contiguous, memory
+        // footprint contiguous, and strided (the vectorized fallback loop).
+        for (fp, stride) in [(48 * 1024u64, 1u64), (4 << 20, 1), (1 << 20, 8)] {
+            let spec = SynthSpec {
+                stride,
+                ..SynthSpec::new(SynthFamily::Stream, fp)
+            };
+            let run = |path: KernelPath| -> Vec<u32> {
+                set_default_kernel_path(path);
+                let ctx = Context::new(Device::native());
+                let queue = CommandQueue::new(&ctx);
+                let mut w = StreamWorkload::new(spec, 29);
+                w.setup(&ctx, &queue).unwrap();
+                w.run_iteration(&queue).unwrap();
+                set_default_kernel_path(KernelPath::Vectorized);
+                let bufs = w.bufs.as_ref().unwrap();
+                let mut out: Vec<u32> = bufs[1].to_vec().iter().map(|v| v.to_bits()).collect();
+                out.extend(bufs[2].to_vec().iter().map(|v| v.to_bits()));
+                out
+            };
+            assert_eq!(
+                run(KernelPath::Scalar),
+                run(KernelPath::Vectorized),
+                "fp={fp} stride={stride}"
+            );
+        }
     }
 
     proptest! {

@@ -1,0 +1,39 @@
+//! The execution seam must never change results: Fig. 2a regenerated under
+//! every backend × NativeCpu kernel-path combination renders byte-identical
+//! CSVs. Event timings come from the devsim pricing of each kernel's
+//! *profile* (one noise draw per enqueue on every path), and the vectorized
+//! bodies pin their arithmetic association order, so both the sample values
+//! and the functional outputs they summarize are invariant.
+
+use eod_clrt::backend::{set_default_backend, set_default_kernel_path, BackendKind, KernelPath};
+use eod_harness::figures;
+use eod_harness::{report, Runner, RunnerConfig};
+
+#[test]
+fn fig2a_csvs_are_byte_identical_across_backends_and_kernel_paths() {
+    let render = |backend: BackendKind, path: KernelPath| -> (String, String) {
+        set_default_backend(backend);
+        set_default_kernel_path(path);
+        let fig = figures::fig2(&Runner::new(RunnerConfig::smoke()), 'a').unwrap();
+        set_default_backend(BackendKind::Native);
+        set_default_kernel_path(KernelPath::Vectorized);
+        let groups = fig.all_groups();
+        (report::samples_csv(&groups), report::summary_csv(&groups))
+    };
+    let reference = render(BackendKind::Native, KernelPath::Scalar);
+    assert!(reference.0.len() > 100, "samples CSV looks empty");
+    for backend in [BackendKind::Native, BackendKind::Devsim] {
+        for path in [KernelPath::Scalar, KernelPath::Vectorized] {
+            if backend == BackendKind::Native && path == KernelPath::Scalar {
+                continue;
+            }
+            assert_eq!(
+                render(backend, path),
+                reference,
+                "fig2a diverged under {} / {}",
+                backend.label(),
+                path.label()
+            );
+        }
+    }
+}
