@@ -1,22 +1,28 @@
 //! Reactor-backed fleet transport: the coordinator's accept loop and all
-//! worker-connection reads multiplex on one `eod-net` event loop instead
-//! of a blocking socket per worker.
+//! worker-connection reads multiplex on the `eod-net` sharded
+//! multi-reactor instead of a blocking socket per worker.
 //!
 //! The adapter is [`ReactorWire`]: the reactor handler feeds inbound
 //! lines into a per-connection channel, and [`Wire::recv_line`] becomes
 //! a channel receive — so the coordinator's per-wire reader threads
-//! block on in-process queues while a single thread owns every socket.
-//! Outbound lines go through the reactor's [`Outbox`], inheriting its
-//! write watermarks and slow-consumer protection.
+//! block on in-process queues while the shard loops own every socket.
+//! Outbound lines go through the owning shard's [`Outbox`] (each wire
+//! holds the one for its shard), inheriting its write watermarks and
+//! slow-consumer protection. With [`NetConfig::shards`] > 1, worker
+//! connections spread across loops via `SO_REUSEPORT` accept sharding —
+//! the thousand-worker fleet front-end inherits the same scaling as
+//! `eod serve`.
 
 #![cfg(target_os = "linux")]
 
 use crate::wire::{Wire, WireError};
-use eod_net::{ConnId, Handler, NetConfig, NetMetrics, Outbox, Reactor};
+use eod_net::{
+    render_sharded, ConnId, Handler, NetConfig, NetMetrics, Outbox, ShardedHandle, ShardedOutbox,
+    ShardedReactor,
+};
 use std::collections::HashMap;
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// One fleet connection as seen by the coordinator: sends go to the
@@ -50,9 +56,12 @@ impl Wire for ReactorWire {
     }
 }
 
-/// Reactor handler bridging connections to [`ReactorWire`]s.
+/// Reactor handler bridging connections to [`ReactorWire`]s. One
+/// instance exists per (shard, pool worker); connection state stays
+/// worker-local because every callback for a connection lands on the
+/// same worker.
 struct Bridge {
-    on_connect: Box<dyn Fn(Arc<dyn Wire>) + Send>,
+    on_connect: Arc<dyn Fn(Arc<dyn Wire>) + Send + Sync>,
     senders: HashMap<ConnId, Sender<String>>,
 }
 
@@ -84,34 +93,47 @@ impl Handler for Bridge {
 }
 
 /// Drop-in replacement for [`crate::FleetListener`] running on the
-/// reactor: same `start(addr, on_connect)` shape, one event loop for
-/// every worker connection.
+/// sharded reactor: same `start(addr, on_connect)` shape, N event loops
+/// sharing the port for every worker connection.
 pub struct NetFleetListener {
     addr: std::net::SocketAddr,
-    outbox: Outbox,
-    metrics: Arc<NetMetrics>,
-    handle: Mutex<Option<JoinHandle<std::io::Result<()>>>>,
+    outbox: ShardedOutbox,
+    shard_metrics: Vec<Arc<NetMetrics>>,
+    handle: Mutex<Option<ShardedHandle>>,
 }
 
 impl NetFleetListener {
-    /// Bind `addr` and start the event loop; `on_connect` runs on the
-    /// loop thread for every inbound connection.
+    /// Bind `addr` with default tuning (single shard); `on_connect` runs
+    /// on a handler-pool thread for every inbound connection.
     pub fn start(
         addr: &str,
-        on_connect: impl Fn(Arc<dyn Wire>) + Send + 'static,
+        on_connect: impl Fn(Arc<dyn Wire>) + Send + Sync + 'static,
     ) -> std::io::Result<Arc<NetFleetListener>> {
-        let metrics = Arc::new(NetMetrics::new());
-        let reactor = Reactor::bind(addr, NetConfig::default(), Arc::clone(&metrics))?;
-        let addr = reactor.local_addr()?;
+        Self::start_with(addr, NetConfig::default(), on_connect)
+    }
+
+    /// Bind `addr` with explicit reactor tuning ([`NetConfig::shards`],
+    /// [`NetConfig::handler_threads`]) and start the shard loops.
+    pub fn start_with(
+        addr: &str,
+        config: NetConfig,
+        on_connect: impl Fn(Arc<dyn Wire>) + Send + Sync + 'static,
+    ) -> std::io::Result<Arc<NetFleetListener>> {
+        let reactor = ShardedReactor::bind(addr, config)?;
+        let addr = reactor.local_addr();
         let outbox = reactor.outbox();
-        let handle = reactor.spawn(Bridge {
-            on_connect: Box::new(on_connect),
-            senders: HashMap::new(),
+        let shard_metrics = reactor.shard_metrics();
+        let on_connect: Arc<dyn Fn(Arc<dyn Wire>) + Send + Sync> = Arc::new(on_connect);
+        let handle = reactor.spawn(move |_shard, _worker| {
+            Box::new(Bridge {
+                on_connect: Arc::clone(&on_connect),
+                senders: HashMap::new(),
+            })
         });
         Ok(Arc::new(NetFleetListener {
             addr,
             outbox,
-            metrics,
+            shard_metrics,
             handle: Mutex::new(Some(handle)),
         }))
     }
@@ -121,19 +143,24 @@ impl NetFleetListener {
         self.addr
     }
 
-    /// The event loop's metric surface (connection gauges, byte/line
-    /// counters), for merging into a metrics scrape.
-    pub fn metrics(&self) -> Arc<NetMetrics> {
-        Arc::clone(&self.metrics)
+    /// The event loops' aggregated metric surface (connection gauges,
+    /// byte/line counters, per-shard skew), for a metrics scrape.
+    pub fn metrics_text(&self) -> String {
+        render_sharded(&self.shard_metrics)
     }
 
-    /// Drain and stop the event loop. Pending outbound lines flush
+    /// Per-shard metric handles, in shard order.
+    pub fn shard_metrics(&self) -> Vec<Arc<NetMetrics>> {
+        self.shard_metrics.clone()
+    }
+
+    /// Drain and stop every shard loop. Pending outbound lines flush
     /// within the reactor's drain deadline; wires report Closed after
     /// their queued inbound lines drain.
     pub fn stop(&self) {
         self.outbox.shutdown();
         if let Some(h) = self.handle.lock().unwrap().take() {
-            let _ = h.join();
+            let _ = h.wait();
         }
     }
 }
@@ -146,8 +173,11 @@ mod tests {
     #[test]
     fn reactor_listener_hands_wires_to_callback_and_round_trips() {
         let (tx, rx) = mpsc::channel::<Arc<dyn Wire>>();
+        // The callback is shared across shard handler pools (`Sync`), so
+        // the test's !Sync Sender travels behind a Mutex.
+        let tx = Mutex::new(tx);
         let listener = NetFleetListener::start("127.0.0.1:0", move |wire| {
-            let _ = tx.send(wire);
+            let _ = tx.lock().unwrap().send(wire);
         })
         .unwrap();
         let addr = listener.local_addr().to_string();
@@ -192,8 +222,9 @@ mod tests {
     #[test]
     fn peer_disconnect_surfaces_closed_after_draining_lines() {
         let (tx, rx) = mpsc::channel::<Arc<dyn Wire>>();
+        let tx = Mutex::new(tx);
         let listener = NetFleetListener::start("127.0.0.1:0", move |wire| {
-            let _ = tx.send(wire);
+            let _ = tx.lock().unwrap().send(wire);
         })
         .unwrap();
         let addr = listener.local_addr().to_string();

@@ -17,22 +17,30 @@
 //!   job-progress frames to any connection without owning a socket;
 //! * [`metrics`] — connection gauges, accept/close/backpressure
 //!   counters, and a pipeline-depth histogram ([`NetMetrics`]) rendered
-//!   through `eod-telemetry`.
+//!   through `eod-telemetry`, with scrape-time aggregation across shards
+//!   ([`render_sharded`]);
+//! * [`shard`] — the sharded multi-reactor ([`ShardedReactor`]):
+//!   N independent loops sharing one port via `SO_REUSEPORT` (with a
+//!   round-robin-adoption fallback), per-shard handler pools that move
+//!   protocol dispatch off the loop threads, and a cross-shard routing
+//!   write handle ([`ShardedOutbox`]).
 //!
-//! One reactor thread multiplexes every connection: requests pipeline
+//! Each loop thread multiplexes its connections: requests pipeline
 //! (many in flight per connection), per-connection write watermarks pause
 //! reads when a peer stops consuming (TCP flow control then pushes back),
 //! and a global connection cap refuses accepts beyond the configured
 //! bound. `eod serve --transport reactor`, the fleet coordinator
-//! listener, and the `eod bench-serve` load generator all run on this
-//! loop.
+//! listener, and the `eod bench-serve` load generator all run on these
+//! loops.
 
 pub mod buffer;
 pub mod metrics;
 pub mod reactor;
+pub mod shard;
 pub mod sys;
 
 pub use buffer::{LineError, LineReader, WriteQueue};
-pub use metrics::NetMetrics;
+pub use metrics::{render_sharded, NetMetrics};
 pub use reactor::{ConnId, Handler, NetConfig, Outbox, Reactor};
+pub use shard::{resolve_shard_count, ShardedHandle, ShardedOutbox, ShardedReactor};
 pub use sys::raise_nofile_limit;

@@ -105,6 +105,155 @@ impl Default for NetMetrics {
     }
 }
 
+/// Aggregate per-shard registries into one exposition at scrape time.
+///
+/// Each shard counts on its own cache lines; this sums the families under
+/// the same names a single reactor exposes (so dashboards and the smoke
+/// gates are shard-count-agnostic), merges the pipeline-depth histogram
+/// bucket-wise, and appends per-shard accept/connection/line series
+/// labeled `shard="i"` so skew across loops is visible.
+pub fn render_sharded(shards: &[Arc<NetMetrics>]) -> String {
+    let mut out = String::new();
+    let counter = |out: &mut String, name: &str, help: &str, pick: &dyn Fn(&NetMetrics) -> f64| {
+        let total: f64 = shards.iter().map(|m| pick(m)).sum();
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {}\n",
+            fmt_value(total)
+        ));
+    };
+    out.push_str(&format!(
+        "# HELP eod_net_connections Connections currently open.\n\
+         # TYPE eod_net_connections gauge\neod_net_connections {}\n",
+        fmt_value(shards.iter().map(|m| m.connections.get()).sum())
+    ));
+    counter(
+        &mut out,
+        "eod_net_accepts_total",
+        "Connections accepted.",
+        &|m| m.accepts.get(),
+    );
+    counter(
+        &mut out,
+        "eod_net_accepts_rejected_total",
+        "Connections refused at the global connection cap.",
+        &|m| m.accepts_rejected.get(),
+    );
+    counter(
+        &mut out,
+        "eod_net_closes_total",
+        "Connections closed (all causes).",
+        &|m| m.closes.get(),
+    );
+    counter(
+        &mut out,
+        "eod_net_lines_in_total",
+        "Protocol lines received.",
+        &|m| m.lines_in.get(),
+    );
+    counter(
+        &mut out,
+        "eod_net_lines_out_total",
+        "Protocol lines sent.",
+        &|m| m.lines_out.get(),
+    );
+    counter(
+        &mut out,
+        "eod_net_bytes_in_total",
+        "Bytes received.",
+        &|m| m.bytes_in.get(),
+    );
+    counter(&mut out, "eod_net_bytes_out_total", "Bytes sent.", &|m| {
+        m.bytes_out.get()
+    });
+    counter(
+        &mut out,
+        "eod_net_backpressure_pauses_total",
+        "Reads paused at the per-connection write high watermark.",
+        &|m| m.backpressure_pauses.get(),
+    );
+    counter(
+        &mut out,
+        "eod_net_slow_consumer_drops_total",
+        "Connections dropped after the hard per-connection write bound.",
+        &|m| m.slow_consumer_drops.get(),
+    );
+    counter(
+        &mut out,
+        "eod_net_framing_errors_total",
+        "Connections dropped for oversized (unframed) lines.",
+        &|m| m.framing_errors.get(),
+    );
+
+    // Pipeline-depth histogram: every shard shares the same bucket
+    // bounds, so cumulative counts sum position-wise.
+    out.push_str(
+        "# HELP eod_net_pipeline_depth Complete requests decoded per readable burst.\n\
+         # TYPE eod_net_pipeline_depth histogram\n",
+    );
+    let mut merged: Vec<(f64, u64)> = Vec::new();
+    for m in shards {
+        for (i, (bound, count)) in m.pipeline_depth.cumulative().into_iter().enumerate() {
+            if let Some(slot) = merged.get_mut(i) {
+                slot.1 += count;
+            } else {
+                merged.push((bound, count));
+            }
+        }
+    }
+    for (bound, count) in &merged {
+        out.push_str(&format!(
+            "eod_net_pipeline_depth_bucket{{le=\"{}\"}} {count}\n",
+            fmt_value(*bound)
+        ));
+    }
+    let sum: f64 = shards.iter().map(|m| m.pipeline_depth.sum()).sum();
+    let count: u64 = shards.iter().map(|m| m.pipeline_depth.count()).sum();
+    out.push_str(&format!(
+        "eod_net_pipeline_depth_sum {}\neod_net_pipeline_depth_count {count}\n",
+        fmt_value(sum)
+    ));
+
+    // Per-shard series: accept/connection/line skew across loops.
+    for (name, help, ty, pick) in [
+        (
+            "eod_net_shard_accepts_total",
+            "Connections accepted, per event-loop shard.",
+            "counter",
+            &(|m: &NetMetrics| m.accepts.get()) as &dyn Fn(&NetMetrics) -> f64,
+        ),
+        (
+            "eod_net_shard_connections",
+            "Connections currently open, per event-loop shard.",
+            "gauge",
+            &|m: &NetMetrics| m.connections.get(),
+        ),
+        (
+            "eod_net_shard_lines_in_total",
+            "Protocol lines received, per event-loop shard.",
+            "counter",
+            &|m: &NetMetrics| m.lines_in.get(),
+        ),
+    ] {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {ty}\n"));
+        for (i, m) in shards.iter().enumerate() {
+            out.push_str(&format!("{name}{{shard=\"{i}\"}} {}\n", fmt_value(pick(m))));
+        }
+    }
+    out
+}
+
+/// Format a sample value the way the telemetry renderer does: integers
+/// without a decimal point, `+Inf` for the histogram overflow bound.
+fn fmt_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +287,35 @@ mod tests {
         }
         assert!(text.contains("eod_net_connections 3\n"));
         assert!(text.contains("eod_net_pipeline_depth_bucket{le=\"4\"} 1\n"));
+    }
+
+    #[test]
+    fn sharded_render_sums_families_and_labels_per_shard_series() {
+        let a = Arc::new(NetMetrics::new());
+        let b = Arc::new(NetMetrics::new());
+        a.accepts.add(3.0);
+        b.accepts.add(5.0);
+        a.connections.set(2.0);
+        b.connections.set(1.0);
+        a.lines_in.add(10.0);
+        b.lines_in.add(20.0);
+        a.pipeline_depth.observe(2.0);
+        b.pipeline_depth.observe(2.0);
+        b.pipeline_depth.observe(100.0);
+        let text = render_sharded(&[a, b]);
+        assert!(text.contains("eod_net_accepts_total 8\n"), "{text}");
+        assert!(text.contains("eod_net_connections 3\n"));
+        assert!(text.contains("eod_net_lines_in_total 30\n"));
+        // Histogram merged bucket-wise: both 2.0 observations land in
+        // le="2", the 100.0 one only in le="128" and +Inf.
+        assert!(text.contains("eod_net_pipeline_depth_bucket{le=\"2\"} 2\n"));
+        assert!(text.contains("eod_net_pipeline_depth_bucket{le=\"128\"} 3\n"));
+        assert!(text.contains("eod_net_pipeline_depth_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("eod_net_pipeline_depth_count 3\n"));
+        // Per-shard skew series.
+        assert!(text.contains("eod_net_shard_accepts_total{shard=\"0\"} 3\n"));
+        assert!(text.contains("eod_net_shard_accepts_total{shard=\"1\"} 5\n"));
+        assert!(text.contains("eod_net_shard_connections{shard=\"1\"} 1\n"));
+        assert!(text.contains("eod_net_shard_lines_in_total{shard=\"0\"} 10\n"));
     }
 }

@@ -1,16 +1,30 @@
-//! The event loop: a single-threaded, level-triggered epoll reactor.
+//! The event loop: a level-triggered epoll reactor, runnable standalone
+//! ([`Reactor`]) or as one shard of a multi-reactor
+//! ([`crate::shard::ShardedReactor`]).
 //!
-//! One [`Reactor`] owns a listening socket, an [`crate::sys::Epoll`]
-//! instance, and every accepted connection. Connections are identified by
-//! a monotonically increasing [`ConnId`] (never reused within a run, so a
-//! stale id held by a worker thread can never address the wrong peer).
-//! Protocol logic lives behind the [`Handler`] trait; the reactor calls it
-//! with complete decoded lines and never exposes sockets or buffers.
+//! One loop owns an optional listening socket, an [`crate::sys::Epoll`]
+//! instance, and every connection it accepted (or adopted from the
+//! accepting shard in round-robin fallback mode). Connections are
+//! identified by a [`ConnId`] that is unique across *all* shards (each
+//! loop hands out tokens striding by the shard count), so a stale id held
+//! by a worker thread can never address the wrong peer. Protocol logic
+//! lives behind the [`Handler`] trait; the loop calls it with complete
+//! decoded lines and never exposes sockets or buffers.
+//!
+//! Handlers run in one of two modes:
+//!
+//! * **inline** — the classic single-reactor shape: callbacks run on the
+//!   loop thread and must not block ([`Reactor::run`]);
+//! * **pooled** — protocol dispatch moves off the loop onto a per-shard
+//!   handler pool: the loop only does readiness, framing, and
+//!   watermark accounting; each connection is pinned to one pool worker
+//!   (so per-connection callback order is preserved) and completions
+//!   re-enter the loop through the shard's eventfd waker.
 //!
 //! Writes go through the [`Outbox`], the only handle other threads hold:
 //! `send` enqueues a command and wakes the loop via eventfd, and the loop
 //! applies commands between readiness batches. This keeps all socket I/O
-//! on the reactor thread — no locks around buffers, no partial-write
+//! on the loop thread — no locks around buffers, no partial-write
 //! coordination.
 //!
 //! Backpressure is layered:
@@ -21,12 +35,12 @@
 //!   peer) and resumes below the low watermark; a queue that still grows
 //!   past the hard cap identifies a dead-but-not-closed consumer and the
 //!   connection is dropped;
-//! * **global** — accepts beyond `max_connections` are refused
-//!   immediately rather than queued.
+//! * **global** — accepts beyond `max_connections` (counted across every
+//!   shard) are refused immediately rather than queued.
 //!
 //! Shutdown (`Outbox::shutdown`) stops accepting, lets every connection
-//! flush its pending responses, and force-closes whatever remains at the
-//! drain deadline.
+//! flush its pending responses (and its in-flight pooled lines complete),
+//! and force-closes whatever remains at the drain deadline.
 
 use crate::buffer::{LineError, LineReader, WriteQueue};
 use crate::metrics::NetMetrics;
@@ -35,15 +49,18 @@ use std::collections::{HashMap, HashSet};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Identifies one accepted connection for the lifetime of a reactor run.
+/// Identifies one accepted connection for the lifetime of a reactor run,
+/// across every shard.
 pub type ConnId = u64;
 
 const TOKEN_LISTENER: u64 = 0;
 const TOKEN_WAKER: u64 = 1;
-const FIRST_CONN: u64 = 2;
+pub(crate) const FIRST_CONN: u64 = 2;
 
 /// How often the loop wakes to check the drain deadline while shutting
 /// down, in milliseconds.
@@ -52,7 +69,8 @@ const DRAIN_TICK_MS: i32 = 20;
 /// Reactor tuning knobs.
 #[derive(Clone, Debug)]
 pub struct NetConfig {
-    /// Global connection cap; accepts beyond it are refused immediately.
+    /// Global connection cap (shared across all shards); accepts beyond
+    /// it are refused immediately.
     pub max_connections: usize,
     /// Framing bound: a single line longer than this closes the
     /// connection.
@@ -66,6 +84,19 @@ pub struct NetConfig {
     /// How long shutdown waits for connections to flush before
     /// force-closing them.
     pub drain_deadline: Duration,
+    /// Event-loop shard count for [`crate::shard::ShardedReactor`];
+    /// `0` means auto (`min(available cores, 8)`). Ignored by the
+    /// single-loop [`Reactor`].
+    pub shards: usize,
+    /// Handler-pool threads per shard (protocol dispatch off the loop
+    /// thread). Clamped to at least 1. Ignored by the single-loop
+    /// [`Reactor`], whose handler runs inline.
+    pub handler_threads: usize,
+    /// Skip `SO_REUSEPORT` and use the single-listener round-robin
+    /// accept fallback even when the kernel would allow port sharing.
+    /// Exists for tests and for kernels that accept the setsockopt but
+    /// balance poorly.
+    pub force_round_robin_accept: bool,
 }
 
 impl Default for NetConfig {
@@ -77,13 +108,19 @@ impl Default for NetConfig {
             write_low_watermark: 64 * 1024,
             write_hard_cap: 8 * 1024 * 1024,
             drain_deadline: Duration::from_secs(5),
+            shards: 0,
+            handler_threads: 1,
+            force_round_robin_accept: false,
         }
     }
 }
 
-/// Protocol logic plugged into the reactor. All callbacks run on the
-/// reactor thread; they must not block. Long work belongs on other
-/// threads, which reply later through the [`Outbox`].
+/// Protocol logic plugged into the reactor. With [`Reactor::run`] every
+/// callback runs on the loop thread and must not block; long work belongs
+/// on other threads, which reply later through the [`Outbox`]. Under a
+/// [`crate::shard::ShardedReactor`] callbacks run on the shard's handler
+/// pool instead — off the loop — and all callbacks for one connection
+/// arrive on the same pool worker, in order.
 pub trait Handler: Send {
     /// A connection was accepted.
     fn on_open(&mut self, _conn: ConnId, _peer: SocketAddr, _outbox: &Outbox) {}
@@ -103,6 +140,11 @@ enum Cmd {
     Close(ConnId),
     /// Stop accepting, drain all connections, exit the loop.
     Shutdown,
+    /// A pool worker finished handling one dispatched line on `conn`.
+    Done(ConnId),
+    /// Take ownership of a connection accepted by another shard
+    /// (round-robin fallback mode).
+    Adopt(TcpStream, SocketAddr),
 }
 
 struct OutboxInner {
@@ -111,15 +153,16 @@ struct OutboxInner {
     waker: EventFd,
 }
 
-/// The write-side handle to a running reactor. Cloneable and shareable
-/// across threads; every operation enqueues a command and wakes the loop.
+/// The write-side handle to a running reactor (one shard's loop).
+/// Cloneable and shareable across threads; every operation enqueues a
+/// command and wakes the loop.
 #[derive(Clone)]
 pub struct Outbox {
     inner: Arc<OutboxInner>,
 }
 
 impl Outbox {
-    fn new(waker: EventFd) -> Self {
+    pub(crate) fn new(waker: EventFd) -> Self {
         Self {
             inner: Arc::new(OutboxInner {
                 cmds: Mutex::new(Vec::new()),
@@ -154,7 +197,7 @@ impl Outbox {
         self.inner.alive.lock().unwrap().contains(&conn)
     }
 
-    /// Connections currently open.
+    /// Connections currently open on this shard.
     pub fn connection_count(&self) -> usize {
         self.inner.alive.lock().unwrap().len()
     }
@@ -164,6 +207,16 @@ impl Outbox {
     /// [`NetConfig::drain_deadline`]).
     pub fn shutdown(&self) {
         self.push(Cmd::Shutdown);
+    }
+
+    /// A pool worker reports one dispatched line fully handled.
+    fn done(&self, conn: ConnId) {
+        self.push(Cmd::Done(conn));
+    }
+
+    /// Hand a freshly accepted connection to this shard's loop.
+    pub(crate) fn adopt(&self, stream: TcpStream, peer: SocketAddr) {
+        self.push(Cmd::Adopt(stream, peer));
     }
 
     fn push(&self, cmd: Cmd) {
@@ -182,6 +235,130 @@ impl Outbox {
     fn deregister(&self, conn: ConnId) {
         self.inner.alive.lock().unwrap().remove(&conn);
     }
+
+    pub(crate) fn waker_fd(&self) -> std::os::unix::io::RawFd {
+        self.inner.waker.fd()
+    }
+
+    pub(crate) fn drain_waker(&self) {
+        self.inner.waker.drain();
+    }
+}
+
+/// One unit of protocol work routed to a pool worker.
+enum Work {
+    Open(ConnId, SocketAddr),
+    Line(ConnId, String),
+    Close(ConnId),
+}
+
+/// A per-shard pool of handler threads. Each worker owns its own
+/// [`Handler`] instance; every connection is pinned to one worker, so a
+/// connection's `on_open`/`on_line`/`on_close` sequence is totally
+/// ordered even though shards dispatch concurrently.
+pub(crate) struct HandlerPool {
+    txs: Vec<mpsc::Sender<Work>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl HandlerPool {
+    /// Spawn one worker thread per handler. `outbox` is the owning
+    /// shard's loop handle, passed into every callback.
+    pub(crate) fn spawn(shard: usize, outbox: Outbox, handlers: Vec<Box<dyn Handler>>) -> Self {
+        let mut txs = Vec::with_capacity(handlers.len());
+        let mut handles = Vec::with_capacity(handlers.len());
+        for (w, mut handler) in handlers.into_iter().enumerate() {
+            let (tx, rx) = mpsc::channel::<Work>();
+            let outbox = outbox.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("eod-net-s{shard}-h{w}"))
+                .spawn(move || {
+                    for work in rx.iter() {
+                        match work {
+                            Work::Open(conn, peer) => handler.on_open(conn, peer, &outbox),
+                            Work::Line(conn, line) => {
+                                handler.on_line(conn, &line, &outbox);
+                                // Completion re-enters the loop via the
+                                // shard's eventfd waker so deferred EOF
+                                // closes can make progress.
+                                outbox.done(conn);
+                            }
+                            Work::Close(conn) => handler.on_close(conn),
+                        }
+                    }
+                })
+                .expect("spawn handler-pool worker");
+            txs.push(tx);
+            handles.push(handle);
+        }
+        Self { txs, handles }
+    }
+
+    fn worker_count(&self) -> usize {
+        self.txs.len()
+    }
+}
+
+/// How the loop invokes protocol logic.
+pub(crate) enum Dispatch {
+    /// Callbacks run synchronously on the loop thread.
+    Inline(Box<dyn Handler>),
+    /// Callbacks are routed to the shard's handler pool.
+    Pool(HandlerPool),
+}
+
+impl Dispatch {
+    /// Pick the pool worker a fresh connection is pinned to.
+    fn pick_worker(&self, seq: usize) -> usize {
+        match self {
+            Dispatch::Inline(_) => 0,
+            Dispatch::Pool(pool) => seq % pool.worker_count(),
+        }
+    }
+
+    fn open(&mut self, conn: ConnId, peer: SocketAddr, worker: usize, outbox: &Outbox) {
+        match self {
+            Dispatch::Inline(h) => h.on_open(conn, peer, outbox),
+            Dispatch::Pool(pool) => {
+                let _ = pool.txs[worker].send(Work::Open(conn, peer));
+            }
+        }
+    }
+
+    /// Returns `true` when the line was dispatched asynchronously (the
+    /// caller must count it outstanding until `Cmd::Done` arrives).
+    fn line(&mut self, conn: ConnId, line: String, worker: usize, outbox: &Outbox) -> bool {
+        match self {
+            Dispatch::Inline(h) => {
+                h.on_line(conn, &line, outbox);
+                false
+            }
+            Dispatch::Pool(pool) => {
+                let _ = pool.txs[worker].send(Work::Line(conn, line));
+                true
+            }
+        }
+    }
+
+    fn close(&mut self, conn: ConnId, worker: usize) {
+        match self {
+            Dispatch::Inline(h) => h.on_close(conn),
+            Dispatch::Pool(pool) => {
+                let _ = pool.txs[worker].send(Work::Close(conn));
+            }
+        }
+    }
+
+    /// Hang up the pool (if any) and wait for its workers to finish the
+    /// already-queued callbacks.
+    fn join(self) {
+        if let Dispatch::Pool(pool) = self {
+            drop(pool.txs); // disconnect; workers exit after draining
+            for h in pool.handles {
+                let _ = h.join();
+            }
+        }
+    }
 }
 
 struct Conn {
@@ -194,9 +371,40 @@ struct Conn {
     read_paused: bool,
     /// Flush-then-close requested; no further reads are dispatched.
     closing: bool,
+    /// The peer finished sending; close once in-flight dispatched lines
+    /// complete and pending responses flush.
+    eof: bool,
+    /// Lines handed to the handler pool and not yet reported `Done`.
+    outstanding: u32,
+    /// The pool worker this connection is pinned to.
+    worker: usize,
 }
 
-/// A bound listener plus the epoll machinery, ready to [`Reactor::run`].
+/// Everything one event loop needs to run; assembled by [`Reactor`] for
+/// the single-loop shape and by [`crate::shard::ShardedReactor`] per
+/// shard.
+pub(crate) struct LoopParams {
+    /// This loop's listener. `None` for fallback shards that only adopt.
+    pub(crate) listener: Option<TcpListener>,
+    pub(crate) epoll: Epoll,
+    pub(crate) outbox: Outbox,
+    pub(crate) config: NetConfig,
+    pub(crate) metrics: Arc<NetMetrics>,
+    /// This loop's index within the shard set.
+    pub(crate) shard_index: usize,
+    /// All shard outboxes (self included), for round-robin adoption.
+    /// Empty when every shard accepts on its own listener.
+    pub(crate) peers: Vec<Outbox>,
+    /// First connection token this loop hands out.
+    pub(crate) first_token: u64,
+    /// Token increment (the shard count), keeping ids globally unique.
+    pub(crate) token_stride: u64,
+    /// Connections open across every shard, for the global cap.
+    pub(crate) total_conns: Arc<AtomicUsize>,
+}
+
+/// A bound listener plus the epoll machinery, ready to [`Reactor::run`]:
+/// the single-loop reactor with an inline handler.
 pub struct Reactor {
     listener: TcpListener,
     epoll: Epoll,
@@ -241,7 +449,7 @@ impl Reactor {
     }
 
     /// Run the event loop on the current thread until shutdown completes.
-    pub fn run(self, mut handler: impl Handler) -> io::Result<()> {
+    pub fn run(self, handler: impl Handler + 'static) -> io::Result<()> {
         let Reactor {
             listener,
             epoll,
@@ -249,81 +457,126 @@ impl Reactor {
             config,
             metrics,
         } = self;
-        epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
-        epoll.add(outbox.inner.waker.fd(), EPOLLIN, TOKEN_WAKER)?;
-        let mut el = EventLoop {
-            epoll,
-            conns: HashMap::new(),
-            config,
-            metrics,
-            outbox,
-            draining: None,
+        run_event_loop(
+            LoopParams {
+                listener: Some(listener),
+                epoll,
+                outbox,
+                config,
+                metrics,
+                shard_index: 0,
+                peers: Vec::new(),
+                first_token: FIRST_CONN,
+                token_stride: 1,
+                total_conns: Arc::new(AtomicUsize::new(0)),
+            },
+            Dispatch::Inline(Box::new(handler)),
+        )
+    }
+}
+
+/// The loop itself, shared by the single reactor and every shard.
+pub(crate) fn run_event_loop(params: LoopParams, mut dispatch: Dispatch) -> io::Result<()> {
+    let LoopParams {
+        listener,
+        epoll,
+        outbox,
+        config,
+        metrics,
+        shard_index,
+        peers,
+        first_token,
+        token_stride,
+        total_conns,
+    } = params;
+    if let Some(l) = &listener {
+        epoll.add(l.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+    }
+    epoll.add(outbox.waker_fd(), EPOLLIN, TOKEN_WAKER)?;
+    let mut el = EventLoop {
+        epoll,
+        conns: HashMap::new(),
+        config,
+        metrics,
+        outbox,
+        draining: None,
+        listener,
+        shard_index,
+        peers,
+        rr: 0,
+        next_token: first_token,
+        token_stride,
+        next_worker: 0,
+        total_conns,
+    };
+    let mut events = vec![
+        EpollEvent {
+            events: 0,
+            token: 0
         };
-        let handler: &mut dyn Handler = &mut handler;
-        let mut next_token = FIRST_CONN;
-        let mut events = vec![
-            EpollEvent {
-                events: 0,
-                token: 0
-            };
-            1024
-        ];
-        let mut accepting = true;
-        loop {
-            let timeout = if el.draining.is_some() {
-                DRAIN_TICK_MS
-            } else {
-                -1
-            };
-            let n = el.epoll.wait(&mut events, timeout)?;
-            for ev in events.iter().take(n) {
-                let token = { ev.token };
-                let bits = { ev.events };
-                match token {
-                    TOKEN_LISTENER => el.accept_ready(&listener, &mut next_token, handler),
-                    TOKEN_WAKER => el.outbox.inner.waker.drain(),
-                    t => {
-                        if bits & (EPOLLERR | EPOLLHUP) != 0 {
-                            el.close_conn(t, handler);
-                            continue;
-                        }
-                        if bits & EPOLLOUT != 0 {
-                            el.try_flush(t, handler);
-                        }
-                        if bits & (EPOLLIN | EPOLLRDHUP) != 0 {
-                            el.handle_readable(t, handler);
-                        }
+        1024
+    ];
+    let mut accepting = el.listener.is_some();
+    loop {
+        let timeout = if el.draining.is_some() {
+            DRAIN_TICK_MS
+        } else {
+            -1
+        };
+        let n = el.epoll.wait(&mut events, timeout)?;
+        for ev in events.iter().take(n) {
+            let token = { ev.token };
+            let bits = { ev.events };
+            match token {
+                TOKEN_LISTENER => el.accept_ready(&mut dispatch),
+                TOKEN_WAKER => el.outbox.drain_waker(),
+                t => {
+                    if bits & (EPOLLERR | EPOLLHUP) != 0 {
+                        el.close_conn(t, &mut dispatch);
+                        continue;
+                    }
+                    if bits & EPOLLOUT != 0 {
+                        el.try_flush(t, &mut dispatch);
+                    }
+                    if bits & (EPOLLIN | EPOLLRDHUP) != 0 {
+                        el.handle_readable(t, &mut dispatch);
                     }
                 }
             }
-            el.apply_commands(handler);
-            if let Some(started) = el.draining {
-                if accepting {
-                    // Stop new work: the listener leaves the interest
-                    // list, so pending SYNs are never accepted.
-                    let _ = el.epoll.delete(listener.as_raw_fd());
-                    accepting = false;
+        }
+        el.apply_commands(&mut dispatch);
+        if let Some(started) = el.draining {
+            if accepting {
+                // Stop new work: the listener leaves the interest
+                // list, so pending SYNs are never accepted.
+                if let Some(l) = &el.listener {
+                    let _ = el.epoll.delete(l.as_raw_fd());
                 }
-                let flushed: Vec<ConnId> = el
-                    .conns
-                    .iter()
-                    .filter(|(_, c)| c.write.is_empty())
-                    .map(|(t, _)| *t)
-                    .collect();
-                for t in flushed {
-                    el.close_conn(t, handler);
-                }
-                if el.conns.is_empty() || started.elapsed() >= el.config.drain_deadline {
-                    break;
-                }
+                accepting = false;
+            }
+            // A connection is drainable once its responses are flushed
+            // AND no dispatched line is still in the handler pool (a
+            // pooled handler may yet queue the response we must flush).
+            let flushed: Vec<ConnId> = el
+                .conns
+                .iter()
+                .filter(|(_, c)| c.write.is_empty() && c.outstanding == 0)
+                .map(|(t, _)| *t)
+                .collect();
+            for t in flushed {
+                el.close_conn(t, &mut dispatch);
+            }
+            if el.conns.is_empty() || started.elapsed() >= el.config.drain_deadline {
+                break;
             }
         }
-        let leftover: Vec<ConnId> = el.conns.keys().copied().collect();
-        for t in leftover {
-            el.close_conn(t, handler);
-        }
-        Ok(())
     }
+    let leftover: Vec<ConnId> = el.conns.keys().copied().collect();
+    for t in leftover {
+        el.close_conn(t, &mut dispatch);
+    }
+    dispatch.join();
+    Ok(())
 }
 
 struct EventLoop {
@@ -333,47 +586,44 @@ struct EventLoop {
     metrics: Arc<NetMetrics>,
     outbox: Outbox,
     draining: Option<Instant>,
+    listener: Option<TcpListener>,
+    shard_index: usize,
+    /// All shard outboxes for round-robin adoption (empty outside
+    /// fallback mode).
+    peers: Vec<Outbox>,
+    /// Round-robin cursor over `peers`.
+    rr: usize,
+    next_token: u64,
+    token_stride: u64,
+    /// Rotates fresh connections across pool workers.
+    next_worker: usize,
+    total_conns: Arc<AtomicUsize>,
 }
 
 impl EventLoop {
-    fn accept_ready(
-        &mut self,
-        listener: &TcpListener,
-        next_token: &mut u64,
-        handler: &mut dyn Handler,
-    ) {
+    fn accept_ready(&mut self, dispatch: &mut Dispatch) {
         loop {
-            match listener.accept() {
+            let accepted = match self.listener.as_ref() {
+                Some(l) => l.accept(),
+                None => return,
+            };
+            match accepted {
                 Ok((stream, peer)) => {
-                    if self.draining.is_some() || self.conns.len() >= self.config.max_connections {
+                    if self.draining.is_some() {
                         self.metrics.accepts_rejected.inc();
                         continue; // dropping the stream closes it
                     }
-                    if stream.set_nonblocking(true).is_err() {
-                        continue;
+                    // Round-robin fallback: this loop owns the only
+                    // listener and deals connections across all shards.
+                    if self.peers.len() > 1 {
+                        let target = self.rr % self.peers.len();
+                        self.rr += 1;
+                        if target != self.shard_index {
+                            self.peers[target].adopt(stream, peer);
+                            continue;
+                        }
                     }
-                    let _ = stream.set_nodelay(true);
-                    let token = *next_token;
-                    *next_token += 1;
-                    let interest = EPOLLIN | EPOLLRDHUP;
-                    if self.epoll.add(stream.as_raw_fd(), interest, token).is_err() {
-                        continue;
-                    }
-                    self.conns.insert(
-                        token,
-                        Conn {
-                            stream,
-                            reader: LineReader::new(self.config.max_line_bytes),
-                            write: WriteQueue::new(),
-                            interest,
-                            read_paused: false,
-                            closing: false,
-                        },
-                    );
-                    self.outbox.register(token);
-                    self.metrics.accepts.inc();
-                    self.metrics.connections.set(self.conns.len() as f64);
-                    handler.on_open(token, peer, &self.outbox);
+                    self.register_conn(stream, peer, dispatch);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -382,7 +632,57 @@ impl EventLoop {
         }
     }
 
-    fn handle_readable(&mut self, token: ConnId, handler: &mut dyn Handler) {
+    /// Take ownership of a connection: reserve a slot under the global
+    /// cap, register with epoll, pin to a pool worker, announce on_open.
+    fn register_conn(&mut self, stream: TcpStream, peer: SocketAddr, dispatch: &mut Dispatch) {
+        let cap = self.config.max_connections;
+        let reserved = self
+            .total_conns
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                (c < cap).then_some(c + 1)
+            });
+        if reserved.is_err() {
+            self.metrics.accepts_rejected.inc();
+            return; // dropping the stream closes it
+        }
+        let release = |counter: &AtomicUsize| {
+            counter.fetch_sub(1, Ordering::Relaxed);
+        };
+        if stream.set_nonblocking(true).is_err() {
+            release(&self.total_conns);
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let token = self.next_token;
+        self.next_token += self.token_stride;
+        let interest = EPOLLIN | EPOLLRDHUP;
+        if self.epoll.add(stream.as_raw_fd(), interest, token).is_err() {
+            release(&self.total_conns);
+            return;
+        }
+        let worker = dispatch.pick_worker(self.next_worker);
+        self.next_worker = self.next_worker.wrapping_add(1);
+        self.conns.insert(
+            token,
+            Conn {
+                stream,
+                reader: LineReader::new(self.config.max_line_bytes),
+                write: WriteQueue::new(),
+                interest,
+                read_paused: false,
+                closing: false,
+                eof: false,
+                outstanding: 0,
+                worker,
+            },
+        );
+        self.outbox.register(token);
+        self.metrics.accepts.inc();
+        self.metrics.connections.set(self.conns.len() as f64);
+        dispatch.open(token, peer, worker, &self.outbox);
+    }
+
+    fn handle_readable(&mut self, token: ConnId, dispatch: &mut Dispatch) {
         let mut scratch = [0u8; 16 * 1024];
         let mut eof = false;
         let mut fatal = false;
@@ -391,7 +691,7 @@ impl EventLoop {
                 Some(c) => c,
                 None => return,
             };
-            if conn.read_paused || conn.closing {
+            if conn.read_paused || conn.closing || conn.eof {
                 return;
             }
             loop {
@@ -414,52 +714,74 @@ impl EventLoop {
             }
         }
         if fatal {
-            self.close_conn(token, handler);
+            self.close_conn(token, dispatch);
             return;
         }
         let mut depth = 0u32;
         loop {
-            let line = {
+            let (line, worker) = {
                 let conn = match self.conns.get_mut(&token) {
                     Some(c) => c,
                     None => break,
                 };
                 match conn.reader.next_line() {
-                    Ok(Some(l)) => l,
+                    Ok(Some(l)) => (l, conn.worker),
                     Ok(None) => break,
                     Err(LineError::TooLong { .. }) => {
                         self.metrics.framing_errors.inc();
-                        self.close_conn(token, handler);
+                        self.close_conn(token, dispatch);
                         return;
                     }
                 }
             };
             depth += 1;
             self.metrics.lines_in.inc();
-            handler.on_line(token, &line, &self.outbox);
+            if dispatch.line(token, line, worker, &self.outbox) {
+                if let Some(c) = self.conns.get_mut(&token) {
+                    c.outstanding += 1;
+                }
+            }
         }
         if depth > 0 {
             self.metrics.pipeline_depth.observe(f64::from(depth));
         }
         if eof {
-            // The peer finished sending. Apply any responses the handler
-            // just queued so a half-closing client (send all, shutdown
-            // write, read replies) still gets synchronous answers, then
-            // flush-and-close.
-            self.apply_commands(handler);
-            match self.conns.get_mut(&token) {
-                Some(c) if !c.write.is_empty() => {
-                    c.closing = true;
-                    self.outbox.deregister(token);
-                    self.update_interest(token);
-                }
-                Some(_) => self.close_conn(token, handler),
-                None => {}
+            // The peer finished sending. Drop read interest (the socket
+            // stays readable-at-EOF forever under level triggering),
+            // apply any responses the handler already queued so a
+            // half-closing client still gets synchronous answers, then
+            // flush-and-close once in-flight pooled lines complete.
+            if let Some(c) = self.conns.get_mut(&token) {
+                c.eof = true;
             }
+            self.update_interest(token);
+            self.apply_commands(dispatch);
+            self.maybe_finish_eof(token, dispatch);
         }
     }
 
-    fn apply_commands(&mut self, handler: &mut dyn Handler) {
+    /// Close an EOF'd connection once nothing more can arrive for it:
+    /// every dispatched line is handled and its responses are queued.
+    fn maybe_finish_eof(&mut self, token: ConnId, dispatch: &mut Dispatch) {
+        let ready = matches!(
+            self.conns.get(&token),
+            Some(c) if c.eof && c.outstanding == 0 && !c.closing
+        );
+        if !ready {
+            return;
+        }
+        match self.conns.get_mut(&token) {
+            Some(c) if !c.write.is_empty() => {
+                c.closing = true;
+                self.outbox.deregister(token);
+                self.update_interest(token);
+            }
+            Some(_) => self.close_conn(token, dispatch),
+            None => {}
+        }
+    }
+
+    fn apply_commands(&mut self, dispatch: &mut Dispatch) {
         for cmd in self.outbox.take() {
             match cmd {
                 Cmd::Send(token, line) => {
@@ -468,7 +790,7 @@ impl EventLoop {
                         _ => continue,
                     }
                     self.metrics.lines_out.inc();
-                    self.try_flush(token, handler);
+                    self.try_flush(token, dispatch);
                 }
                 Cmd::Close(token) => {
                     let flushed = match self.conns.get_mut(&token) {
@@ -479,7 +801,7 @@ impl EventLoop {
                         None => continue,
                     };
                     if flushed {
-                        self.close_conn(token, handler);
+                        self.close_conn(token, dispatch);
                     } else {
                         self.update_interest(token);
                     }
@@ -489,11 +811,24 @@ impl EventLoop {
                         self.draining = Some(Instant::now());
                     }
                 }
+                Cmd::Done(token) => {
+                    if let Some(c) = self.conns.get_mut(&token) {
+                        c.outstanding = c.outstanding.saturating_sub(1);
+                    }
+                    self.maybe_finish_eof(token, dispatch);
+                }
+                Cmd::Adopt(stream, peer) => {
+                    if self.draining.is_some() {
+                        self.metrics.accepts_rejected.inc();
+                        continue; // dropping the stream closes it
+                    }
+                    self.register_conn(stream, peer, dispatch);
+                }
             }
         }
     }
 
-    fn try_flush(&mut self, token: ConnId, handler: &mut dyn Handler) {
+    fn try_flush(&mut self, token: ConnId, dispatch: &mut Dispatch) {
         let mut dead = false;
         {
             let conn = match self.conns.get_mut(&token) {
@@ -520,26 +855,26 @@ impl EventLoop {
             }
         }
         if dead {
-            self.close_conn(token, handler);
+            self.close_conn(token, dispatch);
             return;
         }
-        self.after_write(token, handler);
+        self.after_write(token, dispatch);
     }
 
     /// Re-evaluate watermarks, the hard cap, and pending close after any
     /// change to a connection's write queue.
-    fn after_write(&mut self, token: ConnId, handler: &mut dyn Handler) {
+    fn after_write(&mut self, token: ConnId, dispatch: &mut Dispatch) {
         let (len, closing, paused) = match self.conns.get(&token) {
             Some(c) => (c.write.len(), c.closing, c.read_paused),
             None => return,
         };
         if closing && len == 0 {
-            self.close_conn(token, handler);
+            self.close_conn(token, dispatch);
             return;
         }
         if len > self.config.write_hard_cap {
             self.metrics.slow_consumer_drops.inc();
-            self.close_conn(token, handler);
+            self.close_conn(token, dispatch);
             return;
         }
         if !paused && len >= self.config.write_high_watermark {
@@ -560,9 +895,12 @@ impl EventLoop {
             Some(c) => c,
             None => return,
         };
-        let mut want = EPOLLRDHUP;
-        if !conn.read_paused && !conn.closing {
-            want |= EPOLLIN;
+        let mut want = 0;
+        if !conn.eof {
+            want |= EPOLLRDHUP;
+            if !conn.read_paused && !conn.closing {
+                want |= EPOLLIN;
+            }
         }
         if !conn.write.is_empty() {
             want |= EPOLLOUT;
@@ -575,13 +913,14 @@ impl EventLoop {
         }
     }
 
-    fn close_conn(&mut self, token: ConnId, handler: &mut dyn Handler) {
+    fn close_conn(&mut self, token: ConnId, dispatch: &mut Dispatch) {
         if let Some(conn) = self.conns.remove(&token) {
             let _ = self.epoll.delete(conn.stream.as_raw_fd());
             self.outbox.deregister(token);
+            self.total_conns.fetch_sub(1, Ordering::Relaxed);
             self.metrics.closes.inc();
             self.metrics.connections.set(self.conns.len() as f64);
-            handler.on_close(token);
+            dispatch.close(token, conn.worker);
         }
     }
 }

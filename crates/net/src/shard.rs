@@ -1,0 +1,285 @@
+//! The sharded multi-reactor: N independent event loops sharing one
+//! listening port.
+//!
+//! Each shard owns its own epoll instance, eventfd waker, accepted
+//! connections (with their `LineReader`/`WriteQueue` state), handler
+//! pool, and [`NetMetrics`] — nothing about a connection is ever touched
+//! by two loops. The only cross-shard state is the global connection
+//! counter (for the accept cap) and the [`ShardedOutbox`], which routes
+//! by connection id.
+//!
+//! Accept distribution prefers `SO_REUSEPORT`: every shard binds its own
+//! listener to the same port and the kernel spreads incoming connections
+//! across them by 4-tuple hash, so accepts never serialize on one thread.
+//! When the kernel refuses the socket option (or
+//! [`NetConfig::force_round_robin_accept`] is set), shard 0 owns a single
+//! listener and deals each accepted connection to the shards in
+//! round-robin order via an `Adopt` command — correct on any kernel,
+//! at the cost of funneling accepts through one loop.
+//!
+//! Connection ids interleave: shard *i* hands out `FIRST_CONN + i`,
+//! `FIRST_CONN + i + n`, … so ids are globally unique and
+//! `shard_of(conn)` is a modulus, not a lookup.
+
+use crate::metrics::NetMetrics;
+use crate::reactor::{
+    run_event_loop, ConnId, Dispatch, Handler, HandlerPool, LoopParams, NetConfig, Outbox,
+    FIRST_CONN,
+};
+use crate::sys::{bind_reuseport, Epoll, EventFd};
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Shards to run when [`NetConfig::shards`] is `0` (auto): one per core,
+/// capped — beyond this, accept sharding stops paying for its threads.
+const MAX_AUTO_SHARDS: usize = 8;
+
+/// Resolve a requested shard count: `0` means `min(cores, 8)`.
+pub fn resolve_shard_count(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cores.min(MAX_AUTO_SHARDS)
+}
+
+struct Shard {
+    listener: Option<TcpListener>,
+    epoll: Epoll,
+    outbox: Outbox,
+    metrics: Arc<NetMetrics>,
+}
+
+/// N event loops bound to one port, ready to [`ShardedReactor::spawn`].
+pub struct ShardedReactor {
+    shards: Vec<Shard>,
+    config: NetConfig,
+    addr: SocketAddr,
+    reuseport: bool,
+    total_conns: Arc<AtomicUsize>,
+}
+
+impl ShardedReactor {
+    /// Bind `addr` with [`NetConfig::shards`] loops (0 = auto).
+    ///
+    /// With more than one shard this tries `SO_REUSEPORT` listeners
+    /// first and falls back to single-listener round-robin adoption if
+    /// the option is refused.
+    pub fn bind(addr: &str, config: NetConfig) -> io::Result<ShardedReactor> {
+        let n = resolve_shard_count(config.shards);
+        let target = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
+
+        let mut listeners: Vec<Option<TcpListener>> = Vec::with_capacity(n);
+        let mut reuseport = false;
+        if n > 1 && !config.force_round_robin_accept {
+            if let Ok(first) = bind_reuseport(target) {
+                let bound = first.local_addr()?; // resolves a `:0` port
+                let mut set = vec![Some(first)];
+                let mut ok = true;
+                for _ in 1..n {
+                    match bind_reuseport(bound) {
+                        Ok(l) => set.push(Some(l)),
+                        Err(_) => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    listeners = set;
+                    reuseport = true;
+                }
+            }
+        }
+        if listeners.is_empty() {
+            // Fallback (and the single-shard shape): one ordinary
+            // listener on shard 0, the rest adopt.
+            let l = TcpListener::bind(target)?;
+            listeners.push(Some(l));
+            listeners.resize_with(n, || None);
+        }
+        let bound = listeners[0]
+            .as_ref()
+            .expect("shard 0 always has the listener")
+            .local_addr()?;
+
+        let mut shards = Vec::with_capacity(n);
+        for listener in listeners {
+            if let Some(l) = &listener {
+                l.set_nonblocking(true)?;
+            }
+            shards.push(Shard {
+                listener,
+                epoll: Epoll::new()?,
+                outbox: Outbox::new(EventFd::new()?),
+                metrics: Arc::new(NetMetrics::new()),
+            });
+        }
+        Ok(ShardedReactor {
+            shards,
+            config,
+            addr: bound,
+            reuseport,
+            total_conns: Arc::new(AtomicUsize::new(0)),
+        })
+    }
+
+    /// The address actually bound (resolves `:0` ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// How many event loops will run.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether accepts shard through `SO_REUSEPORT` listeners (`false`
+    /// means the single-listener round-robin fallback, which is also the
+    /// single-shard shape).
+    pub fn reuseport(&self) -> bool {
+        self.reuseport
+    }
+
+    /// Per-shard metric handles, in shard order. Aggregate with
+    /// [`crate::metrics::render_sharded`].
+    pub fn shard_metrics(&self) -> Vec<Arc<NetMetrics>> {
+        self.shards.iter().map(|s| Arc::clone(&s.metrics)).collect()
+    }
+
+    /// The routing write-handle across every shard.
+    pub fn outbox(&self) -> ShardedOutbox {
+        ShardedOutbox {
+            shards: Arc::new(self.shards.iter().map(|s| s.outbox.clone()).collect()),
+        }
+    }
+
+    /// Start every shard loop. `factory(shard, worker)` builds one
+    /// [`Handler`] per pool worker — [`NetConfig::handler_threads`] of
+    /// them per shard, each running off the loop thread.
+    pub fn spawn(self, mut factory: impl FnMut(usize, usize) -> Box<dyn Handler>) -> ShardedHandle {
+        let ShardedReactor {
+            shards,
+            config,
+            total_conns,
+            reuseport,
+            ..
+        } = self;
+        let n = shards.len();
+        let workers = config.handler_threads.max(1);
+        let all_outboxes: Vec<Outbox> = shards.iter().map(|s| s.outbox.clone()).collect();
+        let mut joins = Vec::with_capacity(n);
+        for (i, shard) in shards.into_iter().enumerate() {
+            let handlers: Vec<Box<dyn Handler>> = (0..workers).map(|w| factory(i, w)).collect();
+            let pool = HandlerPool::spawn(i, shard.outbox.clone(), handlers);
+            let params = LoopParams {
+                listener: shard.listener,
+                epoll: shard.epoll,
+                outbox: shard.outbox,
+                config: config.clone(),
+                metrics: shard.metrics,
+                shard_index: i,
+                // Peers drive round-robin adoption; with reuseport each
+                // shard accepts for itself and never forwards.
+                peers: if reuseport || n == 1 {
+                    Vec::new()
+                } else {
+                    all_outboxes.clone()
+                },
+                first_token: FIRST_CONN + i as u64,
+                token_stride: n as u64,
+                total_conns: Arc::clone(&total_conns),
+            };
+            let join = std::thread::Builder::new()
+                .name(format!("eod-net-shard{i}"))
+                .spawn(move || run_event_loop(params, Dispatch::Pool(pool)))
+                .expect("spawn shard loop");
+            joins.push(join);
+        }
+        ShardedHandle { joins }
+    }
+}
+
+/// Join handle over every shard loop.
+pub struct ShardedHandle {
+    joins: Vec<JoinHandle<io::Result<()>>>,
+}
+
+impl ShardedHandle {
+    /// Wait for every shard to exit; returns the first loop error.
+    pub fn wait(self) -> io::Result<()> {
+        let mut result = Ok(());
+        for j in self.joins {
+            match j.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    if result.is_ok() {
+                        result = Err(e);
+                    }
+                }
+                Err(_) => {
+                    if result.is_ok() {
+                        result = Err(io::Error::other("shard loop panicked"));
+                    }
+                }
+            }
+        }
+        result
+    }
+}
+
+/// A cross-shard write handle: routes each operation to the shard that
+/// owns the connection (ids interleave by shard, so ownership is a
+/// modulus). Cloneable and shareable like [`Outbox`].
+#[derive(Clone)]
+pub struct ShardedOutbox {
+    shards: Arc<Vec<Outbox>>,
+}
+
+impl ShardedOutbox {
+    fn shard_of(&self, conn: ConnId) -> &Outbox {
+        let i = (conn.saturating_sub(FIRST_CONN) as usize) % self.shards.len();
+        &self.shards[i]
+    }
+
+    /// Queue `line` for `conn` on its owning shard. `false` when gone.
+    pub fn send(&self, conn: ConnId, line: &str) -> bool {
+        self.shard_of(conn).send(conn, line)
+    }
+
+    /// Flush then close `conn` on its owning shard.
+    pub fn close(&self, conn: ConnId) {
+        self.shard_of(conn).close(conn);
+    }
+
+    /// Whether `conn` is still open (best-effort).
+    pub fn is_alive(&self, conn: ConnId) -> bool {
+        self.shard_of(conn).is_alive(conn)
+    }
+
+    /// Connections currently open across every shard.
+    pub fn connection_count(&self) -> usize {
+        self.shards.iter().map(|o| o.connection_count()).sum()
+    }
+
+    /// Begin graceful shutdown on every shard; each drains against its
+    /// own [`NetConfig::drain_deadline`].
+    pub fn shutdown(&self) {
+        for o in self.shards.iter() {
+            o.shutdown();
+        }
+    }
+
+    /// How many shards this handle routes across.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}

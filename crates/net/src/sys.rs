@@ -1,6 +1,7 @@
 //! Thin, safe wrappers over the handful of Linux syscalls the reactor
-//! needs: `epoll` for readiness, `eventfd` for cross-thread wakeups, and
-//! `setrlimit` for raising the open-file bound before large runs.
+//! needs: `epoll` for readiness, `eventfd` for cross-thread wakeups,
+//! `setrlimit` for raising the open-file bound before large runs, and
+//! `SO_REUSEPORT` listener sockets for accept sharding.
 //!
 //! The build environment vendors every dependency, so instead of pulling
 //! in `libc` these are direct `extern "C"` declarations against the C
@@ -29,6 +30,15 @@ const EFD_CLOEXEC: c_int = 0o2000000;
 const EFD_NONBLOCK: c_int = 0o4000;
 const RLIMIT_NOFILE: c_int = 7;
 
+const AF_INET: c_int = 2;
+const AF_INET6: c_int = 10;
+const SOCK_STREAM: c_int = 1;
+const SOCK_CLOEXEC: c_int = 0o2000000;
+const SOL_SOCKET: c_int = 1;
+const SO_REUSEADDR: c_int = 2;
+const SO_REUSEPORT: c_int = 15;
+const LISTEN_BACKLOG: c_int = 1024;
+
 /// One readiness record. On x86-64 the kernel ABI packs this struct to
 /// 12 bytes; other architectures use natural alignment.
 #[repr(C)]
@@ -47,6 +57,28 @@ struct RLimit {
     rlim_max: u64,
 }
 
+/// IPv4 socket address, kernel layout (`struct sockaddr_in`).
+#[repr(C)]
+struct SockAddrIn {
+    family: u16,
+    /// Network byte order.
+    port: u16,
+    /// Network byte order.
+    addr: u32,
+    zero: [u8; 8],
+}
+
+/// IPv6 socket address, kernel layout (`struct sockaddr_in6`).
+#[repr(C)]
+struct SockAddrIn6 {
+    family: u16,
+    /// Network byte order.
+    port: u16,
+    flowinfo: u32,
+    addr: [u8; 16],
+    scope_id: u32,
+}
+
 extern "C" {
     fn epoll_create1(flags: c_int) -> c_int;
     fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
@@ -57,6 +89,16 @@ extern "C" {
     fn close(fd: c_int) -> c_int;
     fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
     fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: u32,
+    ) -> c_int;
+    fn bind(fd: c_int, addr: *const c_void, addrlen: u32) -> c_int;
+    fn listen(fd: c_int, backlog: c_int) -> c_int;
 }
 
 fn cvt(ret: c_int) -> io::Result<c_int> {
@@ -196,6 +238,84 @@ pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
     Ok(lim.rlim_cur)
 }
 
+/// Bind a TCP listener on `addr` with `SO_REUSEPORT` set, so several
+/// listeners can share one port and the kernel spreads inbound
+/// connections across them (accept sharding). Fails — rather than
+/// silently degrading — if the kernel refuses the option; callers fall
+/// back to a single listener with userspace round-robin distribution.
+pub fn bind_reuseport(addr: std::net::SocketAddr) -> io::Result<std::net::TcpListener> {
+    use std::net::SocketAddr;
+    use std::os::unix::io::FromRawFd;
+
+    let domain = match addr {
+        SocketAddr::V4(_) => AF_INET,
+        SocketAddr::V6(_) => AF_INET6,
+    };
+    let fd = cvt(unsafe { socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0) })?;
+    // From here on, any failure must release the fd before returning.
+    let fail = |fd: c_int, err: io::Error| -> io::Result<std::net::TcpListener> {
+        unsafe { close(fd) };
+        Err(err)
+    };
+    let one: c_int = 1;
+    for opt in [SO_REUSEADDR, SO_REUSEPORT] {
+        let rc = unsafe {
+            setsockopt(
+                fd,
+                SOL_SOCKET,
+                opt,
+                (&one as *const c_int).cast(),
+                std::mem::size_of::<c_int>() as u32,
+            )
+        };
+        if rc < 0 {
+            return fail(fd, io::Error::last_os_error());
+        }
+    }
+    let rc = match addr {
+        SocketAddr::V4(v4) => {
+            let sa = SockAddrIn {
+                family: AF_INET as u16,
+                port: v4.port().to_be(),
+                addr: u32::from(*v4.ip()).to_be(),
+                zero: [0; 8],
+            };
+            unsafe {
+                bind(
+                    fd,
+                    (&sa as *const SockAddrIn).cast(),
+                    std::mem::size_of::<SockAddrIn>() as u32,
+                )
+            }
+        }
+        SocketAddr::V6(v6) => {
+            let sa = SockAddrIn6 {
+                family: AF_INET6 as u16,
+                port: v6.port().to_be(),
+                flowinfo: v6.flowinfo(),
+                addr: v6.ip().octets(),
+                scope_id: v6.scope_id(),
+            };
+            unsafe {
+                bind(
+                    fd,
+                    (&sa as *const SockAddrIn6).cast(),
+                    std::mem::size_of::<SockAddrIn6>() as u32,
+                )
+            }
+        }
+    };
+    if rc < 0 {
+        return fail(fd, io::Error::last_os_error());
+    }
+    if unsafe { listen(fd, LISTEN_BACKLOG) } < 0 {
+        return fail(fd, io::Error::last_os_error());
+    }
+    // SAFETY: fd is a freshly created, bound, listening TCP socket that
+    // nothing else owns.
+    Ok(unsafe { std::net::TcpListener::from_raw_fd(fd) })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,5 +366,54 @@ mod tests {
         assert!(now > 0);
         let after = raise_nofile_limit(now).unwrap();
         assert!(after >= now);
+    }
+
+    #[test]
+    fn two_reuseport_listeners_share_one_port_and_both_accept() {
+        use std::io::Write as _;
+        use std::net::TcpStream;
+        use std::os::unix::io::AsRawFd as _;
+
+        let first = bind_reuseport("127.0.0.1:0".parse().unwrap()).expect("first bind");
+        let addr = first.local_addr().unwrap();
+        let second = bind_reuseport(addr).expect("second bind on the same port");
+        assert_eq!(second.local_addr().unwrap().port(), addr.port());
+        first.set_nonblocking(true).unwrap();
+        second.set_nonblocking(true).unwrap();
+
+        // The kernel spreads connections by 4-tuple hash: with enough
+        // distinct source ports both listeners should see accepts. This
+        // only asserts that every connection is accepted by exactly one
+        // of the two and none is lost.
+        let ep = Epoll::new().unwrap();
+        ep.add(first.as_raw_fd(), EPOLLIN, 0).unwrap();
+        ep.add(second.as_raw_fd(), EPOLLIN, 1).unwrap();
+        let conns: Vec<TcpStream> = (0..32)
+            .map(|i| {
+                let mut c = TcpStream::connect(addr).unwrap();
+                c.write_all(format!("{i}\n").as_bytes()).unwrap();
+                c
+            })
+            .collect();
+        let mut accepted = 0;
+        let mut events = [EpollEvent {
+            events: 0,
+            token: 0,
+        }; 8];
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while accepted < conns.len() && std::time::Instant::now() < deadline {
+            let n = ep.wait(&mut events, 100).unwrap();
+            for ev in events.iter().take(n) {
+                let listener = if { ev.token } == 0 { &first } else { &second };
+                while listener.accept().is_ok() {
+                    accepted += 1;
+                }
+            }
+        }
+        assert_eq!(
+            accepted,
+            conns.len(),
+            "every connection lands on a listener"
+        );
     }
 }

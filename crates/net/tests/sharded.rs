@@ -1,0 +1,299 @@
+//! Sharded multi-reactor integration tests: real sockets against N
+//! event loops sharing one port, with protocol dispatch on per-shard
+//! handler pools.
+
+use eod_net::{
+    render_sharded, ConnId, Handler, NetConfig, NetMetrics, Outbox, ShardedOutbox, ShardedReactor,
+};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Replies `echo:<line>`, tagging which (shard, worker) handled it.
+struct Echo {
+    shard: usize,
+    worker: usize,
+}
+
+impl Handler for Echo {
+    fn on_line(&mut self, conn: ConnId, line: &str, outbox: &Outbox) {
+        outbox.send(
+            conn,
+            &format!("echo[s{}w{}]:{line}", self.shard, self.worker),
+        );
+    }
+}
+
+struct Spawned {
+    addr: SocketAddr,
+    outbox: ShardedOutbox,
+    metrics: Vec<Arc<NetMetrics>>,
+    reuseport: bool,
+    join: eod_net::ShardedHandle,
+}
+
+fn spawn_sharded_echo(config: NetConfig) -> Spawned {
+    let reactor = ShardedReactor::bind("127.0.0.1:0", config).unwrap();
+    let addr = reactor.local_addr();
+    let outbox = reactor.outbox();
+    let metrics = reactor.shard_metrics();
+    let reuseport = reactor.reuseport();
+    let join = reactor.spawn(|shard, worker| Box::new(Echo { shard, worker }));
+    Spawned {
+        addr,
+        outbox,
+        metrics,
+        reuseport,
+        join,
+    }
+}
+
+fn accepts(metrics: &[Arc<NetMetrics>]) -> Vec<u64> {
+    metrics.iter().map(|m| m.accepts.get() as u64).collect()
+}
+
+/// With SO_REUSEPORT listeners the kernel spreads accepts by 4-tuple
+/// hash: with enough connections every shard's accept counter must be
+/// non-zero, and every request still echoes back on whichever shard owns
+/// it.
+#[test]
+fn reuseport_spreads_accepts_across_shards() {
+    let srv = spawn_sharded_echo(NetConfig {
+        shards: 2,
+        ..NetConfig::default()
+    });
+    assert!(
+        srv.reuseport,
+        "kernel refused SO_REUSEPORT; fallback covered by the round-robin test"
+    );
+    let mut conns: Vec<TcpStream> = (0..64)
+        .map(|_| TcpStream::connect(srv.addr).unwrap())
+        .collect();
+    for (i, c) in conns.iter_mut().enumerate() {
+        c.write_all(format!("from-{i}\n").as_bytes()).unwrap();
+    }
+    for (i, c) in conns.iter_mut().enumerate() {
+        let mut line = String::new();
+        BufReader::new(c.try_clone().unwrap())
+            .read_line(&mut line)
+            .unwrap();
+        assert!(
+            line.starts_with("echo[s") && line.ends_with(&format!("]:from-{i}\n")),
+            "unexpected reply {line:?}"
+        );
+    }
+    let per_shard = accepts(&srv.metrics);
+    assert_eq!(per_shard.iter().sum::<u64>(), 64);
+    assert!(
+        per_shard.iter().all(|&a| a > 0),
+        "a shard accepted nothing: {per_shard:?}"
+    );
+    // The aggregate exposition sums shards and labels the skew.
+    let text = render_sharded(&srv.metrics);
+    assert!(text.contains("eod_net_accepts_total 64\n"), "{text}");
+    assert!(text.contains("eod_net_shard_accepts_total{shard=\"0\"}"));
+    assert!(text.contains("eod_net_shard_accepts_total{shard=\"1\"}"));
+    drop(conns);
+    srv.outbox.shutdown();
+    srv.join.wait().unwrap();
+}
+
+/// The single-listener fallback deals accepts round-robin, so the split
+/// is exact — and connections adopted by a non-accepting shard must be
+/// fully functional there.
+#[test]
+fn round_robin_fallback_splits_accepts_exactly() {
+    let srv = spawn_sharded_echo(NetConfig {
+        shards: 2,
+        force_round_robin_accept: true,
+        ..NetConfig::default()
+    });
+    assert!(!srv.reuseport);
+    let mut conns: Vec<TcpStream> = (0..10)
+        .map(|_| TcpStream::connect(srv.addr).unwrap())
+        .collect();
+    for (i, c) in conns.iter_mut().enumerate() {
+        c.write_all(format!("rr-{i}\n").as_bytes()).unwrap();
+        let mut line = String::new();
+        BufReader::new(c.try_clone().unwrap())
+            .read_line(&mut line)
+            .unwrap();
+        assert!(line.ends_with(&format!("]:rr-{i}\n")), "{line:?}");
+    }
+    let per_shard = accepts(&srv.metrics);
+    assert_eq!(per_shard, vec![5, 5], "round-robin split must be exact");
+    drop(conns);
+    srv.outbox.shutdown();
+    srv.join.wait().unwrap();
+}
+
+/// Dispatch runs off the loop thread: a handler worker blocked inside
+/// `on_line` must not stop another connection (pinned to a different
+/// pool worker) from being served on the same shard.
+#[test]
+fn pooled_dispatch_keeps_serving_while_a_handler_blocks() {
+    struct Gate {
+        state: Mutex<bool>,
+        cv: Condvar,
+    }
+    struct Blocker {
+        gate: Arc<Gate>,
+    }
+    impl Handler for Blocker {
+        fn on_line(&mut self, conn: ConnId, line: &str, outbox: &Outbox) {
+            if line == "block" {
+                let mut released = self.gate.state.lock().unwrap();
+                while !*released {
+                    released = self.gate.cv.wait(released).unwrap();
+                }
+                outbox.send(conn, "unblocked");
+            } else {
+                outbox.send(conn, &format!("echo:{line}"));
+            }
+        }
+    }
+    let gate = Arc::new(Gate {
+        state: Mutex::new(false),
+        cv: Condvar::new(),
+    });
+    let reactor = ShardedReactor::bind(
+        "127.0.0.1:0",
+        NetConfig {
+            shards: 1,
+            handler_threads: 2,
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = reactor.local_addr();
+    let outbox = reactor.outbox();
+    let join = reactor.spawn({
+        let gate = gate.clone();
+        move |_, _| Box::new(Blocker { gate: gate.clone() })
+    });
+
+    // Connection order pins: first conn -> worker 0, second -> worker 1.
+    let mut a = TcpStream::connect(addr).unwrap();
+    a.write_all(b"block\n").unwrap();
+    let mut b = TcpStream::connect(addr).unwrap();
+    b.write_all(b"ping\n").unwrap();
+    b.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut line = String::new();
+    BufReader::new(b.try_clone().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    // Served while worker 0 is still parked inside on_line for `a`.
+    assert_eq!(line, "echo:ping\n");
+
+    *gate.state.lock().unwrap() = true;
+    gate.cv.notify_all();
+    let mut line = String::new();
+    BufReader::new(a.try_clone().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    assert_eq!(line, "unblocked\n");
+    drop((a, b));
+    outbox.shutdown();
+    join.wait().unwrap();
+}
+
+/// Half-close through the pool: the loop sees EOF while lines are still
+/// in flight on the handler pool; every response must still come back
+/// before the server closes (deferred-EOF accounting).
+#[test]
+fn half_close_with_pooled_dispatch_yields_all_responses() {
+    let srv = spawn_sharded_echo(NetConfig {
+        shards: 2,
+        handler_threads: 2,
+        ..NetConfig::default()
+    });
+    let mut c = TcpStream::connect(srv.addr).unwrap();
+    let mut burst = String::new();
+    for i in 0..50 {
+        burst.push_str(&format!("hc-{i}\n"));
+    }
+    c.write_all(burst.as_bytes()).unwrap();
+    c.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut all = String::new();
+    c.read_to_string(&mut all).unwrap();
+    let lines: Vec<&str> = all.lines().collect();
+    assert_eq!(lines.len(), 50, "missing responses after half-close");
+    for (i, line) in lines.iter().enumerate() {
+        assert!(line.ends_with(&format!("]:hc-{i}")), "{line:?}");
+    }
+    srv.outbox.shutdown();
+    srv.join.wait().unwrap();
+}
+
+/// The routing outbox addresses connections on any shard, and shutdown
+/// drains queued pushes on every shard before the loops exit.
+#[test]
+fn sharded_outbox_routes_sends_and_shutdown_drains_every_shard() {
+    let opened: Arc<Mutex<Vec<ConnId>>> = Arc::new(Mutex::new(Vec::new()));
+    struct Recorder {
+        opened: Arc<Mutex<Vec<ConnId>>>,
+    }
+    impl Handler for Recorder {
+        fn on_open(&mut self, conn: ConnId, _peer: SocketAddr, _outbox: &Outbox) {
+            self.opened.lock().unwrap().push(conn);
+        }
+        fn on_line(&mut self, _conn: ConnId, _line: &str, _outbox: &Outbox) {}
+    }
+    let reactor = ShardedReactor::bind(
+        "127.0.0.1:0",
+        NetConfig {
+            shards: 2,
+            force_round_robin_accept: true, // deterministic placement
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = reactor.local_addr();
+    let outbox = reactor.outbox();
+    let join = reactor.spawn({
+        let opened = opened.clone();
+        move |_, _| {
+            Box::new(Recorder {
+                opened: opened.clone(),
+            })
+        }
+    });
+    let conns: Vec<TcpStream> = (0..4).map(|_| TcpStream::connect(addr).unwrap()).collect();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while outbox.connection_count() < 4 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(outbox.connection_count(), 4);
+    let ids = opened.lock().unwrap().clone();
+    assert_eq!(ids.len(), 4);
+    // Round-robin over 2 shards: ids interleave even/odd (stride 2).
+    let parities: std::collections::HashSet<u64> = ids.iter().map(|i| i % 2).collect();
+    assert_eq!(parities.len(), 2, "both shards should own connections");
+    // Push one line to every connection from outside any handler, then
+    // shut down before the clients read: the drain must deliver all.
+    let counted = Arc::new(AtomicUsize::new(0));
+    for id in &ids {
+        assert!(outbox.send(*id, &format!("push-to-{id}")));
+    }
+    outbox.shutdown();
+    let mut readers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for mut c in conns {
+        let counted = counted.clone();
+        readers.push(std::thread::spawn(move || {
+            let mut all = String::new();
+            c.read_to_string(&mut all).unwrap();
+            if all.starts_with("push-to-") {
+                counted.fetch_add(1, Ordering::SeqCst);
+            }
+        }));
+    }
+    for r in readers {
+        r.join().unwrap();
+    }
+    assert_eq!(counted.load(Ordering::SeqCst), 4);
+    join.wait().unwrap();
+    assert!(!outbox.is_alive(ids[0]));
+    assert_eq!(outbox.connection_count(), 0);
+}

@@ -1,12 +1,29 @@
-//! The `eod bench-serve` load generator: one epoll loop driving
-//! thousands of pipelined protocol connections against a server.
+//! The `eod bench-serve` load generator: epoll loops driving thousands
+//! of pipelined protocol connections against a server.
 //!
-//! The client mirrors the server's reactor: every connection is
+//! The client mirrors the server's reactor — and shards like it:
+//! connections split across `load_threads` worker threads, each running
+//! its own epoll loop, so the generator cannot become the single-core
+//! bottleneck that masks server scaling. Every connection is
 //! non-blocking, sends id-tagged [`RequestFrame`]s keeping up to
 //! `pipeline` requests in flight, and matches responses back to send
-//! timestamps for latency. Latencies land in a geometric histogram
-//! (~7 % bucket resolution), so tail percentiles over millions of
-//! requests cost a few hundred counters instead of a sample vector.
+//! timestamps for latency.
+//!
+//! Latency is computed from the exact sorted sample vector
+//! (nearest-rank), not a histogram: earlier geometric bucketing (~7 %
+//! resolution) collapsed p99 and p999 into the same bucket at the tail,
+//! reporting them equal. A few megabytes of `u64` samples buys honest
+//! quantiles.
+//!
+//! Two load shapes:
+//!
+//! * **open loop** (default) — every connection keeps its pipeline full;
+//!   measures saturation throughput, where latency is mostly queueing
+//!   delay;
+//! * **closed loop** (`target_rate`) — requests release on a token
+//!   bucket paced to the target aggregate rate; measures latency at
+//!   sub-saturation load, where the numbers mean service time rather
+//!   than queue depth.
 //!
 //! Accounting is strict: a request is *dropped* if its connection closes
 //! (or the run deadline passes) before the response arrives. A correct
@@ -23,6 +40,7 @@ use serde::Serialize;
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::os::fd::AsRawFd;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 /// Load shape for one run.
@@ -46,6 +64,13 @@ pub struct LoadOptions {
     /// handles one request at a time per connection, so order is the
     /// correlation.
     pub framed: bool,
+    /// Generator threads, each with its own epoll loop over its share of
+    /// the connections (clamped to at least 1).
+    pub load_threads: usize,
+    /// Closed-loop mode: pace request releases to this aggregate rate
+    /// (requests/s across all threads) instead of keeping every pipeline
+    /// full. `None` runs open loop.
+    pub target_rate: Option<f64>,
 }
 
 /// What one run measured.
@@ -55,6 +80,8 @@ pub struct LoadReport {
     pub connections: usize,
     /// Requests in flight per connection.
     pub pipeline: usize,
+    /// Generator threads used.
+    pub load_threads: usize,
     /// Requests sent.
     pub requests: u64,
     /// Responses received (every id answered exactly once).
@@ -77,50 +104,15 @@ pub struct LoadReport {
     pub max_us: f64,
 }
 
-/// Geometric latency histogram: bucket `i` holds samples in
-/// `[1µs·r^i, 1µs·r^(i+1))` with `r ≈ 1.07`, covering 1 µs to ~1000 s.
-struct LatencyHist {
-    buckets: Vec<u64>,
-    count: u64,
-    max_us: f64,
-}
-
-const HIST_RATIO_LN: f64 = 0.07; // ln(r) with r ≈ 1.0725
-const HIST_BUCKETS: usize = 300;
-
-impl LatencyHist {
-    fn new() -> Self {
-        Self {
-            buckets: vec![0; HIST_BUCKETS],
-            count: 0,
-            max_us: 0.0,
-        }
+/// Exact nearest-rank quantile over a sorted sample vector: the smallest
+/// sample with at least `q·n` samples at or below it.
+fn quantile_us(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
     }
-
-    fn record(&mut self, elapsed: Duration) {
-        let us = (elapsed.as_secs_f64() * 1e6).max(1.0);
-        let idx = ((us.ln() / HIST_RATIO_LN) as usize).min(HIST_BUCKETS - 1);
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.max_us = self.max_us.max(us);
-    }
-
-    /// The latency at quantile `q` (0..1), as the geometric midpoint of
-    /// the bucket where the cumulative count crosses it.
-    fn quantile(&self, q: f64) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        let target = (q * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= target {
-                return ((i as f64 + 0.5) * HIST_RATIO_LN).exp();
-            }
-        }
-        self.max_us
-    }
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1] as f64
 }
 
 struct BenchConn {
@@ -137,15 +129,21 @@ struct BenchConn {
 const MAX_LINE: usize = 1 << 20;
 
 impl BenchConn {
-    /// Top the pipeline up and flush what the socket will take.
+    /// Top the pipeline up — spending at most `budget` new requests —
+    /// and flush what the socket will take.
     fn pump(
         &mut self,
         opts: &LoadOptions,
         line_for: &dyn Fn(u64) -> String,
+        budget: &mut u64,
     ) -> std::io::Result<()> {
-        while self.inflight.len() < opts.pipeline && self.next_id < opts.requests_per_conn as u64 {
+        while *budget > 0
+            && self.inflight.len() < opts.pipeline
+            && self.next_id < opts.requests_per_conn as u64
+        {
             let id = self.next_id;
             self.next_id += 1;
+            *budget -= 1;
             self.write.push_line(&line_for(id));
             self.inflight.push((id, Instant::now()));
         }
@@ -174,13 +172,26 @@ impl BenchConn {
     }
 }
 
-/// Drive `opts` against the server at `addr`. Returns aggregate
-/// throughput and tail latency; protocol errors and unanswered requests
-/// are counted, never hidden.
-pub fn run_load(addr: &str, opts: &LoadOptions) -> Result<LoadReport, String> {
-    assert!(opts.pipeline >= 1 && opts.requests_per_conn >= 1);
-    let _ = eod_net::raise_nofile_limit((opts.connections as u64 + 64).max(4096));
+/// What one generator thread measured.
+struct WorkerStats {
+    connected: usize,
+    responses: u64,
+    errors: u64,
+    dropped: u64,
+    samples: Vec<u64>,
+}
 
+/// One generator thread: connect `n_conns`, wait at the barrier so every
+/// thread's send phase starts together, then drive the loop. `rate` is
+/// this thread's share of the closed-loop target (None = open loop).
+#[allow(clippy::too_many_lines)]
+fn run_worker(
+    addr: &str,
+    opts: &LoadOptions,
+    n_conns: usize,
+    rate: Option<f64>,
+    start: &Barrier,
+) -> Result<WorkerStats, String> {
     // Every request is the same submit, no-wait, differing only in its
     // frame id; responses are a single Accepted line each.
     let spec = opts.spec.clone();
@@ -202,8 +213,8 @@ pub fn run_load(addr: &str, opts: &LoadOptions) -> Result<LoadReport, String> {
     // cheap), flipped to non-blocking before registration. Brief retry
     // on refusal rides out accept-backlog pressure.
     let epoll = Epoll::new().map_err(|e| format!("epoll: {e}"))?;
-    let mut conns: Vec<Option<BenchConn>> = Vec::with_capacity(opts.connections);
-    for i in 0..opts.connections {
+    let mut conns: Vec<Option<BenchConn>> = Vec::with_capacity(n_conns);
+    for i in 0..n_conns {
         let mut last_err = None;
         let stream = 'retry: {
             for attempt in 0..50 {
@@ -215,11 +226,8 @@ pub fn run_load(addr: &str, opts: &LoadOptions) -> Result<LoadReport, String> {
                     }
                 }
             }
-            return Err(format!(
-                "connect {i}/{}: {}",
-                opts.connections,
-                last_err.unwrap()
-            ));
+            start.wait(); // never leave the other threads parked
+            return Err(format!("connect {i}/{n_conns}: {}", last_err.unwrap()));
         };
         stream.set_nonblocking(true).map_err(|e| e.to_string())?;
         stream.set_nodelay(true).ok();
@@ -238,22 +246,39 @@ pub fn run_load(addr: &str, opts: &LoadOptions) -> Result<LoadReport, String> {
         conns.push(Some(conn));
     }
 
-    // Send phase.
+    start.wait();
+
+    // Send phase. In closed-loop mode `issued` tracks requests released
+    // against the token bucket `elapsed · rate`.
     let started = Instant::now();
-    let total_requests = (opts.connections * opts.requests_per_conn) as u64;
-    let mut hist = LatencyHist::new();
+    let total_requests = (n_conns * opts.requests_per_conn) as u64;
+    let mut samples: Vec<u64> = Vec::with_capacity(total_requests as usize);
     let mut responses = 0u64;
     let mut errors = 0u64;
     let mut dropped = 0u64;
     let mut open = 0usize;
+    let mut issued = 0u64;
+    let mut sweep_from = 0usize;
+    let budget_now = |issued: u64, elapsed: Duration| -> u64 {
+        match rate {
+            None => u64::MAX,
+            Some(r) => ((elapsed.as_secs_f64() * r) as u64)
+                .min(total_requests)
+                .saturating_sub(issued),
+        }
+    };
+
+    let mut budget = budget_now(0, Duration::ZERO).max(if rate.is_some() { 1 } else { 0 });
     for (i, slot) in conns.iter_mut().enumerate() {
         let conn = slot.as_mut().unwrap();
-        if conn.pump(opts, &line_for).is_err() {
+        let before = budget;
+        if conn.pump(opts, &line_for, &mut budget).is_err() {
             dropped += opts.requests_per_conn as u64;
             epoll.delete(conn.stream.as_raw_fd()).ok();
             *slot = None;
             continue;
         }
+        issued += before - budget;
         let want = conn.wanted_interest();
         if want != conn.interest {
             conn.interest = want;
@@ -276,8 +301,11 @@ pub fn run_load(addr: &str, opts: &LoadOptions) -> Result<LoadReport, String> {
         if started.elapsed() > opts.deadline {
             break;
         }
+        // Paced runs wake every millisecond to release newly earned
+        // tokens; open-loop runs sleep until socket readiness.
+        let timeout = if rate.is_some() { 1 } else { 1000 };
         let n = epoll
-            .wait(&mut events, 1000)
+            .wait(&mut events, timeout)
             .map_err(|e| format!("epoll wait: {e}"))?;
         for ev in &events[..n] {
             let idx = { ev.token } as usize;
@@ -321,7 +349,9 @@ pub fn run_load(addr: &str, opts: &LoadOptions) -> Result<LoadReport, String> {
                                             break 'read;
                                         };
                                         let (_, sent_at) = conn.inflight.remove(pos);
-                                        hist.record(sent_at.elapsed());
+                                        samples
+                                            .push((sent_at.elapsed().as_secs_f64() * 1e6).max(1.0)
+                                                as u64);
                                         if matches!(resp, Response::Error { .. }) {
                                             errors += 1;
                                         }
@@ -346,7 +376,10 @@ pub fn run_load(addr: &str, opts: &LoadOptions) -> Result<LoadReport, String> {
                 }
             }
             if !dead {
-                dead = conn.pump(opts, &line_for).is_err();
+                let mut budget = budget_now(issued, started.elapsed());
+                let before = budget;
+                dead = conn.pump(opts, &line_for, &mut budget).is_err();
+                issued += before - budget;
             }
             if dead || conn.answered == opts.requests_per_conn as u64 {
                 if dead {
@@ -365,25 +398,127 @@ pub fn run_load(addr: &str, opts: &LoadOptions) -> Result<LoadReport, String> {
                 }
             }
         }
+        // Closed loop: spend newly earned tokens across open connections
+        // (rotating the sweep start so no connection starves).
+        if rate.is_some() && open > 0 {
+            let mut budget = budget_now(issued, started.elapsed());
+            if budget > 0 {
+                let len = conns.len();
+                for off in 0..len {
+                    if budget == 0 {
+                        break;
+                    }
+                    let idx = (sweep_from + off) % len;
+                    let Some(conn) = conns[idx].as_mut() else {
+                        continue;
+                    };
+                    let before = budget;
+                    let dead = conn.pump(opts, &line_for, &mut budget).is_err();
+                    issued += before - budget;
+                    if dead {
+                        dropped += opts.requests_per_conn as u64 - conn.answered;
+                        epoll.delete(conn.stream.as_raw_fd()).ok();
+                        conns[idx] = None;
+                        open -= 1;
+                        continue;
+                    }
+                    let want = conn.wanted_interest();
+                    if want != conn.interest {
+                        conn.interest = want;
+                        epoll
+                            .modify(conn.stream.as_raw_fd(), want, idx as u64)
+                            .map_err(|e| format!("epoll modify: {e}"))?;
+                    }
+                }
+                sweep_from = sweep_from.wrapping_add(1);
+            }
+        }
     }
     // Deadline or total connection loss: every request not answered —
     // including ones never sent — is dropped.
     dropped = total_requests - responses;
-    let wall_s = started.elapsed().as_secs_f64();
-
-    Ok(LoadReport {
-        connections: opts.connections,
-        pipeline: opts.pipeline,
-        requests: total_requests,
+    Ok(WorkerStats {
+        connected: n_conns,
         responses,
         errors,
         dropped,
+        samples,
+    })
+}
+
+/// Drive `opts` against the server at `addr`. Returns aggregate
+/// throughput and tail latency; protocol errors and unanswered requests
+/// are counted, never hidden.
+pub fn run_load(addr: &str, opts: &LoadOptions) -> Result<LoadReport, String> {
+    assert!(opts.pipeline >= 1 && opts.requests_per_conn >= 1);
+    let _ = eod_net::raise_nofile_limit((opts.connections as u64 + 64).max(4096));
+
+    let threads = opts.load_threads.max(1).min(opts.connections.max(1));
+    let per_thread_rate = opts.target_rate.map(|r| r / threads as f64);
+    // Split connections as evenly as possible; the first `extra` threads
+    // take one more.
+    let base = opts.connections / threads;
+    let extra = opts.connections % threads;
+    let start = Arc::new(Barrier::new(threads + 1));
+
+    let (stats, wall_s) = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let n_conns = base + usize::from(t < extra);
+            let start = Arc::clone(&start);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("eod-bench-load-{t}"))
+                    .spawn_scoped(scope, move || {
+                        run_worker(addr, opts, n_conns, per_thread_rate, &start)
+                    })
+                    .expect("spawn load worker"),
+            );
+        }
+        start.wait(); // all workers connected; send phase begins
+        let begun = Instant::now();
+        let stats: Vec<Result<WorkerStats, String>> = handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("load worker panicked".into()))
+            })
+            .collect();
+        (stats, begun.elapsed().as_secs_f64())
+    });
+
+    let mut merged = WorkerStats {
+        connected: 0,
+        responses: 0,
+        errors: 0,
+        dropped: 0,
+        samples: Vec::new(),
+    };
+    for s in stats {
+        let s = s?;
+        merged.connected += s.connected;
+        merged.responses += s.responses;
+        merged.errors += s.errors;
+        merged.dropped += s.dropped;
+        merged.samples.extend(s.samples);
+    }
+    merged.samples.sort_unstable();
+    let total_requests = (opts.connections * opts.requests_per_conn) as u64;
+
+    Ok(LoadReport {
+        connections: merged.connected,
+        pipeline: opts.pipeline,
+        load_threads: threads,
+        requests: total_requests,
+        responses: merged.responses,
+        errors: merged.errors,
+        dropped: total_requests - merged.responses,
         wall_s,
-        submits_per_s: responses as f64 / wall_s.max(1e-9),
-        p50_us: hist.quantile(0.50),
-        p99_us: hist.quantile(0.99),
-        p999_us: hist.quantile(0.999),
-        max_us: hist.max_us,
+        submits_per_s: merged.responses as f64 / wall_s.max(1e-9),
+        p50_us: quantile_us(&merged.samples, 0.50),
+        p99_us: quantile_us(&merged.samples, 0.99),
+        p999_us: quantile_us(&merged.samples, 0.999),
+        max_us: merged.samples.last().copied().unwrap_or(0) as f64,
     })
 }
 
@@ -392,23 +527,31 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_quantiles_are_monotone_and_bounded() {
-        let mut h = LatencyHist::new();
-        for us in [5.0, 50.0, 500.0, 5_000.0, 50_000.0] {
-            for _ in 0..200 {
-                h.record(Duration::from_secs_f64(us / 1e6));
-            }
-        }
-        let (p50, p99, p999) = (h.quantile(0.5), h.quantile(0.99), h.quantile(0.999));
-        assert!(p50 <= p99 && p99 <= p999, "{p50} {p99} {p999}");
-        // The median of this symmetric set lives in the 500 µs bucket.
-        assert!((350.0..700.0).contains(&p50), "p50 {p50}");
-        assert!(p999 <= h.max_us * 1.1);
+    fn quantiles_are_exact_nearest_rank() {
+        let sorted: Vec<u64> = (1..=1000).collect();
+        assert_eq!(quantile_us(&sorted, 0.50), 500.0);
+        assert_eq!(quantile_us(&sorted, 0.99), 990.0);
+        assert_eq!(quantile_us(&sorted, 0.999), 999.0);
+        assert_eq!(quantile_us(&sorted, 1.0), 1000.0);
+    }
+
+    /// The bug this replaces: a tail heavy enough to land p99 and p999
+    /// in one geometric bucket reported them exactly equal. Exact
+    /// samples must keep them distinct.
+    #[test]
+    fn tail_quantiles_do_not_collapse() {
+        let mut sorted: Vec<u64> = vec![100; 9_800];
+        sorted.extend((0..190).map(|i| 10_000 + i * 13));
+        sorted.extend((0..10).map(|i| 50_000 + i * 977));
+        sorted.sort_unstable();
+        let p99 = quantile_us(&sorted, 0.99);
+        let p999 = quantile_us(&sorted, 0.999);
+        assert!(p99 < p999, "p99 {p99} must stay below p999 {p999}");
+        assert!(p999 < quantile_us(&sorted, 1.0));
     }
 
     #[test]
-    fn histogram_empty_is_zero() {
-        let h = LatencyHist::new();
-        assert_eq!(h.quantile(0.99), 0.0);
+    fn quantile_of_empty_is_zero() {
+        assert_eq!(quantile_us(&[], 0.99), 0.0);
     }
 }

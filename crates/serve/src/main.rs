@@ -685,6 +685,30 @@ fn parse_transport(args: &[String]) -> Result<Transport, String> {
     }
 }
 
+/// Reactor tuning from the command line: `--shards N` (0 = auto,
+/// `min(cores, 8)`) and `--handler-threads N` per shard.
+fn parse_net_config(args: &[String]) -> Result<eod_net::NetConfig, String> {
+    let mut config = eod_net::NetConfig::default();
+    if let Some(s) = parse_flag(args, "--shards")? {
+        config.shards = s;
+    }
+    if let Some(h) = parse_flag(args, "--handler-threads")? {
+        config.handler_threads = h;
+    }
+    Ok(config)
+}
+
+/// The human-readable accept-sharding mode for announce lines.
+fn accept_mode(shards: usize, reuseport: bool) -> String {
+    if shards == 1 {
+        "1 shard".to_string()
+    } else if reuseport {
+        format!("{shards} shards via SO_REUSEPORT")
+    } else {
+        format!("{shards} shards via round-robin accept")
+    }
+}
+
 fn cmd_serve(cli: &Cli) -> Result<(), String> {
     let addr = serve_addr(&cli.args);
     let mut cfg = ServeConfig {
@@ -709,15 +733,16 @@ fn cmd_serve(cli: &Cli) -> Result<(), String> {
             // usual soft fd limit; best-effort — the reactor's own
             // connection cap still applies.
             let _ = eod_net::raise_nofile_limit(65_536);
-            let net = NetServer::start(Arc::clone(&service), &addr, eod_net::NetConfig::default())
+            let net_config = parse_net_config(&cli.args)?;
+            let net = NetServer::start(Arc::clone(&service), &addr, net_config)
                 .map_err(|e| format!("bind {addr}: {e}"))?;
+            let shard_metrics = net.shard_metrics();
             let metrics_server = match flag_value(&cli.args, "--metrics-addr") {
                 Some(maddr) => {
                     let svc = Arc::clone(&service);
-                    let nm = net.net_metrics();
                     let ms = MetricsServer::serve(&maddr, move || {
                         let mut text = svc.metrics_text();
-                        text.push_str(&nm.render());
+                        text.push_str(&eod_net::render_sharded(&shard_metrics));
                         text
                     })
                     .map_err(|e| format!("bind metrics {maddr}: {e}"))?;
@@ -727,8 +752,9 @@ fn cmd_serve(cli: &Cli) -> Result<(), String> {
                 None => None,
             };
             println!(
-                "eod-serve listening on {} (reactor, {workers} workers, queue \u{2264} {queue_cap}, cache \u{2264} {cache_cap})",
-                net.local_addr()
+                "eod-serve listening on {} (reactor, {}, {workers} workers, queue \u{2264} {queue_cap}, cache \u{2264} {cache_cap})",
+                net.local_addr(),
+                accept_mode(net.shard_count(), net.reuseport())
             );
             let outcome = net.wait().map_err(|e| e.to_string());
             if let Some(ms) = metrics_server {
@@ -767,12 +793,16 @@ struct ChildServer {
     child: std::process::Child,
     addr: String,
     metrics_addr: Option<String>,
+    /// The full "eod-serve listening on …" line, which names the accept
+    /// mode (shard count, SO_REUSEPORT vs round-robin).
+    announce: String,
 }
 
 impl ChildServer {
     /// Spawn `eod serve` on the given transport with ephemeral ports and
-    /// parse the announced addresses from its stdout.
-    fn spawn(transport: Transport, workers: usize) -> Result<ChildServer, String> {
+    /// parse the announced addresses from its stdout. `shards` picks the
+    /// reactor's event-loop count (0 = auto; ignored by blocking).
+    fn spawn(transport: Transport, workers: usize, shards: usize) -> Result<ChildServer, String> {
         use std::io::BufRead as _;
         let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
         let mut child = std::process::Command::new(exe)
@@ -786,6 +816,8 @@ impl ChildServer {
                 "127.0.0.1:0",
                 "--workers",
                 &workers.to_string(),
+                "--shards",
+                &shards.to_string(),
                 "--samples",
                 "5",
                 "--loop-ms",
@@ -799,6 +831,7 @@ impl ChildServer {
         let mut lines = std::io::BufReader::new(stdout).lines();
         let mut addr = None;
         let mut metrics_addr = None;
+        let mut announce = String::new();
         while addr.is_none() {
             let line = match lines.next() {
                 Some(Ok(l)) => l,
@@ -811,6 +844,7 @@ impl ChildServer {
                 metrics_addr = rest.strip_suffix("/metrics").map(str::to_string);
             } else if let Some(rest) = line.strip_prefix("eod-serve listening on ") {
                 addr = rest.split_whitespace().next().map(str::to_string);
+                announce = line.clone();
             }
         }
         // Keep draining stdout so the child never blocks on a full pipe.
@@ -819,7 +853,14 @@ impl ChildServer {
             child,
             addr: addr.unwrap(),
             metrics_addr,
+            announce,
         })
+    }
+
+    /// Whether the child's reactor is accept-sharding via `SO_REUSEPORT`
+    /// (parsed from its announce line).
+    fn reuseport(&self) -> bool {
+        self.announce.contains("SO_REUSEPORT")
     }
 
     /// Plain-HTTP scrape of the child's `/metrics`.
@@ -851,6 +892,37 @@ impl ChildServer {
     }
 }
 
+/// One point on the shard-scaling curve.
+#[derive(serde::Serialize)]
+struct ShardPoint {
+    shards: usize,
+    reuseport: bool,
+    report: eod_serve::bench::LoadReport,
+}
+
+/// The closed-loop (paced) latency measurement.
+#[derive(serde::Serialize)]
+struct ClosedLoopPoint {
+    shards: usize,
+    target_rate: f64,
+    report: eod_serve::bench::LoadReport,
+}
+
+#[derive(serde::Serialize)]
+struct BenchServeReport {
+    benchmark: &'static str,
+    pipeline: usize,
+    requests_per_conn: usize,
+    host_parallelism: usize,
+    load_threads: usize,
+    /// Open-loop saturation throughput at each shard count.
+    shard_scaling: Vec<ShardPoint>,
+    /// Latency at sub-saturation load (token-bucket paced).
+    closed_loop: Option<ClosedLoopPoint>,
+    /// The thread-per-connection oracle at a modest connection count.
+    blocking: eod_serve::bench::LoadReport,
+}
+
 fn cmd_bench_serve(cli: &Cli) -> Result<(), String> {
     use eod_serve::bench::{run_load, LoadOptions};
 
@@ -865,6 +937,16 @@ fn cmd_bench_serve(cli: &Cli) -> Result<(), String> {
     // comparison point runs at a modest connection count.
     let blocking_connections: usize = parse_flag(&cli.args, "--blocking-connections")?
         .unwrap_or(connections.min(if smoke { 64 } else { 256 }));
+    let nproc = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Enough generator threads that the client can't mask server
+    // scaling, but no more than the host can actually run.
+    let load_threads: usize = parse_flag(&cli.args, "--load-threads")?
+        .unwrap_or(nproc.min(4))
+        .max(1);
+    let shards_override: Option<usize> = parse_flag(&cli.args, "--shards")?;
+    let target_rate: Option<f64> = parse_flag(&cli.args, "--target-rate")?;
     let json_out = flag_value(&cli.args, "--json")
         .or_else(|| (!smoke).then(|| "BENCH_serve.json".to_string()));
 
@@ -876,85 +958,90 @@ fn cmd_bench_serve(cli: &Cli) -> Result<(), String> {
         device: "GTX 1080".into(),
         config: RunnerConfig::smoke().to_exec(),
     };
-    let opts = |conns: usize, framed: bool| LoadOptions {
+    let opts = |conns: usize, framed: bool, rate: Option<f64>, reqs: usize| LoadOptions {
         connections: conns,
         pipeline,
-        requests_per_conn,
+        requests_per_conn: reqs,
         spec: bench_spec.clone(),
         deadline: Duration::from_secs(if smoke { 120 } else { 600 }),
         // The blocking transport has no framing envelope; bare pipelined
         // lines correlate by FIFO order instead.
         framed,
+        load_threads,
+        target_rate: rate,
     };
-
-    let bench_transport = |transport: Transport, conns: usize| -> Result<_, String> {
-        let server = ChildServer::spawn(transport, 2)?;
-        Client::connect(&server.addr)
-            .and_then(|mut c| c.submit_wait(&bench_spec, Priority::Normal))
-            .map_err(|e| format!("prime cache: {e}"))?;
+    let print_report = |report: &eod_serve::bench::LoadReport| {
         eprintln!(
-            "bench-serve: {} transport, {conns} connections \u{00d7} {requests_per_conn} requests, pipeline {pipeline}",
-            transport.label()
-        );
-        let report = run_load(&server.addr, &opts(conns, transport == Transport::Reactor))?;
-        eprintln!(
-            "  {:>9.0} submit/s  p50 {:>7.0} \u{00b5}s  p99 {:>8.0} \u{00b5}s  p999 {:>8.0} \u{00b5}s  ({} responses, {} dropped, {:.2} s)",
+            "  {:>9.0} submit/s  p50 {:>7.0} \u{00b5}s  p99 {:>8.0} \u{00b5}s  p999 {:>8.0} \u{00b5}s  max {:>8.0} \u{00b5}s  ({} responses, {} dropped, {:.2} s)",
             report.submits_per_s,
             report.p50_us,
             report.p99_us,
             report.p999_us,
+            report.max_us,
             report.responses,
             report.dropped,
             report.wall_s,
         );
-        Ok((server, report))
+    };
+    let prime = |server: &ChildServer| -> Result<(), String> {
+        Client::connect(&server.addr)
+            .and_then(|mut c| c.submit_wait(&bench_spec, Priority::Normal))
+            .map_err(|e| format!("prime cache: {e}"))
+            .map(|_| ())
     };
 
-    // Reactor first — the transport under test.
-    let (reactor_server, reactor_report) = bench_transport(Transport::Reactor, connections)?;
-
     if smoke {
+        // The smoke exercises the sharded path by default so CI gates
+        // multi-loop correctness, not just the single-reactor shape.
+        let shards = shards_override.unwrap_or(2);
+        let server = ChildServer::spawn(Transport::Reactor, 2, shards)?;
+        prime(&server)?;
+        eprintln!(
+            "bench-serve smoke: reactor, {shards} shards, {connections} connections \u{00d7} {requests_per_conn} requests, pipeline {pipeline}, {load_threads} load threads"
+        );
+        let report = run_load(
+            &server.addr,
+            &opts(connections, true, None, requests_per_conn),
+        )?;
+        print_report(&report);
         // Gate 1: zero drops, zero protocol errors, every id answered.
-        if reactor_report.dropped != 0
-            || reactor_report.errors != 0
-            || reactor_report.responses != reactor_report.requests
-        {
+        if report.dropped != 0 || report.errors != 0 || report.responses != report.requests {
             return Err(format!(
                 "smoke gate failed: {} of {} requests answered, {} dropped, {} errors",
-                reactor_report.responses,
-                reactor_report.requests,
-                reactor_report.dropped,
-                reactor_report.errors
+                report.responses, report.requests, report.dropped, report.errors
             ));
         }
-        // Gate 2: the reactor surface shows up on the metrics scrape.
-        let scraped = reactor_server.scrape_metrics()?;
-        for metric in [
-            "eod_net_connections",
-            "eod_net_accepts_total",
-            "eod_net_pipeline_depth",
-            "eod_admission_rejections_total",
-        ] {
-            if !scraped.contains(metric) {
+        // Gate 2: the aggregated reactor surface and the per-shard
+        // series both show up on the metrics scrape.
+        let scraped = server.scrape_metrics()?;
+        let mut required = vec![
+            "eod_net_connections".to_string(),
+            "eod_net_accepts_total".to_string(),
+            "eod_net_pipeline_depth".to_string(),
+            "eod_admission_rejections_total".to_string(),
+        ];
+        for s in 0..shards {
+            required.push(format!("eod_net_shard_accepts_total{{shard=\"{s}\"}}"));
+        }
+        for metric in &required {
+            if !scraped.contains(metric.as_str()) {
                 return Err(format!("metrics scrape is missing {metric}"));
             }
         }
         // Gate 3: figure batches are byte-identical across transports.
-        let reactor_fig = Client::connect(&reactor_server.addr)
+        let reactor_fig = Client::connect(&server.addr)
             .and_then(|mut c| c.figure("fig2a"))
             .map_err(|e| format!("reactor figure: {e}"))?;
-        reactor_server.shutdown()?;
-        let blocking_server = ChildServer::spawn(Transport::Blocking, 2)?;
+        server.shutdown()?;
+        let blocking_server = ChildServer::spawn(Transport::Blocking, 2, 0)?;
         let blocking_fig = Client::connect(&blocking_server.addr)
             .and_then(|mut c| c.figure("fig2a"))
             .map_err(|e| format!("blocking figure: {e}"))?;
-        let (_, blocking_report) = {
-            Client::connect(&blocking_server.addr)
-                .and_then(|mut c| c.submit_wait(&bench_spec, Priority::Normal))
-                .map_err(|e| format!("prime cache: {e}"))?;
-            let report = run_load(&blocking_server.addr, &opts(blocking_connections, false))?;
-            ((), report)
-        };
+        prime(&blocking_server)?;
+        let blocking_report = run_load(
+            &blocking_server.addr,
+            &opts(blocking_connections, false, None, requests_per_conn),
+        )?;
         blocking_server.shutdown()?;
         if blocking_fig.rendered != reactor_fig.rendered {
             return Err("figure output differs between transports".into());
@@ -966,34 +1053,111 @@ fn cmd_bench_serve(cli: &Cli) -> Result<(), String> {
             ));
         }
         println!(
-            "bench-serve smoke OK: {} connections, {} responses, 0 dropped; figures byte-identical across transports; metrics present",
-            connections, reactor_report.responses
+            "bench-serve smoke OK: {shards} shards, {} connections, {} responses, 0 dropped; per-shard metrics present; figures byte-identical across transports",
+            connections, report.responses
         );
         return Ok(());
     }
 
-    reactor_server.shutdown()?;
-    let (blocking_server, blocking_report) =
-        bench_transport(Transport::Blocking, blocking_connections)?;
-    blocking_server.shutdown()?;
+    // Full run: the shard-scaling curve (open loop, saturation), then a
+    // closed-loop latency point, then the blocking oracle.
+    let curve: Vec<usize> = match shards_override {
+        Some(s) => vec![s],
+        None => vec![1, 2, 4, 8],
+    };
+    let mut shard_scaling: Vec<ShardPoint> = Vec::with_capacity(curve.len());
+    for &shards in &curve {
+        let server = ChildServer::spawn(Transport::Reactor, 2, shards)?;
+        prime(&server)?;
+        eprintln!(
+            "bench-serve: reactor, {}, {connections} connections \u{00d7} {requests_per_conn} requests, pipeline {pipeline}, {load_threads} load threads",
+            accept_mode(shards, server.reuseport()),
+        );
+        let report = run_load(
+            &server.addr,
+            &opts(connections, true, None, requests_per_conn),
+        )?;
+        print_report(&report);
+        let reuseport = server.reuseport();
+        server.shutdown()?;
+        if report.dropped != 0 {
+            return Err(format!("{shards}-shard run dropped {}", report.dropped));
+        }
+        shard_scaling.push(ShardPoint {
+            shards,
+            reuseport,
+            report,
+        });
+    }
+
+    // Closed loop: pace to half the best open-loop throughput (unless
+    // --target-rate says otherwise) so latency measures service time,
+    // not queue depth. Runs on the best-scaling shard count.
+    let best = shard_scaling
+        .iter()
+        .max_by(|a, b| a.report.submits_per_s.total_cmp(&b.report.submits_per_s))
+        .expect("non-empty curve");
+    let closed_shards = best.shards;
+    let rate = target_rate
+        .unwrap_or(best.report.submits_per_s / 2.0)
+        .max(1.0);
+    let closed_conns = connections.min(1_000);
+    // Size the run to ~5 s of paced traffic.
+    let closed_reqs = (((rate * 5.0) as usize) / closed_conns.max(1)).max(1);
+    let closed_loop = {
+        let server = ChildServer::spawn(Transport::Reactor, 2, closed_shards)?;
+        prime(&server)?;
+        eprintln!(
+            "bench-serve: closed loop, {closed_shards} shards, {closed_conns} connections \u{00d7} {closed_reqs} requests paced to {rate:.0}/s"
+        );
+        let report = run_load(
+            &server.addr,
+            &opts(closed_conns, true, Some(rate), closed_reqs),
+        )?;
+        print_report(&report);
+        server.shutdown()?;
+        if report.dropped != 0 {
+            return Err(format!("closed-loop run dropped {}", report.dropped));
+        }
+        ClosedLoopPoint {
+            shards: closed_shards,
+            target_rate: rate,
+            report,
+        }
+    };
+
+    let blocking_report = {
+        let server = ChildServer::spawn(Transport::Blocking, 2, 0)?;
+        prime(&server)?;
+        eprintln!(
+            "bench-serve: blocking transport, {blocking_connections} connections \u{00d7} {requests_per_conn} requests, pipeline {pipeline}"
+        );
+        let report = run_load(
+            &server.addr,
+            &opts(blocking_connections, false, None, requests_per_conn),
+        )?;
+        print_report(&report);
+        server.shutdown()?;
+        report
+    };
+    if blocking_report.dropped != 0 {
+        return Err(format!("blocking run dropped {}", blocking_report.dropped));
+    }
 
     if let Some(path) = json_out {
-        let nproc = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        let json = format!(
-            "{{\n  \"benchmark\": \"bench-serve\",\n  \"pipeline\": {pipeline},\n  \"requests_per_conn\": {requests_per_conn},\n  \"host_parallelism\": {nproc},\n  \"reactor\": {},\n  \"blocking\": {}\n}}\n",
-            serde_json::to_string_pretty(&reactor_report).map_err(|e| e.to_string())?,
-            serde_json::to_string_pretty(&blocking_report).map_err(|e| e.to_string())?,
-        );
-        std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
+        let doc = BenchServeReport {
+            benchmark: "bench-serve",
+            pipeline,
+            requests_per_conn,
+            host_parallelism: nproc,
+            load_threads,
+            shard_scaling,
+            closed_loop: Some(closed_loop),
+            blocking: blocking_report,
+        };
+        let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(&path, json + "\n").map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote {path}");
-    }
-    if reactor_report.dropped != 0 || blocking_report.dropped != 0 {
-        return Err(format!(
-            "dropped responses: reactor {}, blocking {}",
-            reactor_report.dropped, blocking_report.dropped
-        ));
     }
     Ok(())
 }
@@ -1015,6 +1179,7 @@ fn cmd_fleet(cli: &Cli) -> Result<(), String> {
     let (queue_cap, cache_cap) = (cfg.queue_capacity, cfg.cache_capacity);
     let placement = parse_placement(&cli.args)?.unwrap_or_default();
     let transport = parse_transport(&cli.args)?;
+    let net_config = parse_net_config(&cli.args)?;
     let (service, coord) = Service::start_fleet_placed(cfg, FleetConfig::default(), placement);
 
     // The worker-registration listener, on the chosen transport. Both
@@ -1043,7 +1208,7 @@ fn cmd_fleet(cli: &Cli) -> Result<(), String> {
         let on_connect = move |wire| Coordinator::attach(&coord, wire);
         match transport {
             Transport::Reactor => FleetAccept::Reactor(
-                NetFleetListener::start(&fleet_addr, on_connect)
+                NetFleetListener::start_with(&fleet_addr, net_config.clone(), on_connect)
                     .map_err(|e| format!("bind fleet {fleet_addr}: {e}"))?,
             ),
             Transport::Blocking => FleetAccept::Blocking(
@@ -1069,7 +1234,7 @@ fn cmd_fleet(cli: &Cli) -> Result<(), String> {
     ) = match transport {
         Transport::Reactor => {
             let _ = eod_net::raise_nofile_limit(65_536);
-            let net = NetServer::start(Arc::clone(&service), &addr, eod_net::NetConfig::default())
+            let net = NetServer::start(Arc::clone(&service), &addr, net_config.clone())
                 .map_err(|e| format!("bind {addr}: {e}"))?;
             (
                 net.local_addr(),
@@ -1826,8 +1991,11 @@ fn run() -> Result<(), String> {
                  \u{20}         [--kernel-path scalar|vectorized]  (NativeCpu dispatch; default vectorized)\n\
                  \u{20}         bench-engine [--full] [--json FILE] [--baseline FILE]\n\
                  \u{20}         serve [--addr A --workers N --queue-cap N --cache-cap N --metrics-addr M --transport reactor|blocking]\n\
+                 \u{20}               [--shards N (0=auto) --handler-threads N]\n\
                  \u{20}         bench-serve [--connections N --pipeline D --requests-per-conn R --smoke --json FILE]\n\
+                 \u{20}               [--shards N --load-threads N --target-rate R/s]\n\
                  \u{20}         fleet [--addr A --fleet-addr F --queue-cap N --cache-cap N --metrics-addr M --placement P --transport T]\n\
+                 \u{20}               [--shards N --handler-threads N]\n\
                  \u{20}         worker [--connect F --slots N --devices D1,D2 --name W]\n\
                  \u{20}         submit <benchmark> [size] [--device D --high --timeout-ms T --no-wait]\n\
                  \u{20}         submit --fig <figN>   status [job]   shutdown   [--addr HOST:PORT]\n\

@@ -1,5 +1,6 @@
-//! The reactor TCP front end: one event-loop thread multiplexing every
-//! connection over `eod-net`.
+//! The reactor TCP front end: a sharded multi-reactor over `eod-net` —
+//! N event loops sharing one port (`SO_REUSEPORT` accept sharding with a
+//! round-robin fallback), protocol dispatch on per-shard handler pools.
 //!
 //! Protocol and results are identical to the blocking [`crate::server`]
 //! transport — same request/response types, same bytes for the same job —
@@ -21,13 +22,17 @@
 //!   submits shed queued normal-priority work via
 //!   [`Service::submit_shedding`].
 //!
+//! Protocol dispatch runs on each shard's handler pool, off the loop
+//! threads (which only do readiness, framing, and watermark accounting).
 //! Requests that genuinely block (`Figure` batches, `Predict` model
-//! extraction) are offloaded to a small slow-op pool; everything else is
-//! answered on the loop. Shutdown is graceful end to end: `Bye` is
-//! queued, the service drains (terminal transitions push final `Result`
-//! frames through the registered watchers), and only then does the
-//! reactor stop — flushing every connection's pending bytes before the
-//! listener exits.
+//! extraction) are offloaded further to a shared slow-op pool so they
+//! never occupy a handler worker. Shutdown is graceful end to end: `Bye`
+//! is queued, the service drains (terminal transitions push final
+//! `Result` frames through the registered watchers), and then every
+//! shard drains — flushing each connection's pending bytes before its
+//! loop exits. Per-shard [`NetMetrics`] aggregate at scrape time via
+//! [`eod_net::render_sharded`], so hot-path counters never share a cache
+//! line across loops.
 
 #![cfg(target_os = "linux")]
 
@@ -36,7 +41,10 @@ use crate::protocol::{
     codes, decode_request, encode, IncomingRequest, JobInfo, Request, Response, ResponseFrame,
 };
 use crate::service::Service;
-use eod_net::{ConnId, Handler, NetConfig, NetMetrics, Outbox, Reactor};
+use eod_net::{
+    render_sharded, ConnId, Handler, NetConfig, NetMetrics, Outbox, ShardedHandle, ShardedOutbox,
+    ShardedReactor,
+};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -100,12 +108,17 @@ impl Drop for SlowPool {
     }
 }
 
-/// The protocol logic plugged into the reactor loop.
+/// The protocol logic plugged into each shard's handler pool. One
+/// instance exists per pool worker; all of them share the service, the
+/// slow-op pool, and the shutdown latch, and hold the cross-shard
+/// [`ShardedOutbox`] so a protocol `Shutdown` can drain every loop (the
+/// per-callback [`Outbox`] only addresses the worker's own shard).
 struct ServeHandler {
     service: Arc<Service>,
-    net: Arc<NetMetrics>,
-    slow: SlowPool,
+    shard_metrics: Vec<Arc<NetMetrics>>,
+    slow: Arc<SlowPool>,
     shutdown_started: Arc<AtomicBool>,
+    all_shards: ShardedOutbox,
 }
 
 impl ServeHandler {
@@ -261,21 +274,21 @@ impl ServeHandler {
             }
             Request::Metrics => {
                 let mut text = self.service.metrics_text();
-                text.push_str(&self.net.render());
+                text.push_str(&render_sharded(&self.shard_metrics));
                 send_response(outbox, conn, id, Response::Metrics { text });
             }
             Request::Shutdown => {
                 send_response(outbox, conn, id, Response::Bye);
-                begin_shutdown(&self.shutdown_started, &self.service, outbox);
+                begin_shutdown(&self.shutdown_started, &self.service, &self.all_shards);
             }
         }
     }
 }
 
 /// Drain the service (terminal transitions flow to watchers, which push
-/// final `Result` frames), then drain the reactor. Runs once; later
-/// calls are no-ops.
-fn begin_shutdown(started: &AtomicBool, service: &Arc<Service>, outbox: &Outbox) {
+/// final `Result` frames), then drain every reactor shard. Runs once;
+/// later calls are no-ops.
+fn begin_shutdown(started: &AtomicBool, service: &Arc<Service>, outbox: &ShardedOutbox) {
     if started.swap(true, Ordering::SeqCst) {
         return;
     }
@@ -316,36 +329,54 @@ impl Handler for ServeHandler {
     }
 }
 
-/// The reactor-backed server: bind once, serve until a `Shutdown`
-/// request (or [`NetServer::shutdown`]) drains it.
+/// The reactor-backed server: bind once (N shard loops on one port),
+/// serve until a `Shutdown` request (or [`NetServer::shutdown`]) drains
+/// every shard.
 pub struct NetServer {
     addr: SocketAddr,
-    outbox: Outbox,
-    metrics: Arc<NetMetrics>,
+    outbox: ShardedOutbox,
+    shard_metrics: Vec<Arc<NetMetrics>>,
+    shard_count: usize,
+    reuseport: bool,
     service: Arc<Service>,
     shutdown_started: Arc<AtomicBool>,
-    join: Mutex<Option<JoinHandle<std::io::Result<()>>>>,
+    join: Mutex<Option<ShardedHandle>>,
 }
 
 impl NetServer {
-    /// Bind `addr` and start the event-loop thread.
+    /// Bind `addr` and start the shard loops ([`NetConfig::shards`],
+    /// 0 = auto) plus their handler pools.
     pub fn start(service: Arc<Service>, addr: &str, config: NetConfig) -> std::io::Result<Self> {
-        let metrics = Arc::new(NetMetrics::new());
-        let reactor = Reactor::bind(addr, config, Arc::clone(&metrics))?;
-        let addr = reactor.local_addr()?;
+        let reactor = ShardedReactor::bind(addr, config)?;
+        let addr = reactor.local_addr();
         let outbox = reactor.outbox();
+        let shard_metrics = reactor.shard_metrics();
+        let shard_count = reactor.shard_count();
+        let reuseport = reactor.reuseport();
         let shutdown_started = Arc::new(AtomicBool::new(false));
-        let handler = ServeHandler {
-            service: Arc::clone(&service),
-            net: Arc::clone(&metrics),
-            slow: SlowPool::new(2),
-            shutdown_started: Arc::clone(&shutdown_started),
-        };
-        let join = reactor.spawn(handler);
+        let slow = Arc::new(SlowPool::new(2));
+        let join = reactor.spawn({
+            let service = Arc::clone(&service);
+            let shard_metrics = shard_metrics.clone();
+            let slow = Arc::clone(&slow);
+            let shutdown_started = Arc::clone(&shutdown_started);
+            let all_shards = outbox.clone();
+            move |_shard, _worker| {
+                Box::new(ServeHandler {
+                    service: Arc::clone(&service),
+                    shard_metrics: shard_metrics.clone(),
+                    slow: Arc::clone(&slow),
+                    shutdown_started: Arc::clone(&shutdown_started),
+                    all_shards: all_shards.clone(),
+                })
+            }
+        });
         Ok(Self {
             addr,
             outbox,
-            metrics,
+            shard_metrics,
+            shard_count,
+            reuseport,
             service,
             shutdown_started,
             join: Mutex::new(Some(join)),
@@ -357,9 +388,26 @@ impl NetServer {
         self.addr
     }
 
-    /// The reactor's metric surface, for merging into `GET /metrics`.
-    pub fn net_metrics(&self) -> Arc<NetMetrics> {
-        Arc::clone(&self.metrics)
+    /// The aggregated reactor metric surface, for merging into
+    /// `GET /metrics` (summed families plus per-shard skew series).
+    pub fn net_metrics_text(&self) -> String {
+        render_sharded(&self.shard_metrics)
+    }
+
+    /// Per-shard metric handles, in shard order.
+    pub fn shard_metrics(&self) -> Vec<Arc<NetMetrics>> {
+        self.shard_metrics.clone()
+    }
+
+    /// How many event-loop shards are serving.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Whether accepts shard via `SO_REUSEPORT` (`false` = round-robin
+    /// fallback, which is also the single-shard shape).
+    pub fn reuseport(&self) -> bool {
+        self.reuseport
     }
 
     /// Initiate the same graceful drain a protocol `Shutdown` triggers.
@@ -367,14 +415,12 @@ impl NetServer {
         begin_shutdown(&self.shutdown_started, &self.service, &self.outbox);
     }
 
-    /// Block until the reactor exits (after a `Shutdown` request or
+    /// Block until every shard exits (after a `Shutdown` request or
     /// [`NetServer::shutdown`] completes its drain).
     pub fn wait(&self) -> std::io::Result<()> {
         let handle = self.join.lock().unwrap().take();
         match handle {
-            Some(h) => h
-                .join()
-                .map_err(|_| std::io::Error::other("reactor thread panicked"))?,
+            Some(h) => h.wait(),
             None => Ok(()),
         }
     }

@@ -105,9 +105,12 @@ impl Pipe {
 }
 
 fn start_net(cfg: ServeConfig) -> (Arc<Service>, NetServer) {
+    start_net_with(cfg, NetConfig::default())
+}
+
+fn start_net_with(cfg: ServeConfig, net: NetConfig) -> (Arc<Service>, NetServer) {
     let service = Service::start(cfg);
-    let server = NetServer::start(Arc::clone(&service), "127.0.0.1:0", NetConfig::default())
-        .expect("bind reactor");
+    let server = NetServer::start(Arc::clone(&service), "127.0.0.1:0", net).expect("bind reactor");
     (service, server)
 }
 
@@ -288,7 +291,23 @@ fn malformed_lines_get_a_typed_error_and_the_connection_survives() {
 /// submits, and every rejection is visible in the admission metrics.
 #[test]
 fn full_queue_rejects_per_request_and_high_sheds_normal_first() {
-    let (service, server) = start_net(smoke_serve(1, 2, 64));
+    backpressure_composition(NetConfig::default());
+}
+
+/// The same composition must hold verbatim when the transport is a
+/// sharded multi-reactor: per-request refusals, shedding, and drain are
+/// connection-level semantics that cannot depend on which loop owns the
+/// socket.
+#[test]
+fn full_queue_composition_holds_with_two_shards() {
+    backpressure_composition(NetConfig {
+        shards: 2,
+        ..NetConfig::default()
+    });
+}
+
+fn backpressure_composition(net_config: NetConfig) {
+    let (service, server) = start_net_with(smoke_serve(1, 2, 64), net_config);
     let addr = server.local_addr().to_string();
     let mut pipe = Pipe::connect(&addr);
 
@@ -415,17 +434,16 @@ fn full_queue_rejects_per_request_and_high_sheds_normal_first() {
 }
 
 #[test]
-fn figure_batches_are_byte_identical_across_transports() {
-    // The blocking transport's figure output is the reference; the
-    // reactor must serve the same bytes for the same batch.
+fn figure_batches_are_byte_identical_across_transports_and_shard_counts() {
+    // The blocking transport's figure output is the reference; every
+    // reactor shape (single shard, sharded) must serve the same bytes
+    // for the same batch.
     let blocking_service = Service::start(smoke_serve(2, 64, 256));
     let blocking = Server::bind(Arc::clone(&blocking_service), "127.0.0.1:0").expect("bind");
     let blocking_addr = blocking.local_addr();
     let blocking_thread = std::thread::spawn(move || {
         let _ = blocking.run();
     });
-
-    let (_, net) = start_net(smoke_serve(2, 64, 256));
 
     let figure_over = |addr: String| {
         let mut pipe = Pipe::connect(&addr);
@@ -452,16 +470,146 @@ fn figure_batches_are_byte_identical_across_transports() {
         panic!("expected figure, got {resp:?}");
     };
 
-    let (net_rendered, net_jobs) = figure_over(net.local_addr().to_string());
-    assert_eq!(net_jobs, blocking_jobs);
-    assert_eq!(
-        net_rendered, blocking_rendered,
-        "figure bytes must not depend on the transport"
-    );
+    for shards in [1usize, 2] {
+        let (_, net) = start_net_with(
+            smoke_serve(2, 64, 256),
+            NetConfig {
+                shards,
+                ..NetConfig::default()
+            },
+        );
+        let (net_rendered, net_jobs) = figure_over(net.local_addr().to_string());
+        assert_eq!(net_jobs, blocking_jobs, "{shards}-shard job count differs");
+        assert_eq!(
+            net_rendered, blocking_rendered,
+            "figure bytes must not depend on the transport ({shards} shards)"
+        );
+        net.shutdown();
+        net.wait().expect("reactor exits cleanly");
+    }
 
     let mut c = eod_serve::Client::connect(&blocking_addr.to_string()).unwrap();
     c.shutdown().unwrap();
     blocking_thread.join().unwrap();
-    net.shutdown();
-    net.wait().expect("reactor exits cleanly");
+}
+
+/// The accept-sharding satellite: at a few hundred connections the
+/// kernel's `SO_REUSEPORT` hash (or the round-robin fallback) must land
+/// work on every shard — no loop sits idle while another owns the whole
+/// fleet. Each connection round-trips a request so the count reflects
+/// served conns, not just SYNs.
+#[test]
+fn connections_distribute_across_all_shards() {
+    let (_service, server) = start_net_with(
+        smoke_serve(1, 64, 64),
+        NetConfig {
+            shards: 2,
+            ..NetConfig::default()
+        },
+    );
+    assert_eq!(server.shard_count(), 2);
+    let addr = server.local_addr().to_string();
+
+    let total = 500usize;
+    let mut pipes: Vec<Pipe> = Vec::with_capacity(total);
+    for _ in 0..total {
+        pipes.push(Pipe::connect(&addr));
+    }
+    for (i, pipe) in pipes.iter_mut().enumerate() {
+        pipe.send(i as u64, Request::Stats);
+    }
+    for (i, pipe) in pipes.iter_mut().enumerate() {
+        let (id, resp) = pipe.recv_some();
+        assert_eq!(id, Some(i as u64));
+        assert!(matches!(resp, Response::Stats { .. }), "{resp:?}");
+    }
+
+    let per_shard: Vec<usize> = server
+        .shard_metrics()
+        .iter()
+        .map(|m| m.accepts.get() as usize)
+        .collect();
+    assert_eq!(per_shard.iter().sum::<usize>(), total);
+    assert!(
+        per_shard.iter().all(|&a| a > 0),
+        "a shard accepted nothing out of {total} connections: {per_shard:?}"
+    );
+
+    drop(pipes);
+    server.shutdown();
+    server.wait().expect("reactor exits cleanly");
+}
+
+/// Coordinated shutdown must drain every shard, not just the one that
+/// carried the Shutdown request: waited submits held by connections on
+/// *other* loops still stream their terminal results before EOF.
+#[test]
+fn graceful_shutdown_drains_waited_jobs_on_every_shard() {
+    let (_service, server) = start_net_with(
+        smoke_serve(2, 64, 64),
+        NetConfig {
+            shards: 2,
+            // Deterministic placement: conn 1 -> shard 0, conn 2 -> shard 1.
+            force_round_robin_accept: true,
+            ..NetConfig::default()
+        },
+    );
+    let addr = server.local_addr().to_string();
+
+    let mut a = Pipe::connect(&addr);
+    let mut b = Pipe::connect(&addr);
+    a.send(
+        1,
+        Request::Submit {
+            spec: slow_native_spec(2, 501),
+            priority: Priority::Normal,
+            wait: true,
+        },
+    );
+    b.send(
+        2,
+        Request::Submit {
+            spec: slow_native_spec(2, 502),
+            priority: Priority::Normal,
+            wait: true,
+        },
+    );
+    let (id, ack) = a.recv_some();
+    assert_eq!(id, Some(1));
+    assert!(matches!(ack, Response::Accepted { .. }), "{ack:?}");
+    let (id, ack) = b.recv_some();
+    assert_eq!(id, Some(2));
+    assert!(matches!(ack, Response::Accepted { .. }), "{ack:?}");
+
+    // Both shards own a waiting connection before the shutdown lands.
+    let per_shard: Vec<usize> = server
+        .shard_metrics()
+        .iter()
+        .map(|m| m.accepts.get() as usize)
+        .collect();
+    assert_eq!(per_shard, vec![1, 1], "round-robin placement was not even");
+
+    // Shutdown arrives on shard 0's connection; shard 1's waiter must
+    // still see its Result before the drain closes the socket.
+    a.send(3, Request::Shutdown);
+    let drain = |pipe: &mut Pipe, want: u64| {
+        let mut saw_result = false;
+        loop {
+            match pipe.recv() {
+                None => break,
+                Some((id, Response::Result { state, .. })) => {
+                    assert_eq!(id, Some(want));
+                    assert_eq!(state, "done");
+                    saw_result = true;
+                }
+                Some((_, Response::Status { .. })) => {}
+                Some((id, Response::Bye)) => assert_eq!(id, Some(3)),
+                Some((id, other)) => panic!("unexpected frame {id:?} {other:?}"),
+            }
+        }
+        saw_result
+    };
+    assert!(drain(&mut a, 1), "shard 0's waiter lost its result");
+    assert!(drain(&mut b, 2), "shard 1's waiter lost its result");
+    server.wait().expect("all shards exit cleanly");
 }
